@@ -1,0 +1,36 @@
+//! Criterion bench for F8: the agent hot path per placement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deceit::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("agent_configs");
+    for placement in
+        [AgentPlacement::UserLibrary, AgentPlacement::Kernel, AgentPlacement::AuxProcess]
+    {
+        let mut fs = DeceitFs::new(
+            2,
+            ClusterConfig::default().with_seed(7).without_trace(),
+            FsConfig::default(),
+        );
+        let root = fs.root();
+        let f = fs.create(NodeId(0), root, "f", 0o644).unwrap().value;
+        fs.write(NodeId(0), f.handle, 0, b"cached").unwrap();
+        fs.cluster.run_until_quiet();
+        let mut srv = NfsServer::new(fs);
+        let mut agent = Agent::new(NodeId(100), NodeId(0), AgentConfig {
+            placement,
+            ..AgentConfig::default()
+        });
+        agent.read_file(&mut srv, f.handle).unwrap(); // warm the caches
+        g.bench_with_input(
+            BenchmarkId::from_parameter(placement.label()),
+            &placement,
+            |b, _| b.iter(|| agent.read_file(&mut srv, f.handle).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for F2: local vs forwarded reads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deceit::prelude::*;
+
+fn fixture() -> (DeceitFs, FileHandle) {
+    let mut fs = DeceitFs::new(
+        4,
+        ClusterConfig::default().with_seed(6).without_trace(),
+        FsConfig::default(),
+    );
+    let root = fs.root();
+    let f = fs.create(NodeId(0), root, "f", 0o644).unwrap().value;
+    fs.write(NodeId(0), f.handle, 0, &vec![1u8; 4096]).unwrap();
+    fs.cluster.run_until_quiet();
+    (fs, f.handle)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nfs_forwarding");
+    g.bench_function("read_local", |b| {
+        let (mut fs, fh) = fixture();
+        b.iter(|| fs.read(NodeId(0), fh, 0, 4096).unwrap())
+    });
+    g.bench_function("read_forwarded", |b| {
+        let (mut fs, fh) = fixture();
+        b.iter(|| fs.read(NodeId(3), fh, 0, 4096).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

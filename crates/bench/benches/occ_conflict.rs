@@ -1,0 +1,39 @@
+//! Criterion bench for V1: conditional writes, clean vs conflicting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deceit::prelude::*;
+use deceit::core::WriteOp;
+
+fn fixture() -> (deceit::core::Cluster, deceit::core::SegmentId) {
+    let mut c = deceit::core::Cluster::new(
+        2,
+        ClusterConfig::default().with_seed(8).without_trace(),
+    );
+    let seg = c.create(NodeId(0)).unwrap().value;
+    c.write(NodeId(0), seg, WriteOp::replace(b"base"), None).unwrap();
+    (c, seg)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("occ_conflict");
+    g.bench_function("conditional_write_clean", |b| {
+        let (mut cl, seg) = fixture();
+        b.iter(|| {
+            let v = cl.read(NodeId(0), seg, None, 0, 16).unwrap().value.version;
+            cl.write(NodeId(0), seg, WriteOp::replace(b"next"), Some(v)).unwrap()
+        })
+    });
+    g.bench_function("conditional_write_conflict", |b| {
+        let (mut cl, seg) = fixture();
+        b.iter(|| {
+            let v = cl.read(NodeId(0), seg, None, 0, 16).unwrap().value.version;
+            // An interloper bumps the version before the conditional write.
+            cl.write(NodeId(0), seg, WriteOp::replace(b"sneak"), None).unwrap();
+            cl.write(NodeId(0), seg, WriteOp::replace(b"stale"), Some(v)).unwrap_err()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for P4: the stability-notification rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deceit::prelude::*;
+use deceit_sim::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stability_overhead");
+    for stability in [false, true] {
+        let mut fs = DeceitFs::new(
+            3,
+            ClusterConfig::default().with_seed(5).without_trace(),
+            FsConfig::default(),
+        );
+        let root = fs.root();
+        let f = fs.create(NodeId(0), root, "f", 0o644).unwrap().value;
+        fs.set_file_params(NodeId(0), f.handle, FileParams {
+            min_replicas: 3,
+            stability,
+            ..FileParams::default()
+        })
+        .unwrap();
+        fs.cluster.run_until_quiet();
+        let mut i = 0u64;
+        g.bench_with_input(
+            BenchmarkId::new("isolated_write", stability),
+            &stability,
+            |b, _| {
+                b.iter(|| {
+                    i += 1;
+                    fs.write(NodeId(0), f.handle, 0, &i.to_be_bytes()).unwrap();
+                    // Quiet period: every write opens and closes a stream,
+                    // the worst case for stability notification.
+                    fs.cluster.advance(SimDuration::from_secs(1));
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

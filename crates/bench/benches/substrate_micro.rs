@@ -1,0 +1,65 @@
+//! Microbenchmarks of the substrates: vector clocks, ordered delivery,
+//! directory codec, simulated disk.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deceit::isis::{CausalReceiver, CausalSender, OrderedReceiver, Sequencer};
+use deceit::net::NodeId;
+use deceit::nfs::{DirEntry, Directory, FileHandle};
+use deceit::storage::{Disk, DiskConfig, SegmentData};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("abcast_stamp_deliver", |b| {
+        let mut seq = Sequencer::new();
+        let mut rx: OrderedReceiver<u64> = OrderedReceiver::new();
+        b.iter(|| {
+            let m = seq.stamp(42u64);
+            rx.receive(m)
+        })
+    });
+    c.bench_function("cbcast_send_deliver", |b| {
+        let mut tx = CausalSender::new(NodeId(0));
+        let mut rx: CausalReceiver<u64> = CausalReceiver::new();
+        b.iter(|| {
+            let m = tx.send(42u64);
+            rx.receive(m)
+        })
+    });
+    c.bench_function("directory_encode_decode_64", |b| {
+        let mut d = Directory::new();
+        for i in 0..64 {
+            d.insert(DirEntry {
+                name: format!("entry-{i:04}"),
+                handle: FileHandle::new(deceit::core::SegmentId(i)),
+                ftype: 0,
+            });
+        }
+        b.iter(|| {
+            let enc = d.encode();
+            Directory::decode(&enc).unwrap()
+        })
+    });
+    c.bench_function("disk_put_crash_cycle", |b| {
+        let mut disk: Disk<u32, Vec<u8>> = Disk::new(DiskConfig::workstation());
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            disk.put_async(i % 128, vec![0u8; 512]);
+            if i.is_multiple_of(64) {
+                disk.flush_all();
+                disk.crash();
+            }
+        })
+    });
+    c.bench_function("segment_write_read", |b| {
+        let mut s = SegmentData::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            s.write((i * 37) % 8192, &[1, 2, 3, 4, 5, 6, 7, 8]);
+            s.read((i * 53) % 8192, 64)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

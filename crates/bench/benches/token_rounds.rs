@@ -1,0 +1,50 @@
+//! Criterion bench for P1: update streams with and without token
+//! movement (the §3.3 acquisition amortization).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deceit::prelude::*;
+
+fn fixture() -> (DeceitFs, FileHandle) {
+    let mut fs = DeceitFs::new(
+        3,
+        ClusterConfig::default().with_seed(2).without_trace(),
+        FsConfig::default(),
+    );
+    let root = fs.root();
+    let f = fs.create(NodeId(0), root, "f", 0o644).unwrap().value;
+    fs.set_file_params(NodeId(0), f.handle, FileParams {
+        min_replicas: 3,
+        stability: false,
+        ..FileParams::default()
+    })
+    .unwrap();
+    fs.cluster.run_until_quiet();
+    (fs, f.handle)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("token_rounds");
+    g.bench_function("stream_token_held", |b| {
+        let (mut fs, fh) = fixture();
+        fs.write(NodeId(0), fh, 0, b"acquire").unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            fs.write(NodeId(0), fh, 0, &i.to_be_bytes()).unwrap()
+        })
+    });
+    g.bench_function("alternating_writers", |b| {
+        let (mut fs, fh) = fixture();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            // Token ping-pongs: every write pays an acquisition round.
+            let via = NodeId((i % 2) as u32);
+            fs.write(via, fh, 0, &i.to_be_bytes()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for F4: one update distribution at varying file-group
+//! sizes (the wall-clock cost of simulating the §3.2 hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deceit::prelude::*;
+
+fn fixture(replicas: usize) -> (DeceitFs, FileHandle) {
+    let mut fs = DeceitFs::new(
+        12,
+        ClusterConfig::default().with_seed(1).without_trace(),
+        FsConfig::default(),
+    );
+    let root = fs.root();
+    let f = fs.create(NodeId(0), root, "f", 0o644).unwrap().value;
+    fs.set_file_params(NodeId(0), f.handle, FileParams {
+        min_replicas: replicas,
+        stability: false,
+        ..FileParams::default()
+    })
+    .unwrap();
+    fs.write(NodeId(0), f.handle, 0, b"warm").unwrap();
+    fs.cluster.run_until_quiet();
+    (fs, f.handle)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("update_distribution");
+    for replicas in [1usize, 3, 8] {
+        let (mut fs, fh) = fixture(replicas);
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(replicas), &replicas, |b, _| {
+            b.iter(|| {
+                i += 1;
+                fs.write(NodeId(0), fh, 0, &i.to_be_bytes()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

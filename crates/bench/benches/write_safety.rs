@@ -1,0 +1,36 @@
+//! Criterion bench for P2: writes across safety levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deceit::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_safety");
+    for safety in [0usize, 1, 3] {
+        let mut fs = DeceitFs::new(
+            3,
+            ClusterConfig::default().with_seed(3).without_trace(),
+            FsConfig::default(),
+        );
+        let root = fs.root();
+        let f = fs.create(NodeId(0), root, "f", 0o644).unwrap().value;
+        fs.set_file_params(NodeId(0), f.handle, FileParams {
+            min_replicas: 3,
+            write_safety: safety,
+            stability: false,
+            ..FileParams::default()
+        })
+        .unwrap();
+        fs.cluster.run_until_quiet();
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(safety), &safety, |b, _| {
+            b.iter(|| {
+                i += 1;
+                fs.write(NodeId(0), f.handle, 0, &i.to_be_bytes()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

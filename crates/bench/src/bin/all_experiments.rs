@@ -1,0 +1,26 @@
+//! Runs every experiment in sequence (the EXPERIMENTS.md generator).
+//! Run: `cargo run --release -p deceit-bench --bin all_experiments`
+use deceit_bench::experiments as ex;
+
+fn main() {
+    let (a, b) = ex::fig1::run();
+    a.print();
+    b.print();
+    ex::fig2::run().0.print();
+    ex::fig3::run().print();
+    ex::fig4::run().0.print();
+    ex::fig5::run().0.print();
+    let (t, total) = ex::fig7::run();
+    t.print();
+    assert_eq!(total, 9);
+    ex::fig8::run().0.print();
+    ex::table1::run().0.print();
+    ex::p1_rounds::run().0.print();
+    ex::p2_safety::run().0.print();
+    ex::p3_replicas::run().0.print();
+    ex::p4_stability::run().0.print();
+    ex::p5_partition::run().0.print();
+    ex::p6_migration::run().0.print();
+    ex::p7_token_opts::run().0.print();
+    ex::p8_hot_files::run().0.print();
+}

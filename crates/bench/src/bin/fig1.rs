@@ -1,0 +1,6 @@
+//! Regenerates Figure 1. Run: `cargo run -p deceit-bench --bin fig1`
+fn main() {
+    let (before, after) = deceit_bench::experiments::fig1::run();
+    before.print();
+    after.print();
+}

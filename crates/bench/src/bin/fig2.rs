@@ -1,0 +1,5 @@
+//! Regenerates Figure 2. Run: `cargo run -p deceit-bench --bin fig2`
+fn main() {
+    let (t, _) = deceit_bench::experiments::fig2::run();
+    t.print();
+}

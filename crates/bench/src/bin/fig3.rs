@@ -1,0 +1,4 @@
+//! Regenerates Figure 3. Run: `cargo run -p deceit-bench --bin fig3`
+fn main() {
+    deceit_bench::experiments::fig3::run().print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 4. Run: `cargo run -p deceit-bench --bin fig4`
+fn main() {
+    let (t, _, _) = deceit_bench::experiments::fig4::run();
+    t.print();
+}

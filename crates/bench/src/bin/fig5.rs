@@ -1,0 +1,5 @@
+//! Regenerates Figure 5. Run: `cargo run -p deceit-bench --bin fig5`
+fn main() {
+    let (t, _, _) = deceit_bench::experiments::fig5::run();
+    t.print();
+}

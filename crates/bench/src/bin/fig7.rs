@@ -1,0 +1,6 @@
+//! Regenerates Figure 7. Run: `cargo run -p deceit-bench --bin fig7`
+fn main() {
+    let (t, total) = deceit_bench::experiments::fig7::run();
+    t.print();
+    assert_eq!(total, 9, "the paper's example totals 9 link copies");
+}

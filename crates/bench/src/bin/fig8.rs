@@ -1,0 +1,5 @@
+//! Regenerates Figure 8. Run: `cargo run -p deceit-bench --bin fig8`
+fn main() {
+    let (t, _) = deceit_bench::experiments::fig8::run();
+    t.print();
+}

@@ -1,0 +1,5 @@
+//! P1: §3.3 round counts. Run: `cargo run -p deceit-bench --bin p1_rounds`
+fn main() {
+    let (t, _) = deceit_bench::experiments::p1_rounds::run();
+    t.print();
+}

@@ -1,0 +1,5 @@
+//! P2: write safety sweep. Run: `cargo run -p deceit-bench --bin p2_safety`
+fn main() {
+    let (t, _) = deceit_bench::experiments::p2_safety::run();
+    t.print();
+}

@@ -1,0 +1,5 @@
+//! P3: replica level sweep. Run: `cargo run -p deceit-bench --bin p3_replicas`
+fn main() {
+    let (t, _) = deceit_bench::experiments::p3_replicas::run();
+    t.print();
+}

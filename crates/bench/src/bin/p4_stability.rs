@@ -1,0 +1,5 @@
+//! P4: stability overhead. Run: `cargo run -p deceit-bench --bin p4_stability`
+fn main() {
+    let (t, _) = deceit_bench::experiments::p4_stability::run();
+    t.print();
+}

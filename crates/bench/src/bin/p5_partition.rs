@@ -1,0 +1,5 @@
+//! P5: availability policies. Run: `cargo run -p deceit-bench --bin p5_partition`
+fn main() {
+    let (t, _) = deceit_bench::experiments::p5_partition::run();
+    t.print();
+}

@@ -1,0 +1,5 @@
+//! P6: migration curve. Run: `cargo run -p deceit-bench --bin p6_migration`
+fn main() {
+    let (t, _, _) = deceit_bench::experiments::p6_migration::run();
+    t.print();
+}

@@ -1,0 +1,5 @@
+//! P7 ablation: §3.3 token optimizations. Run: `cargo run -p deceit-bench --bin p7_token_opts`
+fn main() {
+    let (t, _) = deceit_bench::experiments::p7_token_opts::run();
+    t.print();
+}

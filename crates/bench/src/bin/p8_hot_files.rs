@@ -1,0 +1,5 @@
+//! P8: §7 hot-file contention. Run: `cargo run -p deceit-bench --bin p8_hot_files`
+fn main() {
+    let (t, _, _) = deceit_bench::experiments::p8_hot_files::run();
+    t.print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 1. Run: `cargo run -p deceit-bench --bin table1`
+fn main() {
+    let (t, actions) = deceit_bench::experiments::table1::run();
+    t.print();
+    println!("raw observed actions: {actions:?}");
+}

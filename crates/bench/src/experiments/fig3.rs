@@ -1,0 +1,71 @@
+//! Figure 3: cells, and access between them through the global root.
+
+use deceit::prelude::*;
+
+use crate::table::Table;
+
+/// Builds the two-cell configuration of Figure 3 and compares local
+/// against inter-cell access.
+pub fn run() -> Table {
+    let cornell = DeceitFs::with_defaults(4);
+    let mit = DeceitFs::with_defaults(3);
+    let mut fed = Federation::new(vec![
+        ("cs.cornell.edu".to_string(), cornell),
+        ("cs.mit.edu".to_string(), mit),
+    ]);
+
+    // MIT publishes a file.
+    let mit_id = CellId(1);
+    let m_root = fed.cell(mit_id).root();
+    let f = fed.cell(mit_id).create(NodeId(0), m_root, "paper.ps", 0o644).unwrap().value;
+    fed.cell(mit_id).write(NodeId(0), f.handle, 0, &vec![7u8; 8 * 1024]).unwrap();
+    fed.cell(mit_id).cluster.run_until_quiet();
+
+    let mut t = Table::new(
+        "Figure 3 — cells: local vs inter-cell access",
+        &["access", "path", "latency"],
+    );
+
+    // Local access inside MIT.
+    let local = fed.lookup_path(mit_id, NodeId(1), "/paper.ps").unwrap();
+    let local_read = fed.read(mit_id, NodeId(1), local.value.0, 0, 8 * 1024).unwrap();
+    t.row(&[
+        "MIT user, own cell".to_string(),
+        "/paper.ps".to_string(),
+        format!("{}", local.latency + local_read.latency),
+    ]);
+
+    // A Cornell user crosses the global root.
+    let cornell_id = CellId(0);
+    let path = "/priv/global/s0.cs.mit.edu/paper.ps";
+    let remote = fed.lookup_path(cornell_id, NodeId(2), path).unwrap();
+    let remote_read = fed.read(cornell_id, NodeId(2), remote.value.0, 0, 8 * 1024).unwrap();
+    t.row(&[
+        "Cornell user, via global root".to_string(),
+        path.to_string(),
+        format!("{}", remote.latency + remote_read.latency),
+    ]);
+
+    // Replication stays inside the owning cell.
+    fed.cell(mit_id)
+        .set_file_params(NodeId(0), f.handle, FileParams::important(3))
+        .unwrap();
+    fed.cell(mit_id).cluster.run_until_quiet();
+    let holders = fed.cell(mit_id).file_replicas(NodeId(0), f.handle).unwrap().value;
+    t.row(&[
+        "replication (level 3)".to_string(),
+        format!("confined to MIT cell: {holders:?}"),
+        "-".to_string(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn figure3_regenerates() {
+        let t = super::run();
+        assert_eq!(t.len(), 3);
+        assert!(t.render().contains("global"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Workload generation under the §2.3 operational assumptions.
+//!
+//! "Files tend to be written or read in their entirety with a stream of
+//! operations. Nearly simultaneous writes by two clients to the same file
+//! are very rare. Files experience long periods of total inactivity
+//! punctuated by high activity … File activity tends to cluster in a
+//! small number of directories. The vast majority of NFS operations are
+//! get attribute, lookup, read, and write. Most files are small."
+
+use deceit::prelude::*;
+use deceit_sim::SimRng;
+
+/// The §2.3 NFS operation mix (fractions sum to 1), drawn from the trace
+/// studies the paper cites (Ousterhout et al. 1985, Floyd 1986).
+#[derive(Debug, Clone, Copy)]
+pub struct OpMix {
+    /// Fraction of getattr operations.
+    pub getattr: f64,
+    /// Fraction of lookup operations.
+    pub lookup: f64,
+    /// Fraction of whole-file reads.
+    pub read: f64,
+    /// Fraction of whole-file writes.
+    pub write: f64,
+}
+
+impl Default for OpMix {
+    fn default() -> Self {
+        // "The vast majority of NFS operations are get attribute, lookup,
+        // read, and write" — BSD-trace-shaped proportions.
+        OpMix { getattr: 0.42, lookup: 0.28, read: 0.22, write: 0.08 }
+    }
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkOp {
+    /// Get attributes of a file.
+    Getattr { file: usize },
+    /// Look a file up in its directory.
+    Lookup { file: usize },
+    /// Read a file in its entirety.
+    Read { file: usize },
+    /// Rewrite a file in its entirety with fresh contents.
+    Write { file: usize, bytes: usize },
+}
+
+impl WorkOp {
+    /// The file index the operation touches.
+    pub fn file(&self) -> usize {
+        match self {
+            WorkOp::Getattr { file }
+            | WorkOp::Lookup { file }
+            | WorkOp::Read { file }
+            | WorkOp::Write { file, .. } => *file,
+        }
+    }
+}
+
+/// A populated test filesystem: directories and files with §2.3 shapes.
+#[derive(Debug)]
+pub struct Corpus {
+    /// Directory handles.
+    pub dirs: Vec<FileHandle>,
+    /// File handles, with the directory each lives in.
+    pub files: Vec<(FileHandle, usize)>,
+    /// Names of the files (`f<i>`), parallel to `files`.
+    pub names: Vec<String>,
+}
+
+/// Builds `n_dirs` directories and `n_files` small files, spread over the
+/// cell's servers, with sizes from the §2.3 log-normal shape.
+pub fn build_corpus(
+    fs: &mut DeceitFs,
+    rng: &mut SimRng,
+    n_dirs: usize,
+    n_files: usize,
+    params: FileParams,
+) -> Corpus {
+    let root = fs.root();
+    let n_servers = fs.cluster.num_servers();
+    let mut dirs = Vec::new();
+    for d in 0..n_dirs {
+        let via = NodeId((d % n_servers) as u32);
+        let dir = fs.mkdir(via, root, &format!("dir{d}"), 0o755).unwrap().value;
+        dirs.push(dir.handle);
+    }
+    let mut files = Vec::new();
+    let mut names = Vec::new();
+    for f in 0..n_files {
+        // Directory locality: files cluster in a few directories.
+        let d = rng.zipf(n_dirs, 0.9);
+        let via = NodeId((f % n_servers) as u32);
+        let name = format!("f{f}");
+        let attr = fs.create(via, dirs[d], &name, 0o644).unwrap().value;
+        if params != FileParams::default() {
+            fs.set_file_params(via, attr.handle, params).unwrap();
+        }
+        let size = rng.file_size().min(64 * 1024);
+        let body = vec![(f % 251) as u8; size];
+        fs.write(via, attr.handle, 0, &body).unwrap();
+        files.push((attr.handle, d));
+        names.push(name);
+    }
+    fs.cluster.run_until_quiet();
+    Corpus { dirs, files, names }
+}
+
+/// Generates `n` operations over a corpus: Zipf file popularity, the
+/// default op mix, log-normal write sizes.
+pub fn generate_ops(rng: &mut SimRng, corpus: &Corpus, mix: OpMix, n: usize) -> Vec<WorkOp> {
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        let file = rng.zipf(corpus.files.len(), 0.8);
+        let p = rng.unit();
+        let op = if p < mix.getattr {
+            WorkOp::Getattr { file }
+        } else if p < mix.getattr + mix.lookup {
+            WorkOp::Lookup { file }
+        } else if p < mix.getattr + mix.lookup + mix.read {
+            WorkOp::Read { file }
+        } else {
+            WorkOp::Write { file, bytes: rng.file_size().min(64 * 1024) }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Executes one operation against the filesystem via `via`, returning the
+/// observed latency.
+pub fn execute_op(
+    fs: &mut DeceitFs,
+    via: NodeId,
+    corpus: &Corpus,
+    op: &WorkOp,
+) -> Result<SimDuration, NfsError> {
+    match op {
+        WorkOp::Getattr { file } => {
+            let (fh, _) = corpus.files[*file];
+            Ok(fs.getattr(via, fh)?.latency)
+        }
+        WorkOp::Lookup { file } => {
+            let (_, d) = corpus.files[*file];
+            let name = &corpus.names[*file];
+            Ok(fs.lookup(via, corpus.dirs[d], name)?.latency)
+        }
+        WorkOp::Read { file } => {
+            let (fh, _) = corpus.files[*file];
+            Ok(fs.read(via, fh, 0, usize::MAX / 2)?.latency)
+        }
+        WorkOp::Write { file, bytes } => {
+            let (fh, _) = corpus.files[*file];
+            let body = vec![0x5Au8; *bytes];
+            Ok(fs.write(via, fh, 0, &body)?.latency)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_builds_and_ops_run() {
+        let mut fs = DeceitFs::with_defaults(3);
+        let mut rng = SimRng::new(42);
+        let corpus = build_corpus(&mut fs, &mut rng, 4, 12, FileParams::default());
+        assert_eq!(corpus.dirs.len(), 4);
+        assert_eq!(corpus.files.len(), 12);
+        let ops = generate_ops(&mut rng, &corpus, OpMix::default(), 50);
+        assert_eq!(ops.len(), 50);
+        for op in &ops {
+            execute_op(&mut fs, NodeId(0), &corpus, op).unwrap();
+        }
+    }
+
+    #[test]
+    fn mix_roughly_respected() {
+        let mut fs = DeceitFs::with_defaults(2);
+        let mut rng = SimRng::new(7);
+        let corpus = build_corpus(&mut fs, &mut rng, 2, 5, FileParams::default());
+        let ops = generate_ops(&mut rng, &corpus, OpMix::default(), 4000);
+        let writes = ops.iter().filter(|o| matches!(o, WorkOp::Write { .. })).count();
+        let frac = writes as f64 / ops.len() as f64;
+        assert!((0.04..0.13).contains(&frac), "write fraction {frac}");
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let mut fs = DeceitFs::with_defaults(2);
+        let mut rng = SimRng::new(9);
+        let corpus = build_corpus(&mut fs, &mut rng, 2, 20, FileParams::default());
+        let ops = generate_ops(&mut rng, &corpus, OpMix::default(), 4000);
+        let hot = ops.iter().filter(|o| o.file() == 0).count();
+        let cold = ops.iter().filter(|o| o.file() == 19).count();
+        assert!(hot > cold * 3, "hot {hot} cold {cold}");
+    }
+}

@@ -1,0 +1,331 @@
+//! The Deceit deployment: servers + network + event engine.
+//!
+//! One [`Cluster`] is one Deceit cell: a set of interchangeable servers
+//! that "collectively provide the illusion of a single, large server
+//! machine" (abstract). Client operations enter at any server (`via`); the
+//! cluster executes the §3 protocols against the simulated network,
+//! advances the simulated clock by each operation's latency, and drives
+//! deferred work (asynchronous propagation, write-back, stability
+//! timeouts, background replica generation) through an event queue.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use deceit_isis::GroupTable;
+use deceit_net::{Network, NodeId};
+use deceit_sim::{EventQueue, SimDuration, SimTime, StatsRegistry, TraceLog};
+
+use crate::config::ClusterConfig;
+use crate::error::{DeceitError, DeceitResult};
+use crate::event::Pending;
+use crate::server::{SegmentId, ServerState};
+use crate::trace_events::ProtocolEvent;
+use crate::version::BranchTable;
+
+/// The value of a client-visible operation together with the latency the
+/// client observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpResult<T> {
+    /// Operation result.
+    pub value: T,
+    /// Client-observed latency of the operation.
+    pub latency: SimDuration,
+}
+
+/// A logged incomparable-version conflict (§3.6: "a notification is logged
+/// into a well known file. It is the responsibility of the user to resolve
+/// such conflicts").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictRecord {
+    /// Segment with divergent versions.
+    pub seg: SegmentId,
+    /// The two incomparable major version numbers.
+    pub majors: (u64, u64),
+    /// When the conflict was detected.
+    pub at: SimTime,
+}
+
+/// One Deceit cell: the paper's unit of deployment (§2.2).
+#[derive(Debug)]
+pub struct Cluster {
+    /// Deployment configuration.
+    pub cfg: ClusterConfig,
+    /// The simulated network.
+    pub net: Network,
+    pub(crate) servers: Vec<ServerState>,
+    /// The ISIS group directory for this cell.
+    pub groups: GroupTable,
+    /// Deferred actions.
+    pub(crate) events: EventQueue<Pending>,
+    clock: SimTime,
+    /// Experiment metrics.
+    pub stats: StatsRegistry,
+    /// Protocol trace (Table 1 regeneration).
+    pub trace: TraceLog<ProtocolEvent>,
+    /// Per-segment history-tree branch records.
+    ///
+    /// The paper stores branch records with each replica; we keep the
+    /// per-segment union here. This is equivalent for every §3.6 scenario
+    /// because version comparisons only ever happen between servers that
+    /// can communicate — exactly when the paper's records would be
+    /// exchangeable — and it makes reconciliation auditable in one place.
+    pub(crate) branches: BTreeMap<SegmentId, BranchTable>,
+    /// The "well known file" of version conflicts awaiting the user.
+    pub conflicts: Vec<ConflictRecord>,
+    /// Segments that have been explicitly deleted; recovering servers
+    /// garbage-collect any stale replicas of these.
+    pub(crate) deleted: BTreeSet<SegmentId>,
+    next_segment: u64,
+    next_major: u64,
+}
+
+impl Cluster {
+    /// Builds a cell of `n_servers` servers, fully connected and all alive.
+    pub fn new(n_servers: usize, cfg: ClusterConfig) -> Self {
+        assert!(n_servers > 0, "a cell needs at least one server");
+        let net = Network::new(cfg.latency.clone(), cfg.seed);
+        let servers = (0..n_servers)
+            .map(|i| ServerState::new(NodeId::from(i), cfg.disk))
+            .collect();
+        let trace = if cfg.trace { TraceLog::new() } else { TraceLog::disabled() };
+        Cluster {
+            net,
+            servers,
+            groups: GroupTable::new(),
+            events: EventQueue::new(),
+            clock: SimTime::ZERO,
+            stats: StatsRegistry::new(),
+            trace,
+            branches: BTreeMap::new(),
+            conflicts: Vec::new(),
+            deleted: BTreeSet::new(),
+            next_segment: 0,
+            next_major: 0,
+            cfg,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of servers in the cell.
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// All server ids.
+    pub fn server_ids(&self) -> Vec<NodeId> {
+        self.servers.iter().map(|s| s.id).collect()
+    }
+
+    /// Read access to one server's state.
+    pub fn server(&self, id: NodeId) -> &ServerState {
+        &self.servers[id.index()]
+    }
+
+    /// Mutable access to one server's state.
+    pub fn server_mut(&mut self, id: NodeId) -> &mut ServerState {
+        &mut self.servers[id.index()]
+    }
+
+    /// Errors unless `via` designates a live server.
+    pub fn check_up(&self, via: NodeId) -> DeceitResult<()> {
+        if via.index() >= self.servers.len() {
+            return Err(DeceitError::NoSuchServer(via));
+        }
+        if !self.net.is_up(via) {
+            return Err(DeceitError::ServerDown(via));
+        }
+        Ok(())
+    }
+
+    /// Allocates a fresh segment id.
+    pub(crate) fn alloc_segment(&mut self) -> SegmentId {
+        let id = SegmentId(self.next_segment);
+        self.next_segment += 1;
+        id
+    }
+
+    /// Allocates a globally unique major version number (§3.5: "Deceit
+    /// selects major version numbers carefully to insure global
+    /// uniqueness").
+    pub(crate) fn alloc_major(&mut self) -> u64 {
+        let m = self.next_major;
+        self.next_major += 1;
+        m
+    }
+
+    /// The branch table of one segment.
+    pub fn branch_table(&mut self, seg: SegmentId) -> &mut BranchTable {
+        self.branches.entry(seg).or_default()
+    }
+
+    /// Read-only branch table access.
+    pub fn branch_table_ref(&self, seg: SegmentId) -> Option<&BranchTable> {
+        self.branches.get(&seg)
+    }
+
+    /// Emits a protocol trace event at the current time.
+    pub(crate) fn emit(&mut self, ev: ProtocolEvent) {
+        self.trace.emit(self.clock, ev);
+    }
+
+    // ------------------------------------------------------------------
+    // Event engine
+    // ------------------------------------------------------------------
+
+    /// Fires every pending event due at or before the current clock.
+    pub(crate) fn fire_due(&mut self) {
+        while let Some((at, ev)) = self.events.pop_due(self.clock) {
+            self.handle_event(at, ev);
+        }
+    }
+
+    /// Advances the clock by `d`, firing events as they come due.
+    pub fn advance(&mut self, d: SimDuration) {
+        let deadline = self.clock + d;
+        while let Some((at, ev)) = self.events.pop_due(deadline) {
+            self.clock = self.clock.max(at);
+            self.handle_event(at, ev);
+        }
+        self.clock = deadline;
+    }
+
+    /// Drains the event queue entirely, jumping the clock forward to each
+    /// event. Afterwards all propagation, flushing, stabilization, and
+    /// background replication has settled.
+    pub fn run_until_quiet(&mut self) {
+        // A backstop against event-scheduling bugs producing livelock; in
+        // practice the queue drains in a handful of iterations.
+        let mut budget = 1_000_000u64;
+        while let Some((at, ev)) = self.events.pop() {
+            self.clock = self.clock.max(at);
+            self.handle_event(at, ev);
+            budget -= 1;
+            assert!(budget > 0, "event queue failed to quiesce");
+        }
+    }
+
+    /// Book-keeping shared by all client-visible operations: fire due
+    /// events, run the body, advance the clock by the observed latency.
+    pub(crate) fn client_op<T>(
+        &mut self,
+        via: NodeId,
+        body: impl FnOnce(&mut Self) -> DeceitResult<(T, SimDuration)>,
+    ) -> DeceitResult<OpResult<T>> {
+        self.fire_due();
+        self.check_up(via)?;
+        self.servers[via.index()].ops_served += 1;
+        let (value, latency) = body(self)?;
+        self.clock += latency;
+        self.fire_due();
+        Ok(OpResult { value, latency })
+    }
+
+    // ------------------------------------------------------------------
+    // Failure injection
+    // ------------------------------------------------------------------
+
+    /// Crashes a server "without notification" (§2.3). Volatile state is
+    /// lost; unflushed asynchronous writes are lost; its pending deferred
+    /// actions are cancelled.
+    pub fn crash_server(&mut self, id: NodeId) {
+        self.net.crash(id);
+        self.servers[id.index()].crash();
+        self.events.retain(|e| e.owner() != id);
+        self.stats.incr("cluster/crashes");
+    }
+
+    /// Imposes a network partition between the given groups of servers.
+    pub fn split(&mut self, groups: &[&[NodeId]]) {
+        self.net.split(groups);
+        self.stats.incr("cluster/partitions");
+    }
+
+    /// Heals any partition and reconciles divergent versions (§3.6).
+    pub fn heal(&mut self) {
+        self.net.heal();
+        self.reconcile_all();
+    }
+
+    /// Reachable-from-`from` servers currently storing a replica of `key`.
+    pub(crate) fn reachable_replica_holders(
+        &self,
+        from: NodeId,
+        key: crate::server::ReplicaKey,
+    ) -> Vec<NodeId> {
+        self.servers
+            .iter()
+            .filter(|s| s.replicas.contains(&key) && self.net.reachable(from, s.id))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// All servers (any reachability) currently storing a replica of `key`.
+    pub(crate) fn all_replica_holders(&self, key: crate::server::ReplicaKey) -> Vec<NodeId> {
+        self.servers
+            .iter()
+            .filter(|s| s.replicas.contains(&key))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// The live members of the segment's file group, if any.
+    pub fn group_members(&self, seg: SegmentId) -> Option<(deceit_isis::GroupId, Vec<NodeId>)> {
+        let gid = self.groups.lookup(&group_name(seg))?;
+        let view = self.groups.view(gid).ok()?;
+        Some((gid, view.members.iter().copied().collect()))
+    }
+}
+
+/// The ISIS group name for a segment's file group.
+pub(crate) fn group_name(seg: SegmentId) -> String {
+    format!("file:{}", seg.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let c = Cluster::new(4, ClusterConfig::deterministic());
+        assert_eq!(c.num_servers(), 4);
+        assert_eq!(c.now(), SimTime::ZERO);
+        assert_eq!(c.server_ids().len(), 4);
+        assert!(c.check_up(NodeId(3)).is_ok());
+        assert_eq!(c.check_up(NodeId(9)), Err(DeceitError::NoSuchServer(NodeId(9))));
+    }
+
+    #[test]
+    fn crash_makes_server_unavailable() {
+        let mut c = Cluster::new(2, ClusterConfig::deterministic());
+        c.crash_server(NodeId(1));
+        assert_eq!(c.check_up(NodeId(1)), Err(DeceitError::ServerDown(NodeId(1))));
+        assert_eq!(c.stats.counter("cluster/crashes"), 1);
+    }
+
+    #[test]
+    fn advance_moves_clock() {
+        let mut c = Cluster::new(1, ClusterConfig::deterministic());
+        c.advance(SimDuration::from_millis(5));
+        assert_eq!(c.now(), SimTime::from_micros(5_000));
+    }
+
+    #[test]
+    fn allocators_are_unique() {
+        let mut c = Cluster::new(1, ClusterConfig::deterministic());
+        let a = c.alloc_segment();
+        let b = c.alloc_segment();
+        assert_ne!(a, b);
+        assert_ne!(c.alloc_major(), c.alloc_major());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_cell_rejected() {
+        let _ = Cluster::new(0, ClusterConfig::default());
+    }
+}

@@ -1,0 +1,132 @@
+//! Deployment configuration.
+
+use deceit_net::{BlastConfig, LatencyModel};
+use deceit_sim::SimDuration;
+use deceit_storage::DiskConfig;
+
+/// Tunables of one Deceit deployment (one cell).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Intra-cell message latency model.
+    pub latency: LatencyModel,
+    /// Local disk timing.
+    pub disk: DiskConfig,
+    /// Blast transfer channel for replica generation (§3.1).
+    pub blast: BlastConfig,
+    /// "A short period of no write activity" after which the token holder
+    /// marks the file stable again (§3.4).
+    pub stability_timeout: SimDuration,
+    /// Write-behind delay at replicas that are not on the synchronous
+    /// reply path: they acknowledge receipt immediately but apply the
+    /// update after this delay (§1: "Asynchronous update propagation can
+    /// produce dramatic improvements in performance. Note that an update
+    /// can be visible to all clients before it has been delivered to all
+    /// file replicas.").
+    pub lazy_apply_delay: SimDuration,
+    /// Delay before a server flushes asynchronously written local state.
+    pub flush_delay: SimDuration,
+    /// Cost of serving a read from a local stable replica (buffer-cache
+    /// hit path).
+    pub local_read: SimDuration,
+    /// Replicas not accessed within this window count as "extra" and are
+    /// eligible for least-recently-used deletion on update (§3.1).
+    pub lru_keep: SimDuration,
+    /// RNG seed for the run.
+    pub seed: u64,
+    /// Whether to record protocol trace events (disable in benchmarks).
+    pub trace: bool,
+    /// §3.3 optimization 1: "broadcast an update in the same message with
+    /// a token request; replica holders execute those updates upon
+    /// receiving the corresponding token pass." When enabled, acquiring a
+    /// token for a write costs no separate request round — the update
+    /// broadcast carries it. The paper's prototype "currently uses
+    /// neither" optimization, so the default is off.
+    pub opt_piggyback_acquire: bool,
+    /// §3.3 optimization 2: "pass an update to the current token holder
+    /// instead of requesting the token if it is likely that there will be
+    /// only one update; for example, a small file that is overwritten in a
+    /// single update." Off by default, as in the paper.
+    pub opt_forward_small: bool,
+    /// Size bound below which optimization 2 applies.
+    pub forward_small_threshold: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            latency: LatencyModel::lan(),
+            disk: DiskConfig::workstation(),
+            blast: BlastConfig::ethernet_10mb(),
+            stability_timeout: SimDuration::from_millis(500),
+            lazy_apply_delay: SimDuration::from_millis(50),
+            flush_delay: SimDuration::from_millis(30),
+            local_read: SimDuration::from_millis(2),
+            lru_keep: SimDuration::from_secs(300),
+            seed: 0xDECE17,
+            trace: true,
+            opt_piggyback_acquire: false,
+            opt_forward_small: false,
+            forward_small_threshold: 4096,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A configuration with deterministic fixed network latency, used by
+    /// tests that assert exact timings.
+    pub fn deterministic() -> Self {
+        ClusterConfig {
+            latency: LatencyModel::Fixed(SimDuration::from_millis(2)),
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// Sets the seed, builder-style.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disables tracing, builder-style (for benchmarks).
+    pub fn without_trace(mut self) -> Self {
+        self.trace = false;
+        self
+    }
+
+    /// Enables both §3.3 token-protocol optimizations, builder-style.
+    pub fn with_token_optimizations(mut self) -> Self {
+        self.opt_piggyback_acquire = true;
+        self.opt_forward_small = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ClusterConfig::default();
+        assert!(c.stability_timeout > c.lazy_apply_delay, "stabilize after apply");
+        assert!(c.trace);
+    }
+
+    #[test]
+    fn token_optimizations_default_off() {
+        // §3.3: "Deceit currently uses neither of these optimizations."
+        let c = ClusterConfig::default();
+        assert!(!c.opt_piggyback_acquire);
+        assert!(!c.opt_forward_small);
+        let on = ClusterConfig::default().with_token_optimizations();
+        assert!(on.opt_piggyback_acquire && on.opt_forward_small);
+    }
+
+    #[test]
+    fn builders() {
+        let c = ClusterConfig::deterministic().with_seed(9).without_trace();
+        assert_eq!(c.seed, 9);
+        assert!(!c.trace);
+        assert_eq!(c.latency, LatencyModel::Fixed(SimDuration::from_millis(2)));
+    }
+}

@@ -1,0 +1,85 @@
+//! Deferred actions driven by the cluster's event queue.
+
+use deceit_net::NodeId;
+
+use crate::ops::UpdateRecord;
+use crate::server::ReplicaKey;
+
+/// One pending deferred action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pending {
+    /// Apply a received update at a replica (write-behind propagation: the
+    /// replica acknowledged receipt at broadcast time and applies here).
+    ApplyUpdate {
+        /// Server applying the update.
+        server: NodeId,
+        /// Replica (segment, major) the update belongs to.
+        key: ReplicaKey,
+        /// The update itself.
+        update: UpdateRecord,
+    },
+    /// Flush a server's asynchronously written local state to disk.
+    FlushServer {
+        /// Server to flush.
+        server: NodeId,
+    },
+    /// Check whether the write stream on a file has gone quiet and, if so,
+    /// mark the group stable (§3.4).
+    StabilizeCheck {
+        /// Token holder performing the check.
+        server: NodeId,
+        /// Replica (segment, major) under consideration.
+        key: ReplicaKey,
+        /// Write-stream epoch at scheduling time; a newer write bumps the
+        /// epoch and invalidates this check.
+        epoch: u64,
+    },
+    /// Background replica generation via blast transfer (§3.1).
+    GenerateReplica {
+        /// Token holder driving the generation.
+        holder: NodeId,
+        /// Replica (segment, major) to copy.
+        key: ReplicaKey,
+        /// Destination server.
+        target: NodeId,
+    },
+}
+
+impl Pending {
+    /// The server whose crash would cancel this action.
+    pub fn owner(&self) -> NodeId {
+        match self {
+            Pending::ApplyUpdate { server, .. }
+            | Pending::FlushServer { server }
+            | Pending::StabilizeCheck { server, .. } => *server,
+            Pending::GenerateReplica { holder, .. } => *holder,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::WriteOp;
+    use crate::server::SegmentId;
+    use crate::version::VersionPair;
+
+    #[test]
+    fn owner_identifies_cancellation_target() {
+        let key = (SegmentId(1), 0u64);
+        let apply = Pending::ApplyUpdate {
+            server: NodeId(3),
+            key,
+            update: UpdateRecord {
+                new_version: VersionPair { major: 0, sub: 1 },
+                op: WriteOp::Truncate(0),
+            },
+        };
+        assert_eq!(apply.owner(), NodeId(3));
+        assert_eq!(Pending::FlushServer { server: NodeId(1) }.owner(), NodeId(1));
+        assert_eq!(
+            Pending::GenerateReplica { holder: NodeId(2), key, target: NodeId(4) }.owner(),
+            NodeId(2)
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Segment operations.
+//!
+//! §5.1: "The interface to the segment server consists of five normal
+//! procedure calls: create, delete, read, write, and setparam. … Write
+//! modifies a segment by replacing, appending, or truncating data in the
+//! segment."
+
+use bytes::Bytes;
+
+use deceit_storage::SegmentData;
+
+use crate::params::FileParams;
+use crate::version::VersionPair;
+
+/// One mutation of a segment, distributed to the file group as an update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Replace the entire contents ("files tend to be written … in their
+    /// entirety", §2.3 — the common case).
+    Replace(Vec<u8>),
+    /// Replace bytes starting at an offset, extending as needed.
+    WriteAt {
+        /// Byte offset of the first written byte.
+        offset: usize,
+        /// The bytes to write.
+        data: Vec<u8>,
+    },
+    /// Append at the current end of segment.
+    Append(Vec<u8>),
+    /// Truncate (or zero-extend) to an exact length.
+    Truncate(usize),
+    /// Replace the semantic parameters (the `setparam` call; distributed
+    /// through the same ordered-update machinery so every replica agrees
+    /// on the parameters in effect).
+    SetParams(FileParams),
+}
+
+impl WriteOp {
+    /// Convenience constructor for [`WriteOp::Replace`].
+    pub fn replace(data: &[u8]) -> Self {
+        WriteOp::Replace(data.to_vec())
+    }
+
+    /// Convenience constructor for [`WriteOp::Append`].
+    pub fn append(data: &[u8]) -> Self {
+        WriteOp::Append(data.to_vec())
+    }
+
+    /// Convenience constructor for [`WriteOp::WriteAt`].
+    pub fn write_at(offset: usize, data: &[u8]) -> Self {
+        WriteOp::WriteAt { offset, data: data.to_vec() }
+    }
+
+    /// Applies the mutation to a replica's contents and parameters.
+    pub fn apply(&self, data: &mut SegmentData, params: &mut FileParams) {
+        match self {
+            WriteOp::Replace(bytes) => data.replace(bytes),
+            WriteOp::WriteAt { offset, data: bytes } => data.write(*offset, bytes),
+            WriteOp::Append(bytes) => data.append(bytes),
+            WriteOp::Truncate(len) => data.truncate(*len),
+            WriteOp::SetParams(p) => *params = *p,
+        }
+    }
+
+    /// Payload size on the wire, for network accounting.
+    pub fn wire_size(&self) -> usize {
+        16 + match self {
+            WriteOp::Replace(b) | WriteOp::Append(b) => b.len(),
+            WriteOp::WriteAt { data, .. } => data.len(),
+            WriteOp::Truncate(_) => 0,
+            WriteOp::SetParams(_) => crate::params::PARAMS_WIRE_SIZE,
+        }
+    }
+
+    /// Bytes written to local storage when applied (approximation used for
+    /// disk-latency accounting).
+    pub fn disk_size(&self) -> usize {
+        self.wire_size()
+    }
+}
+
+/// One update as shipped to the file group: the mutation plus the version
+/// pair it produces. The new subversion number doubles as the total-order
+/// sequence number within a major (§3.5: "v2 is incremented on every
+/// update"), so replicas can apply updates in identical order regardless
+/// of token movement (§3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateRecord {
+    /// The version pair the segment carries after this update.
+    pub new_version: VersionPair,
+    /// The mutation itself.
+    pub op: WriteOp,
+}
+
+/// The result of a read: data plus the version pair it was served at.
+///
+/// §5.1: "A read call not only returns data, but it also returns the
+/// version pair associated with that data" — the foundation of the
+/// optimistic concurrency mechanism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadData {
+    /// The bytes read.
+    pub data: Bytes,
+    /// Version pair of the replica served.
+    pub version: VersionPair,
+    /// Total length of the segment at serve time.
+    pub segment_len: usize,
+    /// Which server's replica satisfied the read (after any forwarding).
+    pub served_by: deceit_net::NodeId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> (SegmentData, FileParams) {
+        (SegmentData::new(), FileParams::default())
+    }
+
+    #[test]
+    fn replace_apply() {
+        let (mut d, mut p) = fresh();
+        WriteOp::replace(b"abc").apply(&mut d, &mut p);
+        assert_eq!(&d.contents()[..], b"abc");
+        WriteOp::replace(b"z").apply(&mut d, &mut p);
+        assert_eq!(&d.contents()[..], b"z");
+    }
+
+    #[test]
+    fn write_at_and_append_apply() {
+        let (mut d, mut p) = fresh();
+        WriteOp::append(b"hello").apply(&mut d, &mut p);
+        WriteOp::write_at(0, b"J").apply(&mut d, &mut p);
+        assert_eq!(&d.contents()[..], b"Jello");
+        WriteOp::Truncate(2).apply(&mut d, &mut p);
+        assert_eq!(&d.contents()[..], b"Je");
+    }
+
+    #[test]
+    fn set_params_applies_to_params_only() {
+        let (mut d, mut p) = fresh();
+        d.append(b"x");
+        let newp = FileParams { min_replicas: 3, ..FileParams::default() };
+        WriteOp::SetParams(newp).apply(&mut d, &mut p);
+        assert_eq!(p.min_replicas, 3);
+        assert_eq!(d.len(), 1, "data untouched");
+    }
+
+    #[test]
+    fn wire_size_tracks_payload() {
+        assert_eq!(WriteOp::replace(b"1234").wire_size(), 20);
+        assert_eq!(WriteOp::Truncate(99).wire_size(), 16);
+        assert!(WriteOp::SetParams(FileParams::default()).wire_size() > 16);
+    }
+}

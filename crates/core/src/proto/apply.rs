@@ -1,0 +1,51 @@
+//! Deferred-event handlers.
+
+use deceit_isis::SequencedMsg;
+use deceit_sim::SimTime;
+
+use crate::cluster::Cluster;
+use crate::event::Pending;
+
+impl Cluster {
+    /// Dispatches one due event. `at` is the event's scheduled time; the
+    /// cluster clock has already been advanced to at least `at`.
+    pub(crate) fn handle_event(&mut self, _at: SimTime, ev: Pending) {
+        match ev {
+            Pending::ApplyUpdate { server, key, update } => {
+                if !self.net.is_up(server) {
+                    return;
+                }
+                if !self.server(server).replicas.contains(&key) {
+                    return; // replica deleted while the update was in flight
+                }
+                // Route through the ordered-delivery buffer so updates
+                // apply in identical order regardless of arrival (§3.3).
+                let msg = SequencedMsg { seq: update.new_version.sub, payload: update };
+                let deliverable = self.server_mut(server).receiver_for(key).receive(msg);
+                for (_, upd) in deliverable {
+                    self.apply_update_at(server, key, &upd, false);
+                }
+                self.schedule_flush(server);
+                self.stats.incr("core/applies/remote");
+            }
+            Pending::FlushServer { server } => {
+                if !self.net.is_up(server) {
+                    return;
+                }
+                let s = self.server_mut(server);
+                let mut cost = s.replicas.flush_all();
+                cost += s.tokens.flush_all();
+                self.stats.record_duration("disk/flush_cost", cost);
+            }
+            Pending::StabilizeCheck { server, key, epoch } => {
+                self.stabilize_check(server, key, epoch);
+            }
+            Pending::GenerateReplica { holder, key, target } => {
+                if !self.net.is_up(holder) {
+                    return;
+                }
+                self.generate_replica_now(holder, key, target);
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Segment lifecycle: create and delete (§5.1).
+
+use deceit_isis::broadcast_round;
+use deceit_net::NodeId;
+use deceit_sim::SimDuration;
+
+use crate::cluster::{group_name, Cluster, OpResult};
+use crate::error::{DeceitError, DeceitResult};
+use crate::params::FileParams;
+use crate::replica::Replica;
+use crate::server::SegmentId;
+use crate::token::WriteToken;
+use crate::version::VersionPair;
+
+impl Cluster {
+    /// Creates a new zero-length segment via server `via` ("Create has no
+    /// arguments and simply returns a handle for a new segment of zero
+    /// length", §5.1).
+    ///
+    /// The creating server becomes the first replica holder and the write
+    /// token holder; the file group is created with it as sole member.
+    pub fn create(&mut self, via: NodeId) -> DeceitResult<OpResult<SegmentId>> {
+        self.create_with_params(via, FileParams::default())
+    }
+
+    /// Creates a segment with explicit initial parameters.
+    pub fn create_with_params(
+        &mut self,
+        via: NodeId,
+        params: FileParams,
+    ) -> DeceitResult<OpResult<SegmentId>> {
+        self.client_op(via, |c| {
+            let seg = c.alloc_segment();
+            let major = c.alloc_major();
+            let now = c.now();
+            let key = (seg, major);
+            let replica = Replica::new(major, params, now);
+            let token = WriteToken::new(VersionPair::initial(major), via);
+            // Replica metadata and token state are non-volatile (§3.5);
+            // the handle map entry is implicit in the disk key.
+            let mut latency = SimDuration::ZERO;
+            latency += c.cfg.disk.write_cost(replica.data.len() + 64);
+            c.server_mut(via).replicas.put_sync(key, replica);
+            c.server_mut(via).tokens.put_sync(key, token);
+            let gid = c
+                .groups
+                .create(&group_name(seg), via)
+                .expect("fresh segment name cannot collide");
+            c.server_mut(via).group_cache.insert(seg, gid);
+            c.branch_table(seg); // materialize an empty history tree
+            c.stats.incr("core/creates");
+            // Replication beyond one replica happens when the user raises
+            // min_replicas (method 2) — default params need nothing more.
+            if params.min_replicas > 1 {
+                c.schedule_min_replica_fill(via, key);
+            }
+            Ok((seg, latency))
+        })
+    }
+
+    /// Deletes a segment: every reachable replica and token is destroyed
+    /// and the file group dissolved ("Delete takes a segment handle and
+    /// deletes all storage allocated for it", §5.1).
+    ///
+    /// Unreachable replica holders garbage-collect their stale replicas
+    /// when they next recover (the cluster remembers deleted segments the
+    /// way real servers keep deletion records in their handle maps).
+    pub fn delete(&mut self, via: NodeId, seg: SegmentId) -> DeceitResult<OpResult<()>> {
+        self.client_op(via, |c| {
+            let (gid, mut latency) = c.locate_group(via, seg);
+            let has_any = c.server(via).has_segment(seg) || gid.is_some();
+            if !has_any {
+                return Err(DeceitError::NoSuchSegment(seg));
+            }
+            // One round to the file group: destroy replicas and tokens.
+            if let Some(gid) = gid {
+                let members: Vec<NodeId> = c
+                    .groups
+                    .view(gid)
+                    .map(|v| v.members.iter().copied().collect())
+                    .unwrap_or_default();
+                let outcome =
+                    broadcast_round(&mut c.net, via, members.clone(), 40, 16, "delete");
+                latency += outcome.full_latency();
+                for m in members {
+                    if m != via && !outcome.heard_from(m) {
+                        continue; // unreachable: cleaned up at recovery
+                    }
+                    c.destroy_segment_at(m, seg);
+                    let _ = c.groups.leave(gid, m);
+                }
+            } else {
+                c.destroy_segment_at(via, seg);
+            }
+            c.deleted.insert(seg);
+            c.stats.incr("core/deletes");
+            Ok(((), latency))
+        })
+    }
+
+    /// Removes every local replica and token of `seg` at `server`.
+    pub(crate) fn destroy_segment_at(&mut self, server: NodeId, seg: SegmentId) {
+        let keys: Vec<_> = self
+            .server(server)
+            .replicas
+            .keys()
+            .filter(|(s, _)| *s == seg)
+            .copied()
+            .collect();
+        for k in keys {
+            self.server_mut(server).replicas.delete_sync(&k);
+            self.server_mut(server).tokens.delete_sync(&k);
+            self.server_mut(server).receivers.remove(&k);
+            self.server_mut(server).streams.remove(&k);
+        }
+        self.server_mut(server).group_cache.remove(&seg);
+    }
+}

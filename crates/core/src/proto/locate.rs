@@ -1,0 +1,124 @@
+//! File-group location and membership.
+//!
+//! §3.2: "a server needs to join a file group before it is allowed to
+//! broadcast an update to, or have a replica of, that file. Joining a file
+//! group is an expensive operation and may require a global search to find
+//! a member of the group. This operation is one of the main obstacles to
+//! scaling Deceit to an arbitrary size. Deceit limits global search to
+//! within a Deceit cell."
+
+use deceit_isis::{broadcast_round, GroupId};
+use deceit_net::NodeId;
+use deceit_sim::SimDuration;
+
+use crate::cluster::{group_name, Cluster};
+use crate::error::{DeceitError, DeceitResult};
+use crate::server::{ReplicaKey, SegmentId};
+
+impl Cluster {
+    /// Finds the file group of `seg` from `via`'s vantage point.
+    ///
+    /// Consults the volatile location cache first; on a miss performs the
+    /// global search — a broadcast to every server in the cell — and
+    /// caches the answer. Returns the group (if any member is reachable)
+    /// and the time spent searching.
+    pub(crate) fn locate_group(
+        &mut self,
+        via: NodeId,
+        seg: SegmentId,
+    ) -> (Option<GroupId>, SimDuration) {
+        // Cache hit: verify the group still exists.
+        if let Some(&gid) = self.servers[via.index()].group_cache.get(&seg) {
+            if self.groups.view(gid).is_ok() {
+                self.stats.incr("locate/cache_hits");
+                return (Some(gid), SimDuration::ZERO);
+            }
+            self.servers[via.index()].group_cache.remove(&seg);
+        }
+        // Local membership counts as knowledge.
+        let gid = self.groups.lookup(&group_name(seg));
+        if let Some(gid) = gid {
+            if self.groups.view(gid).map(|v| v.contains(via)).unwrap_or(false) {
+                self.servers[via.index()].group_cache.insert(seg, gid);
+                return (Some(gid), SimDuration::ZERO);
+            }
+        }
+        // Global search: one round to every other server in the cell.
+        self.stats.incr("locate/global_searches");
+        let others: Vec<NodeId> =
+            self.server_ids().into_iter().filter(|&s| s != via).collect();
+        let outcome = broadcast_round(&mut self.net, via, others, 32, 16, "locate");
+        let latency = outcome.full_latency();
+        let found = gid.filter(|&g| {
+            // Only learnable if some member actually answered the search.
+            self.groups
+                .view(g)
+                .map(|v| v.members.iter().any(|m| *m == via || outcome.heard_from(*m)))
+                .unwrap_or(false)
+        });
+        if let Some(g) = found {
+            self.servers[via.index()].group_cache.insert(seg, g);
+        }
+        (found, latency)
+    }
+
+    /// Ensures `node` is a member of `gid`, charging the view-change round
+    /// if it has to join. Returns the time spent.
+    pub(crate) fn ensure_member(&mut self, gid: GroupId, node: NodeId) -> SimDuration {
+        let Ok(view) = self.groups.view(gid) else {
+            return SimDuration::ZERO;
+        };
+        if view.contains(node) {
+            return SimDuration::ZERO;
+        }
+        // Atomic membership change: one GBCAST round to the current view.
+        let members: Vec<NodeId> = view.members.iter().copied().collect();
+        let outcome = broadcast_round(&mut self.net, node, members, 48, 16, "view-change");
+        let _ = self.groups.join(gid, node);
+        self.stats.incr("groups/joins");
+        outcome.full_latency()
+    }
+
+    /// Resolves which replica key (segment, major) an operation on `seg`
+    /// addresses: an explicit major, or the most recent version visible
+    /// from `via` (§3.5: "By using an unqualified filename, the user
+    /// automatically requests the most recent available version").
+    pub(crate) fn resolve_key(
+        &mut self,
+        via: NodeId,
+        seg: SegmentId,
+        major: Option<u64>,
+    ) -> DeceitResult<(ReplicaKey, SimDuration)> {
+        let mut latency = SimDuration::ZERO;
+        if let Some(m) = major {
+            let key = (seg, m);
+            if self.servers[via.index()].replicas.contains(&key)
+                || !self.reachable_replica_holders(via, key).is_empty()
+            {
+                return Ok(((seg, m), latency));
+            }
+            return Err(DeceitError::NoSuchVersion(seg, m));
+        }
+        // Prefer local knowledge; otherwise search the group.
+        let local = self.servers[via.index()].latest_major(seg);
+        let (gid, search_latency) = self.locate_group(via, seg);
+        latency += search_latency;
+        let mut best = local;
+        if let Some(gid) = gid {
+            if let Ok(view) = self.groups.view(gid) {
+                for m in view.members.clone() {
+                    if !self.net.reachable(via, m) {
+                        continue;
+                    }
+                    if let Some(remote) = self.servers[m.index()].latest_major(seg) {
+                        best = Some(best.map_or(remote, |b| b.max(remote)));
+                    }
+                }
+            }
+        }
+        match best {
+            Some(m) => Ok(((seg, m), latency)),
+            None => Err(DeceitError::NoSuchSegment(seg)),
+        }
+    }
+}

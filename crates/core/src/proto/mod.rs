@@ -1,0 +1,30 @@
+//! The Deceit protocols, as operations on a [`crate::Cluster`].
+//!
+//! Each submodule implements one protocol family from the paper:
+//!
+//! * [`lifecycle`] — segment create/delete (§5.1).
+//! * [`locate`] — file-group location, the global-search cost of §3.2.
+//! * [`token`] — write-token acquisition and generation (§3.3, §3.5).
+//! * [`mod@write`] — update distribution with write-safety reply collection
+//!   (§3.2–3.4, §4).
+//! * [`read`] — local reads, forwarding, and the stable-replica search
+//!   (§2.1, §3.4, §3.6).
+//! * [`stability`] — stability notification (§3.4).
+//! * [`replicate`] — replica generation (all four §3.1 methods), LRU
+//!   deletion of extras, and migration.
+//! * [`recovery`] — crash recovery and partition reconciliation (§3.6).
+//! * [`commands`] — the special user commands (§2.1): list versions,
+//!   locate replicas, explicit replica placement, version deletion.
+//! * [`apply`] — the deferred-event handlers (propagation, flushing,
+//!   stabilize checks, background generation).
+
+pub mod apply;
+pub mod commands;
+pub mod lifecycle;
+pub mod locate;
+pub mod read;
+pub mod recovery;
+pub mod replicate;
+pub mod stability;
+pub mod token;
+pub mod write;

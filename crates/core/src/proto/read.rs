@@ -1,0 +1,275 @@
+//! Reads: local service, forwarding, and the stable-replica search.
+//!
+//! §2.1: "If a client request arrives for a file at a server which does
+//! not have that file, the request is automatically forwarded to a server
+//! that has the file. The reply is propagated backwards along the same
+//! path." §3.4: while a file is unstable, "all file reads and inquiries
+//! are forwarded to the token holder." §3.6 defines the recovery read
+//! path when the token holder is unreachable.
+
+use deceit_isis::broadcast_round;
+use deceit_net::NodeId;
+use deceit_sim::SimDuration;
+
+use crate::cluster::{Cluster, OpResult};
+use crate::error::{DeceitError, DeceitResult};
+use crate::event::Pending;
+use crate::ops::ReadData;
+use crate::replica::ReplicaState;
+use crate::server::{ReplicaKey, SegmentId};
+use crate::trace_events::ProtocolEvent;
+
+impl Cluster {
+    /// Reads `count` bytes at `offset` from a segment via server `via`.
+    ///
+    /// `major` selects an explicit version (the `foo;3` syntax of §3.5);
+    /// `None` reads the most recent available version.
+    pub fn read(
+        &mut self,
+        via: NodeId,
+        seg: SegmentId,
+        major: Option<u64>,
+        offset: usize,
+        count: usize,
+    ) -> DeceitResult<OpResult<ReadData>> {
+        self.client_op(via, |c| c.do_read(via, seg, major, offset, count))
+    }
+
+    fn do_read(
+        &mut self,
+        via: NodeId,
+        seg: SegmentId,
+        major: Option<u64>,
+        offset: usize,
+        count: usize,
+    ) -> DeceitResult<(ReadData, SimDuration)> {
+        let (key, mut latency) = self.resolve_key(via, seg, major)?;
+
+        if self.server(via).replicas.contains(&key) {
+            let state = self.server(via).replicas.get(&key).map(|r| r.state).unwrap();
+            match state {
+                ReplicaState::Stable => {
+                    latency += self.cfg.local_read;
+                    let data = self.serve_local(via, key, offset, count);
+                    self.stats.incr("core/reads/local");
+                    return Ok((data, latency));
+                }
+                ReplicaState::Unstable => {
+                    // Forward to the token holder (§3.4).
+                    return self.forward_to_token_holder(via, key, offset, count, latency);
+                }
+            }
+        }
+
+        // No local replica: forward to a reachable replica holder (§2.1),
+        // preferring a stable one.
+        let holders = self.reachable_replica_holders(via, key);
+        let target = holders
+            .iter()
+            .copied()
+            .filter(|&h| h != via)
+            .find(|&h| {
+                self.server(h)
+                    .replicas
+                    .get(&key)
+                    .map(|r| r.is_stable())
+                    .unwrap_or(false)
+            })
+            .or_else(|| holders.into_iter().find(|&h| h != via));
+        let Some(target) = target else {
+            return Err(DeceitError::Unavailable(seg));
+        };
+
+        // §3.1 method 4: migration — grow a local replica in the
+        // background to speed future reads, whichever path serves this
+        // request.
+        let params = self.params_of(target, key);
+        if params.migration {
+            let at = self.now() + SimDuration::from_millis(1);
+            self.events
+                .push(at, Pending::GenerateReplica { holder: target, key, target: via });
+        }
+
+        // Forwarding servers join the file group and cache location
+        // information (§3.2: the group includes servers that "cache only
+        // timestamps or mode bits") — unless the file is in the §7
+        // read-optimized mode, which keeps the reader population out of
+        // the group so hot files do not inflate their update cost.
+        if let Some((gid, _)) = self.group_members(seg) {
+            if !params.read_optimized {
+                self.ensure_member(gid, via);
+            }
+            self.server_mut(via).group_cache.insert(seg, gid);
+        }
+
+        // If the target's copy is unstable the chain continues to the
+        // token holder from there.
+        let target_unstable = self
+            .server(target)
+            .replicas
+            .get(&key)
+            .map(|r| !r.is_stable())
+            .unwrap_or(false);
+        if target_unstable {
+            return self.forward_to_token_holder(via, key, offset, count, latency);
+        }
+
+        let rtt = self.round_trip(via, target, 32, count.min(8 * 1024))?;
+        latency += rtt + self.cfg.local_read;
+        let data = self.serve_local(target, key, offset, count);
+        self.stats.incr("core/reads/forwarded");
+        self.emit(ProtocolEvent::ReadForwarded { seg, from: via, to: target });
+
+        Ok((data, latency))
+    }
+
+    /// Forwards a read to the token holder of `key`; if no token holder is
+    /// reachable, falls back to the stable-replica search of §3.6.
+    fn forward_to_token_holder(
+        &mut self,
+        via: NodeId,
+        key: ReplicaKey,
+        offset: usize,
+        count: usize,
+        mut latency: SimDuration,
+    ) -> DeceitResult<(ReadData, SimDuration)> {
+        let holder = self
+            .server_ids()
+            .into_iter()
+            .find(|&s| self.server(s).holds_token(key) && self.net.reachable(via, s));
+        match holder {
+            Some(h) if h == via => {
+                latency += self.cfg.local_read;
+                let data = self.serve_local(via, key, offset, count);
+                self.stats.incr("core/reads/local");
+                Ok((data, latency))
+            }
+            Some(h) => {
+                let rtt = self.round_trip(via, h, 32, count.min(8 * 1024))?;
+                latency += rtt + self.cfg.local_read;
+                let data = self.serve_local(h, key, offset, count);
+                self.stats.incr("core/reads/forwarded_unstable");
+                self.emit(ProtocolEvent::ReadForwarded { seg: key.0, from: via, to: h });
+                Ok((data, latency))
+            }
+            None => self.stable_replica_search(via, key, offset, count, latency),
+        }
+    }
+
+    /// §3.6 ("Stability Notification in the Presence of Failure"):
+    /// "In order to respond to a read, s must locate a stable replica. s
+    /// produces a stable replica by broadcasting to f's file group to
+    /// determine the state of all available replicas. If there is a stable
+    /// replica at server s', the operation is forwarded to s'. If no
+    /// replica is marked as stable, s forces the most up to date replica
+    /// to be stable, and all obsolete replicas are destroyed."
+    fn stable_replica_search(
+        &mut self,
+        via: NodeId,
+        key: ReplicaKey,
+        offset: usize,
+        count: usize,
+        mut latency: SimDuration,
+    ) -> DeceitResult<(ReadData, SimDuration)> {
+        self.stats.incr("core/reads/stable_search");
+        let members: Vec<NodeId> = self
+            .group_members(key.0)
+            .map(|(_, m)| m)
+            .unwrap_or_else(|| self.all_replica_holders(key));
+        let outcome = broadcast_round(&mut self.net, via, members, 40, 24, "state-inquiry");
+        latency += outcome.full_latency();
+
+        let mut available: Vec<(NodeId, crate::version::VersionPair, ReplicaState)> = Vec::new();
+        for (m, _) in &outcome.replies {
+            if let Some(r) = self.server(*m).replicas.get(&key) {
+                available.push((*m, r.version, r.state));
+            }
+        }
+        if self.server(via).replicas.contains(&key) && !outcome.heard_from(via) {
+            let r = self.server(via).replicas.get(&key).unwrap();
+            available.push((via, r.version, r.state));
+        }
+        if available.is_empty() {
+            return Err(DeceitError::Unavailable(key.0));
+        }
+
+        let serve_from = if let Some((m, _, _)) =
+            available.iter().find(|(_, _, st)| *st == ReplicaState::Stable)
+        {
+            *m
+        } else {
+            // Force the most up-to-date replica stable; destroy obsolete
+            // ones.
+            let (best, best_version, _) =
+                *available.iter().max_by_key(|(_, v, _)| (v.sub, v.major)).unwrap();
+            self.set_replica_state(best, key, ReplicaState::Stable);
+            for (m, v, _) in &available {
+                if *m != best && *v != best_version {
+                    self.server_mut(*m).replicas.delete_sync(&key);
+                    self.server_mut(*m).receivers.remove(&key);
+                    self.emit(ProtocolEvent::ReplicaDeleted { seg: key.0, on: *m });
+                    self.stats.incr("core/replicas/destroyed_obsolete");
+                }
+            }
+            best
+        };
+
+        if serve_from != via {
+            let rtt = self.round_trip(via, serve_from, 32, count.min(8 * 1024))?;
+            latency += rtt;
+            self.emit(ProtocolEvent::ReadForwarded { seg: key.0, from: via, to: serve_from });
+        }
+        latency += self.cfg.local_read;
+        let data = self.serve_local(serve_from, key, offset, count);
+        Ok((data, latency))
+    }
+
+    /// Serves a read from a server's local replica, updating its access
+    /// time (LRU input).
+    pub(crate) fn serve_local(
+        &mut self,
+        server: NodeId,
+        key: ReplicaKey,
+        offset: usize,
+        count: usize,
+    ) -> ReadData {
+        let now = self.now();
+        let replica = self
+            .server(server)
+            .replicas
+            .get(&key)
+            .cloned()
+            .expect("serve_local requires a replica");
+        // Touch last-access without forcing a durable metadata write.
+        let mut touched = replica.clone();
+        touched.last_access = now;
+        self.server_mut(server).replicas.put_async(key, touched);
+        ReadData {
+            data: replica.data.read(offset, count),
+            version: replica.version,
+            segment_len: replica.data.len(),
+            served_by: server,
+        }
+    }
+
+    /// One request/response exchange between two servers.
+    pub(crate) fn round_trip(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        req_bytes: usize,
+        resp_bytes: usize,
+    ) -> DeceitResult<SimDuration> {
+        let out = self
+            .net
+            .send(from, to, req_bytes, "forward")
+            .latency()
+            .ok_or(DeceitError::PeerUnreachable(to))?;
+        let back = self
+            .net
+            .send(to, from, resp_bytes, "forward")
+            .latency()
+            .ok_or(DeceitError::PeerUnreachable(from))?;
+        Ok(out + back)
+    }
+}

@@ -1,0 +1,337 @@
+//! Crash recovery and partition reconciliation (§3.6).
+
+use deceit_net::NodeId;
+
+use crate::cluster::{Cluster, ConflictRecord};
+use crate::server::{ReplicaKey, SegmentId};
+use crate::trace_events::ProtocolEvent;
+use crate::version::VersionRelation;
+
+impl Cluster {
+    /// Brings a crashed server back and runs its recovery protocol.
+    ///
+    /// §3.6 "Non-token Replica Crash": "When a server s recovers from a
+    /// crash, it contacts the token holder for each file f such that s has
+    /// a replica but no token for f. … If s finds that it has an obsolete
+    /// replica of f, s destroys it."
+    ///
+    /// §3.6 "Token Crash": "When s' recovers, it will be notified about
+    /// the creation of the new version during its recovery protocol. s'
+    /// will note that the new version is a direct descendent of the old
+    /// version and destroy the old version and all of its replicas."
+    pub fn recover_server(&mut self, id: NodeId) {
+        self.net.recover(id);
+        self.stats.incr("cluster/recoveries");
+
+        // Garbage-collect replicas of segments deleted while down (the
+        // handle map records deletions; §2.1 file handles stay valid only
+        // "as long as a replica of the file exists").
+        let stale: Vec<SegmentId> = self
+            .server(id)
+            .replicas
+            .keys()
+            .map(|(s, _)| *s)
+            .filter(|s| self.deleted.contains(s))
+            .collect();
+        for seg in stale {
+            self.destroy_segment_at(id, seg);
+        }
+
+        let keys: Vec<ReplicaKey> = self.server(id).replicas.keys().copied().collect();
+        for key in keys {
+            if self.server(id).holds_token(key) {
+                self.recover_held_token(id, key);
+            } else {
+                self.recover_plain_replica(id, key);
+            }
+        }
+    }
+
+    /// Recovery for a replica without a local token.
+    fn recover_plain_replica(&mut self, id: NodeId, key: ReplicaKey) {
+        let my_version = match self.server(id).replicas.get(&key) {
+            Some(r) => r.version,
+            None => return,
+        };
+        let (seg, _) = key;
+
+        // Contact the token holder for this version.
+        if let Some(holder) = self.find_reachable_token_holder(id, key) {
+            let token_version =
+                self.server(holder).tokens.get(&key).map(|t| t.version).unwrap();
+            let table = self.branch_table(seg).clone();
+            match table.relation(my_version, token_version) {
+                VersionRelation::Equal => {
+                    // Up to date: rejoin the group.
+                    if let Some((gid, _)) = self.group_members(seg) {
+                        self.ensure_member(gid, id);
+                    }
+                }
+                VersionRelation::Ancestor => {
+                    // Obsolete: destroy; "no update will be lost" since our
+                    // history is a prefix of the token's.
+                    self.destroy_replica(id, key);
+                    self.remove_from_holders(holder, key, id);
+                    // The holder may now be under-replicated.
+                    self.schedule_min_replica_fill(holder, key);
+                }
+                VersionRelation::Descendant | VersionRelation::Incomparable => {
+                    // The token holder is *behind* us or divergent — can
+                    // only happen after pathological failures ("Disastrous
+                    // Failure"); surface it as a conflict.
+                    self.log_conflict(seg, my_version.major, token_version.major);
+                }
+            }
+            return;
+        }
+
+        // No token holder for our major: a new version may have been
+        // created while we were down.
+        let others = self.newer_version_tokens(id, key.0, key.1);
+        for (other_major, relation) in others {
+            match relation {
+                VersionRelation::Ancestor => {
+                    // Our version is an ancestor of a live newer version:
+                    // destroy the old version (Token Crash scenario).
+                    self.destroy_replica(id, key);
+                    self.emit(ProtocolEvent::ObsoleteDestroyed {
+                        seg: key.0,
+                        on: id,
+                        major: key.1,
+                    });
+                    return;
+                }
+                VersionRelation::Incomparable => {
+                    self.log_conflict(key.0, key.1, other_major);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Recovery for a version whose token this server holds.
+    fn recover_held_token(&mut self, id: NodeId, key: ReplicaKey) {
+        let my_version = match self.server(id).tokens.get(&key) {
+            Some(t) => t.version,
+            None => return,
+        };
+        let others = self.newer_version_tokens(id, key.0, key.1);
+        for (other_major, relation) in others {
+            match relation {
+                VersionRelation::Ancestor => {
+                    // A descendant version was created while we were down:
+                    // destroy the old version and all of its replicas.
+                    let holders = self.all_replica_holders(key);
+                    for h in holders {
+                        if self.net.reachable(id, h) {
+                            self.destroy_replica(h, key);
+                        }
+                    }
+                    self.server_mut(id).tokens.delete_sync(&key);
+                    self.emit(ProtocolEvent::ObsoleteDestroyed {
+                        seg: key.0,
+                        on: id,
+                        major: key.1,
+                    });
+                    self.stats.incr("core/recovery/versions_destroyed");
+                    return;
+                }
+                VersionRelation::Incomparable => {
+                    // Concurrent updates on both sides of a partition
+                    // (§3.6 "the hard case"): both versions are kept and
+                    // the conflict is logged for the user.
+                    self.log_conflict(key.0, key.1, other_major);
+                }
+                _ => {}
+            }
+        }
+        let _ = my_version;
+    }
+
+    /// Heals-time reconciliation across the whole cell: every pair of
+    /// live tokens for the same segment is compared; obsolete ancestors
+    /// are destroyed ("It will appear to the clients as if the token had
+    /// actually been moved, and the updates were propagated very slowly"),
+    /// incomparable pairs are logged as conflicts.
+    pub(crate) fn reconcile_all(&mut self) {
+        let mut token_index: Vec<(SegmentId, u64, NodeId)> = Vec::new();
+        for s in self.server_ids() {
+            for key in self.server(s).tokens.keys() {
+                token_index.push((key.0, key.1, s));
+            }
+        }
+        token_index.sort();
+        for i in 0..token_index.len() {
+            for j in (i + 1)..token_index.len() {
+                let (seg_a, major_a, server_a) = token_index[i];
+                let (seg_b, major_b, server_b) = token_index[j];
+                if seg_a != seg_b || major_a == major_b {
+                    continue;
+                }
+                let va = match self.server(server_a).tokens.get(&(seg_a, major_a)) {
+                    Some(t) => t.version,
+                    None => continue, // destroyed earlier in this pass
+                };
+                let vb = match self.server(server_b).tokens.get(&(seg_b, major_b)) {
+                    Some(t) => t.version,
+                    None => continue,
+                };
+                let table = self.branch_table(seg_a).clone();
+                match table.relation(va, vb) {
+                    VersionRelation::Ancestor => {
+                        self.destroy_version_everywhere(server_a, (seg_a, major_a));
+                    }
+                    VersionRelation::Descendant => {
+                        self.destroy_version_everywhere(server_b, (seg_b, major_b));
+                    }
+                    VersionRelation::Incomparable => {
+                        self.log_conflict(seg_a, major_a, major_b);
+                    }
+                    VersionRelation::Equal => {}
+                }
+            }
+        }
+        // Second pass: replica currency. A partition acts like a crash for
+        // the servers cut off (§2.3); on heal each replica re-establishes
+        // contact with its token holder, the same way crash recovery does.
+        // A replica that lags the token — or cannot reach any holder to
+        // prove currency — is conservatively marked unstable, which routes
+        // reads through the stable-replica machinery (§3.4, §3.6). In ISIS
+        // terms this models the view change that excluded the partitioned
+        // member and the state transfer its rejoin requires.
+        let mut catchups: Vec<(NodeId, ReplicaKey)> = Vec::new();
+        for s in self.server_ids() {
+            if !self.net.is_up(s) {
+                continue;
+            }
+            for key in self.server(s).replicas.keys().copied().collect::<Vec<_>>() {
+                if self.server(s).holds_token(key) {
+                    continue;
+                }
+                let my_version = self.server(s).replicas.get(&key).unwrap().version;
+                match self.find_reachable_token_holder(s, key) {
+                    Some(h) => {
+                        let tv = self.server(h).tokens.get(&key).unwrap().version;
+                        let table = self.branch_table(key.0).clone();
+                        if table.is_ancestor(my_version, tv) {
+                            self.set_replica_state(
+                                s,
+                                key,
+                                crate::replica::ReplicaState::Unstable,
+                            );
+                            if !catchups.contains(&(h, key)) {
+                                catchups.push((h, key));
+                            }
+                        }
+                    }
+                    None => {
+                        // Cannot prove currency: may be inconsistent.
+                        self.set_replica_state(s, key, crate::replica::ReplicaState::Unstable);
+                    }
+                }
+            }
+        }
+        // Holders with lagging replicas and no active write stream run a
+        // stabilize round now, catching the laggards up by state transfer.
+        for (holder, key) in catchups {
+            let streaming = self
+                .server(holder)
+                .streams
+                .get(&key)
+                .map(|st| st.group_unstable)
+                .unwrap_or(false);
+            if !streaming {
+                self.mark_stable_round(holder, key);
+            }
+        }
+        self.stats.incr("cluster/reconciliations");
+    }
+
+    /// Destroys one version (token + all reachable replicas).
+    pub(crate) fn destroy_version_everywhere(&mut self, token_holder: NodeId, key: ReplicaKey) {
+        for h in self.all_replica_holders(key) {
+            if self.net.reachable(token_holder, h) {
+                self.destroy_replica(h, key);
+            }
+        }
+        self.server_mut(token_holder).tokens.delete_sync(&key);
+        self.emit(ProtocolEvent::ObsoleteDestroyed {
+            seg: key.0,
+            on: token_holder,
+            major: key.1,
+        });
+        self.stats.incr("core/recovery/versions_destroyed");
+    }
+
+    /// Removes one replica locally.
+    pub(crate) fn destroy_replica(&mut self, server: NodeId, key: ReplicaKey) {
+        self.server_mut(server).replicas.delete_sync(&key);
+        self.server_mut(server).receivers.remove(&key);
+        self.stats.incr("core/recovery/replicas_destroyed");
+    }
+
+    /// Drops `gone` from a token's holder set.
+    fn remove_from_holders(&mut self, holder: NodeId, key: ReplicaKey, gone: NodeId) {
+        if let Some(mut token) = self.server(holder).tokens.get(&key).cloned() {
+            token.holders.remove(&gone);
+            self.server_mut(holder).tokens.put_async(key, token);
+            self.schedule_flush(holder);
+        }
+    }
+
+    /// Finds a reachable server holding the token for exactly `key`.
+    pub(crate) fn find_reachable_token_holder(
+        &self,
+        from: NodeId,
+        key: ReplicaKey,
+    ) -> Option<NodeId> {
+        self.server_ids()
+            .into_iter()
+            .find(|&s| self.server(s).holds_token(key) && self.net.reachable(from, s))
+    }
+
+    /// Live tokens for other majors of `seg`, with each one's relation to
+    /// our version `(seg, my_major)`'s *token-or-replica* version.
+    fn newer_version_tokens(
+        &mut self,
+        from: NodeId,
+        seg: SegmentId,
+        my_major: u64,
+    ) -> Vec<(u64, VersionRelation)> {
+        let my_version = self
+            .server(from)
+            .tokens
+            .get(&(seg, my_major))
+            .map(|t| t.version)
+            .or_else(|| self.server(from).replicas.get(&(seg, my_major)).map(|r| r.version));
+        let Some(my_version) = my_version else {
+            return Vec::new();
+        };
+        let table = self.branch_table(seg).clone();
+        let mut out = Vec::new();
+        for s in self.server_ids() {
+            if !self.net.reachable(from, s) {
+                continue;
+            }
+            for key in self.server(s).tokens.keys().copied().collect::<Vec<_>>() {
+                if key.0 == seg && key.1 != my_major {
+                    let v = self.server(s).tokens.get(&key).unwrap().version;
+                    out.push((key.1, table.relation(my_version, v)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Records an incomparable-version conflict once per (segment, pair).
+    pub(crate) fn log_conflict(&mut self, seg: SegmentId, a: u64, b: u64) {
+        let majors = (a.min(b), a.max(b));
+        if self.conflicts.iter().any(|c| c.seg == seg && c.majors == majors) {
+            return;
+        }
+        let at = self.now();
+        self.conflicts.push(ConflictRecord { seg, majors, at });
+        self.stats.incr("core/conflicts");
+        self.emit(ProtocolEvent::ConflictLogged { seg, majors });
+    }
+}

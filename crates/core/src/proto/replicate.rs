@@ -1,0 +1,184 @@
+//! Replica generation and deletion (§3.1).
+//!
+//! "There are four ways that a replica can be generated:
+//! 1. The token holder t may lose contact with a replica … If the number
+//!    of replies drops below r, then t will create new replicas.
+//! 2. If the minimum replica level is increased, t will create new
+//!    replicas.
+//! 3. A user may request the token holder t to create or delete a replica
+//!    on a specific server with a special command.
+//! 4. A server may request that a replica be generated in order to improve
+//!    read performance \[migration\]."
+//!
+//! "Eventually, there may exist several unneeded replicas of a file. The
+//! token holder t will delete these extra replicas when an update occurs
+//! instead of updating them. They are deleted in least-recently-used
+//! order."
+
+use deceit_net::NodeId;
+use deceit_sim::SimDuration;
+
+use crate::cluster::Cluster;
+use crate::event::Pending;
+use crate::replica::Replica;
+use crate::server::ReplicaKey;
+use crate::trace_events::ProtocolEvent;
+
+impl Cluster {
+    /// Schedules background replica generation until `key` meets its
+    /// minimum replica level (methods 1 and 2; "as a background activity").
+    pub(crate) fn schedule_min_replica_fill(&mut self, holder: NodeId, key: ReplicaKey) {
+        let params = self.params_of(holder, key);
+        let current = self.reachable_replica_holders(holder, key);
+        if current.len() >= params.min_replicas {
+            return;
+        }
+        let deficit = params.min_replicas - current.len();
+        // Candidate servers: reachable, not yet holding a replica, lowest
+        // load first (ops served is the only load signal we keep).
+        let mut candidates: Vec<NodeId> = self
+            .server_ids()
+            .into_iter()
+            .filter(|&s| {
+                s != holder
+                    && self.net.reachable(holder, s)
+                    && !self.server(s).replicas.contains(&key)
+            })
+            .collect();
+        candidates.sort_by_key(|&s| (self.server(s).ops_served, s));
+        let at = self.now() + SimDuration::from_millis(1);
+        for target in candidates.into_iter().take(deficit) {
+            self.events.push(at, Pending::GenerateReplica { holder, key, target });
+        }
+    }
+
+    /// Synchronously fills the minimum replica level (used when the token
+    /// holder itself notices the deficit with no failure in sight — e.g.
+    /// right after the user raises the level, §3.1 method 2). Returns the
+    /// number of replicas generated.
+    pub(crate) fn fill_min_replicas_now(&mut self, holder: NodeId, key: ReplicaKey) -> usize {
+        let params = self.params_of(holder, key);
+        let mut generated = 0;
+        loop {
+            let current = self.reachable_replica_holders(holder, key);
+            if current.len() >= params.min_replicas {
+                return generated;
+            }
+            let candidate = self
+                .server_ids()
+                .into_iter()
+                .filter(|&s| {
+                    s != holder
+                        && self.net.reachable(holder, s)
+                        && !self.server(s).replicas.contains(&key)
+                })
+                .min_by_key(|&s| (self.server(s).ops_served, s));
+            let Some(target) = candidate else {
+                return generated; // not enough servers available
+            };
+            self.generate_replica_now(holder, key, target);
+            if !self.server(target).replicas.contains(&key) {
+                return generated; // generation failed; stop trying
+            }
+            generated += 1;
+        }
+    }
+
+    /// The deferred replica-generation handler: blast-transfers the file
+    /// from `holder` to `target` (§3.1: "Replicas are generated with a
+    /// file transfer protocol from an existing replica").
+    ///
+    /// "The token holder delays updates during replica generation to
+    /// prevent inconsistency" — in this simulation, generation executes
+    /// atomically between client operations, which realizes the same
+    /// exclusion.
+    pub(crate) fn generate_replica_now(
+        &mut self,
+        holder: NodeId,
+        key: ReplicaKey,
+        target: NodeId,
+    ) {
+        if !self.net.reachable(holder, target) {
+            self.stats.incr("core/replicas/generation_failed");
+            return;
+        }
+        let Some(src) = self.server(holder).replicas.get(&key).cloned() else {
+            return; // replica vanished (deleted or superseded)
+        };
+        if self.server(target).replicas.contains(&key) {
+            return; // raced with another fill
+        }
+        let blast = self.cfg.blast;
+        let Some(_xfer) = deceit_isis::xfer::transfer_state(
+            &mut self.net,
+            &blast,
+            holder,
+            target,
+            src.data.len() as u64,
+            "replica-xfer",
+        )
+        .duration() else {
+            self.stats.incr("core/replicas/generation_failed");
+            return;
+        };
+        let now = self.now();
+        let replica = Replica::cloned_from(&src, now);
+        self.server_mut(target).replicas.put_sync(key, replica);
+        self.server_mut(target).receivers.remove(&key);
+
+        // Register the new holder with the token holder's upper bound
+        // (§3.1: "All replica generation must be accomplished through the
+        // token holder, so that the token holder always has an upper bound
+        // on the total number of replicas").
+        if let Some(th) = self.find_reachable_token_holder(holder, key) {
+            if let Some(mut token) = self.server(th).tokens.get(&key).cloned() {
+                token.holders.insert(target);
+                self.server_mut(th).tokens.put_async(key, token);
+                self.schedule_flush(th);
+            }
+        }
+        if let Some((gid, _)) = self.group_members(key.0) {
+            self.ensure_member(gid, target);
+            self.server_mut(target).group_cache.insert(key.0, gid);
+        }
+        self.stats.incr("core/replicas/generated");
+        self.emit(ProtocolEvent::ReplicaGenerated { seg: key.0, on: target });
+    }
+
+    /// Deletes extra replicas in least-recently-used order at update time
+    /// (§3.1). A replica is "extra" when the count exceeds the minimum
+    /// replica level and it has not been accessed within the LRU window.
+    pub(crate) fn delete_extra_replicas(&mut self, holder: NodeId, key: ReplicaKey) {
+        let params = self.params_of(holder, key);
+        let holders = self.reachable_replica_holders(holder, key);
+        if holders.len() <= params.min_replicas {
+            return;
+        }
+        let now = self.now();
+        let cutoff = self.cfg.lru_keep;
+        // Candidates: not the token holder, idle beyond the window.
+        let mut idle: Vec<(deceit_sim::SimTime, NodeId)> = holders
+            .into_iter()
+            .filter(|&h| h != holder)
+            .filter_map(|h| {
+                let r = self.server(h).replicas.get(&key)?;
+                let idle_for = now.since(r.last_access);
+                (idle_for >= cutoff).then_some((r.last_access, h))
+            })
+            .collect();
+        idle.sort(); // oldest access first = LRU order
+        let holders_now = self.reachable_replica_holders(holder, key).len();
+        let deletable = holders_now.saturating_sub(params.min_replicas);
+        for (_, victim) in idle.into_iter().take(deletable) {
+            self.server_mut(victim).replicas.delete_sync(&key);
+            self.server_mut(victim).receivers.remove(&key);
+            if let Some(mut token) = self.server(holder).tokens.get(&key).cloned() {
+                token.holders.remove(&victim);
+                self.server_mut(holder).tokens.put_async(key, token);
+                self.schedule_flush(holder);
+            }
+            self.stats.incr("core/replicas/lru_deleted");
+            self.emit(ProtocolEvent::ReplicaDeleted { seg: key.0, on: victim });
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Stability notification (§3.4).
+//!
+//! "Deceit provides global one-copy serializability with a stability
+//! notification mechanism. Before a file can be modified, all members of
+//! the file group are notified that the file is unstable. All available
+//! replicas must be so notified before any updates can occur. … After
+//! stability notification, all file reads and inquiries are forwarded to
+//! the token holder. … After a short period of no write activity, the
+//! token holder notifies all other members of the group that the file is
+//! stable again."
+
+use deceit_isis::broadcast_round;
+use deceit_net::NodeId;
+use deceit_sim::SimDuration;
+
+use crate::cluster::Cluster;
+use crate::replica::ReplicaState;
+use crate::server::ReplicaKey;
+use crate::trace_events::ProtocolEvent;
+
+impl Cluster {
+    /// Marks the file group unstable before a write stream begins.
+    ///
+    /// This is the overhead "incurred at the beginning … of a stream of
+    /// updates" (§3.4): one full synchronous round — every available
+    /// replica must acknowledge before any update may be distributed.
+    pub(crate) fn mark_unstable_round(&mut self, holder: NodeId, key: ReplicaKey) -> SimDuration {
+        let members: Vec<NodeId> = self
+            .group_members(key.0)
+            .map(|(_, m)| m)
+            .unwrap_or_else(|| vec![holder]);
+        let remote: Vec<NodeId> = members.into_iter().filter(|&m| m != holder).collect();
+        let outcome = broadcast_round(&mut self.net, holder, remote, 40, 16, "mark-unstable");
+        let mut acks = 1; // the holder itself
+        for (m, _) in &outcome.replies {
+            if self.set_replica_state(*m, key, ReplicaState::Unstable) {
+                acks += 1;
+            }
+        }
+        self.set_replica_state(holder, key, ReplicaState::Unstable);
+        if let Some(stream) = self.server_mut(holder).streams.get_mut(&key) {
+            stream.group_unstable = true;
+        } else {
+            let s = crate::server::StreamState {
+                group_unstable: true,
+                ..Default::default()
+            };
+            self.server_mut(holder).streams.insert(key, s);
+        }
+        self.stats.incr("core/stability/unstable_rounds");
+        self.emit(ProtocolEvent::MarkedUnstable { seg: key.0, acks });
+        outcome.full_latency()
+    }
+
+    /// The deferred stabilize check: if the write stream has been quiet
+    /// for the stability timeout, mark the group stable again.
+    pub(crate) fn stabilize_check(&mut self, holder: NodeId, key: ReplicaKey, epoch: u64) {
+        if !self.net.is_up(holder) {
+            return;
+        }
+        let Some(stream) = self.server(holder).streams.get(&key).copied() else {
+            return;
+        };
+        // A newer write re-armed the timer; this check is stale.
+        if stream.epoch != epoch || !stream.group_unstable {
+            return;
+        }
+        if !self.server(holder).holds_token(key) {
+            return;
+        }
+        self.mark_stable_round(holder, key);
+    }
+
+    /// Marks every reachable, caught-up replica stable; laggards are
+    /// caught up with a state transfer first.
+    pub(crate) fn mark_stable_round(&mut self, holder: NodeId, key: ReplicaKey) {
+        let token_version = match self.server(holder).tokens.get(&key) {
+            Some(t) => t.version,
+            None => return,
+        };
+        let members: Vec<NodeId> = self
+            .group_members(key.0)
+            .map(|(_, m)| m)
+            .unwrap_or_else(|| vec![holder]);
+        let remote: Vec<NodeId> = members.into_iter().filter(|&m| m != holder).collect();
+        let outcome = broadcast_round(&mut self.net, holder, remote, 40, 16, "mark-stable");
+        for (m, _) in outcome.replies.clone() {
+            let Some(replica) = self.server(m).replicas.get(&key).cloned() else {
+                continue;
+            };
+            if replica.version == token_version {
+                self.set_replica_state(m, key, ReplicaState::Stable);
+            } else {
+                // Missed updates (e.g. unreachable during part of the
+                // stream): catch up from the primary, then stabilize.
+                let src = self.server(holder).replicas.get(&key).cloned();
+                if let Some(src) = src {
+                    let blast = self.cfg.blast;
+                    let _ = deceit_isis::xfer::transfer_state(
+                        &mut self.net,
+                        &blast,
+                        holder,
+                        m,
+                        src.data.len() as u64,
+                        "replica-xfer",
+                    );
+                    let now = self.now();
+                    let mut fresh = crate::replica::Replica::cloned_from(&src, now);
+                    fresh.state = ReplicaState::Stable;
+                    self.server_mut(m).replicas.put_sync(key, fresh);
+                    self.server_mut(m).receivers.remove(&key);
+                    self.stats.incr("core/stability/catchups");
+                }
+            }
+        }
+        self.set_replica_state(holder, key, ReplicaState::Stable);
+        if let Some(stream) = self.server_mut(holder).streams.get_mut(&key) {
+            stream.group_unstable = false;
+        }
+        self.stats.incr("core/stability/stable_rounds");
+        self.emit(ProtocolEvent::MarkedStable { seg: key.0 });
+    }
+
+    /// Sets a replica's stability marker (asynchronously durable — the
+    /// marker is metadata written behind, §3.5). Returns whether the
+    /// server held a replica.
+    pub(crate) fn set_replica_state(
+        &mut self,
+        server: NodeId,
+        key: ReplicaKey,
+        state: ReplicaState,
+    ) -> bool {
+        let Some(mut replica) = self.server(server).replicas.get(&key).cloned() else {
+            return false;
+        };
+        if replica.state != state {
+            replica.state = state;
+            self.server_mut(server).replicas.put_async(key, replica);
+            self.schedule_flush(server);
+        }
+        true
+    }
+}

@@ -1,0 +1,360 @@
+//! Write-token acquisition and generation.
+//!
+//! §3.3: "A server that lacks a token must acquire it before distributing
+//! an update for that file. Token acquisition requires one round. … To
+//! acquire a token, a server broadcasts a token request to that file
+//! group. The server that holds the token broadcasts a token pass in
+//! response."
+//!
+//! §3.5 ("Token Generation"): when no token is available, a new one may be
+//! generated subject to the file's write-availability policy; the new
+//! token carries a fresh globally unique major version number and
+//! "represents a distinct new file with a distinct set of replicas."
+
+use deceit_isis::broadcast_round;
+use deceit_net::NodeId;
+use deceit_sim::SimDuration;
+
+use crate::cluster::Cluster;
+use crate::error::{DeceitError, DeceitResult};
+use crate::params::{FileParams, WriteAvailability};
+use crate::replica::Replica;
+use crate::server::{ReplicaKey, SegmentId};
+use crate::token::WriteToken;
+use crate::trace_events::ProtocolEvent;
+use crate::version::VersionPair;
+
+impl Cluster {
+    /// Ensures `via` holds an enabled write token for the most recent
+    /// available version of `seg`, acquiring or generating one as needed.
+    ///
+    /// Returns the replica key the token governs (possibly a *new* major
+    /// if a token had to be generated) and the time spent.
+    pub fn ensure_token(
+        &mut self,
+        via: NodeId,
+        seg: SegmentId,
+    ) -> DeceitResult<(ReplicaKey, SimDuration)> {
+        self.ensure_token_for_write(via, seg, false)
+    }
+
+    /// [`Cluster::ensure_token`] with the §3.3 piggyback option: when
+    /// `piggyback` is set and this acquisition precedes an update, the
+    /// token request rides in the same message as the update broadcast,
+    /// so the request round costs nothing extra here.
+    pub(crate) fn ensure_token_for_write(
+        &mut self,
+        via: NodeId,
+        seg: SegmentId,
+        piggyback: bool,
+    ) -> DeceitResult<(ReplicaKey, SimDuration)> {
+        let (key, mut latency) = self.resolve_key(via, seg, None)?;
+
+        // Fast path: token already held (the stream-of-updates case the
+        // protocol is optimized for).
+        if self.server(via).holds_token(key) {
+            latency += self.check_token_enabled(via, key)?;
+            return Ok((key, latency));
+        }
+
+        // One token-request round to the file group (free when the request
+        // piggybacks on the update broadcast).
+        let (gid, search) = self.locate_group(via, seg);
+        latency += search;
+        let members: Vec<NodeId> = gid
+            .and_then(|g| self.groups.view(g).ok())
+            .map(|v| v.members.iter().copied().collect())
+            .unwrap_or_default();
+        let holder = if piggyback {
+            // Reachability still decides who can answer; no round charged.
+            self.stats.incr("core/token/piggybacked_acquisitions");
+            members
+                .iter()
+                .copied()
+                .find(|&m| self.net.reachable(via, m) && self.server(m).holds_token(key))
+        } else {
+            let outcome =
+                broadcast_round(&mut self.net, via, members.clone(), 40, 48, "token-request");
+            latency += outcome.full_latency();
+            let fd_outcome = outcome.clone();
+            self.server_mut(via).fd.observe_round(&fd_outcome);
+            members
+                .iter()
+                .copied()
+                .find(|&m| outcome.heard_from(m) && self.server(m).holds_token(key))
+        };
+
+        match holder {
+            Some(h) => {
+                latency += self.pass_token(h, via, key)?;
+                latency += self.check_token_enabled(via, key)?;
+                Ok((key, latency))
+            }
+            None => {
+                // Token loss (§3.6 "Token Crash" / "Partition"): generate a
+                // new token, policy permitting.
+                let (new_key, gen_latency) = self.generate_token(via, key)?;
+                latency += gen_latency;
+                Ok((new_key, latency))
+            }
+        }
+    }
+
+    /// Moves the token from `holder` to `to` (the "token pass" broadcast).
+    /// `to` becomes a replica holder, receiving the data if it lacks it.
+    pub(crate) fn pass_token(
+        &mut self,
+        holder: NodeId,
+        to: NodeId,
+        key: ReplicaKey,
+    ) -> DeceitResult<SimDuration> {
+        let mut latency = SimDuration::ZERO;
+        let mut token = self
+            .server(holder)
+            .tokens
+            .get(&key)
+            .cloned()
+            .ok_or(DeceitError::WriteUnavailable(key.0))?;
+
+        // The new holder needs a *current* replica: the primary copy must
+        // be local so unstable-period reads can be served (§3.4), and it
+        // must embed every update through the token's version pair before
+        // new updates are stamped on top. A lagging local copy (updates
+        // still in flight) is replaced by state transfer from the old
+        // primary.
+        let lagging = self
+            .server(to)
+            .replicas
+            .get(&key)
+            .map(|r| r.version != token.version)
+            .unwrap_or(false);
+        if lagging {
+            self.server_mut(to).replicas.delete_sync(&key);
+            self.server_mut(to).receivers.remove(&key);
+        }
+        if !self.server(to).replicas.contains(&key) {
+            let src = self
+                .server(holder)
+                .replicas
+                .get(&key)
+                .cloned()
+                .ok_or(DeceitError::Unavailable(key.0))?;
+            let bytes = src.data.len() as u64;
+            let blast = self.cfg.blast;
+            if let Some(d) = deceit_isis::xfer::transfer_state(
+                &mut self.net,
+                &blast,
+                holder,
+                to,
+                bytes,
+                "replica-xfer",
+            )
+            .duration()
+            {
+                latency += d;
+            }
+            let now = self.now();
+            let replica = Replica::cloned_from(&src, now);
+            latency += self.cfg.disk.write_cost(replica.data.len() + 64);
+            self.server_mut(to).replicas.put_sync(key, replica);
+            token.holders.insert(to);
+            self.emit(ProtocolEvent::ReplicaGenerated { seg: key.0, on: to });
+        }
+
+        // Transfer token state: durable at both ends (§3.5).
+        self.server_mut(holder).tokens.delete_sync(&key);
+        self.server_mut(holder).streams.remove(&key);
+        self.server_mut(to).tokens.put_sync(key, token);
+        // The new holder applies its own writes directly; any stale
+        // reordering buffer must not hold back future received updates.
+        self.server_mut(to).receivers.remove(&key);
+        latency += self.cfg.disk.write_cost(64);
+        if let Some((gid, _)) = self.group_members(key.0) {
+            latency += self.ensure_member(gid, to);
+        }
+        self.stats.incr("core/token/passes");
+        self.emit(ProtocolEvent::TokenAcquired { seg: key.0, server: to, from: holder });
+        Ok(latency)
+    }
+
+    /// Verifies (and if possible restores) the enabled state of a held
+    /// token under the file's availability policy (§4: at "medium" a token
+    /// is disabled whenever fewer than a majority of replicas are
+    /// available).
+    pub(crate) fn check_token_enabled(
+        &mut self,
+        via: NodeId,
+        key: ReplicaKey,
+    ) -> DeceitResult<SimDuration> {
+        let params = self.params_of(via, key);
+        if params.availability != WriteAvailability::Medium {
+            return Ok(SimDuration::ZERO);
+        }
+        let token = self.server(via).tokens.get(&key).cloned().expect("holder has token");
+        // If every known holder is reachable (no failure in sight) but the
+        // minimum replica level outruns the holder set — the raised-level
+        // case of §3.1 method 2 — the holder generates replicas now rather
+        // than refusing writes.
+        let all_known_reachable = token
+            .holders
+            .iter()
+            .all(|&h| self.net.reachable(via, h));
+        if all_known_reachable && token.holders.len() < params.min_replicas {
+            self.fill_min_replicas_now(via, key);
+        }
+        let token = self.server(via).tokens.get(&key).cloned().expect("holder has token");
+        let reachable = self.reachable_replica_holders(via, key).len();
+        let majority = token.majority(params.min_replicas);
+        let ok = reachable >= majority;
+        if ok != token.enabled {
+            let mut t = token;
+            t.enabled = ok;
+            self.server_mut(via).tokens.put_async(key, t);
+            self.schedule_flush(via);
+        }
+        if ok {
+            Ok(SimDuration::ZERO)
+        } else {
+            self.stats.incr("core/token/disabled");
+            Err(DeceitError::WriteUnavailable(key.0))
+        }
+    }
+
+    /// Generates a brand-new token for a new major version branched off
+    /// the newest replica reachable from `via` (§3.5 "Token Generation").
+    pub(crate) fn generate_token(
+        &mut self,
+        via: NodeId,
+        base_key: ReplicaKey,
+    ) -> DeceitResult<(ReplicaKey, SimDuration)> {
+        let seg = base_key.0;
+        let mut latency = SimDuration::ZERO;
+
+        // Make sure the generating server has a base replica to branch
+        // from ("File data is drawn from the existing available replica").
+        if !self.server(via).replicas.contains(&base_key) {
+            let holders = self.reachable_replica_holders(via, base_key);
+            let src_server = holders
+                .into_iter()
+                .find(|&h| h != via)
+                .ok_or(DeceitError::Unavailable(seg))?;
+            let src = self.server(src_server).replicas.get(&base_key).cloned().unwrap();
+            let blast = self.cfg.blast;
+            if let Some(d) = deceit_isis::xfer::transfer_state(
+                &mut self.net,
+                &blast,
+                src_server,
+                via,
+                src.data.len() as u64,
+                "replica-xfer",
+            )
+            .duration()
+            {
+                latency += d;
+            }
+            let now = self.now();
+            self.server_mut(via)
+                .replicas
+                .put_sync(base_key, Replica::cloned_from(&src, now));
+        }
+
+        let base = self.server(via).replicas.get(&base_key).cloned().unwrap();
+        let params = base.params;
+
+        // Policy gate (§3.5, §4).
+        match params.availability {
+            WriteAvailability::Low => {
+                self.stats.incr("core/token/generation_refused");
+                return Err(DeceitError::WriteUnavailable(seg));
+            }
+            WriteAvailability::Medium => {
+                // "the total number of replicas is assumed to be the
+                // minimum replica level" for a server without the token;
+                // availability is counted by broadcasting an inquiry.
+                let available = self.count_available_replicas(via, base_key, &mut latency);
+                let majority = FileParams::majority_of(params.min_replicas.max(1));
+                if available < majority {
+                    self.stats.incr("core/token/generation_refused");
+                    return Err(DeceitError::WriteUnavailable(seg));
+                }
+            }
+            WriteAvailability::High => {}
+        }
+
+        // Build the new version: unique major, same subversion (§3.5:
+        // "picking a globally unique major version number v1' and building
+        // a token with version pair (v1', v2)").
+        let new_major = self.alloc_major();
+        let new_key = (seg, new_major);
+        let branch_parent = base.version;
+        self.branch_table(seg).record_branch(new_major, branch_parent);
+        let version = VersionPair { major: new_major, sub: base.version.sub };
+
+        let now = self.now();
+        let mut replica = Replica::cloned_from(&base, now);
+        replica.version = version;
+        latency += self.cfg.disk.write_cost(replica.data.len() + 64);
+        self.server_mut(via).replicas.put_sync(new_key, replica);
+        self.server_mut(via)
+            .tokens
+            .put_sync(new_key, WriteToken::new(version, via));
+
+        // Group membership for the new version lives in the same file
+        // group; make sure the generator is in it.
+        if let Some((gid, _)) = self.group_members(seg) {
+            latency += self.ensure_member(gid, via);
+        } else {
+            let gid = self
+                .groups
+                .create(&crate::cluster::group_name(seg), via)
+                .unwrap_or_else(|_| self.group_members(seg).map(|(g, _)| g).unwrap());
+            self.server_mut(via).group_cache.insert(seg, gid);
+        }
+
+        self.stats.incr("core/token/generated");
+        self.emit(ProtocolEvent::TokenGenerated { seg, server: via, major: new_major });
+
+        // Satisfy the minimum replica level for the new version.
+        self.schedule_min_replica_fill(via, new_key);
+        Ok((new_key, latency))
+    }
+
+    /// Counts replicas of `key` reachable from `via` via an inquiry round
+    /// (§3.5: "the number of available replicas is determined by
+    /// broadcasting an inquiry to the file group").
+    pub(crate) fn count_available_replicas(
+        &mut self,
+        via: NodeId,
+        key: ReplicaKey,
+        latency: &mut SimDuration,
+    ) -> usize {
+        let members: Vec<NodeId> = self
+            .group_members(key.0)
+            .map(|(_, m)| m)
+            .unwrap_or_else(|| self.all_replica_holders(key));
+        let outcome = broadcast_round(&mut self.net, via, members, 32, 24, "replica-inquiry");
+        *latency += outcome.full_latency();
+        let mut count = 0;
+        for (m, _) in &outcome.replies {
+            if self.server(*m).replicas.contains(&key) {
+                count += 1;
+            }
+        }
+        // Self-delivery may not be in members if via never joined.
+        if self.server(via).replicas.contains(&key) && !outcome.heard_from(via) {
+            count += 1;
+        }
+        count
+    }
+
+    /// The parameters in force for a replica as seen by `server` (falling
+    /// back to defaults if it holds no copy — callers only use this when a
+    /// local replica exists).
+    pub(crate) fn params_of(&self, server: NodeId, key: ReplicaKey) -> FileParams {
+        self.server(server)
+            .replicas
+            .get(&key)
+            .map(|r| r.params)
+            .unwrap_or_default()
+    }
+}

@@ -1,0 +1,310 @@
+//! Update distribution.
+//!
+//! §3.2: "An update to f originates from a client and is given to its
+//! server. That server then broadcasts the update to all members of f's
+//! file group; no other servers receive this update for f." §3.3: "An
+//! update requires only one communication round if the token is held. …
+//! The token holder synchronously collects only the first s correct
+//! replies, where s is the write safety level of the file."
+
+use deceit_isis::broadcast_round;
+use deceit_net::NodeId;
+use deceit_sim::SimDuration;
+
+use crate::cluster::{Cluster, OpResult};
+use crate::error::{DeceitError, DeceitResult};
+use crate::event::Pending;
+use crate::ops::{UpdateRecord, WriteOp};
+use crate::server::SegmentId;
+use crate::trace_events::ProtocolEvent;
+use crate::version::VersionPair;
+
+impl Cluster {
+    /// Writes to a segment via server `via`.
+    ///
+    /// `expected` implements the conditional write of §5.1: "a write call
+    /// can also have a version pair as a parameter; in this case the write
+    /// will succeed only if the version pair of the segment matches the
+    /// version pair in the call … otherwise an error will be returned."
+    ///
+    /// Returns the version pair of the segment after the write.
+    pub fn write(
+        &mut self,
+        via: NodeId,
+        seg: SegmentId,
+        op: WriteOp,
+        expected: Option<VersionPair>,
+    ) -> DeceitResult<OpResult<VersionPair>> {
+        self.client_op(via, |c| c.do_write(via, seg, op, expected))
+    }
+
+    fn do_write(
+        &mut self,
+        via: NodeId,
+        seg: SegmentId,
+        op: WriteOp,
+        expected: Option<VersionPair>,
+    ) -> DeceitResult<(VersionPair, SimDuration)> {
+        // §3.3 optimization 2: for a small one-shot update, pass the
+        // update to the current token holder instead of moving the token.
+        if self.cfg.opt_forward_small && op.wire_size() <= self.cfg.forward_small_threshold {
+            if let Ok((key, _)) = self.resolve_key(via, seg, None) {
+                if !self.server(via).holds_token(key) {
+                    if let Some(holder) = self.find_reachable_token_holder(via, key) {
+                        if holder != via {
+                            let rtt = self.round_trip(via, holder, op.wire_size(), 24)?;
+                            self.stats.incr("core/token/updates_forwarded");
+                            let (v, inner) = self.do_write(holder, seg, op, expected)?;
+                            return Ok((v, rtt + inner));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Table 1 row 1: precondition "token is not held" → acquire token.
+        let piggyback = self.cfg.opt_piggyback_acquire;
+        let (key, mut latency) = self.ensure_token_for_write(via, seg, piggyback)?;
+        let token = self.server(via).tokens.get(&key).cloned().expect("token just ensured");
+
+        // Conditional write check against the authoritative (token)
+        // version pair.
+        if let Some(exp) = expected {
+            if token.version != exp {
+                self.stats.incr("core/occ/conflicts");
+                return Err(DeceitError::VersionConflict {
+                    segment: seg,
+                    expected: exp,
+                    actual: token.version,
+                });
+            }
+        }
+
+        let params = self.params_of(via, key);
+
+        // Table 1 row 2: "replicas are not marked as unstable" → mark
+        // replicas as unstable (§3.4), once per write stream.
+        if params.stability {
+            let unstable_done = self
+                .server(via)
+                .streams
+                .get(&key)
+                .map(|s| s.group_unstable)
+                .unwrap_or(false);
+            if !unstable_done {
+                latency += self.mark_unstable_round(via, key);
+            }
+        }
+
+        // §3.1: "The token holder t will delete these extra replicas when
+        // an update occurs instead of updating them."
+        self.delete_extra_replicas(via, key);
+
+        // Table 1 row 3: the distributed update itself — one broadcast
+        // round to the file group.
+        let new_version = token.version.bump();
+        let update = UpdateRecord { new_version, op: op.clone() };
+        let members: Vec<NodeId> = self
+            .group_members(seg)
+            .map(|(_, m)| m)
+            .unwrap_or_else(|| vec![via]);
+        let remote: Vec<NodeId> = members.iter().copied().filter(|&m| m != via).collect();
+        let group_size = remote.len();
+        let outcome = broadcast_round(
+            &mut self.net,
+            via,
+            remote.clone(),
+            op.wire_size(),
+            16,
+            "update",
+        );
+        let fd_outcome = outcome.clone();
+        self.server_mut(via).fd.observe_round(&fd_outcome);
+        self.emit(ProtocolEvent::UpdateDistributed {
+            seg,
+            sub: new_version.sub,
+            group_size,
+        });
+        self.stats.incr("core/updates");
+
+        // Schedule write-behind application at every replica holder that
+        // acknowledged receipt. Their acks are receipt, not application
+        // (§1: an update can be visible before it reaches all replicas) —
+        // application lands after the lazy-apply delay.
+        let now = self.now();
+        let remote_disk = self.cfg.disk.write_cost(op.disk_size());
+        let needed_remote = params.write_safety.saturating_sub(1);
+        let mut remote_replica_rtts: Vec<SimDuration> = Vec::new();
+        for (m, rtt) in &outcome.replies {
+            if !self.server(*m).replicas.contains(&key) {
+                continue;
+            }
+            if remote_replica_rtts.len() < needed_remote {
+                // Safety-path replica: its reply means "applied durably",
+                // so it writes through before answering (reply time
+                // includes its disk write), after catching up on any
+                // still-lazy earlier updates to keep the order identical.
+                self.drain_pending_applies(*m, key);
+                let msg = deceit_isis::SequencedMsg {
+                    seq: update.new_version.sub,
+                    payload: update.clone(),
+                };
+                let deliverable = self.server_mut(*m).receiver_for(key).receive(msg);
+                for (_, upd) in deliverable {
+                    self.apply_update_at(*m, key, &upd, true);
+                }
+                remote_replica_rtts.push(*rtt + remote_disk);
+            } else {
+                // Write-behind replica: acked receipt, applies after the
+                // lazy delay (§1's asynchronous update propagation).
+                remote_replica_rtts.push(*rtt + remote_disk);
+                let apply_at = now + *rtt / 2 + self.cfg.lazy_apply_delay;
+                self.events.push(
+                    apply_at,
+                    Pending::ApplyUpdate { server: *m, key, update: update.clone() },
+                );
+            }
+        }
+
+        // Apply locally at the token holder (the primary replica).
+        let disk_cost = self.cfg.disk.write_cost(op.disk_size());
+        let sync_local = params.write_safety >= 1;
+        self.apply_update_at(via, key, &update, sync_local);
+        if !sync_local {
+            self.schedule_flush(via);
+        }
+
+        // Advance the token's version pair. §3.5: "Some of a server's
+        // non-volatile storage is updated immediately when values change,
+        // and some of it is written asynchronously, depending on safety"
+        // — at safety ≥ 1 the token must hit disk with the data, or a
+        // crash would leave recovery believing stale replicas current.
+        let mut t = token;
+        t.version = new_version;
+        if sync_local {
+            self.server_mut(via).tokens.put_sync(key, t.clone());
+        } else {
+            self.server_mut(via).tokens.put_async(key, t.clone());
+            self.schedule_flush(via);
+        }
+
+        // Table 1 row 4: count update replies; §3.1 method 1 — if the
+        // number of correct replies drops below the minimum replica level,
+        // create new replicas.
+        let replies_from_replicas = 1 + remote_replica_rtts.len(); // self + remote
+        self.emit(ProtocolEvent::RepliesCounted {
+            seg,
+            replies: replies_from_replicas,
+            needed: params.min_replicas,
+        });
+        if replies_from_replicas < params.min_replicas {
+            // Table 1 row 5: insufficient replicas → generate new replicas.
+            self.schedule_min_replica_fill(via, key);
+        }
+
+        // Availability "medium": disable the token if the majority was
+        // lost mid-stream (§4: "write availability may be lost in the
+        // middle of a stream of updates").
+        if params.availability == crate::params::WriteAvailability::Medium {
+            let majority = t.majority(params.min_replicas);
+            if replies_from_replicas < majority && t.enabled {
+                t.enabled = false;
+                self.server_mut(via).tokens.put_async(key, t);
+                self.schedule_flush(via);
+                self.stats.incr("core/token/disabled");
+            }
+        }
+
+        // Client-visible latency: the s-th correct reply (§3.3). The
+        // holder's own durable apply is the first "reply"; each remote
+        // reply costs its round trip.
+        let net_wait = match params.write_safety {
+            0 => SimDuration::ZERO,
+            1 => disk_cost,
+            s => {
+                let needed_remote = s - 1;
+                let idx = needed_remote.min(remote_replica_rtts.len());
+                let remote_wait = if idx == 0 {
+                    SimDuration::ZERO
+                } else {
+                    remote_replica_rtts[idx - 1]
+                };
+                disk_cost.max(remote_wait)
+            }
+        };
+        latency += net_wait;
+
+        // Table 1 row 6 setup: schedule the period-of-no-write-activity
+        // check that will mark replicas stable again (§3.4).
+        if params.stability {
+            let epoch = {
+                let stream = self
+                    .server_mut(via)
+                    .streams
+                    .entry(key)
+                    .or_default();
+                stream.last_write = now;
+                stream.epoch += 1;
+                stream.epoch
+            };
+            self.events.push(
+                now + self.cfg.stability_timeout,
+                Pending::StabilizeCheck { server: via, key, epoch },
+            );
+        }
+
+        self.stats.record_duration("core/write_latency", latency);
+        Ok((new_version, latency))
+    }
+
+    /// Applies an update to a local replica, either write-through
+    /// (durable, charged to the caller) or write-behind.
+    pub(crate) fn apply_update_at(
+        &mut self,
+        server: NodeId,
+        key: (SegmentId, u64),
+        update: &UpdateRecord,
+        sync: bool,
+    ) {
+        let Some(mut replica) = self.server(server).replicas.get(&key).cloned() else {
+            return;
+        };
+        update.op.apply(&mut replica.data, &mut replica.params);
+        replica.version = update.new_version;
+        replica.last_access = self.now();
+        if sync {
+            self.server_mut(server).replicas.put_sync(key, replica);
+        } else {
+            self.server_mut(server).replicas.put_async(key, replica);
+        }
+    }
+
+    /// Applies, synchronously and in order, every still-pending lazy
+    /// update for one replica (used before a write-through apply so the
+    /// identical-order guarantee of §3.3 holds on the safety path).
+    pub(crate) fn drain_pending_applies(&mut self, server: NodeId, key: (SegmentId, u64)) {
+        let mut drained: Vec<UpdateRecord> = Vec::new();
+        self.events.retain(|e| match e {
+            Pending::ApplyUpdate { server: s, key: k, update } if *s == server && *k == key => {
+                drained.push(update.clone());
+                false
+            }
+            _ => true,
+        });
+        drained.sort_by_key(|u| u.new_version.sub);
+        for upd in drained {
+            let msg =
+                deceit_isis::SequencedMsg { seq: upd.new_version.sub, payload: upd };
+            let deliverable = self.server_mut(server).receiver_for(key).receive(msg);
+            for (_, u) in deliverable {
+                self.apply_update_at(server, key, &u, true);
+            }
+        }
+    }
+
+    /// Schedules a disk write-back for a server's asynchronous writes.
+    pub(crate) fn schedule_flush(&mut self, server: NodeId) {
+        let at = self.now() + self.cfg.flush_delay;
+        self.events.push(at, Pending::FlushServer { server });
+    }
+}

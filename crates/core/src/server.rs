@@ -1,0 +1,187 @@
+//! Per-server state.
+//!
+//! §3.5 fixes what must live in non-volatile storage (replica data and
+//! metadata, token state, the handle map); everything else — delivery
+//! queues, location caches, the failure detector, write-stream state — is
+//! volatile and lost on a crash.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use deceit_isis::{FailureDetector, GroupId, OrderedReceiver};
+use deceit_net::NodeId;
+use deceit_sim::SimTime;
+use deceit_storage::{Disk, DiskConfig};
+
+use crate::ops::UpdateRecord;
+use crate::replica::Replica;
+use crate::token::WriteToken;
+
+/// The flat, name-free identity of one segment (§5.1). The NFS envelope
+/// maps file handles onto these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(pub u64);
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+/// A replica is identified by (segment, major version): §3.5 "Every file
+/// replica is associated with only one token. The new token represents a
+/// distinct new file with a distinct set of replicas."
+pub type ReplicaKey = (SegmentId, u64);
+
+/// Volatile, holder-side state of an active write stream on one replica.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamState {
+    /// Whether the group has been marked unstable for the current stream.
+    pub group_unstable: bool,
+    /// Time of the most recent write in the stream.
+    pub last_write: SimTime,
+    /// Bumped on every write; stabilize-checks carry the epoch they were
+    /// scheduled under and fire only if it is still current.
+    pub epoch: u64,
+}
+
+/// One Deceit server.
+#[derive(Debug)]
+pub struct ServerState {
+    /// This server's machine identity.
+    pub id: NodeId,
+    /// Non-volatile replica storage.
+    pub replicas: Disk<ReplicaKey, Replica>,
+    /// Non-volatile token storage.
+    pub tokens: Disk<ReplicaKey, WriteToken>,
+    /// Volatile: per-replica ordered-delivery buffers for in-flight
+    /// updates (ABCAST reordering; §3.3 identical-order requirement).
+    pub receivers: BTreeMap<ReplicaKey, OrderedReceiver<UpdateRecord>>,
+    /// Volatile: cached segment → file-group mapping, so repeat operations
+    /// skip the global search (§3.2).
+    pub group_cache: BTreeMap<SegmentId, GroupId>,
+    /// Volatile: failure suspicion derived from communication outcomes.
+    pub fd: FailureDetector,
+    /// Volatile: active write-stream state for replicas whose token this
+    /// server holds.
+    pub streams: BTreeMap<ReplicaKey, StreamState>,
+    /// Count of client operations served by this server (load accounting).
+    pub ops_served: u64,
+}
+
+impl ServerState {
+    /// A fresh server with empty disks.
+    pub fn new(id: NodeId, disk_cfg: DiskConfig) -> Self {
+        ServerState {
+            id,
+            replicas: Disk::new(disk_cfg),
+            tokens: Disk::new(disk_cfg),
+            receivers: BTreeMap::new(),
+            group_cache: BTreeMap::new(),
+            fd: FailureDetector::new(),
+            streams: BTreeMap::new(),
+            ops_served: 0,
+        }
+    }
+
+    /// Simulates a crash: non-volatile state reverts to its durable
+    /// contents; volatile state is lost.
+    pub fn crash(&mut self) {
+        self.replicas.crash();
+        self.tokens.crash();
+        self.receivers.clear();
+        self.group_cache.clear();
+        self.fd = FailureDetector::new();
+        self.streams.clear();
+    }
+
+    /// Whether this server stores any replica of `seg` (any major).
+    pub fn has_segment(&self, seg: SegmentId) -> bool {
+        self.majors_of(seg).next().is_some()
+    }
+
+    /// All major versions of `seg` stored here.
+    pub fn majors_of(&self, seg: SegmentId) -> impl Iterator<Item = u64> + '_ {
+        self.replicas
+            .keys()
+            .filter(move |(s, _)| *s == seg)
+            .map(|(_, major)| *major)
+    }
+
+    /// The highest-numbered (most recent) major of `seg` stored here.
+    pub fn latest_major(&self, seg: SegmentId) -> Option<u64> {
+        self.majors_of(seg).max()
+    }
+
+    /// Whether this server holds the write token for a replica.
+    pub fn holds_token(&self, key: ReplicaKey) -> bool {
+        self.tokens.contains(&key)
+    }
+
+    /// The ordered-delivery buffer for a replica, created on first use to
+    /// expect the update after the replica's current subversion.
+    pub fn receiver_for(&mut self, key: ReplicaKey) -> &mut OrderedReceiver<UpdateRecord> {
+        let start = self
+            .replicas
+            .get(&key)
+            .map(|r| r.version.sub + 1)
+            .unwrap_or(1);
+        self.receivers
+            .entry(key)
+            .or_insert_with(|| OrderedReceiver::starting_at(start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::FileParams;
+    use deceit_sim::SimTime;
+
+    fn server() -> ServerState {
+        ServerState::new(NodeId(0), DiskConfig::workstation())
+    }
+
+    #[test]
+    fn segment_queries() {
+        let mut s = server();
+        let seg = SegmentId(7);
+        assert!(!s.has_segment(seg));
+        s.replicas
+            .put_sync((seg, 0), Replica::new(0, FileParams::default(), SimTime::ZERO));
+        s.replicas
+            .put_sync((seg, 3), Replica::new(3, FileParams::default(), SimTime::ZERO));
+        assert!(s.has_segment(seg));
+        assert_eq!(s.majors_of(seg).collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(s.latest_major(seg), Some(3));
+        assert_eq!(s.latest_major(SegmentId(9)), None);
+    }
+
+    #[test]
+    fn crash_preserves_durable_loses_volatile() {
+        let mut s = server();
+        let seg = SegmentId(1);
+        s.replicas
+            .put_sync((seg, 0), Replica::new(0, FileParams::default(), SimTime::ZERO));
+        s.group_cache.insert(seg, deceit_isis::GroupId(5));
+        s.streams.insert((seg, 0), StreamState::default());
+        s.receiver_for((seg, 0));
+        s.crash();
+        assert!(s.has_segment(seg), "durable replica survives");
+        assert!(s.group_cache.is_empty());
+        assert!(s.streams.is_empty());
+        assert!(s.receivers.is_empty());
+    }
+
+    #[test]
+    fn receiver_starts_after_current_sub() {
+        let mut s = server();
+        let seg = SegmentId(1);
+        let mut r = Replica::new(0, FileParams::default(), SimTime::ZERO);
+        r.version.sub = 4;
+        s.replicas.put_sync((seg, 0), r);
+        assert_eq!(s.receiver_for((seg, 0)).next_expected(), 5);
+        // Unknown replica: expects the first update (sub 1).
+        assert_eq!(s.receiver_for((SegmentId(2), 0)).next_expected(), 1);
+    }
+}

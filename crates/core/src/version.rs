@@ -1,0 +1,258 @@
+//! Version pairs and the history tree.
+//!
+//! §3.5: "Deceit does not explicitly store the full history of a replica.
+//! Instead, Deceit maintains a one-to-one mapping from histories to integer
+//! pairs (v1, v2) where v1 is the major version number, and v2 is the
+//! subversion number. v2 is incremented on every update, and v1 is changed
+//! to a new unique number every time there is a potential branch in the
+//! history tree. These branch points are recorded … so that version number
+//! pairs can be compared as if the histories that they represent were
+//! available."
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A compact name for one update history: `(major, sub)`.
+///
+/// The relation `(v1 == v1' && v2 < v2') ⇒ ancestor` always holds; across
+/// majors the [`BranchTable`] supplies the lineage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VersionPair {
+    /// Major version number; changes at every potential history branch.
+    pub major: u64,
+    /// Subversion number (the literature's "update counter"); increments on
+    /// every update.
+    pub sub: u64,
+}
+
+impl VersionPair {
+    /// The first version of a new file: major as allocated, sub 0.
+    pub const fn initial(major: u64) -> Self {
+        VersionPair { major, sub: 0 }
+    }
+
+    /// The pair after one more update within the same major.
+    pub const fn bump(self) -> Self {
+        VersionPair { major: self.major, sub: self.sub + 1 }
+    }
+}
+
+impl fmt::Display for VersionPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.major, self.sub)
+    }
+}
+
+/// How two histories relate in the history tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VersionRelation {
+    /// Identical histories.
+    Equal,
+    /// Left is a strict prefix (ancestor) of right.
+    Ancestor,
+    /// Left is a strict extension (descendant) of right.
+    Descendant,
+    /// Neither is a prefix of the other (§3.5: "incomparable") — the
+    /// partition-conflict case.
+    Incomparable,
+}
+
+/// The recorded branch points of one file's history tree.
+///
+/// Maps each non-initial major version number to the version pair at which
+/// it branched off its parent. Majors are allocated from a monotonically
+/// increasing counter (the paper: "Deceit selects major version numbers
+/// carefully to insure global uniqueness"), so every parent major is
+/// strictly smaller than its children and lineage walks terminate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BranchTable {
+    parents: BTreeMap<u64, VersionPair>,
+}
+
+impl BranchTable {
+    /// An empty table (single-major linear history).
+    pub fn new() -> Self {
+        BranchTable::default()
+    }
+
+    /// Records that `new_major` branched from `parent` (§3.5 "Token
+    /// Generation": the new token stores the original pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_major` is not greater than the parent major —
+    /// allocator discipline guarantees this in the system, and violating it
+    /// would make lineage walks diverge.
+    pub fn record_branch(&mut self, new_major: u64, parent: VersionPair) {
+        assert!(
+            new_major > parent.major,
+            "branch major {new_major} must exceed parent {parent}"
+        );
+        self.parents.insert(new_major, parent);
+    }
+
+    /// The branch point of `major`, if it is not a root.
+    pub fn parent_of(&self, major: u64) -> Option<VersionPair> {
+        self.parents.get(&major).copied()
+    }
+
+    /// Merges another table (used when partitions heal and the two sides
+    /// exchange the branch records they created independently).
+    pub fn merge(&mut self, other: &BranchTable) {
+        for (&m, &p) in &other.parents {
+            self.parents.insert(m, p);
+        }
+    }
+
+    /// The lineage of `v`: `v` itself, then each branch point back to the
+    /// root, e.g. `[(5, 3), (2, 7), (0, 4)]` for a twice-branched history.
+    pub fn lineage(&self, v: VersionPair) -> Vec<VersionPair> {
+        let mut out = vec![v];
+        let mut cur = v;
+        while let Some(parent) = self.parent_of(cur.major) {
+            assert!(parent.major < cur.major, "corrupt branch table");
+            out.push(parent);
+            cur = parent;
+        }
+        out
+    }
+
+    /// Whether history `a` is a strict ancestor of history `b`.
+    pub fn is_ancestor(&self, a: VersionPair, b: VersionPair) -> bool {
+        if a == b {
+            return false;
+        }
+        // a is an ancestor of b iff a lies on b's lineage: either within
+        // b's own major (a.sub < b.sub), or at/before one of b's recorded
+        // branch points.
+        self.lineage(b)
+            .iter()
+            .any(|anc| anc.major == a.major && a.sub <= anc.sub)
+            && !(a.major == b.major && a.sub >= b.sub)
+    }
+
+    /// Full relation between two histories.
+    pub fn relation(&self, a: VersionPair, b: VersionPair) -> VersionRelation {
+        if a == b {
+            VersionRelation::Equal
+        } else if self.is_ancestor(a, b) {
+            VersionRelation::Ancestor
+        } else if self.is_ancestor(b, a) {
+            VersionRelation::Descendant
+        } else {
+            VersionRelation::Incomparable
+        }
+    }
+
+    /// Number of recorded branch points.
+    pub fn branch_count(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// All recorded (major, parent) entries.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, VersionPair)> + '_ {
+        self.parents.iter().map(|(&m, &p)| (m, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vp(major: u64, sub: u64) -> VersionPair {
+        VersionPair { major, sub }
+    }
+
+    #[test]
+    fn same_major_ordering() {
+        let t = BranchTable::new();
+        // The paper's invariant: (v1 == v1' && v2 < v2') ⇒ ancestor.
+        assert!(t.is_ancestor(vp(0, 1), vp(0, 5)));
+        assert!(!t.is_ancestor(vp(0, 5), vp(0, 1)));
+        assert_eq!(t.relation(vp(0, 1), vp(0, 5)), VersionRelation::Ancestor);
+        assert_eq!(t.relation(vp(0, 5), vp(0, 1)), VersionRelation::Descendant);
+        assert_eq!(t.relation(vp(0, 3), vp(0, 3)), VersionRelation::Equal);
+    }
+
+    #[test]
+    fn different_roots_incomparable() {
+        let t = BranchTable::new();
+        assert_eq!(t.relation(vp(0, 3), vp(1, 3)), VersionRelation::Incomparable);
+    }
+
+    #[test]
+    fn branch_makes_prefix_an_ancestor() {
+        let mut t = BranchTable::new();
+        // Major 1 branched from (0, 4).
+        t.record_branch(1, vp(0, 4));
+        // Everything up to (0,4) is an ancestor of any (1, _).
+        assert!(t.is_ancestor(vp(0, 2), vp(1, 0)));
+        assert!(t.is_ancestor(vp(0, 4), vp(1, 0)));
+        // Updates past the branch point are not.
+        assert_eq!(t.relation(vp(0, 5), vp(1, 0)), VersionRelation::Incomparable);
+        // And the descendant relation is the mirror.
+        assert_eq!(t.relation(vp(1, 3), vp(0, 4)), VersionRelation::Descendant);
+    }
+
+    #[test]
+    fn sibling_branches_are_incomparable() {
+        let mut t = BranchTable::new();
+        // The partition scenario: both sides branch from (0, 4).
+        t.record_branch(1, vp(0, 4));
+        t.record_branch(2, vp(0, 4));
+        assert_eq!(t.relation(vp(1, 2), vp(2, 7)), VersionRelation::Incomparable);
+        // But both descend from the common prefix.
+        assert!(t.is_ancestor(vp(0, 4), vp(1, 2)));
+        assert!(t.is_ancestor(vp(0, 4), vp(2, 7)));
+    }
+
+    #[test]
+    fn deep_lineage_walk() {
+        let mut t = BranchTable::new();
+        t.record_branch(1, vp(0, 2));
+        t.record_branch(2, vp(1, 3));
+        t.record_branch(3, vp(2, 1));
+        assert_eq!(t.lineage(vp(3, 9)), vec![vp(3, 9), vp(2, 1), vp(1, 3), vp(0, 2)]);
+        assert!(t.is_ancestor(vp(0, 0), vp(3, 9)));
+        assert!(t.is_ancestor(vp(1, 1), vp(3, 9)));
+        assert!(t.is_ancestor(vp(2, 0), vp(3, 9)));
+        // Past the branch point on an intermediate major: incomparable.
+        assert_eq!(t.relation(vp(1, 4), vp(3, 9)), VersionRelation::Incomparable);
+        assert_eq!(t.branch_count(), 3);
+    }
+
+    #[test]
+    fn merge_unions_branch_records() {
+        let mut a = BranchTable::new();
+        a.record_branch(1, vp(0, 4));
+        let mut b = BranchTable::new();
+        b.record_branch(2, vp(0, 4));
+        a.merge(&b);
+        assert_eq!(a.relation(vp(1, 0), vp(2, 0)), VersionRelation::Incomparable);
+        assert_eq!(a.branch_count(), 2);
+    }
+
+    #[test]
+    fn bump_and_initial() {
+        let v = VersionPair::initial(7);
+        assert_eq!(v, vp(7, 0));
+        assert_eq!(v.bump(), vp(7, 1));
+        assert_eq!(v.to_string(), "(7,0)");
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed parent")]
+    fn branch_major_must_increase() {
+        let mut t = BranchTable::new();
+        t.record_branch(1, vp(3, 0));
+    }
+
+    #[test]
+    fn ancestor_of_branch_point_itself() {
+        let mut t = BranchTable::new();
+        t.record_branch(5, vp(2, 8));
+        // The branch point (2,8) is an ancestor of (5,0) but (2,9) is not.
+        assert!(t.is_ancestor(vp(2, 8), vp(5, 0)));
+        assert!(!t.is_ancestor(vp(2, 9), vp(5, 0)));
+    }
+}

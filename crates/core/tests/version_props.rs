@@ -1,0 +1,94 @@
+//! Property tests of the §3.5 history tree: version pairs, branch
+//! records, and the ancestor relation.
+
+use deceit_core::{BranchTable, VersionPair, VersionRelation};
+use proptest::prelude::*;
+
+/// Builds a random but well-formed branch table: each new major branches
+/// from a pair on an existing major, and majors increase monotonically —
+/// exactly the allocator discipline of the cluster.
+fn arb_tree() -> impl Strategy<Value = (BranchTable, Vec<u64>)> {
+    proptest::collection::vec((0usize..8, 0u64..6), 0..8).prop_map(|branches| {
+        let mut table = BranchTable::new();
+        let mut majors = vec![0u64];
+        for (i, (parent_idx, parent_sub)) in branches.into_iter().enumerate() {
+            let next_major = (i + 1) as u64;
+            let parent_major = majors[parent_idx % majors.len()];
+            table.record_branch(
+                next_major,
+                VersionPair { major: parent_major, sub: parent_sub },
+            );
+            majors.push(next_major);
+        }
+        (table, majors)
+    })
+}
+
+proptest! {
+    /// The relation is a partial order: reflexive-equal, antisymmetric,
+    /// and mirror-consistent.
+    #[test]
+    fn relation_is_consistent((table, majors) in arb_tree(), subs in proptest::collection::vec((0usize..9, 0u64..8), 2)) {
+        let a = VersionPair { major: majors[subs[0].0 % majors.len()], sub: subs[0].1 };
+        let b = VersionPair { major: majors[subs[1].0 % majors.len()], sub: subs[1].1 };
+        prop_assert_eq!(table.relation(a, a), VersionRelation::Equal);
+        match table.relation(a, b) {
+            VersionRelation::Equal => prop_assert_eq!(a, b),
+            VersionRelation::Ancestor => {
+                prop_assert_eq!(table.relation(b, a), VersionRelation::Descendant);
+                prop_assert!(table.is_ancestor(a, b));
+                prop_assert!(!table.is_ancestor(b, a), "antisymmetry");
+            }
+            VersionRelation::Descendant => {
+                prop_assert_eq!(table.relation(b, a), VersionRelation::Ancestor);
+            }
+            VersionRelation::Incomparable => {
+                prop_assert_eq!(table.relation(b, a), VersionRelation::Incomparable);
+            }
+        }
+    }
+
+    /// Ancestry is transitive along any lineage.
+    #[test]
+    fn ancestor_transitive((table, majors) in arb_tree(), picks in proptest::collection::vec((0usize..9, 0u64..8), 3)) {
+        let v: Vec<VersionPair> = picks
+            .iter()
+            .map(|(i, sub)| VersionPair { major: majors[i % majors.len()], sub: *sub })
+            .collect();
+        if table.is_ancestor(v[0], v[1]) && table.is_ancestor(v[1], v[2]) {
+            let chain = format!("{} < {} < {}", v[0], v[1], v[2]);
+            prop_assert!(table.is_ancestor(v[0], v[2]), "transitivity: {}", chain);
+        }
+    }
+
+    /// Every recorded branch point is an ancestor of every pair on the
+    /// child major, and within one major ancestry is exactly sub-ordering.
+    #[test]
+    fn branch_points_are_ancestors((table, majors) in arb_tree(), sub in 0u64..8) {
+        for (child, parent) in table.entries().collect::<Vec<_>>() {
+            let child_pair = VersionPair { major: child, sub };
+            let is_anc = table.is_ancestor(parent, child_pair);
+            prop_assert!(is_anc, "{} should precede {}", parent, child_pair);
+        }
+        for &m in &majors {
+            let lo = VersionPair { major: m, sub };
+            let hi = VersionPair { major: m, sub: sub + 1 };
+            let fwd = table.is_ancestor(lo, hi);
+            let back = table.is_ancestor(hi, lo);
+            prop_assert!(fwd && !back, "sub ordering within major {}", m);
+        }
+    }
+
+    /// The lineage of any pair terminates and starts at the pair itself.
+    #[test]
+    fn lineage_terminates((table, majors) in arb_tree(), pick in (0usize..9, 0u64..8)) {
+        let v = VersionPair { major: majors[pick.0 % majors.len()], sub: pick.1 };
+        let lineage = table.lineage(v);
+        prop_assert_eq!(lineage[0], v);
+        prop_assert!(lineage.len() <= majors.len() + 1);
+        // Majors strictly decrease along the lineage.
+        for w in lineage.windows(2) {
+            prop_assert!(w[1].major < w[0].major);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! ABCAST: totally ordered broadcast via a sequencer.
+//!
+//! §3.3: "It is necessary for correctness that the updates arrive in
+//! identical order at all servers regardless of token movement." Deceit
+//! achieves this the way ISIS's token-site ABCAST does: whoever holds the
+//! token stamps each update with the group's next sequence number, and
+//! every member delivers strictly in sequence-number order, holding back
+//! gaps. Because the sequence counter travels with the token (it lives in
+//! the group, not the holder), the order is preserved across token passes.
+
+use std::collections::BTreeMap;
+
+/// Sequencer state: the next sequence number to stamp.
+///
+/// In Deceit this travels with the write token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sequencer {
+    next: u64,
+}
+
+impl Sequencer {
+    /// A sequencer starting at 0.
+    pub fn new() -> Self {
+        Sequencer::default()
+    }
+
+    /// Resumes from a known next value (token handed over / recovered).
+    pub fn resume_at(next: u64) -> Self {
+        Sequencer { next }
+    }
+
+    /// Stamps a payload with the next sequence number.
+    pub fn stamp<T>(&mut self, payload: T) -> SequencedMsg<T> {
+        let seq = self.next;
+        self.next += 1;
+        SequencedMsg { seq, payload }
+    }
+
+    /// The sequence number the next stamp will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next
+    }
+}
+
+/// A payload stamped with its total-order position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequencedMsg<T> {
+    /// Position in the group's total order.
+    pub seq: u64,
+    /// Application payload.
+    pub payload: T,
+}
+
+/// Receiver-side reordering buffer: delivers strictly in sequence order.
+#[derive(Debug, Clone, Default)]
+pub struct OrderedReceiver<T> {
+    next_expected: u64,
+    held: BTreeMap<u64, T>,
+    delivered: u64,
+}
+
+impl<T> OrderedReceiver<T> {
+    /// A receiver expecting sequence number 0 first.
+    pub fn new() -> Self {
+        OrderedReceiver { next_expected: 0, held: BTreeMap::new(), delivered: 0 }
+    }
+
+    /// A receiver that has already (logically) delivered everything below
+    /// `next` — used after state transfer, where the joiner's initial state
+    /// embeds all earlier updates.
+    pub fn starting_at(next: u64) -> Self {
+        OrderedReceiver { next_expected: next, held: BTreeMap::new(), delivered: 0 }
+    }
+
+    /// Ingests one stamped message; returns newly deliverable payloads in
+    /// sequence order. Duplicate or already-delivered sequence numbers are
+    /// ignored (ISIS deduplicates retransmissions).
+    pub fn receive(&mut self, msg: SequencedMsg<T>) -> Vec<(u64, T)> {
+        if msg.seq >= self.next_expected {
+            self.held.entry(msg.seq).or_insert(msg.payload);
+        }
+        let mut out = Vec::new();
+        while let Some(payload) = self.held.remove(&self.next_expected) {
+            out.push((self.next_expected, payload));
+            self.next_expected += 1;
+            self.delivered += 1;
+        }
+        out
+    }
+
+    /// The sequence number this receiver will deliver next.
+    pub fn next_expected(&self) -> u64 {
+        self.next_expected
+    }
+
+    /// Messages held back waiting for a gap to fill.
+    pub fn held_count(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Total payloads delivered.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_are_consecutive() {
+        let mut s = Sequencer::new();
+        assert_eq!(s.stamp("a").seq, 0);
+        assert_eq!(s.stamp("b").seq, 1);
+        assert_eq!(s.next_seq(), 2);
+    }
+
+    #[test]
+    fn in_order_delivery() {
+        let mut s = Sequencer::new();
+        let mut r = OrderedReceiver::new();
+        for i in 0..5 {
+            let out = r.receive(s.stamp(i));
+            assert_eq!(out, vec![(i as u64, i)]);
+        }
+        assert_eq!(r.delivered_count(), 5);
+    }
+
+    #[test]
+    fn gaps_are_held_back() {
+        let mut r = OrderedReceiver::new();
+        assert!(r.receive(SequencedMsg { seq: 2, payload: "c" }).is_empty());
+        assert!(r.receive(SequencedMsg { seq: 1, payload: "b" }).is_empty());
+        assert_eq!(r.held_count(), 2);
+        let out = r.receive(SequencedMsg { seq: 0, payload: "a" });
+        assert_eq!(
+            out,
+            vec![(0, "a"), (1, "b"), (2, "c")],
+            "filling the gap releases everything in order"
+        );
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut r = OrderedReceiver::new();
+        assert_eq!(r.receive(SequencedMsg { seq: 0, payload: 1 }).len(), 1);
+        assert!(r.receive(SequencedMsg { seq: 0, payload: 1 }).is_empty());
+        assert_eq!(r.delivered_count(), 1);
+    }
+
+    #[test]
+    fn sequencer_survives_token_movement() {
+        // Token moves from holder A to holder B: B resumes the counter.
+        let mut a = Sequencer::new();
+        let m0 = a.stamp("from-a-0");
+        let m1 = a.stamp("from-a-1");
+        let mut b = Sequencer::resume_at(a.next_seq());
+        let m2 = b.stamp("from-b-2");
+
+        // Two receivers, different arrival orders, same delivery order.
+        fn deliver(msgs: Vec<SequencedMsg<&'static str>>) -> Vec<&'static str> {
+            let mut r = OrderedReceiver::new();
+            let mut seen = Vec::new();
+            for m in msgs {
+                for (_, p) in r.receive(m) {
+                    seen.push(p);
+                }
+            }
+            seen
+        }
+        let d1 = deliver(vec![m0.clone(), m1.clone(), m2.clone()]);
+        let d2 = deliver(vec![m2, m0, m1]);
+        assert_eq!(d1, d2);
+        assert_eq!(d1, vec!["from-a-0", "from-a-1", "from-b-2"]);
+    }
+
+    #[test]
+    fn state_transfer_skips_history() {
+        let mut r: OrderedReceiver<&str> = OrderedReceiver::starting_at(10);
+        // An old retransmission is ignored outright.
+        assert!(r.receive(SequencedMsg { seq: 3, payload: "old" }).is_empty());
+        assert_eq!(r.held_count(), 0);
+        let out = r.receive(SequencedMsg { seq: 10, payload: "new" });
+        assert_eq!(out, vec![(10, "new")]);
+    }
+}

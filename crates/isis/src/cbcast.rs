@@ -1,0 +1,177 @@
+//! CBCAST: causally ordered broadcast.
+//!
+//! One of the "several group broadcast protocols" ISIS provides (§2.4).
+//! Messages carry vector timestamps; a receiver holds back any message
+//! whose causal predecessors have not yet been delivered. Deceit's design
+//! discussion of the *causality* file parameter (§1 — "a run-time debugger
+//! may require that an executable file and its source file are consistent")
+//! rests on this primitive.
+
+use deceit_net::NodeId;
+
+use crate::vclock::VectorClock;
+
+/// A broadcast message stamped with its causal context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CausalMsg<T> {
+    /// Originating process.
+    pub sender: NodeId,
+    /// The sender's vector clock *after* ticking for this send.
+    pub vc: VectorClock,
+    /// Application payload.
+    pub payload: T,
+}
+
+/// Sender-side state for CBCAST.
+#[derive(Debug, Clone)]
+pub struct CausalSender {
+    id: NodeId,
+    vc: VectorClock,
+}
+
+impl CausalSender {
+    /// Creates a sender for process `id`.
+    pub fn new(id: NodeId) -> Self {
+        CausalSender { id, vc: VectorClock::new() }
+    }
+
+    /// Stamps a payload for broadcast, advancing the local clock.
+    pub fn send<T>(&mut self, payload: T) -> CausalMsg<T> {
+        self.vc.tick(self.id);
+        CausalMsg { sender: self.id, vc: self.vc.clone(), payload }
+    }
+
+    /// Incorporates a delivered message into the causal context, so that
+    /// later sends depend on it.
+    pub fn deliver<T>(&mut self, msg: &CausalMsg<T>) {
+        self.vc.merge(&msg.vc);
+    }
+
+    /// Current causal context.
+    pub fn clock(&self) -> &VectorClock {
+        &self.vc
+    }
+}
+
+/// Receiver-side delivery queue for CBCAST.
+///
+/// `receive` accepts messages in any arrival order and returns the ones
+/// that became deliverable, in causal order. Held-back messages are
+/// retried whenever a delivery unblocks them.
+#[derive(Debug, Clone, Default)]
+pub struct CausalReceiver<T> {
+    vc: VectorClock,
+    held: Vec<CausalMsg<T>>,
+    delivered: u64,
+}
+
+impl<T: Clone> CausalReceiver<T> {
+    /// Creates an empty receiver.
+    pub fn new() -> Self {
+        CausalReceiver { vc: VectorClock::new(), held: Vec::new(), delivered: 0 }
+    }
+
+    /// Ingests one message; returns every message (including possibly this
+    /// one and previously held ones) that became deliverable, in order.
+    pub fn receive(&mut self, msg: CausalMsg<T>) -> Vec<CausalMsg<T>> {
+        self.held.push(msg);
+        let mut out = Vec::new();
+        while let Some(pos) =
+            self.held.iter().position(|m| self.vc.can_deliver(m.sender, &m.vc))
+        {
+            let m = self.held.remove(pos);
+            self.vc.merge(&m.vc);
+            self.delivered += 1;
+            out.push(m);
+        }
+        out
+    }
+
+    /// Messages received but not yet deliverable.
+    pub fn held_count(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// The receiver's causal clock.
+    pub fn clock(&self) -> &VectorClock {
+        &self.vc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    #[test]
+    fn in_order_messages_deliver_immediately() {
+        let mut s = CausalSender::new(n(0));
+        let mut r = CausalReceiver::new();
+        let m1 = s.send("a");
+        let m2 = s.send("b");
+        assert_eq!(r.receive(m1).len(), 1);
+        assert_eq!(r.receive(m2).len(), 1);
+        assert_eq!(r.delivered_count(), 2);
+        assert_eq!(r.held_count(), 0);
+    }
+
+    #[test]
+    fn gap_holds_back_until_filled() {
+        let mut s = CausalSender::new(n(0));
+        let mut r = CausalReceiver::new();
+        let m1 = s.send(1);
+        let m2 = s.send(2);
+        let m3 = s.send(3);
+        // Arrive out of order: 3, 1, 2.
+        assert!(r.receive(m3).is_empty());
+        assert_eq!(r.held_count(), 1);
+        let d1: Vec<i32> = r.receive(m1).into_iter().map(|m| m.payload).collect();
+        assert_eq!(d1, vec![1]);
+        let d2: Vec<i32> = r.receive(m2).into_iter().map(|m| m.payload).collect();
+        assert_eq!(d2, vec![2, 3], "delivery unblocks the held message");
+    }
+
+    #[test]
+    fn cross_sender_causality_respected() {
+        // n0 sends a; n1 delivers a then sends b (b causally after a).
+        let mut s0 = CausalSender::new(n(0));
+        let mut s1 = CausalSender::new(n(1));
+        let a = s0.send("a");
+        s1.deliver(&a);
+        let b = s1.send("b");
+
+        // A third process receives b before a: b must be held.
+        let mut r = CausalReceiver::new();
+        assert!(r.receive(b.clone()).is_empty());
+        let delivered: Vec<&str> =
+            r.receive(a.clone()).into_iter().map(|m| m.payload).collect();
+        assert_eq!(delivered, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn concurrent_messages_deliver_in_any_arrival_order() {
+        let mut s0 = CausalSender::new(n(0));
+        let mut s1 = CausalSender::new(n(1));
+        let a = s0.send("a");
+        let b = s1.send("b"); // concurrent with a
+        let mut r = CausalReceiver::new();
+        assert_eq!(r.receive(b).len(), 1);
+        assert_eq!(r.receive(a).len(), 1);
+    }
+
+    #[test]
+    fn sender_clock_advances() {
+        let mut s = CausalSender::new(n(0));
+        let m = s.send(());
+        assert_eq!(m.vc.get(n(0)), 1);
+        assert_eq!(s.clock().get(n(0)), 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Vector clocks.
+//!
+//! ISIS's CBCAST tracks causality with vector timestamps; Deceit inherits
+//! the mechanism for any traffic that needs causal (but not total) order,
+//! and the paper's "Causality" file parameter discussion (§1) builds on it.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use deceit_net::NodeId;
+
+/// A map-based vector clock over machine ids.
+///
+/// Missing entries are implicitly zero, so clocks over different member
+/// sets compare correctly as groups grow.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VectorClock {
+    counts: BTreeMap<NodeId, u64>,
+}
+
+/// The causal relationship between two vector clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Causality {
+    /// The clocks are identical.
+    Equal,
+    /// Left strictly happens-before right.
+    Before,
+    /// Right strictly happens-before left.
+    After,
+    /// Neither dominates: concurrent events.
+    Concurrent,
+}
+
+impl VectorClock {
+    /// The all-zero clock.
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// This node's component.
+    pub fn get(&self, node: NodeId) -> u64 {
+        self.counts.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Increments this node's component, returning the new value.
+    pub fn tick(&mut self, node: NodeId) -> u64 {
+        let slot = self.counts.entry(node).or_insert(0);
+        *slot += 1;
+        *slot
+    }
+
+    /// Sets a component explicitly (used when replaying logs).
+    pub fn set(&mut self, node: NodeId, value: u64) {
+        if value == 0 {
+            self.counts.remove(&node);
+        } else {
+            self.counts.insert(node, value);
+        }
+    }
+
+    /// Componentwise maximum with `other`.
+    pub fn merge(&mut self, other: &VectorClock) {
+        for (&node, &v) in &other.counts {
+            let slot = self.counts.entry(node).or_insert(0);
+            *slot = (*slot).max(v);
+        }
+    }
+
+    /// Compares two clocks for causal order.
+    pub fn compare(&self, other: &VectorClock) -> Causality {
+        let mut less = false;
+        let mut greater = false;
+        let keys: std::collections::BTreeSet<NodeId> =
+            self.counts.keys().chain(other.counts.keys()).copied().collect();
+        for k in keys {
+            match self.get(k).cmp(&other.get(k)) {
+                Ordering::Less => less = true,
+                Ordering::Greater => greater = true,
+                Ordering::Equal => {}
+            }
+        }
+        match (less, greater) {
+            (false, false) => Causality::Equal,
+            (true, false) => Causality::Before,
+            (false, true) => Causality::After,
+            (true, true) => Causality::Concurrent,
+        }
+    }
+
+    /// Whether `self` causally precedes `other` (strictly).
+    pub fn happens_before(&self, other: &VectorClock) -> bool {
+        self.compare(other) == Causality::Before
+    }
+
+    /// Whether neither clock dominates.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        self.compare(other) == Causality::Concurrent
+    }
+
+    /// CBCAST deliverability: can a message stamped `msg` from `sender` be
+    /// delivered at a process whose clock is `self`?
+    ///
+    /// Requires `msg[sender] == self[sender] + 1` (next from that sender)
+    /// and `msg[k] <= self[k]` for every other `k` (all causal
+    /// prerequisites already delivered).
+    pub fn can_deliver(&self, sender: NodeId, msg: &VectorClock) -> bool {
+        if msg.get(sender) != self.get(sender) + 1 {
+            return false;
+        }
+        msg.counts
+            .iter()
+            .all(|(&k, &v)| k == sender || v <= self.get(k))
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (node, v)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{node}:{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    #[test]
+    fn tick_and_get() {
+        let mut vc = VectorClock::new();
+        assert_eq!(vc.get(n(0)), 0);
+        assert_eq!(vc.tick(n(0)), 1);
+        assert_eq!(vc.tick(n(0)), 2);
+        assert_eq!(vc.get(n(0)), 2);
+        assert_eq!(vc.get(n(1)), 0);
+    }
+
+    #[test]
+    fn compare_orders() {
+        let mut a = VectorClock::new();
+        let mut b = VectorClock::new();
+        assert_eq!(a.compare(&b), Causality::Equal);
+        a.tick(n(0));
+        assert_eq!(a.compare(&b), Causality::After);
+        assert_eq!(b.compare(&a), Causality::Before);
+        b.tick(n(1));
+        assert_eq!(a.compare(&b), Causality::Concurrent);
+        assert!(a.concurrent_with(&b));
+    }
+
+    #[test]
+    fn merge_is_componentwise_max() {
+        let mut a = VectorClock::new();
+        a.set(n(0), 3);
+        a.set(n(1), 1);
+        let mut b = VectorClock::new();
+        b.set(n(1), 5);
+        a.merge(&b);
+        assert_eq!(a.get(n(0)), 3);
+        assert_eq!(a.get(n(1)), 5);
+        assert!(b.happens_before(&a));
+    }
+
+    #[test]
+    fn deliverability_rule() {
+        // Receiver has seen 2 messages from n0, none from n1.
+        let mut recv = VectorClock::new();
+        recv.set(n(0), 2);
+
+        // Next message from n0 (3rd) is deliverable.
+        let mut m = VectorClock::new();
+        m.set(n(0), 3);
+        assert!(recv.can_deliver(n(0), &m));
+
+        // A gap (4th before 3rd) is not.
+        let mut gap = VectorClock::new();
+        gap.set(n(0), 4);
+        assert!(!recv.can_deliver(n(0), &gap));
+
+        // A message from n1 that causally depends on an unseen n1 msg: no.
+        let mut dep = VectorClock::new();
+        dep.set(n(1), 2);
+        assert!(!recv.can_deliver(n(1), &dep));
+
+        // First from n1 with a dependency on n0's seen messages: yes.
+        let mut ok = VectorClock::new();
+        ok.set(n(1), 1);
+        ok.set(n(0), 2);
+        assert!(recv.can_deliver(n(1), &ok));
+
+        // Same but depending on an unseen n0 message: no.
+        let mut notyet = VectorClock::new();
+        notyet.set(n(1), 1);
+        notyet.set(n(0), 3);
+        assert!(!recv.can_deliver(n(1), &notyet));
+    }
+
+    #[test]
+    fn set_zero_removes_entry() {
+        let mut vc = VectorClock::new();
+        vc.set(n(0), 2);
+        vc.set(n(0), 0);
+        assert_eq!(vc, VectorClock::new());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut vc = VectorClock::new();
+        vc.set(n(1), 2);
+        vc.set(n(3), 1);
+        assert_eq!(vc.to_string(), "{n1:2, n3:1}");
+    }
+}

@@ -1,0 +1,178 @@
+//! View-synchronous delivery.
+//!
+//! The heart of ISIS's virtual synchrony (§2.4: "atomic group membership
+//! change"): every broadcast is delivered in the same membership *view* at
+//! every surviving member, so all members agree on exactly which messages
+//! preceded each membership change. Before a new view is installed, the
+//! members of the old view *flush*: they stop delivering new messages from
+//! the old view and exchange any messages some members have and others
+//! lack.
+//!
+//! [`ViewSyncBuffer`] implements the member-side machinery: messages are
+//! tagged with the view they were sent in; messages from future views are
+//! held back until that view is installed; a flush drains the current
+//! view. The Deceit cluster uses this discipline implicitly (its
+//! synchronous broadcasts deliver within one view); the module makes the
+//! guarantee independently testable and reusable.
+
+use std::collections::BTreeMap;
+
+/// A message tagged with the view it was sent in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewedMsg<T> {
+    /// View id at the sender when it broadcast.
+    pub view_id: u64,
+    /// Payload.
+    pub payload: T,
+}
+
+/// One member's view-synchronous delivery buffer.
+#[derive(Debug, Clone)]
+pub struct ViewSyncBuffer<T> {
+    current_view: u64,
+    /// Messages from views not yet installed, keyed by view.
+    held: BTreeMap<u64, Vec<T>>,
+    delivered_in_view: u64,
+    flushed: bool,
+}
+
+impl<T> ViewSyncBuffer<T> {
+    /// A buffer starting in view `view_id`.
+    pub fn new(view_id: u64) -> Self {
+        ViewSyncBuffer {
+            current_view: view_id,
+            held: BTreeMap::new(),
+            delivered_in_view: 0,
+            flushed: false,
+        }
+    }
+
+    /// The installed view.
+    pub fn view(&self) -> u64 {
+        self.current_view
+    }
+
+    /// Messages delivered in the current view so far.
+    pub fn delivered_in_view(&self) -> u64 {
+        self.delivered_in_view
+    }
+
+    /// Ingests one message. Returns the payloads now deliverable:
+    ///
+    /// * current-view messages deliver immediately (unless the view is
+    ///   already flushing — then they are *lost to this member*, which is
+    ///   allowed: the sender will see it missing from the flush and the
+    ///   message counts as not delivered in the old view);
+    /// * future-view messages are held until that view is installed;
+    /// * old-view messages are discarded (their view has flushed; virtual
+    ///   synchrony forbids late delivery).
+    pub fn receive(&mut self, msg: ViewedMsg<T>) -> Vec<T> {
+        if msg.view_id == self.current_view && !self.flushed {
+            self.delivered_in_view += 1;
+            return vec![msg.payload];
+        }
+        if msg.view_id > self.current_view {
+            self.held.entry(msg.view_id).or_default().push(msg.payload);
+        }
+        Vec::new()
+    }
+
+    /// Flushes the current view: no further old-view message will ever be
+    /// delivered. Returns the number delivered in the closed view.
+    pub fn flush(&mut self) -> u64 {
+        self.flushed = true;
+        self.delivered_in_view
+    }
+
+    /// Installs a new view (must be greater than the current one) and
+    /// releases any messages that were sent in it, in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view_id` does not increase — view installation is
+    /// totally ordered by GBCAST.
+    pub fn install_view(&mut self, view_id: u64) -> Vec<T> {
+        assert!(view_id > self.current_view, "views must advance");
+        // Drop anything from views we skipped past (their members flushed
+        // without us; those messages are not ours to deliver).
+        let keep: Vec<u64> = self.held.keys().copied().filter(|&v| v >= view_id).collect();
+        let mut held = std::mem::take(&mut self.held);
+        let released = held.remove(&view_id).unwrap_or_default();
+        for v in keep {
+            if v > view_id {
+                if let Some(msgs) = held.remove(&v) {
+                    self.held.insert(v, msgs);
+                }
+            }
+        }
+        self.current_view = view_id;
+        self.flushed = false;
+        self.delivered_in_view = released.len() as u64;
+        released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(view_id: u64, payload: &'static str) -> ViewedMsg<&'static str> {
+        ViewedMsg { view_id, payload }
+    }
+
+    #[test]
+    fn current_view_delivers_immediately() {
+        let mut b = ViewSyncBuffer::new(1);
+        assert_eq!(b.receive(m(1, "a")), vec!["a"]);
+        assert_eq!(b.delivered_in_view(), 1);
+    }
+
+    #[test]
+    fn future_view_held_until_installed() {
+        let mut b = ViewSyncBuffer::new(1);
+        assert!(b.receive(m(2, "early")).is_empty());
+        assert_eq!(b.receive(m(1, "now")), vec!["now"]);
+        b.flush();
+        let released = b.install_view(2);
+        assert_eq!(released, vec!["early"]);
+        assert_eq!(b.view(), 2);
+    }
+
+    #[test]
+    fn old_view_messages_never_deliver_late() {
+        let mut b = ViewSyncBuffer::new(1);
+        b.flush();
+        b.install_view(2);
+        // A straggler from view 1 arrives after the view change: virtual
+        // synchrony forbids delivering it.
+        assert!(b.receive(m(1, "late")).is_empty());
+    }
+
+    #[test]
+    fn flush_stops_current_view_delivery() {
+        let mut b = ViewSyncBuffer::new(3);
+        assert_eq!(b.receive(m(3, "pre")), vec!["pre"]);
+        assert_eq!(b.flush(), 1);
+        assert!(b.receive(m(3, "post-flush")).is_empty());
+    }
+
+    #[test]
+    fn skipped_views_are_dropped() {
+        let mut b = ViewSyncBuffer::new(1);
+        b.receive(m(2, "for-view-2"));
+        b.receive(m(3, "for-view-3"));
+        b.flush();
+        // The group jumped straight to view 3 (view 2 aborted).
+        let released = b.install_view(3);
+        assert_eq!(released, vec!["for-view-3"]);
+        // View 2's message is gone for good.
+        assert!(b.receive(m(2, "again")).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "views must advance")]
+    fn views_must_advance() {
+        let mut b: ViewSyncBuffer<&str> = ViewSyncBuffer::new(5);
+        b.install_view(5);
+    }
+}

@@ -1,0 +1,84 @@
+//! Process state transfer.
+//!
+//! Joining a file group requires receiving the group's state (§3.2 calls
+//! the join "an expensive operation"); generating a file replica streams
+//! the file body over a blast connection (§3.1). Both are state transfers:
+//! a sized payload moved point-to-point, off the broadcast path. This
+//! module prices them against the simulated network.
+
+use deceit_net::{BlastConfig, Network, NodeId};
+use deceit_sim::SimDuration;
+
+/// Outcome of a state transfer attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferOutcome {
+    /// Transfer completed in the given time.
+    Done(SimDuration),
+    /// Source and destination cannot communicate.
+    Unreachable,
+}
+
+impl TransferOutcome {
+    /// The elapsed time if the transfer completed.
+    pub fn duration(self) -> Option<SimDuration> {
+        match self {
+            TransferOutcome::Done(d) => Some(d),
+            TransferOutcome::Unreachable => None,
+        }
+    }
+}
+
+/// Streams `bytes` of state from `from` to `to` over a blast connection.
+///
+/// Costs one control message on the network (accounting) plus the modeled
+/// streaming time; §3.1: "Non-blocking I/O and careful buffer management
+/// allow the connection to run at high efficiency."
+pub fn transfer_state(
+    net: &mut Network,
+    cfg: &BlastConfig,
+    from: NodeId,
+    to: NodeId,
+    bytes: u64,
+    tag: &'static str,
+) -> TransferOutcome {
+    match net.send(from, to, bytes as usize, tag) {
+        deceit_net::Delivery::Delivered(one_way) => {
+            TransferOutcome::Done(cfg.transfer_time(bytes, one_way))
+        }
+        deceit_net::Delivery::Unreachable => TransferOutcome::Unreachable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    #[test]
+    fn transfer_completes_and_scales() {
+        let mut net = Network::fixed(SimDuration::from_millis(1), 1);
+        let cfg = BlastConfig::ethernet_10mb();
+        let small = transfer_state(&mut net, &cfg, n(0), n(1), 1 << 10, "xfer")
+            .duration()
+            .unwrap();
+        let big = transfer_state(&mut net, &cfg, n(0), n(1), 1 << 24, "xfer")
+            .duration()
+            .unwrap();
+        assert!(big > small * 100, "big {big} small {small}");
+        assert_eq!(net.stats().tag_count("xfer"), 2);
+    }
+
+    #[test]
+    fn unreachable_fails() {
+        let mut net = Network::fixed(SimDuration::from_millis(1), 1);
+        net.crash(n(1));
+        let cfg = BlastConfig::default();
+        assert_eq!(
+            transfer_state(&mut net, &cfg, n(0), n(1), 1024, "xfer"),
+            TransferOutcome::Unreachable
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the ISIS ordering machinery.
+//!
+//! §3.3 requires that "updates arrive in identical order at all servers
+//! regardless of token movement"; these properties check the two ordering
+//! protocols deliver that guarantee under arbitrary arrival permutations.
+
+use deceit_isis::{
+    CausalMsg, CausalReceiver, CausalSender, OrderedReceiver, SequencedMsg, Sequencer,
+    VectorClock,
+};
+use deceit_net::NodeId;
+use proptest::prelude::*;
+
+/// Applies an arrival permutation (as a shuffle key) to a message vector.
+fn permute<T: Clone>(items: &[T], key: &[usize]) -> Vec<T> {
+    let mut indexed: Vec<(usize, T)> = items.iter().cloned().enumerate().collect();
+    indexed.sort_by_key(|(i, _)| key.get(*i).copied().unwrap_or(*i));
+    indexed.into_iter().map(|(_, t)| t).collect()
+}
+
+proptest! {
+    /// ABCAST: any arrival order delivers payloads in sequence order, and
+    /// every message is eventually delivered exactly once.
+    #[test]
+    fn abcast_total_order(n in 1usize..40, key in proptest::collection::vec(0usize..1000, 0..40)) {
+        let mut seq = Sequencer::new();
+        let msgs: Vec<SequencedMsg<usize>> = (0..n).map(|i| seq.stamp(i)).collect();
+        let arrived = permute(&msgs, &key);
+        let mut rx = OrderedReceiver::new();
+        let mut delivered = Vec::new();
+        for m in arrived {
+            for (s, p) in rx.receive(m) {
+                delivered.push((s, p));
+            }
+        }
+        let expected: Vec<(u64, usize)> = (0..n).map(|i| (i as u64, i)).collect();
+        prop_assert_eq!(delivered, expected);
+        prop_assert_eq!(rx.held_count(), 0);
+    }
+
+    /// ABCAST with duplicates: retransmissions never cause double delivery.
+    #[test]
+    fn abcast_duplicates_ignored(n in 1usize..20, dups in proptest::collection::vec(0usize..20, 0..40)) {
+        let mut seq = Sequencer::new();
+        let msgs: Vec<SequencedMsg<usize>> = (0..n).map(|i| seq.stamp(i)).collect();
+        let mut rx = OrderedReceiver::new();
+        let mut count = 0usize;
+        for m in &msgs {
+            count += rx.receive(m.clone()).len();
+        }
+        for d in dups {
+            if d < n {
+                count += rx.receive(msgs[d].clone()).len();
+            }
+        }
+        prop_assert_eq!(count, n);
+    }
+
+    /// CBCAST: a single sender's stream is delivered FIFO under any
+    /// arrival permutation.
+    #[test]
+    fn cbcast_fifo_per_sender(n in 1usize..30, key in proptest::collection::vec(0usize..1000, 0..30)) {
+        let mut tx = CausalSender::new(NodeId(0));
+        let msgs: Vec<CausalMsg<usize>> = (0..n).map(|i| tx.send(i)).collect();
+        let arrived = permute(&msgs, &key);
+        let mut rx = CausalReceiver::new();
+        let mut delivered = Vec::new();
+        for m in arrived {
+            for d in rx.receive(m) {
+                delivered.push(d.payload);
+            }
+        }
+        prop_assert_eq!(delivered, (0..n).collect::<Vec<_>>());
+        prop_assert_eq!(rx.held_count(), 0);
+    }
+
+    /// CBCAST: across two causally chained senders, causal order holds for
+    /// any interleaving; i.e. a reply never delivers before its cause.
+    #[test]
+    fn cbcast_causal_chains(rounds in 1usize..10, key in proptest::collection::vec(0usize..1000, 0..20)) {
+        let mut a = CausalSender::new(NodeId(0));
+        let mut b = CausalSender::new(NodeId(1));
+        // Alternating cause/effect pairs: a sends 2k, b (having seen it)
+        // sends 2k+1.
+        let mut msgs = Vec::new();
+        for k in 0..rounds {
+            let cause = a.send(2 * k);
+            b.deliver(&cause);
+            let effect = b.send(2 * k + 1);
+            a.deliver(&effect);
+            msgs.push(cause);
+            msgs.push(effect);
+        }
+        let arrived = permute(&msgs, &key);
+        let mut rx = CausalReceiver::new();
+        let mut delivered = Vec::new();
+        for m in arrived {
+            for d in rx.receive(m) {
+                delivered.push(d.payload);
+            }
+        }
+        prop_assert_eq!(delivered.len(), 2 * rounds);
+        // Each effect (odd) must come after its cause (the preceding even).
+        for k in 0..rounds {
+            let pc = delivered.iter().position(|&p| p == 2 * k).unwrap();
+            let pe = delivered.iter().position(|&p| p == 2 * k + 1).unwrap();
+            prop_assert!(pc < pe, "effect {} delivered before cause {}", 2 * k + 1, 2 * k);
+        }
+    }
+
+    /// Vector clocks: merge is an upper bound, and compare is antisymmetric.
+    #[test]
+    fn vclock_laws(ticks in proptest::collection::vec((0u32..4, 0u32..4), 0..50)) {
+        let mut x = VectorClock::new();
+        let mut y = VectorClock::new();
+        for (node, which) in ticks {
+            if which % 2 == 0 {
+                x.tick(NodeId(node));
+            } else {
+                y.tick(NodeId(node));
+            }
+        }
+        let mut m = x.clone();
+        m.merge(&y);
+        // Merge dominates both inputs.
+        prop_assert!(!m.happens_before(&x));
+        prop_assert!(!m.happens_before(&y));
+        prop_assert!(!m.concurrent_with(&x));
+        prop_assert!(!m.concurrent_with(&y));
+        // Antisymmetry of strict order.
+        prop_assert!(!(x.happens_before(&y) && y.happens_before(&x)));
+    }
+}

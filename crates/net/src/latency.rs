@@ -1,0 +1,123 @@
+//! Message latency models.
+//!
+//! The reproduction does not try to match 1989 Ethernet numbers exactly; it
+//! matches the *structure* the paper's arguments rely on: a per-message
+//! fixed cost plus a per-byte cost, with WAN links (between cells) an order
+//! of magnitude slower than LAN links (within a cell).
+
+use deceit_sim::{SimDuration, SimRng};
+
+/// How long one message of a given size takes from send to delivery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyModel {
+    /// Constant latency regardless of size; useful in unit tests where
+    /// determinism of individual samples matters.
+    Fixed(SimDuration),
+    /// Uniformly distributed in `[lo, hi]`, plus a per-kilobyte cost.
+    Uniform {
+        /// Minimum base latency.
+        lo: SimDuration,
+        /// Maximum base latency.
+        hi: SimDuration,
+        /// Additional cost per kilobyte of payload.
+        per_kb: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// A local-area-network profile: 1-3 ms base, ~0.8 ms per KB, which is
+    /// the right order for a 10 Mb/s shared Ethernet of the paper's era.
+    pub fn lan() -> Self {
+        LatencyModel::Uniform {
+            lo: SimDuration::from_micros(1_000),
+            hi: SimDuration::from_micros(3_000),
+            per_kb: SimDuration::from_micros(800),
+        }
+    }
+
+    /// A wide-area profile for inter-cell traffic: 30-80 ms base.
+    pub fn wan() -> Self {
+        LatencyModel::Uniform {
+            lo: SimDuration::from_millis(30),
+            hi: SimDuration::from_millis(80),
+            per_kb: SimDuration::from_micros(1_500),
+        }
+    }
+
+    /// Samples a one-way latency for a message of `bytes` payload.
+    pub fn sample(&self, rng: &mut SimRng, bytes: usize) -> SimDuration {
+        match self {
+            LatencyModel::Fixed(d) => *d,
+            LatencyModel::Uniform { lo, hi, per_kb } => {
+                let base = if lo == hi {
+                    *lo
+                } else {
+                    SimDuration::from_micros(rng.uniform(lo.as_micros(), hi.as_micros() + 1))
+                };
+                let size_cost =
+                    SimDuration::from_micros(per_kb.as_micros() * (bytes as u64) / 1024);
+                base + size_cost
+            }
+        }
+    }
+
+    /// The maximum latency this model can produce for a message of `bytes`.
+    ///
+    /// Used by availability logic to bound how long a server waits before
+    /// declaring a peer unreachable.
+    pub fn worst_case(&self, bytes: usize) -> SimDuration {
+        match self {
+            LatencyModel::Fixed(d) => *d,
+            LatencyModel::Uniform { hi, per_kb, .. } => {
+                *hi + SimDuration::from_micros(per_kb.as_micros() * (bytes as u64) / 1024)
+            }
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let m = LatencyModel::Fixed(SimDuration::from_micros(500));
+        let mut rng = SimRng::new(1);
+        for bytes in [0, 100, 1 << 20] {
+            assert_eq!(m.sample(&mut rng, bytes), SimDuration::from_micros(500));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_size() {
+        let m = LatencyModel::Uniform {
+            lo: SimDuration::from_micros(100),
+            hi: SimDuration::from_micros(200),
+            per_kb: SimDuration::from_micros(10),
+        };
+        let mut rng = SimRng::new(2);
+        for _ in 0..500 {
+            let s = m.sample(&mut rng, 2048).as_micros();
+            assert!((120..=220).contains(&s), "sample {s}");
+        }
+        assert_eq!(m.worst_case(2048), SimDuration::from_micros(220));
+    }
+
+    #[test]
+    fn wan_slower_than_lan() {
+        let mut rng = SimRng::new(3);
+        let lan: u64 = (0..100)
+            .map(|_| LatencyModel::lan().sample(&mut rng, 1024).as_micros())
+            .sum();
+        let wan: u64 = (0..100)
+            .map(|_| LatencyModel::wan().sample(&mut rng, 1024).as_micros())
+            .sum();
+        assert!(wan > lan * 5, "wan {wan} lan {lan}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Simulated network substrate for the Deceit reproduction.
+//!
+//! Section 2.3 of the paper fixes the network assumptions: a small number of
+//! LANs per cell (10–100 machines), symmetric communication, messages may be
+//! lost, the network may partition for long periods, and machines crash
+//! without notification. This crate models exactly that environment:
+//!
+//! * [`NodeId`] — identity of a server or client machine.
+//! * [`LatencyModel`] — per-message latency shapes (LAN, WAN, fixed).
+//! * [`Partition`] — long-term communication partitions as disjoint groups.
+//! * [`Network`] — reachability + crash state + full message accounting.
+//! * [`blast`] — the "blast" bulk file-transfer model used for replica
+//!   generation (§3.1: a TCP connection run "at high efficiency").
+//! * [`live`] — a real multi-threaded in-memory transport with the same
+//!   interface shape, demonstrating the message layer off the simulator.
+
+pub mod blast;
+pub mod latency;
+pub mod live;
+pub mod network;
+pub mod node;
+pub mod topology;
+
+pub use blast::BlastConfig;
+pub use latency::LatencyModel;
+pub use network::{Delivery, NetStats, Network};
+pub use node::NodeId;
+pub use topology::Partition;

@@ -1,0 +1,241 @@
+//! A real multi-threaded in-memory transport.
+//!
+//! The simulator in [`crate::network`] is the substrate every experiment
+//! runs on, but a distributed file system ultimately exchanges messages
+//! between concurrently executing machines. [`LiveBus`] provides exactly
+//! the same connectivity semantics (crashes, partitions, symmetric
+//! reachability) over real threads and channels, so the examples can show
+//! the message layer running "live". It is intentionally unordered across
+//! senders — ordering is ISIS's job, one layer up.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+
+use crate::node::NodeId;
+use crate::topology::Partition;
+
+/// One delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sending machine.
+    pub from: NodeId,
+    /// Payload.
+    pub msg: M,
+}
+
+#[derive(Debug)]
+struct BusInner<M> {
+    endpoints: RwLock<HashMap<NodeId, Sender<Envelope<M>>>>,
+    partition: RwLock<Partition>,
+    crashed: RwLock<BTreeSet<NodeId>>,
+    delivered: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A shared in-memory message bus connecting live endpoints.
+#[derive(Debug)]
+pub struct LiveBus<M> {
+    inner: Arc<BusInner<M>>,
+}
+
+impl<M> Clone for LiveBus<M> {
+    fn clone(&self) -> Self {
+        LiveBus { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<M: Send + 'static> LiveBus<M> {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        LiveBus {
+            inner: Arc::new(BusInner {
+                endpoints: RwLock::new(HashMap::new()),
+                partition: RwLock::new(Partition::connected()),
+                crashed: RwLock::new(BTreeSet::new()),
+                delivered: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Registers a machine and returns its endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is already registered.
+    pub fn register(&self, node: NodeId) -> LiveEndpoint<M> {
+        let (tx, rx) = unbounded();
+        let prev = self.inner.endpoints.write().insert(node, tx);
+        assert!(prev.is_none(), "node {node} registered twice");
+        LiveEndpoint { node, rx, bus: self.clone() }
+    }
+
+    /// Imposes a partition on the bus.
+    pub fn split(&self, groups: &[&[NodeId]]) {
+        *self.inner.partition.write() = Partition::split(groups);
+    }
+
+    /// Heals any partition.
+    pub fn heal(&self) {
+        self.inner.partition.write().heal();
+    }
+
+    /// Marks a machine as crashed: its traffic is rejected in both
+    /// directions until [`LiveBus::recover`].
+    pub fn crash(&self, node: NodeId) {
+        self.inner.crashed.write().insert(node);
+    }
+
+    /// Recovers a crashed machine.
+    pub fn recover(&self, node: NodeId) {
+        self.inner.crashed.write().remove(&node);
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.inner.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Send attempts rejected by crash/partition state.
+    pub fn rejected(&self) -> u64 {
+        self.inner.rejected.load(Ordering::Relaxed)
+    }
+
+    fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        let crashed = self.inner.crashed.read();
+        if crashed.contains(&a) || crashed.contains(&b) {
+            return false;
+        }
+        self.inner.partition.read().can_reach(a, b)
+    }
+
+    fn send(&self, from: NodeId, to: NodeId, msg: M) -> bool {
+        if !self.reachable(from, to) {
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let ok = match self.inner.endpoints.read().get(&to) {
+            Some(tx) => tx.send(Envelope { from, msg }).is_ok(),
+            None => false,
+        };
+        if ok {
+            self.inner.delivered.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+}
+
+impl<M: Send + 'static> Default for LiveBus<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One machine's connection to the bus.
+#[derive(Debug)]
+pub struct LiveEndpoint<M> {
+    node: NodeId,
+    rx: Receiver<Envelope<M>>,
+    bus: LiveBus<M>,
+}
+
+impl<M: Send + 'static> LiveEndpoint<M> {
+    /// This endpoint's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends a message; returns false if the peer is unreachable.
+    pub fn send(&self, to: NodeId, msg: M) -> bool {
+        self.bus.send(self.node, to, msg)
+    }
+
+    /// Blocks until a message arrives or the timeout elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(env) => Some(env),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Returns an already-queued message without blocking.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn n(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    #[test]
+    fn ping_pong_across_threads() {
+        let bus: LiveBus<String> = LiveBus::new();
+        let a = bus.register(n(0));
+        let b = bus.register(n(1));
+        let handle = thread::spawn(move || {
+            let env = b.recv_timeout(Duration::from_secs(2)).expect("ping");
+            assert_eq!(env.from, n(0));
+            assert_eq!(env.msg, "ping");
+            assert!(b.send(env.from, "pong".to_string()));
+        });
+        assert!(a.send(n(1), "ping".to_string()));
+        let env = a.recv_timeout(Duration::from_secs(2)).expect("pong");
+        assert_eq!(env.msg, "pong");
+        handle.join().unwrap();
+        assert_eq!(bus.delivered(), 2);
+    }
+
+    #[test]
+    fn partition_rejects_cross_traffic() {
+        let bus: LiveBus<u32> = LiveBus::new();
+        let a = bus.register(n(0));
+        let b = bus.register(n(1));
+        bus.split(&[&[n(0)], &[n(1)]]);
+        assert!(!a.send(n(1), 7));
+        assert_eq!(bus.rejected(), 1);
+        bus.heal();
+        assert!(a.send(n(1), 7));
+        assert_eq!(b.try_recv().unwrap().msg, 7);
+    }
+
+    #[test]
+    fn crash_and_recover() {
+        let bus: LiveBus<u32> = LiveBus::new();
+        let a = bus.register(n(0));
+        let b = bus.register(n(1));
+        bus.crash(n(1));
+        assert!(!a.send(n(1), 1));
+        bus.recover(n(1));
+        assert!(a.send(n(1), 2));
+        assert_eq!(b.try_recv().unwrap().msg, 2);
+    }
+
+    #[test]
+    fn unregistered_destination_rejected() {
+        let bus: LiveBus<u32> = LiveBus::new();
+        let a = bus.register(n(0));
+        assert!(!a.send(n(9), 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_register_panics() {
+        let bus: LiveBus<u32> = LiveBus::new();
+        let _a = bus.register(n(0));
+        let _b = bus.register(n(0));
+    }
+}

@@ -1,0 +1,130 @@
+//! Long-term network partitions.
+//!
+//! §2.3: "the network may experience long term communication partition …
+//! Network partitions may be frequent." A [`Partition`] divides the node
+//! space into disjoint groups; nodes in different groups cannot exchange
+//! messages until the partition heals.
+
+use std::collections::BTreeSet;
+
+use crate::node::NodeId;
+
+/// The current partition state of the network.
+///
+/// The default state is fully connected. A partition is expressed as a set
+/// of disjoint groups; any node not named in a group belongs to an implicit
+/// "rest of the world" group. Symmetry (§2.3: "communication is symmetric")
+/// falls out of the representation.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    groups: Vec<BTreeSet<NodeId>>,
+}
+
+impl Partition {
+    /// A fully connected network.
+    pub fn connected() -> Self {
+        Partition::default()
+    }
+
+    /// Splits the network into the given disjoint groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node appears in more than one group — that would make
+    /// reachability ambiguous.
+    pub fn split(groups: &[&[NodeId]]) -> Self {
+        let mut seen = BTreeSet::new();
+        let mut parts = Vec::new();
+        for group in groups {
+            let set: BTreeSet<NodeId> = group.iter().copied().collect();
+            for n in &set {
+                assert!(seen.insert(*n), "node {n} appears in two partition groups");
+            }
+            parts.push(set);
+        }
+        Partition { groups: parts }
+    }
+
+    /// Restores full connectivity.
+    pub fn heal(&mut self) {
+        self.groups.clear();
+    }
+
+    /// Whether the network is currently fully connected.
+    pub fn is_connected(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Whether `a` and `b` can currently communicate.
+    ///
+    /// A node never loses connectivity to itself.
+    pub fn can_reach(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b || self.groups.is_empty() {
+            return true;
+        }
+        let ga = self.group_of(a);
+        let gb = self.group_of(b);
+        ga == gb
+    }
+
+    /// Index of the group containing `n`, with `None` meaning the implicit
+    /// rest-of-world group.
+    fn group_of(&self, n: NodeId) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    #[test]
+    fn connected_by_default() {
+        let p = Partition::connected();
+        assert!(p.is_connected());
+        assert!(p.can_reach(n(0), n(9)));
+    }
+
+    #[test]
+    fn split_blocks_cross_group_traffic() {
+        let p = Partition::split(&[&[n(0), n(1)], &[n(2), n(3)]]);
+        assert!(p.can_reach(n(0), n(1)));
+        assert!(p.can_reach(n(2), n(3)));
+        assert!(!p.can_reach(n(0), n(2)));
+        assert!(!p.can_reach(n(3), n(1)));
+        // Symmetric.
+        assert_eq!(p.can_reach(n(0), n(2)), p.can_reach(n(2), n(0)));
+    }
+
+    #[test]
+    fn unnamed_nodes_form_rest_group() {
+        let p = Partition::split(&[&[n(0)]]);
+        // 5 and 6 are both in the implicit rest group.
+        assert!(p.can_reach(n(5), n(6)));
+        assert!(!p.can_reach(n(0), n(5)));
+    }
+
+    #[test]
+    fn self_reachability_survives_partition() {
+        let p = Partition::split(&[&[n(0)], &[n(1)]]);
+        assert!(p.can_reach(n(0), n(0)));
+    }
+
+    #[test]
+    fn heal_restores_connectivity() {
+        let mut p = Partition::split(&[&[n(0)], &[n(1)]]);
+        assert!(!p.can_reach(n(0), n(1)));
+        p.heal();
+        assert!(p.can_reach(n(0), n(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in two partition groups")]
+    fn overlapping_groups_panic() {
+        let _ = Partition::split(&[&[n(0), n(1)], &[n(1), n(2)]]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Client credentials and access checking.
+//!
+//! §5: "Deceit does not directly address most security issues. …
+//! Client/server communication is secured, and client authentication is
+//! provided using DES encryption in the NFS interface. It is beyond the
+//! scope of this discussion to provide a detailed description of these
+//! mechanisms." We follow the paper's split: the *mechanism* (DES key
+//! exchange) is modeled by a token check the transport performs, while
+//! the *policy* — UNIX mode bits evaluated against the caller's
+//! credentials — is implemented in full, since NFS semantics depend on it.
+
+use crate::inode::Inode;
+
+/// The caller's identity, as carried by AUTH_UNIX/AUTH_DES credentials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Credentials {
+    /// Effective user id.
+    pub uid: u32,
+    /// Effective group id.
+    pub gid: u32,
+}
+
+impl Credentials {
+    /// The superuser: bypasses mode checks, as on any UNIX NFS server.
+    pub const ROOT: Credentials = Credentials { uid: 0, gid: 0 };
+
+    /// An ordinary user.
+    pub const fn user(uid: u32, gid: u32) -> Self {
+        Credentials { uid, gid }
+    }
+
+    /// Whether this is the superuser.
+    pub const fn is_root(&self) -> bool {
+        self.uid == 0
+    }
+}
+
+/// The access being requested (a simplified NFS ACCESS bitmask).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Read file contents or list a directory.
+    Read,
+    /// Modify file contents or directory entries.
+    Write,
+    /// Execute a file or traverse a directory.
+    Execute,
+}
+
+impl AccessMode {
+    /// The owner-class permission bit for this mode.
+    fn owner_bit(self) -> u32 {
+        match self {
+            AccessMode::Read => 0o400,
+            AccessMode::Write => 0o200,
+            AccessMode::Execute => 0o100,
+        }
+    }
+}
+
+/// Evaluates the classic UNIX owner/group/other check.
+///
+/// # Examples
+///
+/// ```
+/// use deceit_nfs::auth::{permits, AccessMode, Credentials};
+/// use deceit_nfs::Inode;
+///
+/// let mut inode = Inode::new(0, 0o640, 0);
+/// inode.uid = 10;
+/// inode.gid = 20;
+/// assert!(permits(&inode, Credentials::user(10, 99), AccessMode::Write));
+/// assert!(permits(&inode, Credentials::user(11, 20), AccessMode::Read));
+/// assert!(!permits(&inode, Credentials::user(11, 20), AccessMode::Write));
+/// assert!(!permits(&inode, Credentials::user(12, 99), AccessMode::Read));
+/// assert!(permits(&inode, Credentials::ROOT, AccessMode::Write));
+/// ```
+pub fn permits(inode: &Inode, cred: Credentials, want: AccessMode) -> bool {
+    if cred.is_root() {
+        return true;
+    }
+    let bit = want.owner_bit();
+    let shift = if cred.uid == inode.uid {
+        0
+    } else if cred.gid == inode.gid {
+        3
+    } else {
+        6
+    };
+    inode.mode & (bit >> shift) != 0
+}
+
+/// The modeled DES handshake: a shared-secret session ticket the client
+/// presents with each conversation. The paper's real mechanism is key
+/// exchange + encrypted verifiers; what matters to the file system is
+/// only the predicate "is this client who it claims to be", which this
+/// check supplies.
+#[derive(Debug, Clone)]
+pub struct SessionAuth {
+    secret: u64,
+}
+
+impl SessionAuth {
+    /// A server-side authenticator with a shared secret.
+    pub fn new(secret: u64) -> Self {
+        SessionAuth { secret }
+    }
+
+    /// Issues the ticket a legitimate client would derive from the shared
+    /// secret for its credentials.
+    pub fn ticket_for(&self, cred: Credentials) -> u64 {
+        // A keyed mix, standing in for the DES-encrypted verifier.
+        let x = (cred.uid as u64) << 32 | cred.gid as u64;
+        x.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.secret.rotate_left(17)
+    }
+
+    /// Verifies a presented ticket.
+    pub fn verify(&self, cred: Credentials, ticket: u64) -> bool {
+        self.ticket_for(cred) == ticket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inode(mode: u32, uid: u32, gid: u32) -> Inode {
+        let mut i = Inode::new(0, mode, 0);
+        i.uid = uid;
+        i.gid = gid;
+        i
+    }
+
+    #[test]
+    fn owner_group_other_classes() {
+        let i = inode(0o754, 1, 2);
+        // Owner: rwx.
+        assert!(permits(&i, Credentials::user(1, 9), AccessMode::Read));
+        assert!(permits(&i, Credentials::user(1, 9), AccessMode::Write));
+        assert!(permits(&i, Credentials::user(1, 9), AccessMode::Execute));
+        // Group: r-x.
+        assert!(permits(&i, Credentials::user(5, 2), AccessMode::Read));
+        assert!(!permits(&i, Credentials::user(5, 2), AccessMode::Write));
+        assert!(permits(&i, Credentials::user(5, 2), AccessMode::Execute));
+        // Other: r--.
+        assert!(permits(&i, Credentials::user(5, 9), AccessMode::Read));
+        assert!(!permits(&i, Credentials::user(5, 9), AccessMode::Write));
+        assert!(!permits(&i, Credentials::user(5, 9), AccessMode::Execute));
+    }
+
+    #[test]
+    fn root_bypasses() {
+        let i = inode(0o000, 1, 1);
+        for mode in [AccessMode::Read, AccessMode::Write, AccessMode::Execute] {
+            assert!(permits(&i, Credentials::ROOT, mode));
+        }
+    }
+
+    #[test]
+    fn owner_class_takes_precedence() {
+        // Owner with no permission does NOT fall through to "other".
+        let i = inode(0o007, 1, 2);
+        assert!(!permits(&i, Credentials::user(1, 2), AccessMode::Read));
+        assert!(permits(&i, Credentials::user(9, 9), AccessMode::Read));
+    }
+
+    #[test]
+    fn session_auth_accepts_only_matching_tickets() {
+        let auth = SessionAuth::new(0xDECE17);
+        let alice = Credentials::user(100, 10);
+        let ticket = auth.ticket_for(alice);
+        assert!(auth.verify(alice, ticket));
+        assert!(!auth.verify(Credentials::user(101, 10), ticket), "stolen ticket");
+        assert!(!auth.verify(alice, ticket ^ 1), "tampered ticket");
+        let other_server = SessionAuth::new(0xBEEF);
+        assert!(!other_server.verify(alice, ticket), "wrong cell secret");
+    }
+}

@@ -1,0 +1,173 @@
+//! Cells and the global root directory.
+//!
+//! §2.2: "Deceit servers can be subdivided into cells … Each cell is an
+//! independent instantiation of Deceit with distinct files and processes.
+//! Each cell maintains its own name space, and replication must be
+//! contained within a cell. … Access between cells is provided through a
+//! logical directory … called the global root directory. It cannot be
+//! listed, as it implicitly contains the full machine names of every
+//! accessible Deceit server. … By executing the command
+//! `cd /priv/global/foo.cs.mit.edu`, a user can access the MIT cell with
+//! normal file operations. … The Cornell cell acts as a client to the MIT
+//! cell."
+
+use std::collections::BTreeMap;
+
+use deceit_net::NodeId;
+use deceit_sim::SimDuration;
+
+use crate::fs::{DeceitFs, FileAttr, NfsError, NfsResult};
+use crate::handle::FileHandle;
+
+/// Identity of one cell within a federation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub u32);
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell{}", self.0)
+    }
+}
+
+/// A handle qualified with the cell that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalHandle {
+    /// Issuing cell.
+    pub cell: CellId,
+    /// The handle within that cell.
+    pub fh: FileHandle,
+}
+
+/// A federation of independent Deceit cells, linked through the logical
+/// global root directory.
+#[derive(Debug)]
+pub struct Federation {
+    cells: Vec<DeceitFs>,
+    /// Full machine names ("s0.cornell.edu") → (cell, server).
+    hosts: BTreeMap<String, (CellId, NodeId)>,
+    /// Modeled WAN round-trip charged per inter-cell operation.
+    pub inter_cell_rtt: SimDuration,
+}
+
+impl Federation {
+    /// Builds a federation; each entry is `(domain, file service)`. Every
+    /// server `i` of a cell gets the machine name `s{i}.{domain}`.
+    pub fn new(cells: Vec<(String, DeceitFs)>) -> Self {
+        let mut hosts = BTreeMap::new();
+        let mut fss = Vec::new();
+        for (idx, (domain, fs)) in cells.into_iter().enumerate() {
+            let cell = CellId(idx as u32);
+            for server in fs.cluster.server_ids() {
+                hosts.insert(format!("s{}.{domain}", server.0), (cell, server));
+            }
+            fss.push(fs);
+        }
+        Federation { cells: fss, hosts, inter_cell_rtt: SimDuration::from_millis(80) }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the federation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Access to one cell's file service.
+    pub fn cell(&mut self, id: CellId) -> &mut DeceitFs {
+        &mut self.cells[id.0 as usize]
+    }
+
+    /// Resolves a full machine name to its cell and server.
+    pub fn resolve_host(&self, host: &str) -> Option<(CellId, NodeId)> {
+        self.hosts.get(host).copied()
+    }
+
+    /// Walks an absolute path starting in `cell` via `via`.
+    ///
+    /// Paths of the form `/priv/global/<machine>/rest…` cross into the
+    /// machine's cell; the local cell acts as a client to the remote one
+    /// and the WAN round-trip is charged. The global root itself "cannot
+    /// be listed" — only named machine components resolve through it.
+    pub fn lookup_path(
+        &mut self,
+        cell: CellId,
+        via: NodeId,
+        path: &str,
+    ) -> NfsResult<(GlobalHandle, FileAttr)> {
+        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        if comps.len() >= 3 && comps[0] == "priv" && comps[1] == "global" {
+            let host = comps[2];
+            let (remote_cell, remote_server) =
+                self.resolve_host(host).ok_or(NfsError::NotFound)?;
+            let rest = comps[3..].join("/");
+            let rtt = self.inter_cell_rtt;
+            let mut out = self.cells[remote_cell.0 as usize]
+                .lookup_path(remote_server, &rest)?;
+            out.latency += rtt;
+            return Ok(deceit_core::OpResult {
+                value: (GlobalHandle { cell: remote_cell, fh: out.value.handle }, out.value),
+                latency: out.latency,
+            });
+        }
+        let out = self.cells[cell.0 as usize].lookup_path(via, path)?;
+        Ok(deceit_core::OpResult {
+            value: (GlobalHandle { cell, fh: out.value.handle }, out.value),
+            latency: out.latency,
+        })
+    }
+
+    /// Reads a file through a global handle; inter-cell reads pay the WAN
+    /// round trip.
+    pub fn read(
+        &mut self,
+        from_cell: CellId,
+        via: NodeId,
+        handle: GlobalHandle,
+        offset: usize,
+        count: usize,
+    ) -> NfsResult<bytes::Bytes> {
+        let remote = handle.cell != from_cell;
+        let serving_node = if remote {
+            // Any server of the remote cell; pick the lowest for
+            // determinism (the client "picks a machine", §2.2).
+            self.cells[handle.cell.0 as usize].cluster.server_ids()[0]
+        } else {
+            via
+        };
+        let rtt = self.inter_cell_rtt;
+        let mut out = self.cells[handle.cell.0 as usize].read(serving_node, handle.fh, offset, count)?;
+        if remote {
+            out.latency += rtt;
+        }
+        Ok(out)
+    }
+
+    /// Writes a file through a global handle (mount and access
+    /// restrictions "applied as with any client" are the remote cell's
+    /// business; this reproduction grants access).
+    pub fn write(
+        &mut self,
+        from_cell: CellId,
+        via: NodeId,
+        handle: GlobalHandle,
+        offset: usize,
+        data: &[u8],
+    ) -> NfsResult<FileAttr> {
+        let remote = handle.cell != from_cell;
+        let serving_node = if remote {
+            self.cells[handle.cell.0 as usize].cluster.server_ids()[0]
+        } else {
+            via
+        };
+        let rtt = self.inter_cell_rtt;
+        let mut out =
+            self.cells[handle.cell.0 as usize].write(serving_node, handle.fh, offset, data)?;
+        if remote {
+            out.latency += rtt;
+        }
+        Ok(out)
+    }
+}

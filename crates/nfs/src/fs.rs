@@ -1,0 +1,915 @@
+//! The file-service envelope: NFS operations over segments.
+//!
+//! Every operation here decomposes into segment-server calls (create,
+//! delete, read, write, setparam) exactly as §5.2 prescribes, with
+//! directory updates protected by the optimistic-concurrency mechanism of
+//! §5.1: "The directory is read, and a position is selected … Then, an
+//! update is given to the segment server with the version pair returned by
+//! the original read. If a version pair conflict occurs, the whole
+//! operation is restarted."
+
+use bytes::Bytes;
+
+use deceit_core::{
+    Cluster, ClusterConfig, DeceitError, FileParams, OpResult, VersionPair, WriteOp,
+};
+use deceit_net::NodeId;
+use deceit_sim::SimDuration;
+
+use crate::dir::{DirEntry, Directory};
+use crate::gc;
+use crate::handle::FileHandle;
+use crate::inode::{CodecError, Inode};
+use crate::name::{NameError, QualifiedName};
+
+/// File types the envelope stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+}
+
+impl FileType {
+    /// The byte stored in inode headers and directory entries.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            FileType::Regular => 0,
+            FileType::Directory => 1,
+            FileType::Symlink => 2,
+        }
+    }
+
+    /// Decodes the byte form.
+    pub fn from_byte(b: u8) -> Option<FileType> {
+        match b {
+            0 => Some(FileType::Regular),
+            1 => Some(FileType::Directory),
+            2 => Some(FileType::Symlink),
+            _ => None,
+        }
+    }
+}
+
+/// NFS-visible attributes of a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileAttr {
+    /// The handle the attributes describe.
+    pub handle: FileHandle,
+    /// File type.
+    pub ftype: FileType,
+    /// Permission bits.
+    pub mode: u32,
+    /// Hard-link count (the hint; exact after GC correction).
+    pub nlink: u32,
+    /// Owner and group.
+    pub uid: u32,
+    /// Group id.
+    pub gid: u32,
+    /// Size of the client-visible contents in bytes.
+    pub size: usize,
+    /// The Deceit version pair — doubles as NFS's change attribute.
+    pub version: VersionPair,
+    /// Modification time (simulated microseconds).
+    pub mtime: u64,
+    /// Attribute-change time (simulated microseconds).
+    pub ctime: u64,
+}
+
+/// Envelope errors (the NFS error surface plus codec/transport causes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NfsError {
+    /// ENOENT.
+    NotFound,
+    /// EEXIST.
+    Exists,
+    /// ENOTDIR.
+    NotDir,
+    /// EISDIR.
+    IsDir,
+    /// ENOTEMPTY.
+    NotEmpty,
+    /// ESTALE — the handle no longer names a live file.
+    Stale,
+    /// EACCES — the caller's credentials do not permit the operation.
+    Access,
+    /// Invalid component name.
+    Name(NameError),
+    /// The directory update kept conflicting (heavy write sharing —
+    /// "very rare" per §2.3 — exhausted the restart budget).
+    Busy,
+    /// Underlying segment-server failure.
+    Io(DeceitError),
+    /// A segment the envelope expected to be formatted was not.
+    Corrupt(CodecError),
+}
+
+impl std::fmt::Display for NfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NfsError::NotFound => write!(f, "no such file or directory"),
+            NfsError::Exists => write!(f, "file exists"),
+            NfsError::NotDir => write!(f, "not a directory"),
+            NfsError::IsDir => write!(f, "is a directory"),
+            NfsError::NotEmpty => write!(f, "directory not empty"),
+            NfsError::Stale => write!(f, "stale file handle"),
+            NfsError::Access => write!(f, "permission denied"),
+            NfsError::Name(e) => write!(f, "{e}"),
+            NfsError::Busy => write!(f, "directory update conflicted repeatedly"),
+            NfsError::Io(e) => write!(f, "segment server: {e}"),
+            NfsError::Corrupt(e) => write!(f, "corrupt segment: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NfsError {}
+
+impl From<DeceitError> for NfsError {
+    fn from(e: DeceitError) -> Self {
+        match e {
+            DeceitError::NoSuchSegment(_) | DeceitError::NoSuchVersion(_, _) => NfsError::Stale,
+            other => NfsError::Io(other),
+        }
+    }
+}
+
+impl From<NameError> for NfsError {
+    fn from(e: NameError) -> Self {
+        NfsError::Name(e)
+    }
+}
+
+impl From<CodecError> for NfsError {
+    fn from(e: CodecError) -> Self {
+        NfsError::Corrupt(e)
+    }
+}
+
+/// Result alias: every envelope operation reports its latency.
+pub type NfsResult<T> = Result<OpResult<T>, NfsError>;
+
+/// Envelope configuration.
+#[derive(Debug, Clone)]
+pub struct FsConfig {
+    /// Parameters applied to the root directory (administrators replicate
+    /// "all important system directories", §6.1).
+    pub root_params: FileParams,
+    /// Parameters applied to newly created directories.
+    pub dir_params: FileParams,
+    /// Parameters applied to newly created files (§1: "The default
+    /// behavior is equivalent to NFS").
+    pub file_params: FileParams,
+    /// Restart budget for conflicting directory updates (§5.1).
+    pub occ_retries: u32,
+}
+
+impl Default for FsConfig {
+    fn default() -> Self {
+        FsConfig {
+            root_params: FileParams::default(),
+            dir_params: FileParams::default(),
+            file_params: FileParams::default(),
+            occ_retries: 8,
+        }
+    }
+}
+
+/// One Deceit cell's file service.
+#[derive(Debug)]
+pub struct DeceitFs {
+    /// The segment-server cell underneath.
+    pub cluster: Cluster,
+    cfg: FsConfig,
+    root: FileHandle,
+}
+
+/// The fixed size used when reading a whole segment ("most files are
+/// small", §2.3; this bound is far above any segment the tests create).
+const WHOLE_SEGMENT: usize = 64 * 1024 * 1024;
+
+impl DeceitFs {
+    /// Builds a file service over `servers` Deceit servers and creates the
+    /// root directory (via server 0).
+    pub fn new(servers: usize, cluster_cfg: ClusterConfig, cfg: FsConfig) -> Self {
+        let mut cluster = Cluster::new(servers, cluster_cfg);
+        let via = NodeId(0);
+        let root_seg = cluster
+            .create_with_params(via, cfg.root_params)
+            .expect("root creation cannot fail on a fresh cell")
+            .value;
+        let now = cluster.now().as_micros();
+        let mut inode = Inode::new(FileType::Directory.to_byte(), 0o755, now);
+        inode.nlink = 1;
+        let mut payload = inode.encode();
+        payload.extend_from_slice(&Directory::new().encode());
+        cluster
+            .write(via, root_seg, WriteOp::Replace(payload), None)
+            .expect("root format cannot fail");
+        cluster.run_until_quiet();
+        DeceitFs { cluster, cfg, root: FileHandle::new(root_seg) }
+    }
+
+    /// A file service with default configs — the common test fixture.
+    pub fn with_defaults(servers: usize) -> Self {
+        DeceitFs::new(servers, ClusterConfig::deterministic(), FsConfig::default())
+    }
+
+    /// The root directory handle (what `mount` returns).
+    pub fn root(&self) -> FileHandle {
+        self.root
+    }
+
+    /// The envelope configuration.
+    pub fn config(&self) -> &FsConfig {
+        &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Segment plumbing
+    // ------------------------------------------------------------------
+
+    /// Reads a whole segment and splits it into (inode, payload, version).
+    pub(crate) fn load(
+        &mut self,
+        via: NodeId,
+        fh: FileHandle,
+    ) -> Result<(Inode, Bytes, VersionPair, SimDuration), NfsError> {
+        let read = self.cluster.read(via, fh.seg, fh.version, 0, WHOLE_SEGMENT)?;
+        let (inode, hdr_len) = Inode::decode(&read.value.data)?;
+        let payload = read.value.data.slice(hdr_len..);
+        Ok((inode, payload, read.value.version, read.latency))
+    }
+
+    /// Writes a segment's inode + payload conditionally on `expected`.
+    pub(crate) fn store(
+        &mut self,
+        via: NodeId,
+        fh: FileHandle,
+        inode: &Inode,
+        payload: &[u8],
+        expected: Option<VersionPair>,
+    ) -> Result<(VersionPair, SimDuration), NfsError> {
+        let mut buf = inode.encode();
+        buf.extend_from_slice(payload);
+        let w = self.cluster.write(via, fh.seg, WriteOp::Replace(buf), expected)?;
+        Ok((w.value, w.latency))
+    }
+
+    /// Runs a read-modify-write on a segment with the §5.1 restart loop.
+    /// `mutate` returns `Ok(Some(payload))` to write, `Ok(None)` to leave
+    /// the segment untouched.
+    pub(crate) fn update_segment(
+        &mut self,
+        via: NodeId,
+        fh: FileHandle,
+        mut mutate: impl FnMut(&mut Inode, &Bytes) -> Result<Option<Vec<u8>>, NfsError>,
+    ) -> Result<SimDuration, NfsError> {
+        let mut latency = SimDuration::ZERO;
+        for attempt in 0..self.cfg.occ_retries.max(1) {
+            let (mut inode, payload, version, l1) = self.load(via, fh)?;
+            latency += l1;
+            let new_payload = match mutate(&mut inode, &payload)? {
+                Some(p) => p,
+                None => return Ok(latency),
+            };
+            match self.store(via, fh, &inode, &new_payload, Some(version)) {
+                Ok((_, l2)) => return Ok(latency + l2),
+                Err(NfsError::Io(DeceitError::VersionConflict { .. })) => {
+                    self.cluster.stats.incr("nfs/occ_restarts");
+                    // §5.1: "the whole operation is restarted." Restarting
+                    // takes real time — back off so asynchronously
+                    // propagating updates can land before the re-read (a
+                    // zero-time retry against a write-behind replica would
+                    // spin on the same stale version).
+                    let backoff = SimDuration::from_millis(10 * (attempt as u64 + 1));
+                    self.cluster.advance(backoff);
+                    latency += backoff;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(NfsError::Busy)
+    }
+
+    /// Loads a directory segment's entry table.
+    pub(crate) fn load_dir(
+        &mut self,
+        via: NodeId,
+        fh: FileHandle,
+    ) -> Result<(Inode, Directory, VersionPair, SimDuration), NfsError> {
+        let (inode, payload, version, latency) = self.load(via, fh)?;
+        if inode.ftype != FileType::Directory.to_byte() {
+            return Err(NfsError::NotDir);
+        }
+        let dir = Directory::decode(&payload)?;
+        Ok((inode, dir, version, latency))
+    }
+
+    fn attr_from(&self, fh: FileHandle, inode: &Inode, payload_len: usize, version: VersionPair) -> FileAttr {
+        FileAttr {
+            handle: fh,
+            ftype: FileType::from_byte(inode.ftype).unwrap_or(FileType::Regular),
+            mode: inode.mode,
+            nlink: inode.nlink,
+            uid: inode.uid,
+            gid: inode.gid,
+            size: payload_len,
+            version,
+            mtime: inode.mtime,
+            ctime: inode.ctime,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // NFS operations
+    // ------------------------------------------------------------------
+
+    /// `GETATTR`.
+    pub fn getattr(&mut self, via: NodeId, fh: FileHandle) -> NfsResult<FileAttr> {
+        let (inode, payload, version, latency) = self.load(via, fh)?;
+        let attr = self.attr_from(fh, &inode, payload.len(), version);
+        Ok(OpResult { value: attr, latency })
+    }
+
+    /// `SETATTR`: chmod/chown/truncate.
+    pub fn setattr(
+        &mut self,
+        via: NodeId,
+        fh: FileHandle,
+        mode: Option<u32>,
+        uid: Option<u32>,
+        gid: Option<u32>,
+        size: Option<usize>,
+    ) -> NfsResult<FileAttr> {
+        let now = self.cluster.now().as_micros();
+        let latency = self.update_segment(via, fh, |inode, payload| {
+            if size.is_some() && inode.ftype == FileType::Directory.to_byte() {
+                return Err(NfsError::IsDir);
+            }
+            if let Some(m) = mode {
+                inode.mode = m;
+            }
+            if let Some(u) = uid {
+                inode.uid = u;
+            }
+            if let Some(g) = gid {
+                inode.gid = g;
+            }
+            inode.ctime = now;
+            let mut data = payload.to_vec();
+            if let Some(s) = size {
+                data.resize(s, 0);
+                inode.mtime = now;
+            }
+            Ok(Some(data))
+        })?;
+        let mut out = self.getattr(via, fh)?;
+        out.latency += latency;
+        Ok(out)
+    }
+
+    /// `LOOKUP`: resolves one component in a directory, honoring the
+    /// `name;version` syntax (§3.5).
+    pub fn lookup(&mut self, via: NodeId, dir: FileHandle, name: &str) -> NfsResult<FileAttr> {
+        let q = QualifiedName::parse(name)?;
+        let (_, table, _, latency) = self.load_dir(via, dir)?;
+        let entry = table.get(&q.base).ok_or(NfsError::NotFound)?;
+        let fh = match q.version {
+            Some(v) => FileHandle::versioned(entry.handle.seg, v),
+            None => entry.handle,
+        };
+        let mut out = self.getattr(via, fh)?;
+        out.latency += latency;
+        Ok(out)
+    }
+
+    /// `READ`: file contents (the inode header is invisible to clients).
+    pub fn read(
+        &mut self,
+        via: NodeId,
+        fh: FileHandle,
+        offset: usize,
+        count: usize,
+    ) -> NfsResult<Bytes> {
+        let (inode, payload, _, latency) = self.load(via, fh)?;
+        if inode.ftype == FileType::Directory.to_byte() {
+            return Err(NfsError::IsDir);
+        }
+        let end = (offset + count).min(payload.len());
+        let data = if offset >= payload.len() {
+            Bytes::new()
+        } else {
+            payload.slice(offset..end)
+        };
+        Ok(OpResult { value: data, latency })
+    }
+
+    /// `WRITE`: writes `data` at `offset`, extending the file as needed.
+    pub fn write(
+        &mut self,
+        via: NodeId,
+        fh: FileHandle,
+        offset: usize,
+        data: &[u8],
+    ) -> NfsResult<FileAttr> {
+        let now = self.cluster.now().as_micros();
+        let latency = self.update_segment(via, fh, |inode, payload| {
+            if inode.ftype == FileType::Directory.to_byte() {
+                return Err(NfsError::IsDir);
+            }
+            inode.mtime = now;
+            let mut contents = payload.to_vec();
+            let end = offset + data.len();
+            if end > contents.len() {
+                contents.resize(end, 0);
+            }
+            contents[offset..end].copy_from_slice(data);
+            Ok(Some(contents))
+        })?;
+        let mut out = self.getattr(via, fh)?;
+        out.latency += latency;
+        Ok(out)
+    }
+
+    /// `CREATE`: a new regular file.
+    pub fn create(
+        &mut self,
+        via: NodeId,
+        dir: FileHandle,
+        name: &str,
+        mode: u32,
+    ) -> NfsResult<FileAttr> {
+        self.create_node(via, dir, name, mode, FileType::Regular, &[], self.cfg.file_params)
+    }
+
+    /// `MKDIR`.
+    pub fn mkdir(
+        &mut self,
+        via: NodeId,
+        dir: FileHandle,
+        name: &str,
+        mode: u32,
+    ) -> NfsResult<FileAttr> {
+        let payload = Directory::new().encode();
+        self.create_node(via, dir, name, mode, FileType::Directory, &payload, self.cfg.dir_params)
+    }
+
+    /// `SYMLINK`.
+    pub fn symlink(
+        &mut self,
+        via: NodeId,
+        dir: FileHandle,
+        name: &str,
+        target: &str,
+    ) -> NfsResult<FileAttr> {
+        self.create_node(
+            via,
+            dir,
+            name,
+            0o777,
+            FileType::Symlink,
+            target.as_bytes(),
+            self.cfg.file_params,
+        )
+    }
+
+    /// `READLINK`.
+    pub fn readlink(&mut self, via: NodeId, fh: FileHandle) -> NfsResult<String> {
+        let (inode, payload, _, latency) = self.load(via, fh)?;
+        if inode.ftype != FileType::Symlink.to_byte() {
+            return Err(NfsError::Io(DeceitError::InvalidCommand(
+                "readlink on non-symlink".to_string(),
+            )));
+        }
+        Ok(OpResult {
+            value: String::from_utf8_lossy(&payload).into_owned(),
+            latency,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the NFS CREATE surface
+    fn create_node(
+        &mut self,
+        via: NodeId,
+        dir: FileHandle,
+        name: &str,
+        mode: u32,
+        ftype: FileType,
+        payload: &[u8],
+        params: FileParams,
+    ) -> NfsResult<FileAttr> {
+        let q = QualifiedName::parse(name)?;
+        if q.version.is_some() {
+            return self.create_qualified_version(via, dir, &q);
+        }
+        let mut latency = SimDuration::ZERO;
+
+        // Check for an existing entry first (cheap read).
+        let (_, table, _, l0) = self.load_dir(via, dir)?;
+        latency += l0;
+        if table.get(&q.base).is_some() {
+            return Err(NfsError::Exists);
+        }
+
+        // Create and format the new segment.
+        let created = self.cluster.create_with_params(via, params)?;
+        latency += created.latency;
+        let seg = created.value;
+        let fh = FileHandle::new(seg);
+        let now = self.cluster.now().as_micros();
+        let mut inode = Inode::new(ftype.to_byte(), mode, now);
+        inode.nlink = 1;
+        inode.add_uplink(dir.seg);
+        let (_, l1) = self.store(via, fh, &inode, payload, None)?;
+        latency += l1;
+
+        // Add the directory entry under the §5.1 restart loop.
+        let entry = DirEntry { name: q.base.clone(), handle: fh, ftype: ftype.to_byte() };
+        let insert_res = self.update_segment(via, dir, |dnode, dpayload| {
+            if dnode.ftype != FileType::Directory.to_byte() {
+                return Err(NfsError::NotDir);
+            }
+            let mut table = Directory::decode(dpayload)?;
+            if !table.insert(entry.clone()) {
+                return Err(NfsError::Exists);
+            }
+            dnode.mtime = now;
+            Ok(Some(table.encode()))
+        });
+        match insert_res {
+            Ok(l2) => latency += l2,
+            Err(e) => {
+                // Roll the orphan segment back before surfacing the error.
+                let _ = self.cluster.delete(via, seg);
+                return Err(e);
+            }
+        }
+        let mut out = self.getattr(via, fh)?;
+        out.latency += latency;
+        Ok(out)
+    }
+
+    /// Creating `name;N` for an existing file materializes a new explicit
+    /// version of its segment (§3.5 "specific versions can be created").
+    fn create_qualified_version(
+        &mut self,
+        via: NodeId,
+        dir: FileHandle,
+        q: &QualifiedName,
+    ) -> NfsResult<FileAttr> {
+        let (_, table, _, mut latency) = self.load_dir(via, dir)?;
+        let entry = table.get(&q.base).ok_or(NfsError::NotFound)?;
+        let seg = entry.handle.seg;
+        let created = self.cluster.create_version(via, seg)?;
+        latency += created.latency;
+        let mut out = self.getattr(via, FileHandle::versioned(seg, created.value))?;
+        out.latency += latency;
+        Ok(out)
+    }
+
+    /// `REMOVE`: unlinks a file or symlink from a directory.
+    pub fn remove(&mut self, via: NodeId, dir: FileHandle, name: &str) -> NfsResult<()> {
+        let q = QualifiedName::parse(name)?;
+        if let Some(major) = q.version {
+            // Deleting a qualified name deletes that version only (§3.5).
+            let (_, table, _, l) = self.load_dir(via, dir)?;
+            let entry = table.get(&q.base).ok_or(NfsError::NotFound)?;
+            let seg = entry.handle.seg;
+            let r = self.cluster.delete_version(via, seg, major)?;
+            return Ok(OpResult { value: (), latency: l + r.latency });
+        }
+        let mut latency = SimDuration::ZERO;
+        let now = self.cluster.now().as_micros();
+
+        // Find and type-check the victim.
+        let (_, table, _, l0) = self.load_dir(via, dir)?;
+        latency += l0;
+        let entry = table.get(&q.base).ok_or(NfsError::NotFound)?.clone();
+        if entry.ftype == FileType::Directory.to_byte() {
+            return Err(NfsError::IsDir);
+        }
+
+        // Drop the directory entry (restart loop).
+        latency += self.update_segment(via, dir, |dnode, dpayload| {
+            let mut t = Directory::decode(dpayload)?;
+            if t.remove(&q.base).is_none() {
+                return Err(NfsError::NotFound);
+            }
+            dnode.mtime = now;
+            Ok(Some(t.encode()))
+        })?;
+
+        // Decrement the link-count hint; on zero run the uplink check.
+        let target = entry.handle;
+        let dir_seg = dir.seg;
+        let mut went_zero = false;
+        latency += self.update_segment(via, target, |inode, payload| {
+            inode.nlink = inode.nlink.saturating_sub(1);
+            inode.ctime = now;
+            // The uplink stays if other links from this directory remain;
+            // the GC scan re-derives the truth anyway (§5.2).
+            if inode.nlink == 0 {
+                went_zero = true;
+            } else {
+                inode.remove_uplink(dir_seg);
+            }
+            Ok(Some(payload.to_vec()))
+        })?;
+        if went_zero {
+            latency += gc::collect_if_unlinked(self, via, target)?;
+        }
+        Ok(OpResult { value: (), latency })
+    }
+
+    /// `RMDIR`: removes an empty directory.
+    pub fn rmdir(&mut self, via: NodeId, dir: FileHandle, name: &str) -> NfsResult<()> {
+        let q = QualifiedName::parse(name)?;
+        let mut latency = SimDuration::ZERO;
+        let (_, table, _, l0) = self.load_dir(via, dir)?;
+        latency += l0;
+        let entry = table.get(&q.base).ok_or(NfsError::NotFound)?.clone();
+        if entry.ftype != FileType::Directory.to_byte() {
+            return Err(NfsError::NotDir);
+        }
+        let (_, victim_table, _, l1) = self.load_dir(via, entry.handle)?;
+        latency += l1;
+        if !victim_table.is_empty() {
+            return Err(NfsError::NotEmpty);
+        }
+        let now = self.cluster.now().as_micros();
+        latency += self.update_segment(via, dir, |dnode, dpayload| {
+            let mut t = Directory::decode(dpayload)?;
+            if t.remove(&q.base).is_none() {
+                return Err(NfsError::NotFound);
+            }
+            dnode.mtime = now;
+            Ok(Some(t.encode()))
+        })?;
+        let del = self.cluster.delete(via, entry.handle.seg)?;
+        latency += del.latency;
+        Ok(OpResult { value: (), latency })
+    }
+
+    /// `RENAME`: moves an entry, possibly across directories.
+    ///
+    /// §5.2's ordering concern ("two directories, a link count, and an
+    /// uplink list must be modified in some safe order") is realized as:
+    /// add the new uplink, insert the new entry, remove the old entry,
+    /// drop the old uplink — at every intermediate step the uplink list
+    /// over-approximates, which GC tolerates.
+    pub fn rename(
+        &mut self,
+        via: NodeId,
+        from_dir: FileHandle,
+        from_name: &str,
+        to_dir: FileHandle,
+        to_name: &str,
+    ) -> NfsResult<()> {
+        let qf = QualifiedName::parse(from_name)?;
+        let qt = QualifiedName::parse(to_name)?;
+        let mut latency = SimDuration::ZERO;
+        let now = self.cluster.now().as_micros();
+
+        let (_, ftable, _, l0) = self.load_dir(via, from_dir)?;
+        latency += l0;
+        let entry = ftable.get(&qf.base).ok_or(NfsError::NotFound)?.clone();
+        let target = entry.handle;
+
+        // 1. Uplink to the destination directory.
+        let to_seg = to_dir.seg;
+        latency += self.update_segment(via, target, |inode, payload| {
+            inode.add_uplink(to_seg);
+            inode.ctime = now;
+            Ok(Some(payload.to_vec()))
+        })?;
+
+        // 2. Entry in the destination (replacing any existing target
+        // entry, per POSIX rename).
+        let new_entry =
+            DirEntry { name: qt.base.clone(), handle: target, ftype: entry.ftype };
+        latency += self.update_segment(via, to_dir, |dnode, dpayload| {
+            if dnode.ftype != FileType::Directory.to_byte() {
+                return Err(NfsError::NotDir);
+            }
+            let mut t = Directory::decode(dpayload)?;
+            t.remove(&qt.base);
+            t.insert(new_entry.clone());
+            dnode.mtime = now;
+            Ok(Some(t.encode()))
+        })?;
+
+        // 3. Remove the source entry.
+        latency += self.update_segment(via, from_dir, |dnode, dpayload| {
+            let mut t = Directory::decode(dpayload)?;
+            if t.remove(&qf.base).is_none() {
+                return Err(NfsError::NotFound);
+            }
+            dnode.mtime = now;
+            Ok(Some(t.encode()))
+        })?;
+
+        // 4. Drop the stale uplink (unless it was a same-directory rename).
+        if from_dir.seg != to_dir.seg {
+            let from_seg = from_dir.seg;
+            latency += self.update_segment(via, target, |inode, payload| {
+                inode.remove_uplink(from_seg);
+                Ok(Some(payload.to_vec()))
+            })?;
+        }
+        Ok(OpResult { value: (), latency })
+    }
+
+    /// `LINK`: a new hard link to an existing file.
+    pub fn link(
+        &mut self,
+        via: NodeId,
+        target: FileHandle,
+        dir: FileHandle,
+        name: &str,
+    ) -> NfsResult<()> {
+        let q = QualifiedName::parse(name)?;
+        if q.version.is_some() {
+            return Err(NfsError::Name(crate::name::NameError::BadVersion(
+                "hard links cannot be version-qualified".to_string(),
+            )));
+        }
+        let mut latency = SimDuration::ZERO;
+        let now = self.cluster.now().as_micros();
+        let (tnode, _, _, l0) = self.load(via, target)?;
+        latency += l0;
+        if tnode.ftype == FileType::Directory.to_byte() {
+            return Err(NfsError::IsDir);
+        }
+        // §5.2: "When a hard link is made to f in directory d, d is added
+        // to the uplink list of all versions of f which can be updated at
+        // that time" — updates flow to the current version.
+        let dir_seg = dir.seg;
+        latency += self.update_segment(via, target, |inode, payload| {
+            inode.nlink += 1;
+            inode.add_uplink(dir_seg);
+            inode.ctime = now;
+            Ok(Some(payload.to_vec()))
+        })?;
+        let entry =
+            DirEntry { name: q.base.clone(), handle: target.unpinned(), ftype: tnode.ftype };
+        latency += self.update_segment(via, dir, |dnode, dpayload| {
+            if dnode.ftype != FileType::Directory.to_byte() {
+                return Err(NfsError::NotDir);
+            }
+            let mut t = Directory::decode(dpayload)?;
+            if !t.insert(entry.clone()) {
+                return Err(NfsError::Exists);
+            }
+            dnode.mtime = now;
+            Ok(Some(t.encode()))
+        })?;
+        Ok(OpResult { value: (), latency })
+    }
+
+    /// `READDIR`: lists a directory.
+    pub fn readdir(&mut self, via: NodeId, dir: FileHandle) -> NfsResult<Vec<DirEntry>> {
+        let (_, table, _, latency) = self.load_dir(via, dir)?;
+        Ok(OpResult { value: table.entries().to_vec(), latency })
+    }
+
+    /// `STATFS`-style summary: live files and total bytes on one server.
+    pub fn statfs(&mut self, via: NodeId) -> NfsResult<(usize, usize)> {
+        self.cluster.check_up(via)?;
+        let s = self.cluster.server(via);
+        let files = s.replicas.len();
+        let bytes = s.replicas.durable_bytes();
+        Ok(OpResult { value: (files, bytes), latency: SimDuration::from_micros(100) })
+    }
+
+    // ------------------------------------------------------------------
+    // Deceit special commands (§2.1), surfaced at the file level
+    // ------------------------------------------------------------------
+
+    /// Sets the per-file semantic parameters (§4).
+    pub fn set_file_params(
+        &mut self,
+        via: NodeId,
+        fh: FileHandle,
+        params: FileParams,
+    ) -> NfsResult<()> {
+        let r = self.cluster.set_params(via, fh.seg, params)?;
+        Ok(OpResult { value: (), latency: r.latency })
+    }
+
+    /// Reads the per-file semantic parameters.
+    pub fn file_params(&mut self, via: NodeId, fh: FileHandle) -> NfsResult<FileParams> {
+        let r = self.cluster.get_params(via, fh.seg)?;
+        Ok(OpResult { value: r.value, latency: r.latency })
+    }
+
+    /// Lists all versions of a file (§2.1 "list all versions of a file").
+    pub fn file_versions(
+        &mut self,
+        via: NodeId,
+        fh: FileHandle,
+    ) -> NfsResult<Vec<deceit_core::VersionInfo>> {
+        let r = self.cluster.list_versions(via, fh.seg)?;
+        Ok(OpResult { value: r.value, latency: r.latency })
+    }
+
+    /// Locates all replicas of a file (§2.1 "locate all replicas").
+    pub fn file_replicas(&mut self, via: NodeId, fh: FileHandle) -> NfsResult<Vec<NodeId>> {
+        let r = self.cluster.locate_replicas(via, fh.seg)?;
+        Ok(OpResult { value: r.value, latency: r.latency })
+    }
+
+    /// Fault-injection support: applies `f` to a segment's inode header in
+    /// place, bypassing normal NFS semantics. Used by tests and the bench
+    /// harness to reproduce the §5.2 corrupted-link-count scenarios ("the
+    /// link counts can be corrupted by an ill timed crash").
+    #[doc(hidden)]
+    pub fn update_segment_for_test(
+        &mut self,
+        via: NodeId,
+        fh: FileHandle,
+        f: impl FnOnce(&mut Inode),
+    ) -> Result<SimDuration, NfsError> {
+        let mut f = Some(f);
+        self.update_segment(via, fh, |inode, payload| {
+            if let Some(f) = f.take() {
+                f(inode);
+            }
+            Ok(Some(payload.to_vec()))
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Credentialed operations (§5 security policy)
+    // ------------------------------------------------------------------
+
+    /// NFS `ACCESS`: whether `cred` may perform `want` on the file.
+    pub fn access(
+        &mut self,
+        via: NodeId,
+        fh: FileHandle,
+        cred: crate::auth::Credentials,
+        want: crate::auth::AccessMode,
+    ) -> NfsResult<bool> {
+        let (inode, _, _, latency) = self.load(via, fh)?;
+        Ok(OpResult { value: crate::auth::permits(&inode, cred, want), latency })
+    }
+
+    /// `READ` with credential enforcement: `EACCES` unless the mode bits
+    /// permit reading.
+    pub fn read_as(
+        &mut self,
+        via: NodeId,
+        fh: FileHandle,
+        cred: crate::auth::Credentials,
+        offset: usize,
+        count: usize,
+    ) -> NfsResult<Bytes> {
+        let allowed = self.access(via, fh, cred, crate::auth::AccessMode::Read)?;
+        if !allowed.value {
+            return Err(NfsError::Access);
+        }
+        let mut out = self.read(via, fh, offset, count)?;
+        out.latency += allowed.latency;
+        Ok(out)
+    }
+
+    /// `WRITE` with credential enforcement.
+    pub fn write_as(
+        &mut self,
+        via: NodeId,
+        fh: FileHandle,
+        cred: crate::auth::Credentials,
+        offset: usize,
+        data: &[u8],
+    ) -> NfsResult<FileAttr> {
+        let allowed = self.access(via, fh, cred, crate::auth::AccessMode::Write)?;
+        if !allowed.value {
+            return Err(NfsError::Access);
+        }
+        let mut out = self.write(via, fh, offset, data)?;
+        out.latency += allowed.latency;
+        Ok(out)
+    }
+
+    /// Walks an absolute slash-separated path from the root.
+    pub fn lookup_path(&mut self, via: NodeId, path: &str) -> NfsResult<FileAttr> {
+        let mut latency = SimDuration::ZERO;
+        let mut cur = self.root;
+        let mut attr = {
+            let a = self.getattr(via, cur)?;
+            latency += a.latency;
+            a.value
+        };
+        for comp in path.split('/').filter(|c| !c.is_empty() && *c != ".") {
+            let next = self.lookup(via, cur, comp)?;
+            latency += next.latency;
+            attr = next.value;
+            cur = attr.handle;
+        }
+        Ok(OpResult { value: attr, latency })
+    }
+}

@@ -1,0 +1,123 @@
+//! NFS file handles.
+//!
+//! §2.1: "A file handle is associated with each file or directory, and
+//! clients usually refer to files or directories by file handle. …
+//! These file handles are guaranteed to be unique and usable as long as a
+//! replica of the file exists." In Deceit a handle names a segment; the
+//! envelope never reuses segment ids, which is what makes handles unique
+//! for all time.
+//!
+//! A handle obtained through a version-qualified lookup (`foo;3`, §3.5)
+//! additionally pins the major version, so subsequent reads and writes
+//! through it address that specific version.
+
+use std::fmt;
+
+use deceit_core::SegmentId;
+
+/// An opaque NFS file handle naming one file, directory, or symlink —
+/// optionally pinned to one major version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileHandle {
+    /// The segment backing this handle.
+    pub seg: SegmentId,
+    /// A pinned major version, for handles from qualified lookups.
+    pub version: Option<u64>,
+}
+
+impl FileHandle {
+    /// A handle for the most recent available version.
+    pub const fn new(seg: SegmentId) -> Self {
+        FileHandle { seg, version: None }
+    }
+
+    /// A handle pinned to one major version.
+    pub const fn versioned(seg: SegmentId, major: u64) -> Self {
+        FileHandle { seg, version: Some(major) }
+    }
+
+    /// The segment backing this handle.
+    pub const fn segment(self) -> SegmentId {
+        self.seg
+    }
+
+    /// The same handle without a version pin.
+    pub const fn unpinned(self) -> Self {
+        FileHandle { seg: self.seg, version: None }
+    }
+
+    /// Encodes the handle as the 32-byte opaque blob the NFS protocol
+    /// carries (zero-padded). Byte layout: segment id, then major+1 (0
+    /// meaning unpinned).
+    pub fn to_wire(self) -> [u8; 32] {
+        let mut buf = [0u8; 32];
+        buf[..8].copy_from_slice(&self.seg.0.to_be_bytes());
+        let v = self.version.map(|m| m + 1).unwrap_or(0);
+        buf[8..16].copy_from_slice(&v.to_be_bytes());
+        buf
+    }
+
+    /// Decodes a wire handle. Returns `None` for blobs this server never
+    /// issued (trailing garbage), which clients observe as `ESTALE`.
+    pub fn from_wire(buf: &[u8; 32]) -> Option<FileHandle> {
+        if buf[16..].iter().any(|&b| b != 0) {
+            return None;
+        }
+        let mut id = [0u8; 8];
+        id.copy_from_slice(&buf[..8]);
+        let mut v = [0u8; 8];
+        v.copy_from_slice(&buf[8..16]);
+        let raw_v = u64::from_be_bytes(v);
+        Some(FileHandle {
+            seg: SegmentId(u64::from_be_bytes(id)),
+            version: raw_v.checked_sub(1),
+        })
+    }
+}
+
+impl fmt::Display for FileHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.version {
+            Some(v) => write!(f, "fh:{};{}", self.seg, v),
+            None => write!(f, "fh:{}", self.seg),
+        }
+    }
+}
+
+impl From<SegmentId> for FileHandle {
+    fn from(seg: SegmentId) -> Self {
+        FileHandle::new(seg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        for fh in [
+            FileHandle::new(SegmentId(0xDEADBEEF)),
+            FileHandle::versioned(SegmentId(7), 0),
+            FileHandle::versioned(SegmentId(7), 12),
+        ] {
+            let wire = fh.to_wire();
+            assert_eq!(FileHandle::from_wire(&wire), Some(fh));
+        }
+    }
+
+    #[test]
+    fn garbage_wire_is_stale() {
+        let mut wire = FileHandle::new(SegmentId(1)).to_wire();
+        wire[31] = 0xFF;
+        assert_eq!(FileHandle::from_wire(&wire), None);
+    }
+
+    #[test]
+    fn display_and_unpin() {
+        assert_eq!(FileHandle::new(SegmentId(4)).to_string(), "fh:seg4");
+        let pinned = FileHandle::versioned(SegmentId(4), 2);
+        assert_eq!(pinned.to_string(), "fh:seg4;2");
+        assert_eq!(pinned.unpinned(), FileHandle::new(SegmentId(4)));
+    }
+}

@@ -1,0 +1,138 @@
+//! Version-qualified file names.
+//!
+//! §3.5 ("Version Control System"): "file names can be qualified with
+//! version numbers using a special syntax. For example, major version 3 of
+//! 'foo' can be referred to as 'foo;3'. … By using an unqualified
+//! filename, the user automatically requests the most recent available
+//! version."
+
+use std::fmt;
+
+/// A parsed component name: the base name plus an optional explicit major
+/// version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualifiedName {
+    /// The name as stored in the directory (version suffix stripped).
+    pub base: String,
+    /// The requested major version, if qualified.
+    pub version: Option<u64>,
+}
+
+/// Errors from name validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// Empty names are not legal NFS components.
+    Empty,
+    /// Component names cannot contain a slash or NUL.
+    BadCharacter(char),
+    /// NFS limits components to 255 bytes.
+    TooLong(usize),
+    /// The version suffix was not a number (e.g. `foo;bar`).
+    BadVersion(String),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::Empty => write!(f, "empty file name"),
+            NameError::BadCharacter(c) => write!(f, "illegal character {c:?} in file name"),
+            NameError::TooLong(n) => write!(f, "file name of {n} bytes exceeds 255"),
+            NameError::BadVersion(s) => write!(f, "bad version qualifier {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+impl QualifiedName {
+    /// Parses a component name, honoring the `name;version` syntax.
+    ///
+    /// Only the *last* semicolon is a qualifier, and only when followed by
+    /// digits; `"foo;3"` names version 3 of `foo`.
+    pub fn parse(raw: &str) -> Result<QualifiedName, NameError> {
+        if raw.is_empty() {
+            return Err(NameError::Empty);
+        }
+        if raw.len() > 255 {
+            return Err(NameError::TooLong(raw.len()));
+        }
+        if let Some(c) = raw.chars().find(|&c| c == '/' || c == '\0') {
+            return Err(NameError::BadCharacter(c));
+        }
+        match raw.rsplit_once(';') {
+            Some((base, ver)) if !base.is_empty() => {
+                if ver.is_empty() || !ver.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(NameError::BadVersion(ver.to_string()));
+                }
+                let version =
+                    ver.parse().map_err(|_| NameError::BadVersion(ver.to_string()))?;
+                Ok(QualifiedName { base: base.to_string(), version: Some(version) })
+            }
+            _ => Ok(QualifiedName { base: raw.to_string(), version: None }),
+        }
+    }
+
+    /// An unqualified name.
+    pub fn plain(base: &str) -> QualifiedName {
+        QualifiedName { base: base.to_string(), version: None }
+    }
+}
+
+impl fmt::Display for QualifiedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.version {
+            Some(v) => write!(f, "{};{}", self.base, v),
+            None => write!(f, "{}", self.base),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unqualified_name() {
+        let q = QualifiedName::parse("foo.txt").unwrap();
+        assert_eq!(q.base, "foo.txt");
+        assert_eq!(q.version, None);
+        assert_eq!(q.to_string(), "foo.txt");
+    }
+
+    #[test]
+    fn qualified_name() {
+        let q = QualifiedName::parse("foo;3").unwrap();
+        assert_eq!(q.base, "foo");
+        assert_eq!(q.version, Some(3));
+        assert_eq!(q.to_string(), "foo;3");
+    }
+
+    #[test]
+    fn only_last_semicolon_qualifies() {
+        let q = QualifiedName::parse("a;b;12").unwrap();
+        assert_eq!(q.base, "a;b");
+        assert_eq!(q.version, Some(12));
+    }
+
+    #[test]
+    fn bad_version_is_error() {
+        assert!(matches!(QualifiedName::parse("foo;bar"), Err(NameError::BadVersion(_))));
+        assert!(matches!(QualifiedName::parse("foo;"), Err(NameError::BadVersion(_))));
+    }
+
+    #[test]
+    fn leading_semicolon_is_plain() {
+        // ";3" has an empty base, so it is treated as a plain (odd) name.
+        let q = QualifiedName::parse(";3").unwrap();
+        assert_eq!(q.base, ";3");
+        assert_eq!(q.version, None);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(QualifiedName::parse(""), Err(NameError::Empty));
+        assert!(matches!(QualifiedName::parse("a/b"), Err(NameError::BadCharacter('/'))));
+        let long = "x".repeat(256);
+        assert!(matches!(QualifiedName::parse(&long), Err(NameError::TooLong(256))));
+    }
+}

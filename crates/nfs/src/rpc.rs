@@ -1,0 +1,249 @@
+//! The NFS-shaped wire protocol.
+//!
+//! §2.1: "Deceit and NFS use the same client/server communication protocol
+//! (i.e. the same transport and RPC interface), so a Deceit service appears
+//! to be a NFS file service to a client. … All NFS operations are
+//! supported with no change to any client software." Clients access the
+//! extra Deceit functionality "by using special RPCs" — the `Deceit*`
+//! variants below.
+
+use bytes::Bytes;
+
+use deceit_core::{FileParams, OpResult, VersionInfo};
+use deceit_net::NodeId;
+use deceit_sim::SimDuration;
+
+use crate::dir::DirEntry;
+use crate::fs::{DeceitFs, FileAttr, NfsError, NfsResult};
+use crate::handle::FileHandle;
+
+/// One NFS (or Deceit-extension) request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NfsRequest {
+    /// NFSPROC_NULL — ping.
+    Null,
+    /// NFSPROC_GETATTR.
+    Getattr { fh: FileHandle },
+    /// NFSPROC_SETATTR (any subset of mode/uid/gid/size).
+    Setattr {
+        fh: FileHandle,
+        mode: Option<u32>,
+        uid: Option<u32>,
+        gid: Option<u32>,
+        size: Option<usize>,
+    },
+    /// NFSPROC_LOOKUP.
+    Lookup { dir: FileHandle, name: String },
+    /// NFSPROC_READLINK.
+    Readlink { fh: FileHandle },
+    /// NFSPROC_READ.
+    Read { fh: FileHandle, offset: usize, count: usize },
+    /// NFSPROC_WRITE.
+    Write { fh: FileHandle, offset: usize, data: Vec<u8> },
+    /// NFSPROC_CREATE.
+    Create { dir: FileHandle, name: String, mode: u32 },
+    /// NFSPROC_REMOVE.
+    Remove { dir: FileHandle, name: String },
+    /// NFSPROC_RENAME.
+    Rename { from_dir: FileHandle, from_name: String, to_dir: FileHandle, to_name: String },
+    /// NFSPROC_LINK.
+    Link { target: FileHandle, dir: FileHandle, name: String },
+    /// NFSPROC_SYMLINK.
+    Symlink { dir: FileHandle, name: String, target: String },
+    /// NFSPROC_MKDIR.
+    Mkdir { dir: FileHandle, name: String, mode: u32 },
+    /// NFSPROC_RMDIR.
+    Rmdir { dir: FileHandle, name: String },
+    /// NFSPROC_READDIR.
+    Readdir { dir: FileHandle },
+    /// NFSPROC_STATFS.
+    Statfs,
+    /// Deceit extension: set per-file parameters (§4).
+    DeceitSetParams { fh: FileHandle, params: FileParams },
+    /// Deceit extension: read per-file parameters.
+    DeceitGetParams { fh: FileHandle },
+    /// Deceit extension: list all versions of a file (§2.1).
+    DeceitListVersions { fh: FileHandle },
+    /// Deceit extension: locate all replicas of a file (§2.1).
+    DeceitLocateReplicas { fh: FileHandle },
+    /// Deceit extension: reconcile divergent directory versions (§2.1).
+    DeceitReconcile { dir: FileHandle },
+}
+
+impl NfsRequest {
+    /// Approximate request size on the wire, for client-link accounting.
+    pub fn wire_size(&self) -> usize {
+        40 + match self {
+            NfsRequest::Write { data, .. } => data.len(),
+            NfsRequest::Lookup { name, .. }
+            | NfsRequest::Create { name, .. }
+            | NfsRequest::Remove { name, .. }
+            | NfsRequest::Mkdir { name, .. }
+            | NfsRequest::Rmdir { name, .. } => name.len(),
+            NfsRequest::Rename { from_name, to_name, .. } => from_name.len() + to_name.len(),
+            NfsRequest::Symlink { name, target, .. } => name.len() + target.len(),
+            NfsRequest::Link { name, .. } => name.len(),
+            _ => 0,
+        }
+    }
+
+    /// Whether the request mutates state (used by failover logic: reads
+    /// are always safe to retry elsewhere).
+    pub fn is_read_only(&self) -> bool {
+        matches!(
+            self,
+            NfsRequest::Null
+                | NfsRequest::Getattr { .. }
+                | NfsRequest::Lookup { .. }
+                | NfsRequest::Readlink { .. }
+                | NfsRequest::Read { .. }
+                | NfsRequest::Readdir { .. }
+                | NfsRequest::Statfs
+                | NfsRequest::DeceitGetParams { .. }
+                | NfsRequest::DeceitListVersions { .. }
+                | NfsRequest::DeceitLocateReplicas { .. }
+        )
+    }
+}
+
+/// One NFS reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NfsReply {
+    /// NULL response.
+    Void,
+    /// Attributes (getattr/setattr/lookup/create/write/...).
+    Attr(FileAttr),
+    /// File data.
+    Data(Bytes),
+    /// Symlink target.
+    Path(String),
+    /// Directory listing.
+    Entries(Vec<DirEntry>),
+    /// Filesystem stats: (files, bytes) on the serving machine.
+    Fsstat { files: usize, bytes: usize },
+    /// Parameters of a file.
+    Params(FileParams),
+    /// Version listing.
+    Versions(Vec<VersionInfo>),
+    /// Replica locations.
+    Replicas(Vec<NodeId>),
+    /// Reconciliation report.
+    Reconciled(crate::reconcile::ReconcileReport),
+    /// Operation failed.
+    Error(NfsError),
+}
+
+impl NfsReply {
+    /// Approximate reply size on the wire.
+    pub fn wire_size(&self) -> usize {
+        40 + match self {
+            NfsReply::Data(d) => d.len(),
+            NfsReply::Entries(es) => es.iter().map(|e| 16 + e.name.len()).sum(),
+            NfsReply::Path(p) => p.len(),
+            NfsReply::Versions(vs) => vs.len() * 32,
+            NfsReply::Replicas(rs) => rs.len() * 4,
+            _ => 0,
+        }
+    }
+
+    /// Extracts an error, if this reply is one.
+    pub fn as_error(&self) -> Option<&NfsError> {
+        match self {
+            NfsReply::Error(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The per-cell NFS service: dispatches requests into the envelope.
+#[derive(Debug)]
+pub struct NfsServer {
+    /// The file service this server fronts.
+    pub fs: DeceitFs,
+}
+
+impl NfsServer {
+    /// Wraps a file service.
+    pub fn new(fs: DeceitFs) -> Self {
+        NfsServer { fs }
+    }
+
+    /// The root handle returned by the mount protocol.
+    pub fn mount(&self) -> FileHandle {
+        self.fs.root()
+    }
+
+    /// Handles one request arriving at server `via`, returning the reply
+    /// and the server-side latency.
+    pub fn handle(&mut self, via: NodeId, req: NfsRequest) -> (NfsReply, SimDuration) {
+        match req {
+            NfsRequest::Null => (NfsReply::Void, SimDuration::from_micros(50)),
+            NfsRequest::Getattr { fh } => wrap(self.fs.getattr(via, fh), NfsReply::Attr),
+            NfsRequest::Setattr { fh, mode, uid, gid, size } => {
+                wrap(self.fs.setattr(via, fh, mode, uid, gid, size), NfsReply::Attr)
+            }
+            NfsRequest::Lookup { dir, name } => {
+                wrap(self.fs.lookup(via, dir, &name), NfsReply::Attr)
+            }
+            NfsRequest::Readlink { fh } => wrap(self.fs.readlink(via, fh), NfsReply::Path),
+            NfsRequest::Read { fh, offset, count } => {
+                wrap(self.fs.read(via, fh, offset, count), NfsReply::Data)
+            }
+            NfsRequest::Write { fh, offset, data } => {
+                wrap(self.fs.write(via, fh, offset, &data), NfsReply::Attr)
+            }
+            NfsRequest::Create { dir, name, mode } => {
+                wrap(self.fs.create(via, dir, &name, mode), NfsReply::Attr)
+            }
+            NfsRequest::Remove { dir, name } => {
+                wrap(self.fs.remove(via, dir, &name), |()| NfsReply::Void)
+            }
+            NfsRequest::Rename { from_dir, from_name, to_dir, to_name } => wrap(
+                self.fs.rename(via, from_dir, &from_name, to_dir, &to_name),
+                |()| NfsReply::Void,
+            ),
+            NfsRequest::Link { target, dir, name } => {
+                wrap(self.fs.link(via, target, dir, &name), |()| NfsReply::Void)
+            }
+            NfsRequest::Symlink { dir, name, target } => {
+                wrap(self.fs.symlink(via, dir, &name, &target), NfsReply::Attr)
+            }
+            NfsRequest::Mkdir { dir, name, mode } => {
+                wrap(self.fs.mkdir(via, dir, &name, mode), NfsReply::Attr)
+            }
+            NfsRequest::Rmdir { dir, name } => {
+                wrap(self.fs.rmdir(via, dir, &name), |()| NfsReply::Void)
+            }
+            NfsRequest::Readdir { dir } => wrap(self.fs.readdir(via, dir), NfsReply::Entries),
+            NfsRequest::Statfs => wrap(self.fs.statfs(via), |(files, bytes)| {
+                NfsReply::Fsstat { files, bytes }
+            }),
+            NfsRequest::DeceitSetParams { fh, params } => {
+                wrap(self.fs.set_file_params(via, fh, params), |()| NfsReply::Void)
+            }
+            NfsRequest::DeceitGetParams { fh } => {
+                wrap(self.fs.file_params(via, fh), NfsReply::Params)
+            }
+            NfsRequest::DeceitListVersions { fh } => {
+                wrap(self.fs.file_versions(via, fh), NfsReply::Versions)
+            }
+            NfsRequest::DeceitLocateReplicas { fh } => {
+                wrap(self.fs.file_replicas(via, fh), NfsReply::Replicas)
+            }
+            NfsRequest::DeceitReconcile { dir } => wrap(
+                crate::reconcile::reconcile_directory(&mut self.fs, via, dir),
+                NfsReply::Reconciled,
+            ),
+        }
+    }
+}
+
+/// Converts an envelope result into a reply + latency pair.
+fn wrap<T>(res: NfsResult<T>, into: impl FnOnce(T) -> NfsReply) -> (NfsReply, SimDuration) {
+    match res {
+        Ok(OpResult { value, latency }) => (into(value), latency),
+        // Failures still consumed some server time; a small constant is
+        // close enough for the error path.
+        Err(e) => (NfsReply::Error(e), SimDuration::from_micros(500)),
+    }
+}

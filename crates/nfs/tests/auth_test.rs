@@ -1,0 +1,61 @@
+//! §5 security policy: credentialed access through the envelope.
+
+use deceit_net::NodeId;
+use deceit_nfs::auth::{AccessMode, Credentials};
+use deceit_nfs::{DeceitFs, NfsError};
+
+fn n(v: u32) -> NodeId {
+    NodeId(v)
+}
+
+#[test]
+fn mode_bits_enforced_on_credentialed_ops() {
+    let mut fs = DeceitFs::with_defaults(2);
+    let root = fs.root();
+    let f = fs.create(n(0), root, "private", 0o640).unwrap().value;
+    // Give the file to alice (uid 100, gid 10).
+    fs.setattr(n(0), f.handle, None, Some(100), Some(10), None).unwrap();
+    fs.write_as(n(0), f.handle, Credentials::user(100, 10), 0, b"alice's data").unwrap();
+
+    // Group member may read but not write.
+    let bob = Credentials::user(200, 10);
+    let data = fs.read_as(n(1), f.handle, bob, 0, 64).unwrap().value;
+    assert_eq!(&data[..], b"alice's data");
+    assert!(matches!(
+        fs.write_as(n(1), f.handle, bob, 0, b"bob was here"),
+        Err(NfsError::Access)
+    ));
+
+    // A stranger gets nothing.
+    let eve = Credentials::user(300, 30);
+    assert!(matches!(fs.read_as(n(0), f.handle, eve, 0, 64), Err(NfsError::Access)));
+    assert!(!fs.access(n(0), f.handle, eve, AccessMode::Read).unwrap().value);
+
+    // Root bypasses, as on any UNIX NFS server.
+    fs.write_as(n(0), f.handle, Credentials::ROOT, 0, b"root override").unwrap();
+    let data = fs.read_as(n(1), f.handle, Credentials::ROOT, 0, 64).unwrap().value;
+    assert_eq!(&data[..13], b"root override");
+}
+
+#[test]
+fn access_checks_work_through_any_server() {
+    // The policy travels with the replicated inode: every server answers
+    // identically, crash or no crash.
+    let mut fs = DeceitFs::with_defaults(3);
+    let root = fs.root();
+    let f = fs.create(n(0), root, "shared", 0o604).unwrap().value;
+    fs.setattr(n(0), f.handle, None, Some(100), Some(10), None).unwrap();
+    fs.set_file_params(n(0), f.handle, deceit_core::FileParams::important(3)).unwrap();
+    fs.write_as(n(0), f.handle, Credentials::user(100, 10), 0, b"world-readable").unwrap();
+    fs.cluster.run_until_quiet();
+    let eve = Credentials::user(300, 30);
+    for via in [n(0), n(1), n(2)] {
+        assert!(fs.read_as(via, f.handle, eve, 0, 64).is_ok(), "o+r grants read");
+        assert!(matches!(
+            fs.write_as(via, f.handle, eve, 0, b"x"),
+            Err(NfsError::Access)
+        ));
+    }
+    fs.cluster.crash_server(n(0));
+    assert!(fs.read_as(n(1), f.handle, eve, 0, 64).is_ok());
+}

@@ -1,0 +1,151 @@
+//! Model-based property test: the NFS envelope against an in-memory
+//! reference filesystem, under random operation sequences.
+
+use std::collections::BTreeMap;
+
+use deceit_net::NodeId;
+use deceit_nfs::{DeceitFs, FileHandle, NfsError};
+use proptest::prelude::*;
+
+/// The reference model: a flat namespace of `d<i>/f<j>` files with plain
+/// byte contents (directories fixed up front to keep the model simple;
+/// the envelope's tree mechanics get their own unit tests).
+#[derive(Debug, Default)]
+struct Model {
+    files: BTreeMap<(usize, String), Vec<u8>>,
+}
+
+#[derive(Debug, Clone)]
+enum FsOp {
+    Create { dir: usize, name: u8 },
+    WriteAt { dir: usize, name: u8, offset: usize, data: Vec<u8> },
+    Truncate { dir: usize, name: u8, size: usize },
+    Remove { dir: usize, name: u8 },
+    ReadBack { dir: usize, name: u8 },
+    Rename { dir: usize, name: u8, to: u8 },
+}
+
+fn op() -> impl Strategy<Value = FsOp> {
+    let dir = 0usize..2;
+    let name = 0u8..5;
+    prop_oneof![
+        (dir.clone(), name.clone()).prop_map(|(dir, name)| FsOp::Create { dir, name }),
+        (dir.clone(), name.clone(), 0usize..32, proptest::collection::vec(any::<u8>(), 1..24))
+            .prop_map(|(dir, name, offset, data)| FsOp::WriteAt { dir, name, offset, data }),
+        (dir.clone(), name.clone(), 0usize..48)
+            .prop_map(|(dir, name, size)| FsOp::Truncate { dir, name, size }),
+        (dir.clone(), name.clone()).prop_map(|(dir, name)| FsOp::Remove { dir, name }),
+        (dir.clone(), name.clone()).prop_map(|(dir, name)| FsOp::ReadBack { dir, name }),
+        (dir, name.clone(), name).prop_map(|(dir, name, to)| FsOp::Rename { dir, name, to }),
+    ]
+}
+
+fn fname(n: u8) -> String {
+    format!("f{n}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every sequence of envelope operations leaves the filesystem
+    /// byte-identical to the model — through any server, including after
+    /// quiescence.
+    #[test]
+    fn envelope_matches_model(ops in proptest::collection::vec(op(), 1..40)) {
+        let mut fs = DeceitFs::with_defaults(3);
+        let root = fs.root();
+        let d0 = fs.mkdir(NodeId(0), root, "d0", 0o755).unwrap().value.handle;
+        let d1 = fs.mkdir(NodeId(0), root, "d1", 0o755).unwrap().value.handle;
+        let dirs = [d0, d1];
+        let mut model = Model::default();
+
+        let lookup = |fs: &mut DeceitFs, via: NodeId, dirs: &[FileHandle; 2], dir: usize, name: u8|
+            -> Option<FileHandle> {
+            fs.lookup(via, dirs[dir], &fname(name)).ok().map(|a| a.value.handle)
+        };
+
+        for (op_idx, o) in ops.iter().enumerate() {
+            let via = NodeId((op_idx % 3) as u32);
+            match o {
+                FsOp::Create { dir, name } => {
+                    let res = fs.create(via, dirs[*dir], &fname(*name), 0o644);
+                    let existed = model.files.contains_key(&(*dir, fname(*name)));
+                    match res {
+                        Ok(_) => {
+                            prop_assert!(!existed, "create succeeded over existing");
+                            model.files.insert((*dir, fname(*name)), Vec::new());
+                        }
+                        Err(NfsError::Exists) => prop_assert!(existed),
+                        Err(e) => return Err(TestCaseError::fail(format!("create: {e}"))),
+                    }
+                }
+                FsOp::WriteAt { dir, name, offset, data } => {
+                    if let Some(fh) = lookup(&mut fs, via, &dirs, *dir, *name) {
+                        fs.write(via, fh, *offset, data).unwrap();
+                        let m = model.files.get_mut(&(*dir, fname(*name))).unwrap();
+                        if offset + data.len() > m.len() {
+                            m.resize(offset + data.len(), 0);
+                        }
+                        m[*offset..offset + data.len()].copy_from_slice(data);
+                    }
+                }
+                FsOp::Truncate { dir, name, size } => {
+                    if let Some(fh) = lookup(&mut fs, via, &dirs, *dir, *name) {
+                        fs.setattr(via, fh, None, None, None, Some(*size)).unwrap();
+                        model.files.get_mut(&(*dir, fname(*name))).unwrap().resize(*size, 0);
+                    }
+                }
+                FsOp::Remove { dir, name } => {
+                    let existed = model.files.remove(&(*dir, fname(*name))).is_some();
+                    match fs.remove(via, dirs[*dir], &fname(*name)) {
+                        Ok(_) => prop_assert!(existed),
+                        Err(NfsError::NotFound) => prop_assert!(!existed),
+                        Err(e) => return Err(TestCaseError::fail(format!("remove: {e}"))),
+                    }
+                }
+                FsOp::ReadBack { dir, name } => {
+                    match lookup(&mut fs, via, &dirs, *dir, *name) {
+                        Some(fh) => {
+                            let got = fs.read(via, fh, 0, 1 << 16).unwrap().value;
+                            let want = model.files.get(&(*dir, fname(*name))).unwrap();
+                            prop_assert_eq!(&got[..], &want[..]);
+                        }
+                        None => prop_assert!(
+                            !model.files.contains_key(&(*dir, fname(*name)))
+                        ),
+                    }
+                }
+                FsOp::Rename { dir, name, to } => {
+                    let src_exists = model.files.contains_key(&(*dir, fname(*name)));
+                    if !src_exists || name == to {
+                        continue;
+                    }
+                    fs.rename(via, dirs[*dir], &fname(*name), dirs[*dir], &fname(*to))
+                        .unwrap();
+                    let body = model.files.remove(&(*dir, fname(*name))).unwrap();
+                    model.files.insert((*dir, fname(*to)), body);
+                }
+            }
+        }
+
+        // Settle all propagation, then verify the full namespace through
+        // every server.
+        fs.cluster.run_until_quiet();
+        for via in [NodeId(0), NodeId(1), NodeId(2)] {
+            for ((dir, name), want) in &model.files {
+                let attr = fs.lookup(via, dirs[*dir], name).unwrap().value;
+                let got = fs.read(via, attr.handle, 0, 1 << 16).unwrap().value;
+                prop_assert_eq!(&got[..], &want[..], "{}/{} via {}", dir, name, via);
+            }
+            // And nothing extra exists.
+            for (i, d) in dirs.iter().enumerate() {
+                let listed = fs.readdir(via, *d).unwrap().value;
+                prop_assert_eq!(
+                    listed.len(),
+                    model.files.keys().filter(|(di, _)| *di == i).count(),
+                    "dir {} listing via {}", i, via
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The "reconcile directory versions" special command (§2.1).
+
+use deceit_core::{ClusterConfig, FileParams, WriteAvailability};
+use deceit_net::NodeId;
+use deceit_nfs::{reconcile_directory, DeceitFs, FileHandle, FsConfig};
+
+fn n(v: u32) -> NodeId {
+    NodeId(v)
+}
+
+/// A 4-server cell whose root directory is fully replicated with "high"
+/// availability, split down the middle with a file created on each side.
+fn diverged() -> (DeceitFs, FileHandle) {
+    let mut fs = DeceitFs::new(
+        4,
+        ClusterConfig::deterministic(),
+        FsConfig {
+            root_params: FileParams {
+                min_replicas: 4,
+                availability: WriteAvailability::High,
+                ..FileParams::default()
+            },
+            ..FsConfig::default()
+        },
+    );
+    let root = fs.root();
+    fs.cluster.run_until_quiet();
+    fs.cluster.split(&[&[n(0), n(1)], &[n(2), n(3)]]);
+    fs.create(n(0), root, "left.txt", 0o644).unwrap();
+    fs.create(n(2), root, "right.txt", 0o644).unwrap();
+    fs.cluster.heal();
+    fs.cluster.run_until_quiet();
+    assert_eq!(fs.cluster.conflicts.len(), 1, "fixture must diverge");
+    (fs, root)
+}
+
+#[test]
+fn reconcile_merges_both_sides() {
+    let (mut fs, root) = diverged();
+    let report = reconcile_directory(&mut fs, n(0), root).unwrap().value;
+    assert_eq!(report.merged_majors.len(), 2);
+    assert!(report.collisions.is_empty());
+    fs.cluster.run_until_quiet();
+
+    // One version survives, holding the union of the entries.
+    assert_eq!(fs.file_versions(n(0), root).unwrap().value.len(), 1);
+    let names: Vec<String> = fs
+        .readdir(n(3), root)
+        .unwrap()
+        .value
+        .iter()
+        .map(|e| e.name.clone())
+        .collect();
+    assert!(names.contains(&"left.txt".to_string()), "{names:?}");
+    assert!(names.contains(&"right.txt".to_string()), "{names:?}");
+
+    // Both files still open and usable from any server.
+    for name in ["left.txt", "right.txt"] {
+        let attr = fs.lookup(n(1), root, name).unwrap().value;
+        fs.write(n(1), attr.handle, 0, b"post-merge").unwrap();
+    }
+    // The conflict record is cleared by deleting the losing version.
+    assert!(fs.cluster.conflicts.is_empty());
+}
+
+#[test]
+fn reconcile_reports_name_collisions() {
+    // Both sides create a DIFFERENT file under the SAME name.
+    let mut fs = DeceitFs::new(
+        4,
+        ClusterConfig::deterministic(),
+        FsConfig {
+            root_params: FileParams {
+                min_replicas: 4,
+                availability: WriteAvailability::High,
+                ..FileParams::default()
+            },
+            ..FsConfig::default()
+        },
+    );
+    let root = fs.root();
+    fs.cluster.run_until_quiet();
+    fs.cluster.split(&[&[n(0), n(1)], &[n(2), n(3)]]);
+    let left = fs.create(n(0), root, "same-name", 0o644).unwrap().value;
+    fs.write(n(0), left.handle, 0, b"left body").unwrap();
+    let right = fs.create(n(2), root, "same-name", 0o644).unwrap().value;
+    fs.write(n(2), right.handle, 0, b"right body").unwrap();
+    assert_ne!(left.handle.seg, right.handle.seg, "two distinct files");
+    fs.cluster.heal();
+    fs.cluster.run_until_quiet();
+
+    let report = reconcile_directory(&mut fs, n(0), root).unwrap().value;
+    assert_eq!(report.collisions, vec!["same-name".to_string()]);
+    fs.cluster.run_until_quiet();
+    let names: Vec<String> = fs
+        .readdir(n(0), root)
+        .unwrap()
+        .value
+        .iter()
+        .map(|e| e.name.clone())
+        .collect();
+    // The winner keeps the plain name; the loser is visible with a
+    // version-suffixed name so no data is silently dropped.
+    assert!(names.iter().any(|s| s == "same-name"), "{names:?}");
+    assert!(names.iter().any(|s| s.starts_with("same-name#")), "{names:?}");
+}
+
+#[test]
+fn reconcile_single_version_is_noop() {
+    let mut fs = DeceitFs::with_defaults(2);
+    let root = fs.root();
+    fs.create(n(0), root, "solo", 0o644).unwrap();
+    let report = reconcile_directory(&mut fs, n(0), root).unwrap().value;
+    assert_eq!(report.merged_majors.len(), 1);
+    assert_eq!(report.merged_entries, 1);
+}

@@ -1,0 +1,26 @@
+//! Deterministic discrete-event simulation kernel for the Deceit reproduction.
+//!
+//! The original Deceit prototype ran on SunOS workstations over a campus
+//! Ethernet. This reproduction replaces that testbed with a deterministic
+//! simulation so that every experiment in the paper can be regenerated
+//! bit-for-bit from a seed. The kernel is deliberately tiny and generic:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a microsecond-resolution simulated clock.
+//! * [`EventQueue`] — a stable (FIFO-within-timestamp) pending-event queue.
+//! * [`SimRng`] — a seeded RNG with the distributions the workload models
+//!   need (Zipf, truncated log-normal, exponential).
+//! * [`stats`] — counters and histograms used by every layer above.
+//! * [`trace`] — a structured protocol trace, used to regenerate Table 1 of
+//!   the paper (the "typical sequence of events in an update").
+
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use events::EventQueue;
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, StatsRegistry, Summary};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, TraceLog};

@@ -1,0 +1,221 @@
+//! Seeded randomness and the distributions used by the workload models.
+//!
+//! Section 2.3 of the paper grounds Deceit's design in measured UNIX file
+//! access patterns (Ousterhout et al., Floyd, Staelin): small files, bursty
+//! whole-file access, heavy directory locality. The workload generators in
+//! `deceit-bench` sample those shapes from the distributions here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A deterministic random source for one simulation run.
+///
+/// Wraps a seeded [`StdRng`] and adds the handful of distributions the
+/// Deceit workload models need. Two `SimRng`s built from the same seed
+/// produce identical streams.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child generator; used to give each server or
+    /// client its own stream so adding one consumer does not perturb others.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.inner.random())
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "uniform: empty range {lo}..{hi}");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform choice of an index in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: empty range");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random()
+    }
+
+    /// Bernoulli trial with probability `p` of returning true.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// Used for inter-arrival times of file-activity bursts ("long periods
+    /// of total inactivity punctuated by high activity", §2.3).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.unit();
+        // Clamp away from 0 so ln() stays finite.
+        -mean * (1.0 - u).max(f64::MIN_POSITIVE).ln()
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        SimDuration::from_micros(self.exponential(mean.as_micros() as f64) as u64)
+    }
+
+    /// Log-normal sample with the given median and sigma (of the underlying
+    /// normal), truncated to `[min, max]`.
+    ///
+    /// File sizes are "mostly small, i.e. less than 20 kilobytes" (§2.3) with
+    /// a heavy tail; a truncated log-normal matches the BSD trace studies the
+    /// paper cites.
+    pub fn lognormal(&mut self, median: f64, sigma: f64, min: f64, max: f64) -> f64 {
+        // Box-Muller transform.
+        let u1 = self.unit().max(f64::MIN_POSITIVE);
+        let u2 = self.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (median.ln() + sigma * z).exp().clamp(min, max)
+    }
+
+    /// A file size in bytes following the §2.3 "most files are small" shape:
+    /// median 4 KiB, truncated to `[64 B, 1 MiB]`.
+    pub fn file_size(&mut self) -> usize {
+        self.lognormal(4096.0, 1.3, 64.0, 1024.0 * 1024.0) as usize
+    }
+
+    /// Zipf-distributed index in `[0, n)` with exponent `theta`.
+    ///
+    /// Directory and file popularity cluster heavily (§2.3: "file activity
+    /// tends to cluster in a small number of directories"). Uses the
+    /// rejection-inversion-free direct inversion over the harmonic CDF,
+    /// which is fine at the `n` this project uses (≤ tens of thousands).
+    pub fn zipf(&mut self, n: usize, theta: f64) -> usize {
+        assert!(n > 0, "zipf: empty range");
+        // Normalization constant H(n, theta).
+        let h: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).sum();
+        let mut target = self.unit() * h;
+        for k in 1..=n {
+            target -= 1.0 / (k as f64).powf(theta);
+            if target <= 0.0 {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.random_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks `k` distinct indices out of `[0, n)` (k ≤ n), in random order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "sample_indices: k={k} > n={n}");
+        let mut all: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut all);
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0, 1_000_000), b.uniform(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let va: Vec<u64> = (0..16).map(|_| a.uniform(0, u64::MAX - 1)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.uniform(0, u64::MAX - 1)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1000 {
+            let v = r.uniform(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = SimRng::new(4);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(50.0)).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_respects_bounds() {
+        let mut r = SimRng::new(5);
+        for _ in 0..1000 {
+            let v = r.lognormal(4096.0, 1.3, 64.0, 1_048_576.0);
+            assert!((64.0..=1_048_576.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let mut r = SimRng::new(6);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[r.zipf(10, 1.0)] += 1;
+        }
+        // Rank 0 must dominate rank 9 decisively under theta=1.
+        assert!(counts[0] > counts[9] * 3, "counts {counts:?}");
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = SimRng::new(8);
+        let picks = r.sample_indices(10, 6);
+        assert_eq!(picks.len(), 6);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+        assert!(picks.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let mut a = SimRng::new(9);
+        let mut child = a.fork();
+        // Child consumes values without affecting the parent's future stream
+        // relative to a replayed parent.
+        let mut a2 = SimRng::new(9);
+        let _ = a2.fork();
+        let _ = child.uniform(0, 100);
+        assert_eq!(a.uniform(0, 1_000_000), a2.uniform(0, 1_000_000));
+    }
+
+    #[test]
+    fn file_size_mostly_small() {
+        let mut r = SimRng::new(10);
+        let sizes: Vec<usize> = (0..2000).map(|_| r.file_size()).collect();
+        let small = sizes.iter().filter(|&&s| s < 20 * 1024).count();
+        // §2.3: "Most files are small, i.e. less than 20 kilobytes."
+        assert!(small * 100 / sizes.len() > 80, "small fraction {small}/2000");
+    }
+}

@@ -1,0 +1,313 @@
+//! Counters, histograms, and experiment summaries.
+//!
+//! Every layer of the stack records into these types: the network counts
+//! messages and bytes, the ISIS layer counts broadcast rounds, the segment
+//! server counts token movements and stability transitions. The bench
+//! harness prints [`Summary`] rows in the shape of the paper's tables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero, returning the prior value.
+    pub fn take(&mut self) -> u64 {
+        std::mem::take(&mut self.0)
+    }
+}
+
+/// An exact histogram of `u64` samples (latencies in microseconds, sizes in
+/// bytes, counts).
+///
+/// Stores raw samples; the data volumes in this project (≤ millions of
+/// samples per experiment) make exactness affordable and percentile queries
+/// trustworthy.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Records a duration sample in microseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// Exact percentile in `[0, 100]`, or 0 when empty.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.ensure_sorted();
+        let rank = ((p / 100.0) * (self.samples.len() - 1) as f64).round() as usize;
+        self.samples[rank.min(self.samples.len() - 1)]
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        self.samples.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// Produces a point-in-time summary of the distribution.
+    pub fn summary(&mut self) -> Summary {
+        Summary {
+            count: self.count() as u64,
+            mean: self.mean(),
+            p50: self.percentile(50.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+            max: self.max(),
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+}
+
+/// A compact distribution summary row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={} p95={} p99={} max={}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// A named registry of counters and histograms for one experiment run.
+///
+/// Keys are `/`-separated paths, e.g. `net/messages` or
+/// `core/token/acquisitions`, so related metrics group naturally when the
+/// registry is dumped.
+#[derive(Debug, Default)]
+pub struct StatsRegistry {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl StatsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        StatsRegistry::default()
+    }
+
+    /// Increments the named counter by one, creating it if needed.
+    pub fn incr(&mut self, name: &str) {
+        self.counter_mut(name).incr();
+    }
+
+    /// Adds `n` to the named counter, creating it if needed.
+    pub fn add(&mut self, name: &str, n: u64) {
+        self.counter_mut(name).add(n);
+    }
+
+    /// Current value of the named counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |c| c.get())
+    }
+
+    /// Records a sample into the named histogram, creating it if needed.
+    pub fn record(&mut self, name: &str, value: u64) {
+        self.histogram_mut(name).record(value);
+    }
+
+    /// Records a duration sample (microseconds) into the named histogram.
+    pub fn record_duration(&mut self, name: &str, d: SimDuration) {
+        self.record(name, d.as_micros());
+    }
+
+    /// Summary of the named histogram, or an all-zero summary if absent.
+    pub fn summary(&mut self, name: &str) -> Summary {
+        self.histograms.entry(name.to_string()).or_default().summary()
+    }
+
+    /// All counter names currently present, in sorted order.
+    pub fn counter_names(&self) -> Vec<&str> {
+        self.counters.keys().map(String::as_str).collect()
+    }
+
+    /// All histogram names currently present, in sorted order.
+    pub fn histogram_names(&self) -> Vec<&str> {
+        self.histograms.keys().map(String::as_str).collect()
+    }
+
+    /// Clears every counter and histogram, keeping the names out of the map.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+
+    fn counter_mut(&mut self, name: &str) -> &mut Counter {
+        self.counters.entry(name.to_string()).or_default()
+    }
+
+    fn histogram_mut(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_string()).or_default()
+    }
+}
+
+impl fmt::Display for StatsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, c) in &self.counters {
+            writeln!(f, "{name}: {}", c.get())?;
+        }
+        for (name, h) in &self.histograms {
+            let mut h = h.clone();
+            writeln!(f, "{name}: {}", h.summary())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.take(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_percentiles_exact() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(100.0), 100);
+        let p50 = h.percentile(50.0);
+        assert!((50..=51).contains(&p50), "p50 {p50}");
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty_is_zeroes() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.summary().count, 0);
+    }
+
+    #[test]
+    fn registry_counters_and_histograms() {
+        let mut r = StatsRegistry::new();
+        r.incr("net/messages");
+        r.add("net/messages", 9);
+        r.record("lat", 5);
+        r.record("lat", 15);
+        assert_eq!(r.counter("net/messages"), 10);
+        assert_eq!(r.counter("missing"), 0);
+        let s = r.summary("lat");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 15);
+        assert_eq!(r.counter_names(), vec!["net/messages"]);
+        r.reset();
+        assert_eq!(r.counter("net/messages"), 0);
+    }
+
+    #[test]
+    fn registry_display_lists_everything() {
+        let mut r = StatsRegistry::new();
+        r.incr("a/b");
+        r.record("c/d", 3);
+        let out = r.to_string();
+        assert!(out.contains("a/b: 1"));
+        assert!(out.contains("c/d: n=1"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Structured protocol tracing.
+//!
+//! Table 1 of the paper lists the "typical sequence of events in an update"
+//! (acquire token → mark unstable → distributed update → count replies →
+//! generate replicas → mark stable). To regenerate that table we need the
+//! protocol layers to emit machine-checkable events rather than log lines;
+//! [`TraceLog`] collects them with their simulated timestamps and the tests
+//! assert on the observed order.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Marker trait for trace event payloads.
+///
+/// The event type lives in the layer that emits it (e.g. the segment
+/// server's `ProtocolEvent`); the kernel only requires that events can be
+/// printed and compared in tests.
+pub trait TraceEvent: fmt::Debug + Clone + PartialEq {}
+
+impl<T: fmt::Debug + Clone + PartialEq> TraceEvent for T {}
+
+/// An append-only, timestamped log of protocol events.
+#[derive(Debug, Clone)]
+pub struct TraceLog<E: TraceEvent> {
+    entries: Vec<(SimTime, E)>,
+    enabled: bool,
+}
+
+impl<E: TraceEvent> TraceLog<E> {
+    /// Creates an enabled, empty log.
+    pub fn new() -> Self {
+        TraceLog { entries: Vec::new(), enabled: true }
+    }
+
+    /// Creates a disabled log; [`TraceLog::emit`] becomes a no-op.
+    ///
+    /// Benchmarks disable tracing so the trace cost does not pollute
+    /// measured latencies.
+    pub fn disabled() -> Self {
+        TraceLog { entries: Vec::new(), enabled: false }
+    }
+
+    /// Appends an event at the given simulated time.
+    pub fn emit(&mut self, at: SimTime, event: E) {
+        if self.enabled {
+            self.entries.push((at, event));
+        }
+    }
+
+    /// All entries in emission order.
+    pub fn entries(&self) -> &[(SimTime, E)] {
+        &self.entries
+    }
+
+    /// Just the events, without timestamps.
+    pub fn events(&self) -> Vec<E> {
+        self.entries.iter().map(|(_, e)| e.clone()).collect()
+    }
+
+    /// Events matching a predicate, in order.
+    pub fn filter(&self, pred: impl Fn(&E) -> bool) -> Vec<E> {
+        self.entries.iter().filter(|(_, e)| pred(e)).map(|(_, e)| e.clone()).collect()
+    }
+
+    /// True when the events matching `pred` appear in exactly the order of
+    /// `expected` (other events may be interleaved).
+    pub fn subsequence_matches(&self, pred: impl Fn(&E) -> bool, expected: &[E]) -> bool {
+        self.filter(pred) == expected
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no events are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Discards all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl<E: TraceEvent> Default for TraceLog<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Ev {
+        Acquire,
+        Unstable,
+        Update(u32),
+        Stable,
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut log = TraceLog::new();
+        log.emit(t(1), Ev::Acquire);
+        log.emit(t(2), Ev::Unstable);
+        log.emit(t(3), Ev::Update(1));
+        log.emit(t(9), Ev::Stable);
+        assert_eq!(log.len(), 4);
+        assert_eq!(
+            log.events(),
+            vec![Ev::Acquire, Ev::Unstable, Ev::Update(1), Ev::Stable]
+        );
+    }
+
+    #[test]
+    fn filter_and_subsequence() {
+        let mut log = TraceLog::new();
+        log.emit(t(1), Ev::Acquire);
+        log.emit(t(2), Ev::Update(1));
+        log.emit(t(3), Ev::Update(2));
+        log.emit(t(4), Ev::Stable);
+        let updates = log.filter(|e| matches!(e, Ev::Update(_)));
+        assert_eq!(updates, vec![Ev::Update(1), Ev::Update(2)]);
+        assert!(log.subsequence_matches(
+            |e| matches!(e, Ev::Acquire | Ev::Stable),
+            &[Ev::Acquire, Ev::Stable]
+        ));
+        assert!(!log.subsequence_matches(|_| true, &[Ev::Stable]));
+    }
+
+    #[test]
+    fn disabled_log_drops_events() {
+        let mut log = TraceLog::disabled();
+        log.emit(t(1), Ev::Acquire);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut log = TraceLog::new();
+        log.emit(t(1), Ev::Acquire);
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! Simulated non-volatile storage for Deceit servers.
+//!
+//! §3.5 ("Local Non-volatile Storage"): each server keeps, on disk, the
+//! data of its replicas, each replica's state and version pair, the state
+//! of every token it holds, and the map from file handles to local names.
+//! "Some of a server's non-volatile storage is updated immediately when
+//! values change, and some of it is written asynchronously, depending on
+//! safety."
+//!
+//! [`Disk`] models exactly that contract: a durable map plus a volatile
+//! overlay. Synchronous writes are durable when the call returns (and cost
+//! simulated disk time); asynchronous writes are visible immediately but
+//! survive a crash only once flushed. [`Disk::crash`] throws away the
+//! volatile overlay — this is the primitive every §3.6 crash scenario is
+//! built on.
+//!
+//! [`SegmentData`] is the byte-array-with-offset representation of a
+//! segment's contents (§5.1: "A segment contains an array of bytes that can
+//! be indexed by an offset").
+
+pub mod disk;
+pub mod segdata;
+
+pub use disk::{Disk, DiskConfig, StoredSize};
+pub use segdata::SegmentData;

@@ -1,0 +1,163 @@
+//! Segment contents: a byte array indexed by offset.
+//!
+//! §5.1: "A segment contains an array of bytes that can be indexed by an
+//! offset. … Write modifies a segment by replacing, appending, or
+//! truncating data in the segment." NFS reads and writes map directly onto
+//! these operations.
+
+use bytes::Bytes;
+
+use crate::disk::StoredSize;
+
+/// The mutable contents of one segment replica.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SegmentData {
+    buf: Vec<u8>,
+}
+
+impl SegmentData {
+    /// An empty segment ("create … returns a handle for a new segment of
+    /// zero length", §5.1).
+    pub fn new() -> Self {
+        SegmentData::default()
+    }
+
+    /// Builds a segment holding `data`.
+    pub fn from_bytes(data: &[u8]) -> Self {
+        SegmentData { buf: data.to_vec() }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the segment holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Reads up to `count` bytes starting at `offset`.
+    ///
+    /// Reads past end-of-segment return the available prefix (possibly
+    /// empty), matching NFS read semantics.
+    pub fn read(&self, offset: usize, count: usize) -> Bytes {
+        if offset >= self.buf.len() {
+            return Bytes::new();
+        }
+        let end = (offset + count).min(self.buf.len());
+        Bytes::copy_from_slice(&self.buf[offset..end])
+    }
+
+    /// The full contents.
+    pub fn contents(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.buf)
+    }
+
+    /// Writes `data` at `offset`, replacing existing bytes and extending
+    /// the segment as needed. Writing past end-of-segment zero-fills the
+    /// gap (UNIX sparse-write semantics).
+    pub fn write(&mut self, offset: usize, data: &[u8]) {
+        let end = offset + data.len();
+        if end > self.buf.len() {
+            self.buf.resize(end, 0);
+        }
+        self.buf[offset..end].copy_from_slice(data);
+    }
+
+    /// Appends `data` at the current end.
+    pub fn append(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Truncates (or zero-extends) the segment to exactly `len` bytes.
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.resize(len, 0);
+    }
+
+    /// Replaces the entire contents.
+    pub fn replace(&mut self, data: &[u8]) {
+        self.buf.clear();
+        self.buf.extend_from_slice(data);
+    }
+}
+
+impl StoredSize for SegmentData {
+    fn stored_size(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl From<&[u8]> for SegmentData {
+    fn from(data: &[u8]) -> Self {
+        SegmentData::from_bytes(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_is_zero_length() {
+        let s = SegmentData::new();
+        assert!(s.is_empty());
+        assert_eq!(s.read(0, 10), Bytes::new());
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut s = SegmentData::new();
+        s.write(0, b"hello world");
+        assert_eq!(s.len(), 11);
+        assert_eq!(&s.read(0, 5)[..], b"hello");
+        assert_eq!(&s.read(6, 100)[..], b"world");
+    }
+
+    #[test]
+    fn overwrite_replaces_in_place() {
+        let mut s = SegmentData::from_bytes(b"aaaaaa");
+        s.write(2, b"BB");
+        assert_eq!(&s.contents()[..], b"aaBBaa");
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let mut s = SegmentData::from_bytes(b"ab");
+        s.write(5, b"z");
+        assert_eq!(&s.contents()[..], b"ab\0\0\0z");
+    }
+
+    #[test]
+    fn append_extends() {
+        let mut s = SegmentData::from_bytes(b"ab");
+        s.append(b"cd");
+        assert_eq!(&s.contents()[..], b"abcd");
+    }
+
+    #[test]
+    fn truncate_shrinks_and_extends() {
+        let mut s = SegmentData::from_bytes(b"abcdef");
+        s.truncate(3);
+        assert_eq!(&s.contents()[..], b"abc");
+        s.truncate(5);
+        assert_eq!(&s.contents()[..], b"abc\0\0");
+    }
+
+    #[test]
+    fn read_past_end_returns_prefix() {
+        let s = SegmentData::from_bytes(b"abc");
+        assert_eq!(&s.read(1, 100)[..], b"bc");
+        assert_eq!(s.read(3, 1), Bytes::new());
+        assert_eq!(s.read(99, 1), Bytes::new());
+    }
+
+    #[test]
+    fn replace_swaps_contents() {
+        let mut s = SegmentData::from_bytes(b"old contents");
+        s.replace(b"new");
+        assert_eq!(&s.contents()[..], b"new");
+        assert_eq!(s.stored_size(), 3);
+    }
+}

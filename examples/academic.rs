@@ -1,0 +1,108 @@
+//! §6.1 — the academic public workstation environment.
+//!
+//! "A large number of small, inexpensive, and unreliable machines. …
+//! Users will typically want to set the replication level to 2 or 3 on
+//! important source and text files; other files can be regenerated if
+//! necessary. The system administrator should set the replication level
+//! to be 2 or 3 on all important system directories, binaries, and
+//! libraries."
+//!
+//! This example builds that environment, runs an edit/compile workload
+//! while machines crash and recover, and reports the availability of
+//! important vs regenerable files.
+//!
+//! Run with: `cargo run --example academic`
+
+use deceit::prelude::*;
+
+fn main() {
+    println!("== Deceit scenario: academic public workstations (§6.1) ==\n");
+    let n_servers = 8;
+    let mut fs = DeceitFs::new(
+        n_servers,
+        ClusterConfig::default().with_seed(61),
+        FsConfig {
+            // The administrator replicates important system directories.
+            root_params: FileParams::important(3),
+            dir_params: FileParams::important(2),
+            ..FsConfig::default()
+        },
+    );
+    let root = fs.root();
+    let admin = NodeId(0);
+
+    // System tree: /bin with replicated binaries.
+    let bin = fs.mkdir(admin, root, "bin", 0o755).unwrap().value;
+    for tool in ["cc", "ed", "make"] {
+        let f = fs.create(admin, bin.handle, tool, 0o755).unwrap().value;
+        fs.set_file_params(admin, f.handle, FileParams::important(3)).unwrap();
+        fs.write(admin, f.handle, 0, format!("binary:{tool}").as_bytes()).unwrap();
+    }
+
+    // Users: homes with important sources (replicated 2) and regenerable
+    // object files (default replication 1).
+    let home = fs.mkdir(admin, root, "home", 0o755).unwrap().value;
+    let mut sources = Vec::new();
+    let mut objects = Vec::new();
+    for (i, user) in ["siegel", "birman", "marzullo"].iter().enumerate() {
+        let via = NodeId((i % n_servers) as u32);
+        let udir = fs.mkdir(via, home.handle, user, 0o755).unwrap().value;
+        let src = fs.create(via, udir.handle, "thesis.tex", 0o644).unwrap().value;
+        fs.set_file_params(via, src.handle, FileParams::important(2)).unwrap();
+        fs.write(via, src.handle, 0, format!("\\title{{{user}}}").as_bytes()).unwrap();
+        sources.push((via, src.handle));
+        let obj = fs.create(via, udir.handle, "thesis.o", 0o644).unwrap().value;
+        fs.write(via, obj.handle, 0, b"object code").unwrap();
+        objects.push((via, obj.handle));
+    }
+    fs.cluster.run_until_quiet();
+
+    println!("built /bin (3 replicas each) and 3 user homes (sources x2, objects x1)\n");
+
+    // Unreliable machines: crash two servers and count what survives.
+    let (mut src_ok, mut obj_ok) = (0, 0);
+    for round in 0..4 {
+        let victim_a = NodeId((round % n_servers) as u32);
+        let victim_b = NodeId(((round + 3) % n_servers) as u32);
+        fs.cluster.crash_server(victim_a);
+        fs.cluster.crash_server(victim_b);
+        let via = NodeId(((round + 1) % n_servers) as u32);
+        for (_, fh) in &sources {
+            if fs.read(via, *fh, 0, 64).is_ok() {
+                src_ok += 1;
+            }
+        }
+        for (_, fh) in &objects {
+            if fs.read(via, *fh, 0, 64).is_ok() {
+                obj_ok += 1;
+            }
+        }
+        fs.cluster.recover_server(victim_a);
+        fs.cluster.recover_server(victim_b);
+        fs.cluster.run_until_quiet();
+        println!(
+            "round {round}: crashed {victim_a},{victim_b}; sources {}/3 objects {}/3 readable",
+            src_ok - round * 3,
+            obj_ok.min((round + 1) * 3) - round * 3
+        );
+    }
+    let total = 4 * sources.len();
+    println!("\nsource availability : {src_ok}/{total} reads (replication 2)");
+    println!("object availability : {obj_ok}/{total} reads (replication 1)");
+    assert!(src_ok >= obj_ok, "replication should not hurt availability");
+
+    // "Files can be moved transparently from one server to another by the
+    // system administrator at any time to provide better disk balancing."
+    let (via, fh) = sources[0];
+    let holders = fs.file_replicas(via, fh).unwrap().value;
+    let spare = (0..n_servers as u32)
+        .map(NodeId)
+        .find(|s| !holders.contains(s))
+        .unwrap();
+    fs.cluster.create_replica_on(via, fh.segment(), spare).unwrap();
+    fs.cluster.delete_replica_on(via, fh.segment(), holders[0]).unwrap();
+    let moved = fs.file_replicas(via, fh).unwrap().value;
+    println!("\nmoved a replica {:?} -> {:?} (disk balancing)", holders, moved);
+    assert!(moved.contains(&spare));
+    println!("\nOK: the §6.1 environment behaves as the paper prescribes.");
+}

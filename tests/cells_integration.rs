@@ -1,0 +1,103 @@
+//! Cells and the global root directory (§2.2, Figure 3).
+
+use deceit::prelude::*;
+use deceit::nfs::cell::GlobalHandle;
+
+fn n(v: u32) -> NodeId {
+    NodeId(v)
+}
+
+/// Two cells: "cornell.edu" (3 servers) and "mit.edu" (2 servers), each an
+/// independent Deceit instantiation.
+fn federation() -> Federation {
+    let cornell = DeceitFs::with_defaults(3);
+    let mit = DeceitFs::with_defaults(2);
+    Federation::new(vec![
+        ("cs.cornell.edu".to_string(), cornell),
+        ("cs.mit.edu".to_string(), mit),
+    ])
+}
+
+#[test]
+fn cells_have_distinct_namespaces() {
+    let mut fed = federation();
+    let cornell = CellId(0);
+    let mit = CellId(1);
+    let c_root = fed.cell(cornell).root();
+    let m_root = fed.cell(mit).root();
+    fed.cell(cornell).create(n(0), c_root, "only-cornell", 0o644).unwrap();
+    // Each cell maintains its own name space.
+    assert!(fed.cell(mit).lookup(n(0), m_root, "only-cornell").is_err());
+    assert!(fed.cell(cornell).lookup(n(0), c_root, "only-cornell").is_ok());
+}
+
+#[test]
+fn global_root_reaches_remote_cell() {
+    let mut fed = federation();
+    let cornell = CellId(0);
+    let mit = CellId(1);
+
+    // MIT publishes a paper in its own namespace.
+    let m_root = fed.cell(mit).root();
+    let papers = fed.cell(mit).mkdir(n(0), m_root, "papers", 0o755).unwrap().value;
+    let f = fed.cell(mit).create(n(0), papers.handle, "isis.ps", 0o644).unwrap().value;
+    fed.cell(mit).write(n(0), f.handle, 0, b"virtual synchrony").unwrap();
+
+    // A Cornell user cds to /priv/global/s0.cs.mit.edu and reads it
+    // "with normal file operations" (§2.2).
+    let path = "/priv/global/s0.cs.mit.edu/papers/isis.ps";
+    let looked = fed.lookup_path(cornell, n(1), path).unwrap();
+    let (gh, attr) = looked.value;
+    assert_eq!(gh.cell, mit);
+    assert_eq!(attr.size, 17);
+    let data = fed.read(cornell, n(1), gh, 0, 64).unwrap();
+    assert_eq!(&data.value[..], b"virtual synchrony");
+    // Inter-cell access pays the WAN round trip.
+    assert!(data.latency >= fed.inter_cell_rtt, "{} < wan rtt", data.latency);
+
+    // Local access from MIT itself is cheaper.
+    let local = fed.lookup_path(mit, n(0), "/papers/isis.ps").unwrap();
+    let local_read = fed.read(mit, n(0), local.value.0, 0, 64).unwrap();
+    assert!(local_read.latency < data.latency);
+}
+
+#[test]
+fn unknown_host_in_global_root_fails() {
+    let mut fed = federation();
+    let err = fed
+        .lookup_path(CellId(0), n(0), "/priv/global/nowhere.example.org/x")
+        .unwrap_err();
+    assert!(matches!(err, NfsError::NotFound));
+}
+
+#[test]
+fn cross_cell_write_acts_as_client() {
+    let mut fed = federation();
+    let cornell = CellId(0);
+    let mit = CellId(1);
+    let m_root = fed.cell(mit).root();
+    let shared = fed.cell(mit).create(n(0), m_root, "guestbook", 0o666).unwrap().value;
+    let gh = GlobalHandle { cell: mit, fh: shared.handle };
+    // The Cornell cell "acts as a client to the MIT cell" (§2.2).
+    fed.write(cornell, n(2), gh, 0, b"greetings from ithaca").unwrap();
+    let read_back = fed.cell(mit).read(n(1), shared.handle, 0, 64).unwrap().value;
+    assert_eq!(&read_back[..], b"greetings from ithaca");
+}
+
+#[test]
+fn replication_confined_to_cell() {
+    let mut fed = federation();
+    let mit = CellId(1);
+    let m_root = fed.cell(mit).root();
+    let f = fed.cell(mit).create(n(0), m_root, "local-only", 0o644).unwrap().value;
+    // Even asking for more replicas than the cell has servers keeps all
+    // replicas inside the cell ("replication must be contained within a
+    // cell", §2.2).
+    fed.cell(mit)
+        .set_file_params(n(0), f.handle, FileParams::important(5))
+        .unwrap();
+    fed.cell(mit).cluster.run_until_quiet();
+    let holders = fed.cell(mit).file_replicas(n(0), f.handle).unwrap().value;
+    assert_eq!(holders.len(), 2, "capped at the cell's two servers");
+    assert!(holders.iter().all(|h| h.index() < 2));
+}
