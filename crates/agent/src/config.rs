@@ -94,8 +94,7 @@ mod tests {
     #[test]
     fn placements_order_by_cost() {
         assert!(
-            AgentPlacement::UserLibrary.crossing_cost()
-                < AgentPlacement::Kernel.crossing_cost()
+            AgentPlacement::UserLibrary.crossing_cost() < AgentPlacement::Kernel.crossing_cost()
         );
         assert!(
             AgentPlacement::Kernel.crossing_cost() < AgentPlacement::AuxProcess.crossing_cost()

@@ -91,12 +91,7 @@ impl Agent {
             }
         }
 
-        let out = srv
-            .fs
-            .cluster
-            .net
-            .send(self.id, target, req.wire_size(), "nfs-rpc")
-            .latency();
+        let out = srv.fs.cluster.net.send(self.id, target, req.wire_size(), "nfs-rpc").latency();
         let Some(out) = out else {
             // Partitioned from the server: try any reachable one.
             match self.fail_over(srv, target) {
@@ -170,8 +165,7 @@ impl Agent {
             NfsRequest::Lookup { dir, .. } | NfsRequest::Readdir { dir } => Some(*dir),
             _ => None,
         };
-        fh.and_then(|fh| self.locations.get(&fh.unpinned()).copied())
-            .unwrap_or(self.server)
+        fh.and_then(|fh| self.locations.get(&fh.unpinned()).copied()).unwrap_or(self.server)
     }
 
     /// Connects to the lowest-numbered live server (clearing caches, whose
@@ -198,11 +192,7 @@ impl Agent {
     /// Primes the access shortcut for a file by asking where its replicas
     /// live (§5.3: "It is more efficient for the agent to cache file
     /// locations and directly communicate with the correct servers").
-    pub fn prime_shortcut(
-        &mut self,
-        srv: &mut NfsServer,
-        fh: FileHandle,
-    ) -> SimDuration {
+    pub fn prime_shortcut(&mut self, srv: &mut NfsServer, fh: FileHandle) -> SimDuration {
         let (reply, lat) = self.rpc(srv, NfsRequest::DeceitLocateReplicas { fh });
         if let NfsReply::Replicas(holders) = reply {
             if let Some(&first) = holders.first() {
@@ -274,8 +264,7 @@ impl Agent {
                 return Ok((hit, total + self.cfg.placement.crossing_cost()));
             }
         }
-        let (reply, lat) =
-            self.rpc(srv, NfsRequest::Read { fh, offset: 0, count: usize::MAX / 2 });
+        let (reply, lat) = self.rpc(srv, NfsRequest::Read { fh, offset: 0, count: usize::MAX / 2 });
         total += lat;
         match reply {
             NfsReply::Data(data) => {
@@ -299,8 +288,7 @@ impl Agent {
         offset: usize,
         data: &[u8],
     ) -> Result<(FileAttr, SimDuration), NfsError> {
-        let (reply, lat) =
-            self.rpc(srv, NfsRequest::Write { fh, offset, data: data.to_vec() });
+        let (reply, lat) = self.rpc(srv, NfsRequest::Write { fh, offset, data: data.to_vec() });
         match reply {
             NfsReply::Attr(attr) => {
                 let now = srv.fs.cluster.now();
@@ -321,8 +309,7 @@ impl Agent {
         name: &str,
         mode: u32,
     ) -> Result<(FileAttr, SimDuration), NfsError> {
-        let (reply, lat) =
-            self.rpc(srv, NfsRequest::Create { dir, name: name.to_string(), mode });
+        let (reply, lat) = self.rpc(srv, NfsRequest::Create { dir, name: name.to_string(), mode });
         match reply {
             NfsReply::Attr(attr) => {
                 self.attrs.invalidate(dir);
@@ -358,8 +345,7 @@ impl Agent {
         name: &str,
         mode: u32,
     ) -> Result<(FileAttr, SimDuration), NfsError> {
-        let (reply, lat) =
-            self.rpc(srv, NfsRequest::Mkdir { dir, name: name.to_string(), mode });
+        let (reply, lat) = self.rpc(srv, NfsRequest::Mkdir { dir, name: name.to_string(), mode });
         match reply {
             NfsReply::Attr(attr) => {
                 self.attrs.invalidate(dir);

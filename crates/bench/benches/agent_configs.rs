@@ -18,16 +18,12 @@ fn bench(c: &mut Criterion) {
         fs.write(NodeId(0), f.handle, 0, b"cached").unwrap();
         fs.cluster.run_until_quiet();
         let mut srv = NfsServer::new(fs);
-        let mut agent = Agent::new(NodeId(100), NodeId(0), AgentConfig {
-            placement,
-            ..AgentConfig::default()
-        });
+        let mut agent =
+            Agent::new(NodeId(100), NodeId(0), AgentConfig { placement, ..AgentConfig::default() });
         agent.read_file(&mut srv, f.handle).unwrap(); // warm the caches
-        g.bench_with_input(
-            BenchmarkId::from_parameter(placement.label()),
-            &placement,
-            |b, _| b.iter(|| agent.read_file(&mut srv, f.handle).unwrap()),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(placement.label()), &placement, |b, _| {
+            b.iter(|| agent.read_file(&mut srv, f.handle).unwrap())
+        });
     }
     g.finish();
 }

@@ -1,14 +1,12 @@
 //! Criterion bench for V1: conditional writes, clean vs conflicting.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use deceit::prelude::*;
 use deceit::core::WriteOp;
+use deceit::prelude::*;
 
 fn fixture() -> (deceit::core::Cluster, deceit::core::SegmentId) {
-    let mut c = deceit::core::Cluster::new(
-        2,
-        ClusterConfig::default().with_seed(8).without_trace(),
-    );
+    let mut c =
+        deceit::core::Cluster::new(2, ClusterConfig::default().with_seed(8).without_trace());
     let seg = c.create(NodeId(0)).unwrap().value;
     c.write(NodeId(0), seg, WriteOp::replace(b"base"), None).unwrap();
     (c, seg)

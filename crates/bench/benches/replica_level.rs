@@ -6,26 +6,21 @@ use deceit::prelude::*;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("replica_level");
     for replicas in [1usize, 2, 5] {
-        g.bench_with_input(
-            BenchmarkId::new("create_and_fill", replicas),
-            &replicas,
-            |b, &r| {
-                b.iter(|| {
-                    let mut fs = DeceitFs::new(
-                        8,
-                        ClusterConfig::default().with_seed(4).without_trace(),
-                        FsConfig::default(),
-                    );
-                    let root = fs.root();
-                    let f = fs.create(NodeId(0), root, "f", 0o644).unwrap().value;
-                    fs.set_file_params(NodeId(0), f.handle, FileParams::important(r))
-                        .unwrap();
-                    fs.write(NodeId(0), f.handle, 0, b"replicate me").unwrap();
-                    fs.cluster.run_until_quiet();
-                    fs
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("create_and_fill", replicas), &replicas, |b, &r| {
+            b.iter(|| {
+                let mut fs = DeceitFs::new(
+                    8,
+                    ClusterConfig::default().with_seed(4).without_trace(),
+                    FsConfig::default(),
+                );
+                let root = fs.root();
+                let f = fs.create(NodeId(0), root, "f", 0o644).unwrap().value;
+                fs.set_file_params(NodeId(0), f.handle, FileParams::important(r)).unwrap();
+                fs.write(NodeId(0), f.handle, 0, b"replicate me").unwrap();
+                fs.cluster.run_until_quiet();
+                fs
+            })
+        });
     }
     g.finish();
 }

@@ -14,27 +14,23 @@ fn bench(c: &mut Criterion) {
         );
         let root = fs.root();
         let f = fs.create(NodeId(0), root, "f", 0o644).unwrap().value;
-        fs.set_file_params(NodeId(0), f.handle, FileParams {
-            min_replicas: 3,
-            stability,
-            ..FileParams::default()
-        })
+        fs.set_file_params(
+            NodeId(0),
+            f.handle,
+            FileParams { min_replicas: 3, stability, ..FileParams::default() },
+        )
         .unwrap();
         fs.cluster.run_until_quiet();
         let mut i = 0u64;
-        g.bench_with_input(
-            BenchmarkId::new("isolated_write", stability),
-            &stability,
-            |b, _| {
-                b.iter(|| {
-                    i += 1;
-                    fs.write(NodeId(0), f.handle, 0, &i.to_be_bytes()).unwrap();
-                    // Quiet period: every write opens and closes a stream,
-                    // the worst case for stability notification.
-                    fs.cluster.advance(SimDuration::from_secs(1));
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("isolated_write", stability), &stability, |b, _| {
+            b.iter(|| {
+                i += 1;
+                fs.write(NodeId(0), f.handle, 0, &i.to_be_bytes()).unwrap();
+                // Quiet period: every write opens and closes a stream,
+                // the worst case for stability notification.
+                fs.cluster.advance(SimDuration::from_secs(1));
+            })
+        });
     }
     g.finish();
 }

@@ -12,11 +12,11 @@ fn fixture() -> (DeceitFs, FileHandle) {
     );
     let root = fs.root();
     let f = fs.create(NodeId(0), root, "f", 0o644).unwrap().value;
-    fs.set_file_params(NodeId(0), f.handle, FileParams {
-        min_replicas: 3,
-        stability: false,
-        ..FileParams::default()
-    })
+    fs.set_file_params(
+        NodeId(0),
+        f.handle,
+        FileParams { min_replicas: 3, stability: false, ..FileParams::default() },
+    )
     .unwrap();
     fs.cluster.run_until_quiet();
     (fs, f.handle)

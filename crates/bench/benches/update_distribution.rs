@@ -12,11 +12,11 @@ fn fixture(replicas: usize) -> (DeceitFs, FileHandle) {
     );
     let root = fs.root();
     let f = fs.create(NodeId(0), root, "f", 0o644).unwrap().value;
-    fs.set_file_params(NodeId(0), f.handle, FileParams {
-        min_replicas: replicas,
-        stability: false,
-        ..FileParams::default()
-    })
+    fs.set_file_params(
+        NodeId(0),
+        f.handle,
+        FileParams { min_replicas: replicas, stability: false, ..FileParams::default() },
+    )
     .unwrap();
     fs.write(NodeId(0), f.handle, 0, b"warm").unwrap();
     fs.cluster.run_until_quiet();

@@ -13,12 +13,16 @@ fn bench(c: &mut Criterion) {
         );
         let root = fs.root();
         let f = fs.create(NodeId(0), root, "f", 0o644).unwrap().value;
-        fs.set_file_params(NodeId(0), f.handle, FileParams {
-            min_replicas: 3,
-            write_safety: safety,
-            stability: false,
-            ..FileParams::default()
-        })
+        fs.set_file_params(
+            NodeId(0),
+            f.handle,
+            FileParams {
+                min_replicas: 3,
+                write_safety: safety,
+                stability: false,
+                ..FileParams::default()
+            },
+        )
         .unwrap();
         fs.cluster.run_until_quiet();
         let mut i = 0u64;

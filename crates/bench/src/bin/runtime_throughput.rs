@@ -1,0 +1,110 @@
+//! Live-runtime throughput: ops/sec vs. concurrent client count and
+//! replica level.
+//!
+//! Unlike the simulator benches (which measure *simulated* latencies),
+//! this measures the real thing: wall-clock operations per second through
+//! the live threaded runtime — server message loops, the RPC layer, the
+//! engine lock, and the deferred-work pump all included.
+//!
+//! Run with: `cargo run --release --bin runtime_throughput`
+//!
+//! Writes `BENCH_runtime.json` in the working directory so successive
+//! PRs can track the trajectory.
+
+use std::fs;
+use std::thread;
+use std::time::Instant;
+
+use deceit::prelude::*;
+
+/// Operations each client performs in the timed section.
+const OPS_PER_CLIENT: usize = 400;
+
+#[derive(Debug)]
+struct Sample {
+    clients: usize,
+    replicas: usize,
+    ops: usize,
+    secs: f64,
+    ops_per_sec: f64,
+}
+
+fn run_one(clients: usize, replicas: usize) -> Sample {
+    let rt = ClusterRuntime::start(RuntimeConfig::new(3));
+    let root = rt.client().root();
+
+    // Setup (untimed): each client gets its own replicated file.
+    let mut sessions: Vec<(RuntimeClient, FileHandle)> = (0..clients)
+        .map(|c| {
+            let mut client = rt.client();
+            let attr = client.create(root, &format!("bench_{c}"), 0o644).expect("create");
+            client
+                .set_file_params(attr.handle, FileParams::important(replicas))
+                .expect("set replicas");
+            client.write(attr.handle, 0, b"warmup payload").expect("warmup write");
+            (client, attr.handle)
+        })
+        .collect();
+    rt.settle();
+
+    // Timed section: concurrent alternating write/read traffic.
+    let t0 = Instant::now();
+    let workers: Vec<_> = sessions
+        .drain(..)
+        .enumerate()
+        .map(|(c, (mut client, fh))| {
+            thread::spawn(move || {
+                let payload = format!("client {c} payload: 64 bytes of live benchmark traffic ...");
+                for i in 0..OPS_PER_CLIENT {
+                    if i % 2 == 0 {
+                        client.write(fh, 0, payload.as_bytes()).expect("bench write");
+                    } else {
+                        client.read(fh, 0, 128).expect("bench read");
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("bench client");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    rt.shutdown();
+
+    let ops = clients * OPS_PER_CLIENT;
+    Sample { clients, replicas, ops, secs, ops_per_sec: ops as f64 / secs }
+}
+
+fn main() {
+    println!("== runtime_throughput: live ops/sec vs clients x replica level ==\n");
+    println!("{:>8} {:>9} {:>8} {:>10} {:>12}", "clients", "replicas", "ops", "secs", "ops/sec");
+
+    let mut samples = Vec::new();
+    for &replicas in &[1usize, 3] {
+        for &clients in &[1usize, 4, 16] {
+            let s = run_one(clients, replicas);
+            println!(
+                "{:>8} {:>9} {:>8} {:>10.3} {:>12.0}",
+                s.clients, s.replicas, s.ops, s.secs, s.ops_per_sec
+            );
+            samples.push(s);
+        }
+    }
+
+    // Hand-rolled JSON: the vendored serde stub has no serializer.
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"clients\": {}, \"replicas\": {}, \"ops\": {}, \"secs\": {:.6}, \"ops_per_sec\": {:.1}}}",
+                s.clients, s.replicas, s.ops, s.secs, s.ops_per_sec
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"runtime_throughput\",\n  \"servers\": 3,\n  \"ops_per_client\": {OPS_PER_CLIENT},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+    println!("\nwrote BENCH_runtime.json");
+}

@@ -42,12 +42,16 @@ pub fn run() -> (Table, Fig2Result) {
 
     // The "NFS client": must talk to the owning server directly (modeled
     // with the shortcut agent primed per file, no failover).
-    let mut nfs_client = Agent::new(NodeId(100), NodeId(0), AgentConfig {
-        shortcut: true,
-        failover: false,
-        data_cache: false,
-        ..AgentConfig::default()
-    });
+    let mut nfs_client = Agent::new(
+        NodeId(100),
+        NodeId(0),
+        AgentConfig {
+            shortcut: true,
+            failover: false,
+            data_cache: false,
+            ..AgentConfig::default()
+        },
+    );
     for fh in &handles {
         nfs_client.prime_shortcut(&mut srv, *fh);
     }
@@ -61,12 +65,16 @@ pub fn run() -> (Table, Fig2Result) {
     let client_conversations_nfs = handles.len();
 
     // The Deceit client: one conversation with server 0, no shortcuts.
-    let mut deceit_client = Agent::new(NodeId(101), NodeId(0), AgentConfig {
-        shortcut: false,
-        failover: true,
-        data_cache: false,
-        ..AgentConfig::default()
-    });
+    let mut deceit_client = Agent::new(
+        NodeId(101),
+        NodeId(0),
+        AgentConfig {
+            shortcut: false,
+            failover: true,
+            data_cache: false,
+            ..AgentConfig::default()
+        },
+    );
     for fh in &handles {
         deceit_client.read_file(&mut srv, *fh).unwrap();
     }

@@ -21,10 +21,8 @@ pub fn run() -> Table {
     fed.cell(mit_id).write(NodeId(0), f.handle, 0, &vec![7u8; 8 * 1024]).unwrap();
     fed.cell(mit_id).cluster.run_until_quiet();
 
-    let mut t = Table::new(
-        "Figure 3 — cells: local vs inter-cell access",
-        &["access", "path", "latency"],
-    );
+    let mut t =
+        Table::new("Figure 3 — cells: local vs inter-cell access", &["access", "path", "latency"]);
 
     // Local access inside MIT.
     let local = fed.lookup_path(mit_id, NodeId(1), "/paper.ps").unwrap();
@@ -47,9 +45,7 @@ pub fn run() -> Table {
     ]);
 
     // Replication stays inside the owning cell.
-    fed.cell(mit_id)
-        .set_file_params(NodeId(0), f.handle, FileParams::important(3))
-        .unwrap();
+    fed.cell(mit_id).set_file_params(NodeId(0), f.handle, FileParams::important(3)).unwrap();
     fed.cell(mit_id).cluster.run_until_quiet();
     let holders = fed.cell(mit_id).file_replicas(NodeId(0), f.handle).unwrap().value;
     t.row(&[

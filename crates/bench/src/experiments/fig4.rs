@@ -31,11 +31,11 @@ pub fn measure(cell: usize, replicas: usize, writes: usize) -> SweepPoint {
     );
     let root = fs.root();
     let f = fs.create(NodeId(0), root, "target", 0o644).unwrap().value;
-    fs.set_file_params(NodeId(0), f.handle, FileParams {
-        min_replicas: replicas,
-        stability: false,
-        ..FileParams::default()
-    })
+    fs.set_file_params(
+        NodeId(0),
+        f.handle,
+        FileParams { min_replicas: replicas, stability: false, ..FileParams::default() },
+    )
     .unwrap();
     fs.write(NodeId(0), f.handle, 0, b"warm").unwrap();
     fs.cluster.run_until_quiet();
@@ -94,8 +94,10 @@ mod tests {
     fn update_cost_tracks_group_not_cell() {
         let (_, group, cell) = super::run();
         // Messages grow with the group size…
-        assert!(group.last().unwrap().messages_per_update
-            > group.first().unwrap().messages_per_update + 5.0);
+        assert!(
+            group.last().unwrap().messages_per_update
+                > group.first().unwrap().messages_per_update + 5.0
+        );
         // …and are flat across cell sizes.
         let m0 = cell.first().unwrap().messages_per_update;
         for p in &cell {

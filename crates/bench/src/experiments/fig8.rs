@@ -39,9 +39,9 @@ pub fn measure(label: &str, cfg: AgentConfig, ops: usize) -> ConfigResult {
         let (fh, dir_idx) = corpus.files[op.file()];
         let lat = match op {
             WorkOp::Getattr { .. } => agent.getattr(&mut srv, fh).map(|(_, l)| l),
-            WorkOp::Lookup { file } => agent
-                .lookup(&mut srv, corpus.dirs[dir_idx], &corpus.names[*file])
-                .map(|(_, l)| l),
+            WorkOp::Lookup { file } => {
+                agent.lookup(&mut srv, corpus.dirs[dir_idx], &corpus.names[*file]).map(|(_, l)| l)
+            }
             WorkOp::Read { .. } => agent.read_file(&mut srv, fh).map(|(_, l)| l),
             WorkOp::Write { bytes, .. } => {
                 let body = vec![0xEEu8; *bytes];
@@ -81,11 +81,7 @@ pub fn run() -> (Table, Vec<ConfigResult>) {
     );
     for (label, cfg) in configs {
         let r = measure(label, cfg, ops);
-        t.row(&[
-            r.label.clone(),
-            format!("{:.0}", r.mean_us),
-            format!("{:.2}", r.rpcs_per_op),
-        ]);
+        t.row(&[r.label.clone(), format!("{:.0}", r.mean_us), format!("{:.2}", r.rpcs_per_op)]);
         results.push(r);
     }
     (t, results)

@@ -20,35 +20,30 @@ pub struct Amortization {
 /// Counts protocol rounds for an update stream issued by a server that
 /// does not initially hold the token.
 pub fn measure(stream_len: usize) -> Amortization {
-    let mut fs = DeceitFs::new(
-        3,
-        ClusterConfig::deterministic().without_trace(),
-        FsConfig::default(),
-    );
+    let mut fs =
+        DeceitFs::new(3, ClusterConfig::deterministic().without_trace(), FsConfig::default());
     let root = fs.root();
     let f = fs.create(NodeId(0), root, "f", 0o644).unwrap().value;
-    fs.set_file_params(NodeId(0), f.handle, FileParams {
-        min_replicas: 3,
-        stability: false, // isolate the token protocol from stability rounds
-        ..FileParams::default()
-    })
+    fs.set_file_params(
+        NodeId(0),
+        f.handle,
+        FileParams {
+            min_replicas: 3,
+            stability: false, // isolate the token protocol from stability rounds
+            ..FileParams::default()
+        },
+    )
     .unwrap();
     fs.write(NodeId(0), f.handle, 0, b"warm").unwrap();
     fs.cluster.run_until_quiet();
 
     // Count one "round" per broadcast kind the token protocol uses.
     let rounds_tags = ["update", "token-request", "replica-inquiry", "locate"];
-    let before: u64 = rounds_tags
-        .iter()
-        .map(|t| fs.cluster.net.stats().tag_count(t))
-        .sum();
+    let before: u64 = rounds_tags.iter().map(|t| fs.cluster.net.stats().tag_count(t)).sum();
     for i in 0..stream_len {
         fs.write(NodeId(1), f.handle, 0, format!("u{i}").as_bytes()).unwrap();
     }
-    let after: u64 = rounds_tags
-        .iter()
-        .map(|t| fs.cluster.net.stats().tag_count(t))
-        .sum();
+    let after: u64 = rounds_tags.iter().map(|t| fs.cluster.net.stats().tag_count(t)).sum();
     // Each broadcast round to the 2 remote members costs 4 messages
     // (2 requests + 2 replies).
     let rounds = (after - before) as f64 / 4.0;
@@ -57,8 +52,7 @@ pub fn measure(stream_len: usize) -> Amortization {
 
 /// The amortization curve.
 pub fn run() -> (Table, Vec<Amortization>) {
-    let points: Vec<Amortization> =
-        [1usize, 2, 4, 8, 16, 32].iter().map(|&k| measure(k)).collect();
+    let points: Vec<Amortization> = [1usize, 2, 4, 8, 16, 32].iter().map(|&k| measure(k)).collect();
     let mut t = Table::new(
         "P1 — §3.3: rounds per update vs stream length (token initially elsewhere)",
         &["stream length", "rounds/update", "paper's claim"],

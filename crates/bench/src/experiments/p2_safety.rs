@@ -31,10 +31,7 @@ pub fn measure(safety: usize, writes: usize, trials: usize) -> SafetyPoint {
     let f = file_of(&mut fs);
     let mut total = SimDuration::ZERO;
     for i in 0..writes {
-        total += fs
-            .write(NodeId(0), f, 0, format!("w{i}").as_bytes())
-            .unwrap()
-            .latency;
+        total += fs.write(NodeId(0), f, 0, format!("w{i}").as_bytes()).unwrap().latency;
     }
 
     // Durability probes: write, then a site-wide power failure (every
@@ -59,12 +56,7 @@ pub fn measure(safety: usize, writes: usize, trials: usize) -> SafetyPoint {
             survived += 1;
         }
     }
-    SafetyPoint {
-        safety,
-        latency_us: total.as_micros() as f64 / writes as f64,
-        survived,
-        trials,
-    }
+    SafetyPoint { safety, latency_us: total.as_micros() as f64 / writes as f64, survived, trials }
 }
 
 fn fixture(safety: usize, seed: u64) -> DeceitFs {
@@ -75,12 +67,16 @@ fn fixture(safety: usize, seed: u64) -> DeceitFs {
     );
     let root = fs.root();
     let f = fs.create(NodeId(0), root, "subject", 0o644).unwrap().value;
-    fs.set_file_params(NodeId(0), f.handle, FileParams {
-        min_replicas: 3,
-        write_safety: safety,
-        stability: false,
-        ..FileParams::default()
-    })
+    fs.set_file_params(
+        NodeId(0),
+        f.handle,
+        FileParams {
+            min_replicas: 3,
+            write_safety: safety,
+            stability: false,
+            ..FileParams::default()
+        },
+    )
     .unwrap();
     fs.write(NodeId(0), f.handle, 0, b"durable-base").unwrap();
     fs.cluster.run_until_quiet();

@@ -32,21 +32,22 @@ pub fn measure(replicas: usize, probes: usize) -> ReplicaPoint {
     );
     let root = fs.root();
     let f = fs.create(NodeId(0), root, "f", 0o644).unwrap().value;
-    fs.set_file_params(NodeId(0), f.handle, FileParams {
-        min_replicas: replicas,
-        write_safety: replicas, // fully synchronous: pay the whole cost
-        stability: false,
-        ..FileParams::default()
-    })
+    fs.set_file_params(
+        NodeId(0),
+        f.handle,
+        FileParams {
+            min_replicas: replicas,
+            write_safety: replicas, // fully synchronous: pay the whole cost
+            stability: false,
+            ..FileParams::default()
+        },
+    )
     .unwrap();
     fs.cluster.run_until_quiet();
     let mut total = SimDuration::ZERO;
     let writes = 15;
     for i in 0..writes {
-        total += fs
-            .write(NodeId(0), f.handle, 0, format!("w{i}").as_bytes())
-            .unwrap()
-            .latency;
+        total += fs.write(NodeId(0), f.handle, 0, format!("w{i}").as_bytes()).unwrap().latency;
     }
 
     // Availability: crash 2 random servers, probe a read via a random
@@ -58,10 +59,8 @@ pub fn measure(replicas: usize, probes: usize) -> ReplicaPoint {
         for &v in &victims {
             fs.cluster.crash_server(NodeId(v as u32));
         }
-        let survivor = (0..servers)
-            .find(|i| !victims.contains(i))
-            .map(|i| NodeId(i as u32))
-            .unwrap();
+        let survivor =
+            (0..servers).find(|i| !victims.contains(i)).map(|i| NodeId(i as u32)).unwrap();
         if fs.read(survivor, f.handle, 0, 16).is_ok() {
             ok += 1;
         }
@@ -100,10 +99,7 @@ mod tests {
     fn availability_up_write_cost_up() {
         let (_, pts) = super::run();
         assert!(pts[0].availability < 1.0, "1 replica must sometimes be unavailable");
-        assert!(
-            pts.last().unwrap().availability >= 0.99,
-            "3+ replicas survive any 2 crashes"
-        );
+        assert!(pts.last().unwrap().availability >= 0.99, "3+ replicas survive any 2 crashes");
         assert!(
             pts.last().unwrap().write_us > pts[0].write_us,
             "updates become more expensive with replication"

@@ -32,11 +32,11 @@ pub fn measure(stability: bool, stream_len: usize, streams: usize) -> StabilityP
     let mut fs = DeceitFs::new(2, cfg, FsConfig::default());
     let root = fs.root();
     let f = fs.create(NodeId(0), root, "f", 0o644).unwrap().value;
-    fs.set_file_params(NodeId(0), f.handle, FileParams {
-        min_replicas: 2,
-        stability,
-        ..FileParams::default()
-    })
+    fs.set_file_params(
+        NodeId(0),
+        f.handle,
+        FileParams { min_replicas: 2, stability, ..FileParams::default() },
+    )
     .unwrap();
     fs.write(NodeId(0), f.handle, 0, b"base").unwrap();
     fs.cluster.run_until_quiet();
@@ -56,8 +56,8 @@ pub fn measure(stability: bool, stream_len: usize, streams: usize) -> StabilityP
                 let r = fs.read(NodeId(1), f.handle, 0, 64).unwrap();
                 read_total += r.latency;
                 reads += 1;
-                let fresh = r.value.len() >= expected.len()
-                    && r.value[..expected.len()] == expected[..];
+                let fresh =
+                    r.value.len() >= expected.len() && r.value[..expected.len()] == expected[..];
                 if !fresh {
                     stale = true;
                 }

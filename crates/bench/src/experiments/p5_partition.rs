@@ -24,18 +24,15 @@ pub struct PolicyOutcome {
 /// Partition a 5-server cell {holder, 1} | {2, 3, 4}, write W times on
 /// each side, heal, and report the policy's behavior.
 pub fn measure(policy: WriteAvailability, writes_per_side: usize) -> PolicyOutcome {
-    let mut fs = DeceitFs::new(
-        5,
-        ClusterConfig::deterministic().without_trace(),
-        FsConfig::default(),
-    );
+    let mut fs =
+        DeceitFs::new(5, ClusterConfig::deterministic().without_trace(), FsConfig::default());
     let root = fs.root();
     let f = fs.create(NodeId(0), root, "contested", 0o644).unwrap().value;
-    fs.set_file_params(NodeId(0), f.handle, FileParams {
-        min_replicas: 5,
-        availability: policy,
-        ..FileParams::default()
-    })
+    fs.set_file_params(
+        NodeId(0),
+        f.handle,
+        FileParams { min_replicas: 5, availability: policy, ..FileParams::default() },
+    )
     .unwrap();
     fs.write(NodeId(0), f.handle, 0, b"base").unwrap();
     fs.cluster.run_until_quiet();
@@ -44,16 +41,10 @@ pub fn measure(policy: WriteAvailability, writes_per_side: usize) -> PolicyOutco
     let mut minority_writes = 0;
     let mut majority_writes = 0;
     for i in 0..writes_per_side {
-        if fs
-            .write(NodeId(0), f.handle, 0, format!("min{i}").as_bytes())
-            .is_ok()
-        {
+        if fs.write(NodeId(0), f.handle, 0, format!("min{i}").as_bytes()).is_ok() {
             minority_writes += 1;
         }
-        if fs
-            .write(NodeId(2), f.handle, 0, format!("maj{i}").as_bytes())
-            .is_ok()
-        {
+        if fs.write(NodeId(2), f.handle, 0, format!("maj{i}").as_bytes()).is_ok() {
             majority_writes += 1;
         }
     }

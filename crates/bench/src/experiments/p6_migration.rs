@@ -68,7 +68,13 @@ pub fn run() -> (Table, Vec<MigrationEpoch>, Vec<MigrationEpoch>) {
     let off = run_with(false);
     let mut t = Table::new(
         "P6 — working set gathers to the client's server (§3.1 method 4)",
-        &["epoch", "remote reads (migration on)", "read us (on)", "remote reads (off)", "read us (off)"],
+        &[
+            "epoch",
+            "remote reads (migration on)",
+            "read us (on)",
+            "remote reads (off)",
+            "read us (off)",
+        ],
     );
     for (a, b) in on.iter().zip(&off) {
         t.row(&[

@@ -32,11 +32,11 @@ pub fn measure(label: &str, piggyback: bool, forward: bool, writes: usize) -> Op
     let mut fs = DeceitFs::new(3, cfg, FsConfig::default());
     let root = fs.root();
     let f = fs.create(NodeId(0), root, "pingpong", 0o644).unwrap().value;
-    fs.set_file_params(NodeId(0), f.handle, FileParams {
-        min_replicas: 3,
-        stability: false,
-        ..FileParams::default()
-    })
+    fs.set_file_params(
+        NodeId(0),
+        f.handle,
+        FileParams { min_replicas: 3, stability: false, ..FileParams::default() },
+    )
     .unwrap();
     fs.write(NodeId(0), f.handle, 0, b"warm").unwrap();
     fs.cluster.run_until_quiet();
@@ -46,16 +46,12 @@ pub fn measure(label: &str, piggyback: bool, forward: bool, writes: usize) -> Op
     let mut total = SimDuration::ZERO;
     for i in 0..writes {
         let via = NodeId((i % 2) as u32);
-        total += fs
-            .write(via, f.handle, 0, format!("w{i}").as_bytes())
-            .unwrap()
-            .latency;
+        total += fs.write(via, f.handle, 0, format!("w{i}").as_bytes()).unwrap().latency;
     }
     OptResult {
         label: label.to_string(),
         latency_us: total.as_micros() as f64 / writes as f64,
-        msgs_per_write: (fs.cluster.net.stats().messages - msgs_before) as f64
-            / writes as f64,
+        msgs_per_write: (fs.cluster.net.stats().messages - msgs_before) as f64 / writes as f64,
         token_passes: fs.cluster.stats.counter("core/token/passes") - passes_before,
     }
 }

@@ -30,11 +30,8 @@ pub struct HotPoint {
 /// writes once.
 pub fn measure(optimized: bool) -> HotPoint {
     let servers = 16;
-    let mut fs = DeceitFs::new(
-        servers,
-        ClusterConfig::deterministic().without_trace(),
-        FsConfig::default(),
-    );
+    let mut fs =
+        DeceitFs::new(servers, ClusterConfig::deterministic().without_trace(), FsConfig::default());
     let root = fs.root();
     let f = fs.create(NodeId(0), root, "hot", 0o644).unwrap().value;
     let params = if optimized {
@@ -52,11 +49,8 @@ pub fn measure(optimized: bool) -> HotPoint {
         fs.read(NodeId(s), f.handle, 0, 64).unwrap();
     }
     fs.cluster.run_until_quiet();
-    let group_size = fs
-        .cluster
-        .group_members(f.handle.segment())
-        .map(|(_, m)| m.len())
-        .unwrap_or(0);
+    let group_size =
+        fs.cluster.group_members(f.handle.segment()).map(|(_, m)| m.len()).unwrap_or(0);
 
     // One update after the storm: its broadcast reaches the whole group.
     let before = fs.cluster.net.stats().tag_count("update");

@@ -27,7 +27,9 @@ pub fn run() -> (Table, Vec<&'static str>) {
 
     // The update, via a non-holder server.
     let writer = NodeId(1);
-    assert!(!fs.cluster.server(writer).holds_token((f.handle.segment(), 0)) || writer != holders[0]);
+    assert!(
+        !fs.cluster.server(writer).holds_token((f.handle.segment(), 0)) || writer != holders[0]
+    );
     fs.write(writer, f.handle, 0, b"the update").unwrap();
     fs.cluster.run_until_quiet();
 

@@ -84,9 +84,7 @@ impl Cluster {
     pub fn new(n_servers: usize, cfg: ClusterConfig) -> Self {
         assert!(n_servers > 0, "a cell needs at least one server");
         let net = Network::new(cfg.latency.clone(), cfg.seed);
-        let servers = (0..n_servers)
-            .map(|i| ServerState::new(NodeId::from(i), cfg.disk))
-            .collect();
+        let servers = (0..n_servers).map(|i| ServerState::new(NodeId::from(i), cfg.disk)).collect();
         let trace = if cfg.trace { TraceLog::new() } else { TraceLog::disabled() };
         Cluster {
             net,
@@ -208,6 +206,38 @@ impl Cluster {
         }
     }
 
+    /// Fires up to `max_events` pending events regardless of their due
+    /// time, jumping the clock forward exactly as [`Cluster::run_until_quiet`]
+    /// does, and returns how many fired.
+    ///
+    /// This is the live runtime's drive method: real threads cannot block
+    /// on simulated time, so deferred protocol work (propagation,
+    /// write-back, stability timeouts, background replication) is advanced
+    /// in bounded slices between client requests. Firing an event "early"
+    /// relative to its simulated due time is safe for the same reason
+    /// `run_until_quiet` is: every deferred action is valid at any later
+    /// point, and the queue drains in the same deterministic
+    /// (time, scheduling-order) sequence either way.
+    pub fn pump(&mut self, max_events: usize) -> usize {
+        let mut fired = 0;
+        while fired < max_events {
+            match self.events.pop() {
+                Some((at, ev)) => {
+                    self.clock = self.clock.max(at);
+                    self.handle_event(at, ev);
+                    fired += 1;
+                }
+                None => break,
+            }
+        }
+        fired
+    }
+
+    /// Number of deferred actions currently awaiting execution.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
     /// Book-keeping shared by all client-visible operations: fire due
     /// events, run the body, advance the clock by the observed latency.
     pub(crate) fn client_op<T>(
@@ -265,11 +295,7 @@ impl Cluster {
 
     /// All servers (any reachability) currently storing a replica of `key`.
     pub(crate) fn all_replica_holders(&self, key: crate::server::ReplicaKey) -> Vec<NodeId> {
-        self.servers
-            .iter()
-            .filter(|s| s.replicas.contains(&key))
-            .map(|s| s.id)
-            .collect()
+        self.servers.iter().filter(|s| s.replicas.contains(&key)).map(|s| s.id).collect()
     }
 
     /// The live members of the segment's file group, if any.

@@ -1,0 +1,151 @@
+//! The transport-agnostic hosting seam.
+//!
+//! The simulator drives the §3 protocols from a single thread: client
+//! operations execute synchronously against [`Cluster`], and deferred work
+//! fires from the event queue as the simulated clock advances. A *live*
+//! deployment has neither luxury — requests arrive concurrently from real
+//! threads, and nothing blocks on simulated time.
+//!
+//! [`ProtocolHost`] is the seam between those two worlds. It captures
+//! exactly what a hosting environment needs from a protocol engine,
+//! independent of transport:
+//!
+//! * advancing deferred protocol work in bounded slices ([`pump`]) or to
+//!   quiescence ([`settle`]),
+//! * failure injection (crash, restart, partition, heal) mirroring the
+//!   simulator's API so the same scenarios run in both worlds,
+//! * liveness and clock introspection.
+//!
+//! [`Cluster`] implements it directly; the NFS envelope layers forward
+//! their implementations to the cluster underneath, and the
+//! `deceit_runtime` crate hosts any implementor on real threads over the
+//! live bus.
+//!
+//! [`pump`]: ProtocolHost::pump
+//! [`settle`]: ProtocolHost::settle
+
+use deceit_net::NodeId;
+use deceit_sim::SimTime;
+
+use crate::cluster::Cluster;
+
+/// A protocol engine that can be hosted outside the simulator.
+pub trait ProtocolHost {
+    /// Fires up to `max_events` units of deferred protocol work
+    /// (asynchronous propagation, write-back, stability timeouts,
+    /// background replica generation), returning how many fired.
+    fn pump(&mut self, max_events: usize) -> usize;
+
+    /// Drives deferred work to quiescence.
+    fn settle(&mut self);
+
+    /// Units of deferred work currently pending.
+    fn pending_work(&self) -> usize;
+
+    /// Crashes a node without notification: volatile state is lost and its
+    /// traffic is rejected until [`ProtocolHost::restart_node`].
+    fn crash_node(&mut self, node: NodeId);
+
+    /// Restarts a crashed node and runs its recovery protocol.
+    fn restart_node(&mut self, node: NodeId);
+
+    /// Imposes a network partition between the given groups of nodes.
+    fn split_nodes(&mut self, groups: &[&[NodeId]]);
+
+    /// Heals any partition (reconciling divergent state where the
+    /// protocol calls for it).
+    fn heal_nodes(&mut self);
+
+    /// Whether `node` is currently up.
+    fn node_is_up(&self, node: NodeId) -> bool;
+
+    /// The engine's protocol clock.
+    ///
+    /// Live hosting keeps the simulated clock as *protocol time*: it
+    /// orders deferred work and ages caches, while wall-clock time governs
+    /// nothing but thread scheduling.
+    fn protocol_now(&self) -> SimTime;
+}
+
+impl ProtocolHost for Cluster {
+    fn pump(&mut self, max_events: usize) -> usize {
+        Cluster::pump(self, max_events)
+    }
+
+    fn settle(&mut self) {
+        self.run_until_quiet();
+    }
+
+    fn pending_work(&self) -> usize {
+        self.pending_events()
+    }
+
+    fn crash_node(&mut self, node: NodeId) {
+        self.crash_server(node);
+    }
+
+    fn restart_node(&mut self, node: NodeId) {
+        self.recover_server(node);
+    }
+
+    fn split_nodes(&mut self, groups: &[&[NodeId]]) {
+        self.split(groups);
+    }
+
+    fn heal_nodes(&mut self) {
+        self.heal();
+    }
+
+    fn node_is_up(&self, node: NodeId) -> bool {
+        self.check_up(node).is_ok()
+    }
+
+    fn protocol_now(&self) -> SimTime {
+        self.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::ops::WriteOp;
+    use crate::params::FileParams;
+
+    #[test]
+    fn cluster_pumps_deferred_work_in_slices() {
+        let mut c = Cluster::new(3, ClusterConfig::deterministic());
+        let seg = c.create(NodeId(0)).unwrap().value;
+        c.set_params(NodeId(0), seg, FileParams { min_replicas: 3, ..FileParams::default() })
+            .unwrap();
+        c.write(NodeId(0), seg, WriteOp::replace(b"pump me"), None).unwrap();
+        assert!(ProtocolHost::pending_work(&c) > 0, "replication work should be deferred");
+        let mut total = 0;
+        loop {
+            let fired = ProtocolHost::pump(&mut c, 2);
+            if fired == 0 {
+                break;
+            }
+            assert!(fired <= 2, "pump must respect its budget");
+            total += fired;
+        }
+        assert!(total > 0);
+        assert_eq!(c.locate_replicas(NodeId(0), seg).unwrap().value.len(), 3);
+    }
+
+    #[test]
+    fn host_failure_injection_mirrors_cluster_api() {
+        let mut c = Cluster::new(3, ClusterConfig::deterministic());
+        let host: &mut dyn ProtocolHost = &mut c;
+        assert!(host.node_is_up(NodeId(1)));
+        host.crash_node(NodeId(1));
+        assert!(!host.node_is_up(NodeId(1)));
+        host.restart_node(NodeId(1));
+        host.settle();
+        assert!(host.node_is_up(NodeId(1)));
+        host.split_nodes(&[&[NodeId(0)], &[NodeId(1), NodeId(2)]]);
+        host.heal_nodes();
+        assert_eq!(host.pending_work(), 0);
+        assert!(host.protocol_now() >= SimTime::ZERO);
+    }
+}

@@ -52,6 +52,7 @@ pub mod cluster;
 pub mod config;
 pub mod error;
 pub mod event;
+pub mod host;
 pub mod ops;
 pub mod params;
 pub mod proto;
@@ -64,6 +65,7 @@ pub mod version;
 pub use cluster::{Cluster, OpResult};
 pub use config::ClusterConfig;
 pub use error::{DeceitError, DeceitResult};
+pub use host::ProtocolHost;
 pub use ops::{ReadData, WriteOp};
 pub use params::{FileParams, WriteAvailability};
 pub use proto::commands::VersionInfo;

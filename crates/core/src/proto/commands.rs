@@ -62,7 +62,11 @@ impl Cluster {
     }
 
     /// Reads the current parameters of a segment.
-    pub fn get_params(&mut self, via: NodeId, seg: SegmentId) -> DeceitResult<OpResult<FileParams>> {
+    pub fn get_params(
+        &mut self,
+        via: NodeId,
+        seg: SegmentId,
+    ) -> DeceitResult<OpResult<FileParams>> {
         self.client_op(via, |c| {
             let (key, latency) = c.resolve_key(via, seg, None)?;
             let holders = c.reachable_replica_holders(via, key);
@@ -131,7 +135,11 @@ impl Cluster {
     /// The version pair of a segment ("available to the user through a
     /// special command so that the user can determine if a file has been
     /// modified", §3.5).
-    pub fn version_of(&mut self, via: NodeId, seg: SegmentId) -> DeceitResult<OpResult<VersionPair>> {
+    pub fn version_of(
+        &mut self,
+        via: NodeId,
+        seg: SegmentId,
+    ) -> DeceitResult<OpResult<VersionPair>> {
         self.client_op(via, |c| {
             let (key, latency) = c.resolve_key(via, seg, None)?;
             let holders = c.reachable_replica_holders(via, key);

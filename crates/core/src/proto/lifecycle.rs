@@ -42,10 +42,8 @@ impl Cluster {
             latency += c.cfg.disk.write_cost(replica.data.len() + 64);
             c.server_mut(via).replicas.put_sync(key, replica);
             c.server_mut(via).tokens.put_sync(key, token);
-            let gid = c
-                .groups
-                .create(&group_name(seg), via)
-                .expect("fresh segment name cannot collide");
+            let gid =
+                c.groups.create(&group_name(seg), via).expect("fresh segment name cannot collide");
             c.server_mut(via).group_cache.insert(seg, gid);
             c.branch_table(seg); // materialize an empty history tree
             c.stats.incr("core/creates");
@@ -79,8 +77,7 @@ impl Cluster {
                     .view(gid)
                     .map(|v| v.members.iter().copied().collect())
                     .unwrap_or_default();
-                let outcome =
-                    broadcast_round(&mut c.net, via, members.clone(), 40, 16, "delete");
+                let outcome = broadcast_round(&mut c.net, via, members.clone(), 40, 16, "delete");
                 latency += outcome.full_latency();
                 for m in members {
                     if m != via && !outcome.heard_from(m) {
@@ -100,13 +97,8 @@ impl Cluster {
 
     /// Removes every local replica and token of `seg` at `server`.
     pub(crate) fn destroy_segment_at(&mut self, server: NodeId, seg: SegmentId) {
-        let keys: Vec<_> = self
-            .server(server)
-            .replicas
-            .keys()
-            .filter(|(s, _)| *s == seg)
-            .copied()
-            .collect();
+        let keys: Vec<_> =
+            self.server(server).replicas.keys().filter(|(s, _)| *s == seg).copied().collect();
         for k in keys {
             self.server_mut(server).replicas.delete_sync(&k);
             self.server_mut(server).tokens.delete_sync(&k);

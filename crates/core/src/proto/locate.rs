@@ -45,8 +45,7 @@ impl Cluster {
         }
         // Global search: one round to every other server in the cell.
         self.stats.incr("locate/global_searches");
-        let others: Vec<NodeId> =
-            self.server_ids().into_iter().filter(|&s| s != via).collect();
+        let others: Vec<NodeId> = self.server_ids().into_iter().filter(|&s| s != via).collect();
         let outcome = broadcast_round(&mut self.net, via, others, 32, 16, "locate");
         let latency = outcome.full_latency();
         let found = gid.filter(|&g| {

@@ -68,13 +68,7 @@ impl Cluster {
             .iter()
             .copied()
             .filter(|&h| h != via)
-            .find(|&h| {
-                self.server(h)
-                    .replicas
-                    .get(&key)
-                    .map(|r| r.is_stable())
-                    .unwrap_or(false)
-            })
+            .find(|&h| self.server(h).replicas.get(&key).map(|r| r.is_stable()).unwrap_or(false))
             .or_else(|| holders.into_iter().find(|&h| h != via));
         let Some(target) = target else {
             return Err(DeceitError::Unavailable(seg));
@@ -86,8 +80,7 @@ impl Cluster {
         let params = self.params_of(target, key);
         if params.migration {
             let at = self.now() + SimDuration::from_millis(1);
-            self.events
-                .push(at, Pending::GenerateReplica { holder: target, key, target: via });
+            self.events.push(at, Pending::GenerateReplica { holder: target, key, target: via });
         }
 
         // Forwarding servers join the file group and cache location
@@ -104,12 +97,8 @@ impl Cluster {
 
         // If the target's copy is unstable the chain continues to the
         // token holder from there.
-        let target_unstable = self
-            .server(target)
-            .replicas
-            .get(&key)
-            .map(|r| !r.is_stable())
-            .unwrap_or(false);
+        let target_unstable =
+            self.server(target).replicas.get(&key).map(|r| !r.is_stable()).unwrap_or(false);
         if target_unstable {
             return self.forward_to_token_holder(via, key, offset, count, latency);
         }

@@ -57,8 +57,7 @@ impl Cluster {
 
         // Contact the token holder for this version.
         if let Some(holder) = self.find_reachable_token_holder(id, key) {
-            let token_version =
-                self.server(holder).tokens.get(&key).map(|t| t.version).unwrap();
+            let token_version = self.server(holder).tokens.get(&key).map(|t| t.version).unwrap();
             let table = self.branch_table(seg).clone();
             match table.relation(my_version, token_version) {
                 VersionRelation::Equal => {
@@ -214,11 +213,7 @@ impl Cluster {
                         let tv = self.server(h).tokens.get(&key).unwrap().version;
                         let table = self.branch_table(key.0).clone();
                         if table.is_ancestor(my_version, tv) {
-                            self.set_replica_state(
-                                s,
-                                key,
-                                crate::replica::ReplicaState::Unstable,
-                            );
+                            self.set_replica_state(s, key, crate::replica::ReplicaState::Unstable);
                             if !catchups.contains(&(h, key)) {
                                 catchups.push((h, key));
                             }
@@ -234,12 +229,8 @@ impl Cluster {
         // Holders with lagging replicas and no active write stream run a
         // stabilize round now, catching the laggards up by state transfer.
         for (holder, key) in catchups {
-            let streaming = self
-                .server(holder)
-                .streams
-                .get(&key)
-                .map(|st| st.group_unstable)
-                .unwrap_or(false);
+            let streaming =
+                self.server(holder).streams.get(&key).map(|st| st.group_unstable).unwrap_or(false);
             if !streaming {
                 self.mark_stable_round(holder, key);
             }
@@ -255,11 +246,7 @@ impl Cluster {
             }
         }
         self.server_mut(token_holder).tokens.delete_sync(&key);
-        self.emit(ProtocolEvent::ObsoleteDestroyed {
-            seg: key.0,
-            on: token_holder,
-            major: key.1,
-        });
+        self.emit(ProtocolEvent::ObsoleteDestroyed { seg: key.0, on: token_holder, major: key.1 });
         self.stats.incr("core/recovery/versions_destroyed");
     }
 

@@ -92,12 +92,7 @@ impl Cluster {
     /// prevent inconsistency" — in this simulation, generation executes
     /// atomically between client operations, which realizes the same
     /// exclusion.
-    pub(crate) fn generate_replica_now(
-        &mut self,
-        holder: NodeId,
-        key: ReplicaKey,
-        target: NodeId,
-    ) {
+    pub(crate) fn generate_replica_now(&mut self, holder: NodeId, key: ReplicaKey, target: NodeId) {
         if !self.net.reachable(holder, target) {
             self.stats.incr("core/replicas/generation_failed");
             return;

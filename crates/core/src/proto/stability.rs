@@ -25,10 +25,8 @@ impl Cluster {
     /// updates" (§3.4): one full synchronous round — every available
     /// replica must acknowledge before any update may be distributed.
     pub(crate) fn mark_unstable_round(&mut self, holder: NodeId, key: ReplicaKey) -> SimDuration {
-        let members: Vec<NodeId> = self
-            .group_members(key.0)
-            .map(|(_, m)| m)
-            .unwrap_or_else(|| vec![holder]);
+        let members: Vec<NodeId> =
+            self.group_members(key.0).map(|(_, m)| m).unwrap_or_else(|| vec![holder]);
         let remote: Vec<NodeId> = members.into_iter().filter(|&m| m != holder).collect();
         let outcome = broadcast_round(&mut self.net, holder, remote, 40, 16, "mark-unstable");
         let mut acks = 1; // the holder itself
@@ -41,10 +39,7 @@ impl Cluster {
         if let Some(stream) = self.server_mut(holder).streams.get_mut(&key) {
             stream.group_unstable = true;
         } else {
-            let s = crate::server::StreamState {
-                group_unstable: true,
-                ..Default::default()
-            };
+            let s = crate::server::StreamState { group_unstable: true, ..Default::default() };
             self.server_mut(holder).streams.insert(key, s);
         }
         self.stats.incr("core/stability/unstable_rounds");
@@ -78,10 +73,8 @@ impl Cluster {
             Some(t) => t.version,
             None => return,
         };
-        let members: Vec<NodeId> = self
-            .group_members(key.0)
-            .map(|(_, m)| m)
-            .unwrap_or_else(|| vec![holder]);
+        let members: Vec<NodeId> =
+            self.group_members(key.0).map(|(_, m)| m).unwrap_or_else(|| vec![holder]);
         let remote: Vec<NodeId> = members.into_iter().filter(|&m| m != holder).collect();
         let outcome = broadcast_round(&mut self.net, holder, remote, 40, 16, "mark-stable");
         for (m, _) in outcome.replies.clone() {

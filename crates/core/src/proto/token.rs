@@ -122,12 +122,8 @@ impl Cluster {
         // new updates are stamped on top. A lagging local copy (updates
         // still in flight) is replaced by state transfer from the old
         // primary.
-        let lagging = self
-            .server(to)
-            .replicas
-            .get(&key)
-            .map(|r| r.version != token.version)
-            .unwrap_or(false);
+        let lagging =
+            self.server(to).replicas.get(&key).map(|r| r.version != token.version).unwrap_or(false);
         if lagging {
             self.server_mut(to).replicas.delete_sync(&key);
             self.server_mut(to).receivers.remove(&key);
@@ -195,10 +191,7 @@ impl Cluster {
         // minimum replica level outruns the holder set — the raised-level
         // case of §3.1 method 2 — the holder generates replicas now rather
         // than refusing writes.
-        let all_known_reachable = token
-            .holders
-            .iter()
-            .all(|&h| self.net.reachable(via, h));
+        let all_known_reachable = token.holders.iter().all(|&h| self.net.reachable(via, h));
         if all_known_reachable && token.holders.len() < params.min_replicas {
             self.fill_min_replicas_now(via, key);
         }
@@ -234,10 +227,8 @@ impl Cluster {
         // from ("File data is drawn from the existing available replica").
         if !self.server(via).replicas.contains(&base_key) {
             let holders = self.reachable_replica_holders(via, base_key);
-            let src_server = holders
-                .into_iter()
-                .find(|&h| h != via)
-                .ok_or(DeceitError::Unavailable(seg))?;
+            let src_server =
+                holders.into_iter().find(|&h| h != via).ok_or(DeceitError::Unavailable(seg))?;
             let src = self.server(src_server).replicas.get(&base_key).cloned().unwrap();
             let blast = self.cfg.blast;
             if let Some(d) = deceit_isis::xfer::transfer_state(
@@ -253,9 +244,7 @@ impl Cluster {
                 latency += d;
             }
             let now = self.now();
-            self.server_mut(via)
-                .replicas
-                .put_sync(base_key, Replica::cloned_from(&src, now));
+            self.server_mut(via).replicas.put_sync(base_key, Replica::cloned_from(&src, now));
         }
 
         let base = self.server(via).replicas.get(&base_key).cloned().unwrap();
@@ -295,9 +284,7 @@ impl Cluster {
         replica.version = version;
         latency += self.cfg.disk.write_cost(replica.data.len() + 64);
         self.server_mut(via).replicas.put_sync(new_key, replica);
-        self.server_mut(via)
-            .tokens
-            .put_sync(new_key, WriteToken::new(version, via));
+        self.server_mut(via).tokens.put_sync(new_key, WriteToken::new(version, via));
 
         // Group membership for the new version lives in the same file
         // group; make sure the generator is in it.
@@ -351,10 +338,6 @@ impl Cluster {
     /// back to defaults if it holds no copy — callers only use this when a
     /// local replica exists).
     pub(crate) fn params_of(&self, server: NodeId, key: ReplicaKey) -> FileParams {
-        self.server(server)
-            .replicas
-            .get(&key)
-            .map(|r| r.params)
-            .unwrap_or_default()
+        self.server(server).replicas.get(&key).map(|r| r.params).unwrap_or_default()
     }
 }

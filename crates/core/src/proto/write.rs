@@ -85,12 +85,8 @@ impl Cluster {
         // Table 1 row 2: "replicas are not marked as unstable" → mark
         // replicas as unstable (§3.4), once per write stream.
         if params.stability {
-            let unstable_done = self
-                .server(via)
-                .streams
-                .get(&key)
-                .map(|s| s.group_unstable)
-                .unwrap_or(false);
+            let unstable_done =
+                self.server(via).streams.get(&key).map(|s| s.group_unstable).unwrap_or(false);
             if !unstable_done {
                 latency += self.mark_unstable_round(via, key);
             }
@@ -104,27 +100,15 @@ impl Cluster {
         // round to the file group.
         let new_version = token.version.bump();
         let update = UpdateRecord { new_version, op: op.clone() };
-        let members: Vec<NodeId> = self
-            .group_members(seg)
-            .map(|(_, m)| m)
-            .unwrap_or_else(|| vec![via]);
+        let members: Vec<NodeId> =
+            self.group_members(seg).map(|(_, m)| m).unwrap_or_else(|| vec![via]);
         let remote: Vec<NodeId> = members.iter().copied().filter(|&m| m != via).collect();
         let group_size = remote.len();
-        let outcome = broadcast_round(
-            &mut self.net,
-            via,
-            remote.clone(),
-            op.wire_size(),
-            16,
-            "update",
-        );
+        let outcome =
+            broadcast_round(&mut self.net, via, remote.clone(), op.wire_size(), 16, "update");
         let fd_outcome = outcome.clone();
         self.server_mut(via).fd.observe_round(&fd_outcome);
-        self.emit(ProtocolEvent::UpdateDistributed {
-            seg,
-            sub: new_version.sub,
-            group_size,
-        });
+        self.emit(ProtocolEvent::UpdateDistributed { seg, sub: new_version.sub, group_size });
         self.stats.incr("core/updates");
 
         // Schedule write-behind application at every replica holder that
@@ -224,11 +208,8 @@ impl Cluster {
             s => {
                 let needed_remote = s - 1;
                 let idx = needed_remote.min(remote_replica_rtts.len());
-                let remote_wait = if idx == 0 {
-                    SimDuration::ZERO
-                } else {
-                    remote_replica_rtts[idx - 1]
-                };
+                let remote_wait =
+                    if idx == 0 { SimDuration::ZERO } else { remote_replica_rtts[idx - 1] };
                 disk_cost.max(remote_wait)
             }
         };
@@ -238,11 +219,7 @@ impl Cluster {
         // check that will mark replicas stable again (§3.4).
         if params.stability {
             let epoch = {
-                let stream = self
-                    .server_mut(via)
-                    .streams
-                    .entry(key)
-                    .or_default();
+                let stream = self.server_mut(via).streams.entry(key).or_default();
                 stream.last_write = now;
                 stream.epoch += 1;
                 stream.epoch
@@ -293,8 +270,7 @@ impl Cluster {
         });
         drained.sort_by_key(|u| u.new_version.sub);
         for upd in drained {
-            let msg =
-                deceit_isis::SequencedMsg { seq: upd.new_version.sub, payload: upd };
+            let msg = deceit_isis::SequencedMsg { seq: upd.new_version.sub, payload: upd };
             let deliverable = self.server_mut(server).receiver_for(key).receive(msg);
             for (_, u) in deliverable {
                 self.apply_update_at(server, key, &u, true);

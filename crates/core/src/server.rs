@@ -102,10 +102,7 @@ impl ServerState {
 
     /// All major versions of `seg` stored here.
     pub fn majors_of(&self, seg: SegmentId) -> impl Iterator<Item = u64> + '_ {
-        self.replicas
-            .keys()
-            .filter(move |(s, _)| *s == seg)
-            .map(|(_, major)| *major)
+        self.replicas.keys().filter(move |(s, _)| *s == seg).map(|(_, major)| *major)
     }
 
     /// The highest-numbered (most recent) major of `seg` stored here.
@@ -121,14 +118,8 @@ impl ServerState {
     /// The ordered-delivery buffer for a replica, created on first use to
     /// expect the update after the replica's current subversion.
     pub fn receiver_for(&mut self, key: ReplicaKey) -> &mut OrderedReceiver<UpdateRecord> {
-        let start = self
-            .replicas
-            .get(&key)
-            .map(|r| r.version.sub + 1)
-            .unwrap_or(1);
-        self.receivers
-            .entry(key)
-            .or_insert_with(|| OrderedReceiver::starting_at(start))
+        let start = self.replicas.get(&key).map(|r| r.version.sub + 1).unwrap_or(1);
+        self.receivers.entry(key).or_insert_with(|| OrderedReceiver::starting_at(start))
     }
 }
 
@@ -147,10 +138,8 @@ mod tests {
         let mut s = server();
         let seg = SegmentId(7);
         assert!(!s.has_segment(seg));
-        s.replicas
-            .put_sync((seg, 0), Replica::new(0, FileParams::default(), SimTime::ZERO));
-        s.replicas
-            .put_sync((seg, 3), Replica::new(3, FileParams::default(), SimTime::ZERO));
+        s.replicas.put_sync((seg, 0), Replica::new(0, FileParams::default(), SimTime::ZERO));
+        s.replicas.put_sync((seg, 3), Replica::new(3, FileParams::default(), SimTime::ZERO));
         assert!(s.has_segment(seg));
         assert_eq!(s.majors_of(seg).collect::<Vec<_>>(), vec![0, 3]);
         assert_eq!(s.latest_major(seg), Some(3));
@@ -161,8 +150,7 @@ mod tests {
     fn crash_preserves_durable_loses_volatile() {
         let mut s = server();
         let seg = SegmentId(1);
-        s.replicas
-            .put_sync((seg, 0), Replica::new(0, FileParams::default(), SimTime::ZERO));
+        s.replicas.put_sync((seg, 0), Replica::new(0, FileParams::default(), SimTime::ZERO));
         s.group_cache.insert(seg, deceit_isis::GroupId(5));
         s.streams.insert((seg, 0), StreamState::default());
         s.receiver_for((seg, 0));

@@ -84,10 +84,7 @@ impl BranchTable {
     /// allocator discipline guarantees this in the system, and violating it
     /// would make lineage walks diverge.
     pub fn record_branch(&mut self, new_major: u64, parent: VersionPair) {
-        assert!(
-            new_major > parent.major,
-            "branch major {new_major} must exceed parent {parent}"
-        );
+        assert!(new_major > parent.major, "branch major {new_major} must exceed parent {parent}");
         self.parents.insert(new_major, parent);
     }
 
@@ -125,9 +122,7 @@ impl BranchTable {
         // a is an ancestor of b iff a lies on b's lineage: either within
         // b's own major (a.sub < b.sub), or at/before one of b's recorded
         // branch points.
-        self.lineage(b)
-            .iter()
-            .any(|anc| anc.major == a.major && a.sub <= anc.sub)
+        self.lineage(b).iter().any(|anc| anc.major == a.major && a.sub <= anc.sub)
             && !(a.major == b.major && a.sub >= b.sub)
     }
 

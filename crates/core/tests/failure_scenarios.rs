@@ -168,11 +168,7 @@ fn partition_with_updates_on_both_sides_logs_conflict_and_keeps_both() {
     // §3.6: "both of the incomparable versions of the file are kept, and a
     // notification is logged into a well known file."
     assert_eq!(c.conflicts.len(), 1);
-    assert!(c
-        .trace
-        .events()
-        .iter()
-        .any(|e| matches!(e, ProtocolEvent::ConflictLogged { .. })));
+    assert!(c.trace.events().iter().any(|e| matches!(e, ProtocolEvent::ConflictLogged { .. })));
     let versions = c.list_versions(n(0), seg).unwrap().value;
     assert_eq!(versions.len(), 2, "both versions available to the user");
     // Both versions are independently readable by qualified name.
@@ -294,11 +290,7 @@ fn reads_fail_over_when_no_replica_reachable() {
         c.crash_server(*h);
     }
     // A server outside the replica set cannot satisfy the read.
-    let outside = c
-        .server_ids()
-        .into_iter()
-        .find(|s| !holders.contains(s))
-        .unwrap();
+    let outside = c.server_ids().into_iter().find(|s| !holders.contains(s)).unwrap();
     assert!(matches!(
         c.read(outside, seg, None, 0, 10),
         Err(DeceitError::NoSuchSegment(_)) | Err(DeceitError::Unavailable(_))

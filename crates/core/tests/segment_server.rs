@@ -59,8 +59,7 @@ fn read_via_other_server_forwards() {
 fn migration_grows_local_replica() {
     let mut c = cluster(3);
     let seg = c.create(n(0)).unwrap().value;
-    c.set_params(n(0), seg, FileParams { migration: true, ..FileParams::default() })
-        .unwrap();
+    c.set_params(n(0), seg, FileParams { migration: true, ..FileParams::default() }).unwrap();
     c.write(n(0), seg, WriteOp::replace(b"hot file"), None).unwrap();
     c.run_until_quiet();
     assert!(!c.server(n(2)).replicas.contains(&(seg, 0)));
@@ -109,8 +108,7 @@ fn token_moves_to_writing_server() {
 fn update_stream_amortizes_token_acquisition() {
     let mut c = cluster(2);
     let seg = c.create(n(0)).unwrap().value;
-    c.set_params(n(0), seg, FileParams { min_replicas: 2, ..FileParams::default() })
-        .unwrap();
+    c.set_params(n(0), seg, FileParams { min_replicas: 2, ..FileParams::default() }).unwrap();
     c.run_until_quiet();
     // First write via server 1 pays acquisition; the rest of the stream
     // does not (§3.3: "token acquisition … is only done for the first in a
@@ -120,8 +118,7 @@ fn update_stream_amortizes_token_acquisition() {
     for _ in 0..5 {
         rest.push(c.write(n(1), seg, WriteOp::append(b"b"), None).unwrap().latency);
     }
-    let avg_rest =
-        rest.iter().map(|d| d.as_micros()).sum::<u64>() / rest.len() as u64;
+    let avg_rest = rest.iter().map(|d| d.as_micros()).sum::<u64>() / rest.len() as u64;
     assert!(
         first.as_micros() > avg_rest + 2_000,
         "first {first} should exceed steady-state {avg_rest}us by the token round"
@@ -139,9 +136,7 @@ fn conditional_write_conflict_and_restart() {
     let observed = c.read(n(0), seg, None, 0, 100).unwrap().value.version;
     assert_eq!(observed, v1);
     let v2 = c.write(n(0), seg, WriteOp::replace(b"sneak"), None).unwrap().value;
-    let err = c
-        .write(n(0), seg, WriteOp::replace(b"stale"), Some(observed))
-        .unwrap_err();
+    let err = c.write(n(0), seg, WriteOp::replace(b"stale"), Some(observed)).unwrap_err();
     match err {
         DeceitError::VersionConflict { expected, actual, .. } => {
             assert_eq!(expected, v1);
@@ -162,12 +157,8 @@ fn stability_off_allows_stale_read_stability_on_prevents_it() {
     for stability in [false, true] {
         let mut c = cluster(2);
         let seg = c.create(n(0)).unwrap().value;
-        c.set_params(
-            n(0),
-            seg,
-            FileParams { min_replicas: 2, stability, ..FileParams::default() },
-        )
-        .unwrap();
+        c.set_params(n(0), seg, FileParams { min_replicas: 2, stability, ..FileParams::default() })
+            .unwrap();
         c.write(n(0), seg, WriteOp::replace(b"old"), None).unwrap();
         c.run_until_quiet();
         // The update: visible at the holder immediately; at server 1 only
@@ -176,13 +167,15 @@ fn stability_off_allows_stale_read_stability_on_prevents_it() {
         let r = c.read(n(1), seg, None, 0, 100).unwrap().value;
         if stability {
             assert_eq!(
-                &r.data[..], b"new",
+                &r.data[..],
+                b"new",
                 "stability notification forwards the read to the token holder"
             );
             assert_eq!(r.served_by, n(0));
         } else {
             assert_eq!(
-                &r.data[..], b"old",
+                &r.data[..],
+                b"old",
                 "without stability notification the stale local replica answers"
             );
             assert_eq!(r.served_by, n(1));
@@ -198,18 +191,13 @@ fn stability_off_allows_stale_read_stability_on_prevents_it() {
 fn stability_marks_clear_after_quiet_period() {
     let mut c = cluster(2);
     let seg = c.create(n(0)).unwrap().value;
-    c.set_params(n(0), seg, FileParams { min_replicas: 2, ..FileParams::default() })
-        .unwrap();
+    c.set_params(n(0), seg, FileParams { min_replicas: 2, ..FileParams::default() }).unwrap();
     c.write(n(0), seg, WriteOp::replace(b"data"), None).unwrap();
     // While the stream is open the remote replica is unstable.
     assert!(!c.server(n(1)).replicas.get(&(seg, 0)).unwrap().is_stable());
     c.advance(SimDuration::from_secs(2));
     assert!(c.server(n(1)).replicas.get(&(seg, 0)).unwrap().is_stable());
-    assert!(c
-        .trace
-        .events()
-        .iter()
-        .any(|e| matches!(e, ProtocolEvent::MarkedStable { .. })));
+    assert!(c.trace.events().iter().any(|e| matches!(e, ProtocolEvent::MarkedStable { .. })));
     // A later read at the remote replica is served locally again.
     let r = c.read(n(1), seg, None, 0, 100).unwrap().value;
     assert_eq!(r.served_by, n(1));
@@ -219,8 +207,7 @@ fn stability_marks_clear_after_quiet_period() {
 fn set_params_replicates_to_requested_level() {
     let mut c = cluster(5);
     let seg = c.create(n(0)).unwrap().value;
-    c.set_params(n(0), seg, FileParams { min_replicas: 3, ..FileParams::default() })
-        .unwrap();
+    c.set_params(n(0), seg, FileParams { min_replicas: 3, ..FileParams::default() }).unwrap();
     c.run_until_quiet();
     let holders = c.locate_replicas(n(0), seg).unwrap().value;
     assert_eq!(holders.len(), 3);
@@ -287,17 +274,13 @@ fn recently_read_replicas_survive_update() {
 fn delete_removes_segment_everywhere() {
     let mut c = cluster(3);
     let seg = c.create(n(0)).unwrap().value;
-    c.set_params(n(0), seg, FileParams { min_replicas: 3, ..FileParams::default() })
-        .unwrap();
+    c.set_params(n(0), seg, FileParams { min_replicas: 3, ..FileParams::default() }).unwrap();
     c.run_until_quiet();
     c.delete(n(1), seg).unwrap();
     for s in c.server_ids() {
         assert!(!c.server(s).has_segment(seg));
     }
-    assert!(matches!(
-        c.read(n(0), seg, None, 0, 10),
-        Err(DeceitError::NoSuchSegment(_))
-    ));
+    assert!(matches!(c.read(n(0), seg, None, 0, 10), Err(DeceitError::NoSuchSegment(_))));
 }
 
 #[test]
@@ -308,17 +291,11 @@ fn explicit_replica_placement_commands() {
     c.create_replica_on(n(0), seg, n(3)).unwrap();
     assert!(c.server(n(3)).replicas.contains(&(seg, 0)));
     // Duplicate placement is rejected.
-    assert!(matches!(
-        c.create_replica_on(n(0), seg, n(3)),
-        Err(DeceitError::InvalidCommand(_))
-    ));
+    assert!(matches!(c.create_replica_on(n(0), seg, n(3)), Err(DeceitError::InvalidCommand(_))));
     c.delete_replica_on(n(0), seg, n(3)).unwrap();
     assert!(!c.server(n(3)).replicas.contains(&(seg, 0)));
     // The last replica cannot be deleted.
-    assert!(matches!(
-        c.delete_replica_on(n(0), seg, n(0)),
-        Err(DeceitError::InvalidCommand(_))
-    ));
+    assert!(matches!(c.delete_replica_on(n(0), seg, n(0)), Err(DeceitError::InvalidCommand(_))));
 }
 
 #[test]
@@ -355,10 +332,7 @@ fn explicit_version_creation_and_access() {
     assert_eq!(c.list_versions(n(0), seg).unwrap().value.len(), 2);
     c.delete_version(n(0), seg, 0).unwrap();
     assert_eq!(c.list_versions(n(0), seg).unwrap().value.len(), 1);
-    assert!(matches!(
-        c.read(n(0), seg, Some(0), 0, 1),
-        Err(DeceitError::NoSuchVersion(_, 0))
-    ));
+    assert!(matches!(c.read(n(0), seg, Some(0), 0, 1), Err(DeceitError::NoSuchVersion(_, 0))));
 }
 
 #[test]
@@ -396,8 +370,7 @@ fn update_cost_scales_with_file_group_not_cell_size() {
     let mut msgs = Vec::new();
     for c in [&mut small, &mut large] {
         let seg = c.create(n(0)).unwrap().value;
-        c.set_params(n(0), seg, FileParams { min_replicas: 3, ..FileParams::default() })
-            .unwrap();
+        c.set_params(n(0), seg, FileParams { min_replicas: 3, ..FileParams::default() }).unwrap();
         c.run_until_quiet();
         c.write(n(0), seg, WriteOp::replace(b"warm"), None).unwrap();
         c.run_until_quiet();

@@ -13,11 +13,11 @@ fn n(v: u32) -> NodeId {
 fn fixture(cfg: ClusterConfig) -> (Cluster, SegmentId) {
     let mut c = Cluster::new(3, cfg);
     let seg = c.create(n(0)).unwrap().value;
-    c.set_params(n(0), seg, FileParams {
-        min_replicas: 3,
-        stability: false,
-        ..FileParams::default()
-    })
+    c.set_params(
+        n(0),
+        seg,
+        FileParams { min_replicas: 3, stability: false, ..FileParams::default() },
+    )
     .unwrap();
     c.write(n(0), seg, WriteOp::replace(b"base"), None).unwrap();
     c.run_until_quiet();
@@ -96,9 +96,7 @@ fn conditional_write_checked_at_forward_target() {
     let v = c.read(n(1), seg, None, 0, 16).unwrap().value.version;
     // Another client's forwarded write bumps the version at the holder.
     c.write(n(2), seg, WriteOp::replace(b"sneak"), None).unwrap();
-    let err = c
-        .write(n(1), seg, WriteOp::replace(b"stale"), Some(v))
-        .unwrap_err();
+    let err = c.write(n(1), seg, WriteOp::replace(b"stale"), Some(v)).unwrap_err();
     assert!(matches!(err, DeceitError::VersionConflict { .. }));
 }
 
@@ -110,12 +108,16 @@ fn optimizations_respect_availability_policy() {
     cfg.opt_forward_small = true;
     let mut c = Cluster::new(3, cfg);
     let seg = c.create(n(0)).unwrap().value;
-    c.set_params(n(0), seg, FileParams {
-        min_replicas: 3,
-        availability: WriteAvailability::Medium,
-        stability: false,
-        ..FileParams::default()
-    })
+    c.set_params(
+        n(0),
+        seg,
+        FileParams {
+            min_replicas: 3,
+            availability: WriteAvailability::Medium,
+            stability: false,
+            ..FileParams::default()
+        },
+    )
     .unwrap();
     c.write(n(0), seg, WriteOp::replace(b"base"), None).unwrap();
     c.run_until_quiet();

@@ -14,10 +14,7 @@ fn arb_tree() -> impl Strategy<Value = (BranchTable, Vec<u64>)> {
         for (i, (parent_idx, parent_sub)) in branches.into_iter().enumerate() {
             let next_major = (i + 1) as u64;
             let parent_major = majors[parent_idx % majors.len()];
-            table.record_branch(
-                next_major,
-                VersionPair { major: parent_major, sub: parent_sub },
-            );
+            table.record_branch(next_major, VersionPair { major: parent_major, sub: parent_sub });
             majors.push(next_major);
         }
         (table, majors)

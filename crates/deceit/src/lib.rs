@@ -7,12 +7,13 @@
 //!
 //! | Layer | Crate | Paper section |
 //! |---|---|---|
+//! | live concurrent cluster runtime | [`runtime`] | §6 (the SunOS deployment) |
 //! | client agents | [`agent`] | §5.3 |
 //! | NFS file-service envelope, cells | [`nfs`] | §2, §5.2 |
 //! | segment server (replication, tokens, stability, versions) | [`core`] | §3, §4, §5.1 |
 //! | ISIS substrate (groups, broadcasts, failure detection) | [`isis`] | §2.4 |
 //! | non-volatile storage | [`storage`] | §3.5 |
-//! | simulated network | [`net`] | §2.3 |
+//! | simulated network + live threaded transport | [`net`] | §2.3 |
 //! | deterministic simulation kernel | [`sim`] | — |
 //!
 //! # Quick start
@@ -38,12 +39,30 @@
 //! let data = fs.read(NodeId(1), file.handle, 0, 64).unwrap().value;
 //! assert_eq!(&data[..], b"survives anything");
 //! ```
+//!
+//! The same stack also runs **live**: [`runtime`] hosts every server on
+//! its own OS thread over the threaded bus, with concurrent client
+//! sessions, crash/partition injection, and differential tests pinning
+//! the live behavior to the simulator's.
+//!
+//! ```
+//! use deceit::prelude::*;
+//!
+//! let rt = ClusterRuntime::start(RuntimeConfig::new(3));
+//! let mut client = rt.client();
+//! let root = client.root();
+//! let file = client.create(root, "notes.txt", 0o644).unwrap();
+//! client.write(file.handle, 0, b"served by a real thread").unwrap();
+//! assert_eq!(&client.read(file.handle, 0, 64).unwrap()[..], b"served by a real thread");
+//! rt.shutdown();
+//! ```
 
 pub use deceit_agent as agent;
 pub use deceit_core as core;
 pub use deceit_isis as isis;
 pub use deceit_net as net;
 pub use deceit_nfs as nfs;
+pub use deceit_runtime as runtime;
 pub use deceit_sim as sim;
 pub use deceit_storage as storage;
 
@@ -51,13 +70,17 @@ pub use deceit_storage as storage;
 pub mod prelude {
     pub use deceit_agent::{Agent, AgentConfig, AgentPlacement};
     pub use deceit_core::{
-        Cluster, ClusterConfig, DeceitError, FileParams, OpResult, SegmentId, VersionPair,
-        WriteAvailability, WriteOp,
+        Cluster, ClusterConfig, DeceitError, FileParams, OpResult, ProtocolHost, SegmentId,
+        VersionPair, WriteAvailability, WriteOp,
     };
     pub use deceit_net::{LatencyModel, NodeId};
     pub use deceit_nfs::{
-        CellId, DeceitFs, Federation, FileAttr, FileHandle, FileType, FsConfig, NfsError,
-        NfsReply, NfsRequest, NfsServer,
+        CellId, DeceitFs, Federation, FileAttr, FileHandle, FileType, FsConfig, NfsError, NfsReply,
+        NfsRequest, NfsServer, NfsService,
+    };
+    pub use deceit_runtime::{
+        ClusterRuntime, RuntimeClient, RuntimeConfig, RuntimeError, Scenario, ScenarioStep,
+        WriteBatch,
     };
     pub use deceit_sim::{SimDuration, SimTime};
 }

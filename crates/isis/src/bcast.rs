@@ -87,12 +87,10 @@ pub fn broadcast_round(
             continue;
         }
         match net.send(from, to, bytes, tag) {
-            deceit_net::Delivery::Delivered(out) => {
-                match net.send(to, from, reply_bytes, tag) {
-                    deceit_net::Delivery::Delivered(back) => replies.push((to, out + back)),
-                    deceit_net::Delivery::Unreachable => unreachable.push(to),
-                }
-            }
+            deceit_net::Delivery::Delivered(out) => match net.send(to, from, reply_bytes, tag) {
+                deceit_net::Delivery::Delivered(back) => replies.push((to, out + back)),
+                deceit_net::Delivery::Unreachable => unreachable.push(to),
+            },
             deceit_net::Delivery::Unreachable => unreachable.push(to),
         }
     }

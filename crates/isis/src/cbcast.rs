@@ -76,9 +76,7 @@ impl<T: Clone> CausalReceiver<T> {
     pub fn receive(&mut self, msg: CausalMsg<T>) -> Vec<CausalMsg<T>> {
         self.held.push(msg);
         let mut out = Vec::new();
-        while let Some(pos) =
-            self.held.iter().position(|m| self.vc.can_deliver(m.sender, &m.vc))
-        {
+        while let Some(pos) = self.held.iter().position(|m| self.vc.can_deliver(m.sender, &m.vc)) {
             let m = self.held.remove(pos);
             self.vc.merge(&m.vc);
             self.delivered += 1;
@@ -151,8 +149,7 @@ mod tests {
         // A third process receives b before a: b must be held.
         let mut r = CausalReceiver::new();
         assert!(r.receive(b.clone()).is_empty());
-        let delivered: Vec<&str> =
-            r.receive(a.clone()).into_iter().map(|m| m.payload).collect();
+        let delivered: Vec<&str> = r.receive(a.clone()).into_iter().map(|m| m.payload).collect();
         assert_eq!(delivered, vec!["a", "b"]);
     }
 

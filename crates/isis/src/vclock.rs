@@ -108,9 +108,7 @@ impl VectorClock {
         if msg.get(sender) != self.get(sender) + 1 {
             return false;
         }
-        msg.counts
-            .iter()
-            .all(|(&k, &v)| k == sender || v <= self.get(k))
+        msg.counts.iter().all(|(&k, &v)| k == sender || v <= self.get(k))
     }
 }
 

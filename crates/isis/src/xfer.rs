@@ -61,12 +61,8 @@ mod tests {
     fn transfer_completes_and_scales() {
         let mut net = Network::fixed(SimDuration::from_millis(1), 1);
         let cfg = BlastConfig::ethernet_10mb();
-        let small = transfer_state(&mut net, &cfg, n(0), n(1), 1 << 10, "xfer")
-            .duration()
-            .unwrap();
-        let big = transfer_state(&mut net, &cfg, n(0), n(1), 1 << 24, "xfer")
-            .duration()
-            .unwrap();
+        let small = transfer_state(&mut net, &cfg, n(0), n(1), 1 << 10, "xfer").duration().unwrap();
+        let big = transfer_state(&mut net, &cfg, n(0), n(1), 1 << 24, "xfer").duration().unwrap();
         assert!(big > small * 100, "big {big} small {small}");
         assert_eq!(net.stats().tag_count("xfer"), 2);
     }

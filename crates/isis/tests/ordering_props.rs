@@ -5,8 +5,7 @@
 //! protocols deliver that guarantee under arbitrary arrival permutations.
 
 use deceit_isis::{
-    CausalMsg, CausalReceiver, CausalSender, OrderedReceiver, SequencedMsg, Sequencer,
-    VectorClock,
+    CausalMsg, CausalReceiver, CausalSender, OrderedReceiver, SequencedMsg, Sequencer, VectorClock,
 };
 use deceit_net::NodeId;
 use proptest::prelude::*;

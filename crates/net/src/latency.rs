@@ -112,12 +112,10 @@ mod tests {
     #[test]
     fn wan_slower_than_lan() {
         let mut rng = SimRng::new(3);
-        let lan: u64 = (0..100)
-            .map(|_| LatencyModel::lan().sample(&mut rng, 1024).as_micros())
-            .sum();
-        let wan: u64 = (0..100)
-            .map(|_| LatencyModel::wan().sample(&mut rng, 1024).as_micros())
-            .sum();
+        let lan: u64 =
+            (0..100).map(|_| LatencyModel::lan().sample(&mut rng, 1024).as_micros()).sum();
+        let wan: u64 =
+            (0..100).map(|_| LatencyModel::wan().sample(&mut rng, 1024).as_micros()).sum();
         assert!(wan > lan * 5, "wan {wan} lan {lan}");
     }
 }

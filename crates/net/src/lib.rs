@@ -13,16 +13,21 @@
 //!   generation (§3.1: a TCP connection run "at high efficiency").
 //! * [`live`] — a real multi-threaded in-memory transport with the same
 //!   interface shape, demonstrating the message layer off the simulator.
+//! * [`rpc`] — request/reply correlation, pipelining, and timeouts over
+//!   the live transport; the live runtime's call layer.
 
 pub mod blast;
 pub mod latency;
 pub mod live;
 pub mod network;
 pub mod node;
+pub mod rpc;
 pub mod topology;
 
 pub use blast::BlastConfig;
 pub use latency::LatencyModel;
+pub use live::{Envelope, LiveBus, LiveEndpoint};
 pub use network::{Delivery, NetStats, Network};
 pub use node::NodeId;
+pub use rpc::{CallId, IncomingRequest, Rpc, RpcEndpoint, RpcError};
 pub use topology::Partition;

@@ -29,13 +29,25 @@ pub struct Envelope<M> {
     pub msg: M,
 }
 
+/// The channel frame: an envelope stamped with the destination's crash
+/// epoch at send time, so traffic queued before a crash can be told
+/// apart from traffic sent after the recovery.
+#[derive(Debug)]
+struct Sealed<M> {
+    env: Envelope<M>,
+    epoch: u64,
+}
+
 #[derive(Debug)]
 struct BusInner<M> {
-    endpoints: RwLock<HashMap<NodeId, Sender<Envelope<M>>>>,
+    endpoints: RwLock<HashMap<NodeId, Sender<Sealed<M>>>>,
     partition: RwLock<Partition>,
     crashed: RwLock<BTreeSet<NodeId>>,
+    /// Per-node crash count; bumping it invalidates queued traffic.
+    epochs: RwLock<HashMap<NodeId, u64>>,
     delivered: AtomicU64,
     rejected: AtomicU64,
+    dropped_stale: AtomicU64,
 }
 
 /// A shared in-memory message bus connecting live endpoints.
@@ -58,8 +70,10 @@ impl<M: Send + 'static> LiveBus<M> {
                 endpoints: RwLock::new(HashMap::new()),
                 partition: RwLock::new(Partition::connected()),
                 crashed: RwLock::new(BTreeSet::new()),
+                epochs: RwLock::new(HashMap::new()),
                 delivered: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
+                dropped_stale: AtomicU64::new(0),
             }),
         }
     }
@@ -87,9 +101,15 @@ impl<M: Send + 'static> LiveBus<M> {
     }
 
     /// Marks a machine as crashed: its traffic is rejected in both
-    /// directions until [`LiveBus::recover`].
+    /// directions until [`LiveBus::recover`], and everything already
+    /// queued at the machine evaporates — a dead kernel's buffers do not
+    /// survive the reboot. (The queue is invalidated by bumping the
+    /// node's crash epoch; the endpoint discards stale frames on
+    /// receive.)
     pub fn crash(&self, node: NodeId) {
-        self.inner.crashed.write().insert(node);
+        if self.inner.crashed.write().insert(node) {
+            *self.inner.epochs.write().entry(node).or_insert(0) += 1;
+        }
     }
 
     /// Recovers a crashed machine.
@@ -97,7 +117,37 @@ impl<M: Send + 'static> LiveBus<M> {
         self.inner.crashed.write().remove(&node);
     }
 
-    /// Messages delivered so far.
+    /// Whether `node` is currently marked crashed.
+    ///
+    /// A live server's message loop cannot know it has been "crashed" by
+    /// failure injection — the whole point is that crashes arrive without
+    /// notification — so the loop consults the bus and discards any
+    /// traffic that was already queued when the crash hit, exactly as a
+    /// dead machine's kernel buffers would evaporate.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.inner.crashed.read().contains(&node)
+    }
+
+    /// All registered node ids, in ascending order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.inner.endpoints.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Whether `a` and `b` can currently exchange messages (crash and
+    /// partition state combined) — the same rule [`LiveBus::send`]
+    /// enforces, exposed for differential testing against the simulator's
+    /// topology rules.
+    pub fn can_exchange(&self, a: NodeId, b: NodeId) -> bool {
+        self.reachable(a, b)
+    }
+
+    /// Sends accepted by the bus so far. Counted at enqueue time: a
+    /// frame that later evaporates because its destination crashed
+    /// before draining it stays counted here *and* appears in
+    /// [`LiveBus::dropped_stale`] — subtract to get frames actually
+    /// handed to receivers.
     pub fn delivered(&self) -> u64 {
         self.inner.delivered.load(Ordering::Relaxed)
     }
@@ -105,6 +155,17 @@ impl<M: Send + 'static> LiveBus<M> {
     /// Send attempts rejected by crash/partition state.
     pub fn rejected(&self) -> u64 {
         self.inner.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Messages that were queued at a machine when it crashed and were
+    /// therefore discarded on receive.
+    pub fn dropped_stale(&self) -> u64 {
+        self.inner.dropped_stale.load(Ordering::Relaxed)
+    }
+
+    /// The crash epoch of `node` (number of crashes so far).
+    fn epoch(&self, node: NodeId) -> u64 {
+        self.inner.epochs.read().get(&node).copied().unwrap_or(0)
     }
 
     fn reachable(&self, a: NodeId, b: NodeId) -> bool {
@@ -116,12 +177,24 @@ impl<M: Send + 'static> LiveBus<M> {
     }
 
     fn send(&self, from: NodeId, to: NodeId, msg: M) -> bool {
-        if !self.reachable(from, to) {
-            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
-            return false;
-        }
+        // The epoch must be read under the same crashed-set lock as the
+        // liveness check: read after releasing it, and a crash() racing
+        // in between would stamp this frame with the *post*-crash epoch,
+        // letting pre-crash traffic survive the reboot.
+        let epoch = {
+            let crashed = self.inner.crashed.read();
+            if crashed.contains(&from)
+                || crashed.contains(&to)
+                || !self.inner.partition.read().can_reach(from, to)
+            {
+                drop(crashed);
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            self.inner.epochs.read().get(&to).copied().unwrap_or(0)
+        };
         let ok = match self.inner.endpoints.read().get(&to) {
-            Some(tx) => tx.send(Envelope { from, msg }).is_ok(),
+            Some(tx) => tx.send(Sealed { env: Envelope { from, msg }, epoch }).is_ok(),
             None => false,
         };
         if ok {
@@ -143,8 +216,18 @@ impl<M: Send + 'static> Default for LiveBus<M> {
 #[derive(Debug)]
 pub struct LiveEndpoint<M> {
     node: NodeId,
-    rx: Receiver<Envelope<M>>,
+    rx: Receiver<Sealed<M>>,
     bus: LiveBus<M>,
+}
+
+impl<M> Drop for LiveEndpoint<M> {
+    /// Unplugs the machine: its entry leaves the bus, so sends to it
+    /// fail fast instead of queueing into a channel nobody will drain.
+    /// Without this, every short-lived endpoint (client sessions, most
+    /// of all) would leak a sender entry for the bus's lifetime.
+    fn drop(&mut self) {
+        self.bus.inner.endpoints.write().remove(&self.node);
+    }
 }
 
 impl<M: Send + 'static> LiveEndpoint<M> {
@@ -159,16 +242,45 @@ impl<M: Send + 'static> LiveEndpoint<M> {
     }
 
     /// Blocks until a message arrives or the timeout elapses.
+    ///
+    /// Frames queued before this machine's most recent crash are
+    /// silently discarded — they were in a dead machine's buffers.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(env) => Some(env),
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(sealed) => {
+                    if let Some(env) = self.unseal(sealed) {
+                        return Some(env);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    return None;
+                }
+            }
         }
     }
 
-    /// Returns an already-queued message without blocking.
+    /// Returns an already-queued message without blocking, discarding
+    /// any frames that predate this machine's most recent crash.
     pub fn try_recv(&self) -> Option<Envelope<M>> {
-        self.rx.try_recv().ok()
+        while let Ok(sealed) = self.rx.try_recv() {
+            if let Some(env) = self.unseal(sealed) {
+                return Some(env);
+            }
+        }
+        None
+    }
+
+    /// Drops frames from before the latest crash of this node.
+    fn unseal(&self, sealed: Sealed<M>) -> Option<Envelope<M>> {
+        if sealed.epoch < self.bus.epoch(self.node) {
+            self.bus.inner.dropped_stale.fetch_add(1, Ordering::Relaxed);
+            None
+        } else {
+            Some(sealed.env)
+        }
     }
 }
 

@@ -1,0 +1,304 @@
+//! Request/reply correlation and timeouts over the live bus.
+//!
+//! [`crate::live::LiveBus`] moves raw messages between threads; a file
+//! service needs *calls*: a request matched to its reply even when
+//! replies return out of order (pipelining) or never return at all
+//! (crashes, partitions). [`RpcEndpoint`] layers exactly that on top of a
+//! [`LiveEndpoint`]:
+//!
+//! * every outgoing request carries a fresh [`CallId`];
+//! * replies are correlated by id, with out-of-order arrivals buffered
+//!   until their caller asks;
+//! * waiting is deadline-based, so an unreachable or crashed peer turns
+//!   into [`RpcError::Timeout`] instead of a hung thread;
+//! * a send the bus rejects outright (crash or partition already known)
+//!   fails fast with [`RpcError::Unreachable`].
+//!
+//! The same endpoint also serves the callee role: incoming requests queue
+//! separately and are drained with [`RpcEndpoint::next_request`] /
+//! answered with [`RpcEndpoint::reply`], so symmetric peers need only one
+//! endpoint each.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use crate::live::{LiveBus, LiveEndpoint};
+use crate::node::NodeId;
+
+/// Correlates one request with its reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CallId(pub u64);
+
+impl fmt::Display for CallId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "call#{}", self.0)
+    }
+}
+
+/// The wire frame: a correlated request or reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rpc<Q, P> {
+    /// A request awaiting a reply with the same id.
+    Request {
+        /// Correlation id, unique per calling endpoint.
+        call: CallId,
+        /// The request payload.
+        req: Q,
+    },
+    /// The reply to an earlier request.
+    Reply {
+        /// Correlation id copied from the request.
+        call: CallId,
+        /// The reply payload.
+        rep: P,
+    },
+}
+
+/// Why a call failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// The bus rejected the send: the peer is crashed, partitioned away,
+    /// or not registered.
+    Unreachable(NodeId),
+    /// No reply arrived before the deadline.
+    Timeout(NodeId),
+    /// The awaited call is not in flight on this endpoint: it was never
+    /// submitted here, already claimed, or forgotten. Waiting could
+    /// never succeed, so this fails fast instead of burning the timeout.
+    UnknownCall(CallId),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Unreachable(n) => write!(f, "peer {n} unreachable"),
+            RpcError::Timeout(n) => write!(f, "timed out waiting for reply from {n}"),
+            RpcError::UnknownCall(c) => write!(f, "{c} is not in flight on this endpoint"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// An incoming request awaiting an answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncomingRequest<Q> {
+    /// Who asked.
+    pub from: NodeId,
+    /// Correlation id to echo in [`RpcEndpoint::reply`].
+    pub call: CallId,
+    /// The request payload.
+    pub req: Q,
+}
+
+/// One machine's correlated-call connection to the bus.
+#[derive(Debug)]
+pub struct RpcEndpoint<Q, P> {
+    ep: LiveEndpoint<Rpc<Q, P>>,
+    next_call: u64,
+    /// Destination of each in-flight call, for error attribution.
+    outstanding: HashMap<CallId, NodeId>,
+    /// Replies that arrived while waiting for a different call.
+    ready: HashMap<CallId, P>,
+    /// Requests received while acting as a caller.
+    inbox: VecDeque<IncomingRequest<Q>>,
+}
+
+impl<Q: Send + 'static, P: Send + 'static> RpcEndpoint<Q, P> {
+    /// Registers `node` on the bus and wraps its endpoint.
+    pub fn register(bus: &LiveBus<Rpc<Q, P>>, node: NodeId) -> Self {
+        RpcEndpoint {
+            ep: bus.register(node),
+            next_call: 0,
+            outstanding: HashMap::new(),
+            ready: HashMap::new(),
+            inbox: VecDeque::new(),
+        }
+    }
+
+    /// This endpoint's node id.
+    pub fn node(&self) -> NodeId {
+        self.ep.node()
+    }
+
+    /// Calls in flight (submitted, reply neither received nor claimed).
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Sends a request without waiting — the pipelining primitive.
+    ///
+    /// Fails fast with [`RpcError::Unreachable`] if the bus refuses the
+    /// send (peer crashed, partitioned away, or unregistered).
+    pub fn submit(&mut self, to: NodeId, req: Q) -> Result<CallId, RpcError> {
+        let call = CallId(self.next_call);
+        self.next_call += 1;
+        if !self.ep.send(to, Rpc::Request { call, req }) {
+            return Err(RpcError::Unreachable(to));
+        }
+        self.outstanding.insert(call, to);
+        Ok(call)
+    }
+
+    /// Waits for the reply to one submitted call.
+    ///
+    /// Replies to *other* calls arriving in the meantime are buffered, so
+    /// pipelined calls may be awaited in any order. Incoming requests are
+    /// queued for [`RpcEndpoint::next_request`].
+    pub fn wait(&mut self, call: CallId, timeout: Duration) -> Result<P, RpcError> {
+        if !self.outstanding.contains_key(&call) && !self.ready.contains_key(&call) {
+            return Err(RpcError::UnknownCall(call));
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(rep) = self.ready.remove(&call) {
+                self.outstanding.remove(&call);
+                return Ok(rep);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                let to = self.outstanding.remove(&call);
+                return Err(RpcError::Timeout(to.unwrap_or(self.node())));
+            }
+            match self.ep.recv_timeout(remaining) {
+                Some(env) => self.sort_incoming(env.from, env.msg),
+                None => {
+                    let to = self.outstanding.remove(&call);
+                    return Err(RpcError::Timeout(to.unwrap_or(self.node())));
+                }
+            }
+        }
+    }
+
+    /// Submits a request and waits for its reply.
+    pub fn call(&mut self, to: NodeId, req: Q, timeout: Duration) -> Result<P, RpcError> {
+        let call = self.submit(to, req)?;
+        self.wait(call, timeout)
+    }
+
+    /// Abandons an in-flight call; a late reply will be dropped on the
+    /// next drain rather than buffered forever.
+    pub fn forget(&mut self, call: CallId) {
+        self.outstanding.remove(&call);
+        self.ready.remove(&call);
+    }
+
+    /// Returns the next incoming request, waiting up to `timeout`.
+    pub fn next_request(&mut self, timeout: Duration) -> Option<IncomingRequest<Q>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(r) = self.inbox.pop_front() {
+                return Some(r);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            match self.ep.recv_timeout(remaining) {
+                Some(env) => self.sort_incoming(env.from, env.msg),
+                None => return None,
+            }
+        }
+    }
+
+    /// Answers an incoming request; returns false if the asker became
+    /// unreachable.
+    pub fn reply(&mut self, to: NodeId, call: CallId, rep: P) -> bool {
+        self.ep.send(to, Rpc::Reply { call, rep })
+    }
+
+    fn sort_incoming(&mut self, from: NodeId, msg: Rpc<Q, P>) {
+        match msg {
+            Rpc::Request { call, req } => {
+                self.inbox.push_back(IncomingRequest { from, call, req });
+            }
+            Rpc::Reply { call, rep } => {
+                // Replies to forgotten (timed-out) calls are dropped.
+                if self.outstanding.contains_key(&call) {
+                    self.ready.insert(call, rep);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn n(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    /// An echo server answering `x` with `x * 10`, until told to stop by
+    /// receiving 0.
+    fn spawn_echo(bus: &LiveBus<Rpc<u64, u64>>, id: NodeId) -> thread::JoinHandle<()> {
+        let mut ep: RpcEndpoint<u64, u64> = RpcEndpoint::register(bus, id);
+        thread::spawn(move || loop {
+            if let Some(r) = ep.next_request(Duration::from_secs(5)) {
+                let stop = r.req == 0;
+                ep.reply(r.from, r.call, r.req * 10);
+                if stop {
+                    return;
+                }
+            } else {
+                return;
+            }
+        })
+    }
+
+    #[test]
+    fn call_round_trip() {
+        let bus = LiveBus::new();
+        let server = spawn_echo(&bus, n(1));
+        let mut client: RpcEndpoint<u64, u64> = RpcEndpoint::register(&bus, n(0));
+        assert_eq!(client.call(n(1), 7, Duration::from_secs(2)), Ok(70));
+        assert_eq!(client.call(n(1), 0, Duration::from_secs(2)), Ok(0));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_calls_awaited_out_of_order() {
+        let bus = LiveBus::new();
+        let server = spawn_echo(&bus, n(1));
+        let mut client: RpcEndpoint<u64, u64> = RpcEndpoint::register(&bus, n(0));
+        let a = client.submit(n(1), 1).unwrap();
+        let b = client.submit(n(1), 2).unwrap();
+        let c = client.submit(n(1), 3).unwrap();
+        assert_eq!(client.in_flight(), 3);
+        // Await newest-first: earlier replies must buffer.
+        assert_eq!(client.wait(c, Duration::from_secs(2)), Ok(30));
+        assert_eq!(client.wait(a, Duration::from_secs(2)), Ok(10));
+        assert_eq!(client.wait(b, Duration::from_secs(2)), Ok(20));
+        assert_eq!(client.in_flight(), 0);
+        client.call(n(1), 0, Duration::from_secs(2)).unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn unreachable_peer_fails_fast() {
+        let bus: LiveBus<Rpc<u64, u64>> = LiveBus::new();
+        let mut client: RpcEndpoint<u64, u64> = RpcEndpoint::register(&bus, n(0));
+        assert_eq!(client.submit(n(9), 1), Err(RpcError::Unreachable(n(9))));
+        let _silent = bus.register(n(2));
+        bus.crash(n(2));
+        assert_eq!(
+            client.call(n(2), 1, Duration::from_millis(50)),
+            Err(RpcError::Unreachable(n(2)))
+        );
+    }
+
+    #[test]
+    fn silent_peer_times_out() {
+        let bus: LiveBus<Rpc<u64, u64>> = LiveBus::new();
+        let mut client: RpcEndpoint<u64, u64> = RpcEndpoint::register(&bus, n(0));
+        let _silent = bus.register(n(1));
+        let t0 = Instant::now();
+        assert_eq!(client.call(n(1), 5, Duration::from_millis(60)), Err(RpcError::Timeout(n(1))));
+        assert!(t0.elapsed() >= Duration::from_millis(60));
+        // The call is forgotten: a later stray reply must not resurrect it.
+        assert_eq!(client.in_flight(), 0);
+    }
+}

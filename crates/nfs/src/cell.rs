@@ -100,12 +100,10 @@ impl Federation {
         let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
         if comps.len() >= 3 && comps[0] == "priv" && comps[1] == "global" {
             let host = comps[2];
-            let (remote_cell, remote_server) =
-                self.resolve_host(host).ok_or(NfsError::NotFound)?;
+            let (remote_cell, remote_server) = self.resolve_host(host).ok_or(NfsError::NotFound)?;
             let rest = comps[3..].join("/");
             let rtt = self.inter_cell_rtt;
-            let mut out = self.cells[remote_cell.0 as usize]
-                .lookup_path(remote_server, &rest)?;
+            let mut out = self.cells[remote_cell.0 as usize].lookup_path(remote_server, &rest)?;
             out.latency += rtt;
             return Ok(deceit_core::OpResult {
                 value: (GlobalHandle { cell: remote_cell, fh: out.value.handle }, out.value),
@@ -138,7 +136,8 @@ impl Federation {
             via
         };
         let rtt = self.inter_cell_rtt;
-        let mut out = self.cells[handle.cell.0 as usize].read(serving_node, handle.fh, offset, count)?;
+        let mut out =
+            self.cells[handle.cell.0 as usize].read(serving_node, handle.fh, offset, count)?;
         if remote {
             out.latency += rtt;
         }
@@ -157,11 +156,8 @@ impl Federation {
         data: &[u8],
     ) -> NfsResult<FileAttr> {
         let remote = handle.cell != from_cell;
-        let serving_node = if remote {
-            self.cells[handle.cell.0 as usize].cluster.server_ids()[0]
-        } else {
-            via
-        };
+        let serving_node =
+            if remote { self.cells[handle.cell.0 as usize].cluster.server_ids()[0] } else { via };
         let rtt = self.inter_cell_rtt;
         let mut out =
             self.cells[handle.cell.0 as usize].write(serving_node, handle.fh, offset, data)?;

@@ -49,10 +49,7 @@ impl Directory {
 
     /// Looks a name up.
     pub fn get(&self, name: &str) -> Option<&DirEntry> {
-        self.entries
-            .binary_search_by(|e| e.name.as_str().cmp(name))
-            .ok()
-            .map(|i| &self.entries[i])
+        self.entries.binary_search_by(|e| e.name.as_str().cmp(name)).ok().map(|i| &self.entries[i])
     }
 
     /// Inserts an entry; returns false (leaving the table unchanged) if

@@ -309,7 +309,13 @@ impl DeceitFs {
         Ok((inode, dir, version, latency))
     }
 
-    fn attr_from(&self, fh: FileHandle, inode: &Inode, payload_len: usize, version: VersionPair) -> FileAttr {
+    fn attr_from(
+        &self,
+        fh: FileHandle,
+        inode: &Inode,
+        payload_len: usize,
+        version: VersionPair,
+    ) -> FileAttr {
         FileAttr {
             handle: fh,
             ftype: FileType::from_byte(inode.ftype).unwrap_or(FileType::Regular),
@@ -400,11 +406,7 @@ impl DeceitFs {
             return Err(NfsError::IsDir);
         }
         let end = (offset + count).min(payload.len());
-        let data = if offset >= payload.len() {
-            Bytes::new()
-        } else {
-            payload.slice(offset..end)
-        };
+        let data = if offset >= payload.len() { Bytes::new() } else { payload.slice(offset..end) };
         Ok(OpResult { value: data, latency })
     }
 
@@ -485,10 +487,7 @@ impl DeceitFs {
                 "readlink on non-symlink".to_string(),
             )));
         }
-        Ok(OpResult {
-            value: String::from_utf8_lossy(&payload).into_owned(),
-            latency,
-        })
+        Ok(OpResult { value: String::from_utf8_lossy(&payload).into_owned(), latency })
     }
 
     #[allow(clippy::too_many_arguments)] // mirrors the NFS CREATE surface
@@ -689,8 +688,7 @@ impl DeceitFs {
 
         // 2. Entry in the destination (replacing any existing target
         // entry, per POSIX rename).
-        let new_entry =
-            DirEntry { name: qt.base.clone(), handle: target, ftype: entry.ftype };
+        let new_entry = DirEntry { name: qt.base.clone(), handle: target, ftype: entry.ftype };
         latency += self.update_segment(via, to_dir, |dnode, dpayload| {
             if dnode.ftype != FileType::Directory.to_byte() {
                 return Err(NfsError::NotDir);

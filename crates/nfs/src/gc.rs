@@ -38,13 +38,7 @@ pub fn collect_if_unlinked(
             Err(_) => continue, // directory gone entirely
         };
         for v in versions {
-            let Ok(read) = fs.cluster.read(
-                via,
-                dir_seg,
-                Some(v.major),
-                0,
-                64 * 1024 * 1024,
-            ) else {
+            let Ok(read) = fs.cluster.read(via, dir_seg, Some(v.major), 0, 64 * 1024 * 1024) else {
                 continue;
             };
             latency += read.latency;
@@ -56,11 +50,8 @@ pub fn collect_if_unlinked(
             };
             // Count entries, not directories: two hard links from the
             // same directory are two links.
-            true_links += table
-                .entries()
-                .iter()
-                .filter(|e| e.handle.segment() == target.seg)
-                .count() as u32;
+            true_links +=
+                table.entries().iter().filter(|e| e.handle.segment() == target.seg).count() as u32;
         }
     }
 
@@ -98,8 +89,7 @@ pub fn total_link_copies(
         };
         for v in versions {
             // Does this version of the directory link to the file?
-            let Ok(read) = fs.cluster.read(via, dir_seg, Some(v.major), 0, 64 * 1024 * 1024)
-            else {
+            let Ok(read) = fs.cluster.read(via, dir_seg, Some(v.major), 0, 64 * 1024 * 1024) else {
                 continue;
             };
             let Ok((_, hdr_len)) = Inode::decode(&read.value.data) else {

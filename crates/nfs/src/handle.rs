@@ -68,10 +68,7 @@ impl FileHandle {
         let mut v = [0u8; 8];
         v.copy_from_slice(&buf[8..16]);
         let raw_v = u64::from_be_bytes(v);
-        Some(FileHandle {
-            seg: SegmentId(u64::from_be_bytes(id)),
-            version: raw_v.checked_sub(1),
-        })
+        Some(FileHandle { seg: SegmentId(u64::from_be_bytes(id)), version: raw_v.checked_sub(1) })
     }
 }
 

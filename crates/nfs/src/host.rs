@@ -1,0 +1,152 @@
+//! Hosting seam implementations for the envelope.
+//!
+//! §5.2: "Although the NFS envelope implementation is a large piece of
+//! software, it is totally independent of the underlying implementation
+//! of the segment service." The same independence holds upward: the
+//! envelope does not care *who* delivers requests to it. [`NfsService`]
+//! captures the request-serving surface a transport needs, and the
+//! [`deceit_core::ProtocolHost`] implementations below forward failure
+//! injection and deferred-work pumping to the segment-server cluster
+//! underneath, so the whole stack can be hosted by the deterministic
+//! simulator and the live threaded runtime alike.
+
+use deceit_core::ProtocolHost;
+use deceit_net::NodeId;
+use deceit_sim::{SimDuration, SimTime};
+
+use crate::fs::DeceitFs;
+use crate::handle::FileHandle;
+use crate::rpc::{NfsReply, NfsRequest, NfsServer};
+
+/// A transport-agnostic NFS request service.
+pub trait NfsService {
+    /// The root handle returned by the mount protocol.
+    fn mount_root(&self) -> FileHandle;
+
+    /// Handles one request arriving at server `via`, returning the reply
+    /// and the server-side latency charged to the protocol clock.
+    fn serve(&mut self, via: NodeId, req: NfsRequest) -> (NfsReply, SimDuration);
+}
+
+impl NfsService for NfsServer {
+    fn mount_root(&self) -> FileHandle {
+        self.mount()
+    }
+
+    fn serve(&mut self, via: NodeId, req: NfsRequest) -> (NfsReply, SimDuration) {
+        self.handle(via, req)
+    }
+}
+
+impl ProtocolHost for DeceitFs {
+    fn pump(&mut self, max_events: usize) -> usize {
+        self.cluster.pump(max_events)
+    }
+
+    fn settle(&mut self) {
+        self.cluster.run_until_quiet();
+    }
+
+    fn pending_work(&self) -> usize {
+        self.cluster.pending_events()
+    }
+
+    fn crash_node(&mut self, node: NodeId) {
+        self.cluster.crash_server(node);
+    }
+
+    fn restart_node(&mut self, node: NodeId) {
+        self.cluster.recover_server(node);
+    }
+
+    fn split_nodes(&mut self, groups: &[&[NodeId]]) {
+        self.cluster.split(groups);
+    }
+
+    fn heal_nodes(&mut self) {
+        self.cluster.heal();
+    }
+
+    fn node_is_up(&self, node: NodeId) -> bool {
+        self.cluster.check_up(node).is_ok()
+    }
+
+    fn protocol_now(&self) -> SimTime {
+        self.cluster.now()
+    }
+}
+
+impl ProtocolHost for NfsServer {
+    fn pump(&mut self, max_events: usize) -> usize {
+        self.fs.pump(max_events)
+    }
+
+    fn settle(&mut self) {
+        self.fs.settle();
+    }
+
+    fn pending_work(&self) -> usize {
+        self.fs.pending_work()
+    }
+
+    fn crash_node(&mut self, node: NodeId) {
+        self.fs.crash_node(node);
+    }
+
+    fn restart_node(&mut self, node: NodeId) {
+        self.fs.restart_node(node);
+    }
+
+    fn split_nodes(&mut self, groups: &[&[NodeId]]) {
+        self.fs.split_nodes(groups);
+    }
+
+    fn heal_nodes(&mut self) {
+        self.fs.heal_nodes();
+    }
+
+    fn node_is_up(&self, node: NodeId) -> bool {
+        self.fs.node_is_up(node)
+    }
+
+    fn protocol_now(&self) -> SimTime {
+        self.fs.protocol_now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nfs_server_hosts_the_stack() {
+        let mut srv = NfsServer::new(DeceitFs::with_defaults(3));
+        let root = srv.mount_root();
+        let (rep, _lat) =
+            srv.serve(NodeId(0), NfsRequest::Create { dir: root, name: "f".into(), mode: 0o644 });
+        let NfsReply::Attr(attr) = rep else { panic!("create failed: {rep:?}") };
+        let (rep, _lat) = srv.serve(
+            NodeId(1),
+            NfsRequest::Write { fh: attr.handle, offset: 0, data: b"via the seam".to_vec() },
+        );
+        assert!(rep.as_error().is_none(), "{rep:?}");
+        srv.settle();
+        assert_eq!(srv.pending_work(), 0);
+        let (rep, _lat) =
+            srv.serve(NodeId(2), NfsRequest::Read { fh: attr.handle, offset: 0, count: 64 });
+        let NfsReply::Data(data) = rep else { panic!("read failed: {rep:?}") };
+        assert_eq!(&data[..], b"via the seam");
+    }
+
+    #[test]
+    fn failure_injection_forwards_to_the_cluster() {
+        let mut srv = NfsServer::new(DeceitFs::with_defaults(2));
+        assert!(srv.node_is_up(NodeId(1)));
+        srv.crash_node(NodeId(1));
+        assert!(!srv.node_is_up(NodeId(1)));
+        srv.restart_node(NodeId(1));
+        srv.settle();
+        assert!(srv.node_is_up(NodeId(1)));
+        assert!(srv.protocol_now() >= SimTime::ZERO);
+    }
+}

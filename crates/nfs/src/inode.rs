@@ -131,8 +131,7 @@ impl Inode {
         for _ in 0..n_up {
             uplinks.push(SegmentId(buf.get_u64()));
         }
-        let inode =
-            Inode { ftype, mode, uid, gid, nlink, atime, mtime, ctime, uplinks };
+        let inode = Inode { ftype, mode, uid, gid, nlink, atime, mtime, ctime, uplinks };
         let used = total - buf.len();
         Ok((inode, used))
     }

@@ -21,6 +21,9 @@
 //!   DES session authentication (§5).
 //! * [`gc`] — link counting and uplink-list garbage collection (§5.2).
 //! * [`rpc`] — the NFS-shaped wire protocol served to client agents.
+//! * [`host`] — the transport-agnostic hosting seam: serving requests and
+//!   forwarding failure injection, for the simulator and the live runtime
+//!   alike.
 //! * [`reconcile`] — the "reconcile directory versions" special command
 //!   (§2.1), giving divergent directories a system-assisted merge.
 //! * [`cell`] — cells and the global root directory (§2.2).
@@ -31,6 +34,7 @@ pub mod dir;
 pub mod fs;
 pub mod gc;
 pub mod handle;
+pub mod host;
 pub mod inode;
 pub mod name;
 pub mod reconcile;
@@ -41,6 +45,7 @@ pub use cell::{CellId, Federation};
 pub use dir::{DirEntry, Directory};
 pub use fs::{DeceitFs, FileAttr, FileType, FsConfig, NfsError, NfsResult};
 pub use handle::FileHandle;
+pub use host::NfsService;
 pub use inode::Inode;
 pub use name::QualifiedName;
 pub use reconcile::{reconcile_directory, ReconcileReport};

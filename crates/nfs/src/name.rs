@@ -64,8 +64,7 @@ impl QualifiedName {
                 if ver.is_empty() || !ver.bytes().all(|b| b.is_ascii_digit()) {
                     return Err(NameError::BadVersion(ver.to_string()));
                 }
-                let version =
-                    ver.parse().map_err(|_| NameError::BadVersion(ver.to_string()))?;
+                let version = ver.parse().map_err(|_| NameError::BadVersion(ver.to_string()))?;
                 Ok(QualifiedName { base: base.to_string(), version: Some(version) })
             }
             _ => Ok(QualifiedName { base: raw.to_string(), version: None }),

@@ -115,11 +115,7 @@ pub fn reconcile_directory(
     }
     fs.cluster.stats.incr("nfs/reconciles");
     Ok(deceit_core::OpResult {
-        value: ReconcileReport {
-            merged_majors: majors,
-            merged_entries: table.len(),
-            collisions,
-        },
+        value: ReconcileReport { merged_majors: majors, merged_entries: table.len(), collisions },
         latency,
     })
 }

@@ -198,10 +198,11 @@ impl NfsServer {
             NfsRequest::Remove { dir, name } => {
                 wrap(self.fs.remove(via, dir, &name), |()| NfsReply::Void)
             }
-            NfsRequest::Rename { from_dir, from_name, to_dir, to_name } => wrap(
-                self.fs.rename(via, from_dir, &from_name, to_dir, &to_name),
-                |()| NfsReply::Void,
-            ),
+            NfsRequest::Rename { from_dir, from_name, to_dir, to_name } => {
+                wrap(self.fs.rename(via, from_dir, &from_name, to_dir, &to_name), |()| {
+                    NfsReply::Void
+                })
+            }
             NfsRequest::Link { target, dir, name } => {
                 wrap(self.fs.link(via, target, dir, &name), |()| NfsReply::Void)
             }
@@ -215,9 +216,9 @@ impl NfsServer {
                 wrap(self.fs.rmdir(via, dir, &name), |()| NfsReply::Void)
             }
             NfsRequest::Readdir { dir } => wrap(self.fs.readdir(via, dir), NfsReply::Entries),
-            NfsRequest::Statfs => wrap(self.fs.statfs(via), |(files, bytes)| {
-                NfsReply::Fsstat { files, bytes }
-            }),
+            NfsRequest::Statfs => {
+                wrap(self.fs.statfs(via), |(files, bytes)| NfsReply::Fsstat { files, bytes })
+            }
             NfsRequest::DeceitSetParams { fh, params } => {
                 wrap(self.fs.set_file_params(via, fh, params), |()| NfsReply::Void)
             }

@@ -21,10 +21,7 @@ fn mode_bits_enforced_on_credentialed_ops() {
     let bob = Credentials::user(200, 10);
     let data = fs.read_as(n(1), f.handle, bob, 0, 64).unwrap().value;
     assert_eq!(&data[..], b"alice's data");
-    assert!(matches!(
-        fs.write_as(n(1), f.handle, bob, 0, b"bob was here"),
-        Err(NfsError::Access)
-    ));
+    assert!(matches!(fs.write_as(n(1), f.handle, bob, 0, b"bob was here"), Err(NfsError::Access)));
 
     // A stranger gets nothing.
     let eve = Credentials::user(300, 30);
@@ -51,10 +48,7 @@ fn access_checks_work_through_any_server() {
     let eve = Credentials::user(300, 30);
     for via in [n(0), n(1), n(2)] {
         assert!(fs.read_as(via, f.handle, eve, 0, 64).is_ok(), "o+r grants read");
-        assert!(matches!(
-            fs.write_as(via, f.handle, eve, 0, b"x"),
-            Err(NfsError::Access)
-        ));
+        assert!(matches!(fs.write_as(via, f.handle, eve, 0, b"x"), Err(NfsError::Access)));
     }
     fs.cluster.crash_server(n(0));
     assert!(fs.read_as(n(1), f.handle, eve, 0, 64).is_ok());

@@ -1,9 +1,9 @@
 //! Behavioral tests of the NFS envelope: the full operation surface,
 //! link/GC semantics, version-qualified names, and request forwarding.
 
-use deceit_nfs::{DeceitFs, FileType, NfsError};
 use deceit_core::{DeceitError, FileParams};
 use deceit_net::NodeId;
+use deceit_nfs::{DeceitFs, FileType, NfsError};
 
 fn n(v: u32) -> NodeId {
     NodeId(v)
@@ -41,14 +41,8 @@ fn lookup_and_path_walk() {
     assert_eq!(walked.handle.seg, sh.handle.seg);
     assert_eq!(walked.size, 7);
 
-    assert!(matches!(
-        fs.lookup(n(0), usr.handle, "nope"),
-        Err(NfsError::NotFound)
-    ));
-    assert!(matches!(
-        fs.lookup(n(0), sh.handle, "x"),
-        Err(NfsError::NotDir)
-    ));
+    assert!(matches!(fs.lookup(n(0), usr.handle, "nope"), Err(NfsError::NotFound)));
+    assert!(matches!(fs.lookup(n(0), sh.handle, "x"), Err(NfsError::NotDir)));
 }
 
 #[test]
@@ -61,10 +55,7 @@ fn getattr_setattr_roundtrip() {
     assert_eq!(a.size, 10);
     assert_eq!(a.mode, 0o600);
 
-    let b = fs
-        .setattr(n(0), f.handle, Some(0o644), Some(42), Some(7), Some(4))
-        .unwrap()
-        .value;
+    let b = fs.setattr(n(0), f.handle, Some(0o644), Some(42), Some(7), Some(4)).unwrap().value;
     assert_eq!(b.mode, 0o644);
     assert_eq!(b.uid, 42);
     assert_eq!(b.gid, 7);
@@ -171,9 +162,7 @@ fn gc_corrects_bad_link_count_hint() {
     // ill timed crash", §5.2): force nlink to 1 so the next remove drives
     // it to zero even though a link remains.
     fs.setattr(n(0), f.handle, None, None, None, None).unwrap();
-    let latency = fs
-        .update_segment_for_test(n(0), f.handle, |inode| inode.nlink = 1)
-        .unwrap();
+    let latency = fs.update_segment_for_test(n(0), f.handle, |inode| inode.nlink = 1).unwrap();
     let _ = latency;
     fs.remove(n(0), root, "f").unwrap();
     // The uplink scan finds the surviving link in `d` and corrects the
@@ -239,17 +228,11 @@ fn version_qualified_lookup_and_create() {
 
     // Unqualified lookup returns the most recent version's contents.
     let latest = fs.lookup(n(1), root, "doc").unwrap().value;
-    assert_eq!(
-        &fs.read(n(1), latest.handle, 0, 100).unwrap().value[..],
-        b"second draft"
-    );
+    assert_eq!(&fs.read(n(1), latest.handle, 0, 100).unwrap().value[..], b"second draft");
     // Qualified lookup pins the original.
     let pinned = fs.lookup(n(1), root, &format!("doc;{orig_major}")).unwrap().value;
     assert_eq!(pinned.handle.version, Some(orig_major));
-    assert_eq!(
-        &fs.read(n(1), pinned.handle, 0, 100).unwrap().value[..],
-        b"first draft"
-    );
+    assert_eq!(&fs.read(n(1), pinned.handle, 0, 100).unwrap().value[..], b"first draft");
     // The version listing shows both.
     assert_eq!(fs.file_versions(n(0), f.handle).unwrap().value.len(), 2);
     // Removing the qualified name deletes only that version.

@@ -32,8 +32,11 @@ fn op() -> impl Strategy<Value = FsOp> {
         (dir.clone(), name.clone()).prop_map(|(dir, name)| FsOp::Create { dir, name }),
         (dir.clone(), name.clone(), 0usize..32, proptest::collection::vec(any::<u8>(), 1..24))
             .prop_map(|(dir, name, offset, data)| FsOp::WriteAt { dir, name, offset, data }),
-        (dir.clone(), name.clone(), 0usize..48)
-            .prop_map(|(dir, name, size)| FsOp::Truncate { dir, name, size }),
+        (dir.clone(), name.clone(), 0usize..48).prop_map(|(dir, name, size)| FsOp::Truncate {
+            dir,
+            name,
+            size
+        }),
         (dir.clone(), name.clone()).prop_map(|(dir, name)| FsOp::Remove { dir, name }),
         (dir.clone(), name.clone()).prop_map(|(dir, name)| FsOp::ReadBack { dir, name }),
         (dir, name.clone(), name).prop_map(|(dir, name, to)| FsOp::Rename { dir, name, to }),

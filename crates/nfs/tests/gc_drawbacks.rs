@@ -20,10 +20,7 @@ fn oversized_link_count_prevents_collection() {
     fs.remove(n(0), root, "leak").unwrap();
     // The count went 5 → 4, never reached zero, so the scan never ran:
     // the segment leaks exactly as the paper warns.
-    assert!(
-        fs.getattr(n(0), f.handle).is_ok(),
-        "segment not collected despite being unlinked"
-    );
+    assert!(fs.getattr(n(0), f.handle).is_ok(), "segment not collected despite being unlinked");
     assert_eq!(fs.cluster.stats.counter("nfs/gc/deallocated"), 0);
 }
 

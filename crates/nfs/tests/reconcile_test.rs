@@ -44,13 +44,8 @@ fn reconcile_merges_both_sides() {
 
     // One version survives, holding the union of the entries.
     assert_eq!(fs.file_versions(n(0), root).unwrap().value.len(), 1);
-    let names: Vec<String> = fs
-        .readdir(n(3), root)
-        .unwrap()
-        .value
-        .iter()
-        .map(|e| e.name.clone())
-        .collect();
+    let names: Vec<String> =
+        fs.readdir(n(3), root).unwrap().value.iter().map(|e| e.name.clone()).collect();
     assert!(names.contains(&"left.txt".to_string()), "{names:?}");
     assert!(names.contains(&"right.txt".to_string()), "{names:?}");
 
@@ -92,13 +87,8 @@ fn reconcile_reports_name_collisions() {
     let report = reconcile_directory(&mut fs, n(0), root).unwrap().value;
     assert_eq!(report.collisions, vec!["same-name".to_string()]);
     fs.cluster.run_until_quiet();
-    let names: Vec<String> = fs
-        .readdir(n(0), root)
-        .unwrap()
-        .value
-        .iter()
-        .map(|e| e.name.clone())
-        .collect();
+    let names: Vec<String> =
+        fs.readdir(n(0), root).unwrap().value.iter().map(|e| e.name.clone()).collect();
     // The winner keeps the plain name; the loser is visible with a
     // version-suffixed name so no data is silently dropped.
     assert!(names.iter().any(|s| s == "same-name"), "{names:?}");

@@ -1,0 +1,80 @@
+//! Runtime deployment configuration.
+
+use std::time::Duration;
+
+use deceit_core::ClusterConfig;
+use deceit_nfs::FsConfig;
+
+/// Tunables of one live Deceit deployment.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of server threads in the cell.
+    pub servers: usize,
+    /// Protocol configuration handed to the cluster underneath.
+    pub cluster: ClusterConfig,
+    /// Envelope configuration.
+    pub fs: FsConfig,
+    /// How long a client waits for a reply before reporting a timeout
+    /// (the live analogue of an NFS retransmission giving up).
+    pub request_timeout: Duration,
+    /// Server message-loop poll granularity; bounds shutdown latency.
+    pub poll_interval: Duration,
+    /// Pump-thread sleep when no deferred work is pending.
+    pub pump_interval: Duration,
+    /// Deferred-work events advanced per pump slice.
+    pub pump_batch: usize,
+}
+
+impl RuntimeConfig {
+    /// A deployment of `servers` servers with defaults tuned for live
+    /// hosting (protocol tracing off — the trace log grows without bound
+    /// under sustained traffic).
+    pub fn new(servers: usize) -> Self {
+        RuntimeConfig {
+            servers,
+            cluster: ClusterConfig::default().without_trace(),
+            fs: FsConfig::default(),
+            request_timeout: Duration::from_secs(3),
+            poll_interval: Duration::from_millis(10),
+            pump_interval: Duration::from_millis(1),
+            pump_batch: 128,
+        }
+    }
+
+    /// Replaces the cluster configuration, builder-style.
+    pub fn with_cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Replaces the envelope configuration, builder-style.
+    pub fn with_fs(mut self, fs: FsConfig) -> Self {
+        self.fs = fs;
+        self
+    }
+
+    /// Sets the client request timeout, builder-style.
+    pub fn with_request_timeout(mut self, timeout: Duration) -> Self {
+        self.request_timeout = timeout;
+        self
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig::new(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_disable_tracing() {
+        let cfg = RuntimeConfig::new(5);
+        assert_eq!(cfg.servers, 5);
+        assert!(!cfg.cluster.trace, "live hosting must not accumulate trace events");
+        assert!(cfg.request_timeout > cfg.poll_interval);
+    }
+}

@@ -1,0 +1,408 @@
+//! The live cluster: server threads, the pump thread, failure injection.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use deceit_core::ProtocolHost;
+use deceit_net::live::LiveBus;
+use deceit_net::rpc::{Rpc, RpcEndpoint};
+use deceit_net::NodeId;
+use deceit_nfs::{DeceitFs, NfsReply, NfsRequest, NfsServer, NfsService};
+
+use crate::client::RuntimeClient;
+use crate::config::RuntimeConfig;
+
+/// The wire frame between clients and servers: the NFS envelope carried
+/// over correlated RPC.
+pub(crate) type NfsFrame = Rpc<NfsRequest, NfsReply>;
+
+/// First node id handed to client sessions; servers occupy `0..n`.
+pub(crate) const CLIENT_BASE: u32 = 1_000;
+
+/// What one server thread counted over its lifetime.
+#[derive(Debug, Default, Clone, Copy)]
+struct ServerTally {
+    served: u64,
+    dropped_while_crashed: u64,
+}
+
+/// Aggregate traffic counters of a running cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Messages the bus delivered so far (both directions).
+    pub bus_delivered: u64,
+    /// Sends the bus rejected due to crash/partition state.
+    pub bus_rejected: u64,
+    /// Frames that evaporated because they were queued at a machine
+    /// when it crashed.
+    pub bus_dropped_stale: u64,
+    /// Requests served across all server threads.
+    pub requests_served: u64,
+    /// Deferred protocol work currently pending.
+    pub pending_work: usize,
+}
+
+/// Final accounting returned by [`ClusterRuntime::shutdown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeReport {
+    /// Requests served, per server.
+    pub served: Vec<(NodeId, u64)>,
+    /// Frames that evaporated in the transport because they were queued
+    /// at a machine when it crashed (dead kernel buffers).
+    pub bus_dropped_stale: u64,
+    /// Requests a server loop discarded because the crash landed after
+    /// the frame was already unsealed — the narrow window the transport
+    /// epoch cannot see.
+    pub dropped_while_crashed: u64,
+    /// Total bus deliveries.
+    pub bus_delivered: u64,
+    /// Total bus rejections.
+    pub bus_rejected: u64,
+}
+
+/// Client-home registry: which server each client session currently
+/// treats as its home, plus the currently imposed server partition.
+/// Partition injection consults the homes so a split of the *server*
+/// set also places every client on its home's side — mirroring the
+/// simulator, where clients have no network identity at all. The
+/// remembered split lets sessions opened *during* a partition join
+/// their home's side instead of landing in the implicit rest group.
+#[derive(Debug, Default)]
+pub(crate) struct ClientDirectory {
+    homes: Mutex<HashMap<NodeId, NodeId>>,
+    active_split: Mutex<Option<Vec<Vec<NodeId>>>>,
+}
+
+impl ClientDirectory {
+    /// Records (or moves) a session's home and, if a partition is in
+    /// force, re-imposes it so the session sits on its home's side.
+    pub(crate) fn set_home(&self, client: NodeId, home: NodeId, bus: &LiveBus<NfsFrame>) {
+        self.homes.lock().insert(client, home);
+        self.reapply(bus);
+    }
+
+    pub(crate) fn forget(&self, client: NodeId) {
+        self.homes.lock().remove(&client);
+    }
+
+    /// Replaces the recorded partition (`None` = healed) and mirrors it
+    /// onto the bus. The `active_split` lock is held across the bus
+    /// mutation so a concurrent [`ClientDirectory::reapply`] cannot
+    /// re-impose a split that was just cleared.
+    pub(crate) fn set_split(&self, groups: Option<Vec<Vec<NodeId>>>, bus: &LiveBus<NfsFrame>) {
+        let mut split = self.active_split.lock();
+        *split = groups;
+        match split.as_ref() {
+            Some(groups) => self.impose(groups, bus),
+            None => bus.heal(),
+        }
+    }
+
+    /// Re-imposes the active server partition (if any) on the bus, with
+    /// every client attached to its current home's group.
+    pub(crate) fn reapply(&self, bus: &LiveBus<NfsFrame>) {
+        let split = self.active_split.lock();
+        if let Some(groups) = split.as_ref() {
+            self.impose(groups, bus);
+        }
+    }
+
+    /// Applies `groups` + homed clients to the bus. Callers hold the
+    /// `active_split` lock, making directory state and bus state change
+    /// together; `homes` is taken inside it (lock order: split → homes).
+    fn impose(&self, groups: &[Vec<NodeId>], bus: &LiveBus<NfsFrame>) {
+        let homes = self.homes.lock();
+        let with_clients: Vec<Vec<NodeId>> = groups
+            .iter()
+            .map(|g| {
+                let mut out = g.clone();
+                out.extend(
+                    homes.iter().filter(|(_, home)| g.contains(home)).map(|(client, _)| *client),
+                );
+                out
+            })
+            .collect();
+        let refs: Vec<&[NodeId]> = with_clients.iter().map(Vec::as_slice).collect();
+        bus.split(&refs);
+    }
+}
+
+/// State shared by the runtime handle and every hosting thread.
+struct Shared<S> {
+    bus: LiveBus<NfsFrame>,
+    engine: Mutex<S>,
+    stop: AtomicBool,
+    served_total: AtomicU64,
+}
+
+impl<S> Shared<S> {
+    fn with_engine<T>(&self, f: impl FnOnce(&mut S) -> T) -> T {
+        f(&mut self.engine.lock())
+    }
+}
+
+/// One live Deceit cell: `n` server threads and a pump thread over a
+/// shared [`LiveBus`], hosting any engine that implements the
+/// [`NfsService`] + [`ProtocolHost`] seam.
+pub struct ClusterRuntime<S: NfsService + ProtocolHost + Send + 'static = NfsServer> {
+    shared: Arc<Shared<S>>,
+    dir: Arc<ClientDirectory>,
+    cfg: RuntimeConfig,
+    server_ids: Vec<NodeId>,
+    server_threads: Vec<JoinHandle<ServerTally>>,
+    pump_thread: Option<JoinHandle<()>>,
+    next_client: AtomicU32,
+    tallies: Vec<ServerTally>,
+}
+
+impl ClusterRuntime<NfsServer> {
+    /// Builds the standard stack — segment servers under the NFS envelope
+    /// — and starts it on real threads.
+    pub fn start(cfg: RuntimeConfig) -> Self {
+        let fs = DeceitFs::new(cfg.servers, cfg.cluster.clone(), cfg.fs.clone());
+        Self::host(NfsServer::new(fs), cfg)
+    }
+}
+
+impl<S: NfsService + ProtocolHost + Send + 'static> ClusterRuntime<S> {
+    /// Hosts an arbitrary protocol engine on live threads: one message
+    /// loop per server plus the deferred-work pump.
+    pub fn host(engine: S, cfg: RuntimeConfig) -> Self {
+        assert!(cfg.servers > 0, "a live cell needs at least one server");
+        assert!(
+            cfg.servers <= CLIENT_BASE as usize,
+            "server ids 0..{} would collide with client ids starting at {CLIENT_BASE}",
+            cfg.servers
+        );
+        let bus: LiveBus<NfsFrame> = LiveBus::new();
+        let shared = Arc::new(Shared {
+            bus: bus.clone(),
+            engine: Mutex::new(engine),
+            stop: AtomicBool::new(false),
+            served_total: AtomicU64::new(0),
+        });
+
+        let server_ids: Vec<NodeId> = (0..cfg.servers).map(NodeId::from).collect();
+        let mut server_threads = Vec::with_capacity(cfg.servers);
+        for &id in &server_ids {
+            let ep: RpcEndpoint<NfsRequest, NfsReply> = RpcEndpoint::register(&bus, id);
+            let shared = Arc::clone(&shared);
+            let poll = cfg.poll_interval;
+            let handle = thread::Builder::new()
+                .name(format!("deceit-server-{}", id.0))
+                .spawn(move || serve_loop(&shared, ep, poll))
+                .expect("spawn server thread");
+            server_threads.push(handle);
+        }
+
+        let pump_thread = {
+            let shared = Arc::clone(&shared);
+            let interval = cfg.pump_interval;
+            let batch = cfg.pump_batch;
+            Some(
+                thread::Builder::new()
+                    .name("deceit-pump".into())
+                    .spawn(move || pump_loop(&shared, interval, batch))
+                    .expect("spawn pump thread"),
+            )
+        };
+
+        ClusterRuntime {
+            shared,
+            dir: Arc::new(ClientDirectory::default()),
+            cfg,
+            server_ids,
+            server_threads,
+            pump_thread,
+            next_client: AtomicU32::new(0),
+            tallies: Vec::new(),
+        }
+    }
+
+    /// Ids of the server threads, in index order.
+    pub fn server_ids(&self) -> &[NodeId] {
+        &self.server_ids
+    }
+
+    /// Opens a client session homed on a server chosen round-robin.
+    pub fn client(&self) -> RuntimeClient {
+        let seq = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let home = self.server_ids[seq as usize % self.server_ids.len()];
+        self.client_at(seq, home)
+    }
+
+    /// Opens a client session homed on a specific server.
+    pub fn client_homed(&self, home: NodeId) -> RuntimeClient {
+        assert!(self.server_ids.contains(&home), "no such server {home}");
+        let seq = self.next_client.fetch_add(1, Ordering::Relaxed);
+        self.client_at(seq, home)
+    }
+
+    fn client_at(&self, seq: u32, home: NodeId) -> RuntimeClient {
+        let id = NodeId(CLIENT_BASE + seq);
+        let ep = RpcEndpoint::register(&self.shared.bus, id);
+        let root = self.shared.with_engine(|e| e.mount_root());
+        // set_home re-imposes any active partition, so a session opened
+        // mid-split joins its home server's side rather than the
+        // implicit rest group.
+        self.dir.set_home(id, home, &self.shared.bus);
+        RuntimeClient::new(
+            ep,
+            home,
+            self.server_ids.clone(),
+            Arc::clone(&self.dir),
+            self.shared.bus.clone(),
+            self.cfg.request_timeout,
+            root,
+        )
+    }
+
+    /// Runs `f` with exclusive access to the protocol engine — the
+    /// inspection hatch used by tests and the scenario runner.
+    pub fn with_engine<T>(&self, f: impl FnOnce(&mut S) -> T) -> T {
+        self.shared.with_engine(f)
+    }
+
+    /// Drives deferred protocol work to quiescence.
+    ///
+    /// Concurrent clients can keep scheduling new work, so this is a
+    /// point-in-time statement, exactly like the simulator's
+    /// `run_until_quiet` between operations.
+    pub fn settle(&self) {
+        self.shared.with_engine(|e| e.settle());
+    }
+
+    /// Crashes a server "without notification": the bus rejects its
+    /// traffic and the protocol engine loses its volatile state. The
+    /// server *thread* keeps running — a crashed machine and its message
+    /// loop are indistinguishable to the rest of the cell.
+    pub fn crash_server(&self, id: NodeId) {
+        self.shared.bus.crash(id);
+        self.shared.with_engine(|e| e.crash_node(id));
+    }
+
+    /// Restarts a crashed server and runs its recovery protocol.
+    pub fn restart_server(&self, id: NodeId) {
+        self.shared.with_engine(|e| e.restart_node(id));
+        self.shared.bus.recover(id);
+    }
+
+    /// Imposes a partition between the given groups of *servers*,
+    /// mirroring [`deceit_core::Cluster::split`]. Each client session is
+    /// placed on its home server's side of the split.
+    pub fn split(&self, groups: &[&[NodeId]]) {
+        self.shared.with_engine(|e| e.split_nodes(groups));
+        self.dir.set_split(Some(groups.iter().map(|g| g.to_vec()).collect()), &self.shared.bus);
+    }
+
+    /// Heals any partition (protocol reconciliation included).
+    pub fn heal(&self) {
+        self.dir.set_split(None, &self.shared.bus);
+        self.shared.with_engine(|e| e.heal_nodes());
+    }
+
+    /// Point-in-time traffic counters.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            bus_delivered: self.shared.bus.delivered(),
+            bus_rejected: self.shared.bus.rejected(),
+            bus_dropped_stale: self.shared.bus.dropped_stale(),
+            requests_served: self.shared.served_total.load(Ordering::Relaxed),
+            pending_work: self.shared.with_engine(|e| e.pending_work()),
+        }
+    }
+
+    /// Graceful shutdown: stops every thread, joins them, settles
+    /// remaining deferred work, and returns the engine with the final
+    /// accounting.
+    pub fn shutdown(mut self) -> (S, RuntimeReport) {
+        self.stop_and_join();
+        let report = self.report();
+        let shared = Arc::clone(&self.shared);
+        drop(self); // Drop sees joined threads and does nothing further.
+        let shared = match Arc::try_unwrap(shared) {
+            Ok(s) => s,
+            Err(_) => unreachable!("all thread handles joined, no engine refs can remain"),
+        };
+        let mut engine = shared.engine.into_inner();
+        engine.settle();
+        (engine, report)
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        for h in self.server_threads.drain(..) {
+            match h.join() {
+                Ok(tally) => self.tallies.push(tally),
+                Err(_) => self.tallies.push(ServerTally::default()),
+            }
+        }
+        if let Some(h) = self.pump_thread.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn report(&self) -> RuntimeReport {
+        RuntimeReport {
+            served: self
+                .server_ids
+                .iter()
+                .zip(&self.tallies)
+                .map(|(&id, t)| (id, t.served))
+                .collect(),
+            bus_dropped_stale: self.shared.bus.dropped_stale(),
+            dropped_while_crashed: self.tallies.iter().map(|t| t.dropped_while_crashed).sum(),
+            bus_delivered: self.shared.bus.delivered(),
+            bus_rejected: self.shared.bus.rejected(),
+        }
+    }
+}
+
+impl<S: NfsService + ProtocolHost + Send + 'static> Drop for ClusterRuntime<S> {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// One server's message loop: receive, execute through the seam, reply.
+fn serve_loop<S: NfsService + ProtocolHost>(
+    shared: &Shared<S>,
+    mut ep: RpcEndpoint<NfsRequest, NfsReply>,
+    poll: Duration,
+) -> ServerTally {
+    let id = ep.node();
+    let mut tally = ServerTally::default();
+    while !shared.stop.load(Ordering::Relaxed) {
+        let Some(incoming) = ep.next_request(poll) else { continue };
+        // A machine crashed by failure injection loses whatever was
+        // queued in its buffers; the thread itself cannot know — it just
+        // finds the traffic gone.
+        if shared.bus.is_crashed(id) {
+            tally.dropped_while_crashed += 1;
+            continue;
+        }
+        let (rep, _latency) = shared.with_engine(|e| e.serve(id, incoming.req));
+        if ep.reply(incoming.from, incoming.call, rep) {
+            tally.served += 1;
+            shared.served_total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    tally
+}
+
+/// The deferred-work pump: what the simulator's event loop does between
+/// client operations, done here from a real thread in bounded slices so
+/// server threads interleave fairly on the engine lock.
+fn pump_loop<S: ProtocolHost>(shared: &Shared<S>, interval: Duration, batch: usize) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        let fired = shared.with_engine(|e| e.pump(batch));
+        if fired == 0 {
+            thread::sleep(interval);
+        }
+    }
+}

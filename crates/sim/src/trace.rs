@@ -115,10 +115,7 @@ mod tests {
         log.emit(t(3), Ev::Update(1));
         log.emit(t(9), Ev::Stable);
         assert_eq!(log.len(), 4);
-        assert_eq!(
-            log.events(),
-            vec![Ev::Acquire, Ev::Unstable, Ev::Update(1), Ev::Stable]
-        );
+        assert_eq!(log.events(), vec![Ev::Acquire, Ev::Unstable, Ev::Update(1), Ev::Stable]);
     }
 
     #[test]

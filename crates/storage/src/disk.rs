@@ -46,10 +46,7 @@ impl DiskConfig {
 
     /// A fast dedicated file-server disk.
     pub fn server() -> Self {
-        DiskConfig {
-            seek: SimDuration::from_millis(12),
-            per_kb: SimDuration::from_micros(500),
-        }
+        DiskConfig { seek: SimDuration::from_millis(12), per_kb: SimDuration::from_micros(500) }
     }
 
     /// Cost of one synchronous write of `bytes`.

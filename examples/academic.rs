@@ -95,10 +95,7 @@ fn main() {
     // system administrator at any time to provide better disk balancing."
     let (via, fh) = sources[0];
     let holders = fs.file_replicas(via, fh).unwrap().value;
-    let spare = (0..n_servers as u32)
-        .map(NodeId)
-        .find(|s| !holders.contains(s))
-        .unwrap();
+    let spare = (0..n_servers as u32).map(NodeId).find(|s| !holders.contains(s)).unwrap();
     fs.cluster.create_replica_on(via, fh.segment(), spare).unwrap();
     fs.cluster.delete_replica_on(via, fh.segment(), holders[0]).unwrap();
     let moved = fs.file_replicas(via, fh).unwrap().value;

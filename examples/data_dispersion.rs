@@ -18,11 +18,7 @@ fn main() {
     println!("== Deceit scenario: data collection & dispersion (§6.2) ==\n");
     // A small number of large machines: 2 collection stations, 1 compute
     // hub, 1 archive.
-    let mut fs = DeceitFs::new(
-        4,
-        ClusterConfig::default().with_seed(62),
-        FsConfig::default(),
-    );
+    let mut fs = DeceitFs::new(4, ClusterConfig::default().with_seed(62), FsConfig::default());
     let root = fs.root();
     let station = NodeId(0);
     let hub = NodeId(2);
@@ -78,10 +74,8 @@ fn main() {
     println!("station can still read the moved file (forwarded)");
 
     // Parked at its destination: raise the replica level to 2 for backup.
-    fs.set_file_params(hub, f.handle, FileParams {
-        min_replicas: 2,
-        ..FileParams::bulk_data()
-    }).unwrap();
+    fs.set_file_params(hub, f.handle, FileParams { min_replicas: 2, ..FileParams::bulk_data() })
+        .unwrap();
     fs.cluster.run_until_quiet();
     let holders = fs.file_replicas(hub, f.handle).unwrap().value;
     println!("backup replica created: holders {holders:?}");

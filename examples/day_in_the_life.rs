@@ -126,10 +126,7 @@ fn main() {
     println!("  network messages     : {}", stats.messages);
     println!("  bytes moved          : {} KB", stats.bytes / 1024);
     println!("  token passes         : {}", fs.cluster.stats.counter("core/token/passes"));
-    println!(
-        "  replicas regenerated : {}",
-        fs.cluster.stats.counter("core/replicas/generated")
-    );
+    println!("  replicas regenerated : {}", fs.cluster.stats.counter("core/replicas/generated"));
     println!(
         "  stability rounds     : {} unstable / {} stable",
         fs.cluster.stats.counter("core/stability/unstable_rounds"),

@@ -19,11 +19,16 @@ fn main() {
     // A shared design document, fully replicated, tuned for maximum write
     // availability — the user accepts version divergence (§4 "high").
     let f = fs.create(left, root, "design.md", 0o644).unwrap().value;
-    fs.set_file_params(left, f.handle, FileParams {
-        min_replicas: 4,
-        availability: WriteAvailability::High,
-        ..FileParams::default()
-    }).unwrap();
+    fs.set_file_params(
+        left,
+        f.handle,
+        FileParams {
+            min_replicas: 4,
+            availability: WriteAvailability::High,
+            ..FileParams::default()
+        },
+    )
+    .unwrap();
     fs.write(left, f.handle, 0, b"# Design v1\n").unwrap();
     fs.cluster.run_until_quiet();
     println!("design.md replicated on {:?}", fs.file_replicas(left, f.handle).unwrap().value);
@@ -52,10 +57,8 @@ fn main() {
     let versions = fs.file_versions(left, f.handle).unwrap().value;
     println!("\nsurviving versions of design.md:");
     for v in &versions {
-        let data = fs
-            .read(left, FileHandle::versioned(f.handle.segment(), v.major), 0, 64)
-            .unwrap()
-            .value;
+        let data =
+            fs.read(left, FileHandle::versioned(f.handle.segment(), v.major), 0, 64).unwrap().value;
         println!("  ;{}  {:?}", v.major, String::from_utf8_lossy(&data));
     }
     assert_eq!(versions.len(), 2);

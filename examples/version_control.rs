@@ -54,20 +54,15 @@ fn main() {
 
     // "a user can inquire about the relationships between versions":
     let table = fs.cluster.branch_table_ref(f.handle.segment()).unwrap();
-    let rel = table.relation(
-        VersionPair { major: v0, sub: 2 },
-        VersionPair { major: v_new, sub: 2 },
-    );
+    let rel =
+        table.relation(VersionPair { major: v0, sub: 2 }, VersionPair { major: v_new, sub: 2 });
     println!("\nrelation(v{v0} at branch, v{v_new}) = {rel:?}");
 
     // Roll back: delete the bad version; the snapshot becomes newest.
     fs.remove(dev, root, &format!("kernel.c;{v_new}")).unwrap();
     let restored = fs.lookup(dev, root, "kernel.c").unwrap().value;
     let txt = fs.read(dev, restored.handle, 0, 64).unwrap().value;
-    println!(
-        "\ndeleted kernel.c;{v_new}; kernel.c now reads {:?}",
-        String::from_utf8_lossy(&txt)
-    );
+    println!("\ndeleted kernel.c;{v_new}; kernel.c now reads {:?}", String::from_utf8_lossy(&txt));
     assert_eq!(&txt[..], b"int main() { return 1; }");
     println!("\nOK: explicit versions, pinned access, rollback — all per §3.5.");
 }

@@ -68,11 +68,8 @@ fn figure8_configuration_sweep_through_public_api() {
         [AgentPlacement::UserLibrary, AgentPlacement::Kernel, AgentPlacement::AuxProcess]
     {
         let (mut srv, root) = service(2);
-        let mut agent = Agent::new(
-            n(100),
-            n(0),
-            AgentConfig { placement, ..AgentConfig::default() },
-        );
+        let mut agent =
+            Agent::new(n(100), n(0), AgentConfig { placement, ..AgentConfig::default() });
         let mut total = SimDuration::ZERO;
         let (f, l) = agent.create(&mut srv, root, "bench", 0o644).unwrap();
         total += l;

@@ -1,7 +1,7 @@
 //! Cells and the global root directory (§2.2, Figure 3).
 
-use deceit::prelude::*;
 use deceit::nfs::cell::GlobalHandle;
+use deceit::prelude::*;
 
 fn n(v: u32) -> NodeId {
     NodeId(v)
@@ -12,10 +12,7 @@ fn n(v: u32) -> NodeId {
 fn federation() -> Federation {
     let cornell = DeceitFs::with_defaults(3);
     let mit = DeceitFs::with_defaults(2);
-    Federation::new(vec![
-        ("cs.cornell.edu".to_string(), cornell),
-        ("cs.mit.edu".to_string(), mit),
-    ])
+    Federation::new(vec![("cs.cornell.edu".to_string(), cornell), ("cs.mit.edu".to_string(), mit)])
 }
 
 #[test]
@@ -64,9 +61,7 @@ fn global_root_reaches_remote_cell() {
 #[test]
 fn unknown_host_in_global_root_fails() {
     let mut fed = federation();
-    let err = fed
-        .lookup_path(CellId(0), n(0), "/priv/global/nowhere.example.org/x")
-        .unwrap_err();
+    let err = fed.lookup_path(CellId(0), n(0), "/priv/global/nowhere.example.org/x").unwrap_err();
     assert!(matches!(err, NfsError::NotFound));
 }
 
@@ -93,9 +88,7 @@ fn replication_confined_to_cell() {
     // Even asking for more replicas than the cell has servers keeps all
     // replicas inside the cell ("replication must be contained within a
     // cell", §2.2).
-    fed.cell(mit)
-        .set_file_params(n(0), f.handle, FileParams::important(5))
-        .unwrap();
+    fed.cell(mit).set_file_params(n(0), f.handle, FileParams::important(5)).unwrap();
     fed.cell(mit).cluster.run_until_quiet();
     let holders = fed.cell(mit).file_replicas(n(0), f.handle).unwrap().value;
     assert_eq!(holders.len(), 2, "capped at the cell's two servers");

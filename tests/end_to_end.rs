@@ -95,10 +95,7 @@ fn workload_with_background_churn_converges() {
     let mut files = Vec::new();
     for i in 0..10 {
         let via = n(i % 5);
-        let f = fs
-            .create(via, root, &format!("file{i}"), 0o644)
-            .unwrap()
-            .value;
+        let f = fs.create(via, root, &format!("file{i}"), 0o644).unwrap().value;
         fs.set_file_params(via, f.handle, FileParams::important(2)).unwrap();
         files.push(f.handle);
     }

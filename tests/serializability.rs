@@ -101,8 +101,5 @@ fn stability_cost_is_per_stream_not_per_write() {
     // the round again.
     fs.cluster.run_until_quiet();
     fs.write(n(0), x, 0, b"new stream").unwrap();
-    assert_eq!(
-        fs.cluster.stats.counter("core/stability/unstable_rounds"),
-        rounds_after_stream + 1
-    );
+    assert_eq!(fs.cluster.stats.counter("core/stability/unstable_rounds"), rounds_after_stream + 1);
 }

@@ -50,10 +50,7 @@ fn soak(seed: u64) {
             fs.cluster.crash_server(victim);
             down = Some(victim);
         }
-        let alive: Vec<NodeId> = (0..servers as u32)
-            .map(n)
-            .filter(|&s| Some(s) != down)
-            .collect();
+        let alive: Vec<NodeId> = (0..servers as u32).map(n).filter(|&s| Some(s) != down).collect();
         let via = alive[rng.index(alive.len())];
         let file_idx = rng.zipf(files.len(), 0.8);
         let fh = files[file_idx];
@@ -106,11 +103,7 @@ fn soak(seed: u64) {
     for (i, fh) in files.iter().enumerate() {
         for via in (0..servers as u32).map(n) {
             let got = fs.read(via, *fh, 0, 1 << 16).unwrap().value;
-            assert_eq!(
-                &got[..],
-                &contents[i][..],
-                "file {i} via {via} diverged (seed {seed})"
-            );
+            assert_eq!(&got[..], &contents[i][..], "file {i} via {via} diverged (seed {seed})");
         }
         let holders = fs.file_replicas(n(0), *fh).unwrap().value;
         assert!(holders.len() >= 2, "file {i} under-replicated: {holders:?}");

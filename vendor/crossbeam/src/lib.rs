@@ -1,0 +1,40 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel`'s unbounded channel is used in this
+//! workspace; since Rust 1.72 `std::sync::mpsc` is itself backed by the
+//! crossbeam implementation (and its `Sender` is `Sync`), so this shim
+//! simply re-exports the std types under crossbeam's names.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 7);
+    }
+
+    #[test]
+    fn sender_is_shareable_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || tx2.send(1).unwrap());
+        tx.send(2).unwrap();
+        h.join().unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Nothing in this workspace consumes serde's data model — the experiment
+//! runners emit JSON by hand — so `Serialize` only needs to exist as a
+//! marker trait for `#[derive(Serialize)]` to target. The derive macro is
+//! re-exported from the sibling stub proc-macro crate, mirroring real
+//! serde's layout.
+
+pub use serde_derive::Serialize;
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,36 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's `serde` shim declares `Serialize` as a marker trait
+//! (nothing in-tree consumes serialization output; the experiment tables
+//! write their own JSON). This derive therefore only has to emit
+//! `impl serde::Serialize for T {}` — done with raw token inspection, no
+//! syn/quote, so it builds with zero dependencies.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the marker `Serialize` impl for a struct or enum.
+///
+/// Supports the plain non-generic items this workspace derives on; a
+/// generic item would need the real serde_derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input).expect("serde stub: could not find struct/enum name");
+    format!("impl ::serde::Serialize for {name} {{}}").parse().expect("serde stub: bad output")
+}
+
+/// Finds the identifier following the `struct` or `enum` keyword.
+fn item_name(input: TokenStream) -> Option<String> {
+    let mut saw_keyword = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_keyword {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" {
+                saw_keyword = true;
+            }
+        }
+    }
+    None
+}
