@@ -288,7 +288,8 @@ impl Agent {
         offset: usize,
         data: &[u8],
     ) -> Result<(FileAttr, SimDuration), NfsError> {
-        let (reply, lat) = self.rpc(srv, NfsRequest::Write { fh, offset, data: data.to_vec() });
+        let (reply, lat) =
+            self.rpc(srv, NfsRequest::Write { fh, offset, data: Bytes::copy_from_slice(data) });
         match reply {
             NfsReply::Attr(attr) => {
                 let now = srv.fs.cluster.now();

@@ -1,15 +1,26 @@
-//! Live-runtime throughput: ops/sec vs. concurrent client count and
-//! replica level.
+//! Live-runtime throughput: ops/sec vs. concurrent client count,
+//! replica level, and workload mix.
 //!
 //! Unlike the simulator benches (which measure *simulated* latencies),
 //! this measures the real thing: wall-clock operations per second through
 //! the live threaded runtime — server message loops, the RPC layer, the
-//! engine lock, and the deferred-work pump all included.
+//! sharded execution layer, and the deferred-work pump all included.
+//!
+//! Two workloads:
+//!
+//! * `mixed` — alternating write/read per client (the original bench):
+//!   every other op takes the exclusive cell lock.
+//! * `read` — pure reads after an untimed warmup write: the §2.3 common
+//!   case ("most files are read many times for each write"), served
+//!   concurrently on the shared fast path. This is the workload whose
+//!   client-count scaling the sharded engine exists for.
 //!
 //! Run with: `cargo run --release --bin runtime_throughput`
 //!
 //! Writes `BENCH_runtime.json` in the working directory so successive
-//! PRs can track the trajectory.
+//! PRs can track the trajectory. `--quick` (used by CI as a deadlock
+//! smoke test) runs small op counts across every workload class and
+//! writes nothing.
 
 use std::fs;
 use std::thread;
@@ -20,16 +31,38 @@ use deceit::prelude::*;
 /// Operations each client performs in the timed section.
 const OPS_PER_CLIENT: usize = 400;
 
+/// Per-client ops in `--quick` mode: enough traffic to traverse every
+/// lock class (shared reads, shard mutations, pump) but fast enough for
+/// a CI smoke step.
+const QUICK_OPS_PER_CLIENT: usize = 50;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    Mixed,
+    Read,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Mixed => "mixed",
+            Workload::Read => "read",
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Sample {
+    workload: Workload,
     clients: usize,
     replicas: usize,
     ops: usize,
     secs: f64,
     ops_per_sec: f64,
+    shared_fraction: f64,
 }
 
-fn run_one(clients: usize, replicas: usize) -> Sample {
+fn run_one(workload: Workload, clients: usize, replicas: usize, ops_per_client: usize) -> Sample {
     let rt = ClusterRuntime::start(RuntimeConfig::new(3));
     let root = rt.client().root();
 
@@ -47,7 +80,8 @@ fn run_one(clients: usize, replicas: usize) -> Sample {
         .collect();
     rt.settle();
 
-    // Timed section: concurrent alternating write/read traffic.
+    // Timed section: concurrent client traffic.
+    let served_before = rt.stats();
     let t0 = Instant::now();
     let workers: Vec<_> = sessions
         .drain(..)
@@ -55,8 +89,12 @@ fn run_one(clients: usize, replicas: usize) -> Sample {
         .map(|(c, (mut client, fh))| {
             thread::spawn(move || {
                 let payload = format!("client {c} payload: 64 bytes of live benchmark traffic ...");
-                for i in 0..OPS_PER_CLIENT {
-                    if i % 2 == 0 {
+                for i in 0..ops_per_client {
+                    let write = match workload {
+                        Workload::Mixed => i % 2 == 0,
+                        Workload::Read => false,
+                    };
+                    if write {
                         client.write(fh, 0, payload.as_bytes()).expect("bench write");
                     } else {
                         client.read(fh, 0, 128).expect("bench read");
@@ -69,26 +107,58 @@ fn run_one(clients: usize, replicas: usize) -> Sample {
         w.join().expect("bench client");
     }
     let secs = t0.elapsed().as_secs_f64();
+    let served_after = rt.stats();
     rt.shutdown();
 
-    let ops = clients * OPS_PER_CLIENT;
-    Sample { clients, replicas, ops, secs, ops_per_sec: ops as f64 / secs }
+    let ops = clients * ops_per_client;
+    let served = served_after.requests_served.saturating_sub(served_before.requests_served);
+    let shared =
+        served_after.requests_served_shared.saturating_sub(served_before.requests_served_shared);
+    Sample {
+        workload,
+        clients,
+        replicas,
+        ops,
+        secs,
+        ops_per_sec: ops as f64 / secs,
+        shared_fraction: if served == 0 { 0.0 } else { shared as f64 / served as f64 },
+    }
 }
 
 fn main() {
-    println!("== runtime_throughput: live ops/sec vs clients x replica level ==\n");
-    println!("{:>8} {:>9} {:>8} {:>10} {:>12}", "clients", "replicas", "ops", "secs", "ops/sec");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ops_per_client = if quick { QUICK_OPS_PER_CLIENT } else { OPS_PER_CLIENT };
+    let client_counts: &[usize] = if quick { &[1, 4] } else { &[1, 4, 16] };
+
+    println!("== runtime_throughput: live ops/sec vs workload x clients x replica level ==\n");
+    println!(
+        "{:>8} {:>8} {:>9} {:>8} {:>10} {:>12} {:>8}",
+        "workload", "clients", "replicas", "ops", "secs", "ops/sec", "shared"
+    );
 
     let mut samples = Vec::new();
-    for &replicas in &[1usize, 3] {
-        for &clients in &[1usize, 4, 16] {
-            let s = run_one(clients, replicas);
-            println!(
-                "{:>8} {:>9} {:>8} {:>10.3} {:>12.0}",
-                s.clients, s.replicas, s.ops, s.secs, s.ops_per_sec
-            );
-            samples.push(s);
+    for &workload in &[Workload::Mixed, Workload::Read] {
+        for &replicas in &[1usize, 3] {
+            for &clients in client_counts {
+                let s = run_one(workload, clients, replicas, ops_per_client);
+                println!(
+                    "{:>8} {:>8} {:>9} {:>8} {:>10.3} {:>12.0} {:>7.0}%",
+                    s.workload.name(),
+                    s.clients,
+                    s.replicas,
+                    s.ops,
+                    s.secs,
+                    s.ops_per_sec,
+                    s.shared_fraction * 100.0
+                );
+                samples.push(s);
+            }
         }
+    }
+
+    if quick {
+        println!("\nquick mode: smoke only, not rewriting BENCH_runtime.json");
+        return;
     }
 
     // Hand-rolled JSON: the vendored serde stub has no serializer.
@@ -96,8 +166,8 @@ fn main() {
         .iter()
         .map(|s| {
             format!(
-                "    {{\"clients\": {}, \"replicas\": {}, \"ops\": {}, \"secs\": {:.6}, \"ops_per_sec\": {:.1}}}",
-                s.clients, s.replicas, s.ops, s.secs, s.ops_per_sec
+                "    {{\"workload\": \"{}\", \"clients\": {}, \"replicas\": {}, \"ops\": {}, \"secs\": {:.6}, \"ops_per_sec\": {:.1}, \"shared_fraction\": {:.3}}}",
+                s.workload.name(), s.clients, s.replicas, s.ops, s.secs, s.ops_per_sec, s.shared_fraction
             )
         })
         .collect();

@@ -195,6 +195,7 @@ impl Cluster {
     /// event. Afterwards all propagation, flushing, stabilization, and
     /// background replication has settled.
     pub fn run_until_quiet(&mut self) {
+        self.apply_read_touches();
         // A backstop against event-scheduling bugs producing livelock; in
         // practice the queue drains in a handful of iterations.
         let mut budget = 1_000_000u64;
@@ -219,6 +220,7 @@ impl Cluster {
     /// point, and the queue drains in the same deterministic
     /// (time, scheduling-order) sequence either way.
     pub fn pump(&mut self, max_events: usize) -> usize {
+        self.apply_read_touches();
         let mut fired = 0;
         while fired < max_events {
             match self.events.pop() {
@@ -233,9 +235,76 @@ impl Cluster {
         fired
     }
 
+    /// Fires up to `max_events` pending events belonging to one shard
+    /// slot (segments with `seg % shards == slot`, plus per-server
+    /// flushes attributed by server id), exactly as [`Cluster::pump`]
+    /// fires them but restricted to that slice of the cell.
+    ///
+    /// Relative order within the slot is preserved — same-segment
+    /// actions still apply in their scheduled order — so per-file
+    /// outcomes are identical to a global drain; only the interleaving
+    /// *across* files changes, which deferred work tolerates by design
+    /// (see [`Cluster::pump`]).
+    pub fn pump_shard(&mut self, slot: usize, shards: usize, max_events: usize) -> usize {
+        self.apply_read_touches();
+        // Count the slot's work up front (one non-destructive scan) so
+        // the drain pops exactly that many matches and never runs
+        // `pop_where`'s no-match probe, which would churn the whole
+        // heap. Events the fired handlers push are picked up next pass.
+        let budget = self
+            .events
+            .iter()
+            .filter(|ev| crate::shard_slot(ev.shard_hint(), shards) == slot)
+            .count()
+            .min(max_events);
+        let mut fired = 0;
+        while fired < budget {
+            match self.events.pop_where(|ev| crate::shard_slot(ev.shard_hint(), shards) == slot) {
+                Some((at, ev)) => {
+                    self.clock = self.clock.max(at);
+                    self.handle_event(at, ev);
+                    fired += 1;
+                }
+                None => break,
+            }
+        }
+        fired
+    }
+
+    /// The shard slots (out of `shards`) that currently have deferred
+    /// work, ascending and deduplicated — lets a host pump only the
+    /// slots worth visiting instead of probing every one.
+    pub fn pending_slots(&self, shards: usize) -> Vec<usize> {
+        let mut hot = vec![false; shards.max(1)];
+        for ev in self.events.iter() {
+            hot[crate::shard_slot(ev.shard_hint(), shards)] = true;
+        }
+        hot.iter().enumerate().filter(|(_, &h)| h).map(|(slot, _)| slot).collect()
+    }
+
     /// Number of deferred actions currently awaiting execution.
     pub fn pending_events(&self) -> usize {
         self.events.len()
+    }
+
+    /// Applies the replica accesses recorded by the shared read fast
+    /// path to `last_access`, so concurrent reads feed LRU retention
+    /// (§3.1) exactly as exclusive reads do — just deferred to the next
+    /// exclusive entry. Touches use the same non-durable write the
+    /// exclusive path uses.
+    pub(crate) fn apply_read_touches(&mut self) {
+        for i in 0..self.servers.len() {
+            let touches = self.servers[i].take_read_touches();
+            for (key, at) in touches {
+                if let Some(r) = self.servers[i].replicas.get(&key) {
+                    if r.last_access < at {
+                        let mut touched = r.clone();
+                        touched.last_access = at;
+                        self.servers[i].replicas.put_async(key, touched);
+                    }
+                }
+            }
+        }
     }
 
     /// Book-keeping shared by all client-visible operations: fire due
@@ -245,6 +314,7 @@ impl Cluster {
         via: NodeId,
         body: impl FnOnce(&mut Self) -> DeceitResult<(T, SimDuration)>,
     ) -> DeceitResult<OpResult<T>> {
+        self.apply_read_touches();
         self.fire_due();
         self.check_up(via)?;
         self.servers[via.index()].ops_served += 1;
@@ -353,5 +423,25 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn empty_cell_rejected() {
         let _ = Cluster::new(0, ClusterConfig::default());
+    }
+
+    #[test]
+    fn shared_reads_feed_lru_on_next_exclusive_entry() {
+        let mut c = Cluster::new(1, ClusterConfig::deterministic());
+        let seg = c.create(NodeId(0)).unwrap().value;
+        c.write(NodeId(0), seg, crate::ops::WriteOp::replace(b"touch me"), None).unwrap();
+        c.run_until_quiet();
+        let key = (seg, c.server(NodeId(0)).latest_major(seg).unwrap());
+        let before = c.server(NodeId(0)).replicas.get(&key).unwrap().last_access;
+
+        c.advance(SimDuration::from_millis(500));
+        let read = c.try_read_local(NodeId(0), seg, None, 0, 16).expect("local stable replica");
+        assert_eq!(&read.value.data[..], b"touch me");
+        // The shared path records the access without mutating the
+        // replica; the next exclusive entry applies it.
+        assert_eq!(c.server(NodeId(0)).replicas.get(&key).unwrap().last_access, before);
+        c.apply_read_touches();
+        let after = c.server(NodeId(0)).replicas.get(&key).unwrap().last_access;
+        assert!(after > before, "LRU input must advance: {before:?} -> {after:?}");
     }
 }

@@ -55,6 +55,18 @@ impl Pending {
             Pending::GenerateReplica { holder, .. } => *holder,
         }
     }
+
+    /// The shard key this action belongs to, for per-shard pumping: the
+    /// segment it operates on, or the owning server's id for actions
+    /// (disk flushes) that are per-server rather than per-file.
+    pub fn shard_hint(&self) -> u64 {
+        match self {
+            Pending::ApplyUpdate { key, .. }
+            | Pending::StabilizeCheck { key, .. }
+            | Pending::GenerateReplica { key, .. } => key.0 .0,
+            Pending::FlushServer { server } => u64::from(server.0),
+        }
+    }
 }
 
 #[cfg(test)]

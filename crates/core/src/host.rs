@@ -29,12 +29,103 @@ use deceit_sim::SimTime;
 
 use crate::cluster::Cluster;
 
+/// The sharding key of an operation: the per-file identity (segment id)
+/// whose hot state the operation touches. Hosts map keys onto a fixed
+/// number of shard slots with [`shard_slot`].
+pub type ShardKey = u64;
+
+/// Maps a [`ShardKey`] onto one of `shards` shard slots.
+///
+/// Segment ids are allocated sequentially, so a plain modulus already
+/// spreads a cell's files evenly across slots.
+pub fn shard_slot(key: ShardKey, shards: usize) -> usize {
+    debug_assert!(shards > 0, "a host needs at least one shard");
+    (key % shards.max(1) as u64) as usize
+}
+
+/// How an operation interacts with engine state — the classification
+/// seam a concurrent host dispatches on.
+///
+/// The engine's state divides into *cold cell-wide* state (membership,
+/// groups, stats, trace, the clock and event queue) and *hot per-file*
+/// state (replicas, tokens, streams, directory segments). A hosting
+/// environment keeps the cell state under a read-mostly lock and the
+/// per-file state under shard locks; every operation declares up front
+/// which slice it touches so the host can take exactly the locks the
+/// class requires (lock order: cell lock first, then shard locks in
+/// ascending slot order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Reads per-file or cell state without mutating either: may execute
+    /// under the shared cell lock, concurrently with other read-only
+    /// operations.
+    ReadOnly,
+    /// Mutates the hot state of a single file (and, behind it, cell-wide
+    /// bookkeeping such as the clock and deferred-work queue).
+    Mutate(ShardKey),
+    /// Mutates the hot state of two files at once (rename across
+    /// directories, hard links): the host takes both shard locks in
+    /// ascending slot order.
+    CrossShard(ShardKey, ShardKey),
+    /// Touches cell-wide state or an unbounded set of files (failure
+    /// injection, reconciliation, settling): requires the exclusive cell
+    /// lock with no specific shard.
+    CellWide,
+}
+
+impl OpClass {
+    /// The shard slots this class touches, deduplicated and in ascending
+    /// order — the exact sequence a host must lock.
+    pub fn slots(&self, shards: usize) -> impl Iterator<Item = usize> {
+        let (a, b) = match *self {
+            OpClass::ReadOnly | OpClass::CellWide => (None, None),
+            OpClass::Mutate(k) => (Some(shard_slot(k, shards)), None),
+            OpClass::CrossShard(x, y) => {
+                let (x, y) = (shard_slot(x, shards), shard_slot(y, shards));
+                let (lo, hi) = (x.min(y), x.max(y));
+                (Some(lo), (hi != lo).then_some(hi))
+            }
+        };
+        a.into_iter().chain(b)
+    }
+}
+
 /// A protocol engine that can be hosted outside the simulator.
 pub trait ProtocolHost {
     /// Fires up to `max_events` units of deferred protocol work
     /// (asynchronous propagation, write-back, stability timeouts,
     /// background replica generation), returning how many fired.
     fn pump(&mut self, max_events: usize) -> usize;
+
+    /// Fires up to `max_events` units of deferred work belonging to one
+    /// shard slot (out of `shards`), returning how many fired.
+    ///
+    /// A sharded host sweeps the slots round-robin so a file with a deep
+    /// backlog cannot monopolize the pump. Relative order *within* a
+    /// slot is preserved; engines that cannot attribute work to shards
+    /// drain everything through slot 0.
+    fn pump_shard(&mut self, slot: usize, shards: usize, max_events: usize) -> usize {
+        if slot == 0 {
+            self.pump(max_events)
+        } else {
+            let _ = shards;
+            0
+        }
+    }
+
+    /// The shard slots (out of `shards`) that currently have deferred
+    /// work, ascending and deduplicated, so a host pumps only the slots
+    /// worth visiting. Engines that cannot attribute work to shards
+    /// report slot 0 whenever anything is pending, matching the default
+    /// [`ProtocolHost::pump_shard`].
+    fn pending_slots(&self, shards: usize) -> Vec<usize> {
+        let _ = shards;
+        if self.pending_work() > 0 {
+            vec![0]
+        } else {
+            Vec::new()
+        }
+    }
 
     /// Drives deferred work to quiescence.
     fn settle(&mut self);
@@ -70,6 +161,14 @@ pub trait ProtocolHost {
 impl ProtocolHost for Cluster {
     fn pump(&mut self, max_events: usize) -> usize {
         Cluster::pump(self, max_events)
+    }
+
+    fn pump_shard(&mut self, slot: usize, shards: usize, max_events: usize) -> usize {
+        Cluster::pump_shard(self, slot, shards, max_events)
+    }
+
+    fn pending_slots(&self, shards: usize) -> Vec<usize> {
+        Cluster::pending_slots(self, shards)
     }
 
     fn settle(&mut self) {
@@ -130,6 +229,39 @@ mod tests {
             total += fired;
         }
         assert!(total > 0);
+        assert_eq!(c.locate_replicas(NodeId(0), seg).unwrap().value.len(), 3);
+    }
+
+    #[test]
+    fn op_class_slots_are_ascending_and_deduplicated() {
+        assert_eq!(OpClass::ReadOnly.slots(8).collect::<Vec<_>>(), Vec::<usize>::new());
+        assert_eq!(OpClass::CellWide.slots(8).collect::<Vec<_>>(), Vec::<usize>::new());
+        assert_eq!(OpClass::Mutate(11).slots(8).collect::<Vec<_>>(), vec![3]);
+        assert_eq!(OpClass::CrossShard(13, 2).slots(8).collect::<Vec<_>>(), vec![2, 5]);
+        // Two keys on the same slot collapse to one lock acquisition.
+        assert_eq!(OpClass::CrossShard(9, 1).slots(8).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn cluster_pump_shard_only_fires_matching_work() {
+        let mut c = Cluster::new(3, ClusterConfig::deterministic());
+        let seg = c.create(NodeId(0)).unwrap().value;
+        c.set_params(NodeId(0), seg, FileParams { min_replicas: 3, ..FileParams::default() })
+            .unwrap();
+        c.write(NodeId(0), seg, WriteOp::replace(b"shard me"), None).unwrap();
+        assert!(c.pending_events() > 0);
+        let shards = 4;
+        // Sweeping every slot drains exactly what a global pump would.
+        let mut fired = 0;
+        loop {
+            let pass: usize = (0..shards).map(|s| c.pump_shard(s, shards, 16)).sum();
+            if pass == 0 {
+                break;
+            }
+            fired += pass;
+        }
+        assert!(fired > 0);
+        assert_eq!(c.pending_events(), 0);
         assert_eq!(c.locate_replicas(NodeId(0), seg).unwrap().value.len(), 3);
     }
 

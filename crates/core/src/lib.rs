@@ -65,7 +65,7 @@ pub mod version;
 pub use cluster::{Cluster, OpResult};
 pub use config::ClusterConfig;
 pub use error::{DeceitError, DeceitResult};
-pub use host::ProtocolHost;
+pub use host::{shard_slot, OpClass, ProtocolHost, ShardKey};
 pub use ops::{ReadData, WriteOp};
 pub use params::{FileParams, WriteAvailability};
 pub use proto::commands::VersionInfo;

@@ -35,6 +35,83 @@ impl Cluster {
         self.client_op(via, |c| c.do_read(via, seg, major, offset, count))
     }
 
+    /// Attempts to serve a read with *shared* access only — the hot path
+    /// a concurrent host runs under its shared cell lock, in parallel
+    /// with other readers.
+    ///
+    /// Succeeds exactly when `via` is up and locally holds a stable
+    /// replica of the requested version that no reachable server
+    /// supersedes; every other case (forwarding, unstable replicas, the
+    /// §3.6 stable-replica search) returns `None` so the caller falls
+    /// back to the exclusive [`Cluster::read`], which remains the
+    /// canonical path and the only one that mutates state. The fast path
+    /// deliberately skips the bookkeeping the exclusive path performs —
+    /// clock advance, stats, the replica's LRU access-time touch — none
+    /// of which affect the served bytes.
+    pub fn try_read_local(
+        &self,
+        via: NodeId,
+        seg: SegmentId,
+        major: Option<u64>,
+        offset: usize,
+        count: usize,
+    ) -> Option<OpResult<ReadData>> {
+        if via.index() >= self.servers.len() || !self.net.is_up(via) {
+            return None;
+        }
+        let srv = self.server(via);
+        let major = match major {
+            Some(m) => m,
+            None => {
+                let local = srv.latest_major(seg)?;
+                // A newer major visible to the §3.2 location search
+                // means the exclusive path must run: the search covers
+                // reachable file-group members, so that is exactly the
+                // set checked here (via the allocation-free per-server
+                // group cache when it is warm). Without group knowledge,
+                // fall back to scanning every reachable server —
+                // strictly more conservative than the search.
+                let newer_than_local = |s: NodeId| {
+                    s != via
+                        && self.net.reachable(via, s)
+                        && self.server(s).latest_major(seg).is_some_and(|m| m > local)
+                };
+                let gid = srv
+                    .group_cache
+                    .get(&seg)
+                    .copied()
+                    .or_else(|| self.groups.lookup(&crate::cluster::group_name(seg)));
+                let superseded = match gid.and_then(|g| self.groups.view(g).ok()) {
+                    Some(view) => view.members.iter().copied().any(newer_than_local),
+                    None => self.servers.iter().any(|s| newer_than_local(s.id)),
+                };
+                if superseded {
+                    return None;
+                }
+                local
+            }
+        };
+        let key = (seg, major);
+        let replica = srv.replicas.get(&key)?;
+        if !replica.is_stable() {
+            return None;
+        }
+        // Feed the LRU: the access is recorded lock-free-ish in a side
+        // buffer and applied to `last_access` at the next exclusive
+        // entry, so a hot, concurrently-read replica does not look idle
+        // to §3.1 extra-replica deletion.
+        srv.note_read(key, self.now());
+        Some(OpResult {
+            value: ReadData {
+                data: replica.data.read(offset, count),
+                version: replica.version,
+                segment_len: replica.data.len(),
+                served_by: via,
+            },
+            latency: self.cfg.local_read,
+        })
+    }
+
     fn do_read(
         &mut self,
         via: NodeId,

@@ -7,6 +7,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Mutex;
 
 use deceit_isis::{FailureDetector, GroupId, OrderedReceiver};
 use deceit_net::NodeId;
@@ -65,6 +66,12 @@ pub struct ServerState {
     /// Volatile: active write-stream state for replicas whose token this
     /// server holds.
     pub streams: BTreeMap<ReplicaKey, StreamState>,
+    /// Volatile: replica accesses recorded by the shared (`&self`) read
+    /// fast path, applied to `last_access` at the next exclusive entry
+    /// so concurrent reads still feed the LRU without mutating replica
+    /// state. Deduplicated by key, so it is bounded by the replica
+    /// count.
+    pub(crate) read_touches: Mutex<BTreeMap<ReplicaKey, SimTime>>,
     /// Count of client operations served by this server (load accounting).
     pub ops_served: u64,
 }
@@ -80,8 +87,22 @@ impl ServerState {
             group_cache: BTreeMap::new(),
             fd: FailureDetector::new(),
             streams: BTreeMap::new(),
+            read_touches: Mutex::new(BTreeMap::new()),
             ops_served: 0,
         }
+    }
+
+    /// Records a shared-path read of `key` at `at`, to be applied to the
+    /// replica's `last_access` by [`ServerState::take_read_touches`].
+    pub(crate) fn note_read(&self, key: ReplicaKey, at: SimTime) {
+        let mut touches = self.read_touches.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = touches.entry(key).or_insert(at);
+        *entry = (*entry).max(at);
+    }
+
+    /// Drains the recorded shared-path reads.
+    pub(crate) fn take_read_touches(&mut self) -> BTreeMap<ReplicaKey, SimTime> {
+        std::mem::take(self.read_touches.get_mut().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Simulates a crash: non-volatile state reverts to its durable
@@ -93,6 +114,7 @@ impl ServerState {
         self.group_cache.clear();
         self.fd = FailureDetector::new();
         self.streams.clear();
+        self.take_read_touches();
     }
 
     /// Whether this server stores any replica of `seg` (any major).
@@ -100,14 +122,18 @@ impl ServerState {
         self.majors_of(seg).next().is_some()
     }
 
-    /// All major versions of `seg` stored here.
+    /// All major versions of `seg` stored here, ascending. A range scan
+    /// over the composite `(segment, major)` key: `O(log n)` to find the
+    /// segment's group, not a sweep of every replica on the server —
+    /// this sits on the concurrent read fast path.
     pub fn majors_of(&self, seg: SegmentId) -> impl Iterator<Item = u64> + '_ {
-        self.replicas.keys().filter(move |(s, _)| *s == seg).map(|(_, major)| *major)
+        self.replicas.keys_in_range(&(seg, 0), &(seg, u64::MAX)).map(|(_, major)| *major)
     }
 
     /// The highest-numbered (most recent) major of `seg` stored here.
     pub fn latest_major(&self, seg: SegmentId) -> Option<u64> {
-        self.majors_of(seg).max()
+        // majors_of is ascending, so the last one is the max.
+        self.majors_of(seg).last()
     }
 
     /// Whether this server holds the write token for a replica.

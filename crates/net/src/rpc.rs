@@ -21,6 +21,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::live::{LiveBus, LiveEndpoint};
@@ -105,12 +106,21 @@ pub struct RpcEndpoint<Q, P> {
     inbox: VecDeque<IncomingRequest<Q>>,
 }
 
+/// Process-wide endpoint incarnation counter, seeding each endpoint's
+/// call-id space. Without it, an endpoint re-registered under a node id
+/// it used before would mint the same call ids again, and a straggler
+/// reply addressed to the *previous* incarnation could correlate against
+/// a fresh call.
+static NEXT_INCARNATION: AtomicU64 = AtomicU64::new(0);
+
 impl<Q: Send + 'static, P: Send + 'static> RpcEndpoint<Q, P> {
-    /// Registers `node` on the bus and wraps its endpoint.
+    /// Registers `node` on the bus and wraps its endpoint. Call ids are
+    /// seeded per incarnation, so ids never repeat across endpoints —
+    /// even re-registrations of the same node id.
     pub fn register(bus: &LiveBus<Rpc<Q, P>>, node: NodeId) -> Self {
         RpcEndpoint {
             ep: bus.register(node),
-            next_call: 0,
+            next_call: NEXT_INCARNATION.fetch_add(1, Ordering::Relaxed) << 32,
             outstanding: HashMap::new(),
             ready: HashMap::new(),
             inbox: VecDeque::new(),
@@ -134,6 +144,12 @@ impl<Q: Send + 'static, P: Send + 'static> RpcEndpoint<Q, P> {
     pub fn submit(&mut self, to: NodeId, req: Q) -> Result<CallId, RpcError> {
         let call = CallId(self.next_call);
         self.next_call += 1;
+        // Ids are (incarnation << 32 | seq). A caller that exhausts its
+        // 2^32-call sub-space moves to a freshly allocated incarnation
+        // block instead of bleeding into the next incarnation's ids.
+        if self.next_call & 0xFFFF_FFFF == 0 {
+            self.next_call = NEXT_INCARNATION.fetch_add(1, Ordering::Relaxed) << 32;
+        }
         if !self.ep.send(to, Rpc::Request { call, req }) {
             return Err(RpcError::Unreachable(to));
         }
@@ -196,6 +212,21 @@ impl<Q: Send + 'static, P: Send + 'static> RpcEndpoint<Q, P> {
                 return None;
             }
             match self.ep.recv_timeout(remaining) {
+                Some(env) => self.sort_incoming(env.from, env.msg),
+                None => return None,
+            }
+        }
+    }
+
+    /// Returns an already-arrived request without blocking — the
+    /// batching primitive: a server holding a shared resource can drain
+    /// its queue without paying a wait when the queue is empty.
+    pub fn poll_request(&mut self) -> Option<IncomingRequest<Q>> {
+        loop {
+            if let Some(r) = self.inbox.pop_front() {
+                return Some(r);
+            }
+            match self.ep.try_recv() {
                 Some(env) => self.sort_incoming(env.from, env.msg),
                 None => return None,
             }

@@ -1,12 +1,22 @@
 //! The file-service envelope: NFS operations over segments.
 //!
-//! Every operation here decomposes into segment-server calls (create,
-//! delete, read, write, setparam) exactly as §5.2 prescribes, with
-//! directory updates protected by the optimistic-concurrency mechanism of
-//! §5.1: "The directory is read, and a position is selected … Then, an
-//! update is given to the segment server with the version pair returned by
-//! the original read. If a version pair conflict occurs, the whole
-//! operation is restarted."
+//! Every operation decomposes into segment-server calls (create, delete,
+//! read, write, setparam) exactly as §5.2 prescribes, with directory
+//! updates protected by the optimistic-concurrency mechanism of §5.1:
+//! "The directory is read, and a position is selected … Then, an update
+//! is given to the segment server with the version pair returned by the
+//! original read. If a version pair conflict occurs, the whole operation
+//! is restarted."
+//!
+//! This module holds the envelope's shared types and segment plumbing.
+//! The operations themselves are grouped by how they interact with
+//! engine state — the classification a concurrent host dispatches on
+//! (see [`deceit_core::OpClass`]):
+//!
+//! * [`crate::ops_read`] — read-only entry points, plus the shared
+//!   (`&self`) fast path;
+//! * [`crate::ops_file`] — single-file mutations;
+//! * [`crate::ops_dir`] — namespace (directory / cross-file) mutations.
 
 use bytes::Bytes;
 
@@ -16,11 +26,10 @@ use deceit_core::{
 use deceit_net::NodeId;
 use deceit_sim::SimDuration;
 
-use crate::dir::{DirEntry, Directory};
-use crate::gc;
+use crate::dir::Directory;
 use crate::handle::FileHandle;
 use crate::inode::{CodecError, Inode};
-use crate::name::{NameError, QualifiedName};
+use crate::name::NameError;
 
 /// File types the envelope stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,7 +197,7 @@ pub struct DeceitFs {
 
 /// The fixed size used when reading a whole segment ("most files are
 /// small", §2.3; this bound is far above any segment the tests create).
-const WHOLE_SEGMENT: usize = 64 * 1024 * 1024;
+pub(crate) const WHOLE_SEGMENT: usize = 64 * 1024 * 1024;
 
 impl DeceitFs {
     /// Builds a file service over `servers` Deceit servers and creates the
@@ -309,7 +318,8 @@ impl DeceitFs {
         Ok((inode, dir, version, latency))
     }
 
-    fn attr_from(
+    /// Attribute assembly shared by the exclusive and shared read paths.
+    pub(crate) fn attr_from(
         &self,
         fh: FileHandle,
         inode: &Inode,
@@ -330,496 +340,6 @@ impl DeceitFs {
         }
     }
 
-    // ------------------------------------------------------------------
-    // NFS operations
-    // ------------------------------------------------------------------
-
-    /// `GETATTR`.
-    pub fn getattr(&mut self, via: NodeId, fh: FileHandle) -> NfsResult<FileAttr> {
-        let (inode, payload, version, latency) = self.load(via, fh)?;
-        let attr = self.attr_from(fh, &inode, payload.len(), version);
-        Ok(OpResult { value: attr, latency })
-    }
-
-    /// `SETATTR`: chmod/chown/truncate.
-    pub fn setattr(
-        &mut self,
-        via: NodeId,
-        fh: FileHandle,
-        mode: Option<u32>,
-        uid: Option<u32>,
-        gid: Option<u32>,
-        size: Option<usize>,
-    ) -> NfsResult<FileAttr> {
-        let now = self.cluster.now().as_micros();
-        let latency = self.update_segment(via, fh, |inode, payload| {
-            if size.is_some() && inode.ftype == FileType::Directory.to_byte() {
-                return Err(NfsError::IsDir);
-            }
-            if let Some(m) = mode {
-                inode.mode = m;
-            }
-            if let Some(u) = uid {
-                inode.uid = u;
-            }
-            if let Some(g) = gid {
-                inode.gid = g;
-            }
-            inode.ctime = now;
-            let mut data = payload.to_vec();
-            if let Some(s) = size {
-                data.resize(s, 0);
-                inode.mtime = now;
-            }
-            Ok(Some(data))
-        })?;
-        let mut out = self.getattr(via, fh)?;
-        out.latency += latency;
-        Ok(out)
-    }
-
-    /// `LOOKUP`: resolves one component in a directory, honoring the
-    /// `name;version` syntax (§3.5).
-    pub fn lookup(&mut self, via: NodeId, dir: FileHandle, name: &str) -> NfsResult<FileAttr> {
-        let q = QualifiedName::parse(name)?;
-        let (_, table, _, latency) = self.load_dir(via, dir)?;
-        let entry = table.get(&q.base).ok_or(NfsError::NotFound)?;
-        let fh = match q.version {
-            Some(v) => FileHandle::versioned(entry.handle.seg, v),
-            None => entry.handle,
-        };
-        let mut out = self.getattr(via, fh)?;
-        out.latency += latency;
-        Ok(out)
-    }
-
-    /// `READ`: file contents (the inode header is invisible to clients).
-    pub fn read(
-        &mut self,
-        via: NodeId,
-        fh: FileHandle,
-        offset: usize,
-        count: usize,
-    ) -> NfsResult<Bytes> {
-        let (inode, payload, _, latency) = self.load(via, fh)?;
-        if inode.ftype == FileType::Directory.to_byte() {
-            return Err(NfsError::IsDir);
-        }
-        let end = (offset + count).min(payload.len());
-        let data = if offset >= payload.len() { Bytes::new() } else { payload.slice(offset..end) };
-        Ok(OpResult { value: data, latency })
-    }
-
-    /// `WRITE`: writes `data` at `offset`, extending the file as needed.
-    pub fn write(
-        &mut self,
-        via: NodeId,
-        fh: FileHandle,
-        offset: usize,
-        data: &[u8],
-    ) -> NfsResult<FileAttr> {
-        let now = self.cluster.now().as_micros();
-        let latency = self.update_segment(via, fh, |inode, payload| {
-            if inode.ftype == FileType::Directory.to_byte() {
-                return Err(NfsError::IsDir);
-            }
-            inode.mtime = now;
-            let mut contents = payload.to_vec();
-            let end = offset + data.len();
-            if end > contents.len() {
-                contents.resize(end, 0);
-            }
-            contents[offset..end].copy_from_slice(data);
-            Ok(Some(contents))
-        })?;
-        let mut out = self.getattr(via, fh)?;
-        out.latency += latency;
-        Ok(out)
-    }
-
-    /// `CREATE`: a new regular file.
-    pub fn create(
-        &mut self,
-        via: NodeId,
-        dir: FileHandle,
-        name: &str,
-        mode: u32,
-    ) -> NfsResult<FileAttr> {
-        self.create_node(via, dir, name, mode, FileType::Regular, &[], self.cfg.file_params)
-    }
-
-    /// `MKDIR`.
-    pub fn mkdir(
-        &mut self,
-        via: NodeId,
-        dir: FileHandle,
-        name: &str,
-        mode: u32,
-    ) -> NfsResult<FileAttr> {
-        let payload = Directory::new().encode();
-        self.create_node(via, dir, name, mode, FileType::Directory, &payload, self.cfg.dir_params)
-    }
-
-    /// `SYMLINK`.
-    pub fn symlink(
-        &mut self,
-        via: NodeId,
-        dir: FileHandle,
-        name: &str,
-        target: &str,
-    ) -> NfsResult<FileAttr> {
-        self.create_node(
-            via,
-            dir,
-            name,
-            0o777,
-            FileType::Symlink,
-            target.as_bytes(),
-            self.cfg.file_params,
-        )
-    }
-
-    /// `READLINK`.
-    pub fn readlink(&mut self, via: NodeId, fh: FileHandle) -> NfsResult<String> {
-        let (inode, payload, _, latency) = self.load(via, fh)?;
-        if inode.ftype != FileType::Symlink.to_byte() {
-            return Err(NfsError::Io(DeceitError::InvalidCommand(
-                "readlink on non-symlink".to_string(),
-            )));
-        }
-        Ok(OpResult { value: String::from_utf8_lossy(&payload).into_owned(), latency })
-    }
-
-    #[allow(clippy::too_many_arguments)] // mirrors the NFS CREATE surface
-    fn create_node(
-        &mut self,
-        via: NodeId,
-        dir: FileHandle,
-        name: &str,
-        mode: u32,
-        ftype: FileType,
-        payload: &[u8],
-        params: FileParams,
-    ) -> NfsResult<FileAttr> {
-        let q = QualifiedName::parse(name)?;
-        if q.version.is_some() {
-            return self.create_qualified_version(via, dir, &q);
-        }
-        let mut latency = SimDuration::ZERO;
-
-        // Check for an existing entry first (cheap read).
-        let (_, table, _, l0) = self.load_dir(via, dir)?;
-        latency += l0;
-        if table.get(&q.base).is_some() {
-            return Err(NfsError::Exists);
-        }
-
-        // Create and format the new segment.
-        let created = self.cluster.create_with_params(via, params)?;
-        latency += created.latency;
-        let seg = created.value;
-        let fh = FileHandle::new(seg);
-        let now = self.cluster.now().as_micros();
-        let mut inode = Inode::new(ftype.to_byte(), mode, now);
-        inode.nlink = 1;
-        inode.add_uplink(dir.seg);
-        let (_, l1) = self.store(via, fh, &inode, payload, None)?;
-        latency += l1;
-
-        // Add the directory entry under the §5.1 restart loop.
-        let entry = DirEntry { name: q.base.clone(), handle: fh, ftype: ftype.to_byte() };
-        let insert_res = self.update_segment(via, dir, |dnode, dpayload| {
-            if dnode.ftype != FileType::Directory.to_byte() {
-                return Err(NfsError::NotDir);
-            }
-            let mut table = Directory::decode(dpayload)?;
-            if !table.insert(entry.clone()) {
-                return Err(NfsError::Exists);
-            }
-            dnode.mtime = now;
-            Ok(Some(table.encode()))
-        });
-        match insert_res {
-            Ok(l2) => latency += l2,
-            Err(e) => {
-                // Roll the orphan segment back before surfacing the error.
-                let _ = self.cluster.delete(via, seg);
-                return Err(e);
-            }
-        }
-        let mut out = self.getattr(via, fh)?;
-        out.latency += latency;
-        Ok(out)
-    }
-
-    /// Creating `name;N` for an existing file materializes a new explicit
-    /// version of its segment (§3.5 "specific versions can be created").
-    fn create_qualified_version(
-        &mut self,
-        via: NodeId,
-        dir: FileHandle,
-        q: &QualifiedName,
-    ) -> NfsResult<FileAttr> {
-        let (_, table, _, mut latency) = self.load_dir(via, dir)?;
-        let entry = table.get(&q.base).ok_or(NfsError::NotFound)?;
-        let seg = entry.handle.seg;
-        let created = self.cluster.create_version(via, seg)?;
-        latency += created.latency;
-        let mut out = self.getattr(via, FileHandle::versioned(seg, created.value))?;
-        out.latency += latency;
-        Ok(out)
-    }
-
-    /// `REMOVE`: unlinks a file or symlink from a directory.
-    pub fn remove(&mut self, via: NodeId, dir: FileHandle, name: &str) -> NfsResult<()> {
-        let q = QualifiedName::parse(name)?;
-        if let Some(major) = q.version {
-            // Deleting a qualified name deletes that version only (§3.5).
-            let (_, table, _, l) = self.load_dir(via, dir)?;
-            let entry = table.get(&q.base).ok_or(NfsError::NotFound)?;
-            let seg = entry.handle.seg;
-            let r = self.cluster.delete_version(via, seg, major)?;
-            return Ok(OpResult { value: (), latency: l + r.latency });
-        }
-        let mut latency = SimDuration::ZERO;
-        let now = self.cluster.now().as_micros();
-
-        // Find and type-check the victim.
-        let (_, table, _, l0) = self.load_dir(via, dir)?;
-        latency += l0;
-        let entry = table.get(&q.base).ok_or(NfsError::NotFound)?.clone();
-        if entry.ftype == FileType::Directory.to_byte() {
-            return Err(NfsError::IsDir);
-        }
-
-        // Drop the directory entry (restart loop).
-        latency += self.update_segment(via, dir, |dnode, dpayload| {
-            let mut t = Directory::decode(dpayload)?;
-            if t.remove(&q.base).is_none() {
-                return Err(NfsError::NotFound);
-            }
-            dnode.mtime = now;
-            Ok(Some(t.encode()))
-        })?;
-
-        // Decrement the link-count hint; on zero run the uplink check.
-        let target = entry.handle;
-        let dir_seg = dir.seg;
-        let mut went_zero = false;
-        latency += self.update_segment(via, target, |inode, payload| {
-            inode.nlink = inode.nlink.saturating_sub(1);
-            inode.ctime = now;
-            // The uplink stays if other links from this directory remain;
-            // the GC scan re-derives the truth anyway (§5.2).
-            if inode.nlink == 0 {
-                went_zero = true;
-            } else {
-                inode.remove_uplink(dir_seg);
-            }
-            Ok(Some(payload.to_vec()))
-        })?;
-        if went_zero {
-            latency += gc::collect_if_unlinked(self, via, target)?;
-        }
-        Ok(OpResult { value: (), latency })
-    }
-
-    /// `RMDIR`: removes an empty directory.
-    pub fn rmdir(&mut self, via: NodeId, dir: FileHandle, name: &str) -> NfsResult<()> {
-        let q = QualifiedName::parse(name)?;
-        let mut latency = SimDuration::ZERO;
-        let (_, table, _, l0) = self.load_dir(via, dir)?;
-        latency += l0;
-        let entry = table.get(&q.base).ok_or(NfsError::NotFound)?.clone();
-        if entry.ftype != FileType::Directory.to_byte() {
-            return Err(NfsError::NotDir);
-        }
-        let (_, victim_table, _, l1) = self.load_dir(via, entry.handle)?;
-        latency += l1;
-        if !victim_table.is_empty() {
-            return Err(NfsError::NotEmpty);
-        }
-        let now = self.cluster.now().as_micros();
-        latency += self.update_segment(via, dir, |dnode, dpayload| {
-            let mut t = Directory::decode(dpayload)?;
-            if t.remove(&q.base).is_none() {
-                return Err(NfsError::NotFound);
-            }
-            dnode.mtime = now;
-            Ok(Some(t.encode()))
-        })?;
-        let del = self.cluster.delete(via, entry.handle.seg)?;
-        latency += del.latency;
-        Ok(OpResult { value: (), latency })
-    }
-
-    /// `RENAME`: moves an entry, possibly across directories.
-    ///
-    /// §5.2's ordering concern ("two directories, a link count, and an
-    /// uplink list must be modified in some safe order") is realized as:
-    /// add the new uplink, insert the new entry, remove the old entry,
-    /// drop the old uplink — at every intermediate step the uplink list
-    /// over-approximates, which GC tolerates.
-    pub fn rename(
-        &mut self,
-        via: NodeId,
-        from_dir: FileHandle,
-        from_name: &str,
-        to_dir: FileHandle,
-        to_name: &str,
-    ) -> NfsResult<()> {
-        let qf = QualifiedName::parse(from_name)?;
-        let qt = QualifiedName::parse(to_name)?;
-        let mut latency = SimDuration::ZERO;
-        let now = self.cluster.now().as_micros();
-
-        let (_, ftable, _, l0) = self.load_dir(via, from_dir)?;
-        latency += l0;
-        let entry = ftable.get(&qf.base).ok_or(NfsError::NotFound)?.clone();
-        let target = entry.handle;
-
-        // 1. Uplink to the destination directory.
-        let to_seg = to_dir.seg;
-        latency += self.update_segment(via, target, |inode, payload| {
-            inode.add_uplink(to_seg);
-            inode.ctime = now;
-            Ok(Some(payload.to_vec()))
-        })?;
-
-        // 2. Entry in the destination (replacing any existing target
-        // entry, per POSIX rename).
-        let new_entry = DirEntry { name: qt.base.clone(), handle: target, ftype: entry.ftype };
-        latency += self.update_segment(via, to_dir, |dnode, dpayload| {
-            if dnode.ftype != FileType::Directory.to_byte() {
-                return Err(NfsError::NotDir);
-            }
-            let mut t = Directory::decode(dpayload)?;
-            t.remove(&qt.base);
-            t.insert(new_entry.clone());
-            dnode.mtime = now;
-            Ok(Some(t.encode()))
-        })?;
-
-        // 3. Remove the source entry.
-        latency += self.update_segment(via, from_dir, |dnode, dpayload| {
-            let mut t = Directory::decode(dpayload)?;
-            if t.remove(&qf.base).is_none() {
-                return Err(NfsError::NotFound);
-            }
-            dnode.mtime = now;
-            Ok(Some(t.encode()))
-        })?;
-
-        // 4. Drop the stale uplink (unless it was a same-directory rename).
-        if from_dir.seg != to_dir.seg {
-            let from_seg = from_dir.seg;
-            latency += self.update_segment(via, target, |inode, payload| {
-                inode.remove_uplink(from_seg);
-                Ok(Some(payload.to_vec()))
-            })?;
-        }
-        Ok(OpResult { value: (), latency })
-    }
-
-    /// `LINK`: a new hard link to an existing file.
-    pub fn link(
-        &mut self,
-        via: NodeId,
-        target: FileHandle,
-        dir: FileHandle,
-        name: &str,
-    ) -> NfsResult<()> {
-        let q = QualifiedName::parse(name)?;
-        if q.version.is_some() {
-            return Err(NfsError::Name(crate::name::NameError::BadVersion(
-                "hard links cannot be version-qualified".to_string(),
-            )));
-        }
-        let mut latency = SimDuration::ZERO;
-        let now = self.cluster.now().as_micros();
-        let (tnode, _, _, l0) = self.load(via, target)?;
-        latency += l0;
-        if tnode.ftype == FileType::Directory.to_byte() {
-            return Err(NfsError::IsDir);
-        }
-        // §5.2: "When a hard link is made to f in directory d, d is added
-        // to the uplink list of all versions of f which can be updated at
-        // that time" — updates flow to the current version.
-        let dir_seg = dir.seg;
-        latency += self.update_segment(via, target, |inode, payload| {
-            inode.nlink += 1;
-            inode.add_uplink(dir_seg);
-            inode.ctime = now;
-            Ok(Some(payload.to_vec()))
-        })?;
-        let entry =
-            DirEntry { name: q.base.clone(), handle: target.unpinned(), ftype: tnode.ftype };
-        latency += self.update_segment(via, dir, |dnode, dpayload| {
-            if dnode.ftype != FileType::Directory.to_byte() {
-                return Err(NfsError::NotDir);
-            }
-            let mut t = Directory::decode(dpayload)?;
-            if !t.insert(entry.clone()) {
-                return Err(NfsError::Exists);
-            }
-            dnode.mtime = now;
-            Ok(Some(t.encode()))
-        })?;
-        Ok(OpResult { value: (), latency })
-    }
-
-    /// `READDIR`: lists a directory.
-    pub fn readdir(&mut self, via: NodeId, dir: FileHandle) -> NfsResult<Vec<DirEntry>> {
-        let (_, table, _, latency) = self.load_dir(via, dir)?;
-        Ok(OpResult { value: table.entries().to_vec(), latency })
-    }
-
-    /// `STATFS`-style summary: live files and total bytes on one server.
-    pub fn statfs(&mut self, via: NodeId) -> NfsResult<(usize, usize)> {
-        self.cluster.check_up(via)?;
-        let s = self.cluster.server(via);
-        let files = s.replicas.len();
-        let bytes = s.replicas.durable_bytes();
-        Ok(OpResult { value: (files, bytes), latency: SimDuration::from_micros(100) })
-    }
-
-    // ------------------------------------------------------------------
-    // Deceit special commands (§2.1), surfaced at the file level
-    // ------------------------------------------------------------------
-
-    /// Sets the per-file semantic parameters (§4).
-    pub fn set_file_params(
-        &mut self,
-        via: NodeId,
-        fh: FileHandle,
-        params: FileParams,
-    ) -> NfsResult<()> {
-        let r = self.cluster.set_params(via, fh.seg, params)?;
-        Ok(OpResult { value: (), latency: r.latency })
-    }
-
-    /// Reads the per-file semantic parameters.
-    pub fn file_params(&mut self, via: NodeId, fh: FileHandle) -> NfsResult<FileParams> {
-        let r = self.cluster.get_params(via, fh.seg)?;
-        Ok(OpResult { value: r.value, latency: r.latency })
-    }
-
-    /// Lists all versions of a file (§2.1 "list all versions of a file").
-    pub fn file_versions(
-        &mut self,
-        via: NodeId,
-        fh: FileHandle,
-    ) -> NfsResult<Vec<deceit_core::VersionInfo>> {
-        let r = self.cluster.list_versions(via, fh.seg)?;
-        Ok(OpResult { value: r.value, latency: r.latency })
-    }
-
-    /// Locates all replicas of a file (§2.1 "locate all replicas").
-    pub fn file_replicas(&mut self, via: NodeId, fh: FileHandle) -> NfsResult<Vec<NodeId>> {
-        let r = self.cluster.locate_replicas(via, fh.seg)?;
-        Ok(OpResult { value: r.value, latency: r.latency })
-    }
-
     /// Fault-injection support: applies `f` to a segment's inode header in
     /// place, bypassing normal NFS semantics. Used by tests and the bench
     /// harness to reproduce the §5.2 corrupted-link-count scenarios ("the
@@ -838,76 +358,5 @@ impl DeceitFs {
             }
             Ok(Some(payload.to_vec()))
         })
-    }
-
-    // ------------------------------------------------------------------
-    // Credentialed operations (§5 security policy)
-    // ------------------------------------------------------------------
-
-    /// NFS `ACCESS`: whether `cred` may perform `want` on the file.
-    pub fn access(
-        &mut self,
-        via: NodeId,
-        fh: FileHandle,
-        cred: crate::auth::Credentials,
-        want: crate::auth::AccessMode,
-    ) -> NfsResult<bool> {
-        let (inode, _, _, latency) = self.load(via, fh)?;
-        Ok(OpResult { value: crate::auth::permits(&inode, cred, want), latency })
-    }
-
-    /// `READ` with credential enforcement: `EACCES` unless the mode bits
-    /// permit reading.
-    pub fn read_as(
-        &mut self,
-        via: NodeId,
-        fh: FileHandle,
-        cred: crate::auth::Credentials,
-        offset: usize,
-        count: usize,
-    ) -> NfsResult<Bytes> {
-        let allowed = self.access(via, fh, cred, crate::auth::AccessMode::Read)?;
-        if !allowed.value {
-            return Err(NfsError::Access);
-        }
-        let mut out = self.read(via, fh, offset, count)?;
-        out.latency += allowed.latency;
-        Ok(out)
-    }
-
-    /// `WRITE` with credential enforcement.
-    pub fn write_as(
-        &mut self,
-        via: NodeId,
-        fh: FileHandle,
-        cred: crate::auth::Credentials,
-        offset: usize,
-        data: &[u8],
-    ) -> NfsResult<FileAttr> {
-        let allowed = self.access(via, fh, cred, crate::auth::AccessMode::Write)?;
-        if !allowed.value {
-            return Err(NfsError::Access);
-        }
-        let mut out = self.write(via, fh, offset, data)?;
-        out.latency += allowed.latency;
-        Ok(out)
-    }
-
-    /// Walks an absolute slash-separated path from the root.
-    pub fn lookup_path(&mut self, via: NodeId, path: &str) -> NfsResult<FileAttr> {
-        let mut latency = SimDuration::ZERO;
-        let mut cur = self.root;
-        let mut attr = {
-            let a = self.getattr(via, cur)?;
-            latency += a.latency;
-            a.value
-        };
-        for comp in path.split('/').filter(|c| !c.is_empty() && *c != ".") {
-            let next = self.lookup(via, cur, comp)?;
-            latency += next.latency;
-            attr = next.value;
-            cur = attr.handle;
-        }
-        Ok(OpResult { value: attr, latency })
     }
 }

@@ -26,6 +26,18 @@ pub trait NfsService {
     /// Handles one request arriving at server `via`, returning the reply
     /// and the server-side latency charged to the protocol clock.
     fn serve(&mut self, via: NodeId, req: NfsRequest) -> (NfsReply, SimDuration);
+
+    /// Attempts to serve a read-only request with *shared* access — the
+    /// concurrent host's fast path, run under its shared cell lock in
+    /// parallel with other readers.
+    ///
+    /// `None` means "not answerable without mutating": the host must
+    /// fall back to the exclusive [`NfsService::serve`]. The default
+    /// declines everything, which is always correct.
+    fn serve_shared(&self, via: NodeId, req: &NfsRequest) -> Option<(NfsReply, SimDuration)> {
+        let _ = (via, req);
+        None
+    }
 }
 
 impl NfsService for NfsServer {
@@ -36,11 +48,23 @@ impl NfsService for NfsServer {
     fn serve(&mut self, via: NodeId, req: NfsRequest) -> (NfsReply, SimDuration) {
         self.handle(via, req)
     }
+
+    fn serve_shared(&self, via: NodeId, req: &NfsRequest) -> Option<(NfsReply, SimDuration)> {
+        self.handle_shared(via, req)
+    }
 }
 
 impl ProtocolHost for DeceitFs {
     fn pump(&mut self, max_events: usize) -> usize {
         self.cluster.pump(max_events)
+    }
+
+    fn pump_shard(&mut self, slot: usize, shards: usize, max_events: usize) -> usize {
+        self.cluster.pump_shard(slot, shards, max_events)
+    }
+
+    fn pending_slots(&self, shards: usize) -> Vec<usize> {
+        self.cluster.pending_slots(shards)
     }
 
     fn settle(&mut self) {
@@ -79,6 +103,14 @@ impl ProtocolHost for DeceitFs {
 impl ProtocolHost for NfsServer {
     fn pump(&mut self, max_events: usize) -> usize {
         self.fs.pump(max_events)
+    }
+
+    fn pump_shard(&mut self, slot: usize, shards: usize, max_events: usize) -> usize {
+        self.fs.pump_shard(slot, shards, max_events)
+    }
+
+    fn pending_slots(&self, shards: usize) -> Vec<usize> {
+        self.fs.pending_slots(shards)
     }
 
     fn settle(&mut self) {
@@ -127,7 +159,7 @@ mod tests {
         let NfsReply::Attr(attr) = rep else { panic!("create failed: {rep:?}") };
         let (rep, _lat) = srv.serve(
             NodeId(1),
-            NfsRequest::Write { fh: attr.handle, offset: 0, data: b"via the seam".to_vec() },
+            NfsRequest::Write { fh: attr.handle, offset: 0, data: b"via the seam".into() },
         );
         assert!(rep.as_error().is_none(), "{rep:?}");
         srv.settle();
@@ -136,6 +168,33 @@ mod tests {
             srv.serve(NodeId(2), NfsRequest::Read { fh: attr.handle, offset: 0, count: 64 });
         let NfsReply::Data(data) = rep else { panic!("read failed: {rep:?}") };
         assert_eq!(&data[..], b"via the seam");
+    }
+
+    #[test]
+    fn shared_serve_agrees_with_exclusive_serve() {
+        let mut srv = NfsServer::new(DeceitFs::with_defaults(3));
+        let root = srv.mount_root();
+        let (rep, _) =
+            srv.serve(NodeId(0), NfsRequest::Create { dir: root, name: "f".into(), mode: 0o644 });
+        let NfsReply::Attr(attr) = rep else { panic!("create failed: {rep:?}") };
+        let (rep, _) = srv.serve(
+            NodeId(0),
+            NfsRequest::Write { fh: attr.handle, offset: 0, data: b"fast path".into() },
+        );
+        assert!(rep.as_error().is_none(), "{rep:?}");
+        srv.settle();
+
+        let read = NfsRequest::Read { fh: attr.handle, offset: 0, count: 64 };
+        let (shared, _) = srv.serve_shared(NodeId(0), &read).expect("local stable replica");
+        let (exclusive, _) = srv.serve(NodeId(0), read);
+        assert_eq!(shared, exclusive);
+
+        // Mutating requests are never served shared.
+        let write = NfsRequest::Write { fh: attr.handle, offset: 0, data: b"x".into() };
+        assert!(srv.serve_shared(NodeId(0), &write).is_none());
+        // Cell-wide inquiries defer to the exclusive path.
+        let locate = NfsRequest::DeceitLocateReplicas { fh: attr.handle };
+        assert!(srv.serve_shared(NodeId(0), &locate).is_none());
     }
 
     #[test]

@@ -15,8 +15,11 @@
 //!   hint, uplink list, timestamps).
 //! * [`dir`] — the directory-entry encoding stored in directory segments.
 //! * [`name`] — version-qualified file names (`foo;3`, §3.5).
-//! * [`fs`] — the envelope itself: every NFS operation plus the Deceit
-//!   special commands.
+//! * [`fs`] — the envelope's shared types and segment plumbing.
+//! * [`ops_read`] / [`ops_file`] / [`ops_dir`] — the NFS operations and
+//!   Deceit special commands, grouped by how they interact with engine
+//!   state (read-only, single-file mutation, namespace mutation) — the
+//!   classification a concurrent host dispatches on.
 //! * [`auth`] — credentials, mode-bit access checks, and the modeled
 //!   DES session authentication (§5).
 //! * [`gc`] — link counting and uplink-list garbage collection (§5.2).
@@ -37,6 +40,9 @@ pub mod handle;
 pub mod host;
 pub mod inode;
 pub mod name;
+pub mod ops_dir;
+pub mod ops_file;
+pub mod ops_read;
 pub mod reconcile;
 pub mod rpc;
 

@@ -1,0 +1,107 @@
+//! Single-file mutating entry points (`OpClass::Mutate`).
+//!
+//! Every operation here rewrites exactly one segment — the one its file
+//! handle names — through the §5.1 optimistic read-modify-write loop.
+//! A concurrent host serializes them per shard (the handle's segment id
+//! is the shard key) under the exclusive cell lock.
+
+use deceit_core::{FileParams, OpResult};
+use deceit_net::NodeId;
+
+use crate::fs::{DeceitFs, FileAttr, FileType, NfsError, NfsResult};
+use crate::handle::FileHandle;
+
+impl DeceitFs {
+    /// `SETATTR`: chmod/chown/truncate.
+    pub fn setattr(
+        &mut self,
+        via: NodeId,
+        fh: FileHandle,
+        mode: Option<u32>,
+        uid: Option<u32>,
+        gid: Option<u32>,
+        size: Option<usize>,
+    ) -> NfsResult<FileAttr> {
+        let now = self.cluster.now().as_micros();
+        let latency = self.update_segment(via, fh, |inode, payload| {
+            if size.is_some() && inode.ftype == FileType::Directory.to_byte() {
+                return Err(NfsError::IsDir);
+            }
+            if let Some(m) = mode {
+                inode.mode = m;
+            }
+            if let Some(u) = uid {
+                inode.uid = u;
+            }
+            if let Some(g) = gid {
+                inode.gid = g;
+            }
+            inode.ctime = now;
+            let mut data = payload.to_vec();
+            if let Some(s) = size {
+                data.resize(s, 0);
+                inode.mtime = now;
+            }
+            Ok(Some(data))
+        })?;
+        let mut out = self.getattr(via, fh)?;
+        out.latency += latency;
+        Ok(out)
+    }
+
+    /// `WRITE`: writes `data` at `offset`, extending the file as needed.
+    pub fn write(
+        &mut self,
+        via: NodeId,
+        fh: FileHandle,
+        offset: usize,
+        data: &[u8],
+    ) -> NfsResult<FileAttr> {
+        let now = self.cluster.now().as_micros();
+        let latency = self.update_segment(via, fh, |inode, payload| {
+            if inode.ftype == FileType::Directory.to_byte() {
+                return Err(NfsError::IsDir);
+            }
+            inode.mtime = now;
+            let mut contents = payload.to_vec();
+            let end = offset + data.len();
+            if end > contents.len() {
+                contents.resize(end, 0);
+            }
+            contents[offset..end].copy_from_slice(data);
+            Ok(Some(contents))
+        })?;
+        let mut out = self.getattr(via, fh)?;
+        out.latency += latency;
+        Ok(out)
+    }
+
+    /// `WRITE` with credential enforcement.
+    pub fn write_as(
+        &mut self,
+        via: NodeId,
+        fh: FileHandle,
+        cred: crate::auth::Credentials,
+        offset: usize,
+        data: &[u8],
+    ) -> NfsResult<FileAttr> {
+        let allowed = self.access(via, fh, cred, crate::auth::AccessMode::Write)?;
+        if !allowed.value {
+            return Err(NfsError::Access);
+        }
+        let mut out = self.write(via, fh, offset, data)?;
+        out.latency += allowed.latency;
+        Ok(out)
+    }
+
+    /// Sets the per-file semantic parameters (§4).
+    pub fn set_file_params(
+        &mut self,
+        via: NodeId,
+        fh: FileHandle,
+        params: FileParams,
+    ) -> NfsResult<()> {
+        let r = self.cluster.set_params(via, fh.seg, params)?;
+        Ok(OpResult { value: (), latency: r.latency })
+    }
+}

@@ -9,7 +9,7 @@
 
 use bytes::Bytes;
 
-use deceit_core::{FileParams, OpResult, VersionInfo};
+use deceit_core::{FileParams, OpClass, OpResult, ShardKey, VersionInfo};
 use deceit_net::NodeId;
 use deceit_sim::SimDuration;
 
@@ -38,8 +38,10 @@ pub enum NfsRequest {
     Readlink { fh: FileHandle },
     /// NFSPROC_READ.
     Read { fh: FileHandle, offset: usize, count: usize },
-    /// NFSPROC_WRITE.
-    Write { fh: FileHandle, offset: usize, data: Vec<u8> },
+    /// NFSPROC_WRITE. The payload is refcounted ([`Bytes`]) so retries,
+    /// batching, and queueing hand the same buffer around instead of
+    /// copying it per hop.
+    Write { fh: FileHandle, offset: usize, data: Bytes },
     /// NFSPROC_CREATE.
     Create { dir: FileHandle, name: String, mode: u32 },
     /// NFSPROC_REMOVE.
@@ -90,19 +92,70 @@ impl NfsRequest {
     /// Whether the request mutates state (used by failover logic: reads
     /// are always safe to retry elsewhere).
     pub fn is_read_only(&self) -> bool {
-        matches!(
-            self,
+        self.class() == OpClass::ReadOnly
+    }
+
+    /// The primary file this request addresses — its shard key — or
+    /// `None` for requests without one (ping, statfs).
+    ///
+    /// For mutating requests this is *derived from* [`NfsRequest::class`]
+    /// (the first shard the class declares), so the two seams cannot
+    /// disagree; a cross-shard class declares one further shard that
+    /// lock footprints must also take.
+    pub fn shard_key(&self) -> Option<ShardKey> {
+        match self.class() {
+            OpClass::Mutate(k) | OpClass::CrossShard(k, _) => Some(k),
+            OpClass::ReadOnly | OpClass::CellWide => match self {
+                NfsRequest::Getattr { fh }
+                | NfsRequest::Readlink { fh }
+                | NfsRequest::Read { fh, .. }
+                | NfsRequest::DeceitGetParams { fh }
+                | NfsRequest::DeceitListVersions { fh }
+                | NfsRequest::DeceitLocateReplicas { fh } => Some(fh.seg.0),
+                NfsRequest::Lookup { dir, .. }
+                | NfsRequest::Readdir { dir }
+                | NfsRequest::DeceitReconcile { dir } => Some(dir.seg.0),
+                _ => None,
+            },
+        }
+    }
+
+    /// How this request interacts with engine state — what a concurrent
+    /// host dispatches on (see [`OpClass`]).
+    ///
+    /// `Remove`/`Rmdir` also rewrite the victim they resolve *by name*
+    /// during execution; the class declares the directory, and the
+    /// host's exclusive cell lock covers the resolved segment. `Create`/
+    /// `Mkdir`/`Symlink` additionally touch a newborn segment that no
+    /// other request can address yet.
+    pub fn class(&self) -> OpClass {
+        match self {
             NfsRequest::Null
-                | NfsRequest::Getattr { .. }
-                | NfsRequest::Lookup { .. }
-                | NfsRequest::Readlink { .. }
-                | NfsRequest::Read { .. }
-                | NfsRequest::Readdir { .. }
-                | NfsRequest::Statfs
-                | NfsRequest::DeceitGetParams { .. }
-                | NfsRequest::DeceitListVersions { .. }
-                | NfsRequest::DeceitLocateReplicas { .. }
-        )
+            | NfsRequest::Getattr { .. }
+            | NfsRequest::Lookup { .. }
+            | NfsRequest::Readlink { .. }
+            | NfsRequest::Read { .. }
+            | NfsRequest::Readdir { .. }
+            | NfsRequest::Statfs
+            | NfsRequest::DeceitGetParams { .. }
+            | NfsRequest::DeceitListVersions { .. }
+            | NfsRequest::DeceitLocateReplicas { .. } => OpClass::ReadOnly,
+            NfsRequest::Setattr { fh, .. }
+            | NfsRequest::Write { fh, .. }
+            | NfsRequest::DeceitSetParams { fh, .. } => OpClass::Mutate(fh.seg.0),
+            NfsRequest::Create { dir, .. }
+            | NfsRequest::Remove { dir, .. }
+            | NfsRequest::Symlink { dir, .. }
+            | NfsRequest::Mkdir { dir, .. }
+            | NfsRequest::Rmdir { dir, .. } => OpClass::Mutate(dir.seg.0),
+            NfsRequest::Rename { from_dir, to_dir, .. } => {
+                OpClass::CrossShard(from_dir.seg.0, to_dir.seg.0)
+            }
+            NfsRequest::Link { target, dir, .. } => OpClass::CrossShard(target.seg.0, dir.seg.0),
+            // Reconciliation touches every version of a directory across
+            // the whole cell.
+            NfsRequest::DeceitReconcile { .. } => OpClass::CellWide,
+        }
     }
 }
 
@@ -175,13 +228,53 @@ impl NfsServer {
 
     /// Handles one request arriving at server `via`, returning the reply
     /// and the server-side latency.
+    ///
+    /// This is a pure dispatcher: each request class has its own entry
+    /// point below, declaring what it touches, and a concurrent host may
+    /// call those entry points directly after classifying with
+    /// [`NfsRequest::class`].
     pub fn handle(&mut self, via: NodeId, req: NfsRequest) -> (NfsReply, SimDuration) {
+        match req.class() {
+            OpClass::ReadOnly => self.handle_read(via, req),
+            OpClass::Mutate(_) => self.handle_file_mutation(via, req),
+            OpClass::CrossShard(_, _) => self.handle_cross_file(via, req),
+            OpClass::CellWide => self.handle_cell_wide(via, req),
+        }
+    }
+
+    /// Serves a read-only request with shared access, if the engine can
+    /// answer it from `via`'s local stable state; `None` defers to the
+    /// exclusive [`NfsServer::handle`]. See
+    /// [`crate::ops_read`] for the exact coverage.
+    pub fn handle_shared(&self, via: NodeId, req: &NfsRequest) -> Option<(NfsReply, SimDuration)> {
+        Some(match req {
+            NfsRequest::Null => (NfsReply::Void, SimDuration::from_micros(50)),
+            NfsRequest::Getattr { fh } => wrap(self.fs.getattr_shared(via, *fh)?, NfsReply::Attr),
+            NfsRequest::Lookup { dir, name } => {
+                wrap(self.fs.lookup_shared(via, *dir, name)?, NfsReply::Attr)
+            }
+            NfsRequest::Readlink { fh } => wrap(self.fs.readlink_shared(via, *fh)?, NfsReply::Path),
+            NfsRequest::Read { fh, offset, count } => {
+                wrap(self.fs.read_shared(via, *fh, *offset, *count)?, NfsReply::Data)
+            }
+            NfsRequest::Readdir { dir } => {
+                wrap(self.fs.readdir_shared(via, *dir)?, NfsReply::Entries)
+            }
+            NfsRequest::Statfs => wrap(self.fs.statfs_shared(via)?, |(files, bytes)| {
+                NfsReply::Fsstat { files, bytes }
+            }),
+            // The Deceit inquiries involve cell-wide searches; always
+            // defer them.
+            _ => return None,
+        })
+    }
+
+    /// `OpClass::ReadOnly` entry point: touches no state beyond caches
+    /// and accounting (forwarded reads may join file groups).
+    pub fn handle_read(&mut self, via: NodeId, req: NfsRequest) -> (NfsReply, SimDuration) {
         match req {
             NfsRequest::Null => (NfsReply::Void, SimDuration::from_micros(50)),
             NfsRequest::Getattr { fh } => wrap(self.fs.getattr(via, fh), NfsReply::Attr),
-            NfsRequest::Setattr { fh, mode, uid, gid, size } => {
-                wrap(self.fs.setattr(via, fh, mode, uid, gid, size), NfsReply::Attr)
-            }
             NfsRequest::Lookup { dir, name } => {
                 wrap(self.fs.lookup(via, dir, &name), NfsReply::Attr)
             }
@@ -189,38 +282,9 @@ impl NfsServer {
             NfsRequest::Read { fh, offset, count } => {
                 wrap(self.fs.read(via, fh, offset, count), NfsReply::Data)
             }
-            NfsRequest::Write { fh, offset, data } => {
-                wrap(self.fs.write(via, fh, offset, &data), NfsReply::Attr)
-            }
-            NfsRequest::Create { dir, name, mode } => {
-                wrap(self.fs.create(via, dir, &name, mode), NfsReply::Attr)
-            }
-            NfsRequest::Remove { dir, name } => {
-                wrap(self.fs.remove(via, dir, &name), |()| NfsReply::Void)
-            }
-            NfsRequest::Rename { from_dir, from_name, to_dir, to_name } => {
-                wrap(self.fs.rename(via, from_dir, &from_name, to_dir, &to_name), |()| {
-                    NfsReply::Void
-                })
-            }
-            NfsRequest::Link { target, dir, name } => {
-                wrap(self.fs.link(via, target, dir, &name), |()| NfsReply::Void)
-            }
-            NfsRequest::Symlink { dir, name, target } => {
-                wrap(self.fs.symlink(via, dir, &name, &target), NfsReply::Attr)
-            }
-            NfsRequest::Mkdir { dir, name, mode } => {
-                wrap(self.fs.mkdir(via, dir, &name, mode), NfsReply::Attr)
-            }
-            NfsRequest::Rmdir { dir, name } => {
-                wrap(self.fs.rmdir(via, dir, &name), |()| NfsReply::Void)
-            }
             NfsRequest::Readdir { dir } => wrap(self.fs.readdir(via, dir), NfsReply::Entries),
             NfsRequest::Statfs => {
                 wrap(self.fs.statfs(via), |(files, bytes)| NfsReply::Fsstat { files, bytes })
-            }
-            NfsRequest::DeceitSetParams { fh, params } => {
-                wrap(self.fs.set_file_params(via, fh, params), |()| NfsReply::Void)
             }
             NfsRequest::DeceitGetParams { fh } => {
                 wrap(self.fs.file_params(via, fh), NfsReply::Params)
@@ -231,12 +295,87 @@ impl NfsServer {
             NfsRequest::DeceitLocateReplicas { fh } => {
                 wrap(self.fs.file_replicas(via, fh), NfsReply::Replicas)
             }
+            other => misclassified(other),
+        }
+    }
+
+    /// `OpClass::Mutate` entry point: rewrites the shard its key names
+    /// (for namespace creations/removals, the directory plus the newborn
+    /// or name-resolved member segment).
+    pub fn handle_file_mutation(
+        &mut self,
+        via: NodeId,
+        req: NfsRequest,
+    ) -> (NfsReply, SimDuration) {
+        match req {
+            NfsRequest::Setattr { fh, mode, uid, gid, size } => {
+                wrap(self.fs.setattr(via, fh, mode, uid, gid, size), NfsReply::Attr)
+            }
+            NfsRequest::Write { fh, offset, data } => {
+                wrap(self.fs.write(via, fh, offset, &data), NfsReply::Attr)
+            }
+            NfsRequest::DeceitSetParams { fh, params } => {
+                wrap(self.fs.set_file_params(via, fh, params), |()| NfsReply::Void)
+            }
+            NfsRequest::Create { dir, name, mode } => {
+                wrap(self.fs.create(via, dir, &name, mode), NfsReply::Attr)
+            }
+            NfsRequest::Remove { dir, name } => {
+                wrap(self.fs.remove(via, dir, &name), |()| NfsReply::Void)
+            }
+            NfsRequest::Symlink { dir, name, target } => {
+                wrap(self.fs.symlink(via, dir, &name, &target), NfsReply::Attr)
+            }
+            NfsRequest::Mkdir { dir, name, mode } => {
+                wrap(self.fs.mkdir(via, dir, &name, mode), NfsReply::Attr)
+            }
+            NfsRequest::Rmdir { dir, name } => {
+                wrap(self.fs.rmdir(via, dir, &name), |()| NfsReply::Void)
+            }
+            other => misclassified(other),
+        }
+    }
+
+    /// `OpClass::CrossShard` entry point: rewrites the two shards named
+    /// in the request.
+    pub fn handle_cross_file(&mut self, via: NodeId, req: NfsRequest) -> (NfsReply, SimDuration) {
+        match req {
+            NfsRequest::Rename { from_dir, from_name, to_dir, to_name } => {
+                wrap(self.fs.rename(via, from_dir, &from_name, to_dir, &to_name), |()| {
+                    NfsReply::Void
+                })
+            }
+            NfsRequest::Link { target, dir, name } => {
+                wrap(self.fs.link(via, target, dir, &name), |()| NfsReply::Void)
+            }
+            other => misclassified(other),
+        }
+    }
+
+    /// `OpClass::CellWide` entry point: touches an unbounded set of
+    /// files.
+    pub fn handle_cell_wide(&mut self, via: NodeId, req: NfsRequest) -> (NfsReply, SimDuration) {
+        match req {
             NfsRequest::DeceitReconcile { dir } => wrap(
                 crate::reconcile::reconcile_directory(&mut self.fs, via, dir),
                 NfsReply::Reconciled,
             ),
+            other => misclassified(other),
         }
     }
+}
+
+/// A request routed to an entry point its class does not belong to —
+/// unreachable through [`NfsServer::handle`], kept as a loud error for
+/// hosts calling entry points directly.
+fn misclassified(req: NfsRequest) -> (NfsReply, SimDuration) {
+    debug_assert!(false, "request {req:?} reached the wrong entry point for {:?}", req.class());
+    (
+        NfsReply::Error(NfsError::Io(deceit_core::DeceitError::InvalidCommand(format!(
+            "misclassified request: {req:?}"
+        )))),
+        SimDuration::from_micros(50),
+    )
 }
 
 /// Converts an envelope result into a reply + latency pair.
@@ -246,5 +385,107 @@ fn wrap<T>(res: NfsResult<T>, into: impl FnOnce(T) -> NfsReply) -> (NfsReply, Si
         // Failures still consumed some server time; a small constant is
         // close enough for the error path.
         Err(e) => (NfsReply::Error(e), SimDuration::from_micros(500)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deceit_core::{shard_slot, SegmentId};
+
+    fn fh(seg: u64) -> FileHandle {
+        FileHandle::new(SegmentId(seg))
+    }
+
+    /// One request per variant group, covering every class.
+    fn sample_requests() -> Vec<NfsRequest> {
+        vec![
+            NfsRequest::Null,
+            NfsRequest::Statfs,
+            NfsRequest::Getattr { fh: fh(1) },
+            NfsRequest::Lookup { dir: fh(2), name: "x".into() },
+            NfsRequest::Read { fh: fh(3), offset: 0, count: 8 },
+            NfsRequest::Readdir { dir: fh(4) },
+            NfsRequest::Readlink { fh: fh(5) },
+            NfsRequest::DeceitGetParams { fh: fh(6) },
+            NfsRequest::DeceitListVersions { fh: fh(7) },
+            NfsRequest::DeceitLocateReplicas { fh: fh(8) },
+            NfsRequest::Setattr { fh: fh(9), mode: None, uid: None, gid: None, size: None },
+            NfsRequest::Write { fh: fh(10), offset: 0, data: b"d".into() },
+            NfsRequest::DeceitSetParams { fh: fh(11), params: FileParams::default() },
+            NfsRequest::Create { dir: fh(12), name: "x".into(), mode: 0o644 },
+            NfsRequest::Remove { dir: fh(13), name: "x".into() },
+            NfsRequest::Symlink { dir: fh(14), name: "x".into(), target: "y".into() },
+            NfsRequest::Mkdir { dir: fh(15), name: "x".into(), mode: 0o755 },
+            NfsRequest::Rmdir { dir: fh(16), name: "x".into() },
+            NfsRequest::Rename {
+                from_dir: fh(17),
+                from_name: "x".into(),
+                to_dir: fh(18),
+                to_name: "y".into(),
+            },
+            NfsRequest::Link { target: fh(19), dir: fh(20), name: "x".into() },
+            NfsRequest::DeceitReconcile { dir: fh(21) },
+        ]
+    }
+
+    /// The two classification seams must agree: whenever a request has
+    /// a shard key and a mutating class, the key is among the shards
+    /// the class declares (it *is* the first one, by derivation).
+    #[test]
+    fn shard_key_is_consistent_with_class() {
+        const SLOTS: usize = 8;
+        for req in sample_requests() {
+            let class = req.class();
+            match class {
+                OpClass::Mutate(k) | OpClass::CrossShard(k, _) => {
+                    assert_eq!(req.shard_key(), Some(k), "{req:?}");
+                    let declared: Vec<_> = class.slots(SLOTS).collect();
+                    assert!(
+                        declared.contains(&shard_slot(k, SLOTS)),
+                        "{req:?}: key {k} not in declared slots {declared:?}"
+                    );
+                }
+                OpClass::ReadOnly | OpClass::CellWide => {
+                    assert!(req.is_read_only() == (class == OpClass::ReadOnly), "{req:?}");
+                }
+            }
+        }
+    }
+
+    /// Pin each variant group to its class: lock footprints are wire
+    /// contract, not an implementation detail.
+    #[test]
+    fn classes_cover_the_protocol_as_documented() {
+        assert_eq!(NfsRequest::Null.class(), OpClass::ReadOnly);
+        assert_eq!(NfsRequest::Read { fh: fh(3), offset: 0, count: 1 }.class(), OpClass::ReadOnly);
+        assert_eq!(
+            NfsRequest::Write { fh: fh(10), offset: 0, data: b"d".into() }.class(),
+            OpClass::Mutate(10)
+        );
+        assert_eq!(
+            NfsRequest::Create { dir: fh(12), name: "x".into(), mode: 0o644 }.class(),
+            OpClass::Mutate(12)
+        );
+        assert_eq!(
+            NfsRequest::Rename {
+                from_dir: fh(17),
+                from_name: "x".into(),
+                to_dir: fh(18),
+                to_name: "y".into(),
+            }
+            .class(),
+            OpClass::CrossShard(17, 18)
+        );
+        assert_eq!(
+            NfsRequest::Link { target: fh(19), dir: fh(20), name: "x".into() }.class(),
+            OpClass::CrossShard(19, 20)
+        );
+        assert_eq!(NfsRequest::DeceitReconcile { dir: fh(21) }.class(), OpClass::CellWide);
+        // Requests with no addressed file have no shard key.
+        assert_eq!(NfsRequest::Null.shard_key(), None);
+        assert_eq!(NfsRequest::Statfs.shard_key(), None);
+        // Read requests keep a key for future read-side sharding.
+        assert_eq!(NfsRequest::Getattr { fh: fh(1) }.shard_key(), Some(1));
     }
 }

@@ -178,9 +178,21 @@ impl RuntimeClient {
         }
     }
 
-    /// Writes `data` at `offset`.
+    /// Writes `data` at `offset` (copies the slice once, into the
+    /// refcounted request payload).
     pub fn write(&mut self, fh: FileHandle, offset: usize, data: &[u8]) -> RuntimeResult<FileAttr> {
-        expect_attr(self.call(NfsRequest::Write { fh, offset, data: data.to_vec() })?)
+        self.write_bytes(fh, offset, Bytes::copy_from_slice(data))
+    }
+
+    /// Writes an already-refcounted payload at `offset` — zero-copy all
+    /// the way to the serving thread.
+    pub fn write_bytes(
+        &mut self,
+        fh: FileHandle,
+        offset: usize,
+        data: Bytes,
+    ) -> RuntimeResult<FileAttr> {
+        expect_attr(self.call(NfsRequest::Write { fh, offset, data })?)
     }
 
     /// Removes `name` from `dir`.
@@ -287,7 +299,9 @@ impl WriteBatch {
     pub fn flush(self, client: &mut RuntimeClient) -> RuntimeResult<Option<FileAttr>> {
         let mut calls = Vec::with_capacity(self.runs.len());
         for (offset, data) in self.runs {
-            match client.submit(NfsRequest::Write { fh: self.fh, offset, data }) {
+            // The coalesced run moves into the refcounted payload; no
+            // per-hop copies from here to the serving thread.
+            match client.submit(NfsRequest::Write { fh: self.fh, offset, data: data.into() }) {
                 Ok(call) => calls.push(call),
                 Err(e) => {
                     // Abandon what was already pipelined so the session

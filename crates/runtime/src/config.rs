@@ -23,6 +23,11 @@ pub struct RuntimeConfig {
     pub pump_interval: Duration,
     /// Deferred-work events advanced per pump slice.
     pub pump_batch: usize,
+    /// Shard slots in the concurrent execution layer: mutations of the
+    /// same file serialize on its slot, and the pump drains deferred
+    /// work slot by slot. More slots than servers keeps unrelated files
+    /// off each other's locks without costing anything when idle.
+    pub shards: usize,
 }
 
 impl RuntimeConfig {
@@ -38,6 +43,7 @@ impl RuntimeConfig {
             poll_interval: Duration::from_millis(10),
             pump_interval: Duration::from_millis(1),
             pump_batch: 128,
+            shards: 16,
         }
     }
 
@@ -56,6 +62,12 @@ impl RuntimeConfig {
     /// Sets the client request timeout, builder-style.
     pub fn with_request_timeout(mut self, timeout: Duration) -> Self {
         self.request_timeout = timeout;
+        self
+    }
+
+    /// Sets the shard-slot count, builder-style (clamped to at least 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 }

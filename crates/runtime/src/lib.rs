@@ -13,6 +13,11 @@
 //!   the bus ([`ClusterRuntime`]), executing requests through the
 //!   transport-agnostic [`deceit_nfs::NfsService`] /
 //!   [`deceit_core::ProtocolHost`] seam;
+//! * execution is **sharded** ([`shard`]): requests are classified
+//!   (read-only / single-shard mutation / cross-shard / cell-wide, see
+//!   [`deceit_core::OpClass`]), read-only requests run concurrently
+//!   under a shared cell lock, and mutations take per-file shard locks
+//!   in a fixed order;
 //! * a **pump thread** advances deferred protocol work (asynchronous
 //!   propagation, write-back, stability timeouts, background replica
 //!   generation) that the simulator would drive from its event queue;
@@ -46,6 +51,7 @@ pub mod config;
 pub mod error;
 pub mod runtime;
 pub mod scenario;
+pub mod shard;
 
 pub use client::{RuntimeClient, WriteBatch};
 pub use config::RuntimeConfig;

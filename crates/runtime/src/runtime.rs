@@ -1,21 +1,29 @@
 //! The live cluster: server threads, the pump thread, failure injection.
+//!
+//! Request execution is *sharded* (see [`crate::shard`]): read-only
+//! requests run concurrently under the shared cell lock — served by the
+//! engine's `&self` fast path when the addressed server holds a local
+//! stable replica — while mutations hold the exclusive cell lock plus
+//! the shard locks their [`OpClass`] declares. The deferred-work pump
+//! drains the engine's event queue per shard, round-robin.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use deceit_core::ProtocolHost;
+use deceit_core::{OpClass, ProtocolHost};
 use deceit_net::live::LiveBus;
-use deceit_net::rpc::{Rpc, RpcEndpoint};
+use deceit_net::rpc::{IncomingRequest, Rpc, RpcEndpoint};
 use deceit_net::NodeId;
 use deceit_nfs::{DeceitFs, NfsReply, NfsRequest, NfsServer, NfsService};
 
 use crate::client::RuntimeClient;
 use crate::config::RuntimeConfig;
+use crate::shard::ShardedEngine;
 
 /// The wire frame between clients and servers: the NFS envelope carried
 /// over correlated RPC.
@@ -24,11 +32,18 @@ pub(crate) type NfsFrame = Rpc<NfsRequest, NfsReply>;
 /// First node id handed to client sessions; servers occupy `0..n`.
 pub(crate) const CLIENT_BASE: u32 = 1_000;
 
-/// What one server thread counted over its lifetime.
-#[derive(Debug, Default, Clone, Copy)]
-struct ServerTally {
-    served: u64,
-    dropped_while_crashed: u64,
+/// How many additional already-queued read-only requests one server
+/// thread serves under a single shared-lock acquisition. Bounded so a
+/// deep read queue cannot starve an arriving mutation indefinitely.
+const READ_BATCH: usize = 64;
+
+/// One server's traffic counters, updated lock-free by its message loop
+/// so [`ClusterRuntime::stats`] and the final report never contend with
+/// request execution.
+#[derive(Debug, Default)]
+struct Tally {
+    served: AtomicU64,
+    dropped_while_crashed: AtomicU64,
 }
 
 /// Aggregate traffic counters of a running cluster.
@@ -43,7 +58,12 @@ pub struct RuntimeStats {
     pub bus_dropped_stale: u64,
     /// Requests served across all server threads.
     pub requests_served: u64,
-    /// Deferred protocol work currently pending.
+    /// Of those, requests served on the concurrent read fast path
+    /// (shared cell lock, no exclusive engine access).
+    pub requests_served_shared: u64,
+    /// Deferred protocol work pending, as of the last time a thread
+    /// holding the engine refreshed the cached count. Reading it takes
+    /// no lock.
     pub pending_work: usize,
 }
 
@@ -135,29 +155,46 @@ impl ClientDirectory {
 /// State shared by the runtime handle and every hosting thread.
 struct Shared<S> {
     bus: LiveBus<NfsFrame>,
-    engine: Mutex<S>,
+    engine: ShardedEngine<S>,
     stop: AtomicBool,
     served_total: AtomicU64,
+    served_shared: AtomicU64,
+    /// Cached [`ProtocolHost::pending_work`], refreshed by whichever
+    /// thread last held the engine exclusively, so stats reads and the
+    /// pump's idle check never take a lock.
+    pending_cache: AtomicUsize,
+    /// Per-server traffic counters, indexed by server id.
+    tallies: Box<[Tally]>,
 }
 
-impl<S> Shared<S> {
+impl<S: ProtocolHost> Shared<S> {
+    /// Exclusive engine access that refreshes the pending-work cache on
+    /// the way out — the only mutation entry points are this, the
+    /// class-dispatched serve path, and the pump, so the cache can only
+    /// go stale by the width of one in-flight operation.
     fn with_engine<T>(&self, f: impl FnOnce(&mut S) -> T) -> T {
-        f(&mut self.engine.lock())
+        self.engine.exclusive(|e| {
+            let out = f(e);
+            self.pending_cache.store(e.pending_work(), Ordering::Relaxed);
+            out
+        })
     }
 }
 
 /// One live Deceit cell: `n` server threads and a pump thread over a
 /// shared [`LiveBus`], hosting any engine that implements the
 /// [`NfsService`] + [`ProtocolHost`] seam.
-pub struct ClusterRuntime<S: NfsService + ProtocolHost + Send + 'static = NfsServer> {
+///
+/// The engine must be `Sync`: read-only requests execute against `&S`
+/// from several server threads at once.
+pub struct ClusterRuntime<S: NfsService + ProtocolHost + Send + Sync + 'static = NfsServer> {
     shared: Arc<Shared<S>>,
     dir: Arc<ClientDirectory>,
     cfg: RuntimeConfig,
     server_ids: Vec<NodeId>,
-    server_threads: Vec<JoinHandle<ServerTally>>,
+    server_threads: Vec<JoinHandle<()>>,
     pump_thread: Option<JoinHandle<()>>,
     next_client: AtomicU32,
-    tallies: Vec<ServerTally>,
 }
 
 impl ClusterRuntime<NfsServer> {
@@ -169,7 +206,7 @@ impl ClusterRuntime<NfsServer> {
     }
 }
 
-impl<S: NfsService + ProtocolHost + Send + 'static> ClusterRuntime<S> {
+impl<S: NfsService + ProtocolHost + Send + Sync + 'static> ClusterRuntime<S> {
     /// Hosts an arbitrary protocol engine on live threads: one message
     /// loop per server plus the deferred-work pump.
     pub fn host(engine: S, cfg: RuntimeConfig) -> Self {
@@ -180,11 +217,15 @@ impl<S: NfsService + ProtocolHost + Send + 'static> ClusterRuntime<S> {
             cfg.servers
         );
         let bus: LiveBus<NfsFrame> = LiveBus::new();
+        let pending = engine.pending_work();
         let shared = Arc::new(Shared {
             bus: bus.clone(),
-            engine: Mutex::new(engine),
+            engine: ShardedEngine::new(engine, cfg.shards),
             stop: AtomicBool::new(false),
             served_total: AtomicU64::new(0),
+            served_shared: AtomicU64::new(0),
+            pending_cache: AtomicUsize::new(pending),
+            tallies: (0..cfg.servers).map(|_| Tally::default()).collect(),
         });
 
         let server_ids: Vec<NodeId> = (0..cfg.servers).map(NodeId::from).collect();
@@ -220,7 +261,6 @@ impl<S: NfsService + ProtocolHost + Send + 'static> ClusterRuntime<S> {
             server_threads,
             pump_thread,
             next_client: AtomicU32::new(0),
-            tallies: Vec::new(),
         }
     }
 
@@ -246,7 +286,9 @@ impl<S: NfsService + ProtocolHost + Send + 'static> ClusterRuntime<S> {
     fn client_at(&self, seq: u32, home: NodeId) -> RuntimeClient {
         let id = NodeId(CLIENT_BASE + seq);
         let ep = RpcEndpoint::register(&self.shared.bus, id);
-        let root = self.shared.with_engine(|e| e.mount_root());
+        // mount_root is `&self`: the shared lock suffices, so opening a
+        // session never stalls concurrent readers.
+        let root = self.shared.engine.read_guard().mount_root();
         // set_home re-imposes any active partition, so a session opened
         // mid-split joins its home server's side rather than the
         // implicit rest group.
@@ -306,14 +348,16 @@ impl<S: NfsService + ProtocolHost + Send + 'static> ClusterRuntime<S> {
         self.shared.with_engine(|e| e.heal_nodes());
     }
 
-    /// Point-in-time traffic counters.
+    /// Point-in-time traffic counters. Lock-free: every field is read
+    /// from atomics, so observing a busy cluster never slows it down.
     pub fn stats(&self) -> RuntimeStats {
         RuntimeStats {
             bus_delivered: self.shared.bus.delivered(),
             bus_rejected: self.shared.bus.rejected(),
             bus_dropped_stale: self.shared.bus.dropped_stale(),
             requests_served: self.shared.served_total.load(Ordering::Relaxed),
-            pending_work: self.shared.with_engine(|e| e.pending_work()),
+            requests_served_shared: self.shared.served_shared.load(Ordering::Relaxed),
+            pending_work: self.shared.pending_cache.load(Ordering::Relaxed),
         }
     }
 
@@ -337,10 +381,7 @@ impl<S: NfsService + ProtocolHost + Send + 'static> ClusterRuntime<S> {
     fn stop_and_join(&mut self) {
         self.shared.stop.store(true, Ordering::Relaxed);
         for h in self.server_threads.drain(..) {
-            match h.join() {
-                Ok(tally) => self.tallies.push(tally),
-                Err(_) => self.tallies.push(ServerTally::default()),
-            }
+            let _ = h.join();
         }
         if let Some(h) = self.pump_thread.take() {
             let _ = h.join();
@@ -352,57 +393,273 @@ impl<S: NfsService + ProtocolHost + Send + 'static> ClusterRuntime<S> {
             served: self
                 .server_ids
                 .iter()
-                .zip(&self.tallies)
-                .map(|(&id, t)| (id, t.served))
+                .map(|&id| (id, self.shared.tallies[id.index()].served.load(Ordering::Relaxed)))
                 .collect(),
             bus_dropped_stale: self.shared.bus.dropped_stale(),
-            dropped_while_crashed: self.tallies.iter().map(|t| t.dropped_while_crashed).sum(),
+            dropped_while_crashed: self
+                .shared
+                .tallies
+                .iter()
+                .map(|t| t.dropped_while_crashed.load(Ordering::Relaxed))
+                .sum(),
             bus_delivered: self.shared.bus.delivered(),
             bus_rejected: self.shared.bus.rejected(),
         }
     }
 }
 
-impl<S: NfsService + ProtocolHost + Send + 'static> Drop for ClusterRuntime<S> {
+impl<S: NfsService + ProtocolHost + Send + Sync + 'static> Drop for ClusterRuntime<S> {
     fn drop(&mut self) {
         self.stop_and_join();
     }
 }
 
-/// One server's message loop: receive, execute through the seam, reply.
+/// One server's message loop: receive, classify, execute under exactly
+/// the locks the request's class requires, reply.
 fn serve_loop<S: NfsService + ProtocolHost>(
     shared: &Shared<S>,
     mut ep: RpcEndpoint<NfsRequest, NfsReply>,
     poll: Duration,
-) -> ServerTally {
+) {
     let id = ep.node();
-    let mut tally = ServerTally::default();
+    // A request pulled off the queue during read batching that cannot be
+    // served under the shared lock; handled first on the next turn.
+    let mut carry: Option<IncomingRequest<NfsRequest>> = None;
     while !shared.stop.load(Ordering::Relaxed) {
-        let Some(incoming) = ep.next_request(poll) else { continue };
+        let Some(incoming) = carry.take().or_else(|| ep.next_request(poll)) else { continue };
         // A machine crashed by failure injection loses whatever was
         // queued in its buffers; the thread itself cannot know — it just
         // finds the traffic gone.
         if shared.bus.is_crashed(id) {
-            tally.dropped_while_crashed += 1;
+            shared.tallies[id.index()].dropped_while_crashed.fetch_add(1, Ordering::Relaxed);
             continue;
         }
-        let (rep, _latency) = shared.with_engine(|e| e.serve(id, incoming.req));
-        if ep.reply(incoming.from, incoming.call, rep) {
-            tally.served += 1;
-            shared.served_total.fetch_add(1, Ordering::Relaxed);
+        match incoming.req.class() {
+            OpClass::ReadOnly => carry = serve_read_batch(shared, &mut ep, id, incoming),
+            class => {
+                let (rep, _latency) = shared.engine.execute(class, |e| {
+                    let out = e.serve(id, incoming.req);
+                    shared.pending_cache.store(e.pending_work(), Ordering::Relaxed);
+                    out
+                });
+                if ep.reply(incoming.from, incoming.call, rep) {
+                    shared.tallies[id.index()].served.fetch_add(1, Ordering::Relaxed);
+                    shared.served_total.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
-    tally
+}
+
+/// Serves one read-only request — and up to [`READ_BATCH`] further
+/// already-queued read-only requests — under a single shared-lock
+/// acquisition.
+///
+/// Batching matters under load: without it, every reply forces a lock
+/// round trip even though neighboring requests in the queue are also
+/// reads. A request the fast path cannot answer (no local stable
+/// replica) falls back to the exclusive serve immediately; a non-read
+/// request ends the batch and is returned as carry for the main loop.
+fn serve_read_batch<S: NfsService + ProtocolHost>(
+    shared: &Shared<S>,
+    ep: &mut RpcEndpoint<NfsRequest, NfsReply>,
+    id: NodeId,
+    first: IncomingRequest<NfsRequest>,
+) -> Option<IncomingRequest<NfsRequest>> {
+    let tally = |served: bool, fast: bool| {
+        if served {
+            shared.tallies[id.index()].served.fetch_add(1, Ordering::Relaxed);
+            shared.served_total.fetch_add(1, Ordering::Relaxed);
+            if fast {
+                shared.served_shared.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    };
+    let mut incoming = Some(first);
+    let mut budget = READ_BATCH;
+    while let Some(cur) = incoming.take() {
+        // The whole fast-path batch runs under one guard; the guard is
+        // released only to fall back to the exclusive path or to hand a
+        // non-read request to the main loop.
+        let fallback = {
+            let engine = shared.engine.read_guard();
+            let mut cur = cur;
+            loop {
+                match engine.serve_shared(id, &cur.req) {
+                    Some((rep, _latency)) => tally(ep.reply(cur.from, cur.call, rep), true),
+                    None => break Some(cur),
+                }
+                match next_batched_read(shared, ep, id, &mut budget) {
+                    BatchNext::Read(next) => cur = next,
+                    BatchNext::Carry(next) => return Some(next),
+                    BatchNext::Done => break None,
+                }
+            }
+        };
+        // Not locally servable: the exclusive path forwards, joins
+        // groups, and accounts the clock — the canonical semantics.
+        // Afterwards, if budget remains and another read is already
+        // queued, re-enter the batch.
+        let cur = fallback?;
+        let (rep, _latency) = shared.engine.execute(OpClass::ReadOnly, |e| {
+            let out = e.serve(id, cur.req);
+            shared.pending_cache.store(e.pending_work(), Ordering::Relaxed);
+            out
+        });
+        tally(ep.reply(cur.from, cur.call, rep), false);
+        match next_batched_read(shared, ep, id, &mut budget) {
+            BatchNext::Read(next) => incoming = Some(next),
+            BatchNext::Carry(next) => return Some(next),
+            BatchNext::Done => return None,
+        }
+    }
+    None
+}
+
+/// What the read batch should do next.
+enum BatchNext {
+    /// Another read-only request was already queued: keep batching.
+    Read(IncomingRequest<NfsRequest>),
+    /// A non-read request was pulled off the queue: end the batch and
+    /// hand it to the main loop.
+    Carry(IncomingRequest<NfsRequest>),
+    /// Budget exhausted, stop requested, queue empty, or crashed.
+    Done,
+}
+
+/// The batch-continuation step: budget/stop check, non-blocking poll,
+/// crash-evaporation accounting, and read-vs-carry classification — one
+/// copy, shared by the fast-path loop and the exclusive fallback.
+fn next_batched_read<S>(
+    shared: &Shared<S>,
+    ep: &mut RpcEndpoint<NfsRequest, NfsReply>,
+    id: NodeId,
+    budget: &mut usize,
+) -> BatchNext {
+    if *budget == 0 || shared.stop.load(Ordering::Relaxed) {
+        return BatchNext::Done;
+    }
+    *budget -= 1;
+    match ep.poll_request() {
+        Some(next) => {
+            if shared.bus.is_crashed(id) {
+                // Mirror the main loop: queued traffic at a crashed
+                // machine evaporates.
+                shared.tallies[id.index()].dropped_while_crashed.fetch_add(1, Ordering::Relaxed);
+                BatchNext::Done
+            } else if next.req.class() == OpClass::ReadOnly {
+                BatchNext::Read(next)
+            } else {
+                BatchNext::Carry(next)
+            }
+        }
+        None => BatchNext::Done,
+    }
 }
 
 /// The deferred-work pump: what the simulator's event loop does between
-/// client operations, done here from a real thread in bounded slices so
-/// server threads interleave fairly on the engine lock.
+/// client operations, done here from a real thread — per shard, in
+/// bounded slices, so server threads interleave fairly on the cell lock
+/// and no single file's backlog monopolizes a pump pass.
 fn pump_loop<S: ProtocolHost>(shared: &Shared<S>, interval: Duration, batch: usize) {
+    let shards = shared.engine.shard_count();
     while !shared.stop.load(Ordering::Relaxed) {
-        let fired = shared.with_engine(|e| e.pump(batch));
+        // The cached count keeps an idle pump off the cell lock
+        // entirely — a read-only workload never sees the pump contend.
+        if shared.pending_cache.load(Ordering::Relaxed) == 0 {
+            thread::sleep(interval);
+            continue;
+        }
+        // Scan which slots actually have work under the *shared* lock
+        // (concurrent with read service), then take the exclusive lock
+        // only for those slots — empty slots cost nothing.
+        let hot = shared.engine.read_guard().pending_slots(shards);
+        let mut fired = 0;
+        for slot in hot {
+            fired += shared.engine.with_slot(slot, |e| {
+                let n = e.pump_shard(slot, shards, batch);
+                shared.pending_cache.store(e.pending_work(), Ordering::Relaxed);
+                n
+            });
+        }
         if fired == 0 {
             thread::sleep(interval);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    /// A session opened *while* a server partition is in force must land
+    /// on its home server's side of the split, not in the implicit rest
+    /// group.
+    #[test]
+    fn session_opened_during_split_joins_its_homes_side() {
+        let bus: LiveBus<NfsFrame> = LiveBus::new();
+        let dir = ClientDirectory::default();
+        // Servers 0,1 vs 2; an existing client homed on 0.
+        dir.set_home(n(1000), n(0), &bus);
+        dir.set_split(Some(vec![vec![n(0), n(1)], vec![n(2)]]), &bus);
+        assert!(bus.can_exchange(n(1000), n(0)));
+        assert!(!bus.can_exchange(n(1000), n(2)));
+
+        // Mid-split arrivals: one homed on each side.
+        dir.set_home(n(1001), n(1), &bus);
+        dir.set_home(n(1002), n(2), &bus);
+        assert!(bus.can_exchange(n(1001), n(0)), "new session must sit with its home's group");
+        assert!(bus.can_exchange(n(1001), n(1)));
+        assert!(!bus.can_exchange(n(1001), n(2)));
+        assert!(bus.can_exchange(n(1002), n(2)));
+        assert!(!bus.can_exchange(n(1002), n(0)));
+        // The two arrivals are on opposite sides of the split.
+        assert!(!bus.can_exchange(n(1001), n(1002)));
+    }
+
+    /// `set_split(None)` must not be overwritten by a concurrent
+    /// `reapply`: once a heal lands, no stale re-imposition of the old
+    /// split may follow. The directory guarantees this by holding the
+    /// split lock across the bus mutation; this test hammers the pair
+    /// from racing threads and checks the invariant after every heal.
+    #[test]
+    fn heal_cannot_be_overwritten_by_concurrent_reapply() {
+        let bus: LiveBus<NfsFrame> = LiveBus::new();
+        let dir = Arc::new(ClientDirectory::default());
+        dir.set_home(n(1000), n(0), &bus);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stormers: Vec<_> = (0..3)
+            .map(|_| {
+                let dir = Arc::clone(&dir);
+                let bus = bus.clone();
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        dir.reapply(&bus);
+                    }
+                })
+            })
+            .collect();
+
+        for _ in 0..200 {
+            dir.set_split(Some(vec![vec![n(0)], vec![n(1)]]), &bus);
+            dir.set_split(None, &bus);
+            // Healed means healed, no matter how the reapply storm
+            // interleaved: reapply sees the cleared split and must not
+            // touch the bus.
+            assert!(
+                bus.can_exchange(n(0), n(1)),
+                "a concurrent reapply re-imposed a cleared split"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for t in stormers {
+            t.join().unwrap();
         }
     }
 }

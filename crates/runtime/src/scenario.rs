@@ -181,7 +181,7 @@ impl Scenario {
                     let fh = live_lookup(session, via, root, name)?;
                     let rep = session.call_via(
                         via,
-                        NfsRequest::Write { fh, offset: *offset, data: data.clone() },
+                        NfsRequest::Write { fh, offset: *offset, data: data.clone().into() },
                     )?;
                     ensure_ok(rep)?;
                 }

@@ -90,6 +90,36 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Removes and returns the earliest event whose payload matches
+    /// `pred`, regardless of due time. Non-matching events keep their
+    /// positions, so relative order *within* the matching subset is the
+    /// same order [`EventQueue::pop`] would have produced.
+    ///
+    /// This is the per-shard drain primitive: a live host pumps one
+    /// shard's deferred work at a time without disturbing the rest of
+    /// the queue. Cost is `O(k log n)` where `k` is the number of
+    /// earlier non-matching entries, which stays cheap at the queue
+    /// depths the runtime sees.
+    pub fn pop_where(&mut self, mut pred: impl FnMut(&E) -> bool) -> Option<(SimTime, E)> {
+        let mut skipped = Vec::new();
+        let mut found = None;
+        while let Some(Reverse(e)) = self.heap.pop() {
+            if pred(&e.payload) {
+                found = Some((e.time, e.payload));
+                break;
+            }
+            skipped.push(Reverse(e));
+        }
+        self.heap.extend(skipped);
+        found
+    }
+
+    /// Visits every pending payload, in no particular order — the cheap
+    /// "which shards have work" scan, without disturbing the heap.
+    pub fn iter(&self) -> impl Iterator<Item = &E> {
+        self.heap.iter().map(|Reverse(e)| &e.payload)
+    }
+
     /// Timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse(e)| e.time)
@@ -172,6 +202,25 @@ mod tests {
         let mut q = EventQueue::new();
         q.push_after(t(100), SimDuration::from_micros(11), ());
         assert_eq!(q.peek_time(), Some(t(111)));
+    }
+
+    #[test]
+    fn pop_where_preserves_relative_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(t(i), i);
+        }
+        // Drain the odd subset: comes out in queue order.
+        assert_eq!(q.pop_where(|v| v % 2 == 1), Some((t(1), 1)));
+        assert_eq!(q.pop_where(|v| v % 2 == 1), Some((t(3), 3)));
+        // Non-matching entries were untouched.
+        assert_eq!(q.pop(), Some((t(0), 0)));
+        assert_eq!(q.pop(), Some((t(2), 2)));
+        assert_eq!(q.pop(), Some((t(4), 4)));
+        // No match leaves the queue intact.
+        assert_eq!(q.pop_where(|v| *v > 100), None);
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.pop(), Some((t(5), 5)));
     }
 
     #[test]

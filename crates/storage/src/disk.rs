@@ -112,6 +112,13 @@ impl<K: Ord + Clone, V: Clone + StoredSize> Disk<K, V> {
         self.volatile.keys()
     }
 
+    /// Keys in `[lo, hi]`, in order (volatile view) — lets composite-key
+    /// callers enumerate one prefix group in `O(log n + matches)`
+    /// instead of scanning every key.
+    pub fn keys_in_range(&self, lo: &K, hi: &K) -> impl Iterator<Item = &K> {
+        self.volatile.range(lo.clone()..=hi.clone()).map(|(k, _)| k)
+    }
+
     /// Number of live entries (volatile view).
     pub fn len(&self) -> usize {
         self.volatile.len()

@@ -6,7 +6,12 @@
 //! deliberately ignores the poison flag, matching parking_lot semantics.
 
 use std::fmt;
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+
+// Guard types are part of parking_lot's public API (they appear in
+// return positions); the shim hands back the std guards under the
+// parking_lot names.
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A reader-writer lock whose guards are returned without a poison check.
 #[derive(Default)]
