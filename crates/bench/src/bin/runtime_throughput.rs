@@ -1,19 +1,10 @@
 //! Live-runtime throughput: ops/sec vs. concurrent client count,
 //! replica level, and workload mix.
 //!
-//! Unlike the simulator benches (which measure *simulated* latencies),
-//! this measures the real thing: wall-clock operations per second through
-//! the live threaded runtime — server message loops, the RPC layer, the
-//! sharded execution layer, and the deferred-work pump all included.
-//!
-//! Two workloads:
-//!
-//! * `mixed` — alternating write/read per client (the original bench):
-//!   every other op takes the exclusive cell lock.
-//! * `read` — pure reads after an untimed warmup write: the §2.3 common
-//!   case ("most files are read many times for each write"), served
-//!   concurrently on the shared fast path. This is the workload whose
-//!   client-count scaling the sharded engine exists for.
+//! Four workloads (see [`deceit_bench::live`]): `mixed` (alternating
+//! write/read), `read` (the shared-lock fast path), `write` (pure
+//! single-shard mutations under shard ring locks), and `hot` (every
+//! client hammering one file — the single-slot worst case).
 //!
 //! Run with: `cargo run --release --bin runtime_throughput`
 //!
@@ -23,107 +14,16 @@
 //! writes nothing.
 
 use std::fs;
-use std::thread;
-use std::time::Instant;
 
-use deceit::prelude::*;
+use deceit_bench::live::{run_live_sample, Sample, Workload};
 
 /// Operations each client performs in the timed section.
 const OPS_PER_CLIENT: usize = 400;
 
 /// Per-client ops in `--quick` mode: enough traffic to traverse every
-/// lock class (shared reads, shard mutations, pump) but fast enough for
-/// a CI smoke step.
+/// lock class (shared reads, sharded mutations, the per-shard pump,
+/// single-slot contention) but fast enough for a CI smoke step.
 const QUICK_OPS_PER_CLIENT: usize = 50;
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Workload {
-    Mixed,
-    Read,
-}
-
-impl Workload {
-    fn name(self) -> &'static str {
-        match self {
-            Workload::Mixed => "mixed",
-            Workload::Read => "read",
-        }
-    }
-}
-
-#[derive(Debug)]
-struct Sample {
-    workload: Workload,
-    clients: usize,
-    replicas: usize,
-    ops: usize,
-    secs: f64,
-    ops_per_sec: f64,
-    shared_fraction: f64,
-}
-
-fn run_one(workload: Workload, clients: usize, replicas: usize, ops_per_client: usize) -> Sample {
-    let rt = ClusterRuntime::start(RuntimeConfig::new(3));
-    let root = rt.client().root();
-
-    // Setup (untimed): each client gets its own replicated file.
-    let mut sessions: Vec<(RuntimeClient, FileHandle)> = (0..clients)
-        .map(|c| {
-            let mut client = rt.client();
-            let attr = client.create(root, &format!("bench_{c}"), 0o644).expect("create");
-            client
-                .set_file_params(attr.handle, FileParams::important(replicas))
-                .expect("set replicas");
-            client.write(attr.handle, 0, b"warmup payload").expect("warmup write");
-            (client, attr.handle)
-        })
-        .collect();
-    rt.settle();
-
-    // Timed section: concurrent client traffic.
-    let served_before = rt.stats();
-    let t0 = Instant::now();
-    let workers: Vec<_> = sessions
-        .drain(..)
-        .enumerate()
-        .map(|(c, (mut client, fh))| {
-            thread::spawn(move || {
-                let payload = format!("client {c} payload: 64 bytes of live benchmark traffic ...");
-                for i in 0..ops_per_client {
-                    let write = match workload {
-                        Workload::Mixed => i % 2 == 0,
-                        Workload::Read => false,
-                    };
-                    if write {
-                        client.write(fh, 0, payload.as_bytes()).expect("bench write");
-                    } else {
-                        client.read(fh, 0, 128).expect("bench read");
-                    }
-                }
-            })
-        })
-        .collect();
-    for w in workers {
-        w.join().expect("bench client");
-    }
-    let secs = t0.elapsed().as_secs_f64();
-    let served_after = rt.stats();
-    rt.shutdown();
-
-    let ops = clients * ops_per_client;
-    let served = served_after.requests_served.saturating_sub(served_before.requests_served);
-    let shared =
-        served_after.requests_served_shared.saturating_sub(served_before.requests_served_shared);
-    Sample {
-        workload,
-        clients,
-        replicas,
-        ops,
-        secs,
-        ops_per_sec: ops as f64 / secs,
-        shared_fraction: if served == 0 { 0.0 } else { shared as f64 / served as f64 },
-    }
-}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -132,24 +32,25 @@ fn main() {
 
     println!("== runtime_throughput: live ops/sec vs workload x clients x replica level ==\n");
     println!(
-        "{:>8} {:>8} {:>9} {:>8} {:>10} {:>12} {:>8}",
-        "workload", "clients", "replicas", "ops", "secs", "ops/sec", "shared"
+        "{:>8} {:>8} {:>9} {:>8} {:>10} {:>12} {:>8} {:>8}",
+        "workload", "clients", "replicas", "ops", "secs", "ops/sec", "shared", "sharded"
     );
 
-    let mut samples = Vec::new();
-    for &workload in &[Workload::Mixed, Workload::Read] {
+    let mut samples: Vec<Sample> = Vec::new();
+    for workload in Workload::all() {
         for &replicas in &[1usize, 3] {
             for &clients in client_counts {
-                let s = run_one(workload, clients, replicas, ops_per_client);
+                let s = run_live_sample(workload, clients, replicas, ops_per_client);
                 println!(
-                    "{:>8} {:>8} {:>9} {:>8} {:>10.3} {:>12.0} {:>7.0}%",
+                    "{:>8} {:>8} {:>9} {:>8} {:>10.3} {:>12.0} {:>7.0}% {:>7.0}%",
                     s.workload.name(),
                     s.clients,
                     s.replicas,
                     s.ops,
                     s.secs,
                     s.ops_per_sec,
-                    s.shared_fraction * 100.0
+                    s.shared_fraction * 100.0,
+                    s.sharded_fraction * 100.0
                 );
                 samples.push(s);
             }
@@ -166,8 +67,8 @@ fn main() {
         .iter()
         .map(|s| {
             format!(
-                "    {{\"workload\": \"{}\", \"clients\": {}, \"replicas\": {}, \"ops\": {}, \"secs\": {:.6}, \"ops_per_sec\": {:.1}, \"shared_fraction\": {:.3}}}",
-                s.workload.name(), s.clients, s.replicas, s.ops, s.secs, s.ops_per_sec, s.shared_fraction
+                "    {{\"workload\": \"{}\", \"clients\": {}, \"replicas\": {}, \"ops\": {}, \"secs\": {:.6}, \"ops_per_sec\": {:.1}, \"shared_fraction\": {:.3}, \"sharded_fraction\": {:.3}}}",
+                s.workload.name(), s.clients, s.replicas, s.ops, s.secs, s.ops_per_sec, s.shared_fraction, s.sharded_fraction
             )
         })
         .collect();

@@ -18,5 +18,6 @@
 //! and recorded results.
 
 pub mod experiments;
+pub mod live;
 pub mod table;
 pub mod workload;

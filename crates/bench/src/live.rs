@@ -1,0 +1,179 @@
+//! The live-runtime throughput harness: real threads, real locks.
+//!
+//! Unlike the simulator experiments (which measure *simulated*
+//! latencies), this measures wall-clock operations per second through the
+//! live threaded runtime — server message loops, the RPC layer, the
+//! sharded execution layer, and the deferred-work pump all included.
+//!
+//! Four workloads, each probing one face of the sharded engine:
+//!
+//! * [`Workload::Mixed`] — alternating write/read per client against its
+//!   own file: the balanced case both lock paths share.
+//! * [`Workload::Read`] — pure reads after an untimed warmup write: the
+//!   §2.3 common case ("most files are read many times for each write"),
+//!   served concurrently on the shared fast path.
+//! * [`Workload::Write`] — pure writes, each client to its own file:
+//!   single-shard mutations under shard ring locks, concurrently across
+//!   slots — the path this engine's mutation sharding exists for.
+//! * [`Workload::Hot`] — every client alternates write/read against
+//!   *one* shared file: the adversarial case, where all mutations
+//!   serialize on a single ring slot and the measurement shows what that
+//!   floor costs.
+//!
+//! Shared between the `runtime_throughput` recording binary and the
+//! `bench_guard` CI regression gate.
+
+use std::thread;
+use std::time::Instant;
+
+use deceit::prelude::*;
+
+/// One live-throughput workload shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Alternating write/read per client, own file each.
+    Mixed,
+    /// Pure reads, own file each (after a warmup write).
+    Read,
+    /// Pure writes, own file each.
+    Write,
+    /// Alternating write/read, all clients on one shared file.
+    Hot,
+}
+
+impl Workload {
+    /// The workload's name in tables and `BENCH_runtime.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Mixed => "mixed",
+            Workload::Read => "read",
+            Workload::Write => "write",
+            Workload::Hot => "hot",
+        }
+    }
+
+    /// All workloads, in recording order.
+    pub fn all() -> [Workload; 4] {
+        [Workload::Mixed, Workload::Read, Workload::Write, Workload::Hot]
+    }
+
+    fn one_shared_file(self) -> bool {
+        matches!(self, Workload::Hot)
+    }
+
+    fn is_write(self, op_index: usize) -> bool {
+        match self {
+            Workload::Mixed | Workload::Hot => op_index.is_multiple_of(2),
+            Workload::Read => false,
+            Workload::Write => true,
+        }
+    }
+}
+
+/// One measured cell of the workload × clients × replicas grid.
+#[derive(Debug)]
+pub struct Sample {
+    /// Workload shape.
+    pub workload: Workload,
+    /// Concurrent client sessions.
+    pub clients: usize,
+    /// Replica level of the bench files.
+    pub replicas: usize,
+    /// Total timed operations.
+    pub ops: usize,
+    /// Wall-clock seconds of the timed section.
+    pub secs: f64,
+    /// Throughput.
+    pub ops_per_sec: f64,
+    /// Fraction of served requests answered on the shared read fast
+    /// path.
+    pub shared_fraction: f64,
+    /// Fraction of served requests answered on the sharded mutation
+    /// path (shard ring locks, no exclusive cell lock).
+    pub sharded_fraction: f64,
+}
+
+/// Runs one cell of the grid against a fresh 3-server cell.
+pub fn run_live_sample(
+    workload: Workload,
+    clients: usize,
+    replicas: usize,
+    ops_per_client: usize,
+) -> Sample {
+    let rt = ClusterRuntime::start(RuntimeConfig::new(3));
+    let root = rt.client().root();
+
+    // Setup (untimed): per-client files, or one shared file for the hot
+    // workload.
+    let hot_file = if workload.one_shared_file() {
+        let mut client = rt.client();
+        let attr = client.create(root, "bench_hot", 0o644).expect("create");
+        client.set_file_params(attr.handle, FileParams::important(replicas)).expect("set replicas");
+        client.write(attr.handle, 0, b"warmup payload").expect("warmup write");
+        Some(attr.handle)
+    } else {
+        None
+    };
+    let mut sessions: Vec<(RuntimeClient, FileHandle)> = (0..clients)
+        .map(|c| {
+            let mut client = rt.client();
+            let fh = match hot_file {
+                Some(fh) => fh,
+                None => {
+                    let attr = client.create(root, &format!("bench_{c}"), 0o644).expect("create");
+                    client
+                        .set_file_params(attr.handle, FileParams::important(replicas))
+                        .expect("set replicas");
+                    client.write(attr.handle, 0, b"warmup payload").expect("warmup write");
+                    attr.handle
+                }
+            };
+            (client, fh)
+        })
+        .collect();
+    rt.settle();
+
+    // Timed section: concurrent client traffic.
+    let served_before = rt.stats();
+    let t0 = Instant::now();
+    let workers: Vec<_> = sessions
+        .drain(..)
+        .enumerate()
+        .map(|(c, (mut client, fh))| {
+            thread::spawn(move || {
+                let payload = format!("client {c} payload: 64 bytes of live benchmark traffic ...");
+                for i in 0..ops_per_client {
+                    if workload.is_write(i) {
+                        client.write(fh, 0, payload.as_bytes()).expect("bench write");
+                    } else {
+                        client.read(fh, 0, 128).expect("bench read");
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("bench client");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let served_after = rt.stats();
+    rt.shutdown();
+
+    let ops = clients * ops_per_client;
+    let served = served_after.requests_served.saturating_sub(served_before.requests_served);
+    let shared =
+        served_after.requests_served_shared.saturating_sub(served_before.requests_served_shared);
+    let sharded =
+        served_after.requests_served_sharded.saturating_sub(served_before.requests_served_sharded);
+    let frac = |part: u64| if served == 0 { 0.0 } else { part as f64 / served as f64 };
+    Sample {
+        workload,
+        clients,
+        replicas,
+        ops,
+        secs,
+        ops_per_sec: ops as f64 / secs,
+        shared_fraction: frac(shared),
+        sharded_fraction: frac(sharded),
+    }
+}

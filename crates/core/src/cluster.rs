@@ -6,18 +6,37 @@
 //! cluster executes the §3 protocols against the simulated network,
 //! advances the simulated clock by each operation's latency, and drives
 //! deferred work (asynchronous propagation, write-back, stability
-//! timeouts, background replica generation) through an event queue.
+//! timeouts, background replica generation) through per-shard event
+//! queues.
+//!
+//! # Two ways in
+//!
+//! The *exclusive* entry points (`&mut self`: [`Cluster::write`],
+//! [`Cluster::read`], failure injection, recovery, settling) are the
+//! simulator's API and the concurrent host's fallback path; they may
+//! touch anything and fire any due deferred work.
+//!
+//! The *sharded* entry points (`&self` with an explicit slot list:
+//! [`Cluster::write_sharded`] and friends) are the concurrent host's
+//! mutation fast path. The caller declares — and must hold the ring
+//! locks for — the shard slots the operation's [`crate::OpClass`]
+//! names; the operation then only touches hot state in those slots
+//! (plus cold cell state behind its own leaf locks) and only fires
+//! deferred work belonging to them. See [`crate::hot`] for the data-lock
+//! discipline that makes the interleaving sound.
 
-use std::collections::BTreeMap;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use deceit_isis::GroupTable;
 use deceit_net::{Network, NodeId};
-use deceit_sim::{EventQueue, SimDuration, SimTime, StatsRegistry, TraceLog};
+use deceit_sim::{SimDuration, SimTime, StatsRegistry, TraceLog};
 
 use crate::config::ClusterConfig;
 use crate::error::{DeceitError, DeceitResult};
-use crate::event::Pending;
+use crate::host::shard_slot;
+use crate::hot::{ShardedEvents, ShardedMap};
 use crate::server::{SegmentId, ServerState};
 use crate::trace_events::ProtocolEvent;
 use crate::version::BranchTable;
@@ -45,67 +64,107 @@ pub struct ConflictRecord {
     pub at: SimTime,
 }
 
+/// Which slice of the cell an operation is entitled to touch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum OpScope<'a> {
+    /// The exclusive path: everything, including every slot's due events.
+    Global,
+    /// The sharded path: only the named slots' hot state and due events.
+    /// The caller holds these slots' ring locks.
+    Slots(&'a [usize]),
+}
+
 /// One Deceit cell: the paper's unit of deployment (§2.2).
 #[derive(Debug)]
 pub struct Cluster {
     /// Deployment configuration.
     pub cfg: ClusterConfig,
-    /// The simulated network.
+    /// The simulated network. Sending is `&self` (internally locked);
+    /// topology changes (crash, partition) require `&mut` and only ever
+    /// happen on the exclusive path.
     pub net: Network,
     pub(crate) servers: Vec<ServerState>,
-    /// The ISIS group directory for this cell.
+    /// The ISIS group directory for this cell (internally synchronized).
     pub groups: GroupTable,
-    /// Deferred actions.
-    pub(crate) events: EventQueue<Pending>,
-    clock: SimTime,
-    /// Experiment metrics.
+    /// Deferred actions, partitioned by shard slot.
+    pub(crate) events: ShardedEvents,
+    /// Protocol time, in microseconds. Monotone; advanced by operation
+    /// latencies and event due times.
+    clock: AtomicU64,
+    /// Experiment metrics (internally synchronized).
     pub stats: StatsRegistry,
-    /// Protocol trace (Table 1 regeneration).
+    /// Protocol trace (Table 1 regeneration; internally synchronized).
     pub trace: TraceLog<ProtocolEvent>,
-    /// Per-segment history-tree branch records.
+    /// Per-segment history-tree branch records, sharded by segment.
     ///
     /// The paper stores branch records with each replica; we keep the
     /// per-segment union here. This is equivalent for every §3.6 scenario
     /// because version comparisons only ever happen between servers that
     /// can communicate — exactly when the paper's records would be
     /// exchangeable — and it makes reconciliation auditable in one place.
-    pub(crate) branches: BTreeMap<SegmentId, BranchTable>,
+    pub(crate) branches: ShardedMap<SegmentId, BranchTable>,
     /// The "well known file" of version conflicts awaiting the user.
+    /// Only written on the exclusive path (recovery, reconciliation,
+    /// version deletion), so it needs no interior lock.
     pub conflicts: Vec<ConflictRecord>,
     /// Segments that have been explicitly deleted; recovering servers
-    /// garbage-collect any stale replicas of these.
-    pub(crate) deleted: BTreeSet<SegmentId>,
-    next_segment: u64,
-    next_major: u64,
+    /// garbage-collect any stale replicas of these. Behind a leaf lock:
+    /// the sharded create path's rollback deletes its newborn segment.
+    pub(crate) deleted: Mutex<BTreeSet<SegmentId>>,
+    next_segment: AtomicU64,
+    next_major: AtomicU64,
 }
 
 impl Cluster {
     /// Builds a cell of `n_servers` servers, fully connected and all alive.
     pub fn new(n_servers: usize, cfg: ClusterConfig) -> Self {
         assert!(n_servers > 0, "a cell needs at least one server");
+        let shards = cfg.shards.clamp(1, 64);
         let net = Network::new(cfg.latency.clone(), cfg.seed);
-        let servers = (0..n_servers).map(|i| ServerState::new(NodeId::from(i), cfg.disk)).collect();
+        let servers =
+            (0..n_servers).map(|i| ServerState::new(NodeId::from(i), cfg.disk, shards)).collect();
         let trace = if cfg.trace { TraceLog::new() } else { TraceLog::disabled() };
+        let stats = if cfg.stats { StatsRegistry::new() } else { StatsRegistry::disabled() };
         Cluster {
             net,
             servers,
             groups: GroupTable::new(),
-            events: EventQueue::new(),
-            clock: SimTime::ZERO,
-            stats: StatsRegistry::new(),
+            events: ShardedEvents::new(shards),
+            clock: AtomicU64::new(0),
+            stats,
             trace,
-            branches: BTreeMap::new(),
+            branches: ShardedMap::new(shards),
             conflicts: Vec::new(),
-            deleted: BTreeSet::new(),
-            next_segment: 0,
-            next_major: 0,
+            deleted: Mutex::new(BTreeSet::new()),
+            next_segment: AtomicU64::new(0),
+            next_major: AtomicU64::new(0),
             cfg,
         }
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.clock
+        SimTime::from_micros(self.clock.load(Ordering::Relaxed))
+    }
+
+    /// Advances the clock to at least `at` (events jump time forward).
+    pub(crate) fn clock_to(&self, at: SimTime) {
+        self.clock.fetch_max(at.as_micros(), Ordering::Relaxed);
+    }
+
+    /// Adds an operation's latency to the clock.
+    pub(crate) fn clock_add(&self, d: SimDuration) {
+        self.clock.fetch_add(d.as_micros(), Ordering::Relaxed);
+    }
+
+    /// The number of shard slots the hot state is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.events.shard_count()
+    }
+
+    /// The shard slot of one segment.
+    pub fn slot_of(&self, seg: SegmentId) -> usize {
+        shard_slot(seg.0, self.shard_count())
     }
 
     /// Number of servers in the cell.
@@ -123,11 +182,6 @@ impl Cluster {
         &self.servers[id.index()]
     }
 
-    /// Mutable access to one server's state.
-    pub fn server_mut(&mut self, id: NodeId) -> &mut ServerState {
-        &mut self.servers[id.index()]
-    }
-
     /// Errors unless `via` designates a live server.
     pub fn check_up(&self, via: NodeId) -> DeceitResult<()> {
         if via.index() >= self.servers.len() {
@@ -140,55 +194,85 @@ impl Cluster {
     }
 
     /// Allocates a fresh segment id.
-    pub(crate) fn alloc_segment(&mut self) -> SegmentId {
-        let id = SegmentId(self.next_segment);
-        self.next_segment += 1;
-        id
+    pub(crate) fn alloc_segment(&self) -> SegmentId {
+        SegmentId(self.next_segment.fetch_add(1, Ordering::Relaxed))
     }
 
     /// Allocates a globally unique major version number (§3.5: "Deceit
     /// selects major version numbers carefully to insure global
     /// uniqueness").
-    pub(crate) fn alloc_major(&mut self) -> u64 {
-        let m = self.next_major;
-        self.next_major += 1;
-        m
+    pub(crate) fn alloc_major(&self) -> u64 {
+        self.next_major.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// The branch table of one segment.
-    pub fn branch_table(&mut self, seg: SegmentId) -> &mut BranchTable {
-        self.branches.entry(seg).or_default()
+    /// Runs `f` on the branch table of one segment (created empty on
+    /// first use), under its shard's data lock.
+    pub fn with_branch_table<R>(&self, seg: SegmentId, f: impl FnOnce(&mut BranchTable) -> R) -> R {
+        self.branches.with_or_insert(seg, BranchTable::default, f)
     }
 
-    /// Read-only branch table access.
-    pub fn branch_table_ref(&self, seg: SegmentId) -> Option<&BranchTable> {
-        self.branches.get(&seg)
+    /// An owned snapshot of one segment's branch table (empty if never
+    /// materialized).
+    pub fn branch_table_snapshot(&self, seg: SegmentId) -> BranchTable {
+        self.branches.get(&seg).unwrap_or_default()
     }
 
     /// Emits a protocol trace event at the current time.
-    pub(crate) fn emit(&mut self, ev: ProtocolEvent) {
-        self.trace.emit(self.clock, ev);
+    pub(crate) fn emit(&self, ev: ProtocolEvent) {
+        self.trace.emit(self.now(), ev);
     }
 
     // ------------------------------------------------------------------
     // Event engine
     // ------------------------------------------------------------------
 
-    /// Fires every pending event due at or before the current clock.
-    pub(crate) fn fire_due(&mut self) {
-        while let Some((at, ev)) = self.events.pop_due(self.clock) {
-            self.handle_event(at, ev);
+    /// Fires every pending event due at or before the current clock,
+    /// within the given scope.
+    pub(crate) fn fire_due(&self, scope: OpScope<'_>) {
+        if self.events.len() == 0 {
+            return;
+        }
+        loop {
+            let due = match scope {
+                OpScope::Global => self.events.pop_due(self.now()),
+                OpScope::Slots(slots) => self.events.pop_due_slots(slots, self.now()),
+            };
+            match due {
+                Some((at, ev)) => self.handle_event(at, ev),
+                None => break,
+            }
         }
     }
 
     /// Advances the clock by `d`, firing events as they come due.
     pub fn advance(&mut self, d: SimDuration) {
-        let deadline = self.clock + d;
-        while let Some((at, ev)) = self.events.pop_due(deadline) {
-            self.clock = self.clock.max(at);
-            self.handle_event(at, ev);
+        self.advance_scope(OpScope::Global, d);
+    }
+
+    /// The sharded path's clock advance: fires only the named slots' due
+    /// events (the §5.1 restart backoff needs *this file's* lazy applies
+    /// to land before the re-read; other files' work belongs to whoever
+    /// holds their locks).
+    pub fn advance_sharded(&self, slots: &[usize], d: SimDuration) {
+        self.advance_scope(OpScope::Slots(slots), d);
+    }
+
+    fn advance_scope(&self, scope: OpScope<'_>, d: SimDuration) {
+        let deadline = self.now() + d;
+        loop {
+            let due = match scope {
+                OpScope::Global => self.events.pop_due(deadline),
+                OpScope::Slots(slots) => self.events.pop_due_slots(slots, deadline),
+            };
+            match due {
+                Some((at, ev)) => {
+                    self.clock_to(at);
+                    self.handle_event(at, ev);
+                }
+                None => break,
+            }
         }
-        self.clock = deadline;
+        self.clock_to(deadline);
     }
 
     /// Drains the event queue entirely, jumping the clock forward to each
@@ -200,7 +284,7 @@ impl Cluster {
         // practice the queue drains in a handful of iterations.
         let mut budget = 1_000_000u64;
         while let Some((at, ev)) = self.events.pop() {
-            self.clock = self.clock.max(at);
+            self.clock_to(at);
             self.handle_event(at, ev);
             budget -= 1;
             assert!(budget > 0, "event queue failed to quiesce");
@@ -225,7 +309,7 @@ impl Cluster {
         while fired < max_events {
             match self.events.pop() {
                 Some((at, ev)) => {
-                    self.clock = self.clock.max(at);
+                    self.clock_to(at);
                     self.handle_event(at, ev);
                     fired += 1;
                 }
@@ -236,32 +320,27 @@ impl Cluster {
     }
 
     /// Fires up to `max_events` pending events belonging to one shard
-    /// slot (segments with `seg % shards == slot`, plus per-server
-    /// flushes attributed by server id), exactly as [`Cluster::pump`]
-    /// fires them but restricted to that slice of the cell.
+    /// slot, exactly as [`Cluster::pump`] fires them but restricted to
+    /// that slice of the cell — and through `&self`, so a concurrent
+    /// host's pump runs it under the shared cell lock plus the slot's
+    /// ring lock.
     ///
     /// Relative order within the slot is preserved — same-segment
     /// actions still apply in their scheduled order — so per-file
     /// outcomes are identical to a global drain; only the interleaving
     /// *across* files changes, which deferred work tolerates by design
     /// (see [`Cluster::pump`]).
-    pub fn pump_shard(&mut self, slot: usize, shards: usize, max_events: usize) -> usize {
-        self.apply_read_touches();
-        // Count the slot's work up front (one non-destructive scan) so
-        // the drain pops exactly that many matches and never runs
-        // `pop_where`'s no-match probe, which would churn the whole
-        // heap. Events the fired handlers push are picked up next pass.
-        let budget = self
-            .events
-            .iter()
-            .filter(|ev| crate::shard_slot(ev.shard_hint(), shards) == slot)
-            .count()
-            .min(max_events);
+    pub fn pump_shard(&self, slot: usize, max_events: usize) -> usize {
+        self.apply_read_touches_slot(slot);
+        // Bound the drain by the work present at entry so events the
+        // fired handlers push are picked up next pass, not chased
+        // forever within one slice.
+        let budget = self.events.slot_len(slot).min(max_events);
         let mut fired = 0;
         while fired < budget {
-            match self.events.pop_where(|ev| crate::shard_slot(ev.shard_hint(), shards) == slot) {
+            match self.events.pop_slot(slot) {
                 Some((at, ev)) => {
-                    self.clock = self.clock.max(at);
+                    self.clock_to(at);
                     self.handle_event(at, ev);
                     fired += 1;
                 }
@@ -271,15 +350,10 @@ impl Cluster {
         fired
     }
 
-    /// The shard slots (out of `shards`) that currently have deferred
-    /// work, ascending and deduplicated — lets a host pump only the
-    /// slots worth visiting instead of probing every one.
-    pub fn pending_slots(&self, shards: usize) -> Vec<usize> {
-        let mut hot = vec![false; shards.max(1)];
-        for ev in self.events.iter() {
-            hot[crate::shard_slot(ev.shard_hint(), shards)] = true;
-        }
-        hot.iter().enumerate().filter(|(_, &h)| h).map(|(slot, _)| slot).collect()
+    /// Bitmask of shard slots that currently have deferred work —
+    /// allocation-free, so an idle pump can poll it cheaply.
+    pub fn pending_shard_mask(&self) -> u64 {
+        self.events.pending_mask()
     }
 
     /// Number of deferred actions currently awaiting execution.
@@ -290,18 +364,28 @@ impl Cluster {
     /// Applies the replica accesses recorded by the shared read fast
     /// path to `last_access`, so concurrent reads feed LRU retention
     /// (§3.1) exactly as exclusive reads do — just deferred to the next
-    /// exclusive entry. Touches use the same non-durable write the
-    /// exclusive path uses.
-    pub(crate) fn apply_read_touches(&mut self) {
-        for i in 0..self.servers.len() {
-            let touches = self.servers[i].take_read_touches();
-            for (key, at) in touches {
-                if let Some(r) = self.servers[i].replicas.get(&key) {
-                    if r.last_access < at {
-                        let mut touched = r.clone();
-                        touched.last_access = at;
-                        self.servers[i].replicas.put_async(key, touched);
-                    }
+    /// engine entry covering the key's slot. The fold happens atomically
+    /// under each slot's data lock (see [`crate::hot::ShardedDisk`]), so
+    /// it can never clobber a concurrent mutation.
+    pub(crate) fn apply_read_touches(&self) {
+        for s in &self.servers {
+            s.replicas.apply_touches_all(&touch_last_access);
+        }
+    }
+
+    /// Slot-scoped form of [`Cluster::apply_read_touches`].
+    pub(crate) fn apply_read_touches_slot(&self, slot: usize) {
+        for s in &self.servers {
+            s.replicas.apply_touches_slot(slot, &touch_last_access);
+        }
+    }
+
+    fn apply_read_touches_scope(&self, scope: OpScope<'_>) {
+        match scope {
+            OpScope::Global => self.apply_read_touches(),
+            OpScope::Slots(slots) => {
+                for &slot in slots {
+                    self.apply_read_touches_slot(slot);
                 }
             }
         }
@@ -309,18 +393,22 @@ impl Cluster {
 
     /// Book-keeping shared by all client-visible operations: fire due
     /// events, run the body, advance the clock by the observed latency.
-    pub(crate) fn client_op<T>(
-        &mut self,
+    ///
+    /// On the sharded path ([`OpScope::Slots`]) every step is restricted
+    /// to the slots the caller's ring locks cover.
+    pub(crate) fn client_op_scoped<T>(
+        &self,
         via: NodeId,
-        body: impl FnOnce(&mut Self) -> DeceitResult<(T, SimDuration)>,
+        scope: OpScope<'_>,
+        body: impl FnOnce(&Self) -> DeceitResult<(T, SimDuration)>,
     ) -> DeceitResult<OpResult<T>> {
-        self.apply_read_touches();
-        self.fire_due();
+        self.apply_read_touches_scope(scope);
+        self.fire_due(scope);
         self.check_up(via)?;
-        self.servers[via.index()].ops_served += 1;
+        self.server(via).ops_served.fetch_add(1, Ordering::Relaxed);
         let (value, latency) = body(self)?;
-        self.clock += latency;
-        self.fire_due();
+        self.clock_add(latency);
+        self.fire_due(scope);
         Ok(OpResult { value, latency })
     }
 
@@ -370,9 +458,28 @@ impl Cluster {
 
     /// The live members of the segment's file group, if any.
     pub fn group_members(&self, seg: SegmentId) -> Option<(deceit_isis::GroupId, Vec<NodeId>)> {
-        let gid = self.groups.lookup(&group_name(seg))?;
-        let view = self.groups.view(gid).ok()?;
-        Some((gid, view.members.iter().copied().collect()))
+        self.groups.members_by_name(&group_name(seg))
+    }
+
+    /// Whether `seg` is recorded as deleted.
+    pub(crate) fn is_deleted(&self, seg: SegmentId) -> bool {
+        self.deleted.lock().unwrap_or_else(|e| e.into_inner()).contains(&seg)
+    }
+
+    /// Records `seg` as deleted (recovering servers GC stale replicas).
+    pub(crate) fn mark_deleted(&self, seg: SegmentId) {
+        self.deleted.lock().unwrap_or_else(|e| e.into_inner()).insert(seg);
+    }
+}
+
+/// The LRU fold applied by read-touch application: advance `last_access`
+/// monotonically, reporting whether anything changed.
+fn touch_last_access(r: &mut crate::replica::Replica, at: SimTime) -> bool {
+    if r.last_access < at {
+        r.last_access = at;
+        true
+    } else {
+        false
     }
 }
 
@@ -393,6 +500,7 @@ mod tests {
         assert_eq!(c.server_ids().len(), 4);
         assert!(c.check_up(NodeId(3)).is_ok());
         assert_eq!(c.check_up(NodeId(9)), Err(DeceitError::NoSuchServer(NodeId(9))));
+        assert_eq!(c.shard_count(), ClusterConfig::default().shards);
     }
 
     #[test]
@@ -412,7 +520,7 @@ mod tests {
 
     #[test]
     fn allocators_are_unique() {
-        let mut c = Cluster::new(1, ClusterConfig::deterministic());
+        let c = Cluster::new(1, ClusterConfig::deterministic());
         let a = c.alloc_segment();
         let b = c.alloc_segment();
         assert_ne!(a, b);
@@ -426,7 +534,7 @@ mod tests {
     }
 
     #[test]
-    fn shared_reads_feed_lru_on_next_exclusive_entry() {
+    fn shared_reads_feed_lru_on_next_engine_entry() {
         let mut c = Cluster::new(1, ClusterConfig::deterministic());
         let seg = c.create(NodeId(0)).unwrap().value;
         c.write(NodeId(0), seg, crate::ops::WriteOp::replace(b"touch me"), None).unwrap();
@@ -438,10 +546,41 @@ mod tests {
         let read = c.try_read_local(NodeId(0), seg, None, 0, 16).expect("local stable replica");
         assert_eq!(&read.value.data[..], b"touch me");
         // The shared path records the access without mutating the
-        // replica; the next exclusive entry applies it.
+        // replica; the next engine entry covering the slot applies it.
         assert_eq!(c.server(NodeId(0)).replicas.get(&key).unwrap().last_access, before);
         c.apply_read_touches();
         let after = c.server(NodeId(0)).replicas.get(&key).unwrap().last_access;
         assert!(after > before, "LRU input must advance: {before:?} -> {after:?}");
+    }
+
+    #[test]
+    fn sharded_advance_only_fires_own_slots() {
+        let mut c = Cluster::new(3, ClusterConfig::deterministic());
+        let seg_a = c.create(NodeId(0)).unwrap().value;
+        let seg_b = c.create(NodeId(0)).unwrap().value;
+        c.set_params(
+            NodeId(0),
+            seg_a,
+            crate::params::FileParams { min_replicas: 3, ..Default::default() },
+        )
+        .unwrap();
+        c.set_params(
+            NodeId(0),
+            seg_b,
+            crate::params::FileParams { min_replicas: 3, ..Default::default() },
+        )
+        .unwrap();
+        c.run_until_quiet();
+        c.write(NodeId(0), seg_a, crate::ops::WriteOp::replace(b"a"), None).unwrap();
+        c.write(NodeId(0), seg_b, crate::ops::WriteOp::replace(b"b"), None).unwrap();
+        let (slot_a, slot_b) = (c.slot_of(seg_a), c.slot_of(seg_b));
+        assert_ne!(slot_a, slot_b, "consecutive segments land in distinct slots");
+        assert!(c.pending_events() > 0);
+        // Advancing within slot A's scope must not fire slot B's work.
+        let b_before = c.events.slot_len(slot_b);
+        c.advance_sharded(&[slot_a], SimDuration::from_secs(10));
+        assert_eq!(c.events.slot_len(slot_a), 0, "own slot drains");
+        assert_eq!(c.events.slot_len(slot_b), b_before, "foreign slot untouched");
+        c.run_until_quiet();
     }
 }

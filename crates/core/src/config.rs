@@ -35,6 +35,9 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Whether to record protocol trace events (disable in benchmarks).
     pub trace: bool,
+    /// Whether to record protocol metrics counters/histograms (disable
+    /// in live hosting: the registry sits on the request hot path).
+    pub stats: bool,
     /// §3.3 optimization 1: "broadcast an update in the same message with
     /// a token request; replica holders execute those updates upon
     /// receiving the corresponding token pass." When enabled, acquiring a
@@ -49,6 +52,12 @@ pub struct ClusterConfig {
     pub opt_forward_small: bool,
     /// Size bound below which optimization 2 applies.
     pub forward_small_threshold: usize,
+    /// Shard slots the hot state (replica/token tables, delivery buffers,
+    /// branch tables, the deferred-work queue) is partitioned into. A
+    /// concurrent host's ring locks must use the same count so that
+    /// holding a file's ring slot covers exactly the file's data slice.
+    /// Clamped to 1..=64 (the pending-work scan is a `u64` mask).
+    pub shards: usize,
 }
 
 impl Default for ClusterConfig {
@@ -64,9 +73,11 @@ impl Default for ClusterConfig {
             lru_keep: SimDuration::from_secs(300),
             seed: 0xDECE17,
             trace: true,
+            stats: true,
             opt_piggyback_acquire: false,
             opt_forward_small: false,
             forward_small_threshold: 4096,
+            shards: 16,
         }
     }
 }
@@ -93,10 +104,22 @@ impl ClusterConfig {
         self
     }
 
+    /// Disables metrics recording, builder-style (for live hosting).
+    pub fn without_stats(mut self) -> Self {
+        self.stats = false;
+        self
+    }
+
     /// Enables both §3.3 token-protocol optimizations, builder-style.
     pub fn with_token_optimizations(mut self) -> Self {
         self.opt_piggyback_acquire = true;
         self.opt_forward_small = true;
+        self
+    }
+
+    /// Sets the hot-state shard count, builder-style (clamped to 1..=64).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.clamp(1, 64);
         self
     }
 }

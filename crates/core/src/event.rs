@@ -18,10 +18,15 @@ pub enum Pending {
         /// The update itself.
         update: UpdateRecord,
     },
-    /// Flush a server's asynchronously written local state to disk.
+    /// Flush a server's asynchronously written local state to disk —
+    /// the shard slice of the segment that dirtied it.
     FlushServer {
         /// Server to flush.
         server: NodeId,
+        /// The segment whose mutation scheduled the flush; attributes
+        /// the work to that file's shard, so it drains under the same
+        /// locks the mutation held.
+        seg: crate::server::SegmentId,
     },
     /// Check whether the write stream on a file has gone quiet and, if so,
     /// mark the group stable (§3.4).
@@ -50,21 +55,23 @@ impl Pending {
     pub fn owner(&self) -> NodeId {
         match self {
             Pending::ApplyUpdate { server, .. }
-            | Pending::FlushServer { server }
+            | Pending::FlushServer { server, .. }
             | Pending::StabilizeCheck { server, .. } => *server,
             Pending::GenerateReplica { holder, .. } => *holder,
         }
     }
 
-    /// The shard key this action belongs to, for per-shard pumping: the
-    /// segment it operates on, or the owning server's id for actions
-    /// (disk flushes) that are per-server rather than per-file.
+    /// The shard key this action belongs to, for per-shard pumping and
+    /// queue routing: the segment it operates on. Every deferred action
+    /// is per-file (flushes carry the segment that dirtied them), so a
+    /// host holding one file's shard locks can fire exactly the deferred
+    /// work those locks cover.
     pub fn shard_hint(&self) -> u64 {
         match self {
             Pending::ApplyUpdate { key, .. }
             | Pending::StabilizeCheck { key, .. }
             | Pending::GenerateReplica { key, .. } => key.0 .0,
-            Pending::FlushServer { server } => u64::from(server.0),
+            Pending::FlushServer { seg, .. } => seg.0,
         }
     }
 }
@@ -88,7 +95,9 @@ mod tests {
             },
         };
         assert_eq!(apply.owner(), NodeId(3));
-        assert_eq!(Pending::FlushServer { server: NodeId(1) }.owner(), NodeId(1));
+        let flush = Pending::FlushServer { server: NodeId(1), seg: SegmentId(4) };
+        assert_eq!(flush.owner(), NodeId(1));
+        assert_eq!(flush.shard_hint(), 4, "flushes shard by the segment that dirtied them");
         assert_eq!(
             Pending::GenerateReplica { holder: NodeId(2), key, target: NodeId(4) }.owner(),
             NodeId(2)

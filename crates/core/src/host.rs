@@ -11,7 +11,8 @@
 //! independent of transport:
 //!
 //! * advancing deferred protocol work in bounded slices ([`pump`]) or to
-//!   quiescence ([`settle`]),
+//!   quiescence ([`settle`]) — globally with exclusive access, or one
+//!   shard at a time with shared access ([`try_pump_shard`]),
 //! * failure injection (crash, restart, partition, heal) mirroring the
 //!   simulator's API so the same scenarios run in both worlds,
 //! * liveness and clock introspection.
@@ -23,6 +24,7 @@
 //!
 //! [`pump`]: ProtocolHost::pump
 //! [`settle`]: ProtocolHost::settle
+//! [`try_pump_shard`]: ProtocolHost::try_pump_shard
 
 use deceit_net::NodeId;
 use deceit_sim::SimTime;
@@ -47,7 +49,7 @@ pub fn shard_slot(key: ShardKey, shards: usize) -> usize {
 /// seam a concurrent host dispatches on.
 ///
 /// The engine's state divides into *cold cell-wide* state (membership,
-/// groups, stats, trace, the clock and event queue) and *hot per-file*
+/// groups, stats, trace, the clock and event queues) and *hot per-file*
 /// state (replicas, tokens, streams, directory segments). A hosting
 /// environment keeps the cell state under a read-mostly lock and the
 /// per-file state under shard locks; every operation declares up front
@@ -88,6 +90,18 @@ impl OpClass {
         };
         a.into_iter().chain(b)
     }
+
+    /// Writes the slot sequence into a fixed buffer (a class never
+    /// declares more than two slots), returning how many were written —
+    /// the allocation-free form hosts use on the request hot path.
+    pub fn slots_into(&self, shards: usize, buf: &mut [usize; 2]) -> usize {
+        let mut n = 0;
+        for s in self.slots(shards) {
+            buf[n] = s;
+            n += 1;
+        }
+        n
+    }
 }
 
 /// A protocol engine that can be hosted outside the simulator.
@@ -97,33 +111,38 @@ pub trait ProtocolHost {
     /// background replica generation), returning how many fired.
     fn pump(&mut self, max_events: usize) -> usize;
 
-    /// Fires up to `max_events` units of deferred work belonging to one
-    /// shard slot (out of `shards`), returning how many fired.
-    ///
-    /// A sharded host sweeps the slots round-robin so a file with a deep
-    /// backlog cannot monopolize the pump. Relative order *within* a
-    /// slot is preserved; engines that cannot attribute work to shards
-    /// drain everything through slot 0.
-    fn pump_shard(&mut self, slot: usize, shards: usize, max_events: usize) -> usize {
-        if slot == 0 {
-            self.pump(max_events)
-        } else {
-            let _ = shards;
-            0
-        }
+    /// The number of shard slots the engine partitions its deferred work
+    /// (and hot state) into. Hosts size their ring locks to match, so
+    /// holding slot `s`'s ring lock covers exactly the engine's slot-`s`
+    /// state. At most 64 (the pending-work scan is a `u64` mask).
+    fn shard_count(&self) -> usize {
+        1
     }
 
-    /// The shard slots (out of `shards`) that currently have deferred
-    /// work, ascending and deduplicated, so a host pumps only the slots
-    /// worth visiting. Engines that cannot attribute work to shards
-    /// report slot 0 whenever anything is pending, matching the default
-    /// [`ProtocolHost::pump_shard`].
-    fn pending_slots(&self, shards: usize) -> Vec<usize> {
-        let _ = shards;
+    /// Fires up to `max_events` units of deferred work belonging to one
+    /// shard slot with *shared* engine access, returning how many fired
+    /// — or `None` if this engine cannot pump a shard without exclusive
+    /// access (the host then falls back to an exclusive [`pump`]).
+    ///
+    /// The caller must hold the ring lock of `slot`: relative order
+    /// *within* a slot is preserved, and the ring lock is what keeps a
+    /// concurrent mutation of the same files out while the slot drains.
+    ///
+    /// [`pump`]: ProtocolHost::pump
+    fn try_pump_shard(&self, slot: usize, max_events: usize) -> Option<usize> {
+        let _ = (slot, max_events);
+        None
+    }
+
+    /// Bitmask of shard slots that currently have deferred work —
+    /// allocation-free, so an idle host can poll it without garbage.
+    /// Engines that cannot attribute work to shards report slot 0
+    /// whenever anything is pending.
+    fn pending_shard_mask(&self) -> u64 {
         if self.pending_work() > 0 {
-            vec![0]
+            1
         } else {
-            Vec::new()
+            0
         }
     }
 
@@ -163,12 +182,16 @@ impl ProtocolHost for Cluster {
         Cluster::pump(self, max_events)
     }
 
-    fn pump_shard(&mut self, slot: usize, shards: usize, max_events: usize) -> usize {
-        Cluster::pump_shard(self, slot, shards, max_events)
+    fn shard_count(&self) -> usize {
+        Cluster::shard_count(self)
     }
 
-    fn pending_slots(&self, shards: usize) -> Vec<usize> {
-        Cluster::pending_slots(self, shards)
+    fn try_pump_shard(&self, slot: usize, max_events: usize) -> Option<usize> {
+        Some(Cluster::pump_shard(self, slot, max_events))
+    }
+
+    fn pending_shard_mask(&self) -> u64 {
+        Cluster::pending_shard_mask(self)
     }
 
     fn settle(&mut self) {
@@ -242,6 +265,26 @@ mod tests {
         assert_eq!(OpClass::CrossShard(9, 1).slots(8).collect::<Vec<_>>(), vec![1]);
     }
 
+    /// No constructible class may ever yield duplicate or descending
+    /// slots: a host locks the sequence in order, and a duplicate would
+    /// self-deadlock. This pins the dedup so a future `slots()` refactor
+    /// cannot silently reintroduce it.
+    #[test]
+    fn op_class_slots_never_duplicate_for_any_key_pair() {
+        for shards in [1usize, 2, 3, 8, 64] {
+            for a in 0..130u64 {
+                for b in 0..130u64 {
+                    let slots: Vec<usize> = OpClass::CrossShard(a, b).slots(shards).collect();
+                    assert!(
+                        slots.windows(2).all(|w| w[0] < w[1]),
+                        "CrossShard({a},{b}) with {shards} shards yielded {slots:?}"
+                    );
+                    assert!(!slots.is_empty() && slots.len() <= 2);
+                }
+            }
+        }
+    }
+
     #[test]
     fn cluster_pump_shard_only_fires_matching_work() {
         let mut c = Cluster::new(3, ClusterConfig::deterministic());
@@ -250,11 +293,14 @@ mod tests {
             .unwrap();
         c.write(NodeId(0), seg, WriteOp::replace(b"shard me"), None).unwrap();
         assert!(c.pending_events() > 0);
-        let shards = 4;
-        // Sweeping every slot drains exactly what a global pump would.
+        let shards = c.shard_count();
+        let own = c.slot_of(seg);
+        // Only the segment's own slot reports (and fires) work.
+        assert_eq!(c.pending_shard_mask(), 1 << own);
         let mut fired = 0;
         loop {
-            let pass: usize = (0..shards).map(|s| c.pump_shard(s, shards, 16)).sum();
+            let pass: usize =
+                (0..shards).map(|s| ProtocolHost::try_pump_shard(&c, s, 16).unwrap()).sum();
             if pass == 0 {
                 break;
             }

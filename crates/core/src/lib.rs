@@ -53,6 +53,7 @@ pub mod config;
 pub mod error;
 pub mod event;
 pub mod host;
+pub mod hot;
 pub mod ops;
 pub mod params;
 pub mod proto;

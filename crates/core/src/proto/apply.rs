@@ -1,4 +1,9 @@
 //! Deferred-event handlers.
+//!
+//! Handlers run through `&self`: the pump fires a slot's events under the
+//! shared cell lock plus that slot's ring lock, and every handler touches
+//! only hot state of its own shard (flush events carry the segment that
+//! dirtied them, so even write-back is slot-local).
 
 use deceit_isis::SequencedMsg;
 use deceit_sim::SimTime;
@@ -9,7 +14,7 @@ use crate::event::Pending;
 impl Cluster {
     /// Dispatches one due event. `at` is the event's scheduled time; the
     /// cluster clock has already been advanced to at least `at`.
-    pub(crate) fn handle_event(&mut self, _at: SimTime, ev: Pending) {
+    pub(crate) fn handle_event(&self, _at: SimTime, ev: Pending) {
         match ev {
             Pending::ApplyUpdate { server, key, update } => {
                 if !self.net.is_up(server) {
@@ -21,20 +26,20 @@ impl Cluster {
                 // Route through the ordered-delivery buffer so updates
                 // apply in identical order regardless of arrival (§3.3).
                 let msg = SequencedMsg { seq: update.new_version.sub, payload: update };
-                let deliverable = self.server_mut(server).receiver_for(key).receive(msg);
+                let deliverable = self.server(server).receive_ordered(key, msg);
                 for (_, upd) in deliverable {
                     self.apply_update_at(server, key, &upd, false);
                 }
-                self.schedule_flush(server);
+                self.schedule_flush(server, key.0);
                 self.stats.incr("core/applies/remote");
             }
-            Pending::FlushServer { server } => {
+            Pending::FlushServer { server, seg } => {
                 if !self.net.is_up(server) {
                     return;
                 }
-                let s = self.server_mut(server);
-                let mut cost = s.replicas.flush_all();
-                cost += s.tokens.flush_all();
+                let s = self.server(server);
+                let mut cost = s.replicas.flush_slot_of(seg);
+                cost += s.tokens.flush_slot_of(seg);
                 self.stats.record_duration("disk/flush_cost", cost);
             }
             Pending::StabilizeCheck { server, key, epoch } => {

@@ -7,7 +7,7 @@
 use deceit_net::NodeId;
 use deceit_sim::SimDuration;
 
-use crate::cluster::{Cluster, OpResult};
+use crate::cluster::{Cluster, OpResult, OpScope};
 use crate::error::{DeceitError, DeceitResult};
 use crate::ops::WriteOp;
 use crate::params::FileParams;
@@ -39,18 +39,47 @@ impl Cluster {
         seg: SegmentId,
         params: FileParams,
     ) -> DeceitResult<OpResult<()>> {
-        let before = {
-            // Peek at current params to detect a raised replica level.
-            self.resolve_key(via, seg, None)
-                .ok()
-                .and_then(|(key, _)| {
-                    self.all_replica_holders(key)
-                        .first()
-                        .and_then(|&h| self.server(h).replicas.get(&key).map(|r| r.params))
-                })
-                .unwrap_or_default()
-        };
+        let before = self.peek_params(via, seg);
         let res = self.write(via, seg, WriteOp::SetParams(params), None)?;
+        self.after_set_params(via, seg, params, before);
+        Ok(OpResult { value: (), latency: res.latency })
+    }
+
+    /// The sharded-path twin of [`Cluster::set_params`]: parameter
+    /// changes ride the same per-file update machinery as writes, so the
+    /// same ring locks suffice.
+    pub fn set_params_sharded(
+        &self,
+        slots: &[usize],
+        via: NodeId,
+        seg: SegmentId,
+        params: FileParams,
+    ) -> DeceitResult<OpResult<()>> {
+        let before = self.peek_params(via, seg);
+        let res = self.write_sharded(slots, via, seg, WriteOp::SetParams(params), None)?;
+        self.after_set_params(via, seg, params, before);
+        Ok(OpResult { value: (), latency: res.latency })
+    }
+
+    /// Peek at current params to detect a raised replica level.
+    fn peek_params(&self, via: NodeId, seg: SegmentId) -> FileParams {
+        self.resolve_key(via, seg, None)
+            .ok()
+            .and_then(|(key, _)| {
+                self.all_replica_holders(key)
+                    .first()
+                    .and_then(|&h| self.server(h).replicas.with_ref(&key, |r| r.map(|r| r.params)))
+            })
+            .unwrap_or_default()
+    }
+
+    fn after_set_params(
+        &self,
+        via: NodeId,
+        seg: SegmentId,
+        params: FileParams,
+        before: FileParams,
+    ) {
         if params.min_replicas > before.min_replicas {
             if let Ok((key, _)) = self.resolve_key(via, seg, None) {
                 if let Some(holder) = self.find_reachable_token_holder(via, key) {
@@ -58,7 +87,6 @@ impl Cluster {
                 }
             }
         }
-        Ok(OpResult { value: (), latency: res.latency })
     }
 
     /// Reads the current parameters of a segment.
@@ -67,13 +95,30 @@ impl Cluster {
         via: NodeId,
         seg: SegmentId,
     ) -> DeceitResult<OpResult<FileParams>> {
-        self.client_op(via, |c| {
-            let (key, latency) = c.resolve_key(via, seg, None)?;
-            let holders = c.reachable_replica_holders(via, key);
-            let h = holders.first().copied().ok_or(DeceitError::Unavailable(seg))?;
-            let params = c.server(h).replicas.get(&key).map(|r| r.params).unwrap_or_default();
-            Ok((params, latency + c.cfg.local_read))
-        })
+        self.client_op_scoped(via, OpScope::Global, |c| c.do_get_params(via, seg))
+    }
+
+    /// The sharded-path twin of [`Cluster::get_params`].
+    pub fn get_params_sharded(
+        &self,
+        slots: &[usize],
+        via: NodeId,
+        seg: SegmentId,
+    ) -> DeceitResult<OpResult<FileParams>> {
+        self.client_op_scoped(via, OpScope::Slots(slots), |c| c.do_get_params(via, seg))
+    }
+
+    fn do_get_params(
+        &self,
+        via: NodeId,
+        seg: SegmentId,
+    ) -> DeceitResult<(FileParams, SimDuration)> {
+        let (key, latency) = self.resolve_key(via, seg, None)?;
+        let holders = self.reachable_replica_holders(via, key);
+        let h = holders.first().copied().ok_or(DeceitError::Unavailable(seg))?;
+        let params =
+            self.server(h).replicas.with_ref(&key, |r| r.map(|r| r.params)).unwrap_or_default();
+        Ok((params, latency + self.cfg.local_read))
     }
 
     /// "Users may inquire about the current location of all replicas for a
@@ -83,7 +128,7 @@ impl Cluster {
         via: NodeId,
         seg: SegmentId,
     ) -> DeceitResult<OpResult<Vec<NodeId>>> {
-        self.client_op(via, |c| {
+        self.client_op_scoped(via, OpScope::Global, |c| {
             let (key, mut latency) = c.resolve_key(via, seg, None)?;
             let mut scratch = SimDuration::ZERO;
             let _ = c.count_available_replicas(via, key, &mut scratch);
@@ -98,7 +143,7 @@ impl Cluster {
         via: NodeId,
         seg: SegmentId,
     ) -> DeceitResult<OpResult<Vec<VersionInfo>>> {
-        self.client_op(via, |c| {
+        self.client_op_scoped(via, OpScope::Global, |c| {
             let (_, mut latency) = c.resolve_key(via, seg, None)?;
             let mut scratch = SimDuration::ZERO;
             let _ = c.count_available_replicas(via, (seg, 0), &mut scratch);
@@ -122,7 +167,9 @@ impl Cluster {
                     let holders = c.all_replica_holders(key);
                     let version = holders
                         .first()
-                        .and_then(|&h| c.server(h).replicas.get(&key).map(|r| r.version))
+                        .and_then(|&h| {
+                            c.server(h).replicas.with_ref(&key, |r| r.map(|r| r.version))
+                        })
                         .unwrap_or(VersionPair { major: m, sub: 0 });
                     let has_token = c.find_reachable_token_holder(via, key).is_some();
                     VersionInfo { major: m, version, holders, has_token }
@@ -140,11 +187,11 @@ impl Cluster {
         via: NodeId,
         seg: SegmentId,
     ) -> DeceitResult<OpResult<VersionPair>> {
-        self.client_op(via, |c| {
+        self.client_op_scoped(via, OpScope::Global, |c| {
             let (key, latency) = c.resolve_key(via, seg, None)?;
             let holders = c.reachable_replica_holders(via, key);
             let h = holders.first().copied().ok_or(DeceitError::Unavailable(seg))?;
-            let v = c.server(h).replicas.get(&key).map(|r| r.version).unwrap();
+            let v = c.server(h).replicas.with_ref(&key, |r| r.map(|r| r.version)).unwrap();
             Ok((v, latency + c.cfg.local_read))
         })
     }
@@ -157,7 +204,7 @@ impl Cluster {
         seg: SegmentId,
         target: NodeId,
     ) -> DeceitResult<OpResult<()>> {
-        self.client_op(via, |c| {
+        self.client_op_scoped(via, OpScope::Global, |c| {
             c.check_up(target).map_err(|_| {
                 DeceitError::InvalidCommand(format!("target {target} is not a live server"))
             })?;
@@ -187,7 +234,7 @@ impl Cluster {
         seg: SegmentId,
         target: NodeId,
     ) -> DeceitResult<OpResult<()>> {
-        self.client_op(via, |c| {
+        self.client_op_scoped(via, OpScope::Global, |c| {
             let (key, mut latency) = c.resolve_key(via, seg, None)?;
             if !c.server(target).replicas.contains(&key) {
                 return Err(DeceitError::InvalidCommand(format!(
@@ -219,10 +266,10 @@ impl Cluster {
             }
             let token_holder = c.find_reachable_token_holder(via, key).unwrap_or(holder);
             c.destroy_replica(target, key);
-            if let Some(mut token) = c.server(token_holder).tokens.get(&key).cloned() {
+            if let Some(mut token) = c.server(token_holder).tokens.get(&key) {
                 token.holders.remove(&target);
-                c.server_mut(token_holder).tokens.put_async(key, token);
-                c.schedule_flush(token_holder);
+                c.server(token_holder).tokens.put_async(key, token);
+                c.schedule_flush(token_holder, key.0);
             }
             c.stats.incr("core/replicas/command_deleted");
             Ok(((), latency))
@@ -233,7 +280,7 @@ impl Cluster {
     /// form of file name, specific versions can be created"). Returns the
     /// new major version number.
     pub fn create_version(&mut self, via: NodeId, seg: SegmentId) -> DeceitResult<OpResult<u64>> {
-        self.client_op(via, |c| {
+        self.client_op_scoped(via, OpScope::Global, |c| {
             let (key, mut latency) = c.resolve_key(via, seg, None)?;
             let (new_key, gen) = c.generate_token(via, key)?;
             latency += gen;
@@ -249,28 +296,33 @@ impl Cluster {
         seg: SegmentId,
         major: u64,
     ) -> DeceitResult<OpResult<()>> {
-        self.client_op(via, |c| {
-            let key = (seg, major);
-            let holders = c.all_replica_holders(key);
-            if holders.is_empty() {
-                return Err(DeceitError::NoSuchVersion(seg, major));
+        // Conflict-log pruning needs `&mut`, so the body runs outside
+        // the scoped helper; this command is exclusive-path only.
+        self.apply_read_touches();
+        self.fire_due(OpScope::Global);
+        self.check_up(via)?;
+        self.server(via).ops_served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let key = (seg, major);
+        let holders = self.all_replica_holders(key);
+        if holders.is_empty() {
+            return Err(DeceitError::NoSuchVersion(seg, major));
+        }
+        let mut latency = SimDuration::ZERO;
+        let mut scratch = SimDuration::ZERO;
+        let _ = self.count_available_replicas(via, key, &mut scratch);
+        latency += scratch;
+        for h in holders {
+            if self.net.reachable(via, h) {
+                self.destroy_replica(h, key);
             }
-            let mut latency = SimDuration::ZERO;
-            let mut scratch = SimDuration::ZERO;
-            let _ = c.count_available_replicas(via, key, &mut scratch);
-            latency += scratch;
-            for h in holders {
-                if c.net.reachable(via, h) {
-                    c.destroy_replica(h, key);
-                }
-                c.server_mut(h).tokens.delete_sync(&key);
-            }
-            // Clear any logged conflicts this deletion resolves.
-            c.conflicts.retain(|rec| {
-                !(rec.seg == seg && (rec.majors.0 == major || rec.majors.1 == major))
-            });
-            c.stats.incr("core/versions/deleted");
-            Ok(((), latency))
-        })
+            self.server(h).tokens.delete_sync(&key);
+        }
+        // Clear any logged conflicts this deletion resolves.
+        self.conflicts
+            .retain(|rec| !(rec.seg == seg && (rec.majors.0 == major || rec.majors.1 == major)));
+        self.stats.incr("core/versions/deleted");
+        self.clock_add(latency);
+        self.fire_due(OpScope::Global);
+        Ok(OpResult { value: (), latency })
     }
 }

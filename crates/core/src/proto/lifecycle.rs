@@ -4,7 +4,7 @@ use deceit_isis::broadcast_round;
 use deceit_net::NodeId;
 use deceit_sim::SimDuration;
 
-use crate::cluster::{group_name, Cluster, OpResult};
+use crate::cluster::{group_name, Cluster, OpResult, OpScope};
 use crate::error::{DeceitError, DeceitResult};
 use crate::params::FileParams;
 use crate::replica::Replica;
@@ -29,31 +29,33 @@ impl Cluster {
         via: NodeId,
         params: FileParams,
     ) -> DeceitResult<OpResult<SegmentId>> {
-        self.client_op(via, |c| {
-            let seg = c.alloc_segment();
-            let major = c.alloc_major();
-            let now = c.now();
-            let key = (seg, major);
-            let replica = Replica::new(major, params, now);
-            let token = WriteToken::new(VersionPair::initial(major), via);
-            // Replica metadata and token state are non-volatile (§3.5);
-            // the handle map entry is implicit in the disk key.
-            let mut latency = SimDuration::ZERO;
-            latency += c.cfg.disk.write_cost(replica.data.len() + 64);
-            c.server_mut(via).replicas.put_sync(key, replica);
-            c.server_mut(via).tokens.put_sync(key, token);
-            let gid =
-                c.groups.create(&group_name(seg), via).expect("fresh segment name cannot collide");
-            c.server_mut(via).group_cache.insert(seg, gid);
-            c.branch_table(seg); // materialize an empty history tree
-            c.stats.incr("core/creates");
-            // Replication beyond one replica happens when the user raises
-            // min_replicas (method 2) — default params need nothing more.
-            if params.min_replicas > 1 {
-                c.schedule_min_replica_fill(via, key);
-            }
-            Ok((seg, latency))
-        })
+        self.client_op_scoped(via, OpScope::Global, |c| c.do_create(via, params))
+    }
+
+    fn do_create(&self, via: NodeId, params: FileParams) -> DeceitResult<(SegmentId, SimDuration)> {
+        let seg = self.alloc_segment();
+        let major = self.alloc_major();
+        let now = self.now();
+        let key = (seg, major);
+        let replica = Replica::new(major, params, now);
+        let token = WriteToken::new(VersionPair::initial(major), via);
+        // Replica metadata and token state are non-volatile (§3.5);
+        // the handle map entry is implicit in the disk key.
+        let mut latency = SimDuration::ZERO;
+        latency += self.cfg.disk.write_cost(replica.data.len() + 64);
+        self.server(via).replicas.put_sync(key, replica);
+        self.server(via).tokens.put_sync(key, token);
+        let gid =
+            self.groups.create(&group_name(seg), via).expect("fresh segment name cannot collide");
+        self.server(via).group_cache.insert(seg, gid);
+        self.with_branch_table(seg, |_| ()); // materialize an empty history tree
+        self.stats.incr("core/creates");
+        // Replication beyond one replica happens when the user raises
+        // min_replicas (method 2) — default params need nothing more.
+        if params.min_replicas > 1 {
+            self.schedule_min_replica_fill(via, key);
+        }
+        Ok((seg, latency))
     }
 
     /// Deletes a segment: every reachable replica and token is destroyed
@@ -64,47 +66,52 @@ impl Cluster {
     /// when they next recover (the cluster remembers deleted segments the
     /// way real servers keep deletion records in their handle maps).
     pub fn delete(&mut self, via: NodeId, seg: SegmentId) -> DeceitResult<OpResult<()>> {
-        self.client_op(via, |c| {
-            let (gid, mut latency) = c.locate_group(via, seg);
-            let has_any = c.server(via).has_segment(seg) || gid.is_some();
-            if !has_any {
-                return Err(DeceitError::NoSuchSegment(seg));
-            }
-            // One round to the file group: destroy replicas and tokens.
-            if let Some(gid) = gid {
-                let members: Vec<NodeId> = c
-                    .groups
-                    .view(gid)
-                    .map(|v| v.members.iter().copied().collect())
-                    .unwrap_or_default();
-                let outcome = broadcast_round(&mut c.net, via, members.clone(), 40, 16, "delete");
-                latency += outcome.full_latency();
-                for m in members {
-                    if m != via && !outcome.heard_from(m) {
-                        continue; // unreachable: cleaned up at recovery
-                    }
-                    c.destroy_segment_at(m, seg);
-                    let _ = c.groups.leave(gid, m);
+        self.client_op_scoped(via, OpScope::Global, |c| c.do_delete(via, seg))
+    }
+
+    fn do_delete(&self, via: NodeId, seg: SegmentId) -> DeceitResult<((), SimDuration)> {
+        let (gid, mut latency) = self.locate_group(via, seg);
+        let has_any = self.server(via).has_segment(seg) || gid.is_some();
+        if !has_any {
+            return Err(DeceitError::NoSuchSegment(seg));
+        }
+        // One round to the file group: destroy replicas and tokens.
+        if let Some(gid) = gid {
+            let members: Vec<NodeId> = self.groups.members_vec(gid).unwrap_or_default();
+            let outcome = broadcast_round(&self.net, via, members.clone(), 40, 16, "delete");
+            latency += outcome.full_latency();
+            for m in members {
+                if m != via && !outcome.heard_from(m) {
+                    continue; // unreachable: cleaned up at recovery
                 }
-            } else {
-                c.destroy_segment_at(via, seg);
+                self.destroy_segment_at(m, seg);
+                let _ = self.groups.leave(gid, m);
             }
-            c.deleted.insert(seg);
-            c.stats.incr("core/deletes");
-            Ok(((), latency))
-        })
+        } else {
+            self.destroy_segment_at(via, seg);
+        }
+        self.mark_deleted(seg);
+        self.stats.incr("core/deletes");
+        Ok(((), latency))
     }
 
     /// Removes every local replica and token of `seg` at `server`.
-    pub(crate) fn destroy_segment_at(&mut self, server: NodeId, seg: SegmentId) {
-        let keys: Vec<_> =
-            self.server(server).replicas.keys().filter(|(s, _)| *s == seg).copied().collect();
-        for k in keys {
-            self.server_mut(server).replicas.delete_sync(&k);
-            self.server_mut(server).tokens.delete_sync(&k);
-            self.server_mut(server).receivers.remove(&k);
-            self.server_mut(server).streams.remove(&k);
+    pub(crate) fn destroy_segment_at(&self, server: NodeId, seg: SegmentId) {
+        let srv = self.server(server);
+        for major in srv.replicas.majors_of(seg) {
+            let k = (seg, major);
+            srv.replicas.delete_sync(&k);
+            srv.tokens.delete_sync(&k);
+            srv.drop_receiver(&k);
+            srv.streams.remove(&k);
         }
-        self.server_mut(server).group_cache.remove(&seg);
+        // Tokens can exist for majors whose local replica is already
+        // gone; sweep those too.
+        for major in srv.tokens.majors_of(seg) {
+            let k = (seg, major);
+            srv.tokens.delete_sync(&k);
+            srv.streams.remove(&k);
+        }
+        srv.group_cache.remove(&seg);
     }
 }

@@ -23,13 +23,13 @@ impl Cluster {
     /// caches the answer. Returns the group (if any member is reachable)
     /// and the time spent searching.
     pub(crate) fn locate_group(
-        &mut self,
+        &self,
         via: NodeId,
         seg: SegmentId,
     ) -> (Option<GroupId>, SimDuration) {
         // Cache hit: verify the group still exists.
-        if let Some(&gid) = self.servers[via.index()].group_cache.get(&seg) {
-            if self.groups.view(gid).is_ok() {
+        if let Some(gid) = self.servers[via.index()].group_cache.get(&seg) {
+            if self.groups.exists(gid) {
                 self.stats.incr("locate/cache_hits");
                 return (Some(gid), SimDuration::ZERO);
             }
@@ -38,7 +38,7 @@ impl Cluster {
         // Local membership counts as knowledge.
         let gid = self.groups.lookup(&group_name(seg));
         if let Some(gid) = gid {
-            if self.groups.view(gid).map(|v| v.contains(via)).unwrap_or(false) {
+            if self.groups.is_member(gid, via) {
                 self.servers[via.index()].group_cache.insert(seg, gid);
                 return (Some(gid), SimDuration::ZERO);
             }
@@ -46,13 +46,13 @@ impl Cluster {
         // Global search: one round to every other server in the cell.
         self.stats.incr("locate/global_searches");
         let others: Vec<NodeId> = self.server_ids().into_iter().filter(|&s| s != via).collect();
-        let outcome = broadcast_round(&mut self.net, via, others, 32, 16, "locate");
+        let outcome = broadcast_round(&self.net, via, others, 32, 16, "locate");
         let latency = outcome.full_latency();
         let found = gid.filter(|&g| {
             // Only learnable if some member actually answered the search.
             self.groups
-                .view(g)
-                .map(|v| v.members.iter().any(|m| *m == via || outcome.heard_from(*m)))
+                .members_vec(g)
+                .map(|ms| ms.iter().any(|m| *m == via || outcome.heard_from(*m)))
                 .unwrap_or(false)
         });
         if let Some(g) = found {
@@ -63,16 +63,15 @@ impl Cluster {
 
     /// Ensures `node` is a member of `gid`, charging the view-change round
     /// if it has to join. Returns the time spent.
-    pub(crate) fn ensure_member(&mut self, gid: GroupId, node: NodeId) -> SimDuration {
-        let Ok(view) = self.groups.view(gid) else {
-            return SimDuration::ZERO;
-        };
-        if view.contains(node) {
+    pub(crate) fn ensure_member(&self, gid: GroupId, node: NodeId) -> SimDuration {
+        if self.groups.is_member(gid, node) {
             return SimDuration::ZERO;
         }
         // Atomic membership change: one GBCAST round to the current view.
-        let members: Vec<NodeId> = view.members.iter().copied().collect();
-        let outcome = broadcast_round(&mut self.net, node, members, 48, 16, "view-change");
+        let Some(members) = self.groups.members_vec(gid) else {
+            return SimDuration::ZERO;
+        };
+        let outcome = broadcast_round(&self.net, node, members, 48, 16, "view-change");
         let _ = self.groups.join(gid, node);
         self.stats.incr("groups/joins");
         outcome.full_latency()
@@ -83,7 +82,7 @@ impl Cluster {
     /// from `via` (§3.5: "By using an unqualified filename, the user
     /// automatically requests the most recent available version").
     pub(crate) fn resolve_key(
-        &mut self,
+        &self,
         via: NodeId,
         seg: SegmentId,
         major: Option<u64>,
@@ -103,15 +102,13 @@ impl Cluster {
         let (gid, search_latency) = self.locate_group(via, seg);
         latency += search_latency;
         let mut best = local;
-        if let Some(gid) = gid {
-            if let Ok(view) = self.groups.view(gid) {
-                for m in view.members.clone() {
-                    if !self.net.reachable(via, m) {
-                        continue;
-                    }
-                    if let Some(remote) = self.servers[m.index()].latest_major(seg) {
-                        best = Some(best.map_or(remote, |b| b.max(remote)));
-                    }
+        if let Some(members) = gid.and_then(|g| self.groups.members_vec(g)) {
+            for m in members {
+                if !self.net.reachable(via, m) {
+                    continue;
+                }
+                if let Some(remote) = self.servers[m.index()].latest_major(seg) {
+                    best = Some(best.map_or(remote, |b| b.max(remote)));
                 }
             }
         }

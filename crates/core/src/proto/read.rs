@@ -11,7 +11,7 @@ use deceit_isis::broadcast_round;
 use deceit_net::NodeId;
 use deceit_sim::SimDuration;
 
-use crate::cluster::{Cluster, OpResult};
+use crate::cluster::{Cluster, OpResult, OpScope};
 use crate::error::{DeceitError, DeceitResult};
 use crate::event::Pending;
 use crate::ops::ReadData;
@@ -32,7 +32,27 @@ impl Cluster {
         offset: usize,
         count: usize,
     ) -> DeceitResult<OpResult<ReadData>> {
-        self.client_op(via, |c| c.do_read(via, seg, major, offset, count))
+        self.client_op_scoped(via, OpScope::Global, |c| c.do_read(via, seg, major, offset, count))
+    }
+
+    /// The sharded-path twin of [`Cluster::read`]: the full read protocol
+    /// (forwarding, group joins, clock accounting included) under the
+    /// caller's ring locks, which must cover `seg`'s slot. Used by the
+    /// sharded mutation twins' read-modify-write loops and the sharded
+    /// read path; the lock-free fast path is [`Cluster::try_read_local`].
+    pub fn read_sharded(
+        &self,
+        slots: &[usize],
+        via: NodeId,
+        seg: SegmentId,
+        major: Option<u64>,
+        offset: usize,
+        count: usize,
+    ) -> DeceitResult<OpResult<ReadData>> {
+        debug_assert!(slots.contains(&self.slot_of(seg)), "ring locks must cover the read file");
+        self.client_op_scoped(via, OpScope::Slots(slots), |c| {
+            c.do_read(via, seg, major, offset, count)
+        })
     }
 
     /// Attempts to serve a read with *shared* access only — the hot path
@@ -44,10 +64,9 @@ impl Cluster {
     /// supersedes; every other case (forwarding, unstable replicas, the
     /// §3.6 stable-replica search) returns `None` so the caller falls
     /// back to the exclusive [`Cluster::read`], which remains the
-    /// canonical path and the only one that mutates state. The fast path
-    /// deliberately skips the bookkeeping the exclusive path performs —
-    /// clock advance, stats, the replica's LRU access-time touch — none
-    /// of which affect the served bytes.
+    /// canonical path. The fast path deliberately skips the bookkeeping
+    /// the full path performs — clock advance, stats, the replica's LRU
+    /// access-time touch — none of which affect the served bytes.
     pub fn try_read_local(
         &self,
         via: NodeId,
@@ -62,58 +81,103 @@ impl Cluster {
         let srv = self.server(via);
         let major = match major {
             Some(m) => m,
-            None => {
-                let local = srv.latest_major(seg)?;
-                // A newer major visible to the §3.2 location search
-                // means the exclusive path must run: the search covers
-                // reachable file-group members, so that is exactly the
-                // set checked here (via the allocation-free per-server
-                // group cache when it is warm). Without group knowledge,
-                // fall back to scanning every reachable server —
-                // strictly more conservative than the search.
-                let newer_than_local = |s: NodeId| {
-                    s != via
-                        && self.net.reachable(via, s)
-                        && self.server(s).latest_major(seg).is_some_and(|m| m > local)
-                };
-                let gid = srv
-                    .group_cache
-                    .get(&seg)
-                    .copied()
-                    .or_else(|| self.groups.lookup(&crate::cluster::group_name(seg)));
-                let superseded = match gid.and_then(|g| self.groups.view(g).ok()) {
-                    Some(view) => view.members.iter().copied().any(newer_than_local),
-                    None => self.servers.iter().any(|s| newer_than_local(s.id)),
-                };
-                if superseded {
-                    return None;
-                }
-                local
-            }
+            None => self.local_current_major(via, seg)?,
         };
         let key = (seg, major);
-        let replica = srv.replicas.get(&key)?;
-        if !replica.is_stable() {
+        // One slot-lock acquisition covers the stability check and the
+        // copy-out together, so a concurrent mutation is seen either
+        // entirely or not at all — never a torn replica.
+        let served = srv.replicas.with_ref(&key, |r| {
+            let r = r?;
+            if !r.is_stable() {
+                return None;
+            }
+            Some(ReadData {
+                data: r.data.read(offset, count),
+                version: r.version,
+                segment_len: r.data.len(),
+                served_by: via,
+            })
+        })?;
+        // Feed the LRU: the access is recorded in a side buffer and
+        // folded into `last_access` at the next engine entry covering
+        // this slot, so a hot, concurrently-read replica does not look
+        // idle to §3.1 extra-replica deletion.
+        srv.replicas.note_read(key, self.now());
+        Some(OpResult { value: served, latency: self.cfg.local_read })
+    }
+
+    /// The newest major of `seg` stored at `via`, provided no reachable
+    /// file-group member knows a newer one — the "is my copy current"
+    /// probe both local fast paths share. The check covers exactly the
+    /// set the §3.2 location search would cover (via the per-server
+    /// group cache when warm); without group knowledge it conservatively
+    /// scans every reachable server.
+    fn local_current_major(&self, via: NodeId, seg: SegmentId) -> Option<u64> {
+        let srv = self.server(via);
+        let local = srv.latest_major(seg)?;
+        let newer_than_local = |s: NodeId| {
+            s != via
+                && self.net.reachable(via, s)
+                && self.server(s).latest_major(seg).is_some_and(|m| m > local)
+        };
+        let gid = srv
+            .group_cache
+            .get(&seg)
+            .or_else(|| self.groups.lookup(&crate::cluster::group_name(seg)));
+        let superseded = match gid.and_then(|g| self.groups.members_vec(g)) {
+            Some(members) => members.into_iter().any(newer_than_local),
+            None => self.servers.iter().any(|s| newer_than_local(s.id)),
+        };
+        if superseded {
+            None
+        } else {
+            Some(local)
+        }
+    }
+
+    /// The token holder's lean read: if `via` holds the write token for
+    /// the current version of `seg`, its replica is the primary copy and
+    /// serves reads even while unstable (§3.4 forwards *other* servers'
+    /// reads to the holder — the holder answers directly). Used by the
+    /// sharded mutation path's read-modify-write loop, under the file's
+    /// ring lock, where the holder-reads-own-file case is the steady
+    /// state of a write stream. `None` falls back to the full path.
+    pub fn try_read_primary(
+        &self,
+        via: NodeId,
+        seg: SegmentId,
+        major: Option<u64>,
+        offset: usize,
+        count: usize,
+    ) -> Option<OpResult<ReadData>> {
+        if via.index() >= self.servers.len() || !self.net.is_up(via) {
             return None;
         }
-        // Feed the LRU: the access is recorded lock-free-ish in a side
-        // buffer and applied to `last_access` at the next exclusive
-        // entry, so a hot, concurrently-read replica does not look idle
-        // to §3.1 extra-replica deletion.
-        srv.note_read(key, self.now());
-        Some(OpResult {
-            value: ReadData {
-                data: replica.data.read(offset, count),
-                version: replica.version,
-                segment_len: replica.data.len(),
+        let major = match major {
+            Some(m) => m,
+            None => self.local_current_major(via, seg)?,
+        };
+        let key = (seg, major);
+        let srv = self.server(via);
+        if !srv.holds_token(key) {
+            return None;
+        }
+        let served = srv.replicas.with_ref(&key, |r| {
+            let r = r?;
+            Some(ReadData {
+                data: r.data.read(offset, count),
+                version: r.version,
+                segment_len: r.data.len(),
                 served_by: via,
-            },
-            latency: self.cfg.local_read,
-        })
+            })
+        })?;
+        srv.replicas.note_read(key, self.now());
+        Some(OpResult { value: served, latency: self.cfg.local_read })
     }
 
     fn do_read(
-        &mut self,
+        &self,
         via: NodeId,
         seg: SegmentId,
         major: Option<u64>,
@@ -123,7 +187,7 @@ impl Cluster {
         let (key, mut latency) = self.resolve_key(via, seg, major)?;
 
         if self.server(via).replicas.contains(&key) {
-            let state = self.server(via).replicas.get(&key).map(|r| r.state).unwrap();
+            let state = self.server(via).replicas.with_ref(&key, |r| r.map(|r| r.state)).unwrap();
             match state {
                 ReplicaState::Stable => {
                     latency += self.cfg.local_read;
@@ -145,7 +209,11 @@ impl Cluster {
             .iter()
             .copied()
             .filter(|&h| h != via)
-            .find(|&h| self.server(h).replicas.get(&key).map(|r| r.is_stable()).unwrap_or(false))
+            .find(|&h| {
+                self.server(h)
+                    .replicas
+                    .with_ref(&key, |r| r.map(|r| r.is_stable()).unwrap_or(false))
+            })
             .or_else(|| holders.into_iter().find(|&h| h != via));
         let Some(target) = target else {
             return Err(DeceitError::Unavailable(seg));
@@ -169,13 +237,15 @@ impl Cluster {
             if !params.read_optimized {
                 self.ensure_member(gid, via);
             }
-            self.server_mut(via).group_cache.insert(seg, gid);
+            self.server(via).group_cache.insert(seg, gid);
         }
 
         // If the target's copy is unstable the chain continues to the
         // token holder from there.
-        let target_unstable =
-            self.server(target).replicas.get(&key).map(|r| !r.is_stable()).unwrap_or(false);
+        let target_unstable = self
+            .server(target)
+            .replicas
+            .with_ref(&key, |r| r.map(|r| !r.is_stable()).unwrap_or(false));
         if target_unstable {
             return self.forward_to_token_holder(via, key, offset, count, latency);
         }
@@ -192,7 +262,7 @@ impl Cluster {
     /// Forwards a read to the token holder of `key`; if no token holder is
     /// reachable, falls back to the stable-replica search of §3.6.
     fn forward_to_token_holder(
-        &mut self,
+        &self,
         via: NodeId,
         key: ReplicaKey,
         offset: usize,
@@ -200,9 +270,10 @@ impl Cluster {
         mut latency: SimDuration,
     ) -> DeceitResult<(ReadData, SimDuration)> {
         let holder = self
-            .server_ids()
-            .into_iter()
-            .find(|&s| self.server(s).holds_token(key) && self.net.reachable(via, s));
+            .servers
+            .iter()
+            .find(|s| s.holds_token(key) && self.net.reachable(via, s.id))
+            .map(|s| s.id);
         match holder {
             Some(h) if h == via => {
                 latency += self.cfg.local_read;
@@ -230,7 +301,7 @@ impl Cluster {
     /// replica is marked as stable, s forces the most up to date replica
     /// to be stable, and all obsolete replicas are destroyed."
     fn stable_replica_search(
-        &mut self,
+        &self,
         via: NodeId,
         key: ReplicaKey,
         offset: usize,
@@ -242,18 +313,23 @@ impl Cluster {
             .group_members(key.0)
             .map(|(_, m)| m)
             .unwrap_or_else(|| self.all_replica_holders(key));
-        let outcome = broadcast_round(&mut self.net, via, members, 40, 24, "state-inquiry");
+        let outcome = broadcast_round(&self.net, via, members, 40, 24, "state-inquiry");
         latency += outcome.full_latency();
 
         let mut available: Vec<(NodeId, crate::version::VersionPair, ReplicaState)> = Vec::new();
         for (m, _) in &outcome.replies {
-            if let Some(r) = self.server(*m).replicas.get(&key) {
-                available.push((*m, r.version, r.state));
+            if let Some((v, st)) =
+                self.server(*m).replicas.with_ref(&key, |r| r.map(|r| (r.version, r.state)))
+            {
+                available.push((*m, v, st));
             }
         }
-        if self.server(via).replicas.contains(&key) && !outcome.heard_from(via) {
-            let r = self.server(via).replicas.get(&key).unwrap();
-            available.push((via, r.version, r.state));
+        if !outcome.heard_from(via) {
+            if let Some((v, st)) =
+                self.server(via).replicas.with_ref(&key, |r| r.map(|r| (r.version, r.state)))
+            {
+                available.push((via, v, st));
+            }
         }
         if available.is_empty() {
             return Err(DeceitError::Unavailable(key.0));
@@ -271,8 +347,8 @@ impl Cluster {
             self.set_replica_state(best, key, ReplicaState::Stable);
             for (m, v, _) in &available {
                 if *m != best && *v != best_version {
-                    self.server_mut(*m).replicas.delete_sync(&key);
-                    self.server_mut(*m).receivers.remove(&key);
+                    self.server(*m).replicas.delete_sync(&key);
+                    self.server(*m).drop_receiver(&key);
                     self.emit(ProtocolEvent::ReplicaDeleted { seg: key.0, on: *m });
                     self.stats.incr("core/replicas/destroyed_obsolete");
                 }
@@ -293,34 +369,35 @@ impl Cluster {
     /// Serves a read from a server's local replica, updating its access
     /// time (LRU input).
     pub(crate) fn serve_local(
-        &mut self,
+        &self,
         server: NodeId,
         key: ReplicaKey,
         offset: usize,
         count: usize,
     ) -> ReadData {
         let now = self.now();
-        let replica = self
-            .server(server)
-            .replicas
-            .get(&key)
-            .cloned()
-            .expect("serve_local requires a replica");
-        // Touch last-access without forcing a durable metadata write.
-        let mut touched = replica.clone();
-        touched.last_access = now;
-        self.server_mut(server).replicas.put_async(key, touched);
-        ReadData {
-            data: replica.data.read(offset, count),
-            version: replica.version,
-            segment_len: replica.data.len(),
-            served_by: server,
-        }
+        // Copy the requested range out under one slot-lock acquisition;
+        // the LRU access-time touch goes through the side buffer (the
+        // same mechanism the lock-free fast path uses) and folds in at
+        // the next engine entry covering this slot — no value clone, no
+        // forced metadata write.
+        let srv = self.server(server);
+        let data = srv.replicas.with_ref(&key, |r| {
+            let r = r.expect("serve_local requires a replica");
+            ReadData {
+                data: r.data.read(offset, count),
+                version: r.version,
+                segment_len: r.data.len(),
+                served_by: server,
+            }
+        });
+        srv.replicas.note_read(key, now);
+        data
     }
 
     /// One request/response exchange between two servers.
     pub(crate) fn round_trip(
-        &mut self,
+        &self,
         from: NodeId,
         to: NodeId,
         req_bytes: usize,

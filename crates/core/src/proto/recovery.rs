@@ -30,14 +30,15 @@ impl Cluster {
             .server(id)
             .replicas
             .keys()
-            .map(|(s, _)| *s)
-            .filter(|s| self.deleted.contains(s))
+            .into_iter()
+            .map(|(s, _)| s)
+            .filter(|s| self.is_deleted(*s))
             .collect();
         for seg in stale {
             self.destroy_segment_at(id, seg);
         }
 
-        let keys: Vec<ReplicaKey> = self.server(id).replicas.keys().copied().collect();
+        let keys: Vec<ReplicaKey> = self.server(id).replicas.keys();
         for key in keys {
             if self.server(id).holds_token(key) {
                 self.recover_held_token(id, key);
@@ -58,7 +59,7 @@ impl Cluster {
         // Contact the token holder for this version.
         if let Some(holder) = self.find_reachable_token_holder(id, key) {
             let token_version = self.server(holder).tokens.get(&key).map(|t| t.version).unwrap();
-            let table = self.branch_table(seg).clone();
+            let table = self.branch_table_snapshot(seg);
             match table.relation(my_version, token_version) {
                 VersionRelation::Equal => {
                     // Up to date: rejoin the group.
@@ -126,7 +127,7 @@ impl Cluster {
                             self.destroy_replica(h, key);
                         }
                     }
-                    self.server_mut(id).tokens.delete_sync(&key);
+                    self.server(id).tokens.delete_sync(&key);
                     self.emit(ProtocolEvent::ObsoleteDestroyed {
                         seg: key.0,
                         on: id,
@@ -175,7 +176,7 @@ impl Cluster {
                     Some(t) => t.version,
                     None => continue,
                 };
-                let table = self.branch_table(seg_a).clone();
+                let table = self.branch_table_snapshot(seg_a);
                 match table.relation(va, vb) {
                     VersionRelation::Ancestor => {
                         self.destroy_version_everywhere(server_a, (seg_a, major_a));
@@ -203,15 +204,16 @@ impl Cluster {
             if !self.net.is_up(s) {
                 continue;
             }
-            for key in self.server(s).replicas.keys().copied().collect::<Vec<_>>() {
+            for key in self.server(s).replicas.keys() {
                 if self.server(s).holds_token(key) {
                     continue;
                 }
-                let my_version = self.server(s).replicas.get(&key).unwrap().version;
+                let my_version =
+                    self.server(s).replicas.with_ref(&key, |r| r.map(|r| r.version)).unwrap();
                 match self.find_reachable_token_holder(s, key) {
                     Some(h) => {
                         let tv = self.server(h).tokens.get(&key).unwrap().version;
-                        let table = self.branch_table(key.0).clone();
+                        let table = self.branch_table_snapshot(key.0);
                         if table.is_ancestor(my_version, tv) {
                             self.set_replica_state(s, key, crate::replica::ReplicaState::Unstable);
                             if !catchups.contains(&(h, key)) {
@@ -245,24 +247,24 @@ impl Cluster {
                 self.destroy_replica(h, key);
             }
         }
-        self.server_mut(token_holder).tokens.delete_sync(&key);
+        self.server(token_holder).tokens.delete_sync(&key);
         self.emit(ProtocolEvent::ObsoleteDestroyed { seg: key.0, on: token_holder, major: key.1 });
         self.stats.incr("core/recovery/versions_destroyed");
     }
 
     /// Removes one replica locally.
-    pub(crate) fn destroy_replica(&mut self, server: NodeId, key: ReplicaKey) {
-        self.server_mut(server).replicas.delete_sync(&key);
-        self.server_mut(server).receivers.remove(&key);
+    pub(crate) fn destroy_replica(&self, server: NodeId, key: ReplicaKey) {
+        self.server(server).replicas.delete_sync(&key);
+        self.server(server).drop_receiver(&key);
         self.stats.incr("core/recovery/replicas_destroyed");
     }
 
     /// Drops `gone` from a token's holder set.
-    fn remove_from_holders(&mut self, holder: NodeId, key: ReplicaKey, gone: NodeId) {
-        if let Some(mut token) = self.server(holder).tokens.get(&key).cloned() {
+    fn remove_from_holders(&self, holder: NodeId, key: ReplicaKey, gone: NodeId) {
+        if let Some(mut token) = self.server(holder).tokens.get(&key) {
             token.holders.remove(&gone);
-            self.server_mut(holder).tokens.put_async(key, token);
-            self.schedule_flush(holder);
+            self.server(holder).tokens.put_async(key, token);
+            self.schedule_flush(holder, key.0);
         }
     }
 
@@ -272,15 +274,16 @@ impl Cluster {
         from: NodeId,
         key: ReplicaKey,
     ) -> Option<NodeId> {
-        self.server_ids()
-            .into_iter()
-            .find(|&s| self.server(s).holds_token(key) && self.net.reachable(from, s))
+        self.servers
+            .iter()
+            .find(|s| s.holds_token(key) && self.net.reachable(from, s.id))
+            .map(|s| s.id)
     }
 
     /// Live tokens for other majors of `seg`, with each one's relation to
     /// our version `(seg, my_major)`'s *token-or-replica* version.
     fn newer_version_tokens(
-        &mut self,
+        &self,
         from: NodeId,
         seg: SegmentId,
         my_major: u64,
@@ -294,13 +297,13 @@ impl Cluster {
         let Some(my_version) = my_version else {
             return Vec::new();
         };
-        let table = self.branch_table(seg).clone();
+        let table = self.branch_table_snapshot(seg);
         let mut out = Vec::new();
         for s in self.server_ids() {
             if !self.net.reachable(from, s) {
                 continue;
             }
-            for key in self.server(s).tokens.keys().copied().collect::<Vec<_>>() {
+            for key in self.server(s).tokens.keys() {
                 if key.0 == seg && key.1 != my_major {
                     let v = self.server(s).tokens.get(&key).unwrap().version;
                     out.push((key.1, table.relation(my_version, v)));

@@ -8,7 +8,7 @@
 //! 3. A user may request the token holder t to create or delete a replica
 //!    on a specific server with a special command.
 //! 4. A server may request that a replica be generated in order to improve
-//!    read performance \[migration\]."
+//!    read performance \[migration\].
 //!
 //! "Eventually, there may exist several unneeded replicas of a file. The
 //! token holder t will delete these extra replicas when an update occurs
@@ -17,6 +17,7 @@
 
 use deceit_net::NodeId;
 use deceit_sim::SimDuration;
+use std::sync::atomic::Ordering;
 
 use crate::cluster::Cluster;
 use crate::event::Pending;
@@ -27,7 +28,7 @@ use crate::trace_events::ProtocolEvent;
 impl Cluster {
     /// Schedules background replica generation until `key` meets its
     /// minimum replica level (methods 1 and 2; "as a background activity").
-    pub(crate) fn schedule_min_replica_fill(&mut self, holder: NodeId, key: ReplicaKey) {
+    pub(crate) fn schedule_min_replica_fill(&self, holder: NodeId, key: ReplicaKey) {
         let params = self.params_of(holder, key);
         let current = self.reachable_replica_holders(holder, key);
         if current.len() >= params.min_replicas {
@@ -45,7 +46,7 @@ impl Cluster {
                     && !self.server(s).replicas.contains(&key)
             })
             .collect();
-        candidates.sort_by_key(|&s| (self.server(s).ops_served, s));
+        candidates.sort_by_key(|&s| (self.server(s).ops_served.load(Ordering::Relaxed), s));
         let at = self.now() + SimDuration::from_millis(1);
         for target in candidates.into_iter().take(deficit) {
             self.events.push(at, Pending::GenerateReplica { holder, key, target });
@@ -56,7 +57,7 @@ impl Cluster {
     /// holder itself notices the deficit with no failure in sight — e.g.
     /// right after the user raises the level, §3.1 method 2). Returns the
     /// number of replicas generated.
-    pub(crate) fn fill_min_replicas_now(&mut self, holder: NodeId, key: ReplicaKey) -> usize {
+    pub(crate) fn fill_min_replicas_now(&self, holder: NodeId, key: ReplicaKey) -> usize {
         let params = self.params_of(holder, key);
         let mut generated = 0;
         loop {
@@ -72,7 +73,7 @@ impl Cluster {
                         && self.net.reachable(holder, s)
                         && !self.server(s).replicas.contains(&key)
                 })
-                .min_by_key(|&s| (self.server(s).ops_served, s));
+                .min_by_key(|&s| (self.server(s).ops_served.load(Ordering::Relaxed), s));
             let Some(target) = candidate else {
                 return generated; // not enough servers available
             };
@@ -89,15 +90,15 @@ impl Cluster {
     /// file transfer protocol from an existing replica").
     ///
     /// "The token holder delays updates during replica generation to
-    /// prevent inconsistency" — in this simulation, generation executes
-    /// atomically between client operations, which realizes the same
-    /// exclusion.
-    pub(crate) fn generate_replica_now(&mut self, holder: NodeId, key: ReplicaKey, target: NodeId) {
+    /// prevent inconsistency" — generation executes under the file's
+    /// shard locks (the pump holds them when firing this handler), which
+    /// realizes the same exclusion against that file's updates.
+    pub(crate) fn generate_replica_now(&self, holder: NodeId, key: ReplicaKey, target: NodeId) {
         if !self.net.reachable(holder, target) {
             self.stats.incr("core/replicas/generation_failed");
             return;
         }
-        let Some(src) = self.server(holder).replicas.get(&key).cloned() else {
+        let Some(src) = self.server(holder).replicas.get(&key) else {
             return; // replica vanished (deleted or superseded)
         };
         if self.server(target).replicas.contains(&key) {
@@ -105,7 +106,7 @@ impl Cluster {
         }
         let blast = self.cfg.blast;
         let Some(_xfer) = deceit_isis::xfer::transfer_state(
-            &mut self.net,
+            &self.net,
             &blast,
             holder,
             target,
@@ -118,23 +119,23 @@ impl Cluster {
         };
         let now = self.now();
         let replica = Replica::cloned_from(&src, now);
-        self.server_mut(target).replicas.put_sync(key, replica);
-        self.server_mut(target).receivers.remove(&key);
+        self.server(target).replicas.put_sync(key, replica);
+        self.server(target).drop_receiver(&key);
 
         // Register the new holder with the token holder's upper bound
         // (§3.1: "All replica generation must be accomplished through the
         // token holder, so that the token holder always has an upper bound
         // on the total number of replicas").
         if let Some(th) = self.find_reachable_token_holder(holder, key) {
-            if let Some(mut token) = self.server(th).tokens.get(&key).cloned() {
+            if let Some(mut token) = self.server(th).tokens.get(&key) {
                 token.holders.insert(target);
-                self.server_mut(th).tokens.put_async(key, token);
-                self.schedule_flush(th);
+                self.server(th).tokens.put_async(key, token);
+                self.schedule_flush(th, key.0);
             }
         }
         if let Some((gid, _)) = self.group_members(key.0) {
             self.ensure_member(gid, target);
-            self.server_mut(target).group_cache.insert(key.0, gid);
+            self.server(target).group_cache.insert(key.0, gid);
         }
         self.stats.incr("core/replicas/generated");
         self.emit(ProtocolEvent::ReplicaGenerated { seg: key.0, on: target });
@@ -143,7 +144,7 @@ impl Cluster {
     /// Deletes extra replicas in least-recently-used order at update time
     /// (§3.1). A replica is "extra" when the count exceeds the minimum
     /// replica level and it has not been accessed within the LRU window.
-    pub(crate) fn delete_extra_replicas(&mut self, holder: NodeId, key: ReplicaKey) {
+    pub(crate) fn delete_extra_replicas(&self, holder: NodeId, key: ReplicaKey) {
         let params = self.params_of(holder, key);
         let holders = self.reachable_replica_holders(holder, key);
         if holders.len() <= params.min_replicas {
@@ -156,21 +157,21 @@ impl Cluster {
             .into_iter()
             .filter(|&h| h != holder)
             .filter_map(|h| {
-                let r = self.server(h).replicas.get(&key)?;
-                let idle_for = now.since(r.last_access);
-                (idle_for >= cutoff).then_some((r.last_access, h))
+                let last = self.server(h).replicas.with_ref(&key, |r| r.map(|r| r.last_access))?;
+                let idle_for = now.since(last);
+                (idle_for >= cutoff).then_some((last, h))
             })
             .collect();
         idle.sort(); // oldest access first = LRU order
         let holders_now = self.reachable_replica_holders(holder, key).len();
         let deletable = holders_now.saturating_sub(params.min_replicas);
         for (_, victim) in idle.into_iter().take(deletable) {
-            self.server_mut(victim).replicas.delete_sync(&key);
-            self.server_mut(victim).receivers.remove(&key);
-            if let Some(mut token) = self.server(holder).tokens.get(&key).cloned() {
+            self.server(victim).replicas.delete_sync(&key);
+            self.server(victim).drop_receiver(&key);
+            if let Some(mut token) = self.server(holder).tokens.get(&key) {
                 token.holders.remove(&victim);
-                self.server_mut(holder).tokens.put_async(key, token);
-                self.schedule_flush(holder);
+                self.server(holder).tokens.put_async(key, token);
+                self.schedule_flush(holder, key.0);
             }
             self.stats.incr("core/replicas/lru_deleted");
             self.emit(ProtocolEvent::ReplicaDeleted { seg: key.0, on: victim });

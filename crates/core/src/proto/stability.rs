@@ -24,11 +24,11 @@ impl Cluster {
     /// This is the overhead "incurred at the beginning … of a stream of
     /// updates" (§3.4): one full synchronous round — every available
     /// replica must acknowledge before any update may be distributed.
-    pub(crate) fn mark_unstable_round(&mut self, holder: NodeId, key: ReplicaKey) -> SimDuration {
+    pub(crate) fn mark_unstable_round(&self, holder: NodeId, key: ReplicaKey) -> SimDuration {
         let members: Vec<NodeId> =
             self.group_members(key.0).map(|(_, m)| m).unwrap_or_else(|| vec![holder]);
         let remote: Vec<NodeId> = members.into_iter().filter(|&m| m != holder).collect();
-        let outcome = broadcast_round(&mut self.net, holder, remote, 40, 16, "mark-unstable");
+        let outcome = broadcast_round(&self.net, holder, remote, 40, 16, "mark-unstable");
         let mut acks = 1; // the holder itself
         for (m, _) in &outcome.replies {
             if self.set_replica_state(*m, key, ReplicaState::Unstable) {
@@ -36,12 +36,9 @@ impl Cluster {
             }
         }
         self.set_replica_state(holder, key, ReplicaState::Unstable);
-        if let Some(stream) = self.server_mut(holder).streams.get_mut(&key) {
+        self.server(holder).streams.with_or_insert(key, Default::default, |stream| {
             stream.group_unstable = true;
-        } else {
-            let s = crate::server::StreamState { group_unstable: true, ..Default::default() };
-            self.server_mut(holder).streams.insert(key, s);
-        }
+        });
         self.stats.incr("core/stability/unstable_rounds");
         self.emit(ProtocolEvent::MarkedUnstable { seg: key.0, acks });
         outcome.full_latency()
@@ -49,11 +46,11 @@ impl Cluster {
 
     /// The deferred stabilize check: if the write stream has been quiet
     /// for the stability timeout, mark the group stable again.
-    pub(crate) fn stabilize_check(&mut self, holder: NodeId, key: ReplicaKey, epoch: u64) {
+    pub(crate) fn stabilize_check(&self, holder: NodeId, key: ReplicaKey, epoch: u64) {
         if !self.net.is_up(holder) {
             return;
         }
-        let Some(stream) = self.server(holder).streams.get(&key).copied() else {
+        let Some(stream) = self.server(holder).streams.get(&key) else {
             return;
         };
         // A newer write re-armed the timer; this check is stale.
@@ -68,7 +65,7 @@ impl Cluster {
 
     /// Marks every reachable, caught-up replica stable; laggards are
     /// caught up with a state transfer first.
-    pub(crate) fn mark_stable_round(&mut self, holder: NodeId, key: ReplicaKey) {
+    pub(crate) fn mark_stable_round(&self, holder: NodeId, key: ReplicaKey) {
         let token_version = match self.server(holder).tokens.get(&key) {
             Some(t) => t.version,
             None => return,
@@ -76,21 +73,23 @@ impl Cluster {
         let members: Vec<NodeId> =
             self.group_members(key.0).map(|(_, m)| m).unwrap_or_else(|| vec![holder]);
         let remote: Vec<NodeId> = members.into_iter().filter(|&m| m != holder).collect();
-        let outcome = broadcast_round(&mut self.net, holder, remote, 40, 16, "mark-stable");
+        let outcome = broadcast_round(&self.net, holder, remote, 40, 16, "mark-stable");
         for (m, _) in outcome.replies.clone() {
-            let Some(replica) = self.server(m).replicas.get(&key).cloned() else {
+            let Some(replica_version) =
+                self.server(m).replicas.with_ref(&key, |r| r.map(|r| r.version))
+            else {
                 continue;
             };
-            if replica.version == token_version {
+            if replica_version == token_version {
                 self.set_replica_state(m, key, ReplicaState::Stable);
             } else {
                 // Missed updates (e.g. unreachable during part of the
                 // stream): catch up from the primary, then stabilize.
-                let src = self.server(holder).replicas.get(&key).cloned();
+                let src = self.server(holder).replicas.get(&key);
                 if let Some(src) = src {
                     let blast = self.cfg.blast;
                     let _ = deceit_isis::xfer::transfer_state(
-                        &mut self.net,
+                        &self.net,
                         &blast,
                         holder,
                         m,
@@ -100,37 +99,45 @@ impl Cluster {
                     let now = self.now();
                     let mut fresh = crate::replica::Replica::cloned_from(&src, now);
                     fresh.state = ReplicaState::Stable;
-                    self.server_mut(m).replicas.put_sync(key, fresh);
-                    self.server_mut(m).receivers.remove(&key);
+                    self.server(m).replicas.put_sync(key, fresh);
+                    self.server(m).drop_receiver(&key);
                     self.stats.incr("core/stability/catchups");
                 }
             }
         }
         self.set_replica_state(holder, key, ReplicaState::Stable);
-        if let Some(stream) = self.server_mut(holder).streams.get_mut(&key) {
-            stream.group_unstable = false;
-        }
+        self.server(holder).streams.with(&key, |stream| {
+            if let Some(stream) = stream {
+                stream.group_unstable = false;
+            }
+        });
         self.stats.incr("core/stability/stable_rounds");
         self.emit(ProtocolEvent::MarkedStable { seg: key.0 });
     }
 
     /// Sets a replica's stability marker (asynchronously durable — the
     /// marker is metadata written behind, §3.5). Returns whether the
-    /// server held a replica.
+    /// server held a replica. One atomic read-modify-write under the slot
+    /// lock.
     pub(crate) fn set_replica_state(
-        &mut self,
+        &self,
         server: NodeId,
         key: ReplicaKey,
         state: ReplicaState,
     ) -> bool {
-        let Some(mut replica) = self.server(server).replicas.get(&key).cloned() else {
-            return false;
-        };
-        if replica.state != state {
-            replica.state = state;
-            self.server_mut(server).replicas.put_async(key, replica);
-            self.schedule_flush(server);
+        let mut held = false;
+        let changed = self.server(server).replicas.update_async(&key, |replica| {
+            held = true;
+            if replica.state != state {
+                replica.state = state;
+                true
+            } else {
+                false
+            }
+        });
+        if changed {
+            self.schedule_flush(server, key.0);
         }
-        true
+        held
     }
 }

@@ -10,6 +10,10 @@
 //! generated subject to the file's write-availability policy; the new
 //! token carries a fresh globally unique major version number and
 //! "represents a distinct new file with a distinct set of replicas."
+//!
+//! Everything here is keyed by one replica key, so however far a token
+//! travels between servers it never leaves its file's shard: the whole
+//! module runs through `&self` under the file's shard ring lock.
 
 use deceit_isis::broadcast_round;
 use deceit_net::NodeId;
@@ -43,7 +47,7 @@ impl Cluster {
     /// token request rides in the same message as the update broadcast,
     /// so the request round costs nothing extra here.
     pub(crate) fn ensure_token_for_write(
-        &mut self,
+        &self,
         via: NodeId,
         seg: SegmentId,
         piggyback: bool,
@@ -61,10 +65,7 @@ impl Cluster {
         // piggybacks on the update broadcast).
         let (gid, search) = self.locate_group(via, seg);
         latency += search;
-        let members: Vec<NodeId> = gid
-            .and_then(|g| self.groups.view(g).ok())
-            .map(|v| v.members.iter().copied().collect())
-            .unwrap_or_default();
+        let members: Vec<NodeId> = gid.and_then(|g| self.groups.members_vec(g)).unwrap_or_default();
         let holder = if piggyback {
             // Reachability still decides who can answer; no round charged.
             self.stats.incr("core/token/piggybacked_acquisitions");
@@ -73,11 +74,9 @@ impl Cluster {
                 .copied()
                 .find(|&m| self.net.reachable(via, m) && self.server(m).holds_token(key))
         } else {
-            let outcome =
-                broadcast_round(&mut self.net, via, members.clone(), 40, 48, "token-request");
+            let outcome = broadcast_round(&self.net, via, members.clone(), 40, 48, "token-request");
             latency += outcome.full_latency();
-            let fd_outcome = outcome.clone();
-            self.server_mut(via).fd.observe_round(&fd_outcome);
+            self.server(via).observe_round(&outcome);
             members
                 .iter()
                 .copied()
@@ -103,18 +102,14 @@ impl Cluster {
     /// Moves the token from `holder` to `to` (the "token pass" broadcast).
     /// `to` becomes a replica holder, receiving the data if it lacks it.
     pub(crate) fn pass_token(
-        &mut self,
+        &self,
         holder: NodeId,
         to: NodeId,
         key: ReplicaKey,
     ) -> DeceitResult<SimDuration> {
         let mut latency = SimDuration::ZERO;
-        let mut token = self
-            .server(holder)
-            .tokens
-            .get(&key)
-            .cloned()
-            .ok_or(DeceitError::WriteUnavailable(key.0))?;
+        let mut token =
+            self.server(holder).tokens.get(&key).ok_or(DeceitError::WriteUnavailable(key.0))?;
 
         // The new holder needs a *current* replica: the primary copy must
         // be local so unstable-period reads can be served (§3.4), and it
@@ -125,20 +120,16 @@ impl Cluster {
         let lagging =
             self.server(to).replicas.get(&key).map(|r| r.version != token.version).unwrap_or(false);
         if lagging {
-            self.server_mut(to).replicas.delete_sync(&key);
-            self.server_mut(to).receivers.remove(&key);
+            self.server(to).replicas.delete_sync(&key);
+            self.server(to).drop_receiver(&key);
         }
         if !self.server(to).replicas.contains(&key) {
-            let src = self
-                .server(holder)
-                .replicas
-                .get(&key)
-                .cloned()
-                .ok_or(DeceitError::Unavailable(key.0))?;
+            let src =
+                self.server(holder).replicas.get(&key).ok_or(DeceitError::Unavailable(key.0))?;
             let bytes = src.data.len() as u64;
             let blast = self.cfg.blast;
             if let Some(d) = deceit_isis::xfer::transfer_state(
-                &mut self.net,
+                &self.net,
                 &blast,
                 holder,
                 to,
@@ -152,18 +143,18 @@ impl Cluster {
             let now = self.now();
             let replica = Replica::cloned_from(&src, now);
             latency += self.cfg.disk.write_cost(replica.data.len() + 64);
-            self.server_mut(to).replicas.put_sync(key, replica);
+            self.server(to).replicas.put_sync(key, replica);
             token.holders.insert(to);
             self.emit(ProtocolEvent::ReplicaGenerated { seg: key.0, on: to });
         }
 
         // Transfer token state: durable at both ends (§3.5).
-        self.server_mut(holder).tokens.delete_sync(&key);
-        self.server_mut(holder).streams.remove(&key);
-        self.server_mut(to).tokens.put_sync(key, token);
+        self.server(holder).tokens.delete_sync(&key);
+        self.server(holder).streams.remove(&key);
+        self.server(to).tokens.put_sync(key, token);
         // The new holder applies its own writes directly; any stale
         // reordering buffer must not hold back future received updates.
-        self.server_mut(to).receivers.remove(&key);
+        self.server(to).drop_receiver(&key);
         latency += self.cfg.disk.write_cost(64);
         if let Some((gid, _)) = self.group_members(key.0) {
             latency += self.ensure_member(gid, to);
@@ -178,7 +169,7 @@ impl Cluster {
     /// is disabled whenever fewer than a majority of replicas are
     /// available).
     pub(crate) fn check_token_enabled(
-        &mut self,
+        &self,
         via: NodeId,
         key: ReplicaKey,
     ) -> DeceitResult<SimDuration> {
@@ -186,7 +177,7 @@ impl Cluster {
         if params.availability != WriteAvailability::Medium {
             return Ok(SimDuration::ZERO);
         }
-        let token = self.server(via).tokens.get(&key).cloned().expect("holder has token");
+        let mut token = self.server(via).tokens.get(&key).expect("holder has token");
         // If every known holder is reachable (no failure in sight) but the
         // minimum replica level outruns the holder set — the raised-level
         // case of §3.1 method 2 — the holder generates replicas now rather
@@ -194,16 +185,16 @@ impl Cluster {
         let all_known_reachable = token.holders.iter().all(|&h| self.net.reachable(via, h));
         if all_known_reachable && token.holders.len() < params.min_replicas {
             self.fill_min_replicas_now(via, key);
+            // The fill updates the holder set on the stored token.
+            token = self.server(via).tokens.get(&key).expect("holder has token");
         }
-        let token = self.server(via).tokens.get(&key).cloned().expect("holder has token");
         let reachable = self.reachable_replica_holders(via, key).len();
         let majority = token.majority(params.min_replicas);
         let ok = reachable >= majority;
         if ok != token.enabled {
-            let mut t = token;
-            t.enabled = ok;
-            self.server_mut(via).tokens.put_async(key, t);
-            self.schedule_flush(via);
+            token.enabled = ok;
+            self.server(via).tokens.put_async(key, token);
+            self.schedule_flush(via, key.0);
         }
         if ok {
             Ok(SimDuration::ZERO)
@@ -216,7 +207,7 @@ impl Cluster {
     /// Generates a brand-new token for a new major version branched off
     /// the newest replica reachable from `via` (§3.5 "Token Generation").
     pub(crate) fn generate_token(
-        &mut self,
+        &self,
         via: NodeId,
         base_key: ReplicaKey,
     ) -> DeceitResult<(ReplicaKey, SimDuration)> {
@@ -229,10 +220,10 @@ impl Cluster {
             let holders = self.reachable_replica_holders(via, base_key);
             let src_server =
                 holders.into_iter().find(|&h| h != via).ok_or(DeceitError::Unavailable(seg))?;
-            let src = self.server(src_server).replicas.get(&base_key).cloned().unwrap();
+            let src = self.server(src_server).replicas.get(&base_key).unwrap();
             let blast = self.cfg.blast;
             if let Some(d) = deceit_isis::xfer::transfer_state(
-                &mut self.net,
+                &self.net,
                 &blast,
                 src_server,
                 via,
@@ -244,10 +235,10 @@ impl Cluster {
                 latency += d;
             }
             let now = self.now();
-            self.server_mut(via).replicas.put_sync(base_key, Replica::cloned_from(&src, now));
+            self.server(via).replicas.put_sync(base_key, Replica::cloned_from(&src, now));
         }
 
-        let base = self.server(via).replicas.get(&base_key).cloned().unwrap();
+        let base = self.server(via).replicas.get(&base_key).unwrap();
         let params = base.params;
 
         // Policy gate (§3.5, §4).
@@ -276,15 +267,15 @@ impl Cluster {
         let new_major = self.alloc_major();
         let new_key = (seg, new_major);
         let branch_parent = base.version;
-        self.branch_table(seg).record_branch(new_major, branch_parent);
+        self.with_branch_table(seg, |t| t.record_branch(new_major, branch_parent));
         let version = VersionPair { major: new_major, sub: base.version.sub };
 
         let now = self.now();
         let mut replica = Replica::cloned_from(&base, now);
         replica.version = version;
         latency += self.cfg.disk.write_cost(replica.data.len() + 64);
-        self.server_mut(via).replicas.put_sync(new_key, replica);
-        self.server_mut(via).tokens.put_sync(new_key, WriteToken::new(version, via));
+        self.server(via).replicas.put_sync(new_key, replica);
+        self.server(via).tokens.put_sync(new_key, WriteToken::new(version, via));
 
         // Group membership for the new version lives in the same file
         // group; make sure the generator is in it.
@@ -295,7 +286,7 @@ impl Cluster {
                 .groups
                 .create(&crate::cluster::group_name(seg), via)
                 .unwrap_or_else(|_| self.group_members(seg).map(|(g, _)| g).unwrap());
-            self.server_mut(via).group_cache.insert(seg, gid);
+            self.server(via).group_cache.insert(seg, gid);
         }
 
         self.stats.incr("core/token/generated");
@@ -310,7 +301,7 @@ impl Cluster {
     /// (§3.5: "the number of available replicas is determined by
     /// broadcasting an inquiry to the file group").
     pub(crate) fn count_available_replicas(
-        &mut self,
+        &self,
         via: NodeId,
         key: ReplicaKey,
         latency: &mut SimDuration,
@@ -319,7 +310,7 @@ impl Cluster {
             .group_members(key.0)
             .map(|(_, m)| m)
             .unwrap_or_else(|| self.all_replica_holders(key));
-        let outcome = broadcast_round(&mut self.net, via, members, 32, 24, "replica-inquiry");
+        let outcome = broadcast_round(&self.net, via, members, 32, 24, "replica-inquiry");
         *latency += outcome.full_latency();
         let mut count = 0;
         for (m, _) in &outcome.replies {
@@ -338,6 +329,6 @@ impl Cluster {
     /// back to defaults if it holds no copy — callers only use this when a
     /// local replica exists).
     pub(crate) fn params_of(&self, server: NodeId, key: ReplicaKey) -> FileParams {
-        self.server(server).replicas.get(&key).map(|r| r.params).unwrap_or_default()
+        self.server(server).replicas.with_ref(&key, |r| r.map(|r| r.params).unwrap_or_default())
     }
 }

@@ -6,12 +6,18 @@
 //! update requires only one communication round if the token is held. …
 //! The token holder synchronously collects only the first s correct
 //! replies, where s is the write safety level of the file."
+//!
+//! The whole path is `&self`: every piece of state it rewrites — the
+//! file's replicas, token, stream state, delivery buffers, its slot's
+//! event queue — lives behind the ShardKey-indexed seam of
+//! [`crate::hot`], so a concurrent host runs it under the shared cell
+//! lock plus the file's shard ring lock ([`Cluster::write_sharded`]).
 
 use deceit_isis::broadcast_round;
 use deceit_net::NodeId;
 use deceit_sim::SimDuration;
 
-use crate::cluster::{Cluster, OpResult};
+use crate::cluster::{Cluster, OpResult, OpScope};
 use crate::error::{DeceitError, DeceitResult};
 use crate::event::Pending;
 use crate::ops::{UpdateRecord, WriteOp};
@@ -35,11 +41,25 @@ impl Cluster {
         op: WriteOp,
         expected: Option<VersionPair>,
     ) -> DeceitResult<OpResult<VersionPair>> {
-        self.client_op(via, |c| c.do_write(via, seg, op, expected))
+        self.client_op_scoped(via, OpScope::Global, |c| c.do_write(via, seg, op, expected))
+    }
+
+    /// The sharded-path twin of [`Cluster::write`]: the caller holds the
+    /// ring locks for `slots`, which must cover `seg`'s slot.
+    pub fn write_sharded(
+        &self,
+        slots: &[usize],
+        via: NodeId,
+        seg: SegmentId,
+        op: WriteOp,
+        expected: Option<VersionPair>,
+    ) -> DeceitResult<OpResult<VersionPair>> {
+        debug_assert!(slots.contains(&self.slot_of(seg)), "ring locks must cover the written file");
+        self.client_op_scoped(via, OpScope::Slots(slots), |c| c.do_write(via, seg, op, expected))
     }
 
     fn do_write(
-        &mut self,
+        &self,
         via: NodeId,
         seg: SegmentId,
         op: WriteOp,
@@ -65,7 +85,7 @@ impl Cluster {
         // Table 1 row 1: precondition "token is not held" → acquire token.
         let piggyback = self.cfg.opt_piggyback_acquire;
         let (key, mut latency) = self.ensure_token_for_write(via, seg, piggyback)?;
-        let token = self.server(via).tokens.get(&key).cloned().expect("token just ensured");
+        let token = self.server(via).tokens.get(&key).expect("token just ensured");
 
         // Conditional write check against the authoritative (token)
         // version pair.
@@ -104,10 +124,8 @@ impl Cluster {
             self.group_members(seg).map(|(_, m)| m).unwrap_or_else(|| vec![via]);
         let remote: Vec<NodeId> = members.iter().copied().filter(|&m| m != via).collect();
         let group_size = remote.len();
-        let outcome =
-            broadcast_round(&mut self.net, via, remote.clone(), op.wire_size(), 16, "update");
-        let fd_outcome = outcome.clone();
-        self.server_mut(via).fd.observe_round(&fd_outcome);
+        let outcome = broadcast_round(&self.net, via, remote.clone(), op.wire_size(), 16, "update");
+        self.server(via).observe_round(&outcome);
         self.emit(ProtocolEvent::UpdateDistributed { seg, sub: new_version.sub, group_size });
         self.stats.incr("core/updates");
 
@@ -133,7 +151,7 @@ impl Cluster {
                     seq: update.new_version.sub,
                     payload: update.clone(),
                 };
-                let deliverable = self.server_mut(*m).receiver_for(key).receive(msg);
+                let deliverable = self.server(*m).receive_ordered(key, msg);
                 for (_, upd) in deliverable {
                     self.apply_update_at(*m, key, &upd, true);
                 }
@@ -155,7 +173,7 @@ impl Cluster {
         let sync_local = params.write_safety >= 1;
         self.apply_update_at(via, key, &update, sync_local);
         if !sync_local {
-            self.schedule_flush(via);
+            self.schedule_flush(via, key.0);
         }
 
         // Advance the token's version pair. §3.5: "Some of a server's
@@ -166,10 +184,10 @@ impl Cluster {
         let mut t = token;
         t.version = new_version;
         if sync_local {
-            self.server_mut(via).tokens.put_sync(key, t.clone());
+            self.server(via).tokens.put_sync(key, t.clone());
         } else {
-            self.server_mut(via).tokens.put_async(key, t.clone());
-            self.schedule_flush(via);
+            self.server(via).tokens.put_async(key, t.clone());
+            self.schedule_flush(via, key.0);
         }
 
         // Table 1 row 4: count update replies; §3.1 method 1 — if the
@@ -193,8 +211,8 @@ impl Cluster {
             let majority = t.majority(params.min_replicas);
             if replies_from_replicas < majority && t.enabled {
                 t.enabled = false;
-                self.server_mut(via).tokens.put_async(key, t);
-                self.schedule_flush(via);
+                self.server(via).tokens.put_async(key, t);
+                self.schedule_flush(via, key.0);
                 self.stats.incr("core/token/disabled");
             }
         }
@@ -218,12 +236,11 @@ impl Cluster {
         // Table 1 row 6 setup: schedule the period-of-no-write-activity
         // check that will mark replicas stable again (§3.4).
         if params.stability {
-            let epoch = {
-                let stream = self.server_mut(via).streams.entry(key).or_default();
+            let epoch = self.server(via).streams.with_or_insert(key, Default::default, |stream| {
                 stream.last_write = now;
                 stream.epoch += 1;
                 stream.epoch
-            };
+            });
             self.events.push(
                 now + self.cfg.stability_timeout,
                 Pending::StabilizeCheck { server: via, key, epoch },
@@ -237,41 +254,42 @@ impl Cluster {
     /// Applies an update to a local replica, either write-through
     /// (durable, charged to the caller) or write-behind.
     pub(crate) fn apply_update_at(
-        &mut self,
+        &self,
         server: NodeId,
         key: (SegmentId, u64),
         update: &UpdateRecord,
         sync: bool,
     ) {
-        let Some(mut replica) = self.server(server).replicas.get(&key).cloned() else {
+        let Some(mut replica) = self.server(server).replicas.get(&key) else {
             return;
         };
         update.op.apply(&mut replica.data, &mut replica.params);
         replica.version = update.new_version;
         replica.last_access = self.now();
         if sync {
-            self.server_mut(server).replicas.put_sync(key, replica);
+            self.server(server).replicas.put_sync(key, replica);
         } else {
-            self.server_mut(server).replicas.put_async(key, replica);
+            self.server(server).replicas.put_async(key, replica);
         }
     }
 
     /// Applies, synchronously and in order, every still-pending lazy
     /// update for one replica (used before a write-through apply so the
     /// identical-order guarantee of §3.3 holds on the safety path).
-    pub(crate) fn drain_pending_applies(&mut self, server: NodeId, key: (SegmentId, u64)) {
+    pub(crate) fn drain_pending_applies(&self, server: NodeId, key: (SegmentId, u64)) {
+        let slot = self.slot_of(key.0);
         let mut drained: Vec<UpdateRecord> = Vec::new();
-        self.events.retain(|e| match e {
-            Pending::ApplyUpdate { server: s, key: k, update } if *s == server && *k == key => {
-                drained.push(update.clone());
-                false
+        for ev in self.events.drain_matching(slot, |e| {
+            matches!(e, Pending::ApplyUpdate { server: s, key: k, .. } if *s == server && *k == key)
+        }) {
+            if let Pending::ApplyUpdate { update, .. } = ev {
+                drained.push(update);
             }
-            _ => true,
-        });
+        }
         drained.sort_by_key(|u| u.new_version.sub);
         for upd in drained {
             let msg = deceit_isis::SequencedMsg { seq: upd.new_version.sub, payload: upd };
-            let deliverable = self.server_mut(server).receiver_for(key).receive(msg);
+            let deliverable = self.server(server).receive_ordered(key, msg);
             for (_, u) in deliverable {
                 self.apply_update_at(server, key, &u, true);
             }
@@ -279,8 +297,10 @@ impl Cluster {
     }
 
     /// Schedules a disk write-back for a server's asynchronous writes.
-    pub(crate) fn schedule_flush(&mut self, server: NodeId) {
+    /// `seg` attributes the flush to the shard whose mutation caused it,
+    /// so the deferred work drains under that file's locks.
+    pub(crate) fn schedule_flush(&self, server: NodeId, seg: SegmentId) {
         let at = self.now() + self.cfg.flush_delay;
-        self.events.push(at, Pending::FlushServer { server });
+        self.events.push(at, Pending::FlushServer { server, seg });
     }
 }

@@ -4,16 +4,23 @@
 //! metadata, token state, the handle map); everything else — delivery
 //! queues, location caches, the failure detector, write-stream state — is
 //! volatile and lost on a crash.
+//!
+//! All hot state (everything keyed by segment or replica key) lives in
+//! the ShardKey-indexed containers of [`crate::hot`], so protocol code
+//! reaches it through `&self`: a mutation holding its shard's ring lock
+//! rewrites exactly its file's slice of every server without exclusive
+//! access to the cell (see the module doc of [`crate::hot`] for the lock
+//! discipline).
 
-use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::AtomicU64;
 use std::sync::Mutex;
 
-use deceit_isis::{FailureDetector, GroupId, OrderedReceiver};
+use deceit_isis::{BcastOutcome, FailureDetector, GroupId, OrderedReceiver, SequencedMsg};
 use deceit_net::NodeId;
-use deceit_sim::SimTime;
-use deceit_storage::{Disk, DiskConfig};
+use deceit_storage::DiskConfig;
 
+use crate::hot::{ShardedDisk, ShardedMap};
 use crate::ops::UpdateRecord;
 use crate::replica::Replica;
 use crate::token::WriteToken;
@@ -40,7 +47,7 @@ pub struct StreamState {
     /// Whether the group has been marked unstable for the current stream.
     pub group_unstable: bool,
     /// Time of the most recent write in the stream.
-    pub last_write: SimTime,
+    pub last_write: deceit_sim::SimTime,
     /// Bumped on every write; stabilize-checks carry the epoch they were
     /// scheduled under and fire only if it is still current.
     pub epoch: u64,
@@ -51,89 +58,73 @@ pub struct StreamState {
 pub struct ServerState {
     /// This server's machine identity.
     pub id: NodeId,
-    /// Non-volatile replica storage.
-    pub replicas: Disk<ReplicaKey, Replica>,
-    /// Non-volatile token storage.
-    pub tokens: Disk<ReplicaKey, WriteToken>,
+    /// Non-volatile replica storage, sharded by segment.
+    pub replicas: ShardedDisk<Replica>,
+    /// Non-volatile token storage, sharded by segment.
+    pub tokens: ShardedDisk<WriteToken>,
     /// Volatile: per-replica ordered-delivery buffers for in-flight
     /// updates (ABCAST reordering; §3.3 identical-order requirement).
-    pub receivers: BTreeMap<ReplicaKey, OrderedReceiver<UpdateRecord>>,
+    pub(crate) receivers: ShardedMap<ReplicaKey, OrderedReceiver<UpdateRecord>>,
     /// Volatile: cached segment → file-group mapping, so repeat operations
     /// skip the global search (§3.2).
-    pub group_cache: BTreeMap<SegmentId, GroupId>,
+    pub(crate) group_cache: ShardedMap<SegmentId, GroupId>,
     /// Volatile: failure suspicion derived from communication outcomes.
-    pub fd: FailureDetector,
+    /// Per-server (not per-file), so it sits behind its own leaf lock.
+    pub(crate) fd: Mutex<FailureDetector>,
     /// Volatile: active write-stream state for replicas whose token this
     /// server holds.
-    pub streams: BTreeMap<ReplicaKey, StreamState>,
-    /// Volatile: replica accesses recorded by the shared (`&self`) read
-    /// fast path, applied to `last_access` at the next exclusive entry
-    /// so concurrent reads still feed the LRU without mutating replica
-    /// state. Deduplicated by key, so it is bounded by the replica
-    /// count.
-    pub(crate) read_touches: Mutex<BTreeMap<ReplicaKey, SimTime>>,
+    pub(crate) streams: ShardedMap<ReplicaKey, StreamState>,
     /// Count of client operations served by this server (load accounting).
-    pub ops_served: u64,
+    pub ops_served: AtomicU64,
 }
 
 impl ServerState {
-    /// A fresh server with empty disks.
-    pub fn new(id: NodeId, disk_cfg: DiskConfig) -> Self {
+    /// A fresh server with empty disks, hot state sharded over `shards`
+    /// slots.
+    pub fn new(id: NodeId, disk_cfg: DiskConfig, shards: usize) -> Self {
         ServerState {
             id,
-            replicas: Disk::new(disk_cfg),
-            tokens: Disk::new(disk_cfg),
-            receivers: BTreeMap::new(),
-            group_cache: BTreeMap::new(),
-            fd: FailureDetector::new(),
-            streams: BTreeMap::new(),
-            read_touches: Mutex::new(BTreeMap::new()),
-            ops_served: 0,
+            replicas: ShardedDisk::new(disk_cfg, shards),
+            tokens: ShardedDisk::new(disk_cfg, shards),
+            receivers: ShardedMap::new(shards),
+            group_cache: ShardedMap::new(shards),
+            fd: Mutex::new(FailureDetector::new()),
+            streams: ShardedMap::new(shards),
+            ops_served: AtomicU64::new(0),
         }
     }
 
-    /// Records a shared-path read of `key` at `at`, to be applied to the
-    /// replica's `last_access` by [`ServerState::take_read_touches`].
-    pub(crate) fn note_read(&self, key: ReplicaKey, at: SimTime) {
-        let mut touches = self.read_touches.lock().unwrap_or_else(|e| e.into_inner());
-        let entry = touches.entry(key).or_insert(at);
-        *entry = (*entry).max(at);
-    }
-
-    /// Drains the recorded shared-path reads.
-    pub(crate) fn take_read_touches(&mut self) -> BTreeMap<ReplicaKey, SimTime> {
-        std::mem::take(self.read_touches.get_mut().unwrap_or_else(|e| e.into_inner()))
+    /// Folds a communication round's outcome into the failure detector.
+    pub(crate) fn observe_round(&self, outcome: &BcastOutcome) {
+        self.fd.lock().unwrap_or_else(|e| e.into_inner()).observe_round(outcome);
     }
 
     /// Simulates a crash: non-volatile state reverts to its durable
     /// contents; volatile state is lost.
-    pub fn crash(&mut self) {
+    pub fn crash(&self) {
         self.replicas.crash();
         self.tokens.crash();
         self.receivers.clear();
         self.group_cache.clear();
-        self.fd = FailureDetector::new();
+        *self.fd.lock().unwrap_or_else(|e| e.into_inner()) = FailureDetector::new();
         self.streams.clear();
-        self.take_read_touches();
     }
 
     /// Whether this server stores any replica of `seg` (any major).
     pub fn has_segment(&self, seg: SegmentId) -> bool {
-        self.majors_of(seg).next().is_some()
+        self.replicas.latest_major(seg).is_some()
     }
 
     /// All major versions of `seg` stored here, ascending. A range scan
-    /// over the composite `(segment, major)` key: `O(log n)` to find the
-    /// segment's group, not a sweep of every replica on the server —
-    /// this sits on the concurrent read fast path.
-    pub fn majors_of(&self, seg: SegmentId) -> impl Iterator<Item = u64> + '_ {
-        self.replicas.keys_in_range(&(seg, 0), &(seg, u64::MAX)).map(|(_, major)| *major)
+    /// within the segment's one shard slot, not a sweep of every replica
+    /// on the server — this sits on the concurrent read fast path.
+    pub fn majors_of(&self, seg: SegmentId) -> Vec<u64> {
+        self.replicas.majors_of(seg)
     }
 
     /// The highest-numbered (most recent) major of `seg` stored here.
     pub fn latest_major(&self, seg: SegmentId) -> Option<u64> {
-        // majors_of is ascending, so the last one is the max.
-        self.majors_of(seg).last()
+        self.replicas.latest_major(seg)
     }
 
     /// Whether this server holds the write token for a replica.
@@ -141,11 +132,28 @@ impl ServerState {
         self.tokens.contains(&key)
     }
 
-    /// The ordered-delivery buffer for a replica, created on first use to
-    /// expect the update after the replica's current subversion.
-    pub fn receiver_for(&mut self, key: ReplicaKey) -> &mut OrderedReceiver<UpdateRecord> {
-        let start = self.replicas.get(&key).map(|r| r.version.sub + 1).unwrap_or(1);
-        self.receivers.entry(key).or_insert_with(|| OrderedReceiver::starting_at(start))
+    /// Routes one sequenced update through the replica's ordered-delivery
+    /// buffer (created on first use to expect the update after the
+    /// replica's current subversion), returning whatever became
+    /// deliverable in order.
+    pub(crate) fn receive_ordered(
+        &self,
+        key: ReplicaKey,
+        msg: SequencedMsg<UpdateRecord>,
+    ) -> Vec<(u64, UpdateRecord)> {
+        let start = self.replicas.with_ref(&key, |r| r.map(|r| r.version.sub + 1)).unwrap_or(1);
+        self.receivers.with_or_insert(
+            key,
+            || OrderedReceiver::starting_at(start),
+            |r| r.receive(msg),
+        )
+    }
+
+    /// Drops the ordered-delivery buffer of one replica (token movement,
+    /// replica destruction: the next receiver starts from the stored
+    /// subversion again).
+    pub(crate) fn drop_receiver(&self, key: &ReplicaKey) {
+        self.receivers.remove(key);
     }
 }
 
@@ -156,46 +164,51 @@ mod tests {
     use deceit_sim::SimTime;
 
     fn server() -> ServerState {
-        ServerState::new(NodeId(0), DiskConfig::workstation())
+        ServerState::new(NodeId(0), DiskConfig::workstation(), 8)
     }
 
     #[test]
     fn segment_queries() {
-        let mut s = server();
+        let s = server();
         let seg = SegmentId(7);
         assert!(!s.has_segment(seg));
         s.replicas.put_sync((seg, 0), Replica::new(0, FileParams::default(), SimTime::ZERO));
         s.replicas.put_sync((seg, 3), Replica::new(3, FileParams::default(), SimTime::ZERO));
         assert!(s.has_segment(seg));
-        assert_eq!(s.majors_of(seg).collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(s.majors_of(seg), vec![0, 3]);
         assert_eq!(s.latest_major(seg), Some(3));
         assert_eq!(s.latest_major(SegmentId(9)), None);
     }
 
     #[test]
     fn crash_preserves_durable_loses_volatile() {
-        let mut s = server();
+        let s = server();
         let seg = SegmentId(1);
         s.replicas.put_sync((seg, 0), Replica::new(0, FileParams::default(), SimTime::ZERO));
         s.group_cache.insert(seg, deceit_isis::GroupId(5));
         s.streams.insert((seg, 0), StreamState::default());
-        s.receiver_for((seg, 0));
         s.crash();
         assert!(s.has_segment(seg), "durable replica survives");
         assert!(s.group_cache.is_empty());
         assert!(s.streams.is_empty());
-        assert!(s.receivers.is_empty());
     }
 
     #[test]
-    fn receiver_starts_after_current_sub() {
-        let mut s = server();
+    fn ordered_receiver_starts_after_current_sub() {
+        let s = server();
         let seg = SegmentId(1);
         let mut r = Replica::new(0, FileParams::default(), SimTime::ZERO);
         r.version.sub = 4;
         s.replicas.put_sync((seg, 0), r);
-        assert_eq!(s.receiver_for((seg, 0)).next_expected(), 5);
-        // Unknown replica: expects the first update (sub 1).
-        assert_eq!(s.receiver_for((SegmentId(2), 0)).next_expected(), 1);
+        // An update matching the next expected subversion delivers; a
+        // stale one does not.
+        let upd = |sub: u64| UpdateRecord {
+            new_version: crate::version::VersionPair { major: 0, sub },
+            op: crate::ops::WriteOp::Truncate(0),
+        };
+        let out = s.receive_ordered((seg, 0), SequencedMsg { seq: 5, payload: upd(5) });
+        assert_eq!(out.len(), 1);
+        let out = s.receive_ordered((SegmentId(2), 0), SequencedMsg { seq: 3, payload: upd(3) });
+        assert!(out.is_empty(), "unknown replica expects sub 1 first");
     }
 }

@@ -71,7 +71,7 @@ impl BcastOutcome {
 /// local replica answer first — which is what makes write safety level 1
 /// fast in the common case.
 pub fn broadcast_round(
-    net: &mut Network,
+    net: &Network,
     from: NodeId,
     targets: impl IntoIterator<Item = NodeId>,
     bytes: usize,
@@ -113,8 +113,8 @@ mod tests {
 
     #[test]
     fn all_reachable_members_reply() {
-        let mut net = net();
-        let out = broadcast_round(&mut net, n(0), [n(1), n(2), n(3)], 100, 16, "upd");
+        let net = net();
+        let out = broadcast_round(&net, n(0), [n(1), n(2), n(3)], 100, 16, "upd");
         assert_eq!(out.reply_count(), 3);
         assert!(out.unreachable.is_empty());
         // Fixed latency: every round trip is exactly 2 ms.
@@ -125,8 +125,8 @@ mod tests {
 
     #[test]
     fn self_delivery_is_free_and_first() {
-        let mut net = net();
-        let out = broadcast_round(&mut net, n(0), [n(0), n(1)], 100, 16, "upd");
+        let net = net();
+        let out = broadcast_round(&net, n(0), [n(0), n(1)], 100, 16, "upd");
         assert_eq!(out.reply_count(), 2);
         assert_eq!(out.replies[0].0, n(0));
         assert!(out.replies[0].1 < SimDuration::from_micros(100));
@@ -138,7 +138,7 @@ mod tests {
     fn crashed_member_is_unreachable() {
         let mut net = net();
         net.crash(n(2));
-        let out = broadcast_round(&mut net, n(0), [n(1), n(2)], 10, 10, "t");
+        let out = broadcast_round(&net, n(0), [n(1), n(2)], 10, 10, "t");
         assert_eq!(out.reply_count(), 1);
         assert_eq!(out.unreachable, vec![n(2)]);
         assert!(out.heard_from(n(1)));
@@ -147,8 +147,8 @@ mod tests {
 
     #[test]
     fn first_k_latency_semantics() {
-        let mut net = net();
-        let out = broadcast_round(&mut net, n(0), [n(0), n(1), n(2)], 10, 10, "t");
+        let net = net();
+        let out = broadcast_round(&net, n(0), [n(0), n(1), n(2)], 10, 10, "t");
         // k=0: asynchronous.
         assert_eq!(out.latency_first_k(0), SimDuration::ZERO);
         // k=1: the free self-reply satisfies it.
@@ -161,8 +161,8 @@ mod tests {
 
     #[test]
     fn empty_target_set() {
-        let mut net = net();
-        let out = broadcast_round(&mut net, n(0), [], 10, 10, "t");
+        let net = net();
+        let out = broadcast_round(&net, n(0), [], 10, 10, "t");
         assert_eq!(out.reply_count(), 0);
         assert_eq!(out.latency_first_k(1), SimDuration::ZERO);
         assert_eq!(out.full_latency(), SimDuration::ZERO);
@@ -172,7 +172,7 @@ mod tests {
     fn partitioned_members_fail() {
         let mut net = net();
         net.split(&[&[n(0), n(1)], &[n(2), n(3)]]);
-        let out = broadcast_round(&mut net, n(0), [n(1), n(2), n(3)], 10, 10, "t");
+        let out = broadcast_round(&net, n(0), [n(1), n(2), n(3)], 10, 10, "t");
         assert_eq!(out.responders(), vec![n(1)]);
         assert_eq!(out.unreachable, vec![n(2), n(3)]);
     }

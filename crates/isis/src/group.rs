@@ -93,17 +93,24 @@ impl std::error::Error for GroupError {}
 /// by the caller, because those costs are what §3.2 and §7 analyze
 /// ("Group joins are expensive", "ISIS does not efficiently support more
 /// than 100-1000 process groups").
+/// Internally synchronized: every operation takes `&self`, so protocol
+/// code running under a shared lock (the concurrent host's sharded
+/// mutation path) can look up, join, and create groups without exclusive
+/// access to the directory. [`GroupTable::view`] returns an owned
+/// snapshot; view-synchronous semantics come from the atomicity of each
+/// membership change, not from holding a borrow open.
 #[derive(Debug, Default)]
 pub struct GroupTable {
+    inner: std::sync::RwLock<TableInner>,
+}
+
+#[derive(Debug, Default)]
+struct TableInner {
     groups: BTreeMap<GroupId, GroupMeta>,
     by_name: BTreeMap<String, GroupId>,
     next_id: u64,
-    /// Total view changes performed (joins + leaves), for the scalability
-    /// experiments.
-    pub view_changes: u64,
-    /// High-water mark of simultaneously live groups — the resource the
-    /// paper calls out as scarce in ISIS (§5.4).
-    pub peak_groups: usize,
+    view_changes: u64,
+    peak_groups: usize,
 }
 
 impl GroupTable {
@@ -112,16 +119,25 @@ impl GroupTable {
         GroupTable::default()
     }
 
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, TableInner> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, TableInner> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Creates a group with a unique name and one initial member.
-    pub fn create(&mut self, name: &str, creator: NodeId) -> Result<GroupId, GroupError> {
-        if self.by_name.contains_key(name) {
+    pub fn create(&self, name: &str, creator: NodeId) -> Result<GroupId, GroupError> {
+        let mut inner = self.write();
+        if inner.by_name.contains_key(name) {
             return Err(GroupError::NameTaken(name.to_string()));
         }
-        let id = GroupId(self.next_id);
-        self.next_id += 1;
+        let id = GroupId(inner.next_id);
+        inner.next_id += 1;
         let mut members = BTreeSet::new();
         members.insert(creator);
-        self.groups.insert(
+        inner.groups.insert(
             id,
             GroupMeta {
                 name: name.to_string(),
@@ -129,61 +145,92 @@ impl GroupTable {
                 next_seq: 0,
             },
         );
-        self.by_name.insert(name.to_string(), id);
-        self.view_changes += 1;
-        self.peak_groups = self.peak_groups.max(self.groups.len());
+        inner.by_name.insert(name.to_string(), id);
+        inner.view_changes += 1;
+        inner.peak_groups = inner.peak_groups.max(inner.groups.len());
         Ok(id)
     }
 
     /// Looks up a group by name (the "locating group members by group name"
     /// primitive; the caller charges the search cost).
     pub fn lookup(&self, name: &str) -> Option<GroupId> {
-        self.by_name.get(name).copied()
+        self.read().by_name.get(name).copied()
     }
 
-    /// The current view of a group.
-    pub fn view(&self, id: GroupId) -> Result<&View, GroupError> {
-        self.groups.get(&id).map(|g| &g.view).ok_or(GroupError::NoSuchGroup(id))
+    /// The current view of a group (an owned snapshot).
+    pub fn view(&self, id: GroupId) -> Result<View, GroupError> {
+        self.read().groups.get(&id).map(|g| g.view.clone()).ok_or(GroupError::NoSuchGroup(id))
+    }
+
+    /// Whether the group is (still) registered — the clone-free liveness
+    /// probe hot paths use instead of [`GroupTable::view`].
+    pub fn exists(&self, id: GroupId) -> bool {
+        self.read().groups.contains_key(&id)
+    }
+
+    /// Whether `node` is a member of `id` (false if the group is gone) —
+    /// clone-free.
+    pub fn is_member(&self, id: GroupId, node: NodeId) -> bool {
+        self.read().groups.get(&id).map(|g| g.view.contains(node)).unwrap_or(false)
+    }
+
+    /// The current members of `id` as a plain vector (ascending), or
+    /// `None` if the group is gone. One allocation, no set clone.
+    pub fn members_vec(&self, id: GroupId) -> Option<Vec<NodeId>> {
+        self.read().groups.get(&id).map(|g| g.view.members.iter().copied().collect())
+    }
+
+    /// Looks a group up by name and returns its members in one lock
+    /// acquisition — the common "who needs this broadcast" query.
+    pub fn members_by_name(&self, name: &str) -> Option<(GroupId, Vec<NodeId>)> {
+        let inner = self.read();
+        let id = *inner.by_name.get(name)?;
+        let g = inner.groups.get(&id)?;
+        Some((id, g.view.members.iter().copied().collect()))
     }
 
     /// The group's registered name.
-    pub fn name(&self, id: GroupId) -> Result<&str, GroupError> {
-        self.groups.get(&id).map(|g| g.name.as_str()).ok_or(GroupError::NoSuchGroup(id))
+    pub fn name(&self, id: GroupId) -> Result<String, GroupError> {
+        self.read().groups.get(&id).map(|g| g.name.clone()).ok_or(GroupError::NoSuchGroup(id))
     }
 
     /// Adds a member, producing a new view (atomic membership change).
-    pub fn join(&mut self, id: GroupId, node: NodeId) -> Result<View, GroupError> {
-        let meta = self.groups.get_mut(&id).ok_or(GroupError::NoSuchGroup(id))?;
+    pub fn join(&self, id: GroupId, node: NodeId) -> Result<View, GroupError> {
+        let mut inner = self.write();
+        let meta = inner.groups.get_mut(&id).ok_or(GroupError::NoSuchGroup(id))?;
         if !meta.view.members.insert(node) {
             return Err(GroupError::AlreadyMember(id, node));
         }
         meta.view.view_id += 1;
-        self.view_changes += 1;
-        Ok(meta.view.clone())
+        let view = meta.view.clone();
+        inner.view_changes += 1;
+        Ok(view)
     }
 
     /// Removes a member, producing a new view. Deletes the group when the
     /// last member leaves (Deceit "will be more careful with generating and
     /// deleting process groups", §5.4).
-    pub fn leave(&mut self, id: GroupId, node: NodeId) -> Result<View, GroupError> {
-        let meta = self.groups.get_mut(&id).ok_or(GroupError::NoSuchGroup(id))?;
+    pub fn leave(&self, id: GroupId, node: NodeId) -> Result<View, GroupError> {
+        let mut inner = self.write();
+        let meta = inner.groups.get_mut(&id).ok_or(GroupError::NoSuchGroup(id))?;
         if !meta.view.members.remove(&node) {
             return Err(GroupError::NotMember(id, node));
         }
         meta.view.view_id += 1;
-        self.view_changes += 1;
         let view = meta.view.clone();
+        let name = meta.name.clone();
+        inner.view_changes += 1;
         if view.members.is_empty() {
-            let name = meta.name.clone();
-            self.groups.remove(&id);
-            self.by_name.remove(&name);
+            inner.groups.remove(&id);
+            inner.by_name.remove(&name);
         }
         Ok(view)
     }
 
     /// Allocates the next ABCAST sequence number for the group.
-    pub fn next_seq(&mut self, id: GroupId) -> Result<u64, GroupError> {
-        let meta = self.groups.get_mut(&id).ok_or(GroupError::NoSuchGroup(id))?;
+    pub fn next_seq(&self, id: GroupId) -> Result<u64, GroupError> {
+        let mut inner = self.write();
+        let meta = inner.groups.get_mut(&id).ok_or(GroupError::NoSuchGroup(id))?;
         let s = meta.next_seq;
         meta.next_seq += 1;
         Ok(s)
@@ -191,12 +238,24 @@ impl GroupTable {
 
     /// Number of currently live groups.
     pub fn len(&self) -> usize {
-        self.groups.len()
+        self.read().groups.len()
     }
 
     /// Whether no groups exist.
     pub fn is_empty(&self) -> bool {
-        self.groups.is_empty()
+        self.read().groups.is_empty()
+    }
+
+    /// Total view changes performed (joins + leaves), for the scalability
+    /// experiments.
+    pub fn view_changes(&self) -> u64 {
+        self.read().view_changes
+    }
+
+    /// High-water mark of simultaneously live groups — the resource the
+    /// paper calls out as scarce in ISIS (§5.4).
+    pub fn peak_groups(&self) -> usize {
+        self.read().peak_groups
     }
 }
 
@@ -210,7 +269,7 @@ mod tests {
 
     #[test]
     fn create_lookup_view() {
-        let mut t = GroupTable::new();
+        let t = GroupTable::new();
         let g = t.create("file:42", n(0)).unwrap();
         assert_eq!(t.lookup("file:42"), Some(g));
         assert_eq!(t.lookup("nope"), None);
@@ -223,14 +282,14 @@ mod tests {
 
     #[test]
     fn duplicate_name_rejected() {
-        let mut t = GroupTable::new();
+        let t = GroupTable::new();
         t.create("g", n(0)).unwrap();
         assert_eq!(t.create("g", n(1)), Err(GroupError::NameTaken("g".into())));
     }
 
     #[test]
     fn join_and_leave_bump_view() {
-        let mut t = GroupTable::new();
+        let t = GroupTable::new();
         let g = t.create("g", n(0)).unwrap();
         let v2 = t.join(g, n(1)).unwrap();
         assert_eq!(v2.view_id, 2);
@@ -242,12 +301,12 @@ mod tests {
         assert_eq!(t.leave(g, n(0)), Err(GroupError::NotMember(g, n(0))));
         // Create + successful join + successful leave; rejected ops do not
         // change the view.
-        assert_eq!(t.view_changes, 3);
+        assert_eq!(t.view_changes(), 3);
     }
 
     #[test]
     fn group_deleted_when_empty() {
-        let mut t = GroupTable::new();
+        let t = GroupTable::new();
         let g = t.create("g", n(0)).unwrap();
         t.leave(g, n(0)).unwrap();
         assert!(t.is_empty());
@@ -259,7 +318,7 @@ mod tests {
 
     #[test]
     fn sequencer_is_per_group() {
-        let mut t = GroupTable::new();
+        let t = GroupTable::new();
         let a = t.create("a", n(0)).unwrap();
         let b = t.create("b", n(0)).unwrap();
         assert_eq!(t.next_seq(a).unwrap(), 0);
@@ -269,11 +328,11 @@ mod tests {
 
     #[test]
     fn peak_groups_tracks_high_water() {
-        let mut t = GroupTable::new();
+        let t = GroupTable::new();
         let a = t.create("a", n(0)).unwrap();
         let _b = t.create("b", n(0)).unwrap();
         t.leave(a, n(0)).unwrap();
         t.create("c", n(0)).unwrap();
-        assert_eq!(t.peak_groups, 2);
+        assert_eq!(t.peak_groups(), 2);
     }
 }

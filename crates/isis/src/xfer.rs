@@ -34,7 +34,7 @@ impl TransferOutcome {
 /// streaming time; §3.1: "Non-blocking I/O and careful buffer management
 /// allow the connection to run at high efficiency."
 pub fn transfer_state(
-    net: &mut Network,
+    net: &Network,
     cfg: &BlastConfig,
     from: NodeId,
     to: NodeId,
@@ -59,10 +59,10 @@ mod tests {
 
     #[test]
     fn transfer_completes_and_scales() {
-        let mut net = Network::fixed(SimDuration::from_millis(1), 1);
+        let net = Network::fixed(SimDuration::from_millis(1), 1);
         let cfg = BlastConfig::ethernet_10mb();
-        let small = transfer_state(&mut net, &cfg, n(0), n(1), 1 << 10, "xfer").duration().unwrap();
-        let big = transfer_state(&mut net, &cfg, n(0), n(1), 1 << 24, "xfer").duration().unwrap();
+        let small = transfer_state(&net, &cfg, n(0), n(1), 1 << 10, "xfer").duration().unwrap();
+        let big = transfer_state(&net, &cfg, n(0), n(1), 1 << 24, "xfer").duration().unwrap();
         assert!(big > small * 100, "big {big} small {small}");
         assert_eq!(net.stats().tag_count("xfer"), 2);
     }
@@ -73,7 +73,7 @@ mod tests {
         net.crash(n(1));
         let cfg = BlastConfig::default();
         assert_eq!(
-            transfer_state(&mut net, &cfg, n(0), n(1), 1024, "xfer"),
+            transfer_state(&net, &cfg, n(0), n(1), 1024, "xfer"),
             TransferOutcome::Unreachable
         );
     }

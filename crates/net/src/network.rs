@@ -85,6 +85,17 @@ pub struct Network {
     pub loss_prob: f64,
     /// Extra delay charged per retransmission.
     pub retransmit_delay: SimDuration,
+    /// Latency sampling and accounting, internally locked so that
+    /// [`Network::send`] works through `&self`: concurrent protocol
+    /// executions (the sharded mutation path) send without exclusive
+    /// network access. Topology (crashes, partitions, cells) stays plain
+    /// because failure injection only ever runs under the host's
+    /// exclusive lock.
+    hot: std::sync::Mutex<NetHot>,
+}
+
+#[derive(Debug)]
+struct NetHot {
     rng: SimRng,
     stats: NetStats,
 }
@@ -101,8 +112,10 @@ impl Network {
             crashed: BTreeSet::new(),
             loss_prob: 0.0,
             retransmit_delay: SimDuration::from_millis(20),
-            rng: SimRng::new(seed ^ 0x6e65_745f_7367),
-            stats: NetStats::default(),
+            hot: std::sync::Mutex::new(NetHot {
+                rng: SimRng::new(seed ^ 0x6e65_745f_7367),
+                stats: NetStats::default(),
+            }),
         }
     }
 
@@ -166,9 +179,10 @@ impl Network {
     ///
     /// On success the returned latency includes any modeled retransmission
     /// delay and, for inter-cell traffic, WAN costs.
-    pub fn send(&mut self, from: NodeId, to: NodeId, bytes: usize, tag: &'static str) -> Delivery {
+    pub fn send(&self, from: NodeId, to: NodeId, bytes: usize, tag: &'static str) -> Delivery {
+        let mut hot = self.hot.lock().unwrap_or_else(|e| e.into_inner());
         if !self.reachable(from, to) {
-            self.stats.unreachable += 1;
+            hot.stats.unreachable += 1;
             return Delivery::Unreachable;
         }
         let model = if self.cell_of(from) == self.cell_of(to) { &self.lan } else { &self.wan };
@@ -176,26 +190,26 @@ impl Network {
             // Loopback: local procedure call, effectively free.
             SimDuration::from_micros(10)
         } else {
-            model.sample(&mut self.rng, bytes)
+            model.sample(&mut hot.rng, bytes)
         };
-        if self.loss_prob > 0.0 && from != to && self.rng.chance(self.loss_prob) {
+        if self.loss_prob > 0.0 && from != to && hot.rng.chance(self.loss_prob) {
             latency += self.retransmit_delay;
-            self.stats.retransmits += 1;
+            hot.stats.retransmits += 1;
         }
-        self.stats.messages += 1;
-        self.stats.bytes += bytes as u64;
-        *self.stats.by_tag.entry(tag).or_insert(0) += 1;
+        hot.stats.messages += 1;
+        hot.stats.bytes += bytes as u64;
+        *hot.stats.by_tag.entry(tag).or_insert(0) += 1;
         Delivery::Delivered(latency)
     }
 
-    /// Traffic accounting so far.
-    pub fn stats(&self) -> &NetStats {
-        &self.stats
+    /// Traffic accounting so far (a point-in-time copy).
+    pub fn stats(&self) -> NetStats {
+        self.hot.lock().unwrap_or_else(|e| e.into_inner()).stats.clone()
     }
 
-    /// Mutable access to accounting (for resets between experiment phases).
-    pub fn stats_mut(&mut self) -> &mut NetStats {
-        &mut self.stats
+    /// Resets the accounting (between experiment phases).
+    pub fn reset_stats(&mut self) {
+        self.hot.lock().unwrap_or_else(|e| e.into_inner()).stats.reset();
     }
 }
 
@@ -213,7 +227,7 @@ mod tests {
 
     #[test]
     fn delivers_with_fixed_latency() {
-        let mut net = net();
+        let net = net();
         match net.send(n(0), n(1), 128, "test") {
             Delivery::Delivered(d) => assert_eq!(d, SimDuration::from_micros(1_000)),
             Delivery::Unreachable => panic!("should deliver"),
@@ -248,7 +262,7 @@ mod tests {
 
     #[test]
     fn loopback_is_cheap() {
-        let mut net = net();
+        let net = net();
         let d = net.send(n(3), n(3), 1 << 20, "t").latency().unwrap();
         assert!(d < SimDuration::from_micros(100));
     }
@@ -277,7 +291,7 @@ mod tests {
     fn stats_reset() {
         let mut net = net();
         let _ = net.send(n(0), n(1), 10, "t");
-        net.stats_mut().reset();
+        net.reset_stats();
         assert_eq!(net.stats().messages, 0);
         assert_eq!(net.stats().tag_count("t"), 0);
     }

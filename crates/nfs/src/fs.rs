@@ -318,6 +318,130 @@ impl DeceitFs {
         Ok((inode, dir, version, latency))
     }
 
+    // ------------------------------------------------------------------
+    // Sharded-path segment plumbing (`&self`)
+    //
+    // Twins of the plumbing above for the concurrent host's mutation
+    // fast path: the caller holds the ring locks for `slots` (the slots
+    // of the request's `OpClass`), and every cluster call below fires
+    // deferred work only within them. See `crate::ops_file` /
+    // `crate::ops_dir` for the entry points.
+    // ------------------------------------------------------------------
+
+    /// Sharded-path [`DeceitFs::load`]. Tries the lean local paths
+    /// first — a stable local replica, then the token holder's primary
+    /// copy (the steady state of a write stream) — before the full
+    /// forwarding read.
+    pub(crate) fn load_sharded(
+        &self,
+        slots: &[usize],
+        via: NodeId,
+        fh: FileHandle,
+    ) -> Result<(Inode, Bytes, VersionPair, SimDuration), NfsError> {
+        let read = match self
+            .cluster
+            .try_read_local(via, fh.seg, fh.version, 0, WHOLE_SEGMENT)
+            .or_else(|| self.cluster.try_read_primary(via, fh.seg, fh.version, 0, WHOLE_SEGMENT))
+        {
+            Some(r) => r,
+            None => self.cluster.read_sharded(slots, via, fh.seg, fh.version, 0, WHOLE_SEGMENT)?,
+        };
+        let (inode, hdr_len) = Inode::decode(&read.value.data)?;
+        let payload = read.value.data.slice(hdr_len..);
+        Ok((inode, payload, read.value.version, read.latency))
+    }
+
+    /// Sharded-path [`DeceitFs::store`].
+    pub(crate) fn store_sharded(
+        &self,
+        slots: &[usize],
+        via: NodeId,
+        fh: FileHandle,
+        inode: &Inode,
+        payload: &[u8],
+        expected: Option<VersionPair>,
+    ) -> Result<(VersionPair, SimDuration), NfsError> {
+        let mut buf = inode.encode();
+        buf.extend_from_slice(payload);
+        let w = self.cluster.write_sharded(slots, via, fh.seg, WriteOp::Replace(buf), expected)?;
+        Ok((w.value, w.latency))
+    }
+
+    /// Sharded-path [`DeceitFs::update_segment`]: the §5.1 restart loop
+    /// with the backoff's clock advance scoped to the held slots.
+    ///
+    /// Returns the segment's final state alongside the latency — the
+    /// inode and payload length just written (or just loaded, when
+    /// `mutate` declined) and the resulting version pair — so callers
+    /// can assemble the post-op attributes without re-reading the whole
+    /// segment. Under the caller's ring locks nothing else can mutate
+    /// the file in between, so this *is* what a re-read would see.
+    pub(crate) fn update_segment_sharded(
+        &self,
+        slots: &[usize],
+        via: NodeId,
+        fh: FileHandle,
+        mut mutate: impl FnMut(&mut Inode, &Bytes) -> Result<Option<Vec<u8>>, NfsError>,
+    ) -> Result<(Inode, usize, VersionPair, SimDuration), NfsError> {
+        let mut latency = SimDuration::ZERO;
+        for attempt in 0..self.cfg.occ_retries.max(1) {
+            let (mut inode, payload, version, l1) = self.load_sharded(slots, via, fh)?;
+            latency += l1;
+            let new_payload = match mutate(&mut inode, &payload)? {
+                Some(p) => p,
+                None => return Ok((inode, payload.len(), version, latency)),
+            };
+            match self.store_sharded(slots, via, fh, &inode, &new_payload, Some(version)) {
+                Ok((new_version, l2)) => {
+                    return Ok((inode, new_payload.len(), new_version, latency + l2))
+                }
+                Err(NfsError::Io(DeceitError::VersionConflict { .. })) => {
+                    self.cluster.stats.incr("nfs/occ_restarts");
+                    // §5.1: "the whole operation is restarted." Restarting
+                    // takes real time — back off so asynchronously
+                    // propagating updates can land before the re-read (a
+                    // zero-time retry against a write-behind replica would
+                    // spin on the same stale version). Only the held
+                    // slots' deferred work fires during the backoff.
+                    let backoff = SimDuration::from_millis(10 * (attempt as u64 + 1));
+                    self.cluster.advance_sharded(slots, backoff);
+                    latency += backoff;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(NfsError::Busy)
+    }
+
+    /// Sharded-path directory load.
+    pub(crate) fn load_dir_sharded(
+        &self,
+        slots: &[usize],
+        via: NodeId,
+        fh: FileHandle,
+    ) -> Result<(Inode, Directory, VersionPair, SimDuration), NfsError> {
+        let (inode, payload, version, latency) = self.load_sharded(slots, via, fh)?;
+        if inode.ftype != FileType::Directory.to_byte() {
+            return Err(NfsError::NotDir);
+        }
+        let dir = Directory::decode(&payload)?;
+        Ok((inode, dir, version, latency))
+    }
+
+    /// Sharded-path `GETATTR` (the attribute reply every mutation ends
+    /// with).
+    pub(crate) fn getattr_sharded(
+        &self,
+        slots: &[usize],
+        via: NodeId,
+        fh: FileHandle,
+    ) -> NfsResult<FileAttr> {
+        let (inode, payload, version, latency) = self.load_sharded(slots, via, fh)?;
+        let attr = self.attr_from(fh, &inode, payload.len(), version);
+        Ok(OpResult { value: attr, latency })
+    }
+
     /// Attribute assembly shared by the exclusive and shared read paths.
     pub(crate) fn attr_from(
         &self,

@@ -38,6 +38,32 @@ pub trait NfsService {
         let _ = (via, req);
         None
     }
+
+    /// Attempts to serve a read-only request with shared cell access
+    /// plus the ring lock of its primary file — for reads the lock-free
+    /// [`NfsService::serve_shared`] path declined. The caller must hold
+    /// the ring lock of the request's shard key. `None` falls back to
+    /// the exclusive [`NfsService::serve`]. The default declines
+    /// everything, which is always correct.
+    fn serve_read_sharded(&self, via: NodeId, req: &NfsRequest) -> Option<(NfsReply, SimDuration)> {
+        let _ = (via, req);
+        None
+    }
+
+    /// Attempts to serve a mutating request with shared cell access plus
+    /// the shard locks its class declares — the sharded mutation path.
+    ///
+    /// The caller must hold the ring locks for every slot of
+    /// `req.class().slots(shard_count)` before calling. `None` means the
+    /// request's footprint escapes those locks (qualified-version names,
+    /// removals that resolve their victim by name, renames that touch a
+    /// third segment, cell-wide commands): the host must fall back to
+    /// the exclusive [`NfsService::serve`]. The default declines
+    /// everything, which is always correct.
+    fn serve_sharded(&self, via: NodeId, req: &NfsRequest) -> Option<(NfsReply, SimDuration)> {
+        let _ = (via, req);
+        None
+    }
 }
 
 impl NfsService for NfsServer {
@@ -52,6 +78,14 @@ impl NfsService for NfsServer {
     fn serve_shared(&self, via: NodeId, req: &NfsRequest) -> Option<(NfsReply, SimDuration)> {
         self.handle_shared(via, req)
     }
+
+    fn serve_sharded(&self, via: NodeId, req: &NfsRequest) -> Option<(NfsReply, SimDuration)> {
+        self.handle_sharded(via, req)
+    }
+
+    fn serve_read_sharded(&self, via: NodeId, req: &NfsRequest) -> Option<(NfsReply, SimDuration)> {
+        self.handle_read_sharded(via, req)
+    }
 }
 
 impl ProtocolHost for DeceitFs {
@@ -59,12 +93,16 @@ impl ProtocolHost for DeceitFs {
         self.cluster.pump(max_events)
     }
 
-    fn pump_shard(&mut self, slot: usize, shards: usize, max_events: usize) -> usize {
-        self.cluster.pump_shard(slot, shards, max_events)
+    fn shard_count(&self) -> usize {
+        self.cluster.shard_count()
     }
 
-    fn pending_slots(&self, shards: usize) -> Vec<usize> {
-        self.cluster.pending_slots(shards)
+    fn try_pump_shard(&self, slot: usize, max_events: usize) -> Option<usize> {
+        Some(self.cluster.pump_shard(slot, max_events))
+    }
+
+    fn pending_shard_mask(&self) -> u64 {
+        self.cluster.pending_shard_mask()
     }
 
     fn settle(&mut self) {
@@ -105,12 +143,16 @@ impl ProtocolHost for NfsServer {
         self.fs.pump(max_events)
     }
 
-    fn pump_shard(&mut self, slot: usize, shards: usize, max_events: usize) -> usize {
-        self.fs.pump_shard(slot, shards, max_events)
+    fn shard_count(&self) -> usize {
+        self.fs.shard_count()
     }
 
-    fn pending_slots(&self, shards: usize) -> Vec<usize> {
-        self.fs.pending_slots(shards)
+    fn try_pump_shard(&self, slot: usize, max_events: usize) -> Option<usize> {
+        self.fs.try_pump_shard(slot, max_events)
+    }
+
+    fn pending_shard_mask(&self) -> u64 {
+        self.fs.pending_shard_mask()
     }
 
     fn settle(&mut self) {
@@ -189,12 +231,42 @@ mod tests {
         let (exclusive, _) = srv.serve(NodeId(0), read);
         assert_eq!(shared, exclusive);
 
-        // Mutating requests are never served shared.
+        // Mutating requests are never served on the read fast path.
         let write = NfsRequest::Write { fh: attr.handle, offset: 0, data: b"x".into() };
         assert!(srv.serve_shared(NodeId(0), &write).is_none());
         // Cell-wide inquiries defer to the exclusive path.
         let locate = NfsRequest::DeceitLocateReplicas { fh: attr.handle };
         assert!(srv.serve_shared(NodeId(0), &locate).is_none());
+    }
+
+    #[test]
+    fn sharded_serve_covers_single_file_mutations() {
+        let mut srv = NfsServer::new(DeceitFs::with_defaults(3));
+        let root = srv.mount_root();
+        let (rep, _) =
+            srv.serve(NodeId(0), NfsRequest::Create { dir: root, name: "f".into(), mode: 0o644 });
+        let NfsReply::Attr(attr) = rep else { panic!("create failed: {rep:?}") };
+        srv.settle();
+
+        // A write executes on the sharded path and matches the exclusive
+        // outcome shape.
+        let write = NfsRequest::Write { fh: attr.handle, offset: 0, data: b"sharded".into() };
+        let (rep, _) = srv.serve_sharded(NodeId(0), &write).expect("write is single-shard");
+        assert!(rep.as_error().is_none(), "{rep:?}");
+        srv.settle();
+        let (rep, _) =
+            srv.serve(NodeId(1), NfsRequest::Read { fh: attr.handle, offset: 0, count: 64 });
+        let NfsReply::Data(data) = rep else { panic!("read failed: {rep:?}") };
+        assert_eq!(&data[..], b"sharded");
+
+        // Requests whose footprint escapes their declared shards decline.
+        let remove = NfsRequest::Remove { dir: root, name: "f".into() };
+        assert!(srv.serve_sharded(NodeId(0), &remove).is_none(), "remove resolves by name");
+        let reconcile = NfsRequest::DeceitReconcile { dir: root };
+        assert!(srv.serve_sharded(NodeId(0), &reconcile).is_none(), "cell-wide");
+        // Read-only requests belong to the read fast path, not here.
+        let read = NfsRequest::Read { fh: attr.handle, offset: 0, count: 4 };
+        assert!(srv.serve_sharded(NodeId(0), &read).is_none());
     }
 
     #[test]

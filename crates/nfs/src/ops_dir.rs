@@ -144,6 +144,70 @@ impl DeceitFs {
         Ok(out)
     }
 
+    // ------------------------------------------------------------------
+    // Sharded-path twins (`&self` + held ring locks)
+    //
+    // Only `link` qualifies: both files it rewrites are named in the
+    // request, so the class's ring locks cover the whole footprint.
+    // Creations do NOT — the newborn segment is unaddressable to other
+    // *requests* until published, but its deferred protocol work
+    // (stabilize checks, flushes, replica fills) lands in the newborn's
+    // own slot queue, which the pump drains under that slot's ring lock
+    // — a lock the creator does not hold. Creations therefore run on
+    // the exclusive path, where the pump is excluded by the cell lock.
+    // ------------------------------------------------------------------
+
+    /// Sharded-path `LINK`: both the target and the directory are named
+    /// in the request, so the class's two ring locks cover the whole
+    /// footprint.
+    pub fn link_sharded(
+        &self,
+        slots: &[usize],
+        via: NodeId,
+        target: FileHandle,
+        dir: FileHandle,
+        name: &str,
+    ) -> NfsResult<()> {
+        let q = QualifiedName::parse(name)?;
+        if q.version.is_some() {
+            return Err(NfsError::Name(crate::name::NameError::BadVersion(
+                "hard links cannot be version-qualified".to_string(),
+            )));
+        }
+        let mut latency = SimDuration::ZERO;
+        let now = self.cluster.now().as_micros();
+        let (tnode, _, _, l0) = self.load_sharded(slots, via, target)?;
+        latency += l0;
+        if tnode.ftype == FileType::Directory.to_byte() {
+            return Err(NfsError::IsDir);
+        }
+        let dir_seg = dir.seg;
+        latency += self
+            .update_segment_sharded(slots, via, target, |inode, payload| {
+                inode.nlink += 1;
+                inode.add_uplink(dir_seg);
+                inode.ctime = now;
+                Ok(Some(payload.to_vec()))
+            })?
+            .3;
+        let entry =
+            DirEntry { name: q.base.clone(), handle: target.unpinned(), ftype: tnode.ftype };
+        latency += self
+            .update_segment_sharded(slots, via, dir, |dnode, dpayload| {
+                if dnode.ftype != FileType::Directory.to_byte() {
+                    return Err(NfsError::NotDir);
+                }
+                let mut t = Directory::decode(dpayload)?;
+                if !t.insert(entry.clone()) {
+                    return Err(NfsError::Exists);
+                }
+                dnode.mtime = now;
+                Ok(Some(t.encode()))
+            })?
+            .3;
+        Ok(OpResult { value: (), latency })
+    }
+
     /// `REMOVE`: unlinks a file or symlink from a directory.
     pub fn remove(&mut self, via: NodeId, dir: FileHandle, name: &str) -> NfsResult<()> {
         let q = QualifiedName::parse(name)?;

@@ -3,7 +3,9 @@
 //! Every operation here rewrites exactly one segment — the one its file
 //! handle names — through the §5.1 optimistic read-modify-write loop.
 //! A concurrent host serializes them per shard (the handle's segment id
-//! is the shard key) under the exclusive cell lock.
+//! is the shard key): the `*_sharded` twins run under the shared cell
+//! lock plus the file's shard ring lock, concurrently with reads and
+//! with mutations of files in other shards.
 
 use deceit_core::{FileParams, OpResult};
 use deceit_net::NodeId;
@@ -102,6 +104,91 @@ impl DeceitFs {
         params: FileParams,
     ) -> NfsResult<()> {
         let r = self.cluster.set_params(via, fh.seg, params)?;
+        Ok(OpResult { value: (), latency: r.latency })
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded-path twins (`&self` + held ring locks)
+    // ------------------------------------------------------------------
+
+    /// Sharded-path `SETATTR`: same semantics as [`DeceitFs::setattr`],
+    /// executed under the handle's shard ring lock.
+    #[allow(clippy::too_many_arguments)] // mirrors the NFS SETATTR surface
+    pub fn setattr_sharded(
+        &self,
+        slots: &[usize],
+        via: NodeId,
+        fh: FileHandle,
+        mode: Option<u32>,
+        uid: Option<u32>,
+        gid: Option<u32>,
+        size: Option<usize>,
+    ) -> NfsResult<FileAttr> {
+        let now = self.cluster.now().as_micros();
+        let (inode, len, version, latency) =
+            self.update_segment_sharded(slots, via, fh, |inode, payload| {
+                if size.is_some() && inode.ftype == FileType::Directory.to_byte() {
+                    return Err(NfsError::IsDir);
+                }
+                if let Some(m) = mode {
+                    inode.mode = m;
+                }
+                if let Some(u) = uid {
+                    inode.uid = u;
+                }
+                if let Some(g) = gid {
+                    inode.gid = g;
+                }
+                inode.ctime = now;
+                let mut data = payload.to_vec();
+                if let Some(s) = size {
+                    data.resize(s, 0);
+                    inode.mtime = now;
+                }
+                Ok(Some(data))
+            })?;
+        Ok(OpResult { value: self.attr_from(fh, &inode, len, version), latency })
+    }
+
+    /// Sharded-path `WRITE`: same semantics as [`DeceitFs::write`],
+    /// executed under the handle's shard ring lock — concurrent with
+    /// reads and with mutations of files in other slots.
+    pub fn write_sharded(
+        &self,
+        slots: &[usize],
+        via: NodeId,
+        fh: FileHandle,
+        offset: usize,
+        data: &[u8],
+    ) -> NfsResult<FileAttr> {
+        let now = self.cluster.now().as_micros();
+        let (inode, len, version, latency) =
+            self.update_segment_sharded(slots, via, fh, |inode, payload| {
+                if inode.ftype == FileType::Directory.to_byte() {
+                    return Err(NfsError::IsDir);
+                }
+                inode.mtime = now;
+                let mut contents = payload.to_vec();
+                let end = offset + data.len();
+                if end > contents.len() {
+                    contents.resize(end, 0);
+                }
+                contents[offset..end].copy_from_slice(data);
+                Ok(Some(contents))
+            })?;
+        Ok(OpResult { value: self.attr_from(fh, &inode, len, version), latency })
+    }
+
+    /// Sharded-path parameter change: rides the per-file update
+    /// machinery, so the same ring locks suffice.
+    pub fn set_file_params_sharded(
+        &self,
+        slots: &[usize],
+        via: NodeId,
+        fh: FileHandle,
+        params: FileParams,
+    ) -> NfsResult<()> {
+        let r = self.cluster.set_params_sharded(slots, via, fh.seg, params)?;
         Ok(OpResult { value: (), latency: r.latency })
     }
 }

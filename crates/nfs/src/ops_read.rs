@@ -164,6 +164,109 @@ impl DeceitFs {
     }
 
     // ------------------------------------------------------------------
+    // Sharded read twins (`&self` + held ring locks)
+    //
+    // The full read protocol — forwarding, group joins, LRU touches,
+    // clock accounting — through the scoped cluster entry points, for
+    // requests the lock-free fast path above cannot answer (no local
+    // stable replica). Run by a concurrent host under the shared cell
+    // lock plus the ring lock of the request's primary file; a
+    // lookup's child (a slot these locks do not cover) is only ever
+    // answered from single-acquisition snapshots, never the mutating
+    // full protocol.
+    // ------------------------------------------------------------------
+
+    /// Sharded-path `READ`.
+    pub fn read_ring(
+        &self,
+        slots: &[usize],
+        via: NodeId,
+        fh: FileHandle,
+        offset: usize,
+        count: usize,
+    ) -> NfsResult<Bytes> {
+        let (inode, payload, _, latency) = self.load_sharded(slots, via, fh)?;
+        if inode.ftype == FileType::Directory.to_byte() {
+            return Err(NfsError::IsDir);
+        }
+        let end = (offset + count).min(payload.len());
+        let data = if offset >= payload.len() { Bytes::new() } else { payload.slice(offset..end) };
+        Ok(OpResult { value: data, latency })
+    }
+
+    /// Sharded-path `LOOKUP`. The directory runs under its held ring
+    /// lock; the *child* lives in a slot these locks do not cover, so
+    /// its attributes come only from the single-acquisition snapshot
+    /// paths (local stable replica, or the token holder's primary copy)
+    /// — never from the full read protocol, which mutates child-slot
+    /// state. `None` means the child is not atomically answerable here:
+    /// the host falls back to the exclusive path.
+    pub fn lookup_ring(
+        &self,
+        slots: &[usize],
+        via: NodeId,
+        dir: FileHandle,
+        name: &str,
+    ) -> Option<NfsResult<FileAttr>> {
+        let q = match QualifiedName::parse(name) {
+            Ok(q) => q,
+            Err(e) => return Some(Err(e.into())),
+        };
+        let (_, table, _, latency) = match self.load_dir_sharded(slots, via, dir) {
+            Ok(l) => l,
+            Err(e) => return Some(Err(e)),
+        };
+        let Some(entry) = table.get(&q.base) else { return Some(Err(NfsError::NotFound)) };
+        let fh = match q.version {
+            Some(v) => FileHandle::versioned(entry.handle.seg, v),
+            None => entry.handle,
+        };
+        let read = self
+            .cluster
+            .try_read_local(via, fh.seg, fh.version, 0, WHOLE_SEGMENT)
+            .or_else(|| self.cluster.try_read_primary(via, fh.seg, fh.version, 0, WHOLE_SEGMENT))?;
+        Some((|| {
+            let (inode, hdr_len) = Inode::decode(&read.value.data)?;
+            let payload_len = read.value.data.len() - hdr_len;
+            let attr = self.attr_from(fh, &inode, payload_len, read.value.version);
+            Ok(OpResult { value: attr, latency: latency + read.latency })
+        })())
+    }
+
+    /// Sharded-path `READLINK`.
+    pub fn readlink_ring(&self, slots: &[usize], via: NodeId, fh: FileHandle) -> NfsResult<String> {
+        let (inode, payload, _, latency) = self.load_sharded(slots, via, fh)?;
+        if inode.ftype != FileType::Symlink.to_byte() {
+            return Err(NfsError::Io(DeceitError::InvalidCommand(
+                "readlink on non-symlink".to_string(),
+            )));
+        }
+        Ok(OpResult { value: String::from_utf8_lossy(&payload).into_owned(), latency })
+    }
+
+    /// Sharded-path `READDIR`.
+    pub fn readdir_ring(
+        &self,
+        slots: &[usize],
+        via: NodeId,
+        dir: FileHandle,
+    ) -> NfsResult<Vec<DirEntry>> {
+        let (_, table, _, latency) = self.load_dir_sharded(slots, via, dir)?;
+        Ok(OpResult { value: table.entries().to_vec(), latency })
+    }
+
+    /// Sharded-path parameter read.
+    pub fn file_params_ring(
+        &self,
+        slots: &[usize],
+        via: NodeId,
+        fh: FileHandle,
+    ) -> NfsResult<FileParams> {
+        let r = self.cluster.get_params_sharded(slots, via, fh.seg)?;
+        Ok(OpResult { value: r.value, latency: r.latency })
+    }
+
+    // ------------------------------------------------------------------
     // The shared fast path
     // ------------------------------------------------------------------
 

@@ -269,6 +269,86 @@ impl NfsServer {
         })
     }
 
+    /// Serves a mutating request with shared cell access plus the ring
+    /// locks its class declares — the sharded mutation fast path.
+    ///
+    /// The caller must hold the ring locks for every slot of
+    /// `req.class().slots(shard_count)`. `None` defers to the exclusive
+    /// [`NfsServer::handle`]: version-qualified names (they address a
+    /// different file's versions), `Remove`/`Rmdir` (the victim resolves
+    /// by name during execution), `Rename` (rewrites the moved file, a
+    /// third segment), and everything cell-wide.
+    pub fn handle_sharded(&self, via: NodeId, req: &NfsRequest) -> Option<(NfsReply, SimDuration)> {
+        let mut buf = [0usize; 2];
+        let n = req.class().slots_into(self.fs.cluster.shard_count(), &mut buf);
+        let slots = &buf[..n];
+        Some(match req {
+            NfsRequest::Setattr { fh, mode, uid, gid, size } => wrap(
+                self.fs.setattr_sharded(slots, via, *fh, *mode, *uid, *gid, *size),
+                NfsReply::Attr,
+            ),
+            NfsRequest::Write { fh, offset, data } => {
+                wrap(self.fs.write_sharded(slots, via, *fh, *offset, data), NfsReply::Attr)
+            }
+            NfsRequest::DeceitSetParams { fh, params } => {
+                wrap(self.fs.set_file_params_sharded(slots, via, *fh, *params), |()| NfsReply::Void)
+            }
+            NfsRequest::Link { target, dir, name } => {
+                wrap(self.fs.link_sharded(slots, via, *target, *dir, name), |()| NfsReply::Void)
+            }
+            // Create/Mkdir/Symlink schedule the newborn segment's
+            // deferred work into a slot the declared class does not
+            // lock (the pump would race the creator there);
+            // Remove/Rmdir rewrite a victim resolved by name; Rename
+            // rewrites the moved file's inode — footprints the declared
+            // class does not cover. Everything else mutating is
+            // cell-wide. All defer to the exclusive path.
+            _ => return None,
+        })
+    }
+
+    /// Serves a read-only request with shared cell access plus the ring
+    /// lock of its primary file — the sharded read path, for requests
+    /// the lock-free [`NfsServer::handle_shared`] fast path declined
+    /// (no local stable replica: forwarding, unstable files).
+    ///
+    /// The caller must hold the ring lock of the request's
+    /// [`NfsRequest::shard_key`]. `None` defers to the exclusive
+    /// [`NfsServer::handle`]: requests without a shard key, and the
+    /// Deceit inquiries whose searches span the cell.
+    pub fn handle_read_sharded(
+        &self,
+        via: NodeId,
+        req: &NfsRequest,
+    ) -> Option<(NfsReply, SimDuration)> {
+        let key = req.shard_key()?;
+        let mut buf = [0usize; 2];
+        let n = OpClass::Mutate(key).slots_into(self.fs.cluster.shard_count(), &mut buf);
+        let slots = &buf[..n];
+        Some(match req {
+            NfsRequest::Getattr { fh } => {
+                wrap(self.fs.getattr_sharded(slots, via, *fh), NfsReply::Attr)
+            }
+            NfsRequest::Lookup { dir, name } => {
+                wrap(self.fs.lookup_ring(slots, via, *dir, name)?, NfsReply::Attr)
+            }
+            NfsRequest::Readlink { fh } => {
+                wrap(self.fs.readlink_ring(slots, via, *fh), NfsReply::Path)
+            }
+            NfsRequest::Read { fh, offset, count } => {
+                wrap(self.fs.read_ring(slots, via, *fh, *offset, *count), NfsReply::Data)
+            }
+            NfsRequest::Readdir { dir } => {
+                wrap(self.fs.readdir_ring(slots, via, *dir), NfsReply::Entries)
+            }
+            NfsRequest::DeceitGetParams { fh } => {
+                wrap(self.fs.file_params_ring(slots, via, *fh), NfsReply::Params)
+            }
+            // Version/replica listings search the cell; defer.
+            _ => return None,
+        })
+    }
+
     /// `OpClass::ReadOnly` entry point: touches no state beyond caches
     /// and accounting (forwarded reads may join file groups).
     pub fn handle_read(&mut self, via: NodeId, req: NfsRequest) -> (NfsReply, SimDuration) {

@@ -32,12 +32,14 @@ pub struct RuntimeConfig {
 
 impl RuntimeConfig {
     /// A deployment of `servers` servers with defaults tuned for live
-    /// hosting (protocol tracing off — the trace log grows without bound
-    /// under sustained traffic).
+    /// hosting: protocol tracing off (the trace log grows without bound
+    /// under sustained traffic) and protocol metrics off (the registry
+    /// lock sits on the request hot path; the runtime keeps its own
+    /// atomic counters).
     pub fn new(servers: usize) -> Self {
         RuntimeConfig {
             servers,
-            cluster: ClusterConfig::default().without_trace(),
+            cluster: ClusterConfig::default().without_trace().without_stats(),
             fs: FsConfig::default(),
             request_timeout: Duration::from_secs(3),
             poll_interval: Duration::from_millis(10),

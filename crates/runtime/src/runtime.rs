@@ -3,9 +3,13 @@
 //! Request execution is *sharded* (see [`crate::shard`]): read-only
 //! requests run concurrently under the shared cell lock — served by the
 //! engine's `&self` fast path when the addressed server holds a local
-//! stable replica — while mutations hold the exclusive cell lock plus
-//! the shard locks their [`OpClass`] declares. The deferred-work pump
-//! drains the engine's event queue per shard, round-robin.
+//! stable replica — and mutations run under the shared cell lock plus
+//! the shard ring locks their [`OpClass`] declares, concurrently with
+//! reads and with mutations of files in other shards. Only requests
+//! whose footprint escapes their declared shards (and failure
+//! injection) take the exclusive cell lock. The deferred-work pump
+//! drains the engine's per-shard event queues under shared access, one
+//! slot at a time.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -61,6 +65,9 @@ pub struct RuntimeStats {
     /// Of those, requests served on the concurrent read fast path
     /// (shared cell lock, no exclusive engine access).
     pub requests_served_shared: u64,
+    /// Of those, mutations served on the sharded path (shared cell lock
+    /// plus the class's shard ring locks — no exclusive engine access).
+    pub requests_served_sharded: u64,
     /// Deferred protocol work pending, as of the last time a thread
     /// holding the engine refreshed the cached count. Reading it takes
     /// no lock.
@@ -159,6 +166,7 @@ struct Shared<S> {
     stop: AtomicBool,
     served_total: AtomicU64,
     served_shared: AtomicU64,
+    served_sharded: AtomicU64,
     /// Cached [`ProtocolHost::pending_work`], refreshed by whichever
     /// thread last held the engine exclusively, so stats reads and the
     /// pump's idle check never take a lock.
@@ -201,7 +209,11 @@ impl ClusterRuntime<NfsServer> {
     /// Builds the standard stack — segment servers under the NFS envelope
     /// — and starts it on real threads.
     pub fn start(cfg: RuntimeConfig) -> Self {
-        let fs = DeceitFs::new(cfg.servers, cfg.cluster.clone(), cfg.fs.clone());
+        // One source of truth for the shard count: the engine's hot
+        // state, its event queues, and this host's ring locks must all
+        // partition by the same slot function.
+        let cluster_cfg = cfg.cluster.clone().with_shards(cfg.shards);
+        let fs = DeceitFs::new(cfg.servers, cluster_cfg, cfg.fs.clone());
         Self::host(NfsServer::new(fs), cfg)
     }
 }
@@ -218,12 +230,16 @@ impl<S: NfsService + ProtocolHost + Send + Sync + 'static> ClusterRuntime<S> {
         );
         let bus: LiveBus<NfsFrame> = LiveBus::new();
         let pending = engine.pending_work();
+        // Ring locks match the engine's own shard partitioning, so
+        // holding slot s covers exactly the engine's slot-s hot state.
+        let ring_slots = engine.shard_count();
         let shared = Arc::new(Shared {
             bus: bus.clone(),
-            engine: ShardedEngine::new(engine, cfg.shards),
+            engine: ShardedEngine::new(engine, ring_slots),
             stop: AtomicBool::new(false),
             served_total: AtomicU64::new(0),
             served_shared: AtomicU64::new(0),
+            served_sharded: AtomicU64::new(0),
             pending_cache: AtomicUsize::new(pending),
             tallies: (0..cfg.servers).map(|_| Tally::default()).collect(),
         });
@@ -357,6 +373,7 @@ impl<S: NfsService + ProtocolHost + Send + Sync + 'static> ClusterRuntime<S> {
             bus_dropped_stale: self.shared.bus.dropped_stale(),
             requests_served: self.shared.served_total.load(Ordering::Relaxed),
             requests_served_shared: self.shared.served_shared.load(Ordering::Relaxed),
+            requests_served_sharded: self.shared.served_sharded.load(Ordering::Relaxed),
             pending_work: self.shared.pending_cache.load(Ordering::Relaxed),
         }
     }
@@ -437,14 +454,32 @@ fn serve_loop<S: NfsService + ProtocolHost>(
         match incoming.req.class() {
             OpClass::ReadOnly => carry = serve_read_batch(shared, &mut ep, id, incoming),
             class => {
-                let (rep, _latency) = shared.engine.execute(class, |e| {
-                    let out = e.serve(id, incoming.req);
-                    shared.pending_cache.store(e.pending_work(), Ordering::Relaxed);
+                // Sharded fast path: shared cell lock + the class's ring
+                // locks. The engine answers unless the request's
+                // footprint escapes those locks, in which case it runs
+                // on the exclusive fallback.
+                let sharded = shared.engine.try_execute_sharded(class, |e| {
+                    let out = e.serve_sharded(id, &incoming.req);
+                    if out.is_some() {
+                        shared.pending_cache.store(e.pending_work(), Ordering::Relaxed);
+                    }
                     out
                 });
+                let fast = sharded.is_some();
+                let (rep, _latency) = match sharded {
+                    Some(out) => out,
+                    None => shared.engine.execute(class, |e| {
+                        let out = e.serve(id, incoming.req);
+                        shared.pending_cache.store(e.pending_work(), Ordering::Relaxed);
+                        out
+                    }),
+                };
                 if ep.reply(incoming.from, incoming.call, rep) {
                     shared.tallies[id.index()].served.fetch_add(1, Ordering::Relaxed);
                     shared.served_total.fetch_add(1, Ordering::Relaxed);
+                    if fast {
+                        shared.served_sharded.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -496,17 +531,32 @@ fn serve_read_batch<S: NfsService + ProtocolHost>(
                 }
             }
         };
-        // Not locally servable: the exclusive path forwards, joins
-        // groups, and accounts the clock — the canonical semantics.
-        // Afterwards, if budget remains and another read is already
-        // queued, re-enter the batch.
+        // Not locally servable: the full read path forwards, joins
+        // groups, and accounts the clock. It still runs under the
+        // shared cell lock when the request names a primary file —
+        // serialized only against that file's mutations on its ring
+        // lock — and takes the exclusive lock only for keyless requests
+        // and cell-spanning inquiries.
         let cur = fallback?;
-        let (rep, _latency) = shared.engine.execute(OpClass::ReadOnly, |e| {
-            let out = e.serve(id, cur.req);
-            shared.pending_cache.store(e.pending_work(), Ordering::Relaxed);
-            out
+        let ring_read = cur.req.shard_key().and_then(|key| {
+            shared
+                .engine
+                .try_execute_sharded(OpClass::Mutate(key), |e| e.serve_read_sharded(id, &cur.req))
         });
-        tally(ep.reply(cur.from, cur.call, rep), false);
+        let fast = ring_read.is_some();
+        let (rep, _latency) = match ring_read {
+            Some(out) => out,
+            None => shared.engine.execute(OpClass::ReadOnly, |e| {
+                let out = e.serve(id, cur.req);
+                shared.pending_cache.store(e.pending_work(), Ordering::Relaxed);
+                out
+            }),
+        };
+        let served = ep.reply(cur.from, cur.call, rep);
+        tally(served, false);
+        if served && fast {
+            shared.served_sharded.fetch_add(1, Ordering::Relaxed);
+        }
         match next_batched_read(shared, ep, id, &mut budget) {
             BatchNext::Read(next) => incoming = Some(next),
             BatchNext::Carry(next) => return Some(next),
@@ -570,17 +620,33 @@ fn pump_loop<S: ProtocolHost>(shared: &Shared<S>, interval: Duration, batch: usi
             thread::sleep(interval);
             continue;
         }
-        // Scan which slots actually have work under the *shared* lock
-        // (concurrent with read service), then take the exclusive lock
-        // only for those slots — empty slots cost nothing.
-        let hot = shared.engine.read_guard().pending_slots(shards);
+        // One allocation-free mask probe under the shared lock tells us
+        // which slots have work; each hot slot then drains under the
+        // shared cell lock plus its own ring lock — concurrent with
+        // request service everywhere else.
+        let mask = shared.engine.read_guard().pending_shard_mask();
         let mut fired = 0;
-        for slot in hot {
-            fired += shared.engine.with_slot(slot, |e| {
-                let n = e.pump_shard(slot, shards, batch);
-                shared.pending_cache.store(e.pending_work(), Ordering::Relaxed);
+        for slot in 0..shards {
+            if mask & (1 << slot) == 0 {
+                continue;
+            }
+            let drained = shared.engine.with_slot_shared(slot, |e| {
+                let n = e.try_pump_shard(slot, batch);
+                if n.is_some() {
+                    shared.pending_cache.store(e.pending_work(), Ordering::Relaxed);
+                }
                 n
             });
+            fired += match drained {
+                Some(n) => n,
+                // Engine cannot pump a shard through `&self`: fall back
+                // to an exclusive slice.
+                None => shared.engine.with_slot(slot, |e| {
+                    let n = e.pump(batch);
+                    shared.pending_cache.store(e.pending_work(), Ordering::Relaxed);
+                    n
+                }),
+            };
         }
         if fired == 0 {
             thread::sleep(interval);

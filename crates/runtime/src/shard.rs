@@ -6,37 +6,38 @@
 //! that global lock with the locking structure the engine's state
 //! actually calls for:
 //!
-//! * the engine (cold cell-wide state plus every file) lives under a
-//!   read-mostly [`RwLock`] — read-only requests run under the shared
-//!   lock, concurrently with each other;
-//! * `K` shard mutexes express each mutation's per-file lock footprint
+//! * the cold cell-wide state lives under a read-mostly [`RwLock`]:
+//!   read-only requests run under the shared lock, concurrently with
+//!   each other *and* with mutations;
+//! * `K` shard ring mutexes serialize executions per file
 //!   ([`deceit_core::shard_slot`] maps a segment id to its slot):
-//!   single-shard mutations take their slot, cross-shard operations
-//!   (rename, link) take both slots in ascending order, cell-wide
-//!   operations (failure injection, settling, reconciliation) take
-//!   none — only the exclusive cell lock.
+//!   single-shard mutations take the shared cell lock plus their slot,
+//!   cross-shard operations (link) take the shared cell lock plus both
+//!   slots in ascending order, and the pump drains one slot's deferred
+//!   work under that slot's lock. The engine's hot state is itself
+//!   partitioned by the same slot function (see `deceit_core::hot`), so
+//!   holding a slot's ring lock covers exactly the data the execution
+//!   touches.
 //!
-//! **Lock order invariant: cell lock first, then shard locks in
-//! ascending slot index.** Nothing acquires the cell lock while holding
-//! a shard lock, and shard locks are only ever taken as an ascending
-//! batch, so the hierarchy is acyclic and deadlock-free by
-//! construction.
+//! The exclusive cell lock is the *fallback* path, not the mutation
+//! path: it serves operations whose footprint escapes their declared
+//! shards — removals that resolve their victim by name, renames that
+//! rewrite a third segment, version-qualified names, reconciliation —
+//! plus failure injection, settling, and inspection hatches. Read-only
+//! requests that cannot be answered from local stable state also fall
+//! back here, because the exclusive serve performs forwarding and group
+//! joins.
 //!
-//! Mutations still hold the cell lock exclusively — the §3 protocol
-//! code reaches freely across servers (forwarding, token movement,
-//! propagation), so per-file mutation concurrency would require
-//! restructuring the protocols themselves. Because every shard lock is
-//! taken while the exclusive cell lock is already held, the shard
-//! mutexes cannot contend *today*; they are the declared footprint,
-//! held over exactly the span that stops needing the exclusive cell
-//! lock once the engine's hot state becomes internally shardable. What
-//! the layer buys now is (a) fully concurrent read service, the common
-//! case of the paper's workloads ("most files are read many times for
-//! each write"), and (b) those declared footprints, so mutation
-//! concurrency can later tighten from "exclusive cell" to "shard only"
-//! without another runtime redesign.
+//! **Lock order invariant: cell lock first (shared or exclusive), then
+//! shard ring locks in ascending slot index.** Nothing acquires the cell
+//! lock while holding a ring lock, and ring locks are only ever taken as
+//! a strictly ascending batch (a `debug_assert` enforces it on every
+//! acquisition), so the hierarchy is acyclic and deadlock-free by
+//! construction. The engine's interior per-slot *data* locks sit below
+//! everything: they are leaf locks, held for single container
+//! operations, never across another lock acquisition.
 
-use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 
 use deceit_core::OpClass;
 
@@ -48,13 +49,14 @@ pub(crate) struct ShardedEngine<S> {
 }
 
 impl<S> ShardedEngine<S> {
-    /// Wraps `engine` with `shards` shard slots (at least one).
+    /// Wraps `engine` with `shards` ring slots (clamped to 1..=64 to
+    /// match the engine's pending-work mask).
     pub(crate) fn new(engine: S, shards: usize) -> Self {
-        let shards: Box<[Mutex<()>]> = (0..shards.max(1)).map(|_| Mutex::new(())).collect();
+        let shards: Box<[Mutex<()>]> = (0..shards.clamp(1, 64)).map(|_| Mutex::new(())).collect();
         ShardedEngine { cell: RwLock::new(engine), shards }
     }
 
-    /// Number of shard slots.
+    /// Number of ring slots.
     pub(crate) fn shard_count(&self) -> usize {
         self.shards.len()
     }
@@ -70,21 +72,64 @@ impl<S> ShardedEngine<S> {
         f(&self.read_guard())
     }
 
+    /// The ring locks `class` declares, acquired in ascending order. A
+    /// class declares at most two slots; the debug assertion pins the
+    /// strictly-ascending invariant so a future `slots()` refactor that
+    /// stopped deduplicating same-slot keys would fail loudly here (a
+    /// duplicate slot would self-deadlock) instead of hanging.
+    fn lock_ring<'a>(
+        &'a self,
+        class: OpClass,
+    ) -> (Option<MutexGuard<'a, ()>>, Option<MutexGuard<'a, ()>>) {
+        let mut slots = class.slots(self.shards.len());
+        let first = slots.next();
+        let second = slots.next();
+        debug_assert!(slots.next().is_none(), "OpClass declares at most two shard slots");
+        debug_assert!(
+            match (first, second) {
+                (Some(a), Some(b)) => a < b,
+                _ => true,
+            },
+            "shard slots must be strictly ascending (got {first:?}, {second:?})"
+        );
+        (first.map(|s| self.shards[s].lock()), second.map(|s| self.shards[s].lock()))
+    }
+
+    /// Runs `f` with *shared* cell access plus the ring locks `class`
+    /// declares — the sharded mutation path. `f` returns `None` when the
+    /// engine cannot execute the request within that footprint; the
+    /// caller then falls back to [`ShardedEngine::execute`].
+    pub(crate) fn try_execute_sharded<T>(
+        &self,
+        class: OpClass,
+        f: impl FnOnce(&S) -> Option<T>,
+    ) -> Option<T> {
+        let cell = self.cell.read();
+        let _ring = self.lock_ring(class);
+        f(&cell)
+    }
+
     /// Runs `f` with exclusive access, holding the shard locks `class`
-    /// declares (in ascending slot order, per the module invariant).
+    /// declares — the fallback path for footprint-escaping requests.
+    /// (The ring locks are redundant under the exclusive cell lock but
+    /// kept so the declared footprint is exercised on every path.)
     pub(crate) fn execute<T>(&self, class: OpClass, f: impl FnOnce(&mut S) -> T) -> T {
         let mut cell = self.cell.write();
-        // A class declares at most two slots; hold them without
-        // allocating.
-        let mut slots = class.slots(self.shards.len());
-        let _first = slots.next().map(|slot| self.shards[slot].lock());
-        let _second = slots.next().map(|slot| self.shards[slot].lock());
-        debug_assert!(slots.next().is_none(), "OpClass declares at most two shard slots");
+        let _ring = self.lock_ring(class);
         f(&mut cell)
     }
 
-    /// Runs `f` with exclusive access and one shard slot held — the
+    /// Runs `f` with shared cell access and one ring slot held — the
     /// pump's per-shard drain.
+    pub(crate) fn with_slot_shared<T>(&self, slot: usize, f: impl FnOnce(&S) -> T) -> T {
+        let cell = self.cell.read();
+        let _shard = self.shards[slot].lock();
+        f(&cell)
+    }
+
+    /// Runs `f` with exclusive access and one ring slot held — the
+    /// pump's fallback for engines that cannot pump a shard through
+    /// `&self`.
     pub(crate) fn with_slot<T>(&self, slot: usize, f: impl FnOnce(&mut S) -> T) -> T {
         let mut cell = self.cell.write();
         let _shard = self.shards[slot].lock();
@@ -134,13 +179,70 @@ mod tests {
     }
 
     #[test]
+    fn sharded_mutations_on_distinct_slots_run_concurrently() {
+        let engine = Arc::new(ShardedEngine::new((), 4));
+        let barrier = Arc::new(Barrier::new(2));
+        // Two sharded executions on different slots must be inside the
+        // engine at the same time — the whole point of the layer. Each
+        // waits at a barrier only the other can release.
+        let threads: Vec<_> = [OpClass::Mutate(1), OpClass::Mutate(2)]
+            .into_iter()
+            .map(|class| {
+                let engine = Arc::clone(&engine);
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    engine.try_execute_sharded(class, |_| {
+                        barrier.wait();
+                        Some(())
+                    })
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("distinct-slot mutations must not serialize").unwrap();
+        }
+    }
+
+    #[test]
+    fn same_slot_sharded_mutations_are_mutually_exclusive() {
+        let engine = Arc::new(ShardedEngine::new((), 4));
+        let max_inside = Arc::new(AtomicUsize::new(0));
+        let inside = Arc::new(AtomicUsize::new(0));
+        // Same slot (keys 1 and 5 with 4 shards): never two inside.
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let inside = Arc::clone(&inside);
+                let max_inside = Arc::clone(&max_inside);
+                let class = if i % 2 == 0 { OpClass::Mutate(1) } else { OpClass::Mutate(5) };
+                thread::spawn(move || {
+                    for _ in 0..500 {
+                        engine.try_execute_sharded(class, |_| {
+                            let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                            max_inside.fetch_max(now, Ordering::SeqCst);
+                            std::hint::spin_loop();
+                            inside.fetch_sub(1, Ordering::SeqCst);
+                            Some(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("no deadlock on same-slot contention");
+        }
+        assert_eq!(max_inside.load(Ordering::SeqCst), 1, "same-slot mutators must exclude");
+    }
+
+    #[test]
     fn class_locking_excludes_conflicts_without_deadlock() {
         let engine = Arc::new(ShardedEngine::new(0u64, 4));
         let max_inside = Arc::new(AtomicUsize::new(0));
         let inside = Arc::new(AtomicUsize::new(0));
         // Hammer overlapping classes — same shard, crossing shards in
-        // both orders, cell-wide — from many threads. Exclusivity: at
-        // most one mutator inside at a time; liveness: all joins finish.
+        // both orders, cell-wide — from many threads through the
+        // *exclusive* path. Exclusivity: at most one mutator inside at a
+        // time; liveness: all joins finish.
         let classes = [
             OpClass::Mutate(1),
             OpClass::Mutate(5), // same slot as 1 with 4 shards
@@ -171,5 +273,52 @@ mod tests {
         }
         assert_eq!(max_inside.load(Ordering::SeqCst), 1, "mutators must be mutually exclusive");
         assert_eq!(engine.shared(|n| *n), 8 * 200);
+    }
+
+    /// Sharded and exclusive executions on the same class exclude each
+    /// other (the cell read/write lock is the bridge).
+    #[test]
+    fn sharded_and_exclusive_paths_exclude() {
+        let engine = Arc::new(ShardedEngine::new(0u64, 4));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let max_inside = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..6)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let inside = Arc::clone(&inside);
+                let max_inside = Arc::clone(&max_inside);
+                thread::spawn(move || {
+                    for _ in 0..300 {
+                        let body = |n: &mut u64| {
+                            let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                            max_inside.fetch_max(now, Ordering::SeqCst);
+                            *n += 1;
+                            inside.fetch_sub(1, Ordering::SeqCst);
+                        };
+                        if i % 2 == 0 {
+                            engine.execute(OpClass::Mutate(3), body);
+                        } else {
+                            // Sharded path on the same slot: the ring
+                            // lock is what excludes it from the other
+                            // sharded executions; the cell lock excludes
+                            // it from the exclusive ones. We mutate
+                            // through a cell that is a plain counter, so
+                            // emulate with execute for the counter but
+                            // verify the locks via try_execute_sharded.
+                            engine.try_execute_sharded(OpClass::Mutate(3), |_| {
+                                let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                                max_inside.fetch_max(now, Ordering::SeqCst);
+                                inside.fetch_sub(1, Ordering::SeqCst);
+                                Some(())
+                            });
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("no deadlock between paths");
+        }
+        assert_eq!(max_inside.load(Ordering::SeqCst), 1);
     }
 }

@@ -71,6 +71,26 @@ impl<E> EventQueue<E> {
         self.heap.push(Reverse(Entry { time, seq, payload }));
     }
 
+    /// Schedules `payload` at `time` with a caller-provided tiebreak
+    /// sequence number.
+    ///
+    /// A set of queues that shares one external sequence source (the
+    /// cluster's per-shard queues share an atomic counter) pops in the
+    /// exact `(time, seq)` order a single queue would have produced, even
+    /// though the events are physically partitioned. The internal counter
+    /// is kept ahead of `seq` so mixing [`EventQueue::push`] in stays
+    /// well-ordered.
+    pub fn push_with_seq(&mut self, time: SimTime, seq: u64, payload: E) {
+        self.seq = self.seq.max(seq + 1);
+        self.heap.push(Reverse(Entry { time, seq, payload }));
+    }
+
+    /// The `(time, seq)` key of the earliest pending event — what a
+    /// multi-queue pop compares to pick the globally next event.
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|Reverse(e)| (e.time, e.seq))
+    }
+
     /// Schedules `payload` to fire `delay` after `now`.
     pub fn push_after(&mut self, now: SimTime, delay: SimDuration, payload: E) {
         self.push(now + delay, payload);

@@ -165,10 +165,29 @@ impl fmt::Display for Summary {
 /// Keys are `/`-separated paths, e.g. `net/messages` or
 /// `core/token/acquisitions`, so related metrics group naturally when the
 /// registry is dumped.
-#[derive(Debug, Default)]
+///
+/// Internally synchronized: recording takes `&self`, so protocol code
+/// running under a shared lock (the concurrent host's sharded mutation
+/// path) can account without exclusive access. The lock is uncontended in
+/// single-threaded simulation runs.
+#[derive(Debug)]
 pub struct StatsRegistry {
-    counters: BTreeMap<String, Counter>,
-    histograms: BTreeMap<String, Histogram>,
+    inner: std::sync::Mutex<StatsInner>,
+    enabled: bool,
+}
+
+impl Default for StatsRegistry {
+    fn default() -> Self {
+        StatsRegistry { inner: Default::default(), enabled: true }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    // Keyed by static names: every recording site uses a literal, so
+    // the hot path never allocates a key `String`.
+    counters: BTreeMap<&'static str, Counter>,
+    histograms: BTreeMap<&'static str, Histogram>,
 }
 
 impl StatsRegistry {
@@ -177,67 +196,83 @@ impl StatsRegistry {
         StatsRegistry::default()
     }
 
+    /// Creates a disabled registry: every recording call is a no-op.
+    ///
+    /// Live hosting disables protocol metrics the same way it disables
+    /// tracing — the registry lock and map lookups are measurable on the
+    /// request hot path, and the runtime keeps its own atomic counters.
+    pub fn disabled() -> Self {
+        StatsRegistry { inner: Default::default(), enabled: false }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, StatsInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Increments the named counter by one, creating it if needed.
-    pub fn incr(&mut self, name: &str) {
-        self.counter_mut(name).incr();
+    pub fn incr(&self, name: &'static str) {
+        if !self.enabled {
+            return;
+        }
+        self.lock().counters.entry(name).or_default().incr();
     }
 
     /// Adds `n` to the named counter, creating it if needed.
-    pub fn add(&mut self, name: &str, n: u64) {
-        self.counter_mut(name).add(n);
+    pub fn add(&self, name: &'static str, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.lock().counters.entry(name).or_default().add(n);
     }
 
     /// Current value of the named counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).map_or(0, |c| c.get())
+        self.lock().counters.get(name).map_or(0, |c| c.get())
     }
 
     /// Records a sample into the named histogram, creating it if needed.
-    pub fn record(&mut self, name: &str, value: u64) {
-        self.histogram_mut(name).record(value);
+    pub fn record(&self, name: &'static str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.lock().histograms.entry(name).or_default().record(value);
     }
 
     /// Records a duration sample (microseconds) into the named histogram.
-    pub fn record_duration(&mut self, name: &str, d: SimDuration) {
+    pub fn record_duration(&self, name: &'static str, d: SimDuration) {
         self.record(name, d.as_micros());
     }
 
     /// Summary of the named histogram, or an all-zero summary if absent.
-    pub fn summary(&mut self, name: &str) -> Summary {
-        self.histograms.entry(name.to_string()).or_default().summary()
+    pub fn summary(&self, name: &'static str) -> Summary {
+        self.lock().histograms.entry(name).or_default().summary()
     }
 
     /// All counter names currently present, in sorted order.
-    pub fn counter_names(&self) -> Vec<&str> {
-        self.counters.keys().map(String::as_str).collect()
+    pub fn counter_names(&self) -> Vec<&'static str> {
+        self.lock().counters.keys().copied().collect()
     }
 
     /// All histogram names currently present, in sorted order.
-    pub fn histogram_names(&self) -> Vec<&str> {
-        self.histograms.keys().map(String::as_str).collect()
+    pub fn histogram_names(&self) -> Vec<&'static str> {
+        self.lock().histograms.keys().copied().collect()
     }
 
     /// Clears every counter and histogram, keeping the names out of the map.
-    pub fn reset(&mut self) {
-        self.counters.clear();
-        self.histograms.clear();
-    }
-
-    fn counter_mut(&mut self, name: &str) -> &mut Counter {
-        self.counters.entry(name.to_string()).or_default()
-    }
-
-    fn histogram_mut(&mut self, name: &str) -> &mut Histogram {
-        self.histograms.entry(name.to_string()).or_default()
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.counters.clear();
+        inner.histograms.clear();
     }
 }
 
 impl fmt::Display for StatsRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (name, c) in &self.counters {
+        let inner = self.lock();
+        for (name, c) in &inner.counters {
             writeln!(f, "{name}: {}", c.get())?;
         }
-        for (name, h) in &self.histograms {
+        for (name, h) in &inner.histograms {
             let mut h = h.clone();
             writeln!(f, "{name}: {}", h.summary())?;
         }
@@ -286,7 +321,7 @@ mod tests {
 
     #[test]
     fn registry_counters_and_histograms() {
-        let mut r = StatsRegistry::new();
+        let r = StatsRegistry::new();
         r.incr("net/messages");
         r.add("net/messages", 9);
         r.record("lat", 5);
@@ -303,7 +338,7 @@ mod tests {
 
     #[test]
     fn registry_display_lists_everything() {
-        let mut r = StatsRegistry::new();
+        let r = StatsRegistry::new();
         r.incr("a/b");
         r.record("c/d", 3);
         let out = r.to_string();

@@ -6,8 +6,15 @@
 //! protocol layers to emit machine-checkable events rather than log lines;
 //! [`TraceLog`] collects them with their simulated timestamps and the tests
 //! assert on the observed order.
+//!
+//! The log is internally synchronized: [`TraceLog::emit`] takes `&self`,
+//! so protocol code running under a shared lock (the concurrent host's
+//! sharded mutation path) can trace without exclusive access. Entries are
+//! appended in lock-acquisition order, which in a single-threaded run is
+//! exactly emission order.
 
 use std::fmt;
+use std::sync::Mutex;
 
 use crate::time::SimTime;
 
@@ -21,16 +28,22 @@ pub trait TraceEvent: fmt::Debug + Clone + PartialEq {}
 impl<T: fmt::Debug + Clone + PartialEq> TraceEvent for T {}
 
 /// An append-only, timestamped log of protocol events.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TraceLog<E: TraceEvent> {
-    entries: Vec<(SimTime, E)>,
+    entries: Mutex<Vec<(SimTime, E)>>,
     enabled: bool,
+}
+
+impl<E: TraceEvent> Clone for TraceLog<E> {
+    fn clone(&self) -> Self {
+        TraceLog { entries: Mutex::new(self.entries()), enabled: self.enabled }
+    }
 }
 
 impl<E: TraceEvent> TraceLog<E> {
     /// Creates an enabled, empty log.
     pub fn new() -> Self {
-        TraceLog { entries: Vec::new(), enabled: true }
+        TraceLog { entries: Mutex::new(Vec::new()), enabled: true }
     }
 
     /// Creates a disabled log; [`TraceLog::emit`] becomes a no-op.
@@ -38,29 +51,29 @@ impl<E: TraceEvent> TraceLog<E> {
     /// Benchmarks disable tracing so the trace cost does not pollute
     /// measured latencies.
     pub fn disabled() -> Self {
-        TraceLog { entries: Vec::new(), enabled: false }
+        TraceLog { entries: Mutex::new(Vec::new()), enabled: false }
     }
 
     /// Appends an event at the given simulated time.
-    pub fn emit(&mut self, at: SimTime, event: E) {
+    pub fn emit(&self, at: SimTime, event: E) {
         if self.enabled {
-            self.entries.push((at, event));
+            self.lock().push((at, event));
         }
     }
 
     /// All entries in emission order.
-    pub fn entries(&self) -> &[(SimTime, E)] {
-        &self.entries
+    pub fn entries(&self) -> Vec<(SimTime, E)> {
+        self.lock().clone()
     }
 
     /// Just the events, without timestamps.
     pub fn events(&self) -> Vec<E> {
-        self.entries.iter().map(|(_, e)| e.clone()).collect()
+        self.lock().iter().map(|(_, e)| e.clone()).collect()
     }
 
     /// Events matching a predicate, in order.
     pub fn filter(&self, pred: impl Fn(&E) -> bool) -> Vec<E> {
-        self.entries.iter().filter(|(_, e)| pred(e)).map(|(_, e)| e.clone()).collect()
+        self.lock().iter().filter(|(_, e)| pred(e)).map(|(_, e)| e.clone()).collect()
     }
 
     /// True when the events matching `pred` appear in exactly the order of
@@ -71,17 +84,21 @@ impl<E: TraceEvent> TraceLog<E> {
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.lock().len()
     }
 
     /// Whether no events are recorded.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.lock().is_empty()
     }
 
     /// Discards all entries.
-    pub fn clear(&mut self) {
-        self.entries.clear();
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<(SimTime, E)>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -109,7 +126,7 @@ mod tests {
 
     #[test]
     fn records_in_order() {
-        let mut log = TraceLog::new();
+        let log = TraceLog::new();
         log.emit(t(1), Ev::Acquire);
         log.emit(t(2), Ev::Unstable);
         log.emit(t(3), Ev::Update(1));
@@ -120,7 +137,7 @@ mod tests {
 
     #[test]
     fn filter_and_subsequence() {
-        let mut log = TraceLog::new();
+        let log = TraceLog::new();
         log.emit(t(1), Ev::Acquire);
         log.emit(t(2), Ev::Update(1));
         log.emit(t(3), Ev::Update(2));
@@ -136,16 +153,33 @@ mod tests {
 
     #[test]
     fn disabled_log_drops_events() {
-        let mut log = TraceLog::disabled();
+        let log = TraceLog::disabled();
         log.emit(t(1), Ev::Acquire);
         assert!(log.is_empty());
     }
 
     #[test]
     fn clear_empties() {
-        let mut log = TraceLog::new();
+        let log = TraceLog::new();
         log.emit(t(1), Ev::Acquire);
         log.clear();
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn emit_is_shared_access() {
+        // The point of the interior lock: many emitters, one log, no
+        // exclusive borrow needed.
+        let log = std::sync::Arc::new(TraceLog::new());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let log = std::sync::Arc::clone(&log);
+                std::thread::spawn(move || log.emit(t(i), Ev::Update(i as u32)))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.len(), 4);
     }
 }

@@ -53,7 +53,7 @@ fn main() {
     assert_eq!(latest.version.major, v_new);
 
     // "a user can inquire about the relationships between versions":
-    let table = fs.cluster.branch_table_ref(f.handle.segment()).unwrap();
+    let table = fs.cluster.branch_table_snapshot(f.handle.segment());
     let rel =
         table.relation(VersionPair { major: v0, sub: 2 }, VersionPair { major: v_new, sub: 2 });
     println!("\nrelation(v{v0} at branch, v{v_new}) = {rel:?}");
