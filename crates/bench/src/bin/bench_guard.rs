@@ -1,12 +1,14 @@
 //! CI regression gate for the live runtime's throughput.
 //!
-//! Re-runs the mixed workload (the one that exercises both lock paths)
-//! and compares it against the recorded `BENCH_runtime.json` baseline:
-//! a fresh sample more than 25% below the recorded ops/sec for the same
-//! (clients, replicas) cell fails the build. CI machines are noisier
-//! than the recording machine, so the gate re-measures each failing
-//! cell up to three times and takes the best — a genuine lock-structure
-//! regression (a serialized path, a convoy) loses far more than 25% and
+//! Re-runs every workload class — mixed (both lock paths), read (the
+//! shared fast path), write (the pipelined sharded mutation path), and
+//! hot (single-slot contention) — and compares each against the recorded
+//! `BENCH_runtime.json` baseline: a fresh sample more than 25% below the
+//! recorded ops/sec for the same (workload, clients, replicas) cell
+//! fails the build. CI machines are noisier than the recording machine,
+//! so the gate re-measures each failing cell up to three times and takes
+//! the best — a genuine lock-structure regression (a serialized path, a
+//! convoy, a de-batched write pipeline) loses far more than 25% and
 //! fails all three.
 //!
 //! Run with: `cargo run --release --bin bench_guard [path/to/BENCH_runtime.json]`
@@ -29,22 +31,26 @@ const ATTEMPTS: usize = 3;
 /// One parsed baseline row.
 #[derive(Debug)]
 struct Baseline {
+    workload: Workload,
     clients: usize,
     replicas: usize,
     ops_per_sec: f64,
 }
 
-/// Pulls the mixed-workload rows out of `BENCH_runtime.json`. The file
-/// is written by `runtime_throughput` in a fixed shape (the vendored
-/// serde has no deserializer either), so a field-scanning parse is
-/// reliable here.
-fn parse_mixed_baselines(json: &str) -> Vec<Baseline> {
+/// Pulls every workload's rows out of `BENCH_runtime.json`. The file is
+/// written by `runtime_throughput` in a fixed shape (the vendored serde
+/// has no deserializer either), so a field-scanning parse is reliable
+/// here.
+fn parse_baselines(json: &str) -> Vec<Baseline> {
     let mut out = Vec::new();
     for line in json.lines() {
         let line = line.trim().trim_end_matches(',');
-        if !line.starts_with('{') || !line.contains("\"workload\": \"mixed\"") {
+        if !line.starts_with('{') || !line.contains("\"workload\"") {
             continue;
         }
+        let workload = Workload::all()
+            .into_iter()
+            .find(|w| line.contains(&format!("\"workload\": \"{}\"", w.name())));
         let field = |name: &str| -> Option<f64> {
             let tag = format!("\"{name}\": ");
             let start = line.find(&tag)? + tag.len();
@@ -52,10 +58,13 @@ fn parse_mixed_baselines(json: &str) -> Vec<Baseline> {
             let end = rest.find([',', '}']).unwrap_or(rest.len());
             rest[..end].trim().parse().ok()
         };
-        match (field("clients"), field("replicas"), field("ops_per_sec")) {
-            (Some(c), Some(r), Some(t)) => {
-                out.push(Baseline { clients: c as usize, replicas: r as usize, ops_per_sec: t })
-            }
+        match (workload, field("clients"), field("replicas"), field("ops_per_sec")) {
+            (Some(w), Some(c), Some(r), Some(t)) => out.push(Baseline {
+                workload: w,
+                clients: c as usize,
+                replicas: r as usize,
+                ops_per_sec: t,
+            }),
             _ => eprintln!("bench_guard: skipping unparseable row: {line}"),
         }
     }
@@ -81,26 +90,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let baselines = parse_mixed_baselines(&json);
+    let baselines = parse_baselines(&json);
     if baselines.is_empty() {
-        eprintln!("bench_guard: no mixed-workload samples in {path}");
+        eprintln!("bench_guard: no workload samples in {path}");
         return ExitCode::FAILURE;
     }
 
     println!(
-        "== bench_guard: fresh mixed workload vs {path} (fail below -{:.0}%) ==\n",
-        MAX_DROP * 100.0
+        "== bench_guard: fresh samples of every workload vs {path} (fail below -{:.0}%) ==\n",
+        max_drop * 100.0
     );
     println!(
-        "{:>8} {:>9} {:>14} {:>14} {:>8}",
-        "clients", "replicas", "baseline", "fresh", "delta"
+        "{:>8} {:>8} {:>9} {:>14} {:>14} {:>8}",
+        "workload", "clients", "replicas", "baseline", "fresh", "delta"
     );
     let mut regressed = false;
     for b in &baselines {
         let floor = b.ops_per_sec * (1.0 - max_drop);
         let mut best = 0.0f64;
         for _ in 0..ATTEMPTS {
-            let s = run_live_sample(Workload::Mixed, b.clients, b.replicas, GUARD_OPS_PER_CLIENT);
+            let s = run_live_sample(b.workload, b.clients, b.replicas, GUARD_OPS_PER_CLIENT);
             best = best.max(s.ops_per_sec);
             if best >= floor {
                 break;
@@ -109,7 +118,8 @@ fn main() -> ExitCode {
         let delta = best / b.ops_per_sec - 1.0;
         let ok = best >= floor;
         println!(
-            "{:>8} {:>9} {:>14.0} {:>14.0} {:>+7.0}% {}",
+            "{:>8} {:>8} {:>9} {:>14.0} {:>14.0} {:>+7.0}% {}",
+            b.workload.name(),
             b.clients,
             b.replicas,
             b.ops_per_sec,
@@ -120,10 +130,7 @@ fn main() -> ExitCode {
         regressed |= !ok;
     }
     if regressed {
-        eprintln!(
-            "\nbench_guard: mixed-workload throughput regressed more than {:.0}%",
-            MAX_DROP * 100.0
-        );
+        eprintln!("\nbench_guard: live throughput regressed more than {:.0}%", max_drop * 100.0);
         return ExitCode::FAILURE;
     }
     println!("\nbench_guard: ok");

@@ -319,11 +319,18 @@ impl Cluster {
         fired
     }
 
-    /// Fires up to `max_events` pending events belonging to one shard
+    /// Fires up to `max_events` *ready* events belonging to one shard
     /// slot, exactly as [`Cluster::pump`] fires them but restricted to
     /// that slice of the cell — and through `&self`, so a concurrent
     /// host's pump runs it under the shared cell lock plus the slot's
     /// ring lock.
+    ///
+    /// "Ready" means due, or not time-gated ([`Pending::due_gated`]):
+    /// ordinary deferred work fires as soon as the pump has capacity,
+    /// but a stability check is left until the protocol clock genuinely
+    /// reaches its quiet horizon — firing it early would both declare a
+    /// busy stream quiet and drag the shared clock forward, thrashing
+    /// every other stream's stability state.
     ///
     /// Relative order within the slot is preserved — same-segment
     /// actions still apply in their scheduled order — so per-file
@@ -338,7 +345,7 @@ impl Cluster {
         let budget = self.events.slot_len(slot).min(max_events);
         let mut fired = 0;
         while fired < budget {
-            match self.events.pop_slot(slot) {
+            match self.events.pop_slot_ready(slot, self.now()) {
                 Some((at, ev)) => {
                     self.clock_to(at);
                     self.handle_event(at, ev);
@@ -350,10 +357,13 @@ impl Cluster {
         fired
     }
 
-    /// Bitmask of shard slots that currently have deferred work —
-    /// allocation-free, so an idle pump can poll it cheaply.
+    /// Bitmask of shard slots with deferred work a pump can fire *now* —
+    /// due events plus anything not time-gated. Allocation-free, so an
+    /// idle pump can poll it cheaply; slots holding only parked future
+    /// stability checks report clear rather than drawing the pump onto
+    /// their ring locks every interval.
     pub fn pending_shard_mask(&self) -> u64 {
-        self.events.pending_mask()
+        self.events.ready_mask(self.now())
     }
 
     /// Number of deferred actions currently awaiting execution.

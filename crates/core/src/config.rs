@@ -52,6 +52,18 @@ pub struct ClusterConfig {
     pub opt_forward_small: bool,
     /// Size bound below which optimization 2 applies.
     pub forward_small_threshold: usize,
+    /// The asynchronous replicated-write pipeline (§3.3's "only the first
+    /// s correct replies" taken to its logical end, §1's asynchronous
+    /// update propagation): the token holder applies an update locally,
+    /// appends it to the file's outbound update stream, and acknowledges
+    /// the client as soon as its own state is durable (plus the first
+    /// `write_safety - 1` synchronous remote replies, when required).
+    /// Propagation to the remaining replicas is deferred work, drained by
+    /// the pump with consecutive updates to the same file batched into
+    /// one group broadcast. Off by default: the paper's prototype
+    /// distributes every update eagerly, and the simulator experiments
+    /// reproduce that behavior. The live runtime turns it on.
+    pub opt_write_pipeline: bool,
     /// Shard slots the hot state (replica/token tables, delivery buffers,
     /// branch tables, the deferred-work queue) is partitioned into. A
     /// concurrent host's ring locks must use the same count so that
@@ -77,6 +89,7 @@ impl Default for ClusterConfig {
             opt_piggyback_acquire: false,
             opt_forward_small: false,
             forward_small_threshold: 4096,
+            opt_write_pipeline: false,
             shards: 16,
         }
     }
@@ -117,6 +130,13 @@ impl ClusterConfig {
         self
     }
 
+    /// Enables the asynchronous replicated-write pipeline, builder-style
+    /// (see [`ClusterConfig::opt_write_pipeline`]).
+    pub fn with_write_pipeline(mut self) -> Self {
+        self.opt_write_pipeline = true;
+        self
+    }
+
     /// Sets the hot-state shard count, builder-style (clamped to 1..=64).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.clamp(1, 64);
@@ -141,8 +161,10 @@ mod tests {
         let c = ClusterConfig::default();
         assert!(!c.opt_piggyback_acquire);
         assert!(!c.opt_forward_small);
+        assert!(!c.opt_write_pipeline, "the paper's prototype distributes updates eagerly");
         let on = ClusterConfig::default().with_token_optimizations();
         assert!(on.opt_piggyback_acquire && on.opt_forward_small);
+        assert!(ClusterConfig::default().with_write_pipeline().opt_write_pipeline);
     }
 
     #[test]

@@ -39,6 +39,18 @@ pub enum Pending {
         /// epoch and invalidates this check.
         epoch: u64,
     },
+    /// Ship the file's buffered outbound updates to the rest of its file
+    /// group in one batched broadcast — the drain half of the
+    /// asynchronous write pipeline (`ClusterConfig::opt_write_pipeline`).
+    /// Consecutive updates buffered between drains ride one message.
+    PropagateStream {
+        /// The server whose outbound buffer holds the updates (the token
+        /// holder at buffering time; still a valid source if the token
+        /// has since moved, because buffered updates are committed).
+        holder: NodeId,
+        /// Replica (segment, major) the stream belongs to.
+        key: ReplicaKey,
+    },
     /// Background replica generation via blast transfer (§3.1).
     GenerateReplica {
         /// Token holder driving the generation.
@@ -57,8 +69,25 @@ impl Pending {
             Pending::ApplyUpdate { server, .. }
             | Pending::FlushServer { server, .. }
             | Pending::StabilizeCheck { server, .. } => *server,
-            Pending::GenerateReplica { holder, .. } => *holder,
+            Pending::PropagateStream { holder, .. } | Pending::GenerateReplica { holder, .. } => {
+                *holder
+            }
         }
+    }
+
+    /// Whether the live pump must wait for this action's due time.
+    /// Ordinary deferred work (write-back, replica generation, eager
+    /// lazy applies) is valid at any later point, so a live pump may
+    /// fire it the moment it has capacity. Two kinds wait:
+    ///
+    /// * a stability check asserts a *time condition* — "a short period
+    ///   of no write activity" (§3.4) — and fired early it would declare
+    ///   a busy stream quiet, thrashing stable/unstable round pairs;
+    /// * a pipeline drain's due time *is the batching window* — fired
+    ///   the instant it is queued, every batch degenerates to one
+    ///   update and the pipeline ships one broadcast per write again.
+    pub fn due_gated(&self) -> bool {
+        matches!(self, Pending::StabilizeCheck { .. } | Pending::PropagateStream { .. })
     }
 
     /// The shard key this action belongs to, for per-shard pumping and
@@ -70,6 +99,7 @@ impl Pending {
         match self {
             Pending::ApplyUpdate { key, .. }
             | Pending::StabilizeCheck { key, .. }
+            | Pending::PropagateStream { key, .. }
             | Pending::GenerateReplica { key, .. } => key.0 .0,
             Pending::FlushServer { seg, .. } => seg.0,
         }

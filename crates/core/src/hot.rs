@@ -185,6 +185,28 @@ impl<V: Clone + StoredSize> ShardedDisk<V> {
         &self.slots[shard_slot(k.0 .0, self.slots.len())]
     }
 
+    /// Decrements the pending-touch fast flag without ever wrapping.
+    ///
+    /// Every mutation of the counter happens under some slot's data lock,
+    /// but the counter itself is global across slots, so two slots'
+    /// drains race on it. The adds and subs are balanced by construction
+    /// (each buffered touch is counted exactly once in, once out), but a
+    /// plain `fetch_sub` turns any future accounting slip into a wrapped
+    /// counter that reads as "billions pending" — or, worse, a later
+    /// balancing add lands on the wrapped value and the flag reads zero
+    /// with touches still buffered, wedging the pump's fast-path skip
+    /// permanently. Saturating keeps the flag self-healing: it can
+    /// transiently over-report (harmless — one extra slot probe) but can
+    /// never wedge below the true count.
+    fn sub_pending(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let _ = self
+            .pending_touches
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)));
+    }
+
     fn seg_slot(&self, seg: SegmentId) -> &Mutex<DiskSlot<V>> {
         &self.slots[shard_slot(seg.0, self.slots.len())]
     }
@@ -258,7 +280,7 @@ impl<V: Clone + StoredSize> ShardedDisk<V> {
         for slot in self.slots.iter() {
             let mut slot = lock(slot);
             slot.disk.crash();
-            self.pending_touches.fetch_sub(slot.touches.len(), Ordering::Relaxed);
+            self.sub_pending(slot.touches.len());
             slot.touches.clear();
         }
     }
@@ -348,13 +370,19 @@ impl<V: Clone + StoredSize> ShardedDisk<V> {
             return;
         }
         let touches = std::mem::take(&mut guard.touches);
-        self.pending_touches.fetch_sub(touches.len(), Ordering::Relaxed);
+        self.sub_pending(touches.len());
         for (k, at) in touches {
             let Some(mut v) = guard.disk.get(&k).cloned() else { continue };
             if apply(&mut v, at) {
                 guard.disk.put_async(k, v);
             }
         }
+    }
+
+    /// The pending-touch fast flag's current reading (diagnostics; may
+    /// transiently over-report under concurrency, never under-report).
+    pub fn pending_touch_count(&self) -> usize {
+        self.pending_touches.load(Ordering::Relaxed)
     }
 
     /// Folds the recorded read touches of every slot.
@@ -431,10 +459,13 @@ impl ShardedEvents {
         self.pop_from(Some(slots), Some(deadline))
     }
 
-    /// Pops the earliest event of one slot, regardless of due time — the
-    /// pump's per-shard drain primitive.
-    pub(crate) fn pop_slot(&self, slot: usize) -> Option<(SimTime, Pending)> {
-        let out = lock(&self.slots[slot]).pop();
+    /// Pops the earliest *ready* event of one slot: anything already due
+    /// at `now`, plus any not-yet-due event that is not time-gated
+    /// ([`Pending::due_gated`]) — the live pump's per-shard drain, which
+    /// advances deferred work eagerly without declaring time conditions
+    /// satisfied early.
+    pub(crate) fn pop_slot_ready(&self, slot: usize, now: SimTime) -> Option<(SimTime, Pending)> {
+        let out = lock(&self.slots[slot]).pop_ready(|at, ev| at <= now || !ev.due_gated());
         if out.is_some() {
             self.len.fetch_sub(1, Ordering::Relaxed);
         }
@@ -478,17 +509,39 @@ impl ShardedEvents {
         lock(&self.slots[slot]).len()
     }
 
+    /// Pending events that are time-gated (diagnostics and tests).
+    #[cfg(test)]
+    pub(crate) fn gated_len(&self) -> usize {
+        self.slots.iter().map(|s| lock(s).iter().filter(|e| e.due_gated()).count()).sum()
+    }
+
     /// Total pending events. Lock-free.
     pub(crate) fn len(&self) -> usize {
         self.len.load(Ordering::Relaxed)
     }
 
     /// Bitmask of slots with pending work — allocation-free, one lock
-    /// probe per slot.
+    /// probe per slot. (Production paths use [`ShardedEvents::ready_mask`];
+    /// this unfiltered form remains for tests pinning queue contents.)
+    #[cfg(test)]
     pub(crate) fn pending_mask(&self) -> u64 {
         let mut mask = 0u64;
         for (i, slot) in self.slots.iter().enumerate() {
             if !lock(slot).is_empty() {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    /// Bitmask of slots with work a live pump can fire at `now`: due
+    /// events plus anything not time-gated. A slot holding only parked
+    /// future checks reports clear, so an otherwise idle pump does not
+    /// contend on its ring lock every interval.
+    pub(crate) fn ready_mask(&self, now: SimTime) -> u64 {
+        let mut mask = 0u64;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if lock(slot).any_entry(|at, ev| at <= now || !ev.due_gated()) {
                 mask |= 1 << i;
             }
         }
@@ -603,6 +656,68 @@ mod tests {
         assert_eq!(applied, vec![1, 90]);
         // Applying again is a no-op: the buffer was drained.
         d.apply_touches_all(&|_v, _at| panic!("no touches left"));
+    }
+
+    /// The touch-accounting crash race (`crash` racing `note_read` /
+    /// `apply_touches_slot`): hammer all three from concurrent threads,
+    /// then verify the fast flag is neither wedged high (over-counting
+    /// that never drains) nor wedged low (a buffered touch the flag
+    /// hides, which would permanently disable the pump's LRU feed).
+    #[test]
+    fn touch_accounting_survives_crash_and_apply_races() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        use std::thread;
+
+        let d: Arc<ShardedDisk<Vec<u8>>> = Arc::new(ShardedDisk::new(DiskConfig::workstation(), 4));
+        let seed = |d: &ShardedDisk<Vec<u8>>| {
+            for seg in 0..8u64 {
+                d.put_sync((SegmentId(seg), 0), vec![0]);
+            }
+        };
+        seed(&d);
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..3u64)
+            .map(|t| {
+                let d = Arc::clone(&d);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        d.note_read((SegmentId((i + t) % 8), 0), SimTime::from_micros(i));
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        for round in 0..300 {
+            if round % 3 == 0 {
+                d.crash();
+                seed(&d);
+            }
+            for slot in 0..4 {
+                d.apply_touches_slot(slot, &|_v, _at| false);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+
+        // Quiesce: drain whatever the readers left behind.
+        d.apply_touches_all(&|_v, _at| false);
+        assert_eq!(d.pending_touch_count(), 0, "flag must settle to the truth at quiescence");
+
+        // And the fast path must not be wedged: a fresh touch still
+        // reaches the apply fold.
+        d.note_read((SegmentId(0), 0), SimTime::from_micros(9_999));
+        let applied = AtomicBool::new(false);
+        d.apply_touches_slot(0, &|_v, _at| {
+            applied.store(true, Ordering::Relaxed);
+            false
+        });
+        assert!(applied.load(Ordering::Relaxed), "fast flag hid a buffered touch");
+        assert_eq!(d.pending_touch_count(), 0);
     }
 
     #[test]

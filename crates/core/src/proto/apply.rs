@@ -5,7 +5,6 @@
 //! only hot state of its own shard (flush events carry the segment that
 //! dirtied them, so even write-back is slot-local).
 
-use deceit_isis::SequencedMsg;
 use deceit_sim::SimTime;
 
 use crate::cluster::Cluster;
@@ -25,11 +24,7 @@ impl Cluster {
                 }
                 // Route through the ordered-delivery buffer so updates
                 // apply in identical order regardless of arrival (§3.3).
-                let msg = SequencedMsg { seq: update.new_version.sub, payload: update };
-                let deliverable = self.server(server).receive_ordered(key, msg);
-                for (_, upd) in deliverable {
-                    self.apply_update_at(server, key, &upd, false);
-                }
+                self.apply_updates_ordered(server, key, std::slice::from_ref(&update), false);
                 self.schedule_flush(server, key.0);
                 self.stats.incr("core/applies/remote");
             }
@@ -41,6 +36,9 @@ impl Cluster {
                 let mut cost = s.replicas.flush_slot_of(seg);
                 cost += s.tokens.flush_slot_of(seg);
                 self.stats.record_duration("disk/flush_cost", cost);
+            }
+            Pending::PropagateStream { holder, key } => {
+                self.propagate_stream(holder, key);
             }
             Pending::StabilizeCheck { server, key, epoch } => {
                 self.stabilize_check(server, key, epoch);

@@ -61,6 +61,26 @@ impl Cluster {
         (found, latency)
     }
 
+    /// The file group of `seg` as known at `via` — the cache-first probe
+    /// the pipelined write path uses per update. A hit costs one slot
+    /// lock; a miss repairs the cache from the cell-local group
+    /// directory. No latency is charged: the token holder has already
+    /// located (or created) the group, so this never stands in for the
+    /// §3.2 global search — `locate_group` remains the charged path.
+    pub(crate) fn cached_group(&self, via: NodeId, seg: SegmentId) -> Option<GroupId> {
+        if let Some(gid) = self.servers[via.index()].group_cache.get(&seg) {
+            if self.groups.exists(gid) {
+                return Some(gid);
+            }
+            self.servers[via.index()].group_cache.remove(&seg);
+        }
+        let gid = self.groups.lookup(&group_name(seg));
+        if let Some(g) = gid {
+            self.servers[via.index()].group_cache.insert(seg, g);
+        }
+        gid
+    }
+
     /// Ensures `node` is a member of `gid`, charging the view-change round
     /// if it has to join. Returns the time spent.
     pub(crate) fn ensure_member(&self, gid: GroupId, node: NodeId) -> SimDuration {

@@ -56,33 +56,40 @@ impl Cluster {
         };
         let (seg, _) = key;
 
-        // Contact the token holder for this version.
+        // Contact the token holder for this version. The second lookup is
+        // deliberately fallible: a crash that landed between a sharded
+        // replica install and its (write-behind) token update can leave a
+        // server that answers the holder scan with no stored token — that
+        // is a token-loss case, not a protocol invariant, so it falls
+        // through to the no-holder path below instead of panicking.
         if let Some(holder) = self.find_reachable_token_holder(id, key) {
-            let token_version = self.server(holder).tokens.get(&key).map(|t| t.version).unwrap();
-            let table = self.branch_table_snapshot(seg);
-            match table.relation(my_version, token_version) {
-                VersionRelation::Equal => {
-                    // Up to date: rejoin the group.
-                    if let Some((gid, _)) = self.group_members(seg) {
-                        self.ensure_member(gid, id);
+            if let Some(token_version) = self.server(holder).tokens.get(&key).map(|t| t.version) {
+                let table = self.branch_table_snapshot(seg);
+                match table.relation(my_version, token_version) {
+                    VersionRelation::Equal => {
+                        // Up to date: rejoin the group.
+                        if let Some((gid, _)) = self.group_members(seg) {
+                            self.ensure_member(gid, id);
+                        }
+                    }
+                    VersionRelation::Ancestor => {
+                        // Obsolete: destroy; "no update will be lost" since
+                        // our history is a prefix of the token's.
+                        self.destroy_replica(id, key);
+                        self.remove_from_holders(holder, key, id);
+                        // The holder may now be under-replicated.
+                        self.schedule_min_replica_fill(holder, key);
+                    }
+                    VersionRelation::Descendant | VersionRelation::Incomparable => {
+                        // The token holder is *behind* us or divergent —
+                        // can only happen after pathological failures
+                        // ("Disastrous Failure"); surface as a conflict.
+                        self.log_conflict(seg, my_version.major, token_version.major);
                     }
                 }
-                VersionRelation::Ancestor => {
-                    // Obsolete: destroy; "no update will be lost" since our
-                    // history is a prefix of the token's.
-                    self.destroy_replica(id, key);
-                    self.remove_from_holders(holder, key, id);
-                    // The holder may now be under-replicated.
-                    self.schedule_min_replica_fill(holder, key);
-                }
-                VersionRelation::Descendant | VersionRelation::Incomparable => {
-                    // The token holder is *behind* us or divergent — can
-                    // only happen after pathological failures ("Disastrous
-                    // Failure"); surface it as a conflict.
-                    self.log_conflict(seg, my_version.major, token_version.major);
-                }
+                return;
             }
-            return;
+            self.stats.incr("core/recovery/holder_without_token");
         }
 
         // No token holder for our major: a new version may have been
@@ -146,6 +153,19 @@ impl Cluster {
             }
         }
         let _ = my_version;
+
+        // The token survived the crash, so this server is still the
+        // primary — but the crash cancelled its in-flight propagation
+        // (deferred applies, and any buffered outbound stream of the
+        // write pipeline), so group members may lag the token's version.
+        // Run a stabilize round now: caught-up replicas are marked stable,
+        // laggards are regenerated from the primary by state transfer
+        // (§3.1, §3.4) — the recovery path a mid-stream holder crash must
+        // take instead of leaving replicas waiting on updates that no
+        // longer exist.
+        if self.server(id).holds_token(key) {
+            self.mark_stable_round(id, key);
+        }
     }
 
     /// Heals-time reconciliation across the whole cell: every pair of
@@ -208,11 +228,19 @@ impl Cluster {
                 if self.server(s).holds_token(key) {
                     continue;
                 }
-                let my_version =
-                    self.server(s).replicas.with_ref(&key, |r| r.map(|r| r.version)).unwrap();
-                match self.find_reachable_token_holder(s, key) {
-                    Some(h) => {
-                        let tv = self.server(h).tokens.get(&key).unwrap().version;
+                let Some(my_version) =
+                    self.server(s).replicas.with_ref(&key, |r| r.map(|r| r.version))
+                else {
+                    continue; // destroyed earlier in this reconciliation
+                };
+                // Both lookups are fallible: the holder scan and the token
+                // read are separated by destruction earlier in this pass,
+                // and a crash can leave a scan hit with no stored token.
+                let holder_and_version = self
+                    .find_reachable_token_holder(s, key)
+                    .and_then(|h| self.server(h).tokens.get(&key).map(|t| (h, t.version)));
+                match holder_and_version {
+                    Some((h, tv)) => {
                         let table = self.branch_table_snapshot(key.0);
                         if table.is_ancestor(my_version, tv) {
                             self.set_replica_state(s, key, crate::replica::ReplicaState::Unstable);
@@ -252,10 +280,12 @@ impl Cluster {
         self.stats.incr("core/recovery/versions_destroyed");
     }
 
-    /// Removes one replica locally.
+    /// Removes one replica locally, along with any outbound update
+    /// buffer still queued against it (nothing left to propagate to).
     pub(crate) fn destroy_replica(&self, server: NodeId, key: ReplicaKey) {
         self.server(server).replicas.delete_sync(&key);
         self.server(server).drop_receiver(&key);
+        self.server(server).outbound.remove(&key);
         self.stats.incr("core/recovery/replicas_destroyed");
     }
 
@@ -305,8 +335,12 @@ impl Cluster {
             }
             for key in self.server(s).tokens.keys() {
                 if key.0 == seg && key.1 != my_major {
-                    let v = self.server(s).tokens.get(&key).unwrap().version;
-                    out.push((key.1, table.relation(my_version, v)));
+                    // Fallible: the key list and the read are two lookups,
+                    // and recovery may destroy tokens between them.
+                    if let Some(v) = self.server(s).tokens.with_ref(&key, |t| t.map(|t| t.version))
+                    {
+                        out.push((key.1, table.relation(my_version, v)));
+                    }
                 }
             }
         }

@@ -14,6 +14,7 @@ use deceit_net::NodeId;
 use deceit_sim::SimDuration;
 
 use crate::cluster::Cluster;
+use crate::event::Pending;
 use crate::replica::ReplicaState;
 use crate::server::ReplicaKey;
 use crate::trace_events::ProtocolEvent;
@@ -45,18 +46,38 @@ impl Cluster {
     }
 
     /// The deferred stabilize check: if the write stream has been quiet
-    /// for the stability timeout, mark the group stable again.
+    /// for the stability timeout, mark the group stable again. A stream
+    /// keeps exactly one check in flight: a firing that finds newer
+    /// writes re-arms itself at the newest quiet horizon instead of
+    /// relying on a trail of per-write checks.
     pub(crate) fn stabilize_check(&self, holder: NodeId, key: ReplicaKey, epoch: u64) {
+        let clear_scheduled = || {
+            self.server(holder).streams.with(&key, |s| {
+                if let Some(s) = s {
+                    s.check_scheduled = false;
+                }
+            });
+        };
         if !self.net.is_up(holder) {
-            return;
+            return; // stream state died with the crash; nothing to clear
         }
         let Some(stream) = self.server(holder).streams.get(&key) else {
             return;
         };
-        // A newer write re-armed the timer; this check is stale.
-        if stream.epoch != epoch || !stream.group_unstable {
+        if !stream.group_unstable {
+            clear_scheduled();
             return;
         }
+        // Newer writes landed since this check was scheduled: keep the
+        // one pending check, moved out to the stream's new quiet horizon.
+        if stream.epoch != epoch {
+            self.events.push(
+                stream.last_write + self.cfg.stability_timeout,
+                Pending::StabilizeCheck { server: holder, key, epoch: stream.epoch },
+            );
+            return;
+        }
+        clear_scheduled();
         if !self.server(holder).holds_token(key) {
             return;
         }

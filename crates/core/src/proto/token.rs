@@ -177,6 +177,21 @@ impl Cluster {
         if params.availability != WriteAvailability::Medium {
             return Ok(SimDuration::ZERO);
         }
+        // Steady-state fast path, one clone-free probe under the slot
+        // lock: every known holder reachable, the level satisfied, the
+        // token enabled — nothing to rewrite, nothing to verify further
+        // (the holder set is the §3.1 upper bound; when all of it
+        // answers, the majority condition cannot fail).
+        let steady = self.server(via).tokens.with_ref(&key, |t| {
+            t.map(|t| {
+                t.enabled
+                    && t.holders.len() >= params.min_replicas
+                    && t.holders.iter().all(|&h| self.net.reachable(via, h))
+            })
+        });
+        if steady == Some(true) {
+            return Ok(SimDuration::ZERO);
+        }
         let mut token = self.server(via).tokens.get(&key).expect("holder has token");
         // If every known holder is reachable (no failure in sight) but the
         // minimum replica level outruns the holder set — the raised-level

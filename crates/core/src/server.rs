@@ -41,6 +41,24 @@ impl fmt::Display for SegmentId {
 /// distinct new file with a distinct set of replicas."
 pub type ReplicaKey = (SegmentId, u64);
 
+/// Volatile, holder-side buffer of updates awaiting batched propagation
+/// to the rest of the file group — the buffering half of the
+/// asynchronous write pipeline (`ClusterConfig::opt_write_pipeline`).
+///
+/// Losing this buffer in a crash is safe by construction: every buffered
+/// update is already applied (durably, at safety ≥ 1) to the holder's
+/// own replica, so recovery finds the authoritative copy intact and the
+/// lagging group members are caught up by the §3.1/§3.4 regeneration
+/// machinery (stabilize-round state transfer, replica regeneration).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct OutboundStream {
+    /// Updates in subversion order, not yet shipped to the group.
+    pub updates: Vec<UpdateRecord>,
+    /// Whether a `Pending::PropagateStream` drain is already queued, so
+    /// a stream of writes schedules one event, not one per write.
+    pub scheduled: bool,
+}
+
 /// Volatile, holder-side state of an active write stream on one replica.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StreamState {
@@ -51,6 +69,11 @@ pub struct StreamState {
     /// Bumped on every write; stabilize-checks carry the epoch they were
     /// scheduled under and fire only if it is still current.
     pub epoch: u64,
+    /// Whether a stabilize-check is already queued for this stream. A
+    /// stream of writes keeps exactly one check pending (re-armed to the
+    /// newest quiet horizon when it fires stale) instead of queueing one
+    /// per write.
+    pub check_scheduled: bool,
 }
 
 /// One Deceit server.
@@ -74,6 +97,9 @@ pub struct ServerState {
     /// Volatile: active write-stream state for replicas whose token this
     /// server holds.
     pub(crate) streams: ShardedMap<ReplicaKey, StreamState>,
+    /// Volatile: per-file outbound update buffers of the asynchronous
+    /// write pipeline (empty unless `opt_write_pipeline` is on).
+    pub(crate) outbound: ShardedMap<ReplicaKey, OutboundStream>,
     /// Count of client operations served by this server (load accounting).
     pub ops_served: AtomicU64,
 }
@@ -90,6 +116,7 @@ impl ServerState {
             group_cache: ShardedMap::new(shards),
             fd: Mutex::new(FailureDetector::new()),
             streams: ShardedMap::new(shards),
+            outbound: ShardedMap::new(shards),
             ops_served: AtomicU64::new(0),
         }
     }
@@ -108,6 +135,7 @@ impl ServerState {
         self.group_cache.clear();
         *self.fd.lock().unwrap_or_else(|e| e.into_inner()) = FailureDetector::new();
         self.streams.clear();
+        self.outbound.clear();
     }
 
     /// Whether this server stores any replica of `seg` (any major).

@@ -180,6 +180,12 @@ impl GroupTable {
         self.read().groups.get(&id).map(|g| g.view.members.iter().copied().collect())
     }
 
+    /// The current member count of `id` (0 if the group is gone) —
+    /// clone-free, allocation-free.
+    pub fn member_count(&self, id: GroupId) -> usize {
+        self.read().groups.get(&id).map(|g| g.view.members.len()).unwrap_or(0)
+    }
+
     /// Looks a group up by name and returns its members in one lock
     /// acquisition — the common "who needs this broadcast" query.
     pub fn members_by_name(&self, name: &str) -> Option<(GroupId, Vec<NodeId>)> {

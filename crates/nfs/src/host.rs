@@ -52,6 +52,11 @@ pub trait NfsService {
 
     /// Attempts to serve a mutating request with shared cell access plus
     /// the shard locks its class declares — the sharded mutation path.
+    /// Under the asynchronous write pipeline this is also where a write
+    /// acknowledges: the engine returns once the mutation is durable at
+    /// the token holder (plus its safety-level replicas), leaving group
+    /// propagation to [`ProtocolHost::try_pump_shard`] as slot-attributed
+    /// deferred work.
     ///
     /// The caller must hold the ring locks for every slot of
     /// `req.class().slots(shard_count)` before calling. `None` means the
@@ -105,6 +110,10 @@ impl ProtocolHost for DeceitFs {
         self.cluster.pending_shard_mask()
     }
 
+    fn advance_idle_clock(&self, d: SimDuration) {
+        ProtocolHost::advance_idle_clock(&self.cluster, d);
+    }
+
     fn settle(&mut self) {
         self.cluster.run_until_quiet();
     }
@@ -153,6 +162,10 @@ impl ProtocolHost for NfsServer {
 
     fn pending_shard_mask(&self) -> u64 {
         self.fs.pending_shard_mask()
+    }
+
+    fn advance_idle_clock(&self, d: SimDuration) {
+        self.fs.advance_idle_clock(d);
     }
 
     fn settle(&mut self) {

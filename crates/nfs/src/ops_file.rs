@@ -153,6 +153,14 @@ impl DeceitFs {
     /// Sharded-path `WRITE`: same semantics as [`DeceitFs::write`],
     /// executed under the handle's shard ring lock — concurrent with
     /// reads and with mutations of files in other slots.
+    ///
+    /// Under the asynchronous write pipeline (the live runtime's
+    /// default), the reply means: durable at the token holder plus the
+    /// file's `write_safety - 1` synchronous replicas; propagation to
+    /// the rest of the group is deferred work the pump ships in
+    /// batches, with lagging replicas' reads forwarding to the holder
+    /// meanwhile (§3.4). See the README's "failure semantics" section
+    /// for what a holder crash recovers.
     pub fn write_sharded(
         &self,
         slots: &[usize],

@@ -33,13 +33,34 @@ pub struct RuntimeConfig {
 impl RuntimeConfig {
     /// A deployment of `servers` servers with defaults tuned for live
     /// hosting: protocol tracing off (the trace log grows without bound
-    /// under sustained traffic) and protocol metrics off (the registry
+    /// under sustained traffic), protocol metrics off (the registry
     /// lock sits on the request hot path; the runtime keeps its own
-    /// atomic counters).
+    /// atomic counters), and the asynchronous replicated-write pipeline
+    /// on — a write acks at local durability (plus its safety-level
+    /// replies) and the pump ships batched propagation, instead of the
+    /// simulator's paper-faithful eager broadcast per update. The
+    /// differential suite runs both worlds with this same config, so sim
+    /// and live exercise the identical pipeline.
     pub fn new(servers: usize) -> Self {
+        // §3.4's "short period of no write activity" is measured on the
+        // protocol clock, which a busy live cell advances by ~20ms of
+        // simulated disk time per write — the simulator's 500ms default
+        // elapses in a few hundred microseconds of wall time, so any
+        // thread-scheduling hiccup would "quiet" an active stream and
+        // thrash the stable/unstable rounds. Live hosting stretches the
+        // horizon accordingly; `settle` still stabilizes everything.
+        let mut cluster =
+            ClusterConfig::default().without_trace().without_stats().with_write_pipeline();
+        cluster.stability_timeout = deceit_sim::SimDuration::from_secs(30);
+        // The lazy-apply delay doubles as the pipeline's batching window
+        // (a drain fires when the protocol clock reaches it); at ~20ms
+        // of simulated disk time per cell write, 5s ≈ a few hundred
+        // writes of buffering headroom per stream. Lagging replicas are
+        // unstable, so reads forward to the holder meanwhile.
+        cluster.lazy_apply_delay = deceit_sim::SimDuration::from_secs(5);
         RuntimeConfig {
             servers,
-            cluster: ClusterConfig::default().without_trace().without_stats(),
+            cluster,
             fs: FsConfig::default(),
             request_timeout: Duration::from_secs(3),
             poll_interval: Duration::from_millis(10),
@@ -89,6 +110,7 @@ mod tests {
         let cfg = RuntimeConfig::new(5);
         assert_eq!(cfg.servers, 5);
         assert!(!cfg.cluster.trace, "live hosting must not accumulate trace events");
+        assert!(cfg.cluster.opt_write_pipeline, "live hosting pipelines replicated writes");
         assert!(cfg.request_timeout > cfg.poll_interval);
     }
 }

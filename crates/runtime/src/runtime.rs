@@ -92,6 +92,15 @@ pub struct RuntimeReport {
     pub bus_rejected: u64,
 }
 
+/// The recorded partition plus its epoch. The epoch advances on every
+/// split/heal transition, so any code path that captured partition state
+/// before blocking can detect that the topology moved underneath it.
+#[derive(Debug, Default)]
+struct SplitState {
+    groups: Option<Vec<Vec<NodeId>>>,
+    epoch: u64,
+}
+
 /// Client-home registry: which server each client session currently
 /// treats as its home, plus the currently imposed server partition.
 /// Partition injection consults the homes so a split of the *server*
@@ -99,42 +108,86 @@ pub struct RuntimeReport {
 /// simulator, where clients have no network identity at all. The
 /// remembered split lets sessions opened *during* a partition join
 /// their home's side instead of landing in the implicit rest group.
+///
+/// Every transition is epoch-stamped and every compound operation
+/// (record a home *and* re-impose the split; change the split *and*
+/// mutate the engine) runs under the one `active_split` lock, so a heal
+/// that lands concurrently with a session open can never leave the bus
+/// carrying a stale split — and a session opened mid-heal can never
+/// re-impose the partition it raced with.
 #[derive(Debug, Default)]
 pub(crate) struct ClientDirectory {
     homes: Mutex<HashMap<NodeId, NodeId>>,
-    active_split: Mutex<Option<Vec<Vec<NodeId>>>>,
+    active_split: Mutex<SplitState>,
 }
 
 impl ClientDirectory {
     /// Records (or moves) a session's home and, if a partition is in
     /// force, re-imposes it so the session sits on its home's side.
+    /// One critical section: the home insert and the re-imposition
+    /// happen under the split lock, so a concurrent heal either sees
+    /// the new home (and imposes nothing) or completes first (and this
+    /// call finds no split to re-impose) — there is no window where a
+    /// healed bus gets the old split back.
     pub(crate) fn set_home(&self, client: NodeId, home: NodeId, bus: &LiveBus<NfsFrame>) {
+        let split = self.active_split.lock();
         self.homes.lock().insert(client, home);
-        self.reapply(bus);
+        if let Some(groups) = split.groups.as_ref() {
+            self.impose(groups, bus);
+        }
     }
 
     pub(crate) fn forget(&self, client: NodeId) {
         self.homes.lock().remove(&client);
     }
 
-    /// Replaces the recorded partition (`None` = healed) and mirrors it
-    /// onto the bus. The `active_split` lock is held across the bus
-    /// mutation so a concurrent [`ClientDirectory::reapply`] cannot
-    /// re-impose a split that was just cleared.
-    pub(crate) fn set_split(&self, groups: Option<Vec<Vec<NodeId>>>, bus: &LiveBus<NfsFrame>) {
+    /// Replaces the recorded partition (`None` = healed), bumps the
+    /// partition epoch, and mirrors the change onto the bus — with
+    /// `mutate_engine` run inside the same critical section, so the
+    /// engine's topology and the bus's can never be observed moving in
+    /// opposite directions by a concurrent split/heal.
+    pub(crate) fn set_split_with(
+        &self,
+        groups: Option<Vec<Vec<NodeId>>>,
+        bus: &LiveBus<NfsFrame>,
+        mutate_engine: impl FnOnce(),
+    ) {
         let mut split = self.active_split.lock();
-        *split = groups;
-        match split.as_ref() {
-            Some(groups) => self.impose(groups, bus),
-            None => bus.heal(),
+        split.groups = groups;
+        split.epoch += 1;
+        match split.groups.as_ref() {
+            Some(groups) => {
+                mutate_engine();
+                self.impose(groups, bus);
+            }
+            None => {
+                bus.heal();
+                mutate_engine();
+            }
         }
     }
 
+    /// [`ClientDirectory::set_split_with`] without an engine mutation.
+    #[cfg(test)]
+    pub(crate) fn set_split(&self, groups: Option<Vec<Vec<NodeId>>>, bus: &LiveBus<NfsFrame>) {
+        self.set_split_with(groups, bus, || {});
+    }
+
+    /// The current partition epoch (advances on every split or heal).
+    #[cfg(test)]
+    pub(crate) fn split_epoch(&self) -> u64 {
+        self.active_split.lock().epoch
+    }
+
     /// Re-imposes the active server partition (if any) on the bus, with
-    /// every client attached to its current home's group.
+    /// every client attached to its current home's group. Production
+    /// paths now run re-imposition inside [`ClientDirectory::set_home`]'s
+    /// critical section; this standalone form remains for the race tests
+    /// that hammer re-imposition against heal.
+    #[cfg(test)]
     pub(crate) fn reapply(&self, bus: &LiveBus<NfsFrame>) {
         let split = self.active_split.lock();
-        if let Some(groups) = split.as_ref() {
+        if let Some(groups) = split.groups.as_ref() {
             self.impose(groups, bus);
         }
     }
@@ -352,16 +405,23 @@ impl<S: NfsService + ProtocolHost + Send + Sync + 'static> ClusterRuntime<S> {
 
     /// Imposes a partition between the given groups of *servers*,
     /// mirroring [`deceit_core::Cluster::split`]. Each client session is
-    /// placed on its home server's side of the split.
+    /// placed on its home server's side of the split. The engine, the
+    /// bus, and the directory change inside one epoch-stamped critical
+    /// section, so a concurrent [`ClusterRuntime::heal`] can never leave
+    /// the two topologies pointing in opposite directions.
     pub fn split(&self, groups: &[&[NodeId]]) {
-        self.shared.with_engine(|e| e.split_nodes(groups));
-        self.dir.set_split(Some(groups.iter().map(|g| g.to_vec()).collect()), &self.shared.bus);
+        let owned: Vec<Vec<NodeId>> = groups.iter().map(|g| g.to_vec()).collect();
+        self.dir.set_split_with(Some(owned), &self.shared.bus, || {
+            self.shared.with_engine(|e| e.split_nodes(groups));
+        });
     }
 
-    /// Heals any partition (protocol reconciliation included).
+    /// Heals any partition (protocol reconciliation included), atomically
+    /// with the directory/bus state — see [`ClusterRuntime::split`].
     pub fn heal(&self) {
-        self.dir.set_split(None, &self.shared.bus);
-        self.shared.with_engine(|e| e.heal_nodes());
+        self.dir.set_split_with(None, &self.shared.bus, || {
+            self.shared.with_engine(|e| e.heal_nodes());
+        });
     }
 
     /// Point-in-time traffic counters. Lock-free: every field is read
@@ -649,6 +709,17 @@ fn pump_loop<S: ProtocolHost>(shared: &Shared<S>, interval: Duration, batch: usi
             };
         }
         if fired == 0 {
+            // Work is pending but none of it is ready: it is parked
+            // behind a protocol-clock horizon (a stability quiet period,
+            // a drain's batching window) and a quiet cell advances that
+            // clock through nothing else. Map the idle wall interval
+            // onto the protocol clock so the horizons elapse in real
+            // time; once they do, the next pass fires them and the
+            // queue drains to a true zero.
+            let tick = deceit_sim::SimDuration::from_micros(
+                interval.as_micros().min(u64::MAX as u128) as u64,
+            );
+            shared.engine.read_guard().advance_idle_clock(tick);
             thread::sleep(interval);
         }
     }
@@ -727,5 +798,86 @@ mod tests {
         for t in stormers {
             t.join().unwrap();
         }
+    }
+
+    /// A session opened concurrently with a heal must not re-impose the
+    /// split it raced with: `set_home`'s home-insert and re-imposition
+    /// are one critical section against `set_split`.
+    #[test]
+    fn session_open_cannot_revive_a_healed_split() {
+        let bus: LiveBus<NfsFrame> = LiveBus::new();
+        let dir = Arc::new(ClientDirectory::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let openers: Vec<_> = (0..3u32)
+            .map(|t| {
+                let dir = Arc::clone(&dir);
+                let bus = bus.clone();
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut i = 0u32;
+                    while !stop.load(Ordering::Relaxed) {
+                        // A churn of session opens homed on both sides.
+                        dir.set_home(n(1000 + t * 100 + (i % 50)), n(i % 2), &bus);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        let epoch_start = dir.split_epoch();
+        for _ in 0..200 {
+            dir.set_split(Some(vec![vec![n(0)], vec![n(1)]]), &bus);
+            dir.set_split(None, &bus);
+            assert!(bus.can_exchange(n(0), n(1)), "a racing session open revived a healed split");
+        }
+        stop.store(true, Ordering::Relaxed);
+        for t in openers {
+            t.join().unwrap();
+        }
+        assert_eq!(dir.split_epoch(), epoch_start + 400, "every transition bumps the epoch");
+    }
+
+    /// Concurrent split/heal on a live cluster: the engine topology and
+    /// the bus topology change inside one critical section, so whichever
+    /// call wins, the two always agree afterwards — a healed engine never
+    /// sits behind a split bus or vice versa.
+    #[test]
+    fn engine_and_bus_topology_never_diverge_under_split_heal_races() {
+        let rt = Arc::new(ClusterRuntime::start(crate::RuntimeConfig::new(3)));
+        let threads: Vec<_> = (0..4usize)
+            .map(|t| {
+                let rt = Arc::clone(&rt);
+                thread::spawn(move || {
+                    for _ in 0..25 {
+                        if t % 2 == 0 {
+                            rt.split(&[&[n(0)], &[n(1), n(2)]]);
+                        } else {
+                            rt.heal();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Engine reachability must match the bus exchange rules for
+        // every server pair, whatever state the storm settled in.
+        let rt = Arc::try_unwrap(rt).unwrap_or_else(|_| panic!("all storm threads joined"));
+        let pairs = [(n(0), n(1)), (n(0), n(2)), (n(1), n(2))];
+        let engine_view: Vec<bool> = rt.with_engine(|e| {
+            pairs.iter().map(|&(a, b)| e.fs.cluster.net.reachable(a, b)).collect()
+        });
+        for (&(a, b), &engine_ok) in pairs.iter().zip(&engine_view) {
+            assert_eq!(
+                rt.shared.bus.can_exchange(a, b),
+                engine_ok,
+                "bus and engine disagree about {a}<->{b} after the storm"
+            );
+        }
+        // And a final heal restores full service in both worlds.
+        rt.heal();
+        assert!(rt.with_engine(|e| e.fs.cluster.net.reachable(n(0), n(1))));
+        assert!(rt.shared.bus.can_exchange(n(0), n(1)));
+        rt.shutdown();
     }
 }

@@ -173,6 +173,165 @@ fn concurrent_disjoint_mutations_match_sim_in_completion_order() {
     }
 }
 
+/// The crash-mid-sharded-write stress differential: writer threads
+/// hammer their own files through the live runtime — all homed on the
+/// server that holds every file's write token — while that holder is
+/// crashed mid-stream and later restarted. Completed (acked) writes are
+/// stamped with a global ticket; the simulator then replays exactly the
+/// observed history — acked writes in completion order, the crash, the
+/// restart — and final contents, update counts, and replica levels must
+/// match byte for byte.
+///
+/// A write in flight when the crash lands is ambiguous: it may have
+/// applied at the holder without its ack surviving the crash. The live
+/// contents decide — the replay includes that write exactly when the
+/// live world kept it — which is precisely the guarantee the pipeline
+/// makes: an ack means locally durable, and an un-acked write is either
+/// fully applied or never happened, never torn.
+#[test]
+fn crash_of_token_holder_mid_write_matches_sim_replay() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    const WRITERS: usize = 4;
+    const MAX_WRITES: usize = 2000; // cap; the crash ends the stream early
+
+    let cfg = RuntimeConfig::new(3).with_request_timeout(Duration::from_millis(300));
+    let rt = deceit_runtime::ClusterRuntime::start(cfg.clone());
+    let home = rt.server_ids()[1]; // token holder of every stressed file
+    let reader_home = rt.server_ids()[2];
+    let root = rt.client().root();
+
+    // Setup (mirrored exactly in the replay): per-writer files created,
+    // replicated 3x, and warmed via the holder-to-be.
+    let mut handles = Vec::new();
+    for c in 0..WRITERS {
+        let mut client = rt.client_homed(home);
+        let attr = client.create(root, &format!("f{c}"), 0o644).expect("create");
+        client
+            .set_file_params(attr.handle, deceit_core::FileParams::important(3))
+            .expect("set replicas");
+        handles.push(attr.handle);
+    }
+    rt.settle();
+
+    // Stress: sequential appends per writer, all via the token holder,
+    // stopping at the first failed write (the crash). Acked writes are
+    // ticket-stamped in completion order.
+    let ticket = Arc::new(AtomicU64::new(0));
+    let completions: Arc<Mutex<Vec<(u64, usize, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    let workers: Vec<_> = (0..WRITERS)
+        .map(|c| {
+            let mut client = rt.client_homed(home);
+            let fh = handles[c];
+            let ticket = Arc::clone(&ticket);
+            let completions = Arc::clone(&completions);
+            std::thread::spawn(move || {
+                let mut offset = 0;
+                for i in 0..MAX_WRITES {
+                    let chunk = format!("[c{c}w{i}]");
+                    if client.write(fh, offset, chunk.as_bytes()).is_err() {
+                        return; // the crash: the stream ends here
+                    }
+                    offset += chunk.len();
+                    let t = ticket.fetch_add(1, Ordering::SeqCst);
+                    completions.lock().unwrap().push((t, c, i));
+                }
+            })
+        })
+        .collect();
+
+    // Crash the holder mid-stream, then bring it back.
+    std::thread::sleep(Duration::from_millis(5));
+    rt.crash_server(home);
+    for w in workers {
+        w.join().expect("stress writer");
+    }
+    rt.restart_server(home);
+    rt.settle();
+
+    // Live outcome, read via a survivor (forwarding resolves laggards).
+    let mut reader = rt.client_homed(reader_home);
+    let live_contents: Vec<Vec<u8>> = handles
+        .iter()
+        .map(|&fh| reader.read(fh, 0, 1 << 20).expect("read back").to_vec())
+        .collect();
+    let live_versions: Vec<u64> =
+        handles.iter().map(|&fh| reader.getattr(fh).expect("getattr").version.sub).collect();
+    let live_replicas: Vec<usize> =
+        handles.iter().map(|&fh| reader.locate_replicas(fh).expect("locate").len()).collect();
+    rt.shutdown();
+
+    // Observed history: acked writes per file, in completion order.
+    let mut order = completions.lock().unwrap().clone();
+    order.sort();
+    let mut acked = [0usize; WRITERS];
+    for &(_, c, _) in &order {
+        acked[c] += 1;
+    }
+    // Resolve each writer's ambiguous in-flight write: the live bytes
+    // decide whether it applied before the crash.
+    let mut kept_inflight = [false; WRITERS];
+    for c in 0..WRITERS {
+        let acked_len: usize = (0..acked[c]).map(|i| format!("[c{c}w{i}]").len()).sum();
+        match live_contents[c].len() {
+            l if l == acked_len => {}
+            l if l == acked_len + format!("[c{c}w{}]", acked[c]).len() => kept_inflight[c] = true,
+            l => panic!(
+                "file f{c}: live length {l} matches neither {acked_len} acked bytes \
+                 nor one extra in-flight write — a write tore or vanished"
+            ),
+        }
+    }
+
+    // Simulator replay of exactly that history.
+    let via = deceit_net::NodeId(home.0);
+    let mut fs = deceit_nfs::DeceitFs::new(3, cfg.cluster.clone(), cfg.fs.clone());
+    let sim_root = fs.root();
+    let mut sim_handles = Vec::new();
+    for c in 0..WRITERS {
+        let attr = fs.create(via, sim_root, &format!("f{c}"), 0o644).expect("sim create");
+        fs.set_file_params(via, attr.value.handle, deceit_core::FileParams::important(3))
+            .expect("sim set replicas");
+        sim_handles.push(attr.value.handle);
+    }
+    fs.cluster.run_until_quiet();
+    let mut offsets = [0usize; WRITERS];
+    for &(_, c, i) in &order {
+        let chunk = format!("[c{c}w{i}]");
+        fs.write(via, sim_handles[c], offsets[c], chunk.as_bytes()).expect("sim write");
+        offsets[c] += chunk.len();
+    }
+    for c in 0..WRITERS {
+        if kept_inflight[c] {
+            let chunk = format!("[c{c}w{}]", acked[c]);
+            fs.write(via, sim_handles[c], offsets[c], chunk.as_bytes()).expect("sim write");
+        }
+    }
+    fs.cluster.crash_server(via);
+    fs.cluster.recover_server(via);
+    fs.cluster.run_until_quiet();
+
+    let read_via = deceit_net::NodeId(reader_home.0);
+    for c in 0..WRITERS {
+        let sim_data = fs.read(read_via, sim_handles[c], 0, 1 << 20).expect("sim read").value;
+        assert_eq!(
+            live_contents[c],
+            sim_data.to_vec(),
+            "file f{c} diverged between the crashed live run and the sim replay"
+        );
+        let sim_sub = fs.getattr(read_via, sim_handles[c]).expect("sim getattr").value.version.sub;
+        assert_eq!(live_versions[c], sim_sub, "file f{c} applied a different number of updates");
+        let sim_replicas = fs.file_replicas(read_via, sim_handles[c]).expect("sim locate").value;
+        assert_eq!(
+            live_replicas[c],
+            sim_replicas.len(),
+            "file f{c} recovered to a different replica level"
+        );
+    }
+}
+
 /// Shard-lock exclusion: two mutations of the *same* file never
 /// interleave. Concurrent writers replace the whole file with uniform
 /// single-byte patterns; a concurrent reader (and the final state) must

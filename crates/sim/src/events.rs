@@ -134,6 +134,31 @@ impl<E> EventQueue<E> {
         found
     }
 
+    /// Removes and returns the earliest event for which `pred(time,
+    /// payload)` holds, leaving the rest in place — like
+    /// [`EventQueue::pop_where`], but the predicate also sees the due
+    /// time, so a caller can pop "anything due, plus anything whose
+    /// firing needn't wait for its due time" in one primitive.
+    pub fn pop_ready(&mut self, mut pred: impl FnMut(SimTime, &E) -> bool) -> Option<(SimTime, E)> {
+        let mut skipped = Vec::new();
+        let mut found = None;
+        while let Some(Reverse(e)) = self.heap.pop() {
+            if pred(e.time, &e.payload) {
+                found = Some((e.time, e.payload));
+                break;
+            }
+            skipped.push(Reverse(e));
+        }
+        self.heap.extend(skipped);
+        found
+    }
+
+    /// Whether any pending entry satisfies `pred(time, payload)` — the
+    /// cheap "anything ready here?" probe, without disturbing the heap.
+    pub fn any_entry(&self, mut pred: impl FnMut(SimTime, &E) -> bool) -> bool {
+        self.heap.iter().any(|Reverse(e)| pred(e.time, &e.payload))
+    }
+
     /// Visits every pending payload, in no particular order — the cheap
     /// "which shards have work" scan, without disturbing the heap.
     pub fn iter(&self) -> impl Iterator<Item = &E> {
