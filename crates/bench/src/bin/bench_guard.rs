@@ -1,8 +1,10 @@
 //! CI regression gate for the live runtime's throughput.
 //!
 //! Re-runs every workload class — mixed (both lock paths), read (the
-//! shared fast path), write (the pipelined sharded mutation path), and
-//! hot (single-slot contention) — and compares each against the recorded
+//! shared fast path), write (the pipelined sharded mutation path), hot
+//! (single-slot contention), and stream (same-file readers under an
+//! active write stream, the read-lease path) — and compares each
+//! against the recorded
 //! `BENCH_runtime.json` baseline: a fresh sample more than 25% below the
 //! recorded ops/sec for the same (workload, clients, replicas) cell
 //! fails the build. CI machines are noisier than the recording machine,

@@ -1,10 +1,12 @@
 //! Live-runtime throughput: ops/sec vs. concurrent client count,
 //! replica level, and workload mix.
 //!
-//! Four workloads (see [`deceit_bench::live`]): `mixed` (alternating
+//! Five workloads (see [`deceit_bench::live`]): `mixed` (alternating
 //! write/read), `read` (the shared-lock fast path), `write` (pure
-//! single-shard mutations under shard ring locks), and `hot` (every
-//! client hammering one file — the single-slot worst case).
+//! single-shard mutations under shard ring locks), `hot` (every client
+//! hammering one file — the single-slot worst case), and `stream`
+//! (readers against one file under an active write stream — the
+//! holder-local read-lease path).
 //!
 //! Run with: `cargo run --release --bin runtime_throughput`
 //!

@@ -5,7 +5,7 @@
 //! live threaded runtime — server message loops, the RPC layer, the
 //! sharded execution layer, and the deferred-work pump all included.
 //!
-//! Four workloads, each probing one face of the sharded engine:
+//! Five workloads, each probing one face of the sharded engine:
 //!
 //! * [`Workload::Mixed`] — alternating write/read per client against its
 //!   own file: the balanced case both lock paths share.
@@ -19,6 +19,12 @@
 //!   *one* shared file: the adversarial case, where all mutations
 //!   serialize on a single ring slot and the measurement shows what that
 //!   floor costs.
+//! * [`Workload::Stream`] — one client streams writes to one shared
+//!   file while every other client reads it, all homed on the file's
+//!   token holder: the §3.4 worst case for the read fast path (the file
+//!   is unstable for the whole run), recovered by holder-local read
+//!   leases — same-file reads must ride the shared/sharded paths, not
+//!   fall through to the exclusive lock.
 //!
 //! Shared between the `runtime_throughput` recording binary and the
 //! `bench_guard` CI regression gate.
@@ -39,6 +45,9 @@ pub enum Workload {
     Write,
     /// Alternating write/read, all clients on one shared file.
     Hot,
+    /// Client 0 streams writes to one shared file; every other client
+    /// reads it. All clients homed on the token holder.
+    Stream,
 }
 
 impl Workload {
@@ -49,23 +58,33 @@ impl Workload {
             Workload::Read => "read",
             Workload::Write => "write",
             Workload::Hot => "hot",
+            Workload::Stream => "stream",
         }
     }
 
     /// All workloads, in recording order.
-    pub fn all() -> [Workload; 4] {
-        [Workload::Mixed, Workload::Read, Workload::Write, Workload::Hot]
+    pub fn all() -> [Workload; 5] {
+        [Workload::Mixed, Workload::Read, Workload::Write, Workload::Hot, Workload::Stream]
     }
 
     fn one_shared_file(self) -> bool {
-        matches!(self, Workload::Hot)
+        matches!(self, Workload::Hot | Workload::Stream)
     }
 
-    fn is_write(self, op_index: usize) -> bool {
+    /// Whether every session should sit on one server (the shared
+    /// file's token holder) — the stream workload measures the holder's
+    /// own read path under its own write stream, so scattering readers
+    /// across servers would measure forwarding instead.
+    fn single_home(self) -> bool {
+        matches!(self, Workload::Stream)
+    }
+
+    fn is_write(self, client: usize, op_index: usize) -> bool {
         match self {
             Workload::Mixed | Workload::Hot => op_index.is_multiple_of(2),
             Workload::Read => false,
             Workload::Write => true,
+            Workload::Stream => client == 0,
         }
     }
 }
@@ -102,11 +121,18 @@ pub fn run_live_sample(
 ) -> Sample {
     let rt = ClusterRuntime::start(RuntimeConfig::new(3));
     let root = rt.client().root();
+    // The stream workload pins every session to one server — the shared
+    // file is created via that server, so it is the token holder.
+    let pinned_home = workload.single_home().then(|| rt.server_ids()[0]);
+    let session = |rt: &ClusterRuntime| match pinned_home {
+        Some(home) => rt.client_homed(home),
+        None => rt.client(),
+    };
 
-    // Setup (untimed): per-client files, or one shared file for the hot
-    // workload.
+    // Setup (untimed): per-client files, or one shared file for the
+    // hot/stream workloads.
     let hot_file = if workload.one_shared_file() {
-        let mut client = rt.client();
+        let mut client = session(&rt);
         let attr = client.create(root, "bench_hot", 0o644).expect("create");
         client.set_file_params(attr.handle, FileParams::important(replicas)).expect("set replicas");
         client.write(attr.handle, 0, b"warmup payload").expect("warmup write");
@@ -116,7 +142,7 @@ pub fn run_live_sample(
     };
     let mut sessions: Vec<(RuntimeClient, FileHandle)> = (0..clients)
         .map(|c| {
-            let mut client = rt.client();
+            let mut client = session(&rt);
             let fh = match hot_file {
                 Some(fh) => fh,
                 None => {
@@ -143,7 +169,7 @@ pub fn run_live_sample(
             thread::spawn(move || {
                 let payload = format!("client {c} payload: 64 bytes of live benchmark traffic ...");
                 for i in 0..ops_per_client {
-                    if workload.is_write(i) {
+                    if workload.is_write(c, i) {
                         client.write(fh, 0, payload.as_bytes()).expect("bench write");
                     } else {
                         client.read(fh, 0, 128).expect("bench read");

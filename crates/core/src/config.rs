@@ -64,6 +64,24 @@ pub struct ClusterConfig {
     /// distributes every update eagerly, and the simulator experiments
     /// reproduce that behavior. The live runtime turns it on.
     pub opt_write_pipeline: bool,
+    /// Holder-local read leases: while a write stream keeps a file's
+    /// group unstable (§3.4 forwards every other server's reads to the
+    /// token holder), the holder itself publishes a volatile per-file
+    /// read lease naming its acked durable prefix, and the lock-free
+    /// read fast path serves the holder's own unstable replica against
+    /// it — the §3.4 "the holder answers directly" case without ring
+    /// locks. Off by default: the paper's prototype has no lock-free
+    /// read path to recover. The live runtime turns it on.
+    pub opt_read_leases: bool,
+    /// Read-repair: a read that meets a lagging, unstable replica whose
+    /// write stream has gone quiet enqueues one targeted per-file
+    /// catch-up (due-gated, single-flighted) that state-transfers the
+    /// laggard from the durable primary and marks it stable — instead
+    /// of forwarding every subsequent read until the next stabilize
+    /// round happens to cover it. Off by default: the paper's prototype
+    /// leaves laggards to the §3.4 stabilize horizon. The live runtime
+    /// turns it on.
+    pub opt_read_repair: bool,
     /// Shard slots the hot state (replica/token tables, delivery buffers,
     /// branch tables, the deferred-work queue) is partitioned into. A
     /// concurrent host's ring locks must use the same count so that
@@ -90,6 +108,8 @@ impl Default for ClusterConfig {
             opt_forward_small: false,
             forward_small_threshold: 4096,
             opt_write_pipeline: false,
+            opt_read_leases: false,
+            opt_read_repair: false,
             shards: 16,
         }
     }
@@ -137,6 +157,20 @@ impl ClusterConfig {
         self
     }
 
+    /// Enables holder-local read leases, builder-style (see
+    /// [`ClusterConfig::opt_read_leases`]).
+    pub fn with_read_leases(mut self) -> Self {
+        self.opt_read_leases = true;
+        self
+    }
+
+    /// Enables read-repair, builder-style (see
+    /// [`ClusterConfig::opt_read_repair`]).
+    pub fn with_read_repair(mut self) -> Self {
+        self.opt_read_repair = true;
+        self
+    }
+
     /// Sets the hot-state shard count, builder-style (clamped to 1..=64).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.clamp(1, 64);
@@ -162,9 +196,13 @@ mod tests {
         assert!(!c.opt_piggyback_acquire);
         assert!(!c.opt_forward_small);
         assert!(!c.opt_write_pipeline, "the paper's prototype distributes updates eagerly");
+        assert!(!c.opt_read_leases, "the paper's prototype has no lock-free read path");
+        assert!(!c.opt_read_repair, "the paper's prototype waits for the stabilize horizon");
         let on = ClusterConfig::default().with_token_optimizations();
         assert!(on.opt_piggyback_acquire && on.opt_forward_small);
         assert!(ClusterConfig::default().with_write_pipeline().opt_write_pipeline);
+        assert!(ClusterConfig::default().with_read_leases().opt_read_leases);
+        assert!(ClusterConfig::default().with_read_repair().opt_read_repair);
     }
 
     #[test]

@@ -51,6 +51,17 @@ pub enum Pending {
         /// Replica (segment, major) the stream belongs to.
         key: ReplicaKey,
     },
+    /// Targeted per-file read-repair (`ClusterConfig::opt_read_repair`):
+    /// catch one lagging, unstable replica up from the durable primary —
+    /// scheduled by a read that had to forward around it, so the next
+    /// reads can be served locally instead of forwarding until the next
+    /// stabilize round happens to cover the laggard.
+    ReadRepair {
+        /// The lagging server to catch up (the repair dies with it).
+        server: NodeId,
+        /// Replica (segment, major) to repair.
+        key: ReplicaKey,
+    },
     /// Background replica generation via blast transfer (§3.1).
     GenerateReplica {
         /// Token holder driving the generation.
@@ -68,7 +79,8 @@ impl Pending {
         match self {
             Pending::ApplyUpdate { server, .. }
             | Pending::FlushServer { server, .. }
-            | Pending::StabilizeCheck { server, .. } => *server,
+            | Pending::StabilizeCheck { server, .. }
+            | Pending::ReadRepair { server, .. } => *server,
             Pending::PropagateStream { holder, .. } | Pending::GenerateReplica { holder, .. } => {
                 *holder
             }
@@ -85,9 +97,18 @@ impl Pending {
     ///   a busy stream quiet, thrashing stable/unstable round pairs;
     /// * a pipeline drain's due time *is the batching window* — fired
     ///   the instant it is queued, every batch degenerates to one
-    ///   update and the pipeline ships one broadcast per write again.
+    ///   update and the pipeline ships one broadcast per write again;
+    /// * a read-repair's due time is its damping window: fired the
+    ///   instant a forwarded read queues it, a still-active stream makes
+    ///   it a no-op and the next read re-queues it — a schedule/fire spin
+    ///   in place of the single deferred catch-up it is meant to be.
     pub fn due_gated(&self) -> bool {
-        matches!(self, Pending::StabilizeCheck { .. } | Pending::PropagateStream { .. })
+        matches!(
+            self,
+            Pending::StabilizeCheck { .. }
+                | Pending::PropagateStream { .. }
+                | Pending::ReadRepair { .. }
+        )
     }
 
     /// The shard key this action belongs to, for per-shard pumping and
@@ -100,6 +121,7 @@ impl Pending {
             Pending::ApplyUpdate { key, .. }
             | Pending::StabilizeCheck { key, .. }
             | Pending::PropagateStream { key, .. }
+            | Pending::ReadRepair { key, .. }
             | Pending::GenerateReplica { key, .. } => key.0 .0,
             Pending::FlushServer { seg, .. } => seg.0,
         }

@@ -222,6 +222,38 @@ impl<V: Clone + StoredSize> ShardedDisk<V> {
         f(lock(self.slot(k)).disk.get(k))
     }
 
+    /// Runs `f` on a borrow of the newest value and — when `f` serves
+    /// (returns `Some`) — records a read touch of `k` at `at` in the
+    /// *same* slot-lock acquisition: [`ShardedDisk::with_ref`] +
+    /// [`ShardedDisk::note_read`] fused into one lock round, for the
+    /// read paths hot enough that the second acquisition shows up.
+    pub fn with_ref_served<R>(
+        &self,
+        k: &ReplicaKey,
+        at: SimTime,
+        f: impl FnOnce(Option<&V>) -> Option<R>,
+    ) -> Option<R> {
+        let mut slot = lock(self.slot(k));
+        let out = f(slot.disk.get(k))?;
+        self.record_touch(&mut slot, *k, at);
+        Some(out)
+    }
+
+    /// Buffers one read touch in a locked slot, maintaining the
+    /// pending-touch fast flag — the single copy of the touch/counter
+    /// protocol [`ShardedDisk::note_read`] and
+    /// [`ShardedDisk::with_ref_served`] share (the len-delta drives the
+    /// atomic flag; see [`ShardedDisk::sub_pending`] for why the two
+    /// must never drift apart).
+    fn record_touch(&self, slot: &mut DiskSlot<V>, k: ReplicaKey, at: SimTime) {
+        let before = slot.touches.len();
+        let entry = slot.touches.entry(k).or_insert(at);
+        *entry = (*entry).max(at);
+        if slot.touches.len() > before {
+            self.pending_touches.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Whether the key currently exists (volatile view).
     pub fn contains(&self, k: &ReplicaKey) -> bool {
         lock(self.slot(k)).disk.contains(k)
@@ -349,12 +381,7 @@ impl<V: Clone + StoredSize> ShardedDisk<V> {
     /// Deduplicated by key, so the buffer is bounded by the entry count.
     pub fn note_read(&self, k: ReplicaKey, at: SimTime) {
         let mut slot = lock(self.slot(&k));
-        let before = slot.touches.len();
-        let entry = slot.touches.entry(k).or_insert(at);
-        *entry = (*entry).max(at);
-        if slot.touches.len() > before {
-            self.pending_touches.fetch_add(1, Ordering::Relaxed);
-        }
+        self.record_touch(&mut slot, k, at);
     }
 
     /// Folds the recorded read touches of one slot into the stored

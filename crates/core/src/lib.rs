@@ -71,7 +71,7 @@ pub use ops::{ReadData, WriteOp};
 pub use params::{FileParams, WriteAvailability};
 pub use proto::commands::VersionInfo;
 pub use replica::{Replica, ReplicaState};
-pub use server::SegmentId;
+pub use server::{ReadLease, SegmentId};
 pub use token::WriteToken;
 pub use trace_events::ProtocolEvent;
 pub use version::{BranchTable, VersionPair, VersionRelation};

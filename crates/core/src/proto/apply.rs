@@ -43,6 +43,9 @@ impl Cluster {
             Pending::StabilizeCheck { server, key, epoch } => {
                 self.stabilize_check(server, key, epoch);
             }
+            Pending::ReadRepair { server, key } => {
+                self.read_repair(server, key);
+            }
             Pending::GenerateReplica { holder, key, target } => {
                 if !self.net.is_up(holder) {
                     return;

@@ -95,22 +95,34 @@ impl Cluster {
         Ok(((), latency))
     }
 
-    /// Removes every local replica and token of `seg` at `server`.
+    /// Removes every local replica and token of `seg` at `server`, along
+    /// with all of the file's volatile per-key state (stream state,
+    /// delivery buffers, outbound pipeline buffers, read leases, repair
+    /// flags — segment ids are never reused, so anything left behind
+    /// would leak forever). The lease is removed *first*, before the
+    /// replica it covers disappears, matching the remove-before-the-fact
+    /// discipline every lease invalidation site follows.
     pub(crate) fn destroy_segment_at(&self, server: NodeId, seg: SegmentId) {
         let srv = self.server(server);
         for major in srv.replicas.majors_of(seg) {
             let k = (seg, major);
+            srv.leases.remove(&k);
             srv.replicas.delete_sync(&k);
             srv.tokens.delete_sync(&k);
             srv.drop_receiver(&k);
             srv.streams.remove(&k);
+            srv.outbound.remove(&k);
+            srv.repairs.remove(&k);
         }
         // Tokens can exist for majors whose local replica is already
         // gone; sweep those too.
         for major in srv.tokens.majors_of(seg) {
             let k = (seg, major);
+            srv.leases.remove(&k);
             srv.tokens.delete_sync(&k);
             srv.streams.remove(&k);
+            srv.outbound.remove(&k);
+            srv.repairs.remove(&k);
         }
         srv.group_cache.remove(&seg);
     }

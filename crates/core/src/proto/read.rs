@@ -18,6 +18,25 @@ use crate::ops::ReadData;
 use crate::replica::ReplicaState;
 use crate::server::{ReplicaKey, SegmentId};
 use crate::trace_events::ProtocolEvent;
+use crate::version::VersionRelation;
+
+/// Materializes one served read from a replica borrow — the single
+/// copy-out every local read path shares, so the shape of a served read
+/// (range copy, version, total length, serving node) cannot drift
+/// between the fast paths and the full path.
+fn copy_out(
+    r: &crate::replica::Replica,
+    served_by: NodeId,
+    offset: usize,
+    count: usize,
+) -> ReadData {
+    ReadData {
+        data: r.data.read(offset, count),
+        version: r.version,
+        segment_len: r.data.len(),
+        served_by,
+    }
+}
 
 impl Cluster {
     /// Reads `count` bytes at `offset` from a segment via server `via`.
@@ -84,27 +103,84 @@ impl Cluster {
             None => self.local_current_major(via, seg)?,
         };
         let key = (seg, major);
-        // One slot-lock acquisition covers the stability check and the
-        // copy-out together, so a concurrent mutation is seen either
-        // entirely or not at all — never a torn replica.
-        let served = srv.replicas.with_ref(&key, |r| {
+        // One slot-lock acquisition covers the stability check, the
+        // copy-out, *and* the LRU touch together: a concurrent mutation
+        // is seen either entirely or not at all — never a torn replica —
+        // and the access lands in the touch buffer (folded into
+        // `last_access` at the next engine entry covering this slot, so
+        // a hot, concurrently-read replica does not look idle to §3.1
+        // extra-replica deletion) without a second lock round.
+        let served = srv.replicas.with_ref_served(&key, self.now(), |r| {
             let r = r?;
             if !r.is_stable() {
                 return None;
             }
-            Some(ReadData {
-                data: r.data.read(offset, count),
-                version: r.version,
-                segment_len: r.data.len(),
-                served_by: via,
-            })
-        })?;
-        // Feed the LRU: the access is recorded in a side buffer and
-        // folded into `last_access` at the next engine entry covering
-        // this slot, so a hot, concurrently-read replica does not look
-        // idle to §3.1 extra-replica deletion.
-        srv.replicas.note_read(key, self.now());
+            Some(copy_out(r, via, offset, count))
+        });
+        let served = match served {
+            Some(d) => d,
+            // Unstable (or no) local replica: the holder-local read lease
+            // may still answer — the §3.4 "reads are forwarded to the
+            // token holder" case where `via` *is* the holder.
+            None => self.try_read_leased(via, key, offset, count)?,
+        };
         Some(OpResult { value: served, latency: self.cfg.local_read })
+    }
+
+    /// The lease half of the lock-free fast path
+    /// (`ClusterConfig::opt_read_leases`): serves `via`'s own *unstable*
+    /// replica when `via` is the token holder mid-stream, at exactly the
+    /// acked durable prefix named by the published [`crate::ReadLease`].
+    /// §3.4 forwards every other server's reads to the token holder while
+    /// a file is unstable; the holder answers directly — this is that
+    /// answer, without ring locks.
+    ///
+    /// Correctness rests on a seqlock-style sandwich. The lease is read
+    /// before and after the replica copy-out, the copied replica must
+    /// carry exactly the leased version, and every invalidation site
+    /// removes the lease *before* the fact it asserts stops holding
+    /// (token movement removes it before the token leaves, stabilize
+    /// when the stream ends, a crash clears it with the volatile state).
+    /// So if the second read still observes the identical lease, the
+    /// token had not begun moving when the bytes were copied — the copy
+    /// is the primary's acked prefix. Any change, and the caller falls
+    /// back to the locked path.
+    fn try_read_leased(
+        &self,
+        via: NodeId,
+        key: ReplicaKey,
+        offset: usize,
+        count: usize,
+    ) -> Option<ReadData> {
+        if !self.cfg.opt_read_leases {
+            return None;
+        }
+        let srv = self.server(via);
+        let lease = srv.leases.get(&key)?;
+        let served = srv.replicas.with_ref_served(&key, self.now(), |r| {
+            let r = r?;
+            if r.version != lease.version {
+                // Mid-write window (applied but not yet re-leased), or a
+                // stale lease a new stream has not refreshed: decline.
+                return None;
+            }
+            Some(copy_out(r, via, offset, count))
+        })?;
+        if srv.leases.get(&key) != Some(lease) {
+            return None;
+        }
+        Some(served)
+    }
+
+    /// The read lease `server` currently publishes for `key`, if any
+    /// (diagnostics and tests; the serving path is
+    /// [`Cluster::try_read_local`]).
+    pub fn read_lease_version(
+        &self,
+        server: NodeId,
+        key: ReplicaKey,
+    ) -> Option<crate::version::VersionPair> {
+        self.server(server).leases.get(&key).map(|l| l.version)
     }
 
     /// The newest major of `seg` stored at `via`, provided no reachable
@@ -116,6 +192,15 @@ impl Cluster {
     fn local_current_major(&self, via: NodeId, seg: SegmentId) -> Option<u64> {
         let srv = self.server(via);
         let local = srv.latest_major(seg)?;
+        // Single-major fast path: a second major for `seg` can only come
+        // from §3.5 token generation, which records the new major's
+        // branch point *before* installing any replica of it — so an
+        // empty branch table proves no server anywhere holds a newer
+        // major, and the membership scan below (a handful of lock
+        // rounds per read on the lock-free path) is provably redundant.
+        if self.branches.with(&seg, |t| t.map_or(0, |t| t.branch_count())) == 0 {
+            return Some(local);
+        }
         let newer_than_local = |s: NodeId| {
             s != via
                 && self.net.reachable(via, s)
@@ -125,8 +210,11 @@ impl Cluster {
             .group_cache
             .get(&seg)
             .or_else(|| self.groups.lookup(&crate::cluster::group_name(seg)));
-        let superseded = match gid.and_then(|g| self.groups.members_vec(g)) {
-            Some(members) => members.into_iter().any(newer_than_local),
+        // Allocation-free membership scan: the predicate runs under the
+        // group table's read lock and only touches leaf locks (network
+        // reachability, replica slot locks), never the table itself.
+        let superseded = match gid.and_then(|g| self.groups.any_member(g, newer_than_local)) {
+            Some(superseded) => superseded,
             None => self.servers.iter().any(|s| newer_than_local(s.id)),
         };
         if superseded {
@@ -163,16 +251,9 @@ impl Cluster {
         if !srv.holds_token(key) {
             return None;
         }
-        let served = srv.replicas.with_ref(&key, |r| {
-            let r = r?;
-            Some(ReadData {
-                data: r.data.read(offset, count),
-                version: r.version,
-                segment_len: r.data.len(),
-                served_by: via,
-            })
-        })?;
-        srv.replicas.note_read(key, self.now());
+        let served = srv
+            .replicas
+            .with_ref_served(&key, self.now(), |r| Some(copy_out(r?, via, offset, count)))?;
         Some(OpResult { value: served, latency: self.cfg.local_read })
     }
 
@@ -186,20 +267,27 @@ impl Cluster {
     ) -> DeceitResult<(ReadData, SimDuration)> {
         let (key, mut latency) = self.resolve_key(via, seg, major)?;
 
-        if self.server(via).replicas.contains(&key) {
-            let state = self.server(via).replicas.with_ref(&key, |r| r.map(|r| r.state)).unwrap();
-            match state {
-                ReplicaState::Stable => {
-                    latency += self.cfg.local_read;
-                    let data = self.serve_local(via, key, offset, count);
-                    self.stats.incr("core/reads/local");
-                    return Ok((data, latency));
-                }
-                ReplicaState::Unstable => {
-                    // Forward to the token holder (§3.4).
-                    return self.forward_to_token_holder(via, key, offset, count, latency);
-                }
+        // One probe decides the local case: a `contains` check followed by
+        // a separate state read would race a concurrent replica deletion
+        // (LRU extra-replica deletion, recovery destruction) between the
+        // two lookups. A vanished replica simply falls through to the
+        // no-local-replica forwarding below.
+        let local_state = self.server(via).replicas.with_ref(&key, |r| r.map(|r| r.state));
+        match local_state {
+            Some(ReplicaState::Stable) => {
+                latency += self.cfg.local_read;
+                let data = self.serve_local(via, key, offset, count);
+                self.stats.incr("core/reads/local");
+                return Ok((data, latency));
             }
+            Some(ReplicaState::Unstable) => {
+                // Forward to the token holder (§3.4) — and, when enabled,
+                // queue one targeted catch-up so a laggard the stabilize
+                // horizon missed stops costing every read a forward.
+                self.schedule_read_repair(via, key);
+                return self.forward_to_token_holder(via, key, offset, count, latency);
+            }
+            None => {}
         }
 
         // No local replica: forward to a reachable replica holder (§2.1),
@@ -241,12 +329,14 @@ impl Cluster {
         }
 
         // If the target's copy is unstable the chain continues to the
-        // token holder from there.
+        // token holder from there — and the target is a repair candidate
+        // for the same reason `via`'s own unstable replica is above.
         let target_unstable = self
             .server(target)
             .replicas
             .with_ref(&key, |r| r.map(|r| !r.is_stable()).unwrap_or(false));
         if target_unstable {
+            self.schedule_read_repair(target, key);
             return self.forward_to_token_holder(via, key, offset, count, latency);
         }
 
@@ -341,14 +431,36 @@ impl Cluster {
             *m
         } else {
             // Force the most up-to-date replica stable; destroy obsolete
-            // ones.
-            let (best, best_version, _) =
-                *available.iter().max_by_key(|(_, v, _)| (v.sub, v.major)).unwrap();
-            self.set_replica_state(best, key, ReplicaState::Stable);
+            // ones. "Most up to date" is a history-tree judgment: where
+            // majors diverge the branch table decides (a descendant
+            // history embeds every update of its ancestor, whatever the
+            // subversion counters say — an old-major replica with many
+            // subversions must still lose to a newer-major descendant),
+            // and only incomparable histories fall back to the highest
+            // `(major, sub)` pair, never to subversion-first ordering.
+            let table = self.branch_table_snapshot(key.0);
+            let (best, best_version, _) = *available
+                .iter()
+                .max_by(|(_, va, _), (_, vb, _)| match table.relation(*va, *vb) {
+                    VersionRelation::Ancestor => std::cmp::Ordering::Less,
+                    VersionRelation::Descendant => std::cmp::Ordering::Greater,
+                    VersionRelation::Equal => std::cmp::Ordering::Equal,
+                    VersionRelation::Incomparable => (va.major, va.sub).cmp(&(vb.major, vb.sub)),
+                })
+                .unwrap();
             for (m, v, _) in &available {
-                if *m != best && *v != best_version {
-                    self.server(*m).replicas.delete_sync(&key);
-                    self.server(*m).drop_receiver(&key);
+                if *v == best_version {
+                    // The winner — and every survivor already at the
+                    // winning version. Marking only the winner would
+                    // leave equal-version replicas unstable, sending the
+                    // very next read through this forcing path again.
+                    self.set_replica_state(*m, key, ReplicaState::Stable);
+                } else {
+                    // The canonical destruction path: lease removed
+                    // *before* the replica it covers disappears, plus the
+                    // outbound/repair cleanup a hand-rolled delete would
+                    // miss.
+                    self.destroy_replica(*m, key);
                     self.emit(ProtocolEvent::ReplicaDeleted { seg: key.0, on: *m });
                     self.stats.incr("core/replicas/destroyed_obsolete");
                 }
@@ -366,6 +478,115 @@ impl Cluster {
         Ok((data, latency))
     }
 
+    /// Queues one targeted catch-up for a lagging, unstable replica at
+    /// `laggard` (`ClusterConfig::opt_read_repair`). Single-flighted per
+    /// (server, file): the read that met the laggard forwards as usual,
+    /// and one deferred repair makes the *next* reads local again —
+    /// instead of every read forwarding until the next stabilize round
+    /// happens to cover the laggard.
+    pub(crate) fn schedule_read_repair(&self, laggard: NodeId, key: ReplicaKey) {
+        if !self.cfg.opt_read_repair {
+            return;
+        }
+        // The holder's replica is the primary: nothing to repair it from.
+        if self.server(laggard).holds_token(key) {
+            return;
+        }
+        if self.server(laggard).repairs.insert(key, ()).is_some() {
+            return; // a repair for this replica is already in flight
+        }
+        // Due-gated like a pipeline drain: the due time is a damping
+        // window, not a validity condition — fired instantly, an active
+        // stream would turn every forwarded read into a schedule/no-op
+        // cycle on the pump.
+        self.events.push(
+            self.now() + self.cfg.lazy_apply_delay,
+            Pending::ReadRepair { server: laggard, key },
+        );
+        self.stats.incr("core/reads/repairs_scheduled");
+    }
+
+    /// The deferred read-repair handler: state-transfers `laggard` from
+    /// the durable primary and marks it stable — one member's worth of
+    /// the §3.4 stabilize round, on demand.
+    ///
+    /// The repair stands down (without rescheduling itself; the next
+    /// forwarded read re-arms it) whenever the world moved on while it
+    /// was queued: the laggard crashed, was destroyed, or became the
+    /// holder; no token holder is reachable (token loss belongs to the
+    /// §3.6 machinery); or the stream is still active — mid-stream the
+    /// group is *deliberately* unstable, a catch-up would lag again by
+    /// the next buffered update, and marking the laggard stable would
+    /// let it skip the next mark-unstable round and serve stale reads.
+    pub(crate) fn read_repair(&self, laggard: NodeId, key: ReplicaKey) {
+        self.server(laggard).repairs.remove(&key);
+        if !self.net.is_up(laggard) || self.server(laggard).holds_token(key) {
+            return;
+        }
+        let lag = self.server(laggard).replicas.with_ref(&key, |r| r.map(|r| (r.version, r.state)));
+        let Some((lag_version, lag_state)) = lag else {
+            return; // destroyed while the repair was queued
+        };
+        let Some(holder) = self.find_reachable_token_holder(laggard, key) else {
+            return;
+        };
+        let streaming =
+            self.server(holder).streams.get(&key).map(|s| s.group_unstable).unwrap_or(false);
+        if streaming {
+            return;
+        }
+        let Some(token_version) =
+            self.server(holder).tokens.with_ref(&key, |t| t.map(|t| t.version))
+        else {
+            return; // token destroyed between the scan and the read
+        };
+        if lag_version == token_version {
+            // Data already current — only the stable marker is missing
+            // (a stabilize broadcast that never reached this member).
+            if lag_state != ReplicaState::Stable {
+                self.set_replica_state(laggard, key, ReplicaState::Stable);
+                self.stats.incr("core/reads/repairs");
+                self.emit(ProtocolEvent::ReadRepaired { seg: key.0, on: laggard });
+            }
+            return;
+        }
+        // Catch up from the primary, exactly as the stabilize round
+        // catches up a lagging member (§3.4): whole-state transfer, then
+        // stable. The primary must itself be settled at the token's
+        // version — it always is outside a stream, but a token freshly
+        // passed mid-recovery may not be; a later read re-arms us.
+        let Some(src) = self.server(holder).replicas.get(&key) else {
+            return;
+        };
+        if src.version != token_version {
+            return;
+        }
+        let blast = self.cfg.blast;
+        if deceit_isis::xfer::transfer_state(
+            &self.net,
+            &blast,
+            holder,
+            laggard,
+            src.data.len() as u64,
+            "replica-xfer",
+        )
+        .duration()
+        .is_none()
+        {
+            return; // unreachable after all; nothing changed
+        }
+        // `get` above already returned an owned copy of the primary's
+        // replica: refresh its metadata in place rather than cloning the
+        // whole segment a second time.
+        let mut fresh = src;
+        fresh.last_access = self.now();
+        fresh.state = ReplicaState::Stable;
+        self.server(laggard).replicas.put_sync(key, fresh);
+        self.server(laggard).drop_receiver(&key);
+        self.stats.incr("core/reads/repairs");
+        self.emit(ProtocolEvent::ReadRepaired { seg: key.0, on: laggard });
+    }
+
     /// Serves a read from a server's local replica, updating its access
     /// time (LRU input).
     pub(crate) fn serve_local(
@@ -376,23 +597,15 @@ impl Cluster {
         count: usize,
     ) -> ReadData {
         let now = self.now();
-        // Copy the requested range out under one slot-lock acquisition;
-        // the LRU access-time touch goes through the side buffer (the
-        // same mechanism the lock-free fast path uses) and folds in at
-        // the next engine entry covering this slot — no value clone, no
-        // forced metadata write.
+        // Copy the requested range out and record the LRU access-time
+        // touch under one slot-lock acquisition; the touch goes through
+        // the side buffer (the same mechanism the lock-free fast path
+        // uses) and folds in at the next engine entry covering this slot
+        // — no value clone, no forced metadata write.
         let srv = self.server(server);
-        let data = srv.replicas.with_ref(&key, |r| {
-            let r = r.expect("serve_local requires a replica");
-            ReadData {
-                data: r.data.read(offset, count),
-                version: r.version,
-                segment_len: r.data.len(),
-                served_by: server,
-            }
-        });
-        srv.replicas.note_read(key, now);
-        data
+        srv.replicas
+            .with_ref_served(&key, now, |r| Some(copy_out(r?, server, offset, count)))
+            .expect("serve_local requires a replica")
     }
 
     /// One request/response exchange between two servers.

@@ -281,11 +281,15 @@ impl Cluster {
     }
 
     /// Removes one replica locally, along with any outbound update
-    /// buffer still queued against it (nothing left to propagate to).
+    /// buffer still queued against it (nothing left to propagate to),
+    /// any read lease published on it, and any pending repair flag (the
+    /// queued repair finds the replica gone and stands down).
     pub(crate) fn destroy_replica(&self, server: NodeId, key: ReplicaKey) {
+        self.server(server).leases.remove(&key);
         self.server(server).replicas.delete_sync(&key);
         self.server(server).drop_receiver(&key);
         self.server(server).outbound.remove(&key);
+        self.server(server).repairs.remove(&key);
         self.stats.incr("core/recovery/replicas_destroyed");
     }
 

@@ -127,6 +127,10 @@ impl Cluster {
             }
         }
         self.set_replica_state(holder, key, ReplicaState::Stable);
+        // The stream is over: retire its read lease. The stable marker
+        // set above already routes the holder's reads through the
+        // ordinary fast path, so the lease has nothing left to assert.
+        self.server(holder).leases.remove(&key);
         self.server(holder).streams.with(&key, |stream| {
             if let Some(stream) = stream {
                 stream.group_unstable = false;

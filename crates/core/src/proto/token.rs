@@ -108,6 +108,13 @@ impl Cluster {
         key: ReplicaKey,
     ) -> DeceitResult<SimDuration> {
         let mut latency = SimDuration::ZERO;
+        // Revoke the holder-local read lease *first*: the lease asserts
+        // "my replica is the stream's acked prefix", which stops being
+        // maintainable the moment the token starts moving. The lock-free
+        // read path re-checks the lease after its copy-out, so removing
+        // it before any token state changes guarantees no reader serves
+        // across the movement (see `Cluster::try_read_leased`).
+        self.server(holder).leases.remove(&key);
         let mut token =
             self.server(holder).tokens.get(&key).ok_or(DeceitError::WriteUnavailable(key.0))?;
 

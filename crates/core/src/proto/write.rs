@@ -179,6 +179,18 @@ impl Cluster {
             self.schedule_flush(via, key.0);
         }
 
+        // Publish (or advance) the holder-local read lease: the replica
+        // now embeds everything through `new_version`, which is exactly
+        // the acked durable prefix once this write returns. Granted
+        // *after* the apply, so a lock-free reader in the window between
+        // them sees a version/lease mismatch and falls back — never a
+        // prefix ahead of the lease. Only streams under §3.4 stability
+        // need it: without stability the holder's replica stays stable
+        // and the ordinary fast path serves it.
+        if self.cfg.opt_read_leases && params.stability {
+            self.server(via).leases.insert(key, crate::server::ReadLease { version: new_version });
+        }
+
         // Advance the token's version pair — folding in the availability
         // check so the token hits storage once. §3.5: "Some of a server's
         // non-volatile storage is updated immediately when values change,

@@ -59,6 +59,29 @@ pub(crate) struct OutboundStream {
     pub scheduled: bool,
 }
 
+/// Volatile, holder-side read lease on one unstable replica
+/// (`ClusterConfig::opt_read_leases`).
+///
+/// While a write stream keeps a file's group unstable, §3.4 forwards
+/// every *other* server's reads to the token holder — but the holder
+/// itself answers directly, and its replica is the primary copy. The
+/// lease is the holder's published promise that its local replica is
+/// exactly the acked durable prefix of the stream, so the lock-free read
+/// fast path ([`crate::Cluster::try_read_local`]) can serve it without
+/// ring locks. The fast path re-reads the lease after copying the data
+/// out and declines on any change (a seqlock-style sandwich), so the
+/// invalidation discipline is simply *remove before the fact it asserts
+/// stops holding*: [token movement](crate::Cluster) removes the lease
+/// before the token leaves, stabilize removes it when the stream ends,
+/// and a crash clears it with the rest of the volatile state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadLease {
+    /// The version pair of the stream's acked durable prefix: the fast
+    /// path serves the local replica only while its version equals this
+    /// exactly.
+    pub version: crate::version::VersionPair,
+}
+
 /// Volatile, holder-side state of an active write stream on one replica.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StreamState {
@@ -100,6 +123,14 @@ pub struct ServerState {
     /// Volatile: per-file outbound update buffers of the asynchronous
     /// write pipeline (empty unless `opt_write_pipeline` is on).
     pub(crate) outbound: ShardedMap<ReplicaKey, OutboundStream>,
+    /// Volatile: per-file read leases published while this server holds
+    /// the token of an unstable replica (empty unless `opt_read_leases`
+    /// is on).
+    pub(crate) leases: ShardedMap<ReplicaKey, ReadLease>,
+    /// Volatile: replica keys with a read-repair catch-up already queued
+    /// for this server, so a burst of reads against one laggard schedules
+    /// one repair, not one per read (`opt_read_repair` single-flighting).
+    pub(crate) repairs: ShardedMap<ReplicaKey, ()>,
     /// Count of client operations served by this server (load accounting).
     pub ops_served: AtomicU64,
 }
@@ -117,6 +148,8 @@ impl ServerState {
             fd: Mutex::new(FailureDetector::new()),
             streams: ShardedMap::new(shards),
             outbound: ShardedMap::new(shards),
+            leases: ShardedMap::new(shards),
+            repairs: ShardedMap::new(shards),
             ops_served: AtomicU64::new(0),
         }
     }
@@ -136,6 +169,8 @@ impl ServerState {
         *self.fd.lock().unwrap_or_else(|e| e.into_inner()) = FailureDetector::new();
         self.streams.clear();
         self.outbound.clear();
+        self.leases.clear();
+        self.repairs.clear();
     }
 
     /// Whether this server stores any replica of `seg` (any major).
@@ -215,10 +250,17 @@ mod tests {
         s.replicas.put_sync((seg, 0), Replica::new(0, FileParams::default(), SimTime::ZERO));
         s.group_cache.insert(seg, deceit_isis::GroupId(5));
         s.streams.insert((seg, 0), StreamState::default());
+        s.leases.insert(
+            (seg, 0),
+            ReadLease { version: crate::version::VersionPair { major: 0, sub: 3 } },
+        );
+        s.repairs.insert((seg, 0), ());
         s.crash();
         assert!(s.has_segment(seg), "durable replica survives");
         assert!(s.group_cache.is_empty());
         assert!(s.streams.is_empty());
+        assert!(s.leases.is_empty(), "read leases are volatile");
+        assert!(s.repairs.is_empty(), "repair single-flight flags are volatile");
     }
 
     #[test]

@@ -103,6 +103,14 @@ pub enum ProtocolEvent {
         /// The incomparable major version numbers.
         majors: (u64, u64),
     },
+    /// A lagging replica was caught up from the durable primary by a
+    /// read-scheduled repair (`ClusterConfig::opt_read_repair`).
+    ReadRepaired {
+        /// Segment involved.
+        seg: SegmentId,
+        /// The repaired (formerly lagging) server.
+        on: NodeId,
+    },
     /// An obsolete version/replica was destroyed during recovery (§3.6).
     ObsoleteDestroyed {
         /// Segment involved.
@@ -128,6 +136,7 @@ impl ProtocolEvent {
             | ProtocolEvent::MarkedStable { seg }
             | ProtocolEvent::ReadForwarded { seg, .. }
             | ProtocolEvent::ConflictLogged { seg, .. }
+            | ProtocolEvent::ReadRepaired { seg, .. }
             | ProtocolEvent::ObsoleteDestroyed { seg, .. } => *seg,
         }
     }

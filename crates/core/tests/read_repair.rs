@@ -1,0 +1,363 @@
+//! Holder-local read leases (`ClusterConfig::opt_read_leases`) and
+//! targeted read-repair (`ClusterConfig::opt_read_repair`): the two
+//! mechanisms that recover the lock-free read path for files under
+//! active write streams — plus regression coverage for the
+//! forced-stabilize replica selection of §3.6.
+
+use deceit_core::{
+    Cluster, ClusterConfig, FileParams, Replica, ReplicaState, SegmentId, VersionPair, WriteOp,
+};
+use deceit_net::NodeId;
+use deceit_sim::SimTime;
+
+fn n(v: u32) -> NodeId {
+    NodeId(v)
+}
+
+/// A 3-server cell with the live runtime's read optimizations on
+/// (pipeline + leases + repair), one segment replicated 3×, settled.
+fn leased_cell() -> (Cluster, SegmentId) {
+    let cfg =
+        ClusterConfig::deterministic().with_write_pipeline().with_read_leases().with_read_repair();
+    let mut c = Cluster::new(3, cfg);
+    let seg = c.create(n(0)).unwrap().value;
+    c.set_params(n(0), seg, FileParams { min_replicas: 3, ..FileParams::default() }).unwrap();
+    c.run_until_quiet();
+    c.write(n(0), seg, WriteOp::replace(b"initial"), None).unwrap();
+    c.run_until_quiet();
+    (c, seg)
+}
+
+// ---------------------------------------------------------------------
+// Holder-local read leases
+// ---------------------------------------------------------------------
+
+/// During a write stream the token holder's replica is unstable, yet the
+/// lock-free fast path serves it — against the published lease, at the
+/// acked durable prefix, byte-for-byte what the full read path returns.
+/// Non-holders still decline (their reads must forward, §3.4).
+#[test]
+fn lease_serves_holders_unstable_file_lock_free() {
+    let (mut c, seg) = leased_cell();
+    let key = (seg, 0u64);
+    c.write(n(0), seg, WriteOp::replace(b"mid-stream state"), None).unwrap();
+
+    // The stream is active: the holder's replica is unstable and the
+    // lease names exactly the acked version.
+    let holder = c.server(n(0)).replicas.get(&key).unwrap();
+    assert_eq!(holder.state, ReplicaState::Unstable);
+    assert_eq!(c.read_lease_version(n(0), key), Some(holder.version));
+
+    let fast = c.try_read_local(n(0), seg, None, 0, 64).expect("lease must serve the holder");
+    assert_eq!(&fast.value.data[..], b"mid-stream state");
+    assert_eq!(fast.value.version, holder.version);
+
+    // Non-holders have no lease and an unstable replica: decline.
+    assert!(c.try_read_local(n(1), seg, None, 0, 64).is_none());
+    assert!(c.try_read_local(n(2), seg, None, 0, 64).is_none());
+
+    // The full (exclusive) path agrees byte for byte.
+    let slow = c.read(n(0), seg, None, 0, 64).unwrap();
+    assert_eq!(fast.value.data, slow.value.data);
+}
+
+/// The lease is strictly opt-in: with the paper-faithful default, the
+/// fast path declines the holder's unstable file exactly as before.
+#[test]
+fn lease_requires_opt_in() {
+    let mut c = Cluster::new(3, ClusterConfig::deterministic().with_write_pipeline());
+    let seg = c.create(n(0)).unwrap().value;
+    c.set_params(n(0), seg, FileParams { min_replicas: 3, ..FileParams::default() }).unwrap();
+    c.run_until_quiet();
+    c.write(n(0), seg, WriteOp::replace(b"no lease"), None).unwrap();
+    assert_eq!(c.read_lease_version(n(0), (seg, 0)), None);
+    assert!(c.try_read_local(n(0), seg, None, 0, 64).is_none());
+}
+
+/// Every lease-served read observes exactly the acked prefix of the
+/// stream: after each acked write, the fast path returns precisely the
+/// bytes acked so far — never a torn or stale intermediate.
+#[test]
+fn reads_during_stream_return_only_acked_prefixes() {
+    let (mut c, seg) = leased_cell();
+    let mut expect = b"initial".to_vec();
+    for i in 0..12 {
+        let chunk = format!("[w{i}]").into_bytes();
+        c.write(n(0), seg, WriteOp::append(&chunk), None).unwrap();
+        expect.extend_from_slice(&chunk);
+        let read = c.try_read_local(n(0), seg, None, 0, 4096).expect("lease serves the stream");
+        assert_eq!(
+            read.value.data.to_vec(),
+            expect,
+            "read after write {i} is not the acked prefix"
+        );
+    }
+}
+
+/// Stabilize retires the lease: once the stream goes quiet and the group
+/// is marked stable, the lease is gone and the ordinary stable path
+/// serves every replica.
+#[test]
+fn lease_invalidated_on_stabilize() {
+    let (mut c, seg) = leased_cell();
+    let key = (seg, 0u64);
+    c.write(n(0), seg, WriteOp::replace(b"quiet soon"), None).unwrap();
+    assert!(c.read_lease_version(n(0), key).is_some());
+
+    c.run_until_quiet();
+    assert_eq!(c.read_lease_version(n(0), key), None, "stabilize must retire the lease");
+    for s in [n(0), n(1), n(2)] {
+        assert_eq!(c.server(s).replicas.get(&key).unwrap().state, ReplicaState::Stable);
+        let read = c.try_read_local(s, seg, None, 0, 64).expect("stable path serves");
+        assert_eq!(&read.value.data[..], b"quiet soon");
+    }
+}
+
+/// Token movement revokes the lease at the old holder before the token
+/// leaves, and the new holder publishes its own on its next write.
+#[test]
+fn lease_invalidated_on_token_movement() {
+    let (mut c, seg) = leased_cell();
+    let key = (seg, 0u64);
+    c.write(n(0), seg, WriteOp::replace(b"holder zero"), None).unwrap();
+    assert!(c.read_lease_version(n(0), key).is_some());
+
+    // A write via server 1 moves the token there mid-stream.
+    c.write(n(1), seg, WriteOp::replace(b"holder one"), None).unwrap();
+    assert!(c.server(n(1)).holds_token(key));
+
+    assert_eq!(c.read_lease_version(n(0), key), None, "old holder's lease must be revoked");
+    assert!(c.try_read_local(n(0), seg, None, 0, 64).is_none(), "old holder must decline");
+    let read = c.try_read_local(n(1), seg, None, 0, 64).expect("new holder's lease serves");
+    assert_eq!(&read.value.data[..], b"holder one");
+}
+
+/// The lease is volatile: a holder crash erases it with the rest of the
+/// volatile state, and recovery re-stabilizes the group from the durable
+/// primary — after which the ordinary stable path serves again.
+#[test]
+fn lease_dies_with_the_holder() {
+    let (mut c, seg) = leased_cell();
+    let key = (seg, 0u64);
+    c.write(n(0), seg, WriteOp::replace(b"acked then crashed"), None).unwrap();
+    assert!(c.read_lease_version(n(0), key).is_some());
+
+    c.crash_server(n(0));
+    assert_eq!(c.read_lease_version(n(0), key), None, "the lease is volatile");
+    assert!(c.try_read_local(n(0), seg, None, 0, 64).is_none(), "a crashed server never serves");
+
+    c.recover_server(n(0));
+    c.run_until_quiet();
+    assert_eq!(c.read_lease_version(n(0), key), None);
+    let read = c.try_read_local(n(0), seg, None, 0, 64).expect("stable after recovery");
+    assert_eq!(&read.value.data[..], b"acked then crashed");
+}
+
+// ---------------------------------------------------------------------
+// Read-repair
+// ---------------------------------------------------------------------
+
+/// Builds the laggard scenario: server 2 is marked unstable by the
+/// stream's first write, then transiently unreachable through the
+/// propagation drain *and* the stabilize round, then reachable again —
+/// lagging, unstable, with nothing pending to ever catch it up.
+fn orphaned_laggard() -> (Cluster, SegmentId) {
+    let (mut c, seg) = leased_cell();
+    c.write(n(0), seg, WriteOp::replace(b"stream v1"), None).unwrap();
+    assert_eq!(
+        c.server(n(2)).replicas.get(&(seg, 0)).unwrap().state,
+        ReplicaState::Unstable,
+        "the unstable round must have reached server 2 before it drops out"
+    );
+    c.split(&[&[n(0), n(1)], &[n(2)]]);
+    c.write(n(0), seg, WriteOp::append(b" + v2"), None).unwrap();
+    // Propagation and the stabilize round both run while 2 is cut off.
+    c.run_until_quiet();
+    // Transport-level heal only: this models transient unreachability
+    // that never escalated to the §3.6 reconciliation a real partition
+    // heal performs — exactly the window where reads used to forward
+    // forever.
+    c.net.heal();
+    let laggard = c.server(n(2)).replicas.get(&(seg, 0)).unwrap();
+    assert_eq!(laggard.state, ReplicaState::Unstable, "the stabilize round must have missed 2");
+    assert_eq!(&laggard.data.contents()[..], b"initial", "2 must have missed every batch");
+    (c, seg)
+}
+
+/// A read that meets the laggard forwards (correct bytes immediately),
+/// queues exactly one repair however many reads pile on, and after the
+/// repair fires the laggard is caught up, stable, and locally servable.
+#[test]
+fn read_repair_catches_up_laggard_after_missed_stabilize() {
+    let (mut c, seg) = orphaned_laggard();
+    let key = (seg, 0u64);
+
+    // Reads at the laggard forward to the holder — right bytes, wrong
+    // path — and arm one single-flighted repair.
+    let r = c.read(n(2), seg, None, 0, 64).unwrap();
+    assert_eq!(&r.value.data[..], b"stream v1 + v2");
+    assert_eq!(c.stats.counter("core/reads/repairs_scheduled"), 1);
+    let r = c.read(n(2), seg, None, 0, 64).unwrap();
+    assert_eq!(&r.value.data[..], b"stream v1 + v2");
+    assert_eq!(c.stats.counter("core/reads/repairs_scheduled"), 1, "repairs are single-flighted");
+
+    // The deferred repair state-transfers the laggard from the durable
+    // primary and marks it stable.
+    c.run_until_quiet();
+    assert_eq!(c.stats.counter("core/reads/repairs"), 1);
+    let repaired = c.server(n(2)).replicas.get(&key).unwrap();
+    assert_eq!(repaired.state, ReplicaState::Stable);
+    assert_eq!(&repaired.data.contents()[..], b"stream v1 + v2");
+
+    // The lock-free path is recovered: no more forwarding.
+    let fast = c.try_read_local(n(2), seg, None, 0, 64).expect("repaired replica serves locally");
+    assert_eq!(&fast.value.data[..], b"stream v1 + v2");
+    let forwarded_before = c.stats.counter("core/reads/forwarded_unstable");
+    let _ = c.read(n(2), seg, None, 0, 64).unwrap();
+    assert_eq!(c.stats.counter("core/reads/forwarded_unstable"), forwarded_before);
+}
+
+/// Without the opt flag the laggard stays unstable indefinitely and
+/// every read keeps forwarding — the pre-repair behavior this PR closes.
+#[test]
+fn without_read_repair_laggard_forwards_forever() {
+    let cfg = ClusterConfig::deterministic().with_write_pipeline();
+    let mut c = Cluster::new(3, cfg);
+    let seg = c.create(n(0)).unwrap().value;
+    c.set_params(n(0), seg, FileParams { min_replicas: 3, ..FileParams::default() }).unwrap();
+    c.run_until_quiet();
+    c.write(n(0), seg, WriteOp::replace(b"stream v1"), None).unwrap();
+    c.split(&[&[n(0), n(1)], &[n(2)]]);
+    c.write(n(0), seg, WriteOp::append(b" + v2"), None).unwrap();
+    c.run_until_quiet();
+    c.net.heal();
+
+    for _ in 0..3 {
+        let r = c.read(n(2), seg, None, 0, 64).unwrap();
+        assert_eq!(&r.value.data[..], b"stream v1 + v2");
+    }
+    c.run_until_quiet();
+    assert_eq!(c.stats.counter("core/reads/repairs_scheduled"), 0);
+    assert_eq!(
+        c.server(n(2)).replicas.get(&(seg, 0)).unwrap().state,
+        ReplicaState::Unstable,
+        "without repair the laggard waits for a stabilize round that never comes"
+    );
+}
+
+/// Mid-stream the repair stands down: the group is deliberately unstable
+/// while updates flow, and the stabilize round owns the stream's end. A
+/// repair that fired early must not mark anything stable.
+#[test]
+fn read_repair_defers_while_stream_active() {
+    let (mut c, seg) = leased_cell();
+    let key = (seg, 0u64);
+    c.write(n(0), seg, WriteOp::replace(b"still streaming"), None).unwrap();
+
+    // A read via a (current-stream, unstable) member forwards and arms
+    // a repair.
+    let r = c.read(n(1), seg, None, 0, 64).unwrap();
+    assert_eq!(&r.value.data[..], b"still streaming");
+    assert_eq!(c.stats.counter("core/reads/repairs_scheduled"), 1);
+
+    // Advance just past the repair's damping window — well short of the
+    // stability timeout, so the stream is still formally active.
+    c.advance(c.cfg.lazy_apply_delay + c.cfg.lazy_apply_delay);
+    assert_eq!(c.stats.counter("core/reads/repairs"), 0, "mid-stream repair must stand down");
+    assert_eq!(c.server(n(1)).replicas.get(&key).unwrap().state, ReplicaState::Unstable);
+
+    // The stream's own stabilize round — not the repair — finishes it.
+    c.run_until_quiet();
+    assert_eq!(c.stats.counter("core/reads/repairs"), 0);
+    assert_eq!(c.server(n(1)).replicas.get(&key).unwrap().state, ReplicaState::Stable);
+}
+
+// ---------------------------------------------------------------------
+// Forced-stabilize replica selection (§3.6 regression coverage)
+// ---------------------------------------------------------------------
+
+/// Plants a replica with a hand-built version at one server (the §3.6
+/// "disastrous failure" states the forced-stabilize path must survive).
+fn plant(c: &Cluster, at: NodeId, key: (SegmentId, u64), version: VersionPair, data: &[u8]) {
+    let mut r = Replica::new(version.major, FileParams::default(), SimTime::ZERO);
+    r.version = version;
+    r.state = ReplicaState::Unstable;
+    r.data.append(data);
+    c.server(at).replicas.put_sync(key, r);
+}
+
+/// The forced-stabilize winner is a history-tree judgment: an old-major
+/// replica with many subversions must lose to a newer-major *descendant*
+/// (which embeds every one of its updates), not win on raw subversion
+/// count — and the ancestor is the copy destroyed as obsolete.
+#[test]
+fn forced_stabilize_prefers_descendant_over_high_sub_ancestor() {
+    let mut c = Cluster::new(3, ClusterConfig::deterministic());
+    let seg = c.create(n(0)).unwrap().value;
+    c.set_params(n(0), seg, FileParams { min_replicas: 3, ..FileParams::default() }).unwrap();
+    c.run_until_quiet();
+    let key = (seg, 0u64);
+
+    // Server 1: the old-major history at subversion 9. Server 2: a
+    // descendant that branched off it (major 2, subversion 1). The
+    // branch table records the lineage, exactly as §3.5 requires.
+    plant(&c, n(1), key, VersionPair { major: 0, sub: 9 }, b"high-sub ancestor");
+    plant(&c, n(2), key, VersionPair { major: 2, sub: 1 }, b"descendant history");
+    c.with_branch_table(seg, |t| t.record_branch(2, VersionPair { major: 0, sub: 9 }));
+
+    // No reachable token holder: the read must force a stable replica.
+    c.crash_server(n(0));
+    let r = c.read(n(1), seg, Some(0), 0, 64).unwrap();
+    assert_eq!(
+        &r.value.data[..],
+        b"descendant history",
+        "the descendant must win the forced stabilize, whatever the subversion counters say"
+    );
+    assert_eq!(c.stats.counter("core/reads/stable_search"), 1);
+    assert_eq!(
+        c.server(n(2)).replicas.get(&key).unwrap().state,
+        ReplicaState::Stable,
+        "the winner is forced stable"
+    );
+    assert!(
+        c.server(n(1)).replicas.get(&key).is_none(),
+        "the obsolete ancestor must be destroyed, not crowned"
+    );
+    assert_eq!(c.stats.counter("core/replicas/destroyed_obsolete"), 1);
+}
+
+/// Survivors whose version *equals* the winner's are marked stable too:
+/// the next read must serve locally instead of re-entering the forcing
+/// path (and paying its broadcast round) every time.
+#[test]
+fn forced_stabilize_marks_equal_version_survivors_stable() {
+    let mut c = Cluster::new(3, ClusterConfig::deterministic());
+    let seg = c.create(n(0)).unwrap().value;
+    c.set_params(n(0), seg, FileParams { min_replicas: 3, ..FileParams::default() }).unwrap();
+    c.write(n(0), seg, WriteOp::replace(b"settled"), None).unwrap();
+    c.run_until_quiet();
+    let key = (seg, 0u64);
+    let version = c.server(n(1)).replicas.get(&key).unwrap().version;
+
+    // Both surviving replicas are current but unstable (a stream whose
+    // holder died before the stabilize round).
+    plant(&c, n(1), key, version, b"settled");
+    plant(&c, n(2), key, version, b"settled");
+    c.crash_server(n(0));
+
+    let r = c.read(n(1), seg, Some(0), 0, 64).unwrap();
+    assert_eq!(&r.value.data[..], b"settled");
+    assert_eq!(c.stats.counter("core/reads/stable_search"), 1);
+    for s in [n(1), n(2)] {
+        assert_eq!(
+            c.server(s).replicas.get(&key).unwrap().state,
+            ReplicaState::Stable,
+            "every equal-version survivor must come out of the forcing path stable"
+        );
+    }
+
+    // The next read — via either survivor — is local, no second search.
+    let r = c.read(n(2), seg, Some(0), 0, 64).unwrap();
+    assert_eq!(&r.value.data[..], b"settled");
+    assert_eq!(c.stats.counter("core/reads/stable_search"), 1, "one forcing round, not two");
+}

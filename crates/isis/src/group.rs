@@ -186,6 +186,15 @@ impl GroupTable {
         self.read().groups.get(&id).map(|g| g.view.members.len()).unwrap_or(0)
     }
 
+    /// Whether any current member of `id` satisfies `pred`, or `None`
+    /// if the group is gone — the allocation-free membership scan for
+    /// read hot paths that would otherwise pay a
+    /// [`GroupTable::members_vec`] per request. `pred` runs under the
+    /// table's read lock, so it must not call back into this table.
+    pub fn any_member(&self, id: GroupId, mut pred: impl FnMut(NodeId) -> bool) -> Option<bool> {
+        self.read().groups.get(&id).map(|g| g.view.members.iter().any(|&m| pred(m)))
+    }
+
     /// Looks a group up by name and returns its members in one lock
     /// acquisition — the common "who needs this broadcast" query.
     pub fn members_by_name(&self, name: &str) -> Option<(GroupId, Vec<NodeId>)> {

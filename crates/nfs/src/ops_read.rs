@@ -8,11 +8,15 @@
 //! Each exclusive (`&mut self`) operation has a shared (`&self`)
 //! `*_shared` twin built on [`Cluster::try_read_local`]: the twin
 //! answers exactly when the serving server locally holds a stable,
-//! current replica of every segment involved, and returns `None`
-//! otherwise so the host falls back to the exclusive path (which
-//! performs forwarding, cache updates, and clock accounting). When the
-//! twin does answer, it returns byte-for-byte what the exclusive path
-//! would have returned.
+//! current replica of every segment involved — or, under
+//! `ClusterConfig::opt_read_leases`, when it is the token holder of an
+//! *unstable* file mid-write-stream and its published read lease
+//! covers the replica (the §3.4 "reads are forwarded to the token
+//! holder" case where this server *is* the holder) — and returns
+//! `None` otherwise so the host falls back to the exclusive path
+//! (which performs forwarding, cache updates, and clock accounting).
+//! When the twin does answer, it returns byte-for-byte what the
+//! exclusive path would have returned.
 
 use bytes::Bytes;
 
@@ -445,6 +449,38 @@ mod tests {
             NfsError::NotFound
         );
         assert_eq!(fs.read_shared(via, root, 0, 8).unwrap().unwrap_err(), NfsError::IsDir);
+    }
+
+    /// Under `opt_read_leases`, the shared twins serve the token
+    /// holder's own file even mid-write-stream (unstable, lease
+    /// published) — and still defer for every other server, whose reads
+    /// must forward to the holder (§3.4).
+    #[test]
+    fn shared_path_serves_holder_under_write_stream_with_leases() {
+        use deceit_core::{ClusterConfig, FileParams};
+        let cfg = ClusterConfig::deterministic().with_write_pipeline().with_read_leases();
+        let mut fs = DeceitFs::new(3, cfg, crate::fs::FsConfig::default());
+        let root = fs.root();
+        let via = NodeId(0);
+        let attr = fs.create(via, root, "f", 0o644).unwrap().value;
+        fs.set_file_params(via, attr.handle, FileParams::important(3)).unwrap();
+        fs.cluster.run_until_quiet();
+        fs.write(via, attr.handle, 0, b"streaming").unwrap();
+
+        // The file is unstable (stream active), yet the holder's shared
+        // twins answer at the acked prefix — and match the exclusive
+        // path byte for byte.
+        let shared = fs.read_shared(via, attr.handle, 0, 64).expect("lease serves the holder");
+        assert_eq!(&shared.unwrap().value[..], b"streaming");
+        let shared_attr = fs.getattr_shared(via, attr.handle).expect("lease getattr").unwrap();
+        let exclusive_attr = fs.getattr(via, attr.handle).unwrap();
+        assert_eq!(shared_attr.value, exclusive_attr.value);
+        // Non-holders keep deferring: their reads must forward.
+        assert!(fs.read_shared(NodeId(1), attr.handle, 0, 64).is_none());
+        // And once the stream stabilizes, the ordinary stable path
+        // takes over everywhere.
+        fs.cluster.run_until_quiet();
+        assert!(fs.read_shared(NodeId(1), attr.handle, 0, 64).is_some());
     }
 
     /// Servers without a local replica defer to the exclusive

@@ -49,8 +49,19 @@ impl RuntimeConfig {
         // thread-scheduling hiccup would "quiet" an active stream and
         // thrash the stable/unstable rounds. Live hosting stretches the
         // horizon accordingly; `settle` still stabilizes everything.
-        let mut cluster =
-            ClusterConfig::default().without_trace().without_stats().with_write_pipeline();
+        // Read leases + read-repair recover the lock-free read path under
+        // write streams: the token holder serves its own unstable files
+        // at the acked durable prefix, and a read that meets a lagging
+        // replica queues one targeted catch-up instead of forwarding
+        // forever. Both off in the paper-faithful simulator default, on
+        // here — the differential suite runs both worlds with this same
+        // config, so sim and live exercise identical semantics.
+        let mut cluster = ClusterConfig::default()
+            .without_trace()
+            .without_stats()
+            .with_write_pipeline()
+            .with_read_leases()
+            .with_read_repair();
         cluster.stability_timeout = deceit_sim::SimDuration::from_secs(30);
         // The lazy-apply delay doubles as the pipeline's batching window
         // (a drain fires when the protocol clock reaches it); at ~20ms
@@ -111,6 +122,8 @@ mod tests {
         assert_eq!(cfg.servers, 5);
         assert!(!cfg.cluster.trace, "live hosting must not accumulate trace events");
         assert!(cfg.cluster.opt_write_pipeline, "live hosting pipelines replicated writes");
+        assert!(cfg.cluster.opt_read_leases, "live hosting serves holder-local read leases");
+        assert!(cfg.cluster.opt_read_repair, "live hosting repairs lagging replicas on read");
         assert!(cfg.request_timeout > cfg.poll_interval);
     }
 }

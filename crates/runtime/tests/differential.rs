@@ -332,6 +332,131 @@ fn crash_of_token_holder_mid_write_matches_sim_replay() {
     }
 }
 
+/// The readers-vs-write-stream stress differential: one writer streams
+/// appends through its file's token holder while reader threads hammer
+/// the same file concurrently — some homed on the holder (the
+/// holder-local read-lease path: lock-free serves of an unstable
+/// primary), some homed on another server (the §3.4 forwarding path,
+/// which arms read-repair). Every observed read must be *acked-prefix
+/// consistent*: exactly the concatenation of the first k chunks for
+/// some k, never torn, never shrinking within one reader's session.
+/// The simulator then replays the acked writes in order, and final
+/// contents, version, and replica count must match byte for byte.
+#[test]
+fn readers_vs_write_stream_matches_sim_replay() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const WRITES: usize = 60;
+    const READERS: usize = 3; // 2 on the holder (lease path), 1 remote
+
+    let cfg = RuntimeConfig::new(3);
+    let rt = deceit_runtime::ClusterRuntime::start(cfg.clone());
+    let home = rt.server_ids()[0];
+    let remote_home = rt.server_ids()[1];
+    let root = rt.client().root();
+
+    // Setup (mirrored in the replay): the streamed file, replicated 3x,
+    // warmed via the holder-to-be, settled stable.
+    let mut opener = rt.client_homed(home);
+    let attr = opener.create(root, "stream", 0o644).expect("create");
+    let fh = attr.handle;
+    opener.set_file_params(fh, deceit_core::FileParams::important(3)).expect("set replicas");
+    opener.write(fh, 0, b"warmup:").expect("warmup");
+    rt.settle();
+
+    // The full expected byte sequence and the set of valid acked-prefix
+    // lengths a read may observe.
+    let mut expected: Vec<u8> = b"warmup:".to_vec();
+    let mut valid_lens = vec![expected.len()];
+    for i in 0..WRITES {
+        expected.extend_from_slice(format!("[w{i}]").as_bytes());
+        valid_lens.push(expected.len());
+    }
+
+    let done = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            // Reader 2 sits on a non-holder: its reads forward around
+            // the unstable replica (and arm read-repair) instead of
+            // riding the lease.
+            let mut client = rt.client_homed(if r == READERS - 1 { remote_home } else { home });
+            let done = Arc::clone(&done);
+            let expected = expected.clone();
+            let valid_lens = valid_lens.clone();
+            std::thread::spawn(move || {
+                let mut last_len = 0usize;
+                let mut reads = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let data = client.read(fh, 0, 1 << 16).expect("concurrent stream read");
+                    assert!(
+                        valid_lens.contains(&data.len()),
+                        "reader {r} observed a torn length {} (not an acked prefix)",
+                        data.len()
+                    );
+                    assert_eq!(
+                        &data[..],
+                        &expected[..data.len()],
+                        "reader {r} observed bytes that are not the acked prefix"
+                    );
+                    assert!(
+                        data.len() >= last_len,
+                        "reader {r} went back in time: {} after {last_len}",
+                        data.len()
+                    );
+                    last_len = data.len();
+                    reads += 1;
+                }
+                reads
+            })
+        })
+        .collect();
+
+    let mut writer = rt.client_homed(home);
+    let mut offset = b"warmup:".len();
+    for i in 0..WRITES {
+        let chunk = format!("[w{i}]");
+        writer.write(fh, offset, chunk.as_bytes()).expect("stream write");
+        offset += chunk.len();
+    }
+    done.store(true, Ordering::Relaxed);
+    let total_reads: u64 = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+    assert!(total_reads > 0, "the readers must have observed the stream");
+    rt.settle();
+
+    let mut verifier = rt.client_homed(remote_home);
+    let live_final = verifier.read(fh, 0, 1 << 16).expect("final read").to_vec();
+    let live_sub = verifier.getattr(fh).expect("getattr").version.sub;
+    let live_replicas = verifier.locate_replicas(fh).expect("locate").len();
+    rt.shutdown();
+    assert_eq!(live_final, expected, "the live stream lost or reordered an acked write");
+
+    // Simulator replay of the same history through the same config.
+    let via = deceit_net::NodeId(home.0);
+    let mut fs = deceit_nfs::DeceitFs::new(3, cfg.cluster.clone(), cfg.fs.clone());
+    let sim_root = fs.root();
+    let sim_fh = fs.create(via, sim_root, "stream", 0o644).expect("sim create").value.handle;
+    fs.set_file_params(via, sim_fh, deceit_core::FileParams::important(3))
+        .expect("sim set replicas");
+    fs.write(via, sim_fh, 0, b"warmup:").expect("sim warmup");
+    fs.cluster.run_until_quiet();
+    let mut offset = b"warmup:".len();
+    for i in 0..WRITES {
+        let chunk = format!("[w{i}]");
+        fs.write(via, sim_fh, offset, chunk.as_bytes()).expect("sim write");
+        offset += chunk.len();
+    }
+    fs.cluster.run_until_quiet();
+
+    let read_via = deceit_net::NodeId(remote_home.0);
+    let sim_final = fs.read(read_via, sim_fh, 0, 1 << 16).expect("sim read").value;
+    assert_eq!(live_final, sim_final.to_vec(), "stream contents diverged between worlds");
+    let sim_sub = fs.getattr(read_via, sim_fh).expect("sim getattr").value.version.sub;
+    assert_eq!(live_sub, sim_sub, "the stream applied a different number of updates");
+    let sim_replicas = fs.file_replicas(read_via, sim_fh).expect("sim locate").value.len();
+    assert_eq!(live_replicas, sim_replicas, "replica levels diverged between worlds");
+}
+
 /// Shard-lock exclusion: two mutations of the *same* file never
 /// interleave. Concurrent writers replace the whole file with uniform
 /// single-byte patterns; a concurrent reader (and the final state) must
