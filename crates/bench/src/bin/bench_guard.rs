@@ -1,17 +1,27 @@
-//! CI regression gate for the live runtime's throughput.
+//! CI regression gate for the live runtime's throughput and latency.
 //!
 //! Re-runs every workload class — mixed (both lock paths), read (the
 //! shared fast path), write (the pipelined sharded mutation path), hot
 //! (single-slot contention), and stream (same-file readers under an
 //! active write stream, the read-lease path) — and compares each
-//! against the recorded
-//! `BENCH_runtime.json` baseline: a fresh sample more than 25% below the
-//! recorded ops/sec for the same (workload, clients, replicas) cell
-//! fails the build. CI machines are noisier than the recording machine,
-//! so the gate re-measures each failing cell up to three times and takes
-//! the best — a genuine lock-structure regression (a serialized path, a
-//! convoy, a de-batched write pipeline) loses far more than 25% and
-//! fails all three.
+//! against the recorded `BENCH_runtime.json` baseline on two axes:
+//!
+//! * **throughput**: a fresh sample more than 25% below the recorded
+//!   ops/sec for the same (workload, clients, replicas) cell fails the
+//!   build (`BENCH_GUARD_MAX_DROP`, or per-workload
+//!   `BENCH_GUARD_MAX_DROP_<WORKLOAD>`, e.g. `..._STREAM=0.5`);
+//! * **tail latency**: a fresh p99 more than 100% above the recorded
+//!   `p99_us` fails too (`BENCH_GUARD_MAX_P99_RISE`, or per-workload
+//!   `BENCH_GUARD_MAX_P99_RISE_<WORKLOAD>`) — a convoyed lock path can
+//!   hide inside an unchanged mean, but not inside the tail.
+//!
+//! CI machines are noisier than the recording machine, so the gate
+//! re-measures each failing cell up to three times and takes the best —
+//! a genuine lock-structure regression (a serialized path, a convoy, a
+//! de-batched write pipeline) loses far more than the thresholds and
+//! fails all three. Every regressing cell is printed with its exact
+//! baseline and fresh values so the failure names the sample, not just
+//! the build.
 //!
 //! Run with: `cargo run --release --bin bench_guard [path/to/BENCH_runtime.json]`
 
@@ -20,8 +30,12 @@ use std::process::ExitCode;
 use deceit_bench::live::{run_live_sample, Workload};
 
 /// Fractional throughput drop below baseline that fails the gate
-/// (override with BENCH_GUARD_MAX_DROP).
+/// (override with BENCH_GUARD_MAX_DROP / BENCH_GUARD_MAX_DROP_<WORKLOAD>).
 const MAX_DROP: f64 = 0.25;
+
+/// Fractional p99 latency rise above baseline that fails the gate
+/// (override with BENCH_GUARD_MAX_P99_RISE / per-workload form).
+const MAX_P99_RISE: f64 = 1.0;
 
 /// Ops per client per fresh sample (smaller than the recording run —
 /// the gate needs signal, not precision).
@@ -37,6 +51,9 @@ struct Baseline {
     clients: usize,
     replicas: usize,
     ops_per_sec: f64,
+    /// Recorded tail latency; absent in baselines written before the
+    /// observability layer (those rows gate on throughput only).
+    p99_us: Option<f64>,
 }
 
 /// Pulls every workload's rows out of `BENCH_runtime.json`. The file is
@@ -66,11 +83,23 @@ fn parse_baselines(json: &str) -> Vec<Baseline> {
                 clients: c as usize,
                 replicas: r as usize,
                 ops_per_sec: t,
+                p99_us: field("p99_us").filter(|&p| p > 0.0),
             }),
             _ => eprintln!("bench_guard: skipping unparseable row: {line}"),
         }
     }
     out
+}
+
+/// Reads `NAME_<WORKLOAD>` (e.g. BENCH_GUARD_MAX_DROP_STREAM) falling
+/// back to `NAME`, falling back to `default`.
+fn threshold(name: &str, workload: Workload, default: f64) -> f64 {
+    let per_workload = format!("{name}_{}", workload.name().to_uppercase());
+    std::env::var(per_workload)
+        .ok()
+        .or_else(|| std::env::var(name).ok())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() -> ExitCode {
@@ -82,8 +111,6 @@ fn main() -> ExitCode {
         println!("bench_guard: skipped (BENCH_GUARD_SKIP=1)");
         return ExitCode::SUCCESS;
     }
-    let max_drop: f64 =
-        std::env::var("BENCH_GUARD_MAX_DROP").ok().and_then(|v| v.parse().ok()).unwrap_or(MAX_DROP);
     let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_runtime.json".to_string());
     let json = match std::fs::read_to_string(&path) {
         Ok(j) => j,
@@ -98,41 +125,66 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    println!("== bench_guard: fresh samples of every workload vs {path} ==\n");
     println!(
-        "== bench_guard: fresh samples of every workload vs {path} (fail below -{:.0}%) ==\n",
-        max_drop * 100.0
+        "{:>8} {:>8} {:>9} {:>14} {:>14} {:>8} {:>9} {:>9}",
+        "workload", "clients", "replicas", "baseline", "fresh", "delta", "p99 base", "p99 fresh"
     );
-    println!(
-        "{:>8} {:>8} {:>9} {:>14} {:>14} {:>8}",
-        "workload", "clients", "replicas", "baseline", "fresh", "delta"
-    );
-    let mut regressed = false;
+    let mut failures: Vec<String> = Vec::new();
     for b in &baselines {
+        let max_drop = threshold("BENCH_GUARD_MAX_DROP", b.workload, MAX_DROP);
+        let max_p99_rise = threshold("BENCH_GUARD_MAX_P99_RISE", b.workload, MAX_P99_RISE);
         let floor = b.ops_per_sec * (1.0 - max_drop);
-        let mut best = 0.0f64;
+        let p99_ceiling = b.p99_us.map(|p| p * (1.0 + max_p99_rise));
+        let mut best_ops = 0.0f64;
+        let mut best_p99 = u64::MAX;
         for _ in 0..ATTEMPTS {
             let s = run_live_sample(b.workload, b.clients, b.replicas, GUARD_OPS_PER_CLIENT);
-            best = best.max(s.ops_per_sec);
-            if best >= floor {
+            best_ops = best_ops.max(s.ops_per_sec);
+            best_p99 = best_p99.min(s.p99_us);
+            let p99_ok = p99_ceiling.is_none_or(|c| (best_p99 as f64) <= c);
+            if best_ops >= floor && p99_ok {
                 break;
             }
         }
-        let delta = best / b.ops_per_sec - 1.0;
-        let ok = best >= floor;
+        let delta = best_ops / b.ops_per_sec - 1.0;
+        let ops_ok = best_ops >= floor;
+        let p99_ok = p99_ceiling.is_none_or(|c| (best_p99 as f64) <= c);
         println!(
-            "{:>8} {:>8} {:>9} {:>14.0} {:>14.0} {:>+7.0}% {}",
+            "{:>8} {:>8} {:>9} {:>14.0} {:>14.0} {:>+7.0}% {:>9} {:>9} {}",
             b.workload.name(),
             b.clients,
             b.replicas,
             b.ops_per_sec,
-            best,
+            best_ops,
             delta * 100.0,
-            if ok { "" } else { "  << REGRESSION" }
+            b.p99_us.map_or("-".to_string(), |p| format!("{p:.0}")),
+            best_p99,
+            if ops_ok && p99_ok { "" } else { "  << REGRESSION" }
         );
-        regressed |= !ok;
+        // Name the exact regressing sample: the cell, the recorded
+        // value, and what this machine measured instead.
+        if !ops_ok {
+            failures.push(format!(
+                "throughput: workload={} clients={} replicas={}: baseline {:.0} ops/s, fresh {:.0} ops/s ({:+.1}%, floor {:.0} at -{:.0}%)",
+                b.workload.name(), b.clients, b.replicas,
+                b.ops_per_sec, best_ops, delta * 100.0, floor, max_drop * 100.0
+            ));
+        }
+        if !p99_ok {
+            failures.push(format!(
+                "tail latency: workload={} clients={} replicas={}: baseline p99 {:.0}us, fresh p99 {}us (ceiling {:.0}us at +{:.0}%)",
+                b.workload.name(), b.clients, b.replicas,
+                b.p99_us.unwrap_or(0.0), best_p99,
+                p99_ceiling.unwrap_or(0.0), max_p99_rise * 100.0
+            ));
+        }
     }
-    if regressed {
-        eprintln!("\nbench_guard: live throughput regressed more than {:.0}%", max_drop * 100.0);
+    if !failures.is_empty() {
+        eprintln!("\nbench_guard: {} regressing sample(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
         return ExitCode::FAILURE;
     }
     println!("\nbench_guard: ok");

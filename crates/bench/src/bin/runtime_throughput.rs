@@ -34,8 +34,18 @@ fn main() {
 
     println!("== runtime_throughput: live ops/sec vs workload x clients x replica level ==\n");
     println!(
-        "{:>8} {:>8} {:>9} {:>8} {:>10} {:>12} {:>8} {:>8}",
-        "workload", "clients", "replicas", "ops", "secs", "ops/sec", "shared", "sharded"
+        "{:>8} {:>8} {:>9} {:>8} {:>10} {:>12} {:>8} {:>8} {:>7} {:>7} {:>7}",
+        "workload",
+        "clients",
+        "replicas",
+        "ops",
+        "secs",
+        "ops/sec",
+        "shared",
+        "sharded",
+        "p50us",
+        "p90us",
+        "p99us"
     );
 
     let mut samples: Vec<Sample> = Vec::new();
@@ -44,7 +54,7 @@ fn main() {
             for &clients in client_counts {
                 let s = run_live_sample(workload, clients, replicas, ops_per_client);
                 println!(
-                    "{:>8} {:>8} {:>9} {:>8} {:>10.3} {:>12.0} {:>7.0}% {:>7.0}%",
+                    "{:>8} {:>8} {:>9} {:>8} {:>10.3} {:>12.0} {:>7.0}% {:>7.0}% {:>7} {:>7} {:>7}",
                     s.workload.name(),
                     s.clients,
                     s.replicas,
@@ -52,7 +62,10 @@ fn main() {
                     s.secs,
                     s.ops_per_sec,
                     s.shared_fraction * 100.0,
-                    s.sharded_fraction * 100.0
+                    s.sharded_fraction * 100.0,
+                    s.p50_us,
+                    s.p90_us,
+                    s.p99_us
                 );
                 samples.push(s);
             }
@@ -60,7 +73,28 @@ fn main() {
     }
 
     if quick {
-        println!("\nquick mode: smoke only, not rewriting BENCH_runtime.json");
+        // Canary: the stream workload exists to prove same-file reads
+        // under an active write stream stay on the shared fast path
+        // (holder-local read leases). Client 0 streams writes (mutations,
+        // never shared), so the gate is on the *reader* ops — the other
+        // clients-1 sessions. If their shared fraction collapses, the
+        // lease path broke even though throughput may still look fine
+        // on a small box — fail the smoke run loudly.
+        let mut broken = false;
+        for s in samples.iter().filter(|s| s.workload == Workload::Stream && s.clients > 1) {
+            let reader_fraction = s.shared_fraction * s.clients as f64 / (s.clients as f64 - 1.0);
+            if reader_fraction < 0.9 {
+                eprintln!(
+                    "canary: stream workload (clients={}, replicas={}) served only {:.0}% of reader requests on the shared fast path (needs >= 90%) — the read-lease path has regressed",
+                    s.clients, s.replicas, reader_fraction * 100.0
+                );
+                broken = true;
+            }
+        }
+        if broken {
+            std::process::exit(1);
+        }
+        println!("\nquick mode: smoke + stream canary ok, not rewriting BENCH_runtime.json");
         return;
     }
 
@@ -69,8 +103,8 @@ fn main() {
         .iter()
         .map(|s| {
             format!(
-                "    {{\"workload\": \"{}\", \"clients\": {}, \"replicas\": {}, \"ops\": {}, \"secs\": {:.6}, \"ops_per_sec\": {:.1}, \"shared_fraction\": {:.3}, \"sharded_fraction\": {:.3}}}",
-                s.workload.name(), s.clients, s.replicas, s.ops, s.secs, s.ops_per_sec, s.shared_fraction, s.sharded_fraction
+                "    {{\"workload\": \"{}\", \"clients\": {}, \"replicas\": {}, \"ops\": {}, \"secs\": {:.6}, \"ops_per_sec\": {:.1}, \"shared_fraction\": {:.3}, \"sharded_fraction\": {:.3}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}}}",
+                s.workload.name(), s.clients, s.replicas, s.ops, s.secs, s.ops_per_sec, s.shared_fraction, s.sharded_fraction, s.p50_us, s.p90_us, s.p99_us
             )
         })
         .collect();

@@ -40,7 +40,7 @@ pub fn run() -> (Table, Vec<&'static str>) {
         .trace
         .events()
         .iter()
-        .filter(|e| e.segment() == seg)
+        .filter(|e| e.segment() == Some(seg))
         .filter_map(ProtocolEvent::table1_action)
         .collect();
     let mut dedup = Vec::new();

@@ -110,6 +110,13 @@ pub struct Sample {
     /// Fraction of served requests answered on the sharded mutation
     /// path (shard ring locks, no exclusive cell lock).
     pub sharded_fraction: f64,
+    /// Median end-to-end request latency over the timed section,
+    /// microseconds (all op classes merged).
+    pub p50_us: u64,
+    /// 90th-percentile request latency, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
 }
 
 /// Runs one cell of the grid against a fresh 3-server cell.
@@ -159,7 +166,11 @@ pub fn run_live_sample(
         .collect();
     rt.settle();
 
-    // Timed section: concurrent client traffic.
+    // Timed section: concurrent client traffic. Latency percentiles
+    // come from the runtime's op-class histograms, delta'd around the
+    // timed section so warmup traffic never pollutes them.
+    let obs = rt.obs();
+    let lat_before = obs.op_latency_counts();
     let served_before = rt.stats();
     let t0 = Instant::now();
     let workers: Vec<_> = sessions
@@ -183,7 +194,15 @@ pub fn run_live_sample(
     }
     let secs = t0.elapsed().as_secs_f64();
     let served_after = rt.stats();
+    let lat_after = obs.op_latency_counts();
     rt.shutdown();
+
+    // Merge the per-class interval deltas into one request-latency
+    // distribution for the section.
+    let mut lat = deceit::core::HistCounts::zero();
+    for (after, before) in lat_after.iter().zip(&lat_before) {
+        lat.merge(&after.since(before));
+    }
 
     let ops = clients * ops_per_client;
     let served = served_after.requests_served.saturating_sub(served_before.requests_served);
@@ -201,5 +220,8 @@ pub fn run_live_sample(
         ops_per_sec: ops as f64 / secs,
         shared_fraction: frac(shared),
         sharded_fraction: frac(sharded),
+        p50_us: lat.percentile(50.0),
+        p90_us: lat.percentile(90.0),
+        p99_us: lat.percentile(99.0),
     }
 }

@@ -37,6 +37,7 @@ use crate::config::ClusterConfig;
 use crate::error::{DeceitError, DeceitResult};
 use crate::host::shard_slot;
 use crate::hot::{ShardedEvents, ShardedMap};
+use crate::obs::ObsCore;
 use crate::server::{SegmentId, ServerState};
 use crate::trace_events::ProtocolEvent;
 use crate::version::BranchTable;
@@ -95,6 +96,11 @@ pub struct Cluster {
     pub stats: StatsRegistry,
     /// Protocol trace (Table 1 regeneration; internally synchronized).
     pub trace: TraceLog<ProtocolEvent>,
+    /// Always-on observability: per-server flight recorder plus the
+    /// core-side histograms and counters. Unlike `trace`/`stats` this
+    /// has no off switch — it is bounded and lock-free (or nearly so)
+    /// by construction, so live hosting keeps it running.
+    pub obs: ObsCore,
     /// Per-segment history-tree branch records, sharded by segment.
     ///
     /// The paper stores branch records with each replica; we keep the
@@ -133,6 +139,7 @@ impl Cluster {
             clock: AtomicU64::new(0),
             stats,
             trace,
+            obs: ObsCore::new(n_servers),
             branches: ShardedMap::new(shards),
             conflicts: Vec::new(),
             deleted: Mutex::new(BTreeSet::new()),
@@ -219,6 +226,14 @@ impl Cluster {
 
     /// Emits a protocol trace event at the current time.
     pub(crate) fn emit(&self, ev: ProtocolEvent) {
+        self.trace.emit(self.now(), ev);
+    }
+
+    /// Emits a protocol event attributed to the server that performed
+    /// it: the flight recorder keeps it in `actor`'s ring (bounded,
+    /// always on) and the trace log records it when enabled.
+    pub(crate) fn emit_from(&self, actor: NodeId, ev: ProtocolEvent) {
+        self.obs.flight.record(actor, self.now(), ev.clone());
         self.trace.emit(self.now(), ev);
     }
 

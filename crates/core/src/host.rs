@@ -186,6 +186,23 @@ pub trait ProtocolHost {
     /// orders deferred work and ages caches, while wall-clock time governs
     /// nothing but thread scheduling.
     fn protocol_now(&self) -> SimTime;
+
+    /// The engine's always-on observability bundle (flight recorder,
+    /// core-side histograms), if it keeps one. Hosts use it to stamp
+    /// serve-path phases and to dump the flight recorder on failure;
+    /// `None` means the engine carries no observability state.
+    fn obs_core(&self) -> Option<&crate::obs::ObsCore> {
+        None
+    }
+
+    /// A point-in-time copy of the engine's protocol stats registry, if
+    /// it keeps one. A disabled registry still answers — its snapshot
+    /// carries `disabled: true` so exporters cannot mistake "switched
+    /// off" for "nothing happened". `None` means the engine has no
+    /// registry at all.
+    fn stats_snapshot(&self) -> Option<deceit_sim::StatsSnapshot> {
+        None
+    }
 }
 
 impl ProtocolHost for Cluster {
@@ -239,6 +256,14 @@ impl ProtocolHost for Cluster {
 
     fn protocol_now(&self) -> SimTime {
         self.now()
+    }
+
+    fn obs_core(&self) -> Option<&crate::obs::ObsCore> {
+        Some(&self.obs)
+    }
+
+    fn stats_snapshot(&self) -> Option<deceit_sim::StatsSnapshot> {
+        Some(self.stats.snapshot())
     }
 }
 

@@ -54,6 +54,7 @@ pub mod error;
 pub mod event;
 pub mod host;
 pub mod hot;
+pub mod obs;
 pub mod ops;
 pub mod params;
 pub mod proto;
@@ -67,6 +68,7 @@ pub use cluster::{Cluster, OpResult};
 pub use config::ClusterConfig;
 pub use error::{DeceitError, DeceitResult};
 pub use host::{shard_slot, OpClass, ProtocolHost, ShardKey};
+pub use obs::{AtomicHistogram, FlightRecorder, HistCounts, HistSummary, ObsCore};
 pub use ops::{ReadData, WriteOp};
 pub use params::{FileParams, WriteAvailability};
 pub use proto::commands::VersionInfo;

@@ -1,0 +1,527 @@
+//! Always-on observability primitives: lock-free latency histograms,
+//! the protocol flight recorder, and the core-side counters they feed.
+//!
+//! The live runtime disables the [`deceit_sim::StatsRegistry`] and the
+//! trace log on the request hot path (see `RuntimeConfig::new`), which
+//! until now meant the deployed system was throughput-only: no latency
+//! distribution, no protocol-event visibility, no contention signal.
+//! Everything in this module is built to stay on in production:
+//!
+//! * [`AtomicHistogram`] — a fixed-footprint, log-bucketed (HDR-style)
+//!   histogram of `u64` samples. Recording is a handful of relaxed
+//!   atomic adds: no locks, no allocation, safe from any thread.
+//! * [`FlightRecorder`] — a bounded per-server ring of timestamped
+//!   [`ProtocolEvent`]s. Unlike the unbounded trace log it never grows,
+//!   so the live runtime keeps it on and dumps the last N protocol
+//!   events per server when a differential test or stress run fails.
+//! * [`ObsCore`] — the cluster-owned bundle: flight recorder, pipeline
+//!   drain-batch distribution, and lease-validation-failure count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use deceit_net::NodeId;
+use deceit_sim::SimTime;
+
+use crate::trace_events::ProtocolEvent;
+
+/// Sub-bucket resolution: each power-of-two range splits into
+/// `2^SUB_BITS` linear sub-buckets, bounding relative error at
+/// `2^-(SUB_BITS+1)` ≈ 3%.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per power-of-two group.
+const SUB: usize = 1 << SUB_BITS;
+/// Power-of-two groups above the exact range. Group `g` covers
+/// `[2^(g+4), 2^(g+5))`, so 32 groups resolve values up to `2^36`
+/// (~19 hours in microseconds); anything larger saturates into the
+/// top bucket.
+const GROUPS: usize = 32;
+/// Total bucket count: 16 exact buckets for values 0..16, then
+/// `GROUPS * SUB` log-linear buckets. At 8 bytes each the whole
+/// histogram is ~4.3 KiB, allocated once.
+pub const BUCKETS: usize = SUB + GROUPS * SUB;
+
+/// The bucket a value lands in.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize;
+    let group = msb - SUB_BITS as usize;
+    let sub = ((v >> (msb - SUB_BITS as usize)) & (SUB as u64 - 1)) as usize;
+    (SUB + group * SUB + sub).min(BUCKETS - 1)
+}
+
+/// The representative (midpoint) value of a bucket, used when reading
+/// percentiles back out.
+fn bucket_value(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let group = (idx - SUB) / SUB;
+    let sub = ((idx - SUB) % SUB) as u64;
+    let msb = group + SUB_BITS as usize;
+    let width = 1u64 << (msb - SUB_BITS as usize);
+    (1u64 << msb) + sub * width + width / 2
+}
+
+/// A lock-free, fixed-footprint, log-bucketed histogram.
+///
+/// The record path is wait-free: one relaxed `fetch_add` into the
+/// value's bucket plus count/sum/max tallies — the same discipline as
+/// the runtime's atomic counters, cheap enough to sit on every request.
+/// Reads ([`AtomicHistogram::counts`]) copy the buckets out and compute
+/// percentiles from the copy, so a snapshot taken mid-traffic is
+/// internally consistent per bucket (the totals race by at most the
+/// in-flight samples, which interval arithmetic tolerates).
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// Creates an empty histogram (one fixed allocation).
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Wait-free; callable from any thread.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a wall-clock duration in microseconds.
+    pub fn record_micros(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An owned copy of the current bucket counts.
+    pub fn counts(&self) -> HistCounts {
+        HistCounts {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max_hint: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Convenience: summary of everything recorded so far.
+    pub fn summary(&self) -> HistSummary {
+        self.counts().summary()
+    }
+}
+
+/// An owned histogram snapshot: subtractable (for interval deltas) and
+/// mergeable (for combining per-class or per-thread histograms).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistCounts {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    /// Exact max for a from-zero snapshot; 0 after [`HistCounts::since`]
+    /// (an interval max cannot be recovered, so the summary falls back
+    /// to the top occupied bucket's representative).
+    max_hint: u64,
+}
+
+impl HistCounts {
+    /// An all-zero snapshot.
+    pub fn zero() -> Self {
+        HistCounts { buckets: vec![0; BUCKETS], count: 0, sum: 0, max_hint: 0 }
+    }
+
+    /// Samples in this snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The delta since an earlier snapshot of the same histogram:
+    /// bucket-wise saturating subtraction, so a torn concurrent read can
+    /// never underflow.
+    pub fn since(&self, earlier: &HistCounts) -> HistCounts {
+        HistCounts {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max_hint: 0,
+        }
+    }
+
+    /// Adds another snapshot's samples into this one.
+    pub fn merge(&mut self, other: &HistCounts) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max_hint = self.max_hint.max(other.max_hint);
+    }
+
+    /// The value at percentile `p` in `[0, 100]` (bucket representative;
+    /// ≤ ~3% relative error), or 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_value(i);
+            }
+        }
+        bucket_value(BUCKETS - 1)
+    }
+
+    /// Summary of this snapshot.
+    pub fn summary(&self) -> HistSummary {
+        let total: u64 = self.buckets.iter().sum();
+        let top = self.buckets.iter().rposition(|&n| n > 0).map_or(0, bucket_value);
+        HistSummary {
+            count: total,
+            mean: if total == 0 { 0.0 } else { self.sum as f64 / total as f64 },
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p99: self.percentile(99.0),
+            max: if self.max_hint > 0 { self.max_hint } else { top },
+        }
+    }
+}
+
+/// A compact distribution summary read out of an [`AtomicHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    /// Samples covered.
+    pub count: u64,
+    /// Arithmetic mean (exact: from the atomic sum, not the buckets).
+    pub mean: f64,
+    /// Median (bucket representative).
+    pub p50: u64,
+    /// 90th percentile (bucket representative).
+    pub p90: u64,
+    /// 99th percentile (bucket representative).
+    pub p99: u64,
+    /// Maximum (exact for from-zero snapshots, top-bucket representative
+    /// for interval deltas).
+    pub max: u64,
+}
+
+impl std::fmt::Display for HistSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={} p90={} p99={} max={}",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+/// Events retained per server by the flight recorder.
+pub const FLIGHT_CAPACITY: usize = 256;
+
+/// A bounded per-server ring buffer of timestamped protocol events.
+///
+/// Where the trace log records everything (and therefore stays off in
+/// live hosting), the flight recorder keeps only the last
+/// [`FLIGHT_CAPACITY`] events each server *acted in*, overwriting the
+/// oldest. Recording takes the acting server's ring lock for a few
+/// stores — short enough to stay on under full write load — and a
+/// snapshot never observes a torn event because the entry is replaced
+/// whole under that lock.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    rings: Vec<Mutex<EventRing>>,
+}
+
+#[derive(Debug, Default)]
+struct EventRing {
+    buf: Vec<(SimTime, ProtocolEvent)>,
+    /// Write cursor: index the next event lands in once full.
+    next: usize,
+    /// Events ever recorded (so wraparound is observable).
+    total: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder with one ring per server.
+    pub fn new(n_servers: usize) -> Self {
+        FlightRecorder { rings: (0..n_servers).map(|_| Mutex::new(EventRing::default())).collect() }
+    }
+
+    fn ring(&self, server: NodeId) -> std::sync::MutexGuard<'_, EventRing> {
+        self.rings[server.index()].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records one event against the server that performed it.
+    pub fn record(&self, server: NodeId, at: SimTime, ev: ProtocolEvent) {
+        if server.index() >= self.rings.len() {
+            return;
+        }
+        let mut ring = self.ring(server);
+        if ring.buf.len() < FLIGHT_CAPACITY {
+            ring.buf.push((at, ev));
+        } else {
+            let slot = ring.next;
+            ring.buf[slot] = (at, ev);
+        }
+        ring.next = (ring.next + 1) % FLIGHT_CAPACITY;
+        ring.total += 1;
+    }
+
+    /// Total events ever recorded for one server (including overwritten).
+    pub fn total(&self, server: NodeId) -> u64 {
+        self.ring(server).total
+    }
+
+    /// The retained events for one server, oldest first.
+    pub fn events(&self, server: NodeId) -> Vec<(SimTime, ProtocolEvent)> {
+        let ring = self.ring(server);
+        if ring.buf.len() < FLIGHT_CAPACITY {
+            ring.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(FLIGHT_CAPACITY);
+            out.extend_from_slice(&ring.buf[ring.next..]);
+            out.extend_from_slice(&ring.buf[..ring.next]);
+            out
+        }
+    }
+
+    /// Number of servers this recorder tracks.
+    pub fn servers(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// A human-readable dump of every server's retained events, newest
+    /// last — what a failing differential test prints instead of a bare
+    /// assert.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for i in 0..self.rings.len() {
+            let id = NodeId(i as u32);
+            let events = self.events(id);
+            let total = self.total(id);
+            let _ = writeln!(
+                out,
+                "server {i}: {} protocol events recorded, last {} retained",
+                total,
+                events.len()
+            );
+            for (at, ev) in events {
+                let _ = writeln!(out, "  [{:>10}us] {ev:?}", at.as_micros());
+            }
+        }
+        out
+    }
+}
+
+/// The cluster-owned observability bundle: always on, independent of
+/// the `trace`/`stats` config switches.
+#[derive(Debug)]
+pub struct ObsCore {
+    /// Last-N protocol events per server.
+    pub flight: FlightRecorder,
+    /// Outbound-stream drain batch sizes (updates shipped per
+    /// `PropagateStream` firing) — the pipeline's batching-window
+    /// effectiveness in one distribution.
+    pub drain_batch: AtomicHistogram,
+    /// Serve-path execution time (microseconds) stamped by the NFS
+    /// envelope around each handled request.
+    pub serve_exec: AtomicHistogram,
+    /// Read-lease validations that failed (version moved or lease
+    /// revoked mid-copy) and pushed the read off the lock-free path.
+    pub lease_validation_failures: AtomicU64,
+}
+
+impl ObsCore {
+    /// A bundle for a cell of `n_servers`.
+    pub fn new(n_servers: usize) -> Self {
+        ObsCore {
+            flight: FlightRecorder::new(n_servers),
+            drain_batch: AtomicHistogram::new(),
+            serve_exec: AtomicHistogram::new(),
+            lease_validation_failures: AtomicU64::new(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SegmentId;
+
+    #[test]
+    fn bucket_boundaries_round_trip() {
+        // Exact range: identity.
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_value(v as usize), v);
+        }
+        // Every power-of-two boundary starts a fresh group, and the
+        // representative stays within the bucket's ~6% width.
+        for msb in 4..36usize {
+            for &v in &[1u64 << msb, (1u64 << msb) + 1, (1u64 << (msb + 1)) - 1] {
+                let idx = bucket_index(v);
+                let rep = bucket_value(idx);
+                let width = 1u64 << (msb - 4);
+                assert!(
+                    rep.abs_diff(v) <= width,
+                    "value {v} bucket {idx} representative {rep} drifted past one bucket width"
+                );
+            }
+        }
+        // Adjacent values near a boundary never map to an earlier bucket.
+        assert!(bucket_index(16) > bucket_index(15));
+        assert!(bucket_index(32) > bucket_index(31));
+    }
+
+    #[test]
+    fn saturation_at_top_bucket() {
+        let h = AtomicHistogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 60);
+        h.record(1u64 << 36); // first value past the resolved range
+        let counts = h.counts();
+        assert_eq!(counts.count(), 3);
+        // All three land in the top bucket rather than panicking.
+        assert_eq!(counts.buckets[BUCKETS - 1], 3);
+        // Exact max survives via the atomic max.
+        assert_eq!(counts.summary().max, u64::MAX);
+        // An interval delta loses the hint and falls back to the top
+        // bucket's representative.
+        let delta = counts.since(&HistCounts::zero());
+        assert_eq!(delta.summary().max, bucket_value(BUCKETS - 1));
+    }
+
+    #[test]
+    fn percentiles_match_exact_histogram_shape() {
+        let h = AtomicHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        // ~3% relative error bound from SUB_BITS = 4.
+        assert!((s.p50 as f64 - 500.0).abs() / 500.0 < 0.05, "p50 {}", s.p50);
+        assert!((s.p90 as f64 - 900.0).abs() / 900.0 < 0.05, "p90 {}", s.p90);
+        assert!((s.p99 as f64 - 990.0).abs() / 990.0 < 0.05, "p99 {}", s.p99);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean - 500.5).abs() < 1e-9, "mean is exact via the atomic sum");
+    }
+
+    #[test]
+    fn multithreaded_record_merges_deterministically() {
+        // N threads record disjoint slices into their own histograms and
+        // all into one shared histogram; the merged per-thread counts
+        // must equal the shared histogram's counts exactly.
+        let shared = std::sync::Arc::new(AtomicHistogram::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let own = AtomicHistogram::new();
+                    for i in 0..10_000u64 {
+                        let v = t * 1_000 + (i * 7919) % 4096;
+                        own.record(v);
+                        shared.record(v);
+                    }
+                    own.counts()
+                })
+            })
+            .collect();
+        let mut merged = HistCounts::zero();
+        for h in handles {
+            merged.merge(&h.join().expect("recorder thread"));
+        }
+        assert_eq!(merged, shared.counts());
+        assert_eq!(merged.count(), 40_000);
+        assert_eq!(merged.summary(), shared.counts().summary());
+    }
+
+    #[test]
+    fn interval_delta_isolates_new_samples() {
+        let h = AtomicHistogram::new();
+        for _ in 0..100 {
+            h.record(10);
+        }
+        let before = h.counts();
+        for _ in 0..50 {
+            h.record(1000);
+        }
+        let delta = h.counts().since(&before);
+        assert_eq!(delta.count(), 50);
+        let s = delta.summary();
+        assert_eq!(s.count, 50);
+        assert!(s.p50 > 900, "delta must only see the new 1000us samples, got {}", s.p50);
+    }
+
+    #[test]
+    fn flight_recorder_wraps_without_tearing() {
+        let fr = FlightRecorder::new(2);
+        let s0 = NodeId(0);
+        let n = FLIGHT_CAPACITY as u64 + 100;
+        for i in 0..n {
+            fr.record(
+                s0,
+                SimTime::from_micros(i),
+                ProtocolEvent::MarkedStable { seg: SegmentId(i) },
+            );
+        }
+        assert_eq!(fr.total(s0), n);
+        let events = fr.events(s0);
+        assert_eq!(events.len(), FLIGHT_CAPACITY, "ring retains exactly its capacity");
+        // Oldest-first, contiguous, and ending at the newest event: the
+        // wrap overwrote the oldest 100 without tearing any entry.
+        for (j, (at, ev)) in events.iter().enumerate() {
+            let expect = n - FLIGHT_CAPACITY as u64 + j as u64;
+            assert_eq!(at.as_micros(), expect);
+            assert_eq!(*ev, ProtocolEvent::MarkedStable { seg: SegmentId(expect) });
+        }
+        // The other server's ring is untouched.
+        assert_eq!(fr.total(NodeId(1)), 0);
+        assert!(fr.events(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn flight_recorder_dump_lists_servers() {
+        let fr = FlightRecorder::new(2);
+        fr.record(
+            NodeId(1),
+            SimTime::from_micros(42),
+            ProtocolEvent::MarkedStable { seg: SegmentId(7) },
+        );
+        let dump = fr.dump();
+        assert!(dump.contains("server 0: 0 protocol events"));
+        assert!(dump.contains("server 1: 1 protocol events"));
+        assert!(dump.contains("MarkedStable"));
+    }
+}

@@ -106,7 +106,12 @@ impl Cluster {
         let srv = self.server(server);
         for major in srv.replicas.majors_of(seg) {
             let k = (seg, major);
-            srv.leases.remove(&k);
+            if srv.leases.remove(&k).is_some() {
+                self.emit_from(
+                    server,
+                    crate::trace_events::ProtocolEvent::LeaseRevoked { seg, on: server },
+                );
+            }
             srv.replicas.delete_sync(&k);
             srv.tokens.delete_sync(&k);
             srv.drop_receiver(&k);

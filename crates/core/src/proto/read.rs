@@ -7,6 +7,8 @@
 //! are forwarded to the token holder." §3.6 defines the recovery read
 //! path when the token holder is unreachable.
 
+use std::sync::atomic;
+
 use deceit_isis::broadcast_round;
 use deceit_net::NodeId;
 use deceit_sim::SimDuration;
@@ -162,11 +164,13 @@ impl Cluster {
             if r.version != lease.version {
                 // Mid-write window (applied but not yet re-leased), or a
                 // stale lease a new stream has not refreshed: decline.
+                self.obs.lease_validation_failures.fetch_add(1, atomic::Ordering::Relaxed);
                 return None;
             }
             Some(copy_out(r, via, offset, count))
         })?;
         if srv.leases.get(&key) != Some(lease) {
+            self.obs.lease_validation_failures.fetch_add(1, atomic::Ordering::Relaxed);
             return None;
         }
         Some(served)
@@ -344,7 +348,7 @@ impl Cluster {
         latency += rtt + self.cfg.local_read;
         let data = self.serve_local(target, key, offset, count);
         self.stats.incr("core/reads/forwarded");
-        self.emit(ProtocolEvent::ReadForwarded { seg, from: via, to: target });
+        self.emit_from(via, ProtocolEvent::ReadForwarded { seg, from: via, to: target });
 
         Ok((data, latency))
     }
@@ -376,7 +380,7 @@ impl Cluster {
                 latency += rtt + self.cfg.local_read;
                 let data = self.serve_local(h, key, offset, count);
                 self.stats.incr("core/reads/forwarded_unstable");
-                self.emit(ProtocolEvent::ReadForwarded { seg: key.0, from: via, to: h });
+                self.emit_from(via, ProtocolEvent::ReadForwarded { seg: key.0, from: via, to: h });
                 Ok((data, latency))
             }
             None => self.stable_replica_search(via, key, offset, count, latency),
@@ -461,7 +465,7 @@ impl Cluster {
                     // outbound/repair cleanup a hand-rolled delete would
                     // miss.
                     self.destroy_replica(*m, key);
-                    self.emit(ProtocolEvent::ReplicaDeleted { seg: key.0, on: *m });
+                    self.emit_from(*m, ProtocolEvent::ReplicaDeleted { seg: key.0, on: *m });
                     self.stats.incr("core/replicas/destroyed_obsolete");
                 }
             }
@@ -471,7 +475,10 @@ impl Cluster {
         if serve_from != via {
             let rtt = self.round_trip(via, serve_from, 32, count.min(8 * 1024))?;
             latency += rtt;
-            self.emit(ProtocolEvent::ReadForwarded { seg: key.0, from: via, to: serve_from });
+            self.emit_from(
+                via,
+                ProtocolEvent::ReadForwarded { seg: key.0, from: via, to: serve_from },
+            );
         }
         latency += self.cfg.local_read;
         let data = self.serve_local(serve_from, key, offset, count);
@@ -546,7 +553,7 @@ impl Cluster {
             if lag_state != ReplicaState::Stable {
                 self.set_replica_state(laggard, key, ReplicaState::Stable);
                 self.stats.incr("core/reads/repairs");
-                self.emit(ProtocolEvent::ReadRepaired { seg: key.0, on: laggard });
+                self.emit_from(laggard, ProtocolEvent::ReadRepaired { seg: key.0, on: laggard });
             }
             return;
         }
@@ -584,7 +591,7 @@ impl Cluster {
         self.server(laggard).replicas.put_sync(key, fresh);
         self.server(laggard).drop_receiver(&key);
         self.stats.incr("core/reads/repairs");
-        self.emit(ProtocolEvent::ReadRepaired { seg: key.0, on: laggard });
+        self.emit_from(laggard, ProtocolEvent::ReadRepaired { seg: key.0, on: laggard });
     }
 
     /// Serves a read from a server's local replica, updating its access

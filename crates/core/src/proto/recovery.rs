@@ -22,6 +22,7 @@ impl Cluster {
     pub fn recover_server(&mut self, id: NodeId) {
         self.net.recover(id);
         self.stats.incr("cluster/recoveries");
+        self.emit_from(id, ProtocolEvent::RecoveryStarted { server: id });
 
         // Garbage-collect replicas of segments deleted while down (the
         // handle map records deletions; §2.1 file handles stay valid only
@@ -46,6 +47,7 @@ impl Cluster {
                 self.recover_plain_replica(id, key);
             }
         }
+        self.emit_from(id, ProtocolEvent::RecoveryCompleted { server: id });
     }
 
     /// Recovery for a replica without a local token.
@@ -101,11 +103,10 @@ impl Cluster {
                     // Our version is an ancestor of a live newer version:
                     // destroy the old version (Token Crash scenario).
                     self.destroy_replica(id, key);
-                    self.emit(ProtocolEvent::ObsoleteDestroyed {
-                        seg: key.0,
-                        on: id,
-                        major: key.1,
-                    });
+                    self.emit_from(
+                        id,
+                        ProtocolEvent::ObsoleteDestroyed { seg: key.0, on: id, major: key.1 },
+                    );
                     return;
                 }
                 VersionRelation::Incomparable => {
@@ -135,11 +136,10 @@ impl Cluster {
                         }
                     }
                     self.server(id).tokens.delete_sync(&key);
-                    self.emit(ProtocolEvent::ObsoleteDestroyed {
-                        seg: key.0,
-                        on: id,
-                        major: key.1,
-                    });
+                    self.emit_from(
+                        id,
+                        ProtocolEvent::ObsoleteDestroyed { seg: key.0, on: id, major: key.1 },
+                    );
                     self.stats.incr("core/recovery/versions_destroyed");
                     return;
                 }
@@ -276,7 +276,10 @@ impl Cluster {
             }
         }
         self.server(token_holder).tokens.delete_sync(&key);
-        self.emit(ProtocolEvent::ObsoleteDestroyed { seg: key.0, on: token_holder, major: key.1 });
+        self.emit_from(
+            token_holder,
+            ProtocolEvent::ObsoleteDestroyed { seg: key.0, on: token_holder, major: key.1 },
+        );
         self.stats.incr("core/recovery/versions_destroyed");
     }
 
@@ -285,7 +288,9 @@ impl Cluster {
     /// any read lease published on it, and any pending repair flag (the
     /// queued repair finds the replica gone and stands down).
     pub(crate) fn destroy_replica(&self, server: NodeId, key: ReplicaKey) {
-        self.server(server).leases.remove(&key);
+        if self.server(server).leases.remove(&key).is_some() {
+            self.emit_from(server, ProtocolEvent::LeaseRevoked { seg: key.0, on: server });
+        }
         self.server(server).replicas.delete_sync(&key);
         self.server(server).drop_receiver(&key);
         self.server(server).outbound.remove(&key);

@@ -138,7 +138,7 @@ impl Cluster {
             self.server(target).group_cache.insert(key.0, gid);
         }
         self.stats.incr("core/replicas/generated");
-        self.emit(ProtocolEvent::ReplicaGenerated { seg: key.0, on: target });
+        self.emit_from(target, ProtocolEvent::ReplicaGenerated { seg: key.0, on: target });
     }
 
     /// Deletes extra replicas in least-recently-used order at update time
@@ -174,7 +174,7 @@ impl Cluster {
                 self.schedule_flush(holder, key.0);
             }
             self.stats.incr("core/replicas/lru_deleted");
-            self.emit(ProtocolEvent::ReplicaDeleted { seg: key.0, on: victim });
+            self.emit_from(victim, ProtocolEvent::ReplicaDeleted { seg: key.0, on: victim });
         }
     }
 }

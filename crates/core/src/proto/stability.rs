@@ -41,7 +41,7 @@ impl Cluster {
             stream.group_unstable = true;
         });
         self.stats.incr("core/stability/unstable_rounds");
-        self.emit(ProtocolEvent::MarkedUnstable { seg: key.0, acks });
+        self.emit_from(holder, ProtocolEvent::MarkedUnstable { seg: key.0, acks });
         outcome.full_latency()
     }
 
@@ -130,14 +130,16 @@ impl Cluster {
         // The stream is over: retire its read lease. The stable marker
         // set above already routes the holder's reads through the
         // ordinary fast path, so the lease has nothing left to assert.
-        self.server(holder).leases.remove(&key);
+        if self.server(holder).leases.remove(&key).is_some() {
+            self.emit_from(holder, ProtocolEvent::LeaseRevoked { seg: key.0, on: holder });
+        }
         self.server(holder).streams.with(&key, |stream| {
             if let Some(stream) = stream {
                 stream.group_unstable = false;
             }
         });
         self.stats.incr("core/stability/stable_rounds");
-        self.emit(ProtocolEvent::MarkedStable { seg: key.0 });
+        self.emit_from(holder, ProtocolEvent::MarkedStable { seg: key.0 });
     }
 
     /// Sets a replica's stability marker (asynchronously durable — the

@@ -114,7 +114,9 @@ impl Cluster {
         // read path re-checks the lease after its copy-out, so removing
         // it before any token state changes guarantees no reader serves
         // across the movement (see `Cluster::try_read_leased`).
-        self.server(holder).leases.remove(&key);
+        if self.server(holder).leases.remove(&key).is_some() {
+            self.emit_from(holder, ProtocolEvent::LeaseRevoked { seg: key.0, on: holder });
+        }
         let mut token =
             self.server(holder).tokens.get(&key).ok_or(DeceitError::WriteUnavailable(key.0))?;
 
@@ -152,7 +154,7 @@ impl Cluster {
             latency += self.cfg.disk.write_cost(replica.data.len() + 64);
             self.server(to).replicas.put_sync(key, replica);
             token.holders.insert(to);
-            self.emit(ProtocolEvent::ReplicaGenerated { seg: key.0, on: to });
+            self.emit_from(to, ProtocolEvent::ReplicaGenerated { seg: key.0, on: to });
         }
 
         // Transfer token state: durable at both ends (§3.5).
@@ -167,7 +169,7 @@ impl Cluster {
             latency += self.ensure_member(gid, to);
         }
         self.stats.incr("core/token/passes");
-        self.emit(ProtocolEvent::TokenAcquired { seg: key.0, server: to, from: holder });
+        self.emit_from(to, ProtocolEvent::TokenAcquired { seg: key.0, server: to, from: holder });
         Ok(latency)
     }
 
@@ -312,7 +314,7 @@ impl Cluster {
         }
 
         self.stats.incr("core/token/generated");
-        self.emit(ProtocolEvent::TokenGenerated { seg, server: via, major: new_major });
+        self.emit_from(via, ProtocolEvent::TokenGenerated { seg, server: via, major: new_major });
 
         // Satisfy the minimum replica level for the new version.
         self.schedule_min_replica_fill(via, new_key);

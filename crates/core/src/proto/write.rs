@@ -169,7 +169,10 @@ impl Cluster {
                 );
                 (rtts, replies, group_size)
             };
-        self.emit(ProtocolEvent::UpdateDistributed { seg, sub: new_version.sub, group_size });
+        self.emit_from(
+            via,
+            ProtocolEvent::UpdateDistributed { seg, sub: new_version.sub, group_size },
+        );
         self.stats.incr("core/updates");
 
         // Apply locally at the token holder (the primary replica).
@@ -188,7 +191,16 @@ impl Cluster {
         // need it: without stability the holder's replica stays stable
         // and the ordinary fast path serves it.
         if self.cfg.opt_read_leases && params.stability {
-            self.server(via).leases.insert(key, crate::server::ReadLease { version: new_version });
+            let prior = self
+                .server(via)
+                .leases
+                .insert(key, crate::server::ReadLease { version: new_version });
+            // Flight-record the opening of the lock-free window, not
+            // every per-write refresh — a stream would otherwise flood
+            // the ring with one grant per update.
+            if prior.is_none() {
+                self.emit_from(via, ProtocolEvent::LeaseGranted { seg, on: via });
+            }
         }
 
         // Advance the token's version pair — folding in the availability
@@ -219,11 +231,14 @@ impl Cluster {
         // Table 1 row 4: count update replies; §3.1 method 1 — if the
         // number of correct replies drops below the minimum replica level,
         // create new replicas.
-        self.emit(ProtocolEvent::RepliesCounted {
-            seg,
-            replies: replies_from_replicas,
-            needed: params.min_replicas,
-        });
+        self.emit_from(
+            via,
+            ProtocolEvent::RepliesCounted {
+                seg,
+                replies: replies_from_replicas,
+                needed: params.min_replicas,
+            },
+        );
         if replies_from_replicas < params.min_replicas {
             // Table 1 row 5: insufficient replicas → generate new replicas.
             self.schedule_min_replica_fill(via, key);
@@ -517,6 +532,17 @@ impl Cluster {
         }
         self.stats.incr("core/pipeline/batches");
         self.stats.add("core/pipeline/batched_updates", batch.len() as u64);
+        // The drain-batch distribution is the batching window's
+        // effectiveness signal: always-on, unlike the stats above.
+        self.obs.drain_batch.record(batch.len() as u64);
+        self.emit_from(
+            holder,
+            ProtocolEvent::StreamDrained {
+                seg: key.0,
+                updates: batch.len(),
+                group_size: outcome.replies.len(),
+            },
+        );
     }
 
     /// Routes a batch of sequenced updates through one replica's ordered

@@ -120,11 +120,50 @@ pub enum ProtocolEvent {
         /// The major version destroyed.
         major: u64,
     },
+    /// The pump drained an outbound pipeline stream: a buffered batch of
+    /// updates was propagated to the file group in one firing
+    /// (`ClusterConfig::opt_write_pipeline`).
+    StreamDrained {
+        /// Segment involved.
+        seg: SegmentId,
+        /// Updates shipped in this batch.
+        updates: usize,
+        /// Reachable group members the batch was applied to.
+        group_size: usize,
+    },
+    /// The holder granted itself a read lease on an unstable primary
+    /// (`ClusterConfig::opt_read_leases`): lock-free reads may now serve
+    /// the acked durable prefix.
+    LeaseGranted {
+        /// Segment involved.
+        seg: SegmentId,
+        /// The server holding the lease (the token holder).
+        on: NodeId,
+    },
+    /// A read lease was revoked — the token moved, the round stabilized,
+    /// or the replica was destroyed — closing the lock-free window.
+    LeaseRevoked {
+        /// Segment involved.
+        seg: SegmentId,
+        /// The server whose lease ended.
+        on: NodeId,
+    },
+    /// A crashed server began §3.6 recovery.
+    RecoveryStarted {
+        /// The recovering server.
+        server: NodeId,
+    },
+    /// A server completed §3.6 recovery and rejoined the cell.
+    RecoveryCompleted {
+        /// The recovered server.
+        server: NodeId,
+    },
 }
 
 impl ProtocolEvent {
-    /// The segment this event concerns.
-    pub fn segment(&self) -> SegmentId {
+    /// The segment this event concerns, if it is segment-scoped
+    /// (recovery start/completion are server-scoped).
+    pub fn segment(&self) -> Option<SegmentId> {
         match self {
             ProtocolEvent::TokenAcquired { seg, .. }
             | ProtocolEvent::TokenGenerated { seg, .. }
@@ -137,7 +176,11 @@ impl ProtocolEvent {
             | ProtocolEvent::ReadForwarded { seg, .. }
             | ProtocolEvent::ConflictLogged { seg, .. }
             | ProtocolEvent::ReadRepaired { seg, .. }
-            | ProtocolEvent::ObsoleteDestroyed { seg, .. } => *seg,
+            | ProtocolEvent::ObsoleteDestroyed { seg, .. }
+            | ProtocolEvent::StreamDrained { seg, .. }
+            | ProtocolEvent::LeaseGranted { seg, .. }
+            | ProtocolEvent::LeaseRevoked { seg, .. } => Some(*seg),
+            ProtocolEvent::RecoveryStarted { .. } | ProtocolEvent::RecoveryCompleted { .. } => None,
         }
     }
 
@@ -167,8 +210,11 @@ mod tests {
         let seg = SegmentId(1);
         let ev = ProtocolEvent::MarkedUnstable { seg, acks: 2 };
         assert_eq!(ev.table1_action(), Some("mark replicas as unstable"));
-        assert_eq!(ev.segment(), seg);
+        assert_eq!(ev.segment(), Some(seg));
         let fwd = ProtocolEvent::ReadForwarded { seg, from: NodeId(0), to: NodeId(1) };
         assert_eq!(fwd.table1_action(), None);
+        let rec = ProtocolEvent::RecoveryStarted { server: NodeId(0) };
+        assert_eq!(rec.segment(), None, "recovery events are server-scoped");
+        assert_eq!(rec.table1_action(), None);
     }
 }

@@ -77,19 +77,31 @@ impl NfsService for NfsServer {
     }
 
     fn serve(&mut self, via: NodeId, req: NfsRequest) -> (NfsReply, SimDuration) {
-        self.handle(via, req)
+        let start = std::time::Instant::now();
+        let served = self.handle(via, req);
+        self.fs.cluster.obs.serve_exec.record_micros(start.elapsed());
+        served
     }
 
     fn serve_shared(&self, via: NodeId, req: &NfsRequest) -> Option<(NfsReply, SimDuration)> {
-        self.handle_shared(via, req)
+        let start = std::time::Instant::now();
+        let served = self.handle_shared(via, req)?;
+        self.fs.cluster.obs.serve_exec.record_micros(start.elapsed());
+        Some(served)
     }
 
     fn serve_sharded(&self, via: NodeId, req: &NfsRequest) -> Option<(NfsReply, SimDuration)> {
-        self.handle_sharded(via, req)
+        let start = std::time::Instant::now();
+        let served = self.handle_sharded(via, req)?;
+        self.fs.cluster.obs.serve_exec.record_micros(start.elapsed());
+        Some(served)
     }
 
     fn serve_read_sharded(&self, via: NodeId, req: &NfsRequest) -> Option<(NfsReply, SimDuration)> {
-        self.handle_read_sharded(via, req)
+        let start = std::time::Instant::now();
+        let served = self.handle_read_sharded(via, req)?;
+        self.fs.cluster.obs.serve_exec.record_micros(start.elapsed());
+        Some(served)
     }
 }
 
@@ -145,6 +157,14 @@ impl ProtocolHost for DeceitFs {
     fn protocol_now(&self) -> SimTime {
         self.cluster.now()
     }
+
+    fn obs_core(&self) -> Option<&deceit_core::ObsCore> {
+        ProtocolHost::obs_core(&self.cluster)
+    }
+
+    fn stats_snapshot(&self) -> Option<deceit_sim::StatsSnapshot> {
+        ProtocolHost::stats_snapshot(&self.cluster)
+    }
 }
 
 impl ProtocolHost for NfsServer {
@@ -198,6 +218,14 @@ impl ProtocolHost for NfsServer {
 
     fn protocol_now(&self) -> SimTime {
         self.fs.protocol_now()
+    }
+
+    fn obs_core(&self) -> Option<&deceit_core::ObsCore> {
+        self.fs.obs_core()
+    }
+
+    fn stats_snapshot(&self) -> Option<deceit_sim::StatsSnapshot> {
+        self.fs.stats_snapshot()
     }
 }
 

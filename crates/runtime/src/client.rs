@@ -25,6 +25,7 @@ use deceit_net::NodeId;
 use deceit_nfs::{DirEntry, FileAttr, FileHandle, NfsReply, NfsRequest};
 
 use crate::error::{RuntimeError, RuntimeResult};
+use crate::obs::RuntimeObs;
 use crate::runtime::{ClientDirectory, NfsFrame};
 
 /// One live client session.
@@ -36,11 +37,15 @@ pub struct RuntimeClient {
     bus: LiveBus<NfsFrame>,
     timeout: Duration,
     root: FileHandle,
+    /// Shared runtime observability: completed calls record their
+    /// end-to-end latency here, bucketed by op class.
+    obs: Arc<RuntimeObs>,
     /// How many times a read-only request failed over to another server.
     pub failovers: u64,
 }
 
 impl RuntimeClient {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rpc: RpcEndpoint<NfsRequest, NfsReply>,
         home: NodeId,
@@ -49,8 +54,9 @@ impl RuntimeClient {
         bus: LiveBus<NfsFrame>,
         timeout: Duration,
         root: FileHandle,
+        obs: Arc<RuntimeObs>,
     ) -> Self {
-        RuntimeClient { rpc, home, servers, dir, bus, timeout, root, failovers: 0 }
+        RuntimeClient { rpc, home, servers, dir, bus, timeout, root, obs, failovers: 0 }
     }
 
     /// This session's node id on the bus.
@@ -103,7 +109,11 @@ impl RuntimeClient {
     /// Sends a request to a specific server and waits — no failover.
     /// The deterministic primitive the scenario runner uses.
     pub fn call_via(&mut self, server: NodeId, req: NfsRequest) -> RuntimeResult<NfsReply> {
-        Ok(self.rpc.call(server, req, self.timeout)?)
+        let class = req.class();
+        let start = std::time::Instant::now();
+        let rep = self.rpc.call(server, req, self.timeout)?;
+        self.obs.record_op(class, start.elapsed());
+        Ok(rep)
     }
 
     /// Sends a request to the home server and waits for the reply.
@@ -114,13 +124,22 @@ impl RuntimeClient {
     /// session on the first that answers. Mutating requests surface the
     /// transport error: blind retransmission could double-apply them.
     pub fn call(&mut self, req: NfsRequest) -> RuntimeResult<NfsReply> {
+        // Latency is recorded per op class on success, failover legs
+        // included — the client-visible request/reply boundary.
+        let class = req.class();
+        let start = std::time::Instant::now();
         if !req.is_read_only() {
             // Never retried, so never cloned: write payloads move
             // straight to the wire.
-            return Ok(self.rpc.call(self.home, req, self.timeout)?);
+            let rep = self.rpc.call(self.home, req, self.timeout)?;
+            self.obs.record_op(class, start.elapsed());
+            return Ok(rep);
         }
         match self.rpc.call(self.home, req.clone(), self.timeout) {
-            Ok(rep) => Ok(rep),
+            Ok(rep) => {
+                self.obs.record_op(class, start.elapsed());
+                Ok(rep)
+            }
             // UnknownCall cannot come out of a fresh call(); treat any
             // transport failure as grounds for read-only failover.
             Err(err) => {
@@ -130,6 +149,7 @@ impl RuntimeClient {
                     if let Ok(rep) = self.rpc.call(server, req.clone(), self.timeout) {
                         self.failovers += 1;
                         self.set_home(server);
+                        self.obs.record_op(class, start.elapsed());
                         return Ok(rep);
                     }
                 }

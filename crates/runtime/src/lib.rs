@@ -49,6 +49,7 @@
 pub mod client;
 pub mod config;
 pub mod error;
+pub mod obs;
 pub mod runtime;
 pub mod scenario;
 pub mod shard;
@@ -56,5 +57,6 @@ pub mod shard;
 pub use client::{RuntimeClient, WriteBatch};
 pub use config::RuntimeConfig;
 pub use error::{RuntimeError, RuntimeResult};
+pub use obs::{CoreReport, EngineReport, ObsReport, RuntimeObs, OP_CLASSES, OP_CLASS_NAMES};
 pub use runtime::{ClusterRuntime, RuntimeReport, RuntimeStats};
 pub use scenario::{Scenario, ScenarioOutcome, ScenarioStep};

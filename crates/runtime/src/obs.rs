@@ -1,0 +1,326 @@
+//! Runtime-side observability: per-op-class latency, pump behavior, and
+//! the unified [`ObsReport`] export.
+//!
+//! The simulator measures *simulated* latencies through its event clock;
+//! the live runtime measures wall-clock ones. [`RuntimeObs`] holds the
+//! request-boundary histograms — recorded by [`crate::RuntimeClient`] at
+//! the request/reply boundary, classified by the request's
+//! [`OpClass`] — plus the pump's idle/busy transition counters and the
+//! shared-fast-path serve timings. Everything is lock-free atomics
+//! ([`AtomicHistogram`] buckets and relaxed counters), always on, and
+//! shared by `Arc` between the runtime handle, every server thread, and
+//! every client session.
+//!
+//! [`ClusterRuntime::observe`](crate::ClusterRuntime::observe) folds
+//! these together with the engine's lock-level telemetry
+//! (`crate::shard`), the protocol core's [`deceit_core::ObsCore`], and
+//! the sim-side stats registry snapshot into one [`ObsReport`], which
+//! [`ObsReport::to_json`] serializes without any serializer dependency.
+
+use std::sync::atomic::AtomicU64;
+
+use deceit_core::{AtomicHistogram, HistCounts, HistSummary, OpClass};
+use deceit_sim::StatsSnapshot;
+
+use crate::runtime::RuntimeStats;
+
+/// Number of op classes tracked by [`RuntimeObs::op_latency`].
+pub const OP_CLASSES: usize = 4;
+
+/// Stable export names for the op-class histograms, indexed by
+/// [`op_class_index`].
+pub const OP_CLASS_NAMES: [&str; OP_CLASSES] = ["read_only", "mutate", "cross_shard", "cell_wide"];
+
+/// Maps an [`OpClass`] to its histogram index.
+pub fn op_class_index(class: OpClass) -> usize {
+    match class {
+        OpClass::ReadOnly => 0,
+        OpClass::Mutate(_) => 1,
+        OpClass::CrossShard(..) => 2,
+        OpClass::CellWide => 3,
+    }
+}
+
+/// The runtime's always-on observability bundle.
+#[derive(Debug)]
+pub struct RuntimeObs {
+    /// End-to-end request latency (microseconds), client submit to reply
+    /// receipt, one histogram per op class — see [`OP_CLASS_NAMES`].
+    pub op_latency: [AtomicHistogram; OP_CLASSES],
+    /// Shared-fast-path serve time (microseconds): how long a read
+    /// answered under the shared cell lock spent in the engine.
+    pub shared_serve: AtomicHistogram,
+    /// Pump transitions into the idle loop (no deferred work pending).
+    pub pump_to_idle: AtomicU64,
+    /// Pump transitions back to draining (work appeared after idling).
+    pub pump_to_busy: AtomicU64,
+}
+
+impl Default for RuntimeObs {
+    fn default() -> Self {
+        RuntimeObs::new()
+    }
+}
+
+impl RuntimeObs {
+    /// A zeroed bundle.
+    pub fn new() -> Self {
+        RuntimeObs {
+            op_latency: std::array::from_fn(|_| AtomicHistogram::new()),
+            shared_serve: AtomicHistogram::new(),
+            pump_to_idle: AtomicU64::new(0),
+            pump_to_busy: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one completed request of `class` that took `elapsed`.
+    pub fn record_op(&self, class: OpClass, elapsed: std::time::Duration) {
+        self.op_latency[op_class_index(class)].record_micros(elapsed);
+    }
+
+    /// Point-in-time bucket counts of every op-class histogram — the
+    /// interval primitive: snapshot before and after a timed section,
+    /// subtract with [`HistCounts::since`], merge, take percentiles.
+    pub fn op_latency_counts(&self) -> [HistCounts; OP_CLASSES] {
+        std::array::from_fn(|i| self.op_latency[i].counts())
+    }
+}
+
+/// Lock-level telemetry of the sharded engine, exported.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineReport {
+    /// Shared (read) cell-lock acquisitions.
+    pub shared_acquisitions: u64,
+    /// Exclusive (write) cell-lock acquisitions.
+    pub exclusive_acquisitions: u64,
+    /// Cell-lock acquisition wait (queue wait), microseconds.
+    pub cell_wait: HistSummary,
+    /// Ring-lock hold time, microseconds.
+    pub ring_hold: HistSummary,
+    /// Per-slot `(sharded fast-path, exclusive fallback)` execution
+    /// counts, indexed by ring slot.
+    pub slots: Vec<(u64, u64)>,
+}
+
+/// Protocol-core telemetry ([`deceit_core::ObsCore`]), exported.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreReport {
+    /// Serve-path execution time stamped by the NFS envelope.
+    pub serve_exec: HistSummary,
+    /// Outbound-stream drain batch sizes.
+    pub drain_batch: HistSummary,
+    /// Read-lease validations that failed and left the lock-free path.
+    pub lease_validation_failures: u64,
+    /// Protocol events ever flight-recorded, per server.
+    pub flight_events: Vec<u64>,
+}
+
+/// The unified observability export of a running cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsReport {
+    /// Request latency summaries, one per op class, named per
+    /// [`OP_CLASS_NAMES`].
+    pub op_latency: Vec<(&'static str, HistSummary)>,
+    /// Shared-fast-path serve time.
+    pub shared_serve: HistSummary,
+    /// Pump busy→idle transitions.
+    pub pump_to_idle: u64,
+    /// Pump idle→busy transitions.
+    pub pump_to_busy: u64,
+    /// Sharded-engine lock telemetry.
+    pub engine: EngineReport,
+    /// Protocol-core telemetry, when the engine carries an `ObsCore`.
+    pub core: Option<CoreReport>,
+    /// Sim-side stats registry snapshot, when the engine keeps one. Live
+    /// configs run the registry disabled; the snapshot says so
+    /// explicitly rather than reporting zeroes.
+    pub stats: Option<StatsSnapshot>,
+    /// The lock-free traffic counters.
+    pub runtime: RuntimeStats,
+}
+
+impl ObsReport {
+    /// Serializes the report as a JSON object (hand-rolled: the vendored
+    /// serde has no serializer).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"op_latency\": {");
+        for (i, (name, s)) in self.op_latency.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{name}\": {}", summary_json(s));
+        }
+        out.push_str("\n  },\n");
+        let _ = writeln!(out, "  \"shared_serve\": {},", summary_json(&self.shared_serve));
+        let _ = writeln!(
+            out,
+            "  \"pump\": {{\"to_idle\": {}, \"to_busy\": {}}},",
+            self.pump_to_idle, self.pump_to_busy
+        );
+        let e = &self.engine;
+        let _ = write!(
+            out,
+            "  \"engine\": {{\n    \"shared_acquisitions\": {},\n    \"exclusive_acquisitions\": {},\n    \"cell_wait\": {},\n    \"ring_hold\": {},\n    \"slots\": [",
+            e.shared_acquisitions,
+            e.exclusive_acquisitions,
+            summary_json(&e.cell_wait),
+            summary_json(&e.ring_hold),
+        );
+        for (i, (sharded, fallbacks)) in e.slots.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}{{\"sharded\": {sharded}, \"fallbacks\": {fallbacks}}}");
+        }
+        out.push_str("]\n  },\n");
+        match &self.core {
+            Some(c) => {
+                let _ = write!(
+                    out,
+                    "  \"core\": {{\n    \"serve_exec\": {},\n    \"drain_batch\": {},\n    \"lease_validation_failures\": {},\n    \"flight_events\": {:?}\n  }},\n",
+                    summary_json(&c.serve_exec),
+                    summary_json(&c.drain_batch),
+                    c.lease_validation_failures,
+                    c.flight_events,
+                );
+            }
+            None => out.push_str("  \"core\": null,\n"),
+        }
+        match &self.stats {
+            Some(s) => {
+                let _ =
+                    write!(out, "  \"stats\": {{\"disabled\": {}, \"counters\": {{", s.disabled);
+                for (i, (name, v)) in s.counters.iter().enumerate() {
+                    let sep = if i == 0 { "" } else { ", " };
+                    let _ = write!(out, "{sep}\"{name}\": {v}");
+                }
+                out.push_str("}, \"histograms\": {");
+                for (i, (name, h)) in s.histograms.iter().enumerate() {
+                    let sep = if i == 0 { "" } else { ", " };
+                    let _ = write!(
+                        out,
+                        "{sep}\"{name}\": {{\"count\": {}, \"mean\": {:.3}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+                        h.count, h.mean, h.p50, h.p95, h.p99, h.max
+                    );
+                }
+                out.push_str("}},\n");
+            }
+            None => out.push_str("  \"stats\": null,\n"),
+        }
+        let r = &self.runtime;
+        let _ = write!(
+            out,
+            "  \"runtime\": {{\"requests_served\": {}, \"requests_served_shared\": {}, \"requests_served_sharded\": {}, \"bus_delivered\": {}, \"bus_rejected\": {}, \"bus_dropped_stale\": {}, \"pending_work\": {}}}\n}}",
+            r.requests_served,
+            r.requests_served_shared,
+            r.requests_served_sharded,
+            r.bus_delivered,
+            r.bus_rejected,
+            r.bus_dropped_stale,
+            r.pending_work,
+        );
+        out
+    }
+}
+
+fn summary_json(s: &HistSummary) -> String {
+    format!(
+        "{{\"count\": {}, \"mean_us\": {:.3}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+        s.count, s.mean, s.p50, s.p90, s.p99, s.max
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary_of(values: &[u64]) -> HistSummary {
+        let h = AtomicHistogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h.summary()
+    }
+
+    #[test]
+    fn op_class_indices_cover_every_class_once() {
+        let key: deceit_core::ShardKey = 1;
+        let classes = [
+            OpClass::ReadOnly,
+            OpClass::Mutate(key),
+            OpClass::CrossShard(key, 2),
+            OpClass::CellWide,
+        ];
+        let mut seen = [false; OP_CLASSES];
+        for c in classes {
+            let i = op_class_index(c);
+            assert!(!seen[i], "class index {i} assigned twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every histogram slot must be reachable");
+        assert_eq!(OP_CLASS_NAMES.len(), OP_CLASSES);
+    }
+
+    #[test]
+    fn report_serializes_as_json_with_percentile_fields() {
+        let report = ObsReport {
+            op_latency: vec![("read_only", summary_of(&[10, 20, 30]))],
+            shared_serve: summary_of(&[5]),
+            pump_to_idle: 2,
+            pump_to_busy: 1,
+            engine: EngineReport {
+                shared_acquisitions: 7,
+                exclusive_acquisitions: 3,
+                cell_wait: summary_of(&[1]),
+                ring_hold: summary_of(&[2]),
+                slots: vec![(4, 1), (0, 0)],
+            },
+            core: Some(CoreReport {
+                serve_exec: summary_of(&[9]),
+                drain_batch: summary_of(&[3, 3]),
+                lease_validation_failures: 1,
+                flight_events: vec![12, 0, 5],
+            }),
+            stats: Some(StatsSnapshot { disabled: true, counters: vec![], histograms: vec![] }),
+            runtime: RuntimeStats {
+                bus_delivered: 100,
+                bus_rejected: 0,
+                bus_dropped_stale: 0,
+                requests_served: 50,
+                requests_served_shared: 40,
+                requests_served_sharded: 8,
+                pending_work: 0,
+            },
+        };
+        let json = report.to_json();
+        for needle in [
+            "\"op_latency\"",
+            "\"read_only\"",
+            "\"p50_us\"",
+            "\"p90_us\"",
+            "\"p99_us\"",
+            "\"shared_acquisitions\": 7",
+            "\"slots\": [{\"sharded\": 4, \"fallbacks\": 1}",
+            "\"lease_validation_failures\": 1",
+            "\"flight_events\": [12, 0, 5]",
+            "\"disabled\": true",
+            "\"requests_served\": 50",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Balanced braces — the cheap structural sanity check available
+        // without a JSON parser in-tree.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "unbalanced JSON braces:\n{json}");
+    }
+
+    #[test]
+    fn runtime_obs_records_by_class() {
+        let obs = RuntimeObs::new();
+        obs.record_op(OpClass::ReadOnly, std::time::Duration::from_micros(10));
+        obs.record_op(OpClass::CellWide, std::time::Duration::from_micros(99));
+        let counts = obs.op_latency_counts();
+        assert_eq!(counts[0].count(), 1);
+        assert_eq!(counts[1].count(), 0);
+        assert_eq!(counts[3].count(), 1);
+    }
+}

@@ -27,6 +27,7 @@ use deceit_nfs::{DeceitFs, NfsReply, NfsRequest, NfsServer, NfsService};
 
 use crate::client::RuntimeClient;
 use crate::config::RuntimeConfig;
+use crate::obs::{CoreReport, EngineReport, ObsReport, RuntimeObs, OP_CLASS_NAMES};
 use crate::shard::ShardedEngine;
 
 /// The wire frame between clients and servers: the NFS envelope carried
@@ -226,6 +227,8 @@ struct Shared<S> {
     pending_cache: AtomicUsize,
     /// Per-server traffic counters, indexed by server id.
     tallies: Box<[Tally]>,
+    /// Always-on runtime observability, shared with client sessions.
+    obs: Arc<RuntimeObs>,
 }
 
 impl<S: ProtocolHost> Shared<S> {
@@ -295,6 +298,7 @@ impl<S: NfsService + ProtocolHost + Send + Sync + 'static> ClusterRuntime<S> {
             served_sharded: AtomicU64::new(0),
             pending_cache: AtomicUsize::new(pending),
             tallies: (0..cfg.servers).map(|_| Tally::default()).collect(),
+            obs: Arc::new(RuntimeObs::new()),
         });
 
         let server_ids: Vec<NodeId> = (0..cfg.servers).map(NodeId::from).collect();
@@ -370,6 +374,7 @@ impl<S: NfsService + ProtocolHost + Send + Sync + 'static> ClusterRuntime<S> {
             self.shared.bus.clone(),
             self.cfg.request_timeout,
             root,
+            Arc::clone(&self.shared.obs),
         )
     }
 
@@ -435,6 +440,70 @@ impl<S: NfsService + ProtocolHost + Send + Sync + 'static> ClusterRuntime<S> {
             requests_served_shared: self.shared.served_shared.load(Ordering::Relaxed),
             requests_served_sharded: self.shared.served_sharded.load(Ordering::Relaxed),
             pending_work: self.shared.pending_cache.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The runtime's always-on observability bundle (per-op-class
+    /// latency histograms, pump transitions). Cheap to clone; client
+    /// sessions already share it.
+    pub fn obs(&self) -> Arc<RuntimeObs> {
+        Arc::clone(&self.shared.obs)
+    }
+
+    /// One structured snapshot of every observability layer: op-class
+    /// latency, engine lock telemetry, protocol-core histograms and
+    /// flight-recorder totals, the sim-side stats snapshot, and the
+    /// traffic counters. Takes the shared cell lock briefly (for the
+    /// core/stats reads); everything else is read from atomics.
+    pub fn observe(&self) -> ObsReport {
+        let eobs = &self.shared.engine.obs;
+        let engine = EngineReport {
+            shared_acquisitions: eobs.shared_acquisitions.load(Ordering::Relaxed),
+            exclusive_acquisitions: eobs.exclusive_acquisitions.load(Ordering::Relaxed),
+            cell_wait: eobs.cell_wait.summary(),
+            ring_hold: eobs.ring_hold.summary(),
+            slots: eobs
+                .slots
+                .iter()
+                .map(|s| (s.sharded.load(Ordering::Relaxed), s.fallbacks.load(Ordering::Relaxed)))
+                .collect(),
+        };
+        let (core, stats) = {
+            let guard = self.shared.engine.read_guard();
+            let core = guard.obs_core().map(|o| CoreReport {
+                serve_exec: o.serve_exec.summary(),
+                drain_batch: o.drain_batch.summary(),
+                lease_validation_failures: o.lease_validation_failures.load(Ordering::Relaxed),
+                flight_events: (0..o.flight.servers())
+                    .map(|i| o.flight.total(NodeId(i as u32)))
+                    .collect(),
+            });
+            (core, guard.stats_snapshot())
+        };
+        let obs = &self.shared.obs;
+        ObsReport {
+            op_latency: OP_CLASS_NAMES
+                .iter()
+                .zip(&obs.op_latency)
+                .map(|(&name, h)| (name, h.summary()))
+                .collect(),
+            shared_serve: obs.shared_serve.summary(),
+            pump_to_idle: obs.pump_to_idle.load(Ordering::Relaxed),
+            pump_to_busy: obs.pump_to_busy.load(Ordering::Relaxed),
+            engine,
+            core,
+            stats,
+            runtime: self.stats(),
+        }
+    }
+
+    /// A human-readable dump of the protocol flight recorder — the last
+    /// N protocol events each server acted in. What differential tests
+    /// print when live and sim disagree.
+    pub fn dump_flight_recorder(&self) -> String {
+        match self.shared.engine.read_guard().obs_core() {
+            Some(o) => o.flight.dump(),
+            None => "flight recorder unavailable: engine exposes no ObsCore".into(),
         }
     }
 
@@ -580,8 +649,12 @@ fn serve_read_batch<S: NfsService + ProtocolHost>(
             let engine = shared.engine.read_guard();
             let mut cur = cur;
             loop {
+                let t = std::time::Instant::now();
                 match engine.serve_shared(id, &cur.req) {
-                    Some((rep, _latency)) => tally(ep.reply(cur.from, cur.call, rep), true),
+                    Some((rep, _latency)) => {
+                        shared.obs.shared_serve.record_micros(t.elapsed());
+                        tally(ep.reply(cur.from, cur.call, rep), true)
+                    }
                     None => break Some(cur),
                 }
                 match next_batched_read(shared, ep, id, &mut budget) {
@@ -673,12 +746,23 @@ fn next_batched_read<S>(
 /// and no single file's backlog monopolizes a pump pass.
 fn pump_loop<S: ProtocolHost>(shared: &Shared<S>, interval: Duration, batch: usize) {
     let shards = shared.engine.shard_count();
+    // Idle/busy transition accounting: a pump that flaps between the
+    // two under load is a sign the batching window is mistuned.
+    let mut idle = true;
     while !shared.stop.load(Ordering::Relaxed) {
         // The cached count keeps an idle pump off the cell lock
         // entirely — a read-only workload never sees the pump contend.
         if shared.pending_cache.load(Ordering::Relaxed) == 0 {
+            if !idle {
+                idle = true;
+                shared.obs.pump_to_idle.fetch_add(1, Ordering::Relaxed);
+            }
             thread::sleep(interval);
             continue;
+        }
+        if idle {
+            idle = false;
+            shared.obs.pump_to_busy.fetch_add(1, Ordering::Relaxed);
         }
         // One allocation-free mask probe under the shared lock tells us
         // which slots have work; each hot slot then drains under the

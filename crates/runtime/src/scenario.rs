@@ -145,6 +145,18 @@ impl Scenario {
 
     /// Runs the script against a live cluster on real threads.
     pub fn run_live(&self, cfg: &RuntimeConfig) -> RuntimeResult<ScenarioOutcome> {
+        self.run_live_observed(cfg).map(|(outcome, _)| outcome)
+    }
+
+    /// [`Scenario::run_live`] plus the cluster's flight-recorder dump,
+    /// captured just before shutdown — what a differential test prints
+    /// when the live outcome disagrees with the simulator's, so the
+    /// mismatch arrives with the last protocol events each server acted
+    /// in instead of a bare assert.
+    pub fn run_live_observed(
+        &self,
+        cfg: &RuntimeConfig,
+    ) -> RuntimeResult<(ScenarioOutcome, String)> {
         let mut cfg = cfg.clone();
         cfg.servers = self.servers;
         let rt = ClusterRuntime::start(cfg);
@@ -229,8 +241,9 @@ impl Scenario {
             outcome.replicas.insert(name, holders);
         }
         drop(sessions);
+        let flight = rt.dump_flight_recorder();
         rt.shutdown();
-        Ok(outcome)
+        Ok((outcome, flight))
     }
 }
 

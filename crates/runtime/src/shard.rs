@@ -37,15 +37,70 @@
 //! everything: they are leaf locks, held for single container
 //! operations, never across another lock acquisition.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 
-use deceit_core::OpClass;
+use deceit_core::{AtomicHistogram, OpClass};
+
+/// Contention telemetry for one ring slot.
+#[derive(Debug, Default)]
+pub(crate) struct SlotCounters {
+    /// Mutations executed on this slot's sharded fast path.
+    pub sharded: AtomicU64,
+    /// Executions that fell back to the exclusive cell lock while
+    /// declaring this slot (footprint escaped the ring locks).
+    pub fallbacks: AtomicU64,
+}
+
+/// The engine's lock-level observability: acquisition counts per path,
+/// per-slot contention counters, and the two engine phases of every
+/// request — how long it waited to get in (cell-lock acquisition) and
+/// how long it held its ring locks. All atomics and [`AtomicHistogram`]s;
+/// recording adds a few relaxed ops per execution.
+#[derive(Debug)]
+pub(crate) struct EngineObs {
+    /// Shared (read) cell-lock acquisitions.
+    pub shared_acquisitions: AtomicU64,
+    /// Exclusive (write) cell-lock acquisitions.
+    pub exclusive_acquisitions: AtomicU64,
+    /// Cell-lock acquisition wait, microseconds — the "queue wait" of a
+    /// request: how long it sat behind the lock before executing.
+    pub cell_wait: AtomicHistogram,
+    /// Ring-lock hold time, microseconds — lock acquisition through body
+    /// completion on the sharded and exclusive mutation paths.
+    pub ring_hold: AtomicHistogram,
+    /// Per-slot contention counters.
+    pub slots: Box<[SlotCounters]>,
+}
+
+impl EngineObs {
+    fn new(shards: usize) -> Self {
+        EngineObs {
+            shared_acquisitions: AtomicU64::new(0),
+            exclusive_acquisitions: AtomicU64::new(0),
+            cell_wait: AtomicHistogram::new(),
+            ring_hold: AtomicHistogram::new(),
+            slots: (0..shards).map(|_| SlotCounters::default()).collect(),
+        }
+    }
+
+    fn count_slots(&self, class: OpClass, fallback: bool) {
+        for slot in class.slots(self.slots.len()) {
+            let c = &self.slots[slot];
+            if fallback { &c.fallbacks } else { &c.sharded }.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
 
 /// A protocol engine under sharded concurrency control.
 #[derive(Debug)]
 pub(crate) struct ShardedEngine<S> {
     cell: RwLock<S>,
     shards: Box<[Mutex<()>]>,
+    /// Lock-level telemetry; recording is always on (relaxed atomics).
+    pub(crate) obs: EngineObs,
 }
 
 impl<S> ShardedEngine<S> {
@@ -53,7 +108,8 @@ impl<S> ShardedEngine<S> {
     /// match the engine's pending-work mask).
     pub(crate) fn new(engine: S, shards: usize) -> Self {
         let shards: Box<[Mutex<()>]> = (0..shards.clamp(1, 64)).map(|_| Mutex::new(())).collect();
-        ShardedEngine { cell: RwLock::new(engine), shards }
+        let obs = EngineObs::new(shards.len());
+        ShardedEngine { cell: RwLock::new(engine), shards, obs }
     }
 
     /// Number of ring slots.
@@ -63,7 +119,11 @@ impl<S> ShardedEngine<S> {
 
     /// Shared access to the engine, concurrent with other readers.
     pub(crate) fn read_guard(&self) -> RwLockReadGuard<'_, S> {
-        self.cell.read()
+        let start = Instant::now();
+        let guard = self.cell.read();
+        self.obs.cell_wait.record_micros(start.elapsed());
+        self.obs.shared_acquisitions.fetch_add(1, Ordering::Relaxed);
+        guard
     }
 
     /// Runs `f` with shared access.
@@ -104,9 +164,18 @@ impl<S> ShardedEngine<S> {
         class: OpClass,
         f: impl FnOnce(&S) -> Option<T>,
     ) -> Option<T> {
+        let start = Instant::now();
         let cell = self.cell.read();
+        self.obs.cell_wait.record_micros(start.elapsed());
+        self.obs.shared_acquisitions.fetch_add(1, Ordering::Relaxed);
+        let held = Instant::now();
         let _ring = self.lock_ring(class);
-        f(&cell)
+        let out = f(&cell);
+        self.obs.ring_hold.record_micros(held.elapsed());
+        if out.is_some() {
+            self.obs.count_slots(class, false);
+        }
+        out
     }
 
     /// Runs `f` with exclusive access, holding the shard locks `class`
@@ -114,32 +183,55 @@ impl<S> ShardedEngine<S> {
     /// (The ring locks are redundant under the exclusive cell lock but
     /// kept so the declared footprint is exercised on every path.)
     pub(crate) fn execute<T>(&self, class: OpClass, f: impl FnOnce(&mut S) -> T) -> T {
+        let start = Instant::now();
         let mut cell = self.cell.write();
+        self.obs.cell_wait.record_micros(start.elapsed());
+        self.obs.exclusive_acquisitions.fetch_add(1, Ordering::Relaxed);
+        let held = Instant::now();
         let _ring = self.lock_ring(class);
-        f(&mut cell)
+        let out = f(&mut cell);
+        self.obs.ring_hold.record_micros(held.elapsed());
+        self.obs.count_slots(class, true);
+        out
     }
 
     /// Runs `f` with shared cell access and one ring slot held — the
     /// pump's per-shard drain.
     pub(crate) fn with_slot_shared<T>(&self, slot: usize, f: impl FnOnce(&S) -> T) -> T {
+        let start = Instant::now();
         let cell = self.cell.read();
+        self.obs.cell_wait.record_micros(start.elapsed());
+        self.obs.shared_acquisitions.fetch_add(1, Ordering::Relaxed);
+        let held = Instant::now();
         let _shard = self.shards[slot].lock();
-        f(&cell)
+        let out = f(&cell);
+        self.obs.ring_hold.record_micros(held.elapsed());
+        out
     }
 
     /// Runs `f` with exclusive access and one ring slot held — the
     /// pump's fallback for engines that cannot pump a shard through
     /// `&self`.
     pub(crate) fn with_slot<T>(&self, slot: usize, f: impl FnOnce(&mut S) -> T) -> T {
+        let start = Instant::now();
         let mut cell = self.cell.write();
+        self.obs.cell_wait.record_micros(start.elapsed());
+        self.obs.exclusive_acquisitions.fetch_add(1, Ordering::Relaxed);
+        let held = Instant::now();
         let _shard = self.shards[slot].lock();
-        f(&mut cell)
+        let out = f(&mut cell);
+        self.obs.ring_hold.record_micros(held.elapsed());
+        out
     }
 
     /// Runs `f` with exclusive access and no shard locks (cell-wide
     /// operations, inspection hatches, read-path fallbacks).
     pub(crate) fn exclusive<T>(&self, f: impl FnOnce(&mut S) -> T) -> T {
-        f(&mut self.cell.write())
+        let start = Instant::now();
+        let mut cell = self.cell.write();
+        self.obs.cell_wait.record_micros(start.elapsed());
+        self.obs.exclusive_acquisitions.fetch_add(1, Ordering::Relaxed);
+        f(&mut cell)
     }
 
     /// Consumes the wrapper, returning the engine.

@@ -14,10 +14,16 @@ fn crash_scenario_matches_across_worlds() {
     let cfg = RuntimeConfig::new(3);
 
     let sim = scenario.run_sim(&cfg);
-    let live = scenario.run_live(&cfg).expect("live run");
+    let (live, flight) = scenario.run_live_observed(&cfg).expect("live run");
 
-    assert_eq!(sim.contents, live.contents, "file contents diverged between worlds");
-    assert_eq!(sim.replicas, live.replicas, "replica counts diverged between worlds");
+    assert_eq!(
+        sim.contents, live.contents,
+        "file contents diverged between worlds; live flight recorder:\n{flight}"
+    );
+    assert_eq!(
+        sim.replicas, live.replicas,
+        "replica counts diverged between worlds; live flight recorder:\n{flight}"
+    );
 
     // And both worlds are self-consistent with the script.
     assert_eq!(sim.contents.len(), 4);
@@ -50,8 +56,8 @@ fn append_scenario_matches_across_worlds() {
     let cfg = RuntimeConfig::new(3);
 
     let sim = scenario.run_sim(&cfg);
-    let live = scenario.run_live(&cfg).expect("live run");
-    assert_eq!(sim, live, "append scenario diverged");
+    let (live, flight) = scenario.run_live_observed(&cfg).expect("live run");
+    assert_eq!(sim, live, "append scenario diverged; live flight recorder:\n{flight}");
 
     let log = &sim.contents["log"];
     let expected: Vec<u8> = (0..6)
@@ -136,6 +142,7 @@ fn concurrent_disjoint_mutations_match_sim_in_completion_order() {
         handles.iter().map(|&fh| reader.read(fh, 0, 4096).expect("read back").to_vec()).collect();
     let live_versions: Vec<u64> =
         handles.iter().map(|&fh| reader.getattr(fh).expect("getattr").version.sub).collect();
+    let flight = rt.dump_flight_recorder();
     rt.shutdown();
 
     // Simulator replay, in the observed global completion order.
@@ -166,10 +173,14 @@ fn concurrent_disjoint_mutations_match_sim_in_completion_order() {
         assert_eq!(
             live_contents[c],
             sim_data.to_vec(),
-            "file f{c} diverged between live (sharded) and sim (serial) execution"
+            "file f{c} diverged between live (sharded) and sim (serial) execution; \
+             live flight recorder:\n{flight}"
         );
         let sim_sub = fs.getattr(via, sim_handles[c]).expect("sim getattr").value.version.sub;
-        assert_eq!(live_versions[c], sim_sub, "file f{c} applied a different number of updates");
+        assert_eq!(
+            live_versions[c], sim_sub,
+            "file f{c} applied a different number of updates; live flight recorder:\n{flight}"
+        );
     }
 }
 
@@ -261,6 +272,7 @@ fn crash_of_token_holder_mid_write_matches_sim_replay() {
         handles.iter().map(|&fh| reader.getattr(fh).expect("getattr").version.sub).collect();
     let live_replicas: Vec<usize> =
         handles.iter().map(|&fh| reader.locate_replicas(fh).expect("locate").len()).collect();
+    let flight = rt.dump_flight_recorder();
     rt.shutdown();
 
     // Observed history: acked writes per file, in completion order.
@@ -319,15 +331,19 @@ fn crash_of_token_holder_mid_write_matches_sim_replay() {
         assert_eq!(
             live_contents[c],
             sim_data.to_vec(),
-            "file f{c} diverged between the crashed live run and the sim replay"
+            "file f{c} diverged between the crashed live run and the sim replay; \
+             live flight recorder:\n{flight}"
         );
         let sim_sub = fs.getattr(read_via, sim_handles[c]).expect("sim getattr").value.version.sub;
-        assert_eq!(live_versions[c], sim_sub, "file f{c} applied a different number of updates");
+        assert_eq!(
+            live_versions[c], sim_sub,
+            "file f{c} applied a different number of updates; live flight recorder:\n{flight}"
+        );
         let sim_replicas = fs.file_replicas(read_via, sim_handles[c]).expect("sim locate").value;
         assert_eq!(
             live_replicas[c],
             sim_replicas.len(),
-            "file f{c} recovered to a different replica level"
+            "file f{c} recovered to a different replica level; live flight recorder:\n{flight}"
         );
     }
 }
@@ -428,8 +444,12 @@ fn readers_vs_write_stream_matches_sim_replay() {
     let live_final = verifier.read(fh, 0, 1 << 16).expect("final read").to_vec();
     let live_sub = verifier.getattr(fh).expect("getattr").version.sub;
     let live_replicas = verifier.locate_replicas(fh).expect("locate").len();
+    let flight = rt.dump_flight_recorder();
     rt.shutdown();
-    assert_eq!(live_final, expected, "the live stream lost or reordered an acked write");
+    assert_eq!(
+        live_final, expected,
+        "the live stream lost or reordered an acked write; live flight recorder:\n{flight}"
+    );
 
     // Simulator replay of the same history through the same config.
     let via = deceit_net::NodeId(home.0);
@@ -450,11 +470,21 @@ fn readers_vs_write_stream_matches_sim_replay() {
 
     let read_via = deceit_net::NodeId(remote_home.0);
     let sim_final = fs.read(read_via, sim_fh, 0, 1 << 16).expect("sim read").value;
-    assert_eq!(live_final, sim_final.to_vec(), "stream contents diverged between worlds");
+    assert_eq!(
+        live_final,
+        sim_final.to_vec(),
+        "stream contents diverged between worlds; live flight recorder:\n{flight}"
+    );
     let sim_sub = fs.getattr(read_via, sim_fh).expect("sim getattr").value.version.sub;
-    assert_eq!(live_sub, sim_sub, "the stream applied a different number of updates");
+    assert_eq!(
+        live_sub, sim_sub,
+        "the stream applied a different number of updates; live flight recorder:\n{flight}"
+    );
     let sim_replicas = fs.file_replicas(read_via, sim_fh).expect("sim locate").value.len();
-    assert_eq!(live_replicas, sim_replicas, "replica levels diverged between worlds");
+    assert_eq!(
+        live_replicas, sim_replicas,
+        "replica levels diverged between worlds; live flight recorder:\n{flight}"
+    );
 }
 
 /// Shard-lock exclusion: two mutations of the *same* file never

@@ -21,6 +21,6 @@ pub mod trace;
 
 pub use events::EventQueue;
 pub use rng::SimRng;
-pub use stats::{Counter, Histogram, StatsRegistry, Summary};
+pub use stats::{Counter, Histogram, StatsRegistry, StatsSnapshot, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceLog};

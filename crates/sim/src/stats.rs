@@ -264,6 +264,37 @@ impl StatsRegistry {
         inner.counters.clear();
         inner.histograms.clear();
     }
+
+    /// Whether recording calls take effect.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// A point-in-time copy of every counter and histogram summary.
+    ///
+    /// A disabled registry yields a snapshot with `disabled: true` and
+    /// empty maps — the marker travels with the data, so an exporter
+    /// cannot present a switched-off registry as "zero events observed".
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let inner = self.lock();
+        StatsSnapshot {
+            disabled: !self.enabled,
+            counters: inner.counters.iter().map(|(n, c)| (*n, c.get())).collect(),
+            histograms: inner.histograms.iter().map(|(n, h)| (*n, h.clone().summary())).collect(),
+        }
+    }
+}
+
+/// An owned snapshot of a [`StatsRegistry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// True when the registry was disabled: the empty maps below mean
+    /// "nothing was recorded", not "nothing happened".
+    pub disabled: bool,
+    /// Every counter's name and value, sorted by name.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Every histogram's name and summary, sorted by name.
+    pub histograms: Vec<(&'static str, Summary)>,
 }
 
 impl fmt::Display for StatsRegistry {
@@ -334,6 +365,25 @@ mod tests {
         assert_eq!(r.counter_names(), vec!["net/messages"]);
         r.reset();
         assert_eq!(r.counter("net/messages"), 0);
+    }
+
+    #[test]
+    fn snapshot_marks_disabled_registries() {
+        let live = StatsRegistry::new();
+        live.incr("a");
+        let snap = live.snapshot();
+        assert!(!snap.disabled);
+        assert!(live.is_enabled());
+        assert_eq!(snap.counters, vec![("a", 1)]);
+
+        let off = StatsRegistry::disabled();
+        off.incr("a");
+        off.record("h", 9);
+        let snap = off.snapshot();
+        assert!(snap.disabled, "a disabled registry must say so, not report zeroes");
+        assert!(!off.is_enabled());
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
     }
 
     #[test]
