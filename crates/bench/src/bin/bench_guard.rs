@@ -2,9 +2,11 @@
 //!
 //! Re-runs every workload class — mixed (both lock paths), read (the
 //! shared fast path), write (the pipelined sharded mutation path), hot
-//! (single-slot contention), and stream (same-file readers under an
-//! active write stream, the read-lease path) — and compares each
-//! against the recorded `BENCH_runtime.json` baseline on two axes:
+//! (single-slot contention), stream (same-file readers under an active
+//! write stream, the read-lease path), and the placement trio skew /
+//! flash-crowd / diurnal (cross-homed readers whose replicas migrate
+//! toward them during warm-up) — and compares each against the recorded
+//! `BENCH_runtime.json` baseline on two axes:
 //!
 //! * **throughput**: a fresh sample more than 25% below the recorded
 //!   ops/sec for the same (workload, clients, replicas) cell fails the
@@ -92,9 +94,10 @@ fn parse_baselines(json: &str) -> Vec<Baseline> {
 }
 
 /// Reads `NAME_<WORKLOAD>` (e.g. BENCH_GUARD_MAX_DROP_STREAM) falling
-/// back to `NAME`, falling back to `default`.
+/// back to `NAME`, falling back to `default`. Hyphenated workload names
+/// map to underscores (`flash-crowd` → `..._FLASH_CROWD`).
 fn threshold(name: &str, workload: Workload, default: f64) -> f64 {
-    let per_workload = format!("{name}_{}", workload.name().to_uppercase());
+    let per_workload = format!("{name}_{}", workload.name().to_uppercase().replace('-', "_"));
     std::env::var(per_workload)
         .ok()
         .or_else(|| std::env::var(name).ok())

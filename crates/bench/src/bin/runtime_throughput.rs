@@ -1,12 +1,14 @@
 //! Live-runtime throughput: ops/sec vs. concurrent client count,
 //! replica level, and workload mix.
 //!
-//! Five workloads (see [`deceit_bench::live`]): `mixed` (alternating
+//! Eight workloads (see [`deceit_bench::live`]): `mixed` (alternating
 //! write/read), `read` (the shared-lock fast path), `write` (pure
 //! single-shard mutations under shard ring locks), `hot` (every client
-//! hammering one file — the single-slot worst case), and `stream`
-//! (readers against one file under an active write stream — the
-//! holder-local read-lease path).
+//! hammering one file — the single-slot worst case), `stream` (readers
+//! against one file under an active write stream — the holder-local
+//! read-lease path), and the placement trio `skew` / `flash-crowd` /
+//! `diurnal` (cross-homed readers whose replicas migrate toward them —
+//! access-driven placement, warmed up before the timed section).
 //!
 //! Run with: `cargo run --release --bin runtime_throughput`
 //!
@@ -27,6 +29,29 @@ const OPS_PER_CLIENT: usize = 400;
 /// single-slot contention) but fast enough for a CI smoke step.
 const QUICK_OPS_PER_CLIENT: usize = 50;
 
+/// Quick-mode floor for the skew canary: after migration warm-up, at
+/// least this fraction of the 16-client skew cell's reads must ride the
+/// lock-free shared path (vs `hot`'s ~28% without placement).
+const SKEW_SHARED_FLOOR: f64 = 0.6;
+
+fn print_sample(s: &Sample) {
+    println!(
+        "{:>11} {:>8} {:>9} {:>8} {:>10.3} {:>12.0} {:>7.0}% {:>7.0}% {:>7} {:>7} {:>7} {:>5}",
+        s.workload.name(),
+        s.clients,
+        s.replicas,
+        s.ops,
+        s.secs,
+        s.ops_per_sec,
+        s.shared_fraction * 100.0,
+        s.sharded_fraction * 100.0,
+        s.p50_us,
+        s.p90_us,
+        s.p99_us,
+        s.migrations_executed
+    );
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let ops_per_client = if quick { QUICK_OPS_PER_CLIENT } else { OPS_PER_CLIENT };
@@ -34,7 +59,7 @@ fn main() {
 
     println!("== runtime_throughput: live ops/sec vs workload x clients x replica level ==\n");
     println!(
-        "{:>8} {:>8} {:>9} {:>8} {:>10} {:>12} {:>8} {:>8} {:>7} {:>7} {:>7}",
+        "{:>11} {:>8} {:>9} {:>8} {:>10} {:>12} {:>8} {:>8} {:>7} {:>7} {:>7} {:>5}",
         "workload",
         "clients",
         "replicas",
@@ -45,7 +70,8 @@ fn main() {
         "sharded",
         "p50us",
         "p90us",
-        "p99us"
+        "p99us",
+        "migs"
     );
 
     let mut samples: Vec<Sample> = Vec::new();
@@ -53,34 +79,24 @@ fn main() {
         for &replicas in &[1usize, 3] {
             for &clients in client_counts {
                 let s = run_live_sample(workload, clients, replicas, ops_per_client);
-                println!(
-                    "{:>8} {:>8} {:>9} {:>8} {:>10.3} {:>12.0} {:>7.0}% {:>7.0}% {:>7} {:>7} {:>7}",
-                    s.workload.name(),
-                    s.clients,
-                    s.replicas,
-                    s.ops,
-                    s.secs,
-                    s.ops_per_sec,
-                    s.shared_fraction * 100.0,
-                    s.sharded_fraction * 100.0,
-                    s.p50_us,
-                    s.p90_us,
-                    s.p99_us
-                );
+                print_sample(&s);
                 samples.push(s);
             }
         }
     }
+    let migrations: u64 = samples.iter().map(|s| s.migrations_executed).sum();
+    let vetoed: u64 = samples.iter().map(|s| s.migrations_vetoed_floor).sum();
+    println!("\nplacement activity across the grid: {migrations} migrations executed, {vetoed} retirements vetoed by the replication floor");
 
     if quick {
-        // Canary: the stream workload exists to prove same-file reads
+        let mut broken = false;
+        // Canary 1: the stream workload exists to prove same-file reads
         // under an active write stream stay on the shared fast path
         // (holder-local read leases). Client 0 streams writes (mutations,
         // never shared), so the gate is on the *reader* ops — the other
         // clients-1 sessions. If their shared fraction collapses, the
         // lease path broke even though throughput may still look fine
         // on a small box — fail the smoke run loudly.
-        let mut broken = false;
         for s in samples.iter().filter(|s| s.workload == Workload::Stream && s.clients > 1) {
             let reader_fraction = s.shared_fraction * s.clients as f64 / (s.clients as f64 - 1.0);
             if reader_fraction < 0.9 {
@@ -91,10 +107,27 @@ fn main() {
                 broken = true;
             }
         }
+        // Canary 2: access-driven placement must carry the skewed
+        // millions-of-users shape onto the lock-free path. The quick
+        // grid stops at 4 clients, so sample the acceptance cell —
+        // 16 clients, replica floor 1 — directly: after warm-up
+        // migrations, the shared fraction must clear the floor.
+        let s = run_live_sample(Workload::Skew, 16, 1, QUICK_OPS_PER_CLIENT);
+        print_sample(&s);
+        if s.shared_fraction < SKEW_SHARED_FLOOR {
+            eprintln!(
+                "canary: skew workload (clients=16, replicas=1) served only {:.0}% of reads on the lock-free shared path after migration warm-up (needs >= {:.0}%) — replica placement has regressed",
+                s.shared_fraction * 100.0,
+                SKEW_SHARED_FLOOR * 100.0
+            );
+            broken = true;
+        }
         if broken {
             std::process::exit(1);
         }
-        println!("\nquick mode: smoke + stream canary ok, not rewriting BENCH_runtime.json");
+        println!(
+            "\nquick mode: smoke + stream + skew canaries ok, not rewriting BENCH_runtime.json"
+        );
         return;
     }
 
@@ -103,8 +136,8 @@ fn main() {
         .iter()
         .map(|s| {
             format!(
-                "    {{\"workload\": \"{}\", \"clients\": {}, \"replicas\": {}, \"ops\": {}, \"secs\": {:.6}, \"ops_per_sec\": {:.1}, \"shared_fraction\": {:.3}, \"sharded_fraction\": {:.3}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}}}",
-                s.workload.name(), s.clients, s.replicas, s.ops, s.secs, s.ops_per_sec, s.shared_fraction, s.sharded_fraction, s.p50_us, s.p90_us, s.p99_us
+                "    {{\"workload\": \"{}\", \"clients\": {}, \"replicas\": {}, \"ops\": {}, \"secs\": {:.6}, \"ops_per_sec\": {:.1}, \"shared_fraction\": {:.3}, \"sharded_fraction\": {:.3}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"migrations_proposed\": {}, \"migrations_executed\": {}, \"migrations_vetoed_floor\": {}}}",
+                s.workload.name(), s.clients, s.replicas, s.ops, s.secs, s.ops_per_sec, s.shared_fraction, s.sharded_fraction, s.p50_us, s.p90_us, s.p99_us, s.migrations_proposed, s.migrations_executed, s.migrations_vetoed_floor
             )
         })
         .collect();

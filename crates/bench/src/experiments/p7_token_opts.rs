@@ -82,6 +82,7 @@ pub fn run() -> (Table, Vec<OptResult>) {
         measure("forward small updates", false, true, writes),
         measure("both", true, true, writes),
         measure_cfg("async write pipeline", false, false, true, writes),
+        measure_cfg("both + async write pipeline", true, true, true, writes),
     ];
     let mut t = Table::new(
         "P7 — ablation: the §3.3 optimizations Deceit left unimplemented",
@@ -123,5 +124,13 @@ mod tests {
         let pipe = &rs[4];
         assert!(pipe.latency_us <= base.latency_us, "{pipe:?} vs {base:?}");
         assert!(pipe.msgs_per_write < base.msgs_per_write, "{pipe:?} vs {base:?}");
+        // Stacking the token optimizations on the pipeline composes:
+        // caching the token across pipelined writes cannot cost traffic
+        // relative to either ingredient alone.
+        let combined = &rs[5];
+        assert!(combined.msgs_per_write <= pipe.msgs_per_write, "{combined:?} vs {pipe:?}");
+        let both = &rs[3];
+        assert!(combined.msgs_per_write <= both.msgs_per_write, "{combined:?} vs {both:?}");
+        assert!(combined.latency_us <= base.latency_us, "{combined:?} vs {base:?}");
     }
 }

@@ -5,7 +5,7 @@
 //! live threaded runtime — server message loops, the RPC layer, the
 //! sharded execution layer, and the deferred-work pump all included.
 //!
-//! Five workloads, each probing one face of the sharded engine:
+//! Eight workloads, each probing one face of the sharded engine:
 //!
 //! * [`Workload::Mixed`] — alternating write/read per client against its
 //!   own file: the balanced case both lock paths share.
@@ -26,13 +26,46 @@
 //!   leases — same-file reads must ride the shared/sharded paths, not
 //!   fall through to the exclusive lock.
 //!
+//! The three placement workloads exercise access-driven replica
+//! migration (`ClusterConfig::opt_placement`): files are homed
+//! round-robin across the servers, clients read cross-homed, and an
+//! untimed warm-up phase (same access pattern, then a settle) lets the
+//! placement policy migrate replicas toward the readers before the
+//! timed section begins:
+//!
+//! * [`Workload::Skew`] — Zipfian popularity over 16 files: the
+//!   millions-of-users shape, where a handful of hot files carry most of
+//!   the traffic. Migration moves exactly those files everywhere and the
+//!   shared (lock-free read) fraction climbs from `hot`-like forwarding
+//!   levels toward `stream`'s.
+//! * [`Workload::FlashCrowd`] — one file goes viral: every client reads
+//!   the same single file, homed on one server. The first warm-up reads
+//!   forward; after migration every server serves it locally.
+//! * [`Workload::Diurnal`] — the hot set rotates: the run is split into
+//!   four phases reading disjoint quarters of the file set, and only
+//!   phase 0 is warmed — the timed section shows placement chasing the
+//!   rotation live (migrations land mid-run via the due-gated pump).
+//!
 //! Shared between the `runtime_throughput` recording binary and the
 //! `bench_guard` CI regression gate.
 
+use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::Instant;
 
 use deceit::prelude::*;
+
+/// Files in the skew/diurnal placement file sets.
+const PLACEMENT_FILES: usize = 16;
+
+/// Phases the diurnal workload rotates through (disjoint quarters of the
+/// file set).
+const DIURNAL_PHASES: usize = 4;
+
+/// Untimed per-client warm-up operations for the placement workloads:
+/// enough forwarded reads to push the hot files past the placement
+/// threshold on every reader server.
+const PLACEMENT_WARMUP_OPS: usize = 50;
 
 /// One live-throughput workload shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +81,15 @@ pub enum Workload {
     /// Client 0 streams writes to one shared file; every other client
     /// reads it. All clients homed on the token holder.
     Stream,
+    /// Zipfian reads over a round-robin-homed file set; placement
+    /// migrates the popular files toward their readers during warm-up.
+    Skew,
+    /// Every client reads one viral file homed on a single server.
+    FlashCrowd,
+    /// Reads rotate through four disjoint quarters of the file set;
+    /// only the first quarter is warmed, so migrations chase the
+    /// rotation inside the timed section.
+    Diurnal,
 }
 
 impl Workload {
@@ -59,12 +101,24 @@ impl Workload {
             Workload::Write => "write",
             Workload::Hot => "hot",
             Workload::Stream => "stream",
+            Workload::Skew => "skew",
+            Workload::FlashCrowd => "flash-crowd",
+            Workload::Diurnal => "diurnal",
         }
     }
 
     /// All workloads, in recording order.
-    pub fn all() -> [Workload; 5] {
-        [Workload::Mixed, Workload::Read, Workload::Write, Workload::Hot, Workload::Stream]
+    pub fn all() -> [Workload; 8] {
+        [
+            Workload::Mixed,
+            Workload::Read,
+            Workload::Write,
+            Workload::Hot,
+            Workload::Stream,
+            Workload::Skew,
+            Workload::FlashCrowd,
+            Workload::Diurnal,
+        ]
     }
 
     fn one_shared_file(self) -> bool {
@@ -79,14 +133,69 @@ impl Workload {
         matches!(self, Workload::Stream)
     }
 
+    /// The placement workloads: cross-homed read traffic over a shared
+    /// file set, with an untimed warm-up phase for migration.
+    pub fn placement(self) -> bool {
+        matches!(self, Workload::Skew | Workload::FlashCrowd | Workload::Diurnal)
+    }
+
+    /// Size of the shared, round-robin-homed file set.
+    fn file_count(self) -> usize {
+        match self {
+            Workload::Skew | Workload::Diurnal => PLACEMENT_FILES,
+            Workload::FlashCrowd => 1,
+            _ => 1,
+        }
+    }
+
     fn is_write(self, client: usize, op_index: usize) -> bool {
         match self {
             Workload::Mixed | Workload::Hot => op_index.is_multiple_of(2),
             Workload::Read => false,
             Workload::Write => true,
             Workload::Stream => client == 0,
+            Workload::Skew | Workload::FlashCrowd | Workload::Diurnal => false,
         }
     }
+
+    /// Which file of the set op `i` of `client` touches. `total` is the
+    /// length of the section the op indices run over — the diurnal
+    /// rotation derives its phase from `i / (total / 4)`, so the warm-up
+    /// pins phase 0 by passing a `total` larger than its index range.
+    fn file_index(self, files: usize, client: usize, i: usize, total: usize) -> usize {
+        match self {
+            Workload::Skew => zipf16(client, i) % files.max(1),
+            Workload::Diurnal => {
+                let phase = (i * DIURNAL_PHASES) / total.max(1);
+                (phase * (files / DIURNAL_PHASES).max(1) + i % (files / DIURNAL_PHASES).max(1))
+                    % files.max(1)
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// Deterministic Zipf(s=1) rank over 16 files: file 0 most popular.
+/// splitmix64 of (client, i) drives an inverse-CDF walk over the
+/// harmonic weights — no RNG state, identical across runs.
+fn zipf16(client: usize, i: usize) -> usize {
+    let mut x = (client as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((i as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+    let h16: f64 = (1..=PLACEMENT_FILES).map(|r| 1.0 / r as f64).sum();
+    let target = u * h16;
+    let mut acc = 0.0;
+    for r in 0..PLACEMENT_FILES {
+        acc += 1.0 / (r + 1) as f64;
+        if acc >= target {
+            return r;
+        }
+    }
+    PLACEMENT_FILES - 1
 }
 
 /// One measured cell of the workload × clients × replicas grid.
@@ -117,6 +226,13 @@ pub struct Sample {
     pub p90_us: u64,
     /// 99th-percentile request latency, microseconds.
     pub p99_us: u64,
+    /// Placement migrations proposed over the whole run (warm-up
+    /// included — that is where most of them happen).
+    pub migrations_proposed: u64,
+    /// Placement migrations executed over the whole run.
+    pub migrations_executed: u64,
+    /// Retirements vetoed by the replication floor over the whole run.
+    pub migrations_vetoed_floor: u64,
 }
 
 /// Runs one cell of the grid against a fresh 3-server cell.
@@ -136,65 +252,99 @@ pub fn run_live_sample(
         None => rt.client(),
     };
 
-    // Setup (untimed): per-client files, or one shared file for the
-    // hot/stream workloads.
-    let hot_file = if workload.one_shared_file() {
+    // Setup (untimed): per-client files, one shared file (hot/stream),
+    // or the placement workloads' shared file set — homed round-robin
+    // across the servers so reads are cross-homed and forward until
+    // migration moves the replicas.
+    let shared_files: Vec<FileHandle> = if workload.placement() {
+        let server_ids = rt.server_ids();
+        (0..workload.file_count())
+            .map(|f| {
+                let mut client = rt.client_homed(server_ids[f % server_ids.len()]);
+                let attr = client.create(root, &format!("bench_p{f}"), 0o644).expect("create");
+                client
+                    .set_file_params(attr.handle, FileParams::important(replicas))
+                    .expect("set replicas");
+                client.write(attr.handle, 0, b"placement warmup payload").expect("warmup write");
+                attr.handle
+            })
+            .collect()
+    } else if workload.one_shared_file() {
         let mut client = session(&rt);
         let attr = client.create(root, "bench_hot", 0o644).expect("create");
         client.set_file_params(attr.handle, FileParams::important(replicas)).expect("set replicas");
         client.write(attr.handle, 0, b"warmup payload").expect("warmup write");
-        Some(attr.handle)
+        vec![attr.handle]
     } else {
-        None
+        vec![]
     };
-    let mut sessions: Vec<(RuntimeClient, FileHandle)> = (0..clients)
+    let mut sessions: Vec<(RuntimeClient, Vec<FileHandle>)> = (0..clients)
         .map(|c| {
             let mut client = session(&rt);
-            let fh = match hot_file {
-                Some(fh) => fh,
-                None => {
-                    let attr = client.create(root, &format!("bench_{c}"), 0o644).expect("create");
-                    client
-                        .set_file_params(attr.handle, FileParams::important(replicas))
-                        .expect("set replicas");
-                    client.write(attr.handle, 0, b"warmup payload").expect("warmup write");
-                    attr.handle
-                }
+            let files = if shared_files.is_empty() {
+                let attr = client.create(root, &format!("bench_{c}"), 0o644).expect("create");
+                client
+                    .set_file_params(attr.handle, FileParams::important(replicas))
+                    .expect("set replicas");
+                client.write(attr.handle, 0, b"warmup payload").expect("warmup write");
+                vec![attr.handle]
+            } else {
+                shared_files.clone()
             };
-            (client, fh)
+            (client, files)
         })
         .collect();
-    rt.settle();
 
-    // Timed section: concurrent client traffic. Latency percentiles
+    // Timed section: concurrent client traffic. Placement workloads run
+    // an untimed warm-up first (same access pattern), then the main
+    // thread settles the cell — executing the due-gated migrations the
+    // warm-up armed — before the timed ops start. Latency percentiles
     // come from the runtime's op-class histograms, delta'd around the
     // timed section so warmup traffic never pollutes them.
-    let obs = rt.obs();
-    let lat_before = obs.op_latency_counts();
-    let served_before = rt.stats();
-    let t0 = Instant::now();
+    let warmup_ops = if workload.placement() { PLACEMENT_WARMUP_OPS } else { 0 };
+    let warmed = Arc::new(Barrier::new(clients + 1));
+    let timed = Arc::new(Barrier::new(clients + 1));
     let workers: Vec<_> = sessions
         .drain(..)
         .enumerate()
-        .map(|(c, (mut client, fh))| {
+        .map(|(c, (mut client, files))| {
+            let warmed = Arc::clone(&warmed);
+            let timed = Arc::clone(&timed);
             thread::spawn(move || {
                 let payload = format!("client {c} payload: 64 bytes of live benchmark traffic ...");
+                for i in 0..warmup_ops {
+                    // Pin the diurnal warm-up to phase 0: pass a `total`
+                    // its index range never leaves the first quarter of.
+                    let f = workload.file_index(files.len(), c, i, warmup_ops * DIURNAL_PHASES);
+                    client.read(files[f], 0, 128).expect("warmup read");
+                }
+                warmed.wait();
+                timed.wait();
                 for i in 0..ops_per_client {
+                    let f = workload.file_index(files.len(), c, i, ops_per_client);
                     if workload.is_write(c, i) {
-                        client.write(fh, 0, payload.as_bytes()).expect("bench write");
+                        client.write(files[f], 0, payload.as_bytes()).expect("bench write");
                     } else {
-                        client.read(fh, 0, 128).expect("bench read");
+                        client.read(files[f], 0, 128).expect("bench read");
                     }
                 }
             })
         })
         .collect();
+    warmed.wait();
+    rt.settle();
+    let obs = rt.obs();
+    let lat_before = obs.op_latency_counts();
+    let served_before = rt.stats();
+    let t0 = Instant::now();
+    timed.wait();
     for w in workers {
         w.join().expect("bench client");
     }
     let secs = t0.elapsed().as_secs_f64();
     let served_after = rt.stats();
     let lat_after = obs.op_latency_counts();
+    let placement = rt.observe().core.map(|c| c.placement).unwrap_or_default();
     rt.shutdown();
 
     // Merge the per-class interval deltas into one request-latency
@@ -223,5 +373,66 @@ pub fn run_live_sample(
         p50_us: lat.percentile(50.0),
         p90_us: lat.percentile(90.0),
         p99_us: lat.percentile(99.0),
+        migrations_proposed: placement.migrations_proposed,
+        migrations_executed: placement.migrations_executed,
+        migrations_vetoed_floor: placement.migrations_vetoed_floor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_deterministic_and_skewed() {
+        let mut counts = [0usize; PLACEMENT_FILES];
+        for client in 0..16 {
+            for i in 0..200 {
+                let r = zipf16(client, i);
+                assert_eq!(r, zipf16(client, i), "deterministic");
+                counts[r] += 1;
+            }
+        }
+        assert!(counts[0] > counts[4], "rank 0 beats rank 4: {counts:?}");
+        assert!(counts[0] > counts[15] * 4, "heavy head: {counts:?}");
+        let head: usize = counts[..4].iter().sum();
+        let total: usize = counts.iter().sum();
+        assert!(head * 2 > total, "top 4 of 16 files carry over half the traffic: {counts:?}");
+    }
+
+    #[test]
+    fn diurnal_rotation_covers_disjoint_quarters() {
+        let w = Workload::Diurnal;
+        let total = 400;
+        for phase in 0..DIURNAL_PHASES {
+            let quarter = PLACEMENT_FILES / DIURNAL_PHASES;
+            for i in (phase * total / DIURNAL_PHASES)..((phase + 1) * total / DIURNAL_PHASES) {
+                let f = w.file_index(PLACEMENT_FILES, 0, i, total);
+                assert!(
+                    (phase * quarter..(phase + 1) * quarter).contains(&f),
+                    "op {i} of phase {phase} touched file {f}"
+                );
+            }
+        }
+        // The warm-up convention: a total larger than the index range
+        // pins every op to phase 0.
+        for i in 0..PLACEMENT_WARMUP_OPS {
+            let f = w.file_index(PLACEMENT_FILES, 3, i, PLACEMENT_WARMUP_OPS * DIURNAL_PHASES);
+            assert!(f < PLACEMENT_FILES / DIURNAL_PHASES, "warm-up left phase 0: file {f}");
+        }
+    }
+
+    #[test]
+    fn workload_table_is_consistent() {
+        assert_eq!(Workload::all().len(), 8);
+        for w in Workload::all() {
+            assert!(!w.name().is_empty());
+            if w.placement() {
+                assert!(!w.one_shared_file() && !w.single_home());
+                assert!(!w.is_write(0, 0), "placement workloads are read-only when timed");
+            }
+        }
+        assert_eq!(Workload::FlashCrowd.file_count(), 1);
+        assert_eq!(Workload::Skew.file_count(), PLACEMENT_FILES);
     }
 }

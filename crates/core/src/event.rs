@@ -62,6 +62,20 @@ pub enum Pending {
         /// Replica (segment, major) to repair.
         key: ReplicaKey,
     },
+    /// Access-driven replica migration (`ClusterConfig::opt_placement`):
+    /// create a replica at a server that kept serving forwarded reads
+    /// for the file, from a durable stable copy via the §3.1
+    /// regeneration path, then retire idle extras elsewhere down to the
+    /// `FileParams::min_replicas` floor. Scheduled by the placement
+    /// policy when a server's access counter crosses the threshold;
+    /// single-flighted per (server, file).
+    MigrateReplica {
+        /// Destination server — the reader the replica moves toward
+        /// (the migration dies with it).
+        server: NodeId,
+        /// Replica (segment, major) to migrate.
+        key: ReplicaKey,
+    },
     /// Background replica generation via blast transfer (§3.1).
     GenerateReplica {
         /// Token holder driving the generation.
@@ -80,7 +94,8 @@ impl Pending {
             Pending::ApplyUpdate { server, .. }
             | Pending::FlushServer { server, .. }
             | Pending::StabilizeCheck { server, .. }
-            | Pending::ReadRepair { server, .. } => *server,
+            | Pending::ReadRepair { server, .. }
+            | Pending::MigrateReplica { server, .. } => *server,
             Pending::PropagateStream { holder, .. } | Pending::GenerateReplica { holder, .. } => {
                 *holder
             }
@@ -101,13 +116,18 @@ impl Pending {
     /// * a read-repair's due time is its damping window: fired the
     ///   instant a forwarded read queues it, a still-active stream makes
     ///   it a no-op and the next read re-queues it — a schedule/fire spin
-    ///   in place of the single deferred catch-up it is meant to be.
+    ///   in place of the single deferred catch-up it is meant to be;
+    /// * a replica migration's due time is likewise its damping window —
+    ///   fired eagerly, a burst of forwarded reads would move replicas
+    ///   around as fast as the pump can copy them instead of once per
+    ///   window.
     pub fn due_gated(&self) -> bool {
         matches!(
             self,
             Pending::StabilizeCheck { .. }
                 | Pending::PropagateStream { .. }
                 | Pending::ReadRepair { .. }
+                | Pending::MigrateReplica { .. }
         )
     }
 
@@ -122,6 +142,7 @@ impl Pending {
             | Pending::StabilizeCheck { key, .. }
             | Pending::PropagateStream { key, .. }
             | Pending::ReadRepair { key, .. }
+            | Pending::MigrateReplica { key, .. }
             | Pending::GenerateReplica { key, .. } => key.0 .0,
             Pending::FlushServer { seg, .. } => seg.0,
         }
@@ -154,5 +175,9 @@ mod tests {
             Pending::GenerateReplica { holder: NodeId(2), key, target: NodeId(4) }.owner(),
             NodeId(2)
         );
+        let migrate = Pending::MigrateReplica { server: NodeId(2), key };
+        assert_eq!(migrate.owner(), NodeId(2), "a migration dies with its destination");
+        assert!(migrate.due_gated(), "migrations wait out their damping window");
+        assert_eq!(migrate.shard_hint(), 1);
     }
 }

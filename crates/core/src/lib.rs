@@ -57,6 +57,7 @@ pub mod hot;
 pub mod obs;
 pub mod ops;
 pub mod params;
+pub mod placement;
 pub mod proto;
 pub mod replica;
 pub mod server;
@@ -71,6 +72,7 @@ pub use host::{shard_slot, OpClass, ProtocolHost, ShardKey};
 pub use obs::{AtomicHistogram, FlightRecorder, HistCounts, HistSummary, ObsCore};
 pub use ops::{ReadData, WriteOp};
 pub use params::{FileParams, WriteAvailability};
+pub use placement::{PlacementCore, PlacementSnapshot};
 pub use proto::commands::VersionInfo;
 pub use replica::{Replica, ReplicaState};
 pub use server::{ReadLease, SegmentId};

@@ -360,6 +360,11 @@ pub struct ObsCore {
     /// Read-lease validations that failed (version moved or lease
     /// revoked mid-copy) and pushed the read off the lock-free path.
     pub lease_validation_failures: AtomicU64,
+    /// The replica-placement signal and activity counters: per-server
+    /// forwarded-read access tables plus migration tallies. Lives here —
+    /// not behind `stats` — because live hosting disables the stats
+    /// registry and the migration signal must keep flowing.
+    pub placement: crate::placement::PlacementCore,
 }
 
 impl ObsCore {
@@ -370,6 +375,7 @@ impl ObsCore {
             drain_batch: AtomicHistogram::new(),
             serve_exec: AtomicHistogram::new(),
             lease_validation_failures: AtomicU64::new(0),
+            placement: crate::placement::PlacementCore::new(n_servers),
         }
     }
 }

@@ -46,6 +46,9 @@ impl Cluster {
             Pending::ReadRepair { server, key } => {
                 self.read_repair(server, key);
             }
+            Pending::MigrateReplica { server, key } => {
+                self.migrate_replica(server, key);
+            }
             Pending::GenerateReplica { holder, key, target } => {
                 if !self.net.is_up(holder) {
                     return;

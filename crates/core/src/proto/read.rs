@@ -313,11 +313,17 @@ impl Cluster {
 
         // §3.1 method 4: migration — grow a local replica in the
         // background to speed future reads, whichever path serves this
-        // request.
+        // request. Files param-marked `migration` migrate eagerly on the
+        // first forwarded read; everything else feeds the always-on
+        // access counters, and `opt_placement` grows the replica once
+        // this server has demonstrably kept serving remote reads for the
+        // file (due-gated, single-flighted — see `placement`).
         let params = self.params_of(target, key);
         if params.migration {
             let at = self.now() + SimDuration::from_millis(1);
             self.events.push(at, Pending::GenerateReplica { holder: target, key, target: via });
+        } else {
+            self.observe_remote_read(via, key);
         }
 
         // Forwarding servers join the file group and cache location

@@ -147,14 +147,12 @@ impl Cluster {
     pub(crate) fn delete_extra_replicas(&self, holder: NodeId, key: ReplicaKey) {
         let params = self.params_of(holder, key);
         let holders = self.reachable_replica_holders(holder, key);
-        if holders.len() <= params.min_replicas {
-            return;
-        }
         let now = self.now();
         let cutoff = self.cfg.lru_keep;
         // Candidates: not the token holder, idle beyond the window.
         let mut idle: Vec<(deceit_sim::SimTime, NodeId)> = holders
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|&h| h != holder)
             .filter_map(|h| {
                 let last = self.server(h).replicas.with_ref(&key, |r| r.map(|r| r.last_access))?;
@@ -162,9 +160,17 @@ impl Cluster {
                 (idle_for >= cutoff).then_some((last, h))
             })
             .collect();
+        if idle.is_empty() {
+            return;
+        }
         idle.sort(); // oldest access first = LRU order
-        let holders_now = self.reachable_replica_holders(holder, key).len();
-        let deletable = holders_now.saturating_sub(params.min_replicas);
+        let deletable = holders.len().saturating_sub(params.min_replicas);
+        if deletable == 0 {
+            // Idle candidates exist but retiring any would drop the file
+            // below its replication floor — the floor wins, always.
+            self.obs.placement.migrations_vetoed_floor.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         for (_, victim) in idle.into_iter().take(deletable) {
             self.server(victim).replicas.delete_sync(&key);
             self.server(victim).drop_receiver(&key);
@@ -173,6 +179,7 @@ impl Cluster {
                 self.server(holder).tokens.put_async(key, token);
                 self.schedule_flush(holder, key.0);
             }
+            self.obs.placement.replicas_retired.fetch_add(1, Ordering::Relaxed);
             self.stats.incr("core/replicas/lru_deleted");
             self.emit_from(victim, ProtocolEvent::ReplicaDeleted { seg: key.0, on: victim });
         }

@@ -131,6 +131,10 @@ pub struct ServerState {
     /// for this server, so a burst of reads against one laggard schedules
     /// one repair, not one per read (`opt_read_repair` single-flighting).
     pub(crate) repairs: ShardedMap<ReplicaKey, ()>,
+    /// Volatile: replica keys with a placement migration toward this
+    /// server already queued, so a burst of forwarded reads schedules one
+    /// move, not one per read (`opt_placement` single-flighting).
+    pub(crate) migrations: ShardedMap<ReplicaKey, ()>,
     /// Count of client operations served by this server (load accounting).
     pub ops_served: AtomicU64,
 }
@@ -150,6 +154,7 @@ impl ServerState {
             outbound: ShardedMap::new(shards),
             leases: ShardedMap::new(shards),
             repairs: ShardedMap::new(shards),
+            migrations: ShardedMap::new(shards),
             ops_served: AtomicU64::new(0),
         }
     }
@@ -171,6 +176,7 @@ impl ServerState {
         self.outbound.clear();
         self.leases.clear();
         self.repairs.clear();
+        self.migrations.clear();
     }
 
     /// Whether this server stores any replica of `seg` (any major).
@@ -255,12 +261,14 @@ mod tests {
             ReadLease { version: crate::version::VersionPair { major: 0, sub: 3 } },
         );
         s.repairs.insert((seg, 0), ());
+        s.migrations.insert((seg, 0), ());
         s.crash();
         assert!(s.has_segment(seg), "durable replica survives");
         assert!(s.group_cache.is_empty());
         assert!(s.streams.is_empty());
         assert!(s.leases.is_empty(), "read leases are volatile");
         assert!(s.repairs.is_empty(), "repair single-flight flags are volatile");
+        assert!(s.migrations.is_empty(), "migration single-flight flags are volatile");
     }
 
     #[test]

@@ -56,12 +56,18 @@ impl RuntimeConfig {
         // forever. Both off in the paper-faithful simulator default, on
         // here — the differential suite runs both worlds with this same
         // config, so sim and live exercise identical semantics.
+        // Access-driven replica placement moves replicas toward the
+        // servers that keep serving forwarded reads for them (off in the
+        // paper-faithful simulator default, on here; the signal itself is
+        // always-on obs atomics, so disabling stats above does not blind
+        // it).
         let mut cluster = ClusterConfig::default()
             .without_trace()
             .without_stats()
             .with_write_pipeline()
             .with_read_leases()
-            .with_read_repair();
+            .with_read_repair()
+            .with_placement();
         cluster.stability_timeout = deceit_sim::SimDuration::from_secs(30);
         // The lazy-apply delay doubles as the pipeline's batching window
         // (a drain fires when the protocol clock reaches it); at ~20ms
@@ -124,6 +130,8 @@ mod tests {
         assert!(cfg.cluster.opt_write_pipeline, "live hosting pipelines replicated writes");
         assert!(cfg.cluster.opt_read_leases, "live hosting serves holder-local read leases");
         assert!(cfg.cluster.opt_read_repair, "live hosting repairs lagging replicas on read");
+        assert!(cfg.cluster.opt_placement, "live hosting migrates replicas toward readers");
+        assert!(!cfg.cluster.stats, "placement must not depend on the stats registry");
         assert!(cfg.request_timeout > cfg.poll_interval);
     }
 }

@@ -113,6 +113,10 @@ pub struct CoreReport {
     pub lease_validation_failures: u64,
     /// Protocol events ever flight-recorded, per server.
     pub flight_events: Vec<u64>,
+    /// Replica-placement activity: migrations proposed / executed /
+    /// vetoed by the replication floor, replicas retired, counter decay
+    /// rollovers.
+    pub placement: deceit_core::PlacementSnapshot,
 }
 
 /// The unified observability export of a running cluster.
@@ -173,13 +177,19 @@ impl ObsReport {
         out.push_str("]\n  },\n");
         match &self.core {
             Some(c) => {
+                let p = &c.placement;
                 let _ = write!(
                     out,
-                    "  \"core\": {{\n    \"serve_exec\": {},\n    \"drain_batch\": {},\n    \"lease_validation_failures\": {},\n    \"flight_events\": {:?}\n  }},\n",
+                    "  \"core\": {{\n    \"serve_exec\": {},\n    \"drain_batch\": {},\n    \"lease_validation_failures\": {},\n    \"flight_events\": {:?},\n    \"placement\": {{\"migrations_proposed\": {}, \"migrations_executed\": {}, \"migrations_vetoed_floor\": {}, \"replicas_retired\": {}, \"decay_epochs\": {}}}\n  }},\n",
                     summary_json(&c.serve_exec),
                     summary_json(&c.drain_batch),
                     c.lease_validation_failures,
                     c.flight_events,
+                    p.migrations_proposed,
+                    p.migrations_executed,
+                    p.migrations_vetoed_floor,
+                    p.replicas_retired,
+                    p.decay_epochs,
                 );
             }
             None => out.push_str("  \"core\": null,\n"),
@@ -278,6 +288,13 @@ mod tests {
                 drain_batch: summary_of(&[3, 3]),
                 lease_validation_failures: 1,
                 flight_events: vec![12, 0, 5],
+                placement: deceit_core::PlacementSnapshot {
+                    migrations_proposed: 4,
+                    migrations_executed: 3,
+                    migrations_vetoed_floor: 1,
+                    replicas_retired: 2,
+                    decay_epochs: 6,
+                },
             }),
             stats: Some(StatsSnapshot { disabled: true, counters: vec![], histograms: vec![] }),
             runtime: RuntimeStats {
@@ -301,6 +318,7 @@ mod tests {
             "\"slots\": [{\"sharded\": 4, \"fallbacks\": 1}",
             "\"lease_validation_failures\": 1",
             "\"flight_events\": [12, 0, 5]",
+            "\"placement\": {\"migrations_proposed\": 4, \"migrations_executed\": 3, \"migrations_vetoed_floor\": 1, \"replicas_retired\": 2, \"decay_epochs\": 6}",
             "\"disabled\": true",
             "\"requests_served\": 50",
         ] {

@@ -477,6 +477,7 @@ impl<S: NfsService + ProtocolHost + Send + Sync + 'static> ClusterRuntime<S> {
                 flight_events: (0..o.flight.servers())
                     .map(|i| o.flight.total(NodeId(i as u32)))
                     .collect(),
+                placement: o.placement.snapshot(),
             });
             (core, guard.stats_snapshot())
         };

@@ -487,6 +487,219 @@ fn readers_vs_write_stream_matches_sim_replay() {
     );
 }
 
+/// The placement-migration storm differential: cross-homed readers push
+/// several files past the access threshold (arming deferred
+/// migrations), then a replica server is crashed and restarted while a
+/// writer streams appends through the token holder and the readers keep
+/// hammering — migrations execute into that churn at the settle. Two
+/// invariants must hold through the storm: every observed read is a
+/// monotone acked prefix of its file (never torn, never shrinking
+/// within a session), and no file's replica count ends below its
+/// `min_replicas` floor even though the retire pass runs right after
+/// each migration. The simulator then replays the acked writes plus the
+/// crash/restart, and contents and update counts must match byte for
+/// byte. (Replica *placement* is not compared: the sim replay performs
+/// no reads, so it never migrates.)
+#[test]
+fn migration_storm_under_crash_keeps_floor_and_read_monotonicity() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const FILES: usize = 4;
+    const FLOOR: usize = 2;
+    const WARMUP_READS: usize = 12; // past the placement threshold (8)
+    const WRITES: usize = 48; // round-robin across FILES
+    const READERS: usize = 2;
+
+    let cfg = RuntimeConfig::new(3).with_request_timeout(Duration::from_millis(300));
+    let rt = deceit_runtime::ClusterRuntime::start(cfg.clone());
+    let home = rt.server_ids()[0]; // token holder of every file
+    let churn = rt.server_ids()[1]; // fill's second copy — crashed mid-storm
+    let reader_home = rt.server_ids()[2]; // migration target
+    let root = rt.client().root();
+
+    // Setup (mirrored in the replay): FILES files homed on `home`,
+    // replication floor FLOOR, seeded and settled stable.
+    let mut opener = rt.client_homed(home);
+    let mut handles = Vec::new();
+    for c in 0..FILES {
+        let attr = opener.create(root, &format!("f{c}"), 0o644).expect("create");
+        opener
+            .set_file_params(attr.handle, deceit_core::FileParams::important(FLOOR))
+            .expect("set replicas");
+        opener.write(attr.handle, 0, format!("seed{c}:").as_bytes()).expect("seed");
+        handles.push(attr.handle);
+    }
+    rt.settle();
+
+    // Warm-up: cross-homed reads past the threshold arm one deferred
+    // migration per file (due-gated — they fire at a later settle, i.e.
+    // *after* the crash lands: migrations in flight during the storm).
+    let mut warm = rt.client_homed(reader_home);
+    for &fh in &handles {
+        for _ in 0..WARMUP_READS {
+            warm.read(fh, 0, 1 << 16).expect("warm-up read");
+        }
+    }
+
+    // Expected byte sequence and valid acked-prefix lengths per file.
+    let mut expected: Vec<Vec<u8>> = (0..FILES).map(|c| format!("seed{c}:").into_bytes()).collect();
+    let mut valid_lens: Vec<Vec<usize>> = expected.iter().map(|e| vec![e.len()]).collect();
+    for i in 0..WRITES {
+        let c = i % FILES;
+        expected[c].extend_from_slice(format!("[w{i}]").as_bytes());
+        valid_lens[c].push(expected[c].len());
+    }
+
+    // Readers: monotone acked prefixes per file per session, throughout
+    // the crash, the restart, and the migrations.
+    let done = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let mut client = rt.client_homed(reader_home);
+            let handles = handles.clone();
+            let expected = expected.clone();
+            let valid_lens = valid_lens.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut last_len = [0usize; FILES];
+                let mut reads = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    for c in 0..FILES {
+                        let data = client.read(handles[c], 0, 1 << 16).expect("storm read");
+                        assert!(
+                            valid_lens[c].contains(&data.len()),
+                            "reader {r} observed a torn length {} on f{c}",
+                            data.len()
+                        );
+                        assert_eq!(
+                            &data[..],
+                            &expected[c][..data.len()],
+                            "reader {r} observed non-prefix bytes on f{c}"
+                        );
+                        assert!(
+                            data.len() >= last_len[c],
+                            "reader {r} went back in time on f{c}: {} after {}",
+                            data.len(),
+                            last_len[c]
+                        );
+                        last_len[c] = data.len();
+                        reads += 1;
+                    }
+                }
+                reads
+            })
+        })
+        .collect();
+
+    // Writer: round-robin appends via the holder. While `churn` is down
+    // only one of the FLOOR=2 replicas is reachable, so §3.5 Medium
+    // availability refuses writes — retry until the restart restores
+    // the majority. A refused write is never partially applied.
+    let writer = {
+        let mut client = rt.client_homed(home);
+        let handles = handles.clone();
+        std::thread::spawn(move || {
+            let mut offsets: Vec<usize> = (0..FILES).map(|c| format!("seed{c}:").len()).collect();
+            for i in 0..WRITES {
+                let c = i % FILES;
+                let chunk = format!("[w{i}]");
+                let mut attempts = 0;
+                while client.write(handles[c], offsets[c], chunk.as_bytes()).is_err() {
+                    attempts += 1;
+                    assert!(attempts < 2000, "write w{i} never recovered after the restart");
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                offsets[c] += chunk.len();
+            }
+        })
+    };
+
+    // The storm: crash the second replica holder mid-stream with the
+    // armed migrations still pending, then bring it back.
+    std::thread::sleep(Duration::from_millis(5));
+    rt.crash_server(churn);
+    std::thread::sleep(Duration::from_millis(20));
+    rt.restart_server(churn);
+    writer.join().expect("storm writer");
+    rt.settle(); // migrations (and their retire passes) execute here
+    done.store(true, Ordering::Relaxed);
+    let total_reads: u64 = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+    assert!(total_reads > 0, "the readers must have observed the storm");
+    rt.settle();
+
+    // Live outcome: full contents, the replication floor held through
+    // migration + retirement + crash, and the migrations really ran.
+    let mut verifier = rt.client_homed(reader_home);
+    let live_contents: Vec<Vec<u8>> = handles
+        .iter()
+        .map(|&fh| verifier.read(fh, 0, 1 << 16).expect("final read").to_vec())
+        .collect();
+    let live_versions: Vec<u64> =
+        handles.iter().map(|&fh| verifier.getattr(fh).expect("getattr").version.sub).collect();
+    for (c, &fh) in handles.iter().enumerate() {
+        let replicas = verifier.locate_replicas(fh).expect("locate").len();
+        assert!(
+            replicas >= FLOOR,
+            "f{c} ended with {replicas} replicas, below its floor of {FLOOR}"
+        );
+    }
+    let placement = rt.observe().core.expect("core report").placement;
+    assert!(
+        placement.migrations_executed >= 1,
+        "the storm ran without any migration executing: {placement:?}"
+    );
+    let flight = rt.dump_flight_recorder();
+    rt.shutdown();
+    for c in 0..FILES {
+        assert_eq!(
+            live_contents[c], expected[c],
+            "f{c} lost or reordered an acked write; live flight recorder:\n{flight}"
+        );
+    }
+
+    // Simulator replay: same files, same acked writes in order, same
+    // crash/restart of the second replica holder.
+    let via = deceit_net::NodeId(home.0);
+    let mut fs = deceit_nfs::DeceitFs::new(3, cfg.cluster.clone(), cfg.fs.clone());
+    let sim_root = fs.root();
+    let mut sim_handles = Vec::new();
+    for c in 0..FILES {
+        let attr = fs.create(via, sim_root, &format!("f{c}"), 0o644).expect("sim create");
+        fs.set_file_params(via, attr.value.handle, deceit_core::FileParams::important(FLOOR))
+            .expect("sim set replicas");
+        fs.write(via, attr.value.handle, 0, format!("seed{c}:").as_bytes()).expect("sim seed");
+        sim_handles.push(attr.value.handle);
+    }
+    fs.cluster.run_until_quiet();
+    let mut offsets: Vec<usize> = (0..FILES).map(|c| format!("seed{c}:").len()).collect();
+    for i in 0..WRITES {
+        let c = i % FILES;
+        let chunk = format!("[w{i}]");
+        fs.write(via, sim_handles[c], offsets[c], chunk.as_bytes()).expect("sim write");
+        offsets[c] += chunk.len();
+    }
+    fs.cluster.crash_server(deceit_net::NodeId(churn.0));
+    fs.cluster.recover_server(deceit_net::NodeId(churn.0));
+    fs.cluster.run_until_quiet();
+
+    let read_via = deceit_net::NodeId(reader_home.0);
+    for c in 0..FILES {
+        let sim_data = fs.read(read_via, sim_handles[c], 0, 1 << 16).expect("sim read").value;
+        assert_eq!(
+            live_contents[c],
+            sim_data.to_vec(),
+            "f{c} diverged between the storm and the sim replay; live flight recorder:\n{flight}"
+        );
+        let sim_sub = fs.getattr(read_via, sim_handles[c]).expect("sim getattr").value.version.sub;
+        assert_eq!(
+            live_versions[c], sim_sub,
+            "f{c} applied a different number of updates; live flight recorder:\n{flight}"
+        );
+    }
+}
+
 /// Shard-lock exclusion: two mutations of the *same* file never
 /// interleave. Concurrent writers replace the whole file with uniform
 /// single-byte patterns; a concurrent reader (and the final state) must
