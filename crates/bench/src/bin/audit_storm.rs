@@ -1,0 +1,104 @@
+//! Consistency-audit storm driver: run a seeded fault storm, record the
+//! operation history, audit it offline, and exit nonzero on violation.
+//!
+//! This is the repro binary named by every storm failure report — the
+//! printed replay line is a literal invocation of this tool. It is also
+//! the CI entry point: a quick smoke (`--quick`) and a seeded loop
+//! (`--seed N --count K`) keep randomized storms in every build.
+//!
+//! ```text
+//! audit_storm [--quick] [--seed N] [--count K] [--mode sim|live]
+//!             [--servers N] [--files N] [--readers N] [--writes N]
+//!             [--faults N] [--safety N] [--floor N]
+//!             [--mutate] [--out PATH]
+//! ```
+//!
+//! `--mode sim` (default) replays deterministically per seed; `--mode
+//! live` races real threads. `--count K` audits seeds `N..N+K`,
+//! stopping at the first failure. `--mutate` flips the
+//! `danger_skip_safety_currency` knob — the planted protocol bug the
+//! auditor must catch (expect a red exit). On failure the merged
+//! history is written to `--out` (default `audit_history.json`) for
+//! artifact upload.
+
+use std::process::ExitCode;
+
+use deceit::runtime::nemesis::{audit_live_storm, audit_sim_storm};
+use deceit::runtime::{RuntimeConfig, StormConfig};
+
+fn parse_flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("{name} wants a number, got {v:?}")))
+}
+
+fn parse_str<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = parse_flag(&args, "--seed").unwrap_or(1);
+    let count = parse_flag(&args, "--count").unwrap_or(1);
+    let live = match parse_str(&args, "--mode").unwrap_or("sim") {
+        "sim" => false,
+        "live" => true,
+        other => panic!("--mode wants sim|live, got {other:?}"),
+    };
+    let out = parse_str(&args, "--out").unwrap_or("audit_history.json");
+
+    let mut cfg = StormConfig::quick(seed);
+    if let Some(v) = parse_flag(&args, "--servers") {
+        cfg.servers = v as usize;
+    }
+    if let Some(v) = parse_flag(&args, "--files") {
+        cfg.files = v as usize;
+    }
+    if let Some(v) = parse_flag(&args, "--readers") {
+        cfg.readers = v as usize;
+    }
+    if let Some(v) = parse_flag(&args, "--writes") {
+        cfg.writes_per_file = v as usize;
+    }
+    if let Some(v) = parse_flag(&args, "--faults") {
+        cfg.faults = v as usize;
+    }
+    if let Some(v) = parse_flag(&args, "--safety") {
+        cfg.write_safety = v as usize;
+    }
+    if let Some(v) = parse_flag(&args, "--floor") {
+        cfg.min_replicas = v as usize;
+    }
+
+    let mut rcfg = RuntimeConfig::new(cfg.servers);
+    if args.iter().any(|a| a == "--mutate") {
+        eprintln!("audit_storm: MUTATION ON — safety-lane currency check disabled");
+        rcfg.cluster.danger_skip_safety_currency = true;
+    }
+
+    for s in seed..seed + count {
+        cfg.seed = s;
+        let mode = if live { "live" } else { "sim" };
+        let result =
+            if live { audit_live_storm(&cfg, &rcfg) } else { audit_sim_storm(&cfg, &rcfg) };
+        match result {
+            Ok(report) => {
+                println!(
+                    "seed {s} ({mode}): GREEN — {} acked writes, {} checked reads, {} faults",
+                    report.writes_acked, report.reads_checked, report.faults_seen
+                );
+            }
+            Err(failure) => {
+                eprintln!("seed {s} ({mode}): RED\n{}", failure.render());
+                if let Err(e) = std::fs::write(out, failure.history.to_json()) {
+                    eprintln!("audit_storm: could not write {out}: {e}");
+                } else {
+                    eprintln!("audit_storm: failing history written to {out}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

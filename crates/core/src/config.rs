@@ -100,6 +100,14 @@ pub struct ClusterConfig {
     /// so the migration signal tracks current traffic instead of
     /// all-time popularity.
     pub placement_epoch: SimDuration,
+    /// Fault-injection knob for the consistency auditor's mutation test:
+    /// when set, the write pipeline's safety lane counts a remote reply
+    /// as durable WITHOUT verifying the replica is current through the
+    /// acknowledged update (no outbound catch-up, no state transfer on a
+    /// sequence gap — the exact hardening PR 4 added). Acked durability
+    /// then silently degrades whenever a safety target rejoins with a
+    /// gap, which `core::audit` must detect. Never enable outside tests.
+    pub danger_skip_safety_currency: bool,
     /// Shard slots the hot state (replica/token tables, delivery buffers,
     /// branch tables, the deferred-work queue) is partitioned into. A
     /// concurrent host's ring locks must use the same count so that
@@ -131,6 +139,7 @@ impl Default for ClusterConfig {
             opt_placement: false,
             placement_threshold: 8,
             placement_epoch: SimDuration::from_secs(30),
+            danger_skip_safety_currency: false,
             shards: 16,
         }
     }
@@ -199,6 +208,14 @@ impl ClusterConfig {
         self
     }
 
+    /// Disables the safety-lane currency verification, builder-style —
+    /// auditor mutation tests only (see
+    /// [`ClusterConfig::danger_skip_safety_currency`]).
+    pub fn with_danger_skip_safety_currency(mut self) -> Self {
+        self.danger_skip_safety_currency = true;
+        self
+    }
+
     /// Sets the hot-state shard count, builder-style (clamped to 1..=64).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.clamp(1, 64);
@@ -227,6 +244,7 @@ mod tests {
         assert!(!c.opt_read_leases, "the paper's prototype has no lock-free read path");
         assert!(!c.opt_read_repair, "the paper's prototype waits for the stabilize horizon");
         assert!(!c.opt_placement, "the paper's prototype migrates only param-marked files");
+        assert!(!c.danger_skip_safety_currency, "the mutation knob must never default on");
         let on = ClusterConfig::default().with_token_optimizations();
         assert!(on.opt_piggyback_acquire && on.opt_forward_small);
         assert!(ClusterConfig::default().with_write_pipeline().opt_write_pipeline);

@@ -48,6 +48,7 @@
 //! assert_eq!(cluster.locate_replicas(s0, seg).unwrap().value.len(), 2);
 //! ```
 
+pub mod audit;
 pub mod cluster;
 pub mod config;
 pub mod error;
@@ -65,6 +66,10 @@ pub mod token;
 pub mod trace_events;
 pub mod version;
 
+pub use audit::{
+    audit, fnv1a, AuditReport, Contract, Event, EventBody, FaultEvent, History, OpCall, OpOutcome,
+    Violation,
+};
 pub use cluster::{Cluster, OpResult};
 pub use config::ClusterConfig;
 pub use error::{DeceitError, DeceitResult};

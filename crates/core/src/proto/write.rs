@@ -439,6 +439,14 @@ impl Cluster {
                 .with_ref(&key, |r| r.map(|r| r.version == update.new_version))
                 .unwrap_or(false)
         };
+        if self.cfg.danger_skip_safety_currency {
+            // Auditor mutation knob: count the reply blindly. A target
+            // that rejoined with a sequence gap holds `update` in its
+            // ordered receiver forever, so the "durable" copy is stale —
+            // the exact defect `core::audit` exists to catch.
+            self.apply_updates_ordered(target, key, std::slice::from_ref(update), true);
+            return true;
+        }
         self.catch_up_from_outbound(holder, target, key);
         self.apply_updates_ordered(target, key, std::slice::from_ref(update), true);
         if current(self) {

@@ -24,7 +24,9 @@ use deceit_net::rpc::{CallId, RpcEndpoint};
 use deceit_net::NodeId;
 use deceit_nfs::{DirEntry, FileAttr, FileHandle, NfsReply, NfsRequest};
 
+use crate::config::RetryPolicy;
 use crate::error::{RuntimeError, RuntimeResult};
+use crate::history::JournalHandle;
 use crate::obs::RuntimeObs;
 use crate::runtime::{ClientDirectory, NfsFrame};
 
@@ -40,6 +42,13 @@ pub struct RuntimeClient {
     /// Shared runtime observability: completed calls record their
     /// end-to-end latency here, bucketed by op class.
     obs: Arc<RuntimeObs>,
+    /// Failover shaping: budget + jittered exponential backoff.
+    retry: RetryPolicy,
+    /// xorshift64 state for backoff jitter, seeded per session.
+    jitter: u64,
+    /// Consistency-audit journal: when attached, every `call`/`call_via`
+    /// records its invoke/ack pair into the storm history.
+    journal: Option<JournalHandle>,
     /// How many times a read-only request failed over to another server.
     pub failovers: u64,
 }
@@ -55,8 +64,29 @@ impl RuntimeClient {
         timeout: Duration,
         root: FileHandle,
         obs: Arc<RuntimeObs>,
+        retry: RetryPolicy,
     ) -> Self {
-        RuntimeClient { rpc, home, servers, dir, bus, timeout, root, obs, failovers: 0 }
+        let jitter = 0x9E37_79B9_7F4A_7C15 ^ (u64::from(rpc.node().0) << 17) | 1;
+        RuntimeClient {
+            rpc,
+            home,
+            servers,
+            dir,
+            bus,
+            timeout,
+            root,
+            obs,
+            retry,
+            jitter,
+            journal: None,
+            failovers: 0,
+        }
+    }
+
+    /// Attaches a consistency-audit journal: from here on every request
+    /// this session sends is recorded as an invoke/ack pair.
+    pub fn record_into(&mut self, journal: JournalHandle) {
+        self.journal = Some(journal);
     }
 
     /// This session's node id on the bus.
@@ -111,7 +141,12 @@ impl RuntimeClient {
     pub fn call_via(&mut self, server: NodeId, req: NfsRequest) -> RuntimeResult<NfsReply> {
         let class = req.class();
         let start = std::time::Instant::now();
-        let rep = self.rpc.call(server, req, self.timeout)?;
+        let op = self.journal.as_ref().map(|j| j.invoke(&req));
+        let result = self.rpc.call(server, req, self.timeout).map_err(RuntimeError::from);
+        if let (Some(j), Some(op)) = (self.journal.as_ref(), op) {
+            j.ack(op, &result);
+        }
+        let rep = result?;
         self.obs.record_op(class, start.elapsed());
         Ok(rep)
     }
@@ -120,10 +155,21 @@ impl RuntimeClient {
     ///
     /// If the transport fails (home crashed, partitioned away, or
     /// silent) and the request is read-only — always safe to retry —
-    /// the call fails over to each other server in turn, re-homing the
-    /// session on the first that answers. Mutating requests surface the
-    /// transport error: blind retransmission could double-apply them.
+    /// the call fails over, sweeping the other servers under jittered
+    /// exponential backoff until the session's retry budget runs out,
+    /// and re-homing on the first server that answers. Mutating requests
+    /// surface the transport error: blind retransmission could
+    /// double-apply them.
     pub fn call(&mut self, req: NfsRequest) -> RuntimeResult<NfsReply> {
+        let op = self.journal.as_ref().map(|j| j.invoke(&req));
+        let result = self.call_failover(req);
+        if let (Some(j), Some(op)) = (self.journal.as_ref(), op) {
+            j.ack(op, &result);
+        }
+        result
+    }
+
+    fn call_failover(&mut self, req: NfsRequest) -> RuntimeResult<NfsReply> {
         // Latency is recorded per op class on success, failover legs
         // included — the client-visible request/reply boundary.
         let class = req.class();
@@ -145,17 +191,47 @@ impl RuntimeClient {
             Err(err) => {
                 let others: Vec<NodeId> =
                     self.servers.iter().copied().filter(|&s| s != self.home).collect();
-                for server in others {
-                    if let Ok(rep) = self.rpc.call(server, req.clone(), self.timeout) {
-                        self.failovers += 1;
-                        self.set_home(server);
-                        self.obs.record_op(class, start.elapsed());
-                        return Ok(rep);
-                    }
+                if others.is_empty() {
+                    return Err(err.into());
                 }
-                Err(err.into())
+                let mut backoff = self.retry.base;
+                let mut spent: u32 = 0;
+                loop {
+                    for &server in &others {
+                        if spent >= self.retry.budget {
+                            self.obs
+                                .failover_exhausted
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            return Err(err.into());
+                        }
+                        spent += 1;
+                        self.obs
+                            .failover_retries
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if let Ok(rep) = self.rpc.call(server, req.clone(), self.timeout) {
+                            self.failovers += 1;
+                            self.set_home(server);
+                            self.obs.record_op(class, start.elapsed());
+                            return Ok(rep);
+                        }
+                    }
+                    // A whole sweep found nobody: sleep a jittered slice
+                    // of the current backoff so failed-over sessions
+                    // spread out, then double it toward the ceiling.
+                    std::thread::sleep(self.jittered(backoff));
+                    backoff = (backoff * 2).min(self.retry.max);
+                }
             }
         }
+    }
+
+    /// Uniform jitter in `[d/2, d]`, from the session-local xorshift64.
+    fn jittered(&mut self, d: Duration) -> Duration {
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        let micros = d.as_micros().max(2) as u64;
+        Duration::from_micros(micros / 2 + self.jitter % (micros / 2 + 1))
     }
 
     // ------------------------------------------------------------------

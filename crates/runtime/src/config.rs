@@ -5,6 +5,43 @@ use std::time::Duration;
 use deceit_core::ClusterConfig;
 use deceit_nfs::FsConfig;
 
+/// Read-only failover retry shaping: how hard a client session tries to
+/// find a live server before surfacing a transport error.
+///
+/// The first attempt always goes to the session's home server; on a
+/// transport failure the session sweeps the other servers, sleeping a
+/// jittered exponentially growing backoff between sweeps (jitter keeps a
+/// thundering herd of failed-over clients from re-converging on one
+/// server in lockstep), until `budget` failover attempts have been
+/// spent. Exhaustion surfaces the original error and is counted in
+/// [`crate::ObsReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Failover attempts (beyond the home attempt) before giving up.
+    pub budget: u32,
+    /// Backoff before the second sweep; doubles per sweep.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub max: Duration,
+}
+
+impl RetryPolicy {
+    /// Two sweeps over the rest of a `servers`-wide cell.
+    pub fn for_cell(servers: usize) -> Self {
+        RetryPolicy {
+            budget: (2 * servers.saturating_sub(1)).max(2) as u32,
+            base: Duration::from_micros(500),
+            max: Duration::from_millis(10),
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::for_cell(3)
+    }
+}
+
 /// Tunables of one live Deceit deployment.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -17,6 +54,8 @@ pub struct RuntimeConfig {
     /// How long a client waits for a reply before reporting a timeout
     /// (the live analogue of an NFS retransmission giving up).
     pub request_timeout: Duration,
+    /// Read-only failover shaping (see [`RetryPolicy`]).
+    pub retry: RetryPolicy,
     /// Server message-loop poll granularity; bounds shutdown latency.
     pub poll_interval: Duration,
     /// Pump-thread sleep when no deferred work is pending.
@@ -80,6 +119,7 @@ impl RuntimeConfig {
             cluster,
             fs: FsConfig::default(),
             request_timeout: Duration::from_secs(3),
+            retry: RetryPolicy::for_cell(servers),
             poll_interval: Duration::from_millis(10),
             pump_interval: Duration::from_millis(1),
             pump_batch: 128,
@@ -102,6 +142,12 @@ impl RuntimeConfig {
     /// Sets the client request timeout, builder-style.
     pub fn with_request_timeout(mut self, timeout: Duration) -> Self {
         self.request_timeout = timeout;
+        self
+    }
+
+    /// Sets the failover retry shaping, builder-style.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -133,5 +179,15 @@ mod tests {
         assert!(cfg.cluster.opt_placement, "live hosting migrates replicas toward readers");
         assert!(!cfg.cluster.stats, "placement must not depend on the stats registry");
         assert!(cfg.request_timeout > cfg.poll_interval);
+    }
+
+    #[test]
+    fn retry_budget_scales_with_cell_size() {
+        assert_eq!(RuntimeConfig::new(3).retry.budget, 4, "two sweeps over the other two");
+        assert_eq!(RuntimeConfig::new(1).retry.budget, 2, "floor even with nowhere to go");
+        let cfg =
+            RuntimeConfig::new(3).with_retry(RetryPolicy { budget: 9, ..RetryPolicy::default() });
+        assert_eq!(cfg.retry.budget, 9);
+        assert!(cfg.retry.base < cfg.retry.max, "backoff must have room to grow");
     }
 }

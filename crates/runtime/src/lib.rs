@@ -49,14 +49,18 @@
 pub mod client;
 pub mod config;
 pub mod error;
+pub mod history;
+pub mod nemesis;
 pub mod obs;
 pub mod runtime;
 pub mod scenario;
 pub mod shard;
 
 pub use client::{RuntimeClient, WriteBatch};
-pub use config::RuntimeConfig;
+pub use config::{RetryPolicy, RuntimeConfig};
 pub use error::{RuntimeError, RuntimeResult};
+pub use history::{HistoryRecorder, JournalHandle, NEMESIS_CLIENT};
+pub use nemesis::{StormConfig, StormFailure, StormOutcome};
 pub use obs::{CoreReport, EngineReport, ObsReport, RuntimeObs, OP_CLASSES, OP_CLASS_NAMES};
 pub use runtime::{ClusterRuntime, RuntimeReport, RuntimeStats};
 pub use scenario::{Scenario, ScenarioOutcome, ScenarioStep};

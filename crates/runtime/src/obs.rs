@@ -54,6 +54,12 @@ pub struct RuntimeObs {
     pub pump_to_idle: AtomicU64,
     /// Pump transitions back to draining (work appeared after idling).
     pub pump_to_busy: AtomicU64,
+    /// Read-only failover attempts (every retried send after the home
+    /// server failed, successful or not), summed over all sessions.
+    pub failover_retries: AtomicU64,
+    /// Requests that spent their whole retry budget without finding a
+    /// live server and surfaced the transport error.
+    pub failover_exhausted: AtomicU64,
 }
 
 impl Default for RuntimeObs {
@@ -70,6 +76,8 @@ impl RuntimeObs {
             shared_serve: AtomicHistogram::new(),
             pump_to_idle: AtomicU64::new(0),
             pump_to_busy: AtomicU64::new(0),
+            failover_retries: AtomicU64::new(0),
+            failover_exhausted: AtomicU64::new(0),
         }
     }
 
@@ -131,6 +139,10 @@ pub struct ObsReport {
     pub pump_to_idle: u64,
     /// Pump idle→busy transitions.
     pub pump_to_busy: u64,
+    /// Read-only failover attempts across all sessions.
+    pub failover_retries: u64,
+    /// Requests whose failover retry budget ran out.
+    pub failover_exhausted: u64,
     /// Sharded-engine lock telemetry.
     pub engine: EngineReport,
     /// Protocol-core telemetry, when the engine carries an `ObsCore`.
@@ -160,6 +172,11 @@ impl ObsReport {
             out,
             "  \"pump\": {{\"to_idle\": {}, \"to_busy\": {}}},",
             self.pump_to_idle, self.pump_to_busy
+        );
+        let _ = writeln!(
+            out,
+            "  \"failover\": {{\"retries\": {}, \"exhausted\": {}}},",
+            self.failover_retries, self.failover_exhausted
         );
         let e = &self.engine;
         let _ = write!(
@@ -276,6 +293,8 @@ mod tests {
             shared_serve: summary_of(&[5]),
             pump_to_idle: 2,
             pump_to_busy: 1,
+            failover_retries: 5,
+            failover_exhausted: 1,
             engine: EngineReport {
                 shared_acquisitions: 7,
                 exclusive_acquisitions: 3,
@@ -314,6 +333,7 @@ mod tests {
             "\"p50_us\"",
             "\"p90_us\"",
             "\"p99_us\"",
+            "\"failover\": {\"retries\": 5, \"exhausted\": 1}",
             "\"shared_acquisitions\": 7",
             "\"slots\": [{\"sharded\": 4, \"fallbacks\": 1}",
             "\"lease_validation_failures\": 1",

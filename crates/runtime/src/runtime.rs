@@ -375,6 +375,7 @@ impl<S: NfsService + ProtocolHost + Send + Sync + 'static> ClusterRuntime<S> {
             self.cfg.request_timeout,
             root,
             Arc::clone(&self.shared.obs),
+            self.cfg.retry,
         )
     }
 
@@ -491,6 +492,8 @@ impl<S: NfsService + ProtocolHost + Send + Sync + 'static> ClusterRuntime<S> {
             shared_serve: obs.shared_serve.summary(),
             pump_to_idle: obs.pump_to_idle.load(Ordering::Relaxed),
             pump_to_busy: obs.pump_to_busy.load(Ordering::Relaxed),
+            failover_retries: obs.failover_retries.load(Ordering::Relaxed),
+            failover_exhausted: obs.failover_exhausted.load(Ordering::Relaxed),
             engine,
             core,
             stats,

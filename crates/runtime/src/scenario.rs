@@ -247,6 +247,39 @@ impl Scenario {
     }
 }
 
+/// Formats a failure uniformly for every checker that owns a live
+/// cluster: what went wrong, then the protocol flight-recorder ring
+/// captured before shutdown. Differential mismatches, auditor
+/// violations, and nemesis storms all route through this, so any failure
+/// mode arrives with the last protocol events each server acted on — not
+/// just sim-vs-live mismatches.
+pub fn failure_report(kind: &str, detail: &str, flight: &str) -> String {
+    format!(
+        "== {kind} ==\n{detail}\n-- protocol flight recorder (most recent events per server) --\n{flight}"
+    )
+}
+
+impl Scenario {
+    /// Runs the script under both worlds and panics with a
+    /// [`failure_report`] — flight-recorder ring included — if the live
+    /// outcome diverges from the simulator's. The one-call form of a
+    /// differential test.
+    pub fn assert_worlds_match(&self, cfg: &RuntimeConfig) {
+        let sim = self.run_sim(cfg);
+        let (live, flight) = self.run_live_observed(cfg).expect("live run failed");
+        if live != sim {
+            panic!(
+                "{}",
+                failure_report(
+                    "differential mismatch",
+                    &format!("sim outcome:\n{sim:#?}\nlive outcome:\n{live:#?}"),
+                    &flight,
+                )
+            );
+        }
+    }
+}
+
 /// Lookup helper for the live path.
 fn live_lookup(
     session: &mut crate::client::RuntimeClient,

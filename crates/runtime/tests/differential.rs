@@ -55,10 +55,9 @@ fn append_scenario_matches_across_worlds() {
     let scenario = Scenario { servers: 3, clients: 3, steps };
     let cfg = RuntimeConfig::new(3);
 
-    let sim = scenario.run_sim(&cfg);
-    let (live, flight) = scenario.run_live_observed(&cfg).expect("live run");
-    assert_eq!(sim, live, "append scenario diverged; live flight recorder:\n{flight}");
+    scenario.assert_worlds_match(&cfg);
 
+    let sim = scenario.run_sim(&cfg);
     let log = &sim.contents["log"];
     let expected: Vec<u8> = (0..6)
         .flat_map(|round| format!("[entry {round} from {}]", round % 3).into_bytes())
