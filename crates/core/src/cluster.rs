@@ -488,11 +488,13 @@ impl Cluster {
 
     /// Whether `seg` is recorded as deleted.
     pub(crate) fn is_deleted(&self, seg: SegmentId) -> bool {
+        // lint: allow(lock-order): the deleted-segment set is a cell-wide leaf mutex held for one set probe; nothing is acquired under it
         self.deleted.lock().unwrap_or_else(|e| e.into_inner()).contains(&seg)
     }
 
     /// Records `seg` as deleted (recovering servers GC stale replicas).
     pub(crate) fn mark_deleted(&self, seg: SegmentId) {
+        // lint: allow(lock-order): same leaf mutex as is_deleted; held for one insert
         self.deleted.lock().unwrap_or_else(|e| e.into_inner()).insert(seg);
     }
 }

@@ -121,14 +121,20 @@ impl Pending {
     ///   fired eagerly, a burst of forwarded reads would move replicas
     ///   around as fast as the pump can copy them instead of once per
     ///   window.
+    ///
+    /// The match is exhaustive on purpose: adding a `Pending` variant
+    /// must not compile (nor pass `deceit-lint`'s due-gating rule)
+    /// until its gating is decided here explicitly.
     pub fn due_gated(&self) -> bool {
-        matches!(
-            self,
+        match self {
             Pending::StabilizeCheck { .. }
-                | Pending::PropagateStream { .. }
-                | Pending::ReadRepair { .. }
-                | Pending::MigrateReplica { .. }
-        )
+            | Pending::PropagateStream { .. }
+            | Pending::ReadRepair { .. }
+            | Pending::MigrateReplica { .. } => true,
+            Pending::ApplyUpdate { .. }
+            | Pending::FlushServer { .. }
+            | Pending::GenerateReplica { .. } => false,
+        }
     }
 
     /// The shard key this action belongs to, for per-shard pumping and

@@ -204,6 +204,7 @@ impl<V: Clone + StoredSize> ShardedDisk<V> {
         }
         let _ = self
             .pending_touches
+            // lint: allow(ordering-audit): saturating fast flag — the RMW needs no ordering because the buffered touches it summarizes are read under the slot mutex, and staleness only costs one extra slot probe
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)));
     }
 
@@ -250,6 +251,7 @@ impl<V: Clone + StoredSize> ShardedDisk<V> {
         let entry = slot.touches.entry(k).or_insert(at);
         *entry = (*entry).max(at);
         if slot.touches.len() > before {
+            // lint: allow(ordering-audit): fast-flag increment published under the slot mutex the touch itself lives behind; readers tolerate a stale count by design
             self.pending_touches.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -389,6 +391,7 @@ impl<V: Clone + StoredSize> ShardedDisk<V> {
     /// anything changed; changes are written back asynchronously (the
     /// touch is metadata, not worth a durable write).
     pub fn apply_touches_slot(&self, slot: usize, apply: &impl Fn(&mut V, SimTime) -> bool) {
+        // lint: allow(ordering-audit): skip hint only — a stale zero is impossible (the flag saturates, never under-reports) and a stale nonzero costs one slot-lock probe
         if self.pending_touches.load(Ordering::Relaxed) == 0 {
             return;
         }
@@ -409,11 +412,13 @@ impl<V: Clone + StoredSize> ShardedDisk<V> {
     /// The pending-touch fast flag's current reading (diagnostics; may
     /// transiently over-report under concurrency, never under-report).
     pub fn pending_touch_count(&self) -> usize {
+        // lint: allow(ordering-audit): diagnostics read of the fast flag; advisory by contract
         self.pending_touches.load(Ordering::Relaxed)
     }
 
     /// Folds the recorded read touches of every slot.
     pub fn apply_touches_all(&self, apply: &impl Fn(&mut V, SimTime) -> bool) {
+        // lint: allow(ordering-audit): same skip hint as apply_touches_slot — never a stale zero, worst case one wasted sweep
         if self.pending_touches.load(Ordering::Relaxed) == 0 {
             return;
         }

@@ -191,7 +191,13 @@ impl Cluster {
             let (key, latency) = c.resolve_key(via, seg, None)?;
             let holders = c.reachable_replica_holders(via, key);
             let h = holders.first().copied().ok_or(DeceitError::Unavailable(seg))?;
-            let v = c.server(h).replicas.with_ref(&key, |r| r.map(|r| r.version)).unwrap();
+            // The holder list is advisory — the replica can vanish
+            // between the probe and this read; report unavailable.
+            let v = c
+                .server(h)
+                .replicas
+                .with_ref(&key, |r| r.map(|r| r.version))
+                .ok_or(DeceitError::Unavailable(seg))?;
             Ok((v, latency + c.cfg.local_read))
         })
     }

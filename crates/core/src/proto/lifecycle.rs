@@ -45,8 +45,13 @@ impl Cluster {
         latency += self.cfg.disk.write_cost(replica.data.len() + 64);
         self.server(via).replicas.put_sync(key, replica);
         self.server(via).tokens.put_sync(key, token);
-        let gid =
-            self.groups.create(&group_name(seg), via).expect("fresh segment name cannot collide");
+        // A fresh segment id should make collision impossible, but the
+        // group service is another process in spirit — if it refuses,
+        // surface unavailability instead of tearing the server down.
+        let gid = match self.groups.create(&group_name(seg), via) {
+            Ok(gid) => gid,
+            Err(_) => self.groups.lookup(&group_name(seg)).ok_or(DeceitError::Unavailable(seg))?,
+        };
         self.server(via).group_cache.insert(seg, gid);
         self.with_branch_table(seg, |_| ()); // materialize an empty history tree
         self.stats.incr("core/creates");

@@ -280,7 +280,9 @@ impl Cluster {
         match local_state {
             Some(ReplicaState::Stable) => {
                 latency += self.cfg.local_read;
-                let data = self.serve_local(via, key, offset, count);
+                let data = self
+                    .serve_local(via, key, offset, count)
+                    .ok_or(DeceitError::Unavailable(key.0))?;
                 self.stats.incr("core/reads/local");
                 return Ok((data, latency));
             }
@@ -352,7 +354,8 @@ impl Cluster {
 
         let rtt = self.round_trip(via, target, 32, count.min(8 * 1024))?;
         latency += rtt + self.cfg.local_read;
-        let data = self.serve_local(target, key, offset, count);
+        let data =
+            self.serve_local(target, key, offset, count).ok_or(DeceitError::Unavailable(key.0))?;
         self.stats.incr("core/reads/forwarded");
         self.emit_from(via, ProtocolEvent::ReadForwarded { seg, from: via, to: target });
 
@@ -377,14 +380,18 @@ impl Cluster {
         match holder {
             Some(h) if h == via => {
                 latency += self.cfg.local_read;
-                let data = self.serve_local(via, key, offset, count);
+                let data = self
+                    .serve_local(via, key, offset, count)
+                    .ok_or(DeceitError::Unavailable(key.0))?;
                 self.stats.incr("core/reads/local");
                 Ok((data, latency))
             }
             Some(h) => {
                 let rtt = self.round_trip(via, h, 32, count.min(8 * 1024))?;
                 latency += rtt + self.cfg.local_read;
-                let data = self.serve_local(h, key, offset, count);
+                let data = self
+                    .serve_local(h, key, offset, count)
+                    .ok_or(DeceitError::Unavailable(key.0))?;
                 self.stats.incr("core/reads/forwarded_unstable");
                 self.emit_from(via, ProtocolEvent::ReadForwarded { seg: key.0, from: via, to: h });
                 Ok((data, latency))
@@ -449,6 +456,9 @@ impl Cluster {
             // and only incomparable histories fall back to the highest
             // `(major, sub)` pair, never to subversion-first ordering.
             let table = self.branch_table_snapshot(key.0);
+            // `available` was checked non-empty above, so `max_by` can
+            // only miss if that invariant breaks — fail soft to the
+            // same "nothing to serve" error rather than panic.
             let (best, best_version, _) = *available
                 .iter()
                 .max_by(|(_, va, _), (_, vb, _)| match table.relation(*va, *vb) {
@@ -457,7 +467,7 @@ impl Cluster {
                     VersionRelation::Equal => std::cmp::Ordering::Equal,
                     VersionRelation::Incomparable => (va.major, va.sub).cmp(&(vb.major, vb.sub)),
                 })
-                .unwrap();
+                .ok_or(DeceitError::Unavailable(key.0))?;
             for (m, v, _) in &available {
                 if *v == best_version {
                     // The winner — and every survivor already at the
@@ -487,7 +497,9 @@ impl Cluster {
             );
         }
         latency += self.cfg.local_read;
-        let data = self.serve_local(serve_from, key, offset, count);
+        let data = self
+            .serve_local(serve_from, key, offset, count)
+            .ok_or(DeceitError::Unavailable(key.0))?;
         Ok((data, latency))
     }
 
@@ -601,14 +613,16 @@ impl Cluster {
     }
 
     /// Serves a read from a server's local replica, updating its access
-    /// time (LRU input).
+    /// time (LRU input). Returns `None` when the replica vanished since
+    /// the caller's probe (LRU deletion, recovery destruction) — every
+    /// caller treats that as the file being unavailable here, not a bug.
     pub(crate) fn serve_local(
         &self,
         server: NodeId,
         key: ReplicaKey,
         offset: usize,
         count: usize,
-    ) -> ReadData {
+    ) -> Option<ReadData> {
         let now = self.now();
         // Copy the requested range out and record the LRU access-time
         // touch under one slot-lock acquisition; the touch goes through
@@ -616,9 +630,7 @@ impl Cluster {
         // uses) and folds in at the next engine entry covering this slot
         // — no value clone, no forced metadata write.
         let srv = self.server(server);
-        srv.replicas
-            .with_ref_served(&key, now, |r| Some(copy_out(r?, server, offset, count)))
-            .expect("serve_local requires a replica")
+        srv.replicas.with_ref_served(&key, now, |r| Some(copy_out(r?, server, offset, count)))
     }
 
     /// One request/response exchange between two servers.

@@ -120,6 +120,7 @@ impl Cluster {
                     let now = self.now();
                     let mut fresh = crate::replica::Replica::cloned_from(&src, now);
                     fresh.state = ReplicaState::Stable;
+                    // lint: allow(lease-discipline): this writes a *peer's* (`m`'s) replica to catch it up; the holder's lease — the only one this round can invalidate — guards the holder's replica, which stays untouched until the stable marker below
                     self.server(m).replicas.put_sync(key, fresh);
                     self.server(m).drop_receiver(&key);
                     self.stats.incr("core/stability/catchups");

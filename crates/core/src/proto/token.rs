@@ -201,7 +201,13 @@ impl Cluster {
         if steady == Some(true) {
             return Ok(SimDuration::ZERO);
         }
-        let mut token = self.server(via).tokens.get(&key).expect("holder has token");
+        let Some(mut token) = self.server(via).tokens.get(&key) else {
+            // The token vanished between the steady probe and here (a
+            // concurrent crash wiped the holder's volatile state):
+            // writes are unavailable at this replica, not a panic.
+            self.stats.incr("core/token/disabled");
+            return Err(DeceitError::WriteUnavailable(key.0));
+        };
         // If every known holder is reachable (no failure in sight) but the
         // minimum replica level outruns the holder set — the raised-level
         // case of §3.1 method 2 — the holder generates replicas now rather
@@ -209,8 +215,15 @@ impl Cluster {
         let all_known_reachable = token.holders.iter().all(|&h| self.net.reachable(via, h));
         if all_known_reachable && token.holders.len() < params.min_replicas {
             self.fill_min_replicas_now(via, key);
-            // The fill updates the holder set on the stored token.
-            token = self.server(via).tokens.get(&key).expect("holder has token");
+            // The fill updates the holder set on the stored token; if
+            // it is gone the same concurrent-crash reasoning applies.
+            token = match self.server(via).tokens.get(&key) {
+                Some(t) => t,
+                None => {
+                    self.stats.incr("core/token/disabled");
+                    return Err(DeceitError::WriteUnavailable(key.0));
+                }
+            };
         }
         let reachable = self.reachable_replica_holders(via, key).len();
         let majority = token.majority(params.min_replicas);
@@ -244,7 +257,13 @@ impl Cluster {
             let holders = self.reachable_replica_holders(via, base_key);
             let src_server =
                 holders.into_iter().find(|&h| h != via).ok_or(DeceitError::Unavailable(seg))?;
-            let src = self.server(src_server).replicas.get(&base_key).unwrap();
+            // The holder list said src_server has the replica, but a
+            // racing crash may have taken it since: treat as unavailable.
+            let src = self
+                .server(src_server)
+                .replicas
+                .get(&base_key)
+                .ok_or(DeceitError::Unavailable(seg))?;
             let blast = self.cfg.blast;
             if let Some(d) = deceit_isis::xfer::transfer_state(
                 &self.net,
@@ -262,7 +281,7 @@ impl Cluster {
             self.server(via).replicas.put_sync(base_key, Replica::cloned_from(&src, now));
         }
 
-        let base = self.server(via).replicas.get(&base_key).unwrap();
+        let base = self.server(via).replicas.get(&base_key).ok_or(DeceitError::Unavailable(seg))?;
         let params = base.params;
 
         // Policy gate (§3.5, §4).
@@ -306,10 +325,15 @@ impl Cluster {
         if let Some((gid, _)) = self.group_members(seg) {
             latency += self.ensure_member(gid, via);
         } else {
-            let gid = self
-                .groups
-                .create(&crate::cluster::group_name(seg), via)
-                .unwrap_or_else(|_| self.group_members(seg).map(|(g, _)| g).unwrap());
+            // Creation only fails when a racing generator created the
+            // group first; fall back to lookup, and if that misses too
+            // the group service is refusing us — fail the generation.
+            let gid = match self.groups.create(&crate::cluster::group_name(seg), via) {
+                Ok(gid) => gid,
+                Err(_) => {
+                    self.group_members(seg).map(|(g, _)| g).ok_or(DeceitError::Unavailable(seg))?
+                }
+            };
             self.server(via).group_cache.insert(seg, gid);
         }
 

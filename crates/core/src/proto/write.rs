@@ -91,11 +91,14 @@ impl Cluster {
         // *after* extra-replica deletion below, so the write-back at the
         // end of this function can never resurrect a just-deleted victim
         // into the stored holder set.
+        // "Just ensured" is best-effort under concurrency: a crash on
+        // the ensure/write seam can drop the token, in which case the
+        // write is refused rather than the server killed.
         let token_version = self
             .server(via)
             .tokens
             .with_ref(&key, |t| t.map(|t| t.version))
-            .expect("token just ensured");
+            .ok_or(DeceitError::WriteUnavailable(seg))?;
         if let Some(exp) = expected {
             if token_version != exp {
                 self.stats.incr("core/occ/conflicts");
@@ -131,8 +134,8 @@ impl Cluster {
         }
 
         // The authoritative token, read after any holder-set update the
-        // deletion above stored.
-        let token = self.server(via).tokens.get(&key).expect("token just ensured");
+        // deletion above stored. Same seam as above: refuse, don't panic.
+        let token = self.server(via).tokens.get(&key).ok_or(DeceitError::WriteUnavailable(seg))?;
 
         // Table 1 row 3: the distributed update itself.
         let new_version = token.version.bump();

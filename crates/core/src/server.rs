@@ -161,20 +161,27 @@ impl ServerState {
 
     /// Folds a communication round's outcome into the failure detector.
     pub(crate) fn observe_round(&self, outcome: &BcastOutcome) {
+        // lint: allow(lock-order): the failure detector is a private leaf mutex held only for this fold; nothing is acquired under it
         self.fd.lock().unwrap_or_else(|e| e.into_inner()).observe_round(outcome);
     }
 
     /// Simulates a crash: non-volatile state reverts to its durable
     /// contents; volatile state is lost.
+    ///
+    /// Leases go first: a read lease is a promise that the holder's
+    /// replica state is stable, so it must be revoked before any of
+    /// that state reverts — otherwise a racing leased read could
+    /// validate against post-crash contents.
     pub fn crash(&self) {
+        self.leases.clear();
         self.replicas.crash();
         self.tokens.crash();
         self.receivers.clear();
         self.group_cache.clear();
+        // lint: allow(lock-order): the failure detector is a private leaf mutex; the reset holds no other lock
         *self.fd.lock().unwrap_or_else(|e| e.into_inner()) = FailureDetector::new();
         self.streams.clear();
         self.outbound.clear();
-        self.leases.clear();
         self.repairs.clear();
         self.migrations.clear();
     }

@@ -1,0 +1,22 @@
+//! Planted violation for `due-gating`, linted as if this file were
+//! `crates/core/src/event.rs`. Never compiled — read as text by
+//! `tests/fixtures.rs`. `Ungated` is absent from the decision table.
+
+pub enum Pending {
+    /// Appears in the table: fine.
+    Covered { seg: u64, due: u64 },
+    /// Tuple variant, also covered.
+    AlsoCovered(u64),
+    /// VIOLATION: never mentioned in `due_gated`.
+    Ungated { seg: u64 },
+}
+
+impl Pending {
+    pub fn due_gated(&self) -> bool {
+        match self {
+            Pending::Covered { .. } => true,
+            Pending::AlsoCovered(_) => false,
+            _ => false,
+        }
+    }
+}

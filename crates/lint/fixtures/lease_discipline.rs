@@ -1,0 +1,18 @@
+//! Planted violation for `lease-discipline`, linted as if this file
+//! were `crates/core/src/proto/token.rs` (where `pass_token` is a
+//! registered invalidator). Never compiled — read as text by
+//! `tests/fixtures.rs`.
+
+impl Cluster {
+    pub(crate) fn pass_token(&self, from: NodeId, to: NodeId, key: ReplicaKey) {
+        // VIOLATION: state mutated before the lease revoke below — a
+        // racing leased read can validate against the new holder set.
+        self.server(from).tokens.delete_sync(&key);
+        self.server(from).leases.remove(&key);
+    }
+
+    fn unregistered_helper(&self, key: ReplicaKey) {
+        // Not a registered invalidator: mutation order is not checked.
+        self.server.replicas.put_sync(key, value);
+    }
+}

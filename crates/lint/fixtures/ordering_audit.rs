@@ -1,0 +1,15 @@
+//! Planted violations for `ordering-audit`, linted as if this file
+//! were `crates/core/src/cluster.rs` (in scope, not a counter-module
+//! file). Never compiled — read as text by `tests/fixtures.rs`.
+
+fn publish(flag: &AtomicBool, done: &AtomicBool, ops_served: &AtomicU64) {
+    flag.store(true, Ordering::Relaxed); // VIOLATION: published flag, not a counter
+    done.store(true, Ordering::Release); // fine: Release publication
+    ops_served.fetch_add(1, Ordering::Relaxed); // fine: allowlisted counter
+    ops_served.fetch_add(compute(1, 2), Ordering::Relaxed); // fine: nested call args
+}
+
+fn waived(flag: &AtomicBool) {
+    // lint: allow(ordering-audit): fixture waiver — proves suppression for a justified Relaxed flag
+    flag.store(false, Ordering::Relaxed);
+}

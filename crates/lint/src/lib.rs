@@ -1,0 +1,124 @@
+//! `deceit-lint`: repo-specific static analysis for the Deceit
+//! concurrency discipline.
+//!
+//! The invariants this codebase rests on — the cell→ascending-ring
+//! lock order, revoke-before-invalidate for read leases, due-gating of
+//! every `Pending` variant, no bare panics on protocol paths, Relaxed
+//! atomics only for tallies — used to live in module docs and
+//! `debug_assert`s. This crate makes them machine-checked: a
+//! hand-rolled lexer (the vendored deps are API stubs, so no `syn`)
+//! feeds a token-stream rule engine with a hard-coded registry and
+//! in-source waivers. See README § "Static analysis" for the catalog.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod waiver;
+
+use report::{Finding, LintReport};
+use rules::{SourceFile, RULES};
+use std::path::{Path, PathBuf};
+
+/// Lint a set of `(repo-relative path, content)` pairs. This is the
+/// whole engine; the binary and the fixture tests both call it.
+pub fn lint_sources(files: &[(String, String)]) -> LintReport {
+    let known = rules::rule_ids();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut waivers_honored = 0usize;
+    for (path, content) in files {
+        let sf = SourceFile::new(path, content);
+        let mut raw: Vec<Finding> = Vec::new();
+        for rule in RULES {
+            (rule.check)(&sf, &mut raw);
+        }
+        raw.sort();
+        raw.dedup();
+        let (waivers, bad) = waiver::parse_waivers(path, &sf.toks, &known);
+        let mut used = vec![false; waivers.len()];
+        raw.retain(|f| {
+            let waived = waivers.iter().enumerate().any(|(wi, w)| {
+                let hit = w.rule == f.rule && w.target_line == Some(f.line);
+                if hit {
+                    used[wi] = true;
+                }
+                hit
+            });
+            !waived
+        });
+        findings.extend(raw);
+        findings.extend(bad);
+        for (wi, w) in waivers.iter().enumerate() {
+            if used[wi] {
+                waivers_honored += 1;
+            } else {
+                findings.push(Finding::new(
+                    "unused-waiver",
+                    path,
+                    w.line,
+                    format!(
+                        "waiver for `{}` suppresses nothing — the excused code moved or was fixed; delete the waiver",
+                        w.rule
+                    ),
+                ));
+            }
+        }
+    }
+    findings.sort();
+    LintReport { files_scanned: files.len(), waivers_honored, findings }
+}
+
+/// Collect the lintable sources under `root`: `crates/*/src/**/*.rs`.
+/// Vendored stand-ins, build output, and lint fixtures are not part of
+/// the checked surface.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            walk(&src, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            walk(&p, root, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, std::fs::read_to_string(&p)?));
+        }
+    }
+    Ok(())
+}
+
+/// Walk upward from `start` to the workspace root (the directory that
+/// holds both `Cargo.toml` and `crates/`).
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}

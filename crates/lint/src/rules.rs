@@ -1,0 +1,525 @@
+//! The rule registry. Every rule is a pure function over one file's
+//! token stream; scoping is by repo-relative path so fixture tests can
+//! exercise a rule by lexing synthetic content under the real path.
+
+use crate::lexer::{Tok, TokKind};
+use crate::report::Finding;
+
+/// One file, pre-lexed. `code` is the token stream with comments
+/// stripped (rules match on it); `toks` keeps comments for waivers.
+pub struct SourceFile {
+    pub path: String,
+    pub toks: Vec<Tok>,
+    pub code: Vec<Tok>,
+}
+
+impl SourceFile {
+    pub fn new(path: &str, src: &str) -> Self {
+        let toks = crate::lexer::lex(src);
+        let code = toks.iter().filter(|t| t.kind != TokKind::Comment).cloned().collect();
+        SourceFile { path: path.to_string(), toks, code }
+    }
+}
+
+pub struct Rule {
+    pub id: &'static str,
+    pub summary: &'static str,
+    /// Which PR's bug class motivated the rule (for `--list-rules`).
+    pub motivation: &'static str,
+    pub check: fn(&SourceFile, &mut Vec<Finding>),
+}
+
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "lock-order",
+        summary: "cell lock before ring locks; ring batches ascend; leaf locks stay behind the hot.rs/shard.rs seams",
+        motivation: "PRs 2-3 sharded the engine; the module-doc lock order is the only thing between us and deadlock",
+        check: rule_lock_order,
+    },
+    Rule {
+        id: "no-bare-panic",
+        summary: "no .unwrap()/.expect()/panic!/unreachable! in protocol, recovery, server, or NFS op paths (tests exempt)",
+        motivation: "PR 4 converted recovery.rs panics to skip/fallthrough after storms kept finding new ones",
+        check: rule_no_bare_panic,
+    },
+    Rule {
+        id: "due-gating",
+        summary: "every Pending variant must appear in the due_gated decision table",
+        motivation: "PR 4 fixed the same silently-ungated-variant bug twice; a new variant must not bypass the pump",
+        check: rule_due_gating,
+    },
+    Rule {
+        id: "lease-discipline",
+        summary: "in registered invalidation functions the lease revoke must lexically precede the state mutation",
+        motivation: "PR 5's read leases are only safe because every invalidation revokes before it mutates",
+        check: rule_lease_discipline,
+    },
+    Rule {
+        id: "ordering-audit",
+        summary: "Ordering::Relaxed only for allowlisted counters/gauges; published flags need Acquire/Release or a waiver",
+        motivation: "PR 5/PR 6 spread atomics through the hot path; Relaxed is correct for tallies, silent corruption for flags",
+        check: rule_ordering_audit,
+    },
+];
+
+pub fn rule_ids() -> Vec<&'static str> {
+    RULES.iter().map(|r| r.id).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers.
+
+fn seq(code: &[Tok], i: usize, pat: &[&str]) -> bool {
+    pat.iter().enumerate().all(|(k, p)| code.get(i + k).is_some_and(|t| t.text == *p))
+}
+
+struct FnSpan {
+    name: String,
+    line: u32,
+    /// Code-index range of the body, exclusive of its braces.
+    body: (usize, usize),
+}
+
+/// Find `fn <name> … { … }` spans. Signature parens/brackets are
+/// skipped so the body `{` is found even with where-clauses and
+/// generics; trait method declarations (`fn f();`) yield no span.
+fn functions(code: &[Tok]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].is("fn") && code.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let name = code[i + 1].text.clone();
+            let line = code[i].line;
+            let (mut paren, mut brack) = (0i32, 0i32);
+            let mut j = i + 2;
+            let mut open = None;
+            while j < code.len() {
+                match code[j].text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => brack += 1,
+                    "]" => brack -= 1,
+                    "{" if paren == 0 && brack == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" if paren == 0 && brack == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                let mut depth = 0i32;
+                let mut k = open;
+                while k < code.len() {
+                    if code[k].is("{") {
+                        depth += 1;
+                    } else if code[k].is("}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                out.push(FnSpan { name, line, body: (open + 1, k.min(code.len())) });
+                i = open + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: lock-order.
+
+/// The discipline (module doc of `runtime::shard`): the cell RwLock is
+/// acquired first, then shard ring mutexes in strictly ascending slot
+/// order via `lock_ring`, then per-slot leaf locks inside `hot.rs`.
+/// Token-level approximations of that:
+///   (a) in `shard.rs`, no `cell.read()`/`cell.write()` lexically after
+///       a ring acquisition in the same function;
+///   (b) in `shard.rs`, no raw `shards[…].lock()` indexing outside
+///       `lock_ring` (ascending order is only proven there);
+///   (c) in `crates/core` outside `hot.rs`, no raw `.lock()` calls —
+///       leaf locks belong behind the hot.rs/shard.rs seams.
+fn rule_lock_order(f: &SourceFile, out: &mut Vec<Finding>) {
+    let code = &f.code;
+    if f.path == "crates/runtime/src/shard.rs" {
+        for fun in functions(code) {
+            let mut ring_at: Option<usize> = None;
+            for i in fun.body.0..fun.body.1 {
+                if code[i].test {
+                    continue;
+                }
+                let ring_index = code[i].is("shards") && seq(code, i + 1, &["["]);
+                if (code[i].is("lock_ring") || ring_index) && ring_at.is_none() {
+                    ring_at = Some(i);
+                }
+                if ring_index && fun.name != "lock_ring" {
+                    out.push(Finding::new(
+                        "lock-order",
+                        &f.path,
+                        code[i].line,
+                        format!(
+                            "raw ring-lock indexing in `{}` — only `lock_ring` proves ascending acquisition order",
+                            fun.name
+                        ),
+                    ));
+                }
+                if code[i].is("cell")
+                    && seq(code, i + 1, &["."])
+                    && code.get(i + 2).is_some_and(|t| t.is("read") || t.is("write"))
+                    && seq(code, i + 3, &["("])
+                {
+                    if let Some(r) = ring_at {
+                        if i > r {
+                            out.push(Finding::new(
+                                "lock-order",
+                                &f.path,
+                                code[i].line,
+                                format!(
+                                    "cell lock acquired inside a ring-lock scope in `{}` (cell must come first)",
+                                    fun.name
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if f.path.starts_with("crates/core/src/") && !f.path.ends_with("/hot.rs") {
+        for i in 0..code.len() {
+            if code[i].test {
+                continue;
+            }
+            if seq(code, i, &[".", "lock", "("]) {
+                out.push(Finding::new(
+                    "lock-order",
+                    &f.path,
+                    code[i].line,
+                    "raw leaf-lock acquisition outside the hot.rs/shard.rs seams",
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: no-bare-panic.
+
+const PANIC_SCOPES: &[&str] =
+    &["crates/core/src/proto/", "crates/core/src/server.rs", "crates/nfs/src/ops_"];
+
+fn rule_no_bare_panic(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !PANIC_SCOPES.iter().any(|p| f.path.starts_with(p)) {
+        return;
+    }
+    let code = &f.code;
+    for i in 0..code.len() {
+        if code[i].test {
+            continue;
+        }
+        let msg = if seq(code, i, &[".", "unwrap", "(", ")"]) {
+            Some("bare `.unwrap()` on a protocol path — return an error or skip, or waive with a proof of infallibility")
+        } else if seq(code, i, &[".", "expect", "("]) {
+            Some("bare `.expect(…)` on a protocol path — return an error or skip, or waive with a proof of infallibility")
+        } else if code[i].kind == TokKind::Ident
+            && seq(code, i + 1, &["!"])
+            && matches!(code[i].text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+        {
+            Some("panicking macro on a protocol path — a storm can reach this; fail soft instead")
+        } else {
+            None
+        };
+        if let Some(msg) = msg {
+            // Anchor on the method/macro name, not the leading dot.
+            let line = if code[i].is(".") { code[i + 1].line } else { code[i].line };
+            out.push(Finding::new("no-bare-panic", &f.path, line, msg));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: due-gating.
+
+/// In `core/src/event.rs`, every `Pending` variant must be named in the
+/// body of `due_gated` — the pump's decision table. A variant that is
+/// not mentioned there was almost certainly added without deciding
+/// whether the pump may fire it early (the bug PR 4 fixed twice).
+fn rule_due_gating(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.path != "crates/core/src/event.rs" {
+        return;
+    }
+    let code = &f.code;
+    // Collect variants of `enum Pending { … }`.
+    let mut variants: Vec<(String, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].is("enum") && seq(code, i + 1, &["Pending"]) {
+            let mut j = i + 2;
+            while j < code.len() && !code[j].is("{") {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            while j < code.len() {
+                let t = &code[j];
+                if t.is("{") || t.is("(") {
+                    depth += 1;
+                } else if t.is("}") || t.is(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth == 1 && t.kind == TokKind::Ident {
+                    // At variant level an ident starts a variant; skip
+                    // its field group, which the depth counter handles.
+                    variants.push((t.text.clone(), t.line));
+                    let mut d = 0i32;
+                    let mut k = j + 1;
+                    while k < code.len() {
+                        if code[k].is("{") || code[k].is("(") {
+                            d += 1;
+                        } else if code[k].is("}") || code[k].is(")") {
+                            d -= 1;
+                            if d < 0 {
+                                break; // enum's own closing brace
+                            }
+                        } else if d == 0 && code[k].is(",") {
+                            break;
+                        }
+                        k += 1;
+                    }
+                    j = k;
+                    if d < 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    if variants.is_empty() {
+        return;
+    }
+    let Some(gate) = functions(code).into_iter().find(|fun| fun.name == "due_gated") else {
+        out.push(Finding::new(
+            "due-gating",
+            &f.path,
+            1,
+            "`Pending` is defined but no `due_gated` decision table exists in this file",
+        ));
+        return;
+    };
+    let body: std::collections::BTreeSet<&str> = code[gate.body.0..gate.body.1]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    for (name, line) in &variants {
+        if !body.contains(name.as_str()) {
+            out.push(Finding::new(
+                "due-gating",
+                &f.path,
+                *line,
+                format!("`Pending::{name}` is missing from the `due_gated` decision table — decide whether the pump may fire it before its due time"),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: lease-discipline.
+
+/// Registered invalidation functions (file, fn). In each, the first
+/// lease revoke (`leases.remove`/`leases.clear`) must lexically precede
+/// the first replica/token/stream state mutation, so a racing leased
+/// read can never validate against already-mutated state.
+const INVALIDATORS: &[(&str, &str)] = &[
+    ("crates/core/src/proto/token.rs", "pass_token"),
+    ("crates/core/src/proto/stability.rs", "mark_stable_round"),
+    ("crates/core/src/server.rs", "crash"),
+    ("crates/core/src/proto/recovery.rs", "destroy_replica"),
+];
+
+const MUTATION_RECEIVERS: &[&str] = &["replicas", "tokens", "streams", "outbound", "receivers"];
+const MUTATION_METHODS: &[&str] =
+    &["put_sync", "put_async", "delete_sync", "update_async", "crash", "clear", "remove", "insert"];
+
+fn rule_lease_discipline(f: &SourceFile, out: &mut Vec<Finding>) {
+    let targets: Vec<&str> =
+        INVALIDATORS.iter().filter(|(p, _)| *p == f.path).map(|(_, name)| *name).collect();
+    if targets.is_empty() {
+        return;
+    }
+    let code = &f.code;
+    for fun in functions(code) {
+        if !targets.contains(&fun.name.as_str()) {
+            continue;
+        }
+        let mut revoke_at: Option<usize> = None;
+        let mut mutation: Option<(usize, String)> = None;
+        for i in fun.body.0..fun.body.1 {
+            if code[i].test {
+                continue;
+            }
+            if code[i].is("leases")
+                && seq(code, i + 1, &["."])
+                && code.get(i + 2).is_some_and(|t| t.is("remove") || t.is("clear"))
+            {
+                revoke_at.get_or_insert(i);
+            }
+            if MUTATION_RECEIVERS.contains(&code[i].text.as_str())
+                && seq(code, i + 1, &["."])
+                && code.get(i + 2).is_some_and(|t| MUTATION_METHODS.contains(&t.text.as_str()))
+                && mutation.is_none()
+            {
+                mutation = Some((i, format!("{}.{}", code[i].text, code[i + 2].text)));
+            }
+        }
+        match (revoke_at, &mutation) {
+            (None, _) => out.push(Finding::new(
+                "lease-discipline",
+                &f.path,
+                fun.line,
+                format!(
+                    "`{}` is a registered lease invalidator but never revokes (`leases.remove`/`leases.clear`)",
+                    fun.name
+                ),
+            )),
+            (Some(r), Some((m, what))) if *m < r => out.push(Finding::new(
+                "lease-discipline",
+                &f.path,
+                code[*m].line,
+                format!(
+                    "`{}` mutates state (`{}`) before revoking the lease — a racing leased read can validate against the mutated state",
+                    fun.name, what
+                ),
+            )),
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: ordering-audit.
+
+/// Files that are counter/histogram modules wholesale: every atomic in
+/// them is a monotone tally or epoch-decayed gauge read for reporting.
+const RELAXED_FILE_ALLOWLIST: &[&str] = &["obs.rs", "placement.rs", "stats.rs"];
+
+/// Atomic fields that are tallies, gauges, or unique-id allocators:
+/// their readers tolerate staleness by design and never use the value
+/// to justify touching other shared state. Everything else that says
+/// `Ordering::Relaxed` is flagged.
+const COUNTER_RECEIVERS: &[&str] = &[
+    // protocol/server tallies
+    "ops_served",
+    "lease_validation_failures",
+    "migrations_vetoed_floor",
+    "replicas_retired",
+    // engine telemetry
+    "shared_acquisitions",
+    "exclusive_acquisitions",
+    "sharded",
+    "fallbacks",
+    "pump_to_idle",
+    "pump_to_busy",
+    // runtime tallies
+    "served",
+    "served_total",
+    "served_shared",
+    "served_sharded",
+    "dropped_while_crashed",
+    "failover_retries",
+    "failover_exhausted",
+    // container size gauges / unique-id allocators
+    "len",
+    "seq",
+    "next_client",
+    "next_segment",
+    "next_major",
+    // the advisory protocol clock: monotone via fetch_max/fetch_add
+    // RMWs; protocol ordering comes from message delivery, not reads
+    "clock",
+];
+
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_max",
+    "fetch_min",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERING_SCOPES: &[&str] = &["crates/core/src/", "crates/runtime/src/", "crates/nfs/src/"];
+
+fn rule_ordering_audit(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !ORDERING_SCOPES.iter().any(|p| f.path.starts_with(p)) {
+        return;
+    }
+    let file_name = f.path.rsplit('/').next().unwrap_or(&f.path);
+    if RELAXED_FILE_ALLOWLIST.contains(&file_name) {
+        return;
+    }
+    let code = &f.code;
+    let mut flagged_lines = std::collections::BTreeSet::new();
+    for i in 0..code.len() {
+        if code[i].test || !seq(code, i, &["Ordering", ":", ":", "Relaxed"]) {
+            continue;
+        }
+        // Walk back to the opening paren of the enclosing call to name
+        // the receiver: `recv.method(…, Ordering::Relaxed, …)`.
+        let mut depth = 0i32;
+        let mut k = i;
+        let mut receiver: Option<(String, String)> = None;
+        while k > 0 {
+            k -= 1;
+            if code[k].is(")") {
+                depth += 1;
+            } else if code[k].is("(") {
+                depth -= 1;
+                if depth < 0 {
+                    if k >= 2
+                        && code[k - 1].kind == TokKind::Ident
+                        && ATOMIC_METHODS.contains(&code[k - 1].text.as_str())
+                        && code[k - 2].is(".")
+                        && k >= 3
+                        && code[k - 3].kind == TokKind::Ident
+                    {
+                        receiver = Some((code[k - 3].text.clone(), code[k - 1].text.clone()));
+                    }
+                    break;
+                }
+            }
+        }
+        let ok = matches!(&receiver, Some((recv, _)) if COUNTER_RECEIVERS.contains(&recv.as_str()));
+        if !ok && flagged_lines.insert(code[i].line) {
+            let what = match &receiver {
+                Some((recv, method)) => format!("`{recv}.{method}`"),
+                None => "an unrecognized receiver".to_string(),
+            };
+            out.push(Finding::new(
+                "ordering-audit",
+                &f.path,
+                code[i].line,
+                format!(
+                    "`Ordering::Relaxed` on {what} — not an allowlisted counter; use Acquire/Release for published flags or waive with the staleness argument"
+                ),
+            ));
+        }
+    }
+}

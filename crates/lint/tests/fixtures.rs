@@ -1,0 +1,157 @@
+//! Mutation tests for the rule engine (the PR 8 idea applied to the
+//! linter itself): every rule must fire on its planted-violation
+//! fixture, and the waiver machinery must suppress exactly what it
+//! claims. If a rule regresses into silence, these fail — the clean
+//! repo run in `self_clean.rs` alone cannot distinguish "no
+//! violations" from "rule broke".
+
+use lint::lint_sources;
+use lint::report::Finding;
+
+/// Lint one fixture under the repo-relative path its rule scopes to.
+fn lint_fixture(as_path: &str, content: &str) -> lint::report::LintReport {
+    lint_sources(&[(as_path.to_string(), content.to_string())])
+}
+
+fn rule_findings<'a>(r: &'a lint::report::LintReport, rule: &str) -> Vec<&'a Finding> {
+    r.findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn no_bare_panic_fixture_fails_the_lint() {
+    let report = lint_fixture(
+        "crates/core/src/proto/fixture.rs",
+        include_str!("../fixtures/no_bare_panic.rs"),
+    );
+    let hits = rule_findings(&report, "no-bare-panic");
+    // Exactly the four planted violations: unwrap, expect, panic!,
+    // unreachable!. Strings, raw strings, comments, unwrap_or*, test
+    // code, and the waived call must all stay silent.
+    assert_eq!(hits.len(), 4, "findings: {:?}", report.findings);
+    let lines: Vec<u32> = hits.iter().map(|f| f.line).collect();
+    for (line, what) in [(6, "unwrap"), (10, "expect"), (16, "panic"), (23, "unreachable")] {
+        assert!(lines.contains(&line), "missing planted {what} at line {line}: {lines:?}");
+    }
+    // The fixture's waiver suppressed the waived unwrap and is counted.
+    assert_eq!(report.waivers_honored, 1);
+    assert!(rule_findings(&report, "unused-waiver").is_empty());
+}
+
+#[test]
+fn no_bare_panic_is_scoped_to_protocol_paths() {
+    // The same content outside the scoped paths produces nothing.
+    let report =
+        lint_fixture("crates/runtime/src/fixture.rs", include_str!("../fixtures/no_bare_panic.rs"));
+    assert!(rule_findings(&report, "no-bare-panic").is_empty());
+}
+
+#[test]
+fn lock_order_fixture_fails_the_lint() {
+    let report =
+        lint_fixture("crates/runtime/src/shard.rs", include_str!("../fixtures/lock_order.rs"));
+    let hits = rule_findings(&report, "lock-order");
+    assert_eq!(hits.len(), 2, "findings: {:?}", report.findings);
+    assert!(hits.iter().any(|f| f.line == 8 && f.message.contains("cell lock")));
+    assert!(hits.iter().any(|f| f.line == 13 && f.message.contains("raw ring-lock")));
+}
+
+#[test]
+fn lock_order_flags_leaf_locks_outside_the_seam() {
+    let src = "impl T {\n    fn probe(&self) -> bool {\n        self.inner.lock().unwrap_or_else(|e| e.into_inner()).probe()\n    }\n}\n";
+    let report = lint_fixture("crates/core/src/somewhere.rs", src);
+    assert_eq!(rule_findings(&report, "lock-order").len(), 1);
+    // hot.rs owns the slot leaf locks: the identical code is fine there.
+    let report = lint_fixture("crates/core/src/hot.rs", src);
+    assert!(rule_findings(&report, "lock-order").is_empty());
+}
+
+#[test]
+fn due_gating_fixture_fails_the_lint() {
+    let report =
+        lint_fixture("crates/core/src/event.rs", include_str!("../fixtures/due_gating.rs"));
+    let hits = rule_findings(&report, "due-gating");
+    assert_eq!(hits.len(), 1, "findings: {:?}", report.findings);
+    assert!(hits[0].message.contains("Ungated"));
+}
+
+#[test]
+fn due_gating_accepts_a_complete_table() {
+    let src = "pub enum Pending {\n    A { x: u8 },\n    B(u8),\n}\nimpl Pending {\n    pub fn due_gated(&self) -> bool {\n        match self {\n            Pending::A { .. } => true,\n            Pending::B(_) => false,\n        }\n    }\n}\n";
+    let report = lint_fixture("crates/core/src/event.rs", src);
+    assert!(rule_findings(&report, "due-gating").is_empty());
+}
+
+#[test]
+fn lease_discipline_fixture_fails_the_lint() {
+    let report = lint_fixture(
+        "crates/core/src/proto/token.rs",
+        include_str!("../fixtures/lease_discipline.rs"),
+    );
+    let hits = rule_findings(&report, "lease-discipline");
+    assert_eq!(hits.len(), 1, "findings: {:?}", report.findings);
+    assert!(hits[0].message.contains("pass_token"));
+    assert!(hits[0].message.contains("tokens.delete_sync"));
+}
+
+#[test]
+fn lease_discipline_flags_a_missing_revoke() {
+    let src = "impl S {\n    pub fn crash(&self) {\n        self.replicas.crash();\n    }\n}\n";
+    let report = lint_fixture("crates/core/src/server.rs", src);
+    let hits = rule_findings(&report, "lease-discipline");
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].message.contains("never revokes"));
+}
+
+#[test]
+fn ordering_audit_fixture_fails_the_lint() {
+    let report =
+        lint_fixture("crates/core/src/cluster.rs", include_str!("../fixtures/ordering_audit.rs"));
+    let hits = rule_findings(&report, "ordering-audit");
+    assert_eq!(hits.len(), 1, "findings: {:?}", report.findings);
+    assert_eq!(hits[0].line, 6);
+    assert!(hits[0].message.contains("flag.store"));
+    assert_eq!(report.waivers_honored, 1);
+}
+
+#[test]
+fn ordering_audit_skips_counter_modules_and_tests() {
+    let src = "fn f(flag: &AtomicBool) { flag.store(true, Ordering::Relaxed); }\n";
+    // obs.rs is a counter module wholesale.
+    let report = lint_fixture("crates/core/src/obs.rs", src);
+    assert!(rule_findings(&report, "ordering-audit").is_empty());
+    // Test code is exempt wherever it lives.
+    let test_src = "#[cfg(test)]\nmod tests {\n    fn f(flag: &AtomicBool) { flag.store(true, Ordering::Relaxed); }\n}\n";
+    let report = lint_fixture("crates/core/src/cluster.rs", test_src);
+    assert!(rule_findings(&report, "ordering-audit").is_empty());
+}
+
+#[test]
+fn unused_waiver_is_a_finding() {
+    let src = "// lint: allow(no-bare-panic): nothing here actually violates the rule\nfn fine() -> u32 { 1 }\n";
+    let report = lint_fixture("crates/core/src/proto/fixture.rs", src);
+    let hits = rule_findings(&report, "unused-waiver");
+    assert_eq!(hits.len(), 1, "findings: {:?}", report.findings);
+    assert_eq!(report.waivers_honored, 0);
+}
+
+#[test]
+fn malformed_waiver_is_a_finding() {
+    let src = "// lint: allow(no-bare-panic)\nfn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    let report = lint_fixture("crates/core/src/proto/fixture.rs", src);
+    // The broken waiver is reported AND fails to suppress the unwrap.
+    assert_eq!(rule_findings(&report, "bad-waiver").len(), 1);
+    assert_eq!(rule_findings(&report, "no-bare-panic").len(), 1);
+}
+
+#[test]
+fn deny_semantics_fixtures_are_nonzero_findings() {
+    // What `--deny` keys on: a planted violation leaves findings
+    // non-empty, a clean file leaves them empty.
+    let dirty = lint_fixture(
+        "crates/core/src/proto/fixture.rs",
+        include_str!("../fixtures/no_bare_panic.rs"),
+    );
+    assert!(!dirty.findings.is_empty());
+    let clean = lint_fixture("crates/core/src/proto/fixture.rs", "fn ok() -> u32 { 1 }\n");
+    assert!(clean.findings.is_empty());
+}

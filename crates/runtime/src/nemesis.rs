@@ -487,7 +487,7 @@ pub fn run_live_storm(cfg: &StormConfig, rcfg: &RuntimeConfig) -> StormOutcome {
             let stop = Arc::clone(&stop_readers);
             s.spawn(move || {
                 let mut k = r;
-                while !stop.load(Ordering::Relaxed) {
+                while !stop.load(Ordering::Acquire) {
                     let (_, fh) = files[k % files.len()];
                     k += 1;
                     let _ = client.read(fh, 0, 1 << 20);
@@ -540,7 +540,7 @@ pub fn run_live_storm(cfg: &StormConfig, rcfg: &RuntimeConfig) -> StormOutcome {
         for h in writer_handles {
             let _ = h.join();
         }
-        stop_readers.store(true, Ordering::Relaxed);
+        stop_readers.store(true, Ordering::Release);
     });
 
     rt.settle();

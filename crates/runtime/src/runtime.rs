@@ -239,7 +239,7 @@ impl<S: ProtocolHost> Shared<S> {
     fn with_engine<T>(&self, f: impl FnOnce(&mut S) -> T) -> T {
         self.engine.exclusive(|e| {
             let out = f(e);
-            self.pending_cache.store(e.pending_work(), Ordering::Relaxed);
+            self.pending_cache.store(e.pending_work(), Ordering::Release);
             out
         })
     }
@@ -440,7 +440,7 @@ impl<S: NfsService + ProtocolHost + Send + Sync + 'static> ClusterRuntime<S> {
             requests_served: self.shared.served_total.load(Ordering::Relaxed),
             requests_served_shared: self.shared.served_shared.load(Ordering::Relaxed),
             requests_served_sharded: self.shared.served_sharded.load(Ordering::Relaxed),
-            pending_work: self.shared.pending_cache.load(Ordering::Relaxed),
+            pending_work: self.shared.pending_cache.load(Ordering::Acquire),
         }
     }
 
@@ -529,7 +529,7 @@ impl<S: NfsService + ProtocolHost + Send + Sync + 'static> ClusterRuntime<S> {
     }
 
     fn stop_and_join(&mut self) {
-        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.stop.store(true, Ordering::Release);
         for h in self.server_threads.drain(..) {
             let _ = h.join();
         }
@@ -575,7 +575,7 @@ fn serve_loop<S: NfsService + ProtocolHost>(
     // A request pulled off the queue during read batching that cannot be
     // served under the shared lock; handled first on the next turn.
     let mut carry: Option<IncomingRequest<NfsRequest>> = None;
-    while !shared.stop.load(Ordering::Relaxed) {
+    while !shared.stop.load(Ordering::Acquire) {
         let Some(incoming) = carry.take().or_else(|| ep.next_request(poll)) else { continue };
         // A machine crashed by failure injection loses whatever was
         // queued in its buffers; the thread itself cannot know — it just
@@ -594,7 +594,7 @@ fn serve_loop<S: NfsService + ProtocolHost>(
                 let sharded = shared.engine.try_execute_sharded(class, |e| {
                     let out = e.serve_sharded(id, &incoming.req);
                     if out.is_some() {
-                        shared.pending_cache.store(e.pending_work(), Ordering::Relaxed);
+                        shared.pending_cache.store(e.pending_work(), Ordering::Release);
                     }
                     out
                 });
@@ -603,7 +603,7 @@ fn serve_loop<S: NfsService + ProtocolHost>(
                     Some(out) => out,
                     None => shared.engine.execute(class, |e| {
                         let out = e.serve(id, incoming.req);
-                        shared.pending_cache.store(e.pending_work(), Ordering::Relaxed);
+                        shared.pending_cache.store(e.pending_work(), Ordering::Release);
                         out
                     }),
                 };
@@ -685,7 +685,7 @@ fn serve_read_batch<S: NfsService + ProtocolHost>(
             Some(out) => out,
             None => shared.engine.execute(OpClass::ReadOnly, |e| {
                 let out = e.serve(id, cur.req);
-                shared.pending_cache.store(e.pending_work(), Ordering::Relaxed);
+                shared.pending_cache.store(e.pending_work(), Ordering::Release);
                 out
             }),
         };
@@ -723,7 +723,7 @@ fn next_batched_read<S>(
     id: NodeId,
     budget: &mut usize,
 ) -> BatchNext {
-    if *budget == 0 || shared.stop.load(Ordering::Relaxed) {
+    if *budget == 0 || shared.stop.load(Ordering::Acquire) {
         return BatchNext::Done;
     }
     *budget -= 1;
@@ -753,10 +753,10 @@ fn pump_loop<S: ProtocolHost>(shared: &Shared<S>, interval: Duration, batch: usi
     // Idle/busy transition accounting: a pump that flaps between the
     // two under load is a sign the batching window is mistuned.
     let mut idle = true;
-    while !shared.stop.load(Ordering::Relaxed) {
+    while !shared.stop.load(Ordering::Acquire) {
         // The cached count keeps an idle pump off the cell lock
         // entirely — a read-only workload never sees the pump contend.
-        if shared.pending_cache.load(Ordering::Relaxed) == 0 {
+        if shared.pending_cache.load(Ordering::Acquire) == 0 {
             if !idle {
                 idle = true;
                 shared.obs.pump_to_idle.fetch_add(1, Ordering::Relaxed);
@@ -781,7 +781,7 @@ fn pump_loop<S: ProtocolHost>(shared: &Shared<S>, interval: Duration, batch: usi
             let drained = shared.engine.with_slot_shared(slot, |e| {
                 let n = e.try_pump_shard(slot, batch);
                 if n.is_some() {
-                    shared.pending_cache.store(e.pending_work(), Ordering::Relaxed);
+                    shared.pending_cache.store(e.pending_work(), Ordering::Release);
                 }
                 n
             });
@@ -791,7 +791,7 @@ fn pump_loop<S: ProtocolHost>(shared: &Shared<S>, interval: Duration, batch: usi
                 // to an exclusive slice.
                 None => shared.engine.with_slot(slot, |e| {
                     let n = e.pump(batch);
-                    shared.pending_cache.store(e.pending_work(), Ordering::Relaxed);
+                    shared.pending_cache.store(e.pending_work(), Ordering::Release);
                     n
                 }),
             };
@@ -864,7 +864,7 @@ mod tests {
                 let bus = bus.clone();
                 let stop = Arc::clone(&stop);
                 thread::spawn(move || {
-                    while !stop.load(Ordering::Relaxed) {
+                    while !stop.load(Ordering::Acquire) {
                         dir.reapply(&bus);
                     }
                 })
@@ -882,7 +882,7 @@ mod tests {
                 "a concurrent reapply re-imposed a cleared split"
             );
         }
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Release);
         for t in stormers {
             t.join().unwrap();
         }
@@ -903,7 +903,7 @@ mod tests {
                 let stop = Arc::clone(&stop);
                 thread::spawn(move || {
                     let mut i = 0u32;
-                    while !stop.load(Ordering::Relaxed) {
+                    while !stop.load(Ordering::Acquire) {
                         // A churn of session opens homed on both sides.
                         dir.set_home(n(1000 + t * 100 + (i % 50)), n(i % 2), &bus);
                         i += 1;
@@ -917,7 +917,7 @@ mod tests {
             dir.set_split(None, &bus);
             assert!(bus.can_exchange(n(0), n(1)), "a racing session open revived a healed split");
         }
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Release);
         for t in openers {
             t.join().unwrap();
         }
