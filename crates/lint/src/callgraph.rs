@@ -1,0 +1,716 @@
+//! The workspace call graph, plus the receiver-type resolution the
+//! lock-set and atomic-declaration passes share.
+//!
+//! Resolution is deliberately conservative: an edge is recorded only
+//! when the callee can be pinned to one workspace function — via the
+//! receiver's resolved type, a `Type::method` path, a same-file bare
+//! call, or a workspace-unique name that no std type also uses. Calls
+//! that resolve to nothing are *recorded* as unresolved (the facts
+//! artifact counts them) but never guessed at: a missing edge can only
+//! make the interprocedural rules quieter, never wrong.
+
+use crate::items::{base_type, Items};
+use crate::lexer::{Tok, TokKind};
+use crate::rules::SourceFile;
+use std::collections::BTreeMap;
+
+/// Method names that std containers/primitives also use. A workspace
+/// function with one of these names is never matched by the
+/// unique-name fallback — `x.len()` on a `Vec` must not become an edge
+/// to some struct's `len` — it needs a resolved receiver type instead.
+const STD_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_max",
+    "fetch_min",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "lock",
+    "read",
+    "write",
+    "try_lock",
+    "try_read",
+    "try_write",
+    "clone",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "map",
+    "and_then",
+    "then",
+    "filter",
+    "collect",
+    "extend",
+    "contains",
+    "contains_key",
+    "entry",
+    "or_default",
+    "or_insert",
+    "or_insert_with",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "unwrap_err",
+    "expect",
+    "take",
+    "replace",
+    "min",
+    "max",
+    "abs",
+    "drain",
+    "clear",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "retain",
+    "split",
+    "join",
+    "send",
+    "recv",
+    "try_recv",
+    "spawn",
+    "new",
+    "default",
+    "from",
+    "into",
+    "to_string",
+    "to_vec",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_slice",
+    "as_bytes",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "drop",
+    "deref",
+    "index",
+    "first",
+    "last",
+    "position",
+    "find",
+    "any",
+    "all",
+    "fold",
+    "sum",
+    "count",
+    "rev",
+    "enumerate",
+    "zip",
+    "flat_map",
+    "flatten",
+    "copied",
+    "cloned",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "ok",
+    "err",
+    "ok_or",
+    "ok_or_else",
+    "starts_with",
+    "ends_with",
+    "trim",
+    "parse",
+    "chars",
+    "bytes",
+    "to_owned",
+    "borrow",
+    "borrow_mut",
+    "try_into",
+    "try_from",
+    "with_capacity",
+    "reserve",
+    "resize",
+    "truncate",
+    "swap_remove",
+    "dedup",
+    "fill",
+    "windows",
+    "chunks",
+    "binary_search",
+    "binary_search_by",
+    "wrapping_add",
+    "saturating_sub",
+    "saturating_add",
+    "checked_sub",
+    "checked_add",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "skip",
+    "step_by",
+    "elapsed",
+    "push_str",
+    "repeat",
+];
+
+/// Keywords and control forms that look like `name(` but are not calls.
+const NOT_CALLS: &[&str] =
+    &["if", "while", "match", "for", "return", "in", "move", "loop", "fn", "struct", "let"];
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub caller: usize,
+    /// Code-token index of the callee name in the caller's file.
+    pub idx: usize,
+    pub line: u32,
+    pub callee_name: String,
+    /// Resolved workspace callee, when resolution succeeded.
+    pub callee: Option<usize>,
+    /// The name is a callable (`Fn*`) parameter of the caller — the
+    /// call invokes a closure the caller's caller supplied.
+    pub param_invoke: bool,
+    /// Token spans of closure literals passed as arguments, exclusive
+    /// of the delimiting tokens: events inside run under whatever the
+    /// callee holds when it invokes its callable parameter.
+    pub closures: Vec<(usize, usize)>,
+}
+
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub sites: Vec<CallSite>,
+    /// fn id → indices into `sites`.
+    pub by_caller: Vec<Vec<usize>>,
+    pub resolved: usize,
+    pub unresolved: usize,
+}
+
+/// A receiver chain decomposed into forward-order segments:
+/// `self.obs.slots[i].sharded` → `[SelfStart, Field(obs), Field(slots),
+/// Index, Field(sharded)]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Seg {
+    SelfStart,
+    Start(String),
+    /// `name(...)` at the head of the chain: a bare function call.
+    StartCall(String),
+    /// `A::name(...)` at the head of the chain.
+    PathCall(String, String),
+    Field(String),
+    MethodCall(String),
+    Index,
+}
+
+/// Walk a receiver chain backward from `end` (the last token of the
+/// receiver expression) and return its segments in forward order.
+/// Returns `None` for expressions this shallow parse cannot follow
+/// (parenthesized subexpressions, literals, operator results).
+pub fn chain_segments(code: &[Tok], end: usize) -> Option<Vec<Seg>> {
+    let mut rev: Vec<Seg> = Vec::new();
+    let mut i = end as isize;
+    loop {
+        if i < 0 {
+            return None;
+        }
+        let t = &code[i as usize];
+        if t.is("]") {
+            // Index back to its `[`.
+            let mut depth = 0i32;
+            while i >= 0 {
+                if code[i as usize].is("]") {
+                    depth += 1;
+                } else if code[i as usize].is("[") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i -= 1;
+            }
+            if i < 0 {
+                return None;
+            }
+            rev.push(Seg::Index);
+            i -= 1; // token before `[` continues the chain directly
+            continue;
+        } else if t.is(")") {
+            let mut depth = 0i32;
+            while i >= 0 {
+                if code[i as usize].is(")") {
+                    depth += 1;
+                } else if code[i as usize].is("(") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i -= 1;
+            }
+            if i <= 0 {
+                return None;
+            }
+            let name = &code[(i - 1) as usize];
+            if name.kind != TokKind::Ident {
+                return None; // parenthesized expression, tuple, etc.
+            }
+            let before = if i >= 2 { Some(&code[(i - 2) as usize]) } else { None };
+            match before.map(|t| t.text.as_str()) {
+                Some(".") => {
+                    rev.push(Seg::MethodCall(name.text.clone()));
+                    i -= 3;
+                    continue;
+                }
+                Some(":") if i >= 4 && code[(i - 3) as usize].is(":") => {
+                    let ty = &code[(i - 4) as usize];
+                    if ty.kind != TokKind::Ident {
+                        return None;
+                    }
+                    rev.push(Seg::PathCall(ty.text.clone(), name.text.clone()));
+                    break;
+                }
+                _ => {
+                    rev.push(Seg::StartCall(name.text.clone()));
+                    break;
+                }
+            }
+        } else if t.kind == TokKind::Ident {
+            let before = if i >= 1 { Some(&code[(i - 1) as usize]) } else { None };
+            match before.map(|t| t.text.as_str()) {
+                Some(".") => {
+                    rev.push(Seg::Field(t.text.clone()));
+                    i -= 2;
+                    continue;
+                }
+                _ => {
+                    if t.is("self") {
+                        rev.push(Seg::SelfStart);
+                    } else {
+                        rev.push(Seg::Start(t.text.clone()));
+                    }
+                    break;
+                }
+            }
+        } else {
+            return None;
+        }
+    }
+    rev.reverse();
+    Some(rev)
+}
+
+/// Per-function name environment: parameter and `let`-binding types.
+pub fn local_types(items: &Items, sf: &SourceFile, fn_id: usize) -> BTreeMap<String, Vec<String>> {
+    let f = &items.fns[fn_id];
+    let mut env: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for p in &f.params {
+        env.insert(p.name.clone(), p.ty.clone());
+    }
+    let code = &sf.code;
+    let mut i = f.body.0;
+    while i < f.body.1 {
+        if code[i].is("let") {
+            let mut j = i + 1;
+            if j < f.body.1 && code[j].is("mut") {
+                j += 1;
+            }
+            if j < f.body.1 && code[j].kind == TokKind::Ident {
+                let name = code[j].text.clone();
+                let after = code.get(j + 1).map(|t| t.text.as_str());
+                if after == Some(":") && !code.get(j + 2).is_some_and(|t| t.is(":")) {
+                    // Annotated: `let x: Type = …`.
+                    let mut ty = Vec::new();
+                    let mut k = j + 2;
+                    while k < f.body.1 && !code[k].is("=") && !code[k].is(";") {
+                        if code[k].kind == TokKind::Ident {
+                            ty.push(code[k].text.clone());
+                        }
+                        k += 1;
+                    }
+                    env.insert(name, ty);
+                    i = k;
+                    continue;
+                } else if after == Some("=") && !code.get(j + 2).is_some_and(|t| t.is("=")) {
+                    // `let x = <chain>;` — resolve the RHS chain type.
+                    let mut depth = 0i32;
+                    let mut k = j + 2;
+                    while k < f.body.1 {
+                        match code[k].text.as_str() {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth -= 1,
+                            ";" if depth == 0 => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    if k > j + 2 && k < f.body.1 {
+                        if let Some(segs) = chain_segments(code, k - 1) {
+                            if let Some(ty) = resolve_chain(items, sf, fn_id, &env, &segs) {
+                                env.insert(name, vec![ty]);
+                            }
+                        }
+                    }
+                    i = k;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    env
+}
+
+/// Resolve a chain's value type to a base type name using the item
+/// facts. Returns `None` whenever any link is uncertain.
+pub fn resolve_chain(
+    items: &Items,
+    sf: &SourceFile,
+    fn_id: usize,
+    env: &BTreeMap<String, Vec<String>>,
+    segs: &[Seg],
+) -> Option<String> {
+    let file = items.fns[fn_id].file;
+    let mut ty: Option<String> = None;
+    for seg in segs {
+        ty = match seg {
+            Seg::SelfStart => items.fns[fn_id].impl_type.clone(),
+            Seg::Start(name) => {
+                if let Some(t) = env.get(name) {
+                    base_type(t).map(str::to_string)
+                } else if items.statics.contains_key(name) {
+                    Some(name.clone())
+                } else {
+                    None
+                }
+            }
+            Seg::StartCall(name) => fn_ret_type(items, sf, file, name),
+            Seg::PathCall(owner, name) => {
+                let owner = resolve_type_name(items, file, owner, fn_id)?;
+                method_ret_type(items, &owner, name)
+            }
+            Seg::Field(name) => {
+                let cur = ty?;
+                base_type(&items.field(&cur, name)?.ty).map(str::to_string)
+            }
+            Seg::MethodCall(name) => {
+                let cur = ty?;
+                method_ret_type(items, &cur, name)
+            }
+            Seg::Index => ty, // element type: wrappers were already stripped
+        };
+        if ty.is_none() && !matches!(seg, Seg::Index) {
+            return None;
+        }
+    }
+    ty
+}
+
+/// `Self`, a `use` alias, or a plain struct name.
+fn resolve_type_name(items: &Items, file: usize, name: &str, fn_id: usize) -> Option<String> {
+    if name == "Self" {
+        return items.fns[fn_id].impl_type.clone();
+    }
+    if items.structs.contains_key(name) {
+        return Some(name.to_string());
+    }
+    if let Some(path) = items.aliases.get(file).and_then(|a| a.get(name)) {
+        if let Some(last) = path.last() {
+            if items.structs.contains_key(last) {
+                return Some(last.clone());
+            }
+        }
+    }
+    Some(name.to_string())
+}
+
+fn method_ret_type(items: &Items, ty: &str, name: &str) -> Option<String> {
+    let ids = items.by_type_method.get(&(ty.to_string(), name.to_string()))?;
+    if ids.len() != 1 {
+        return None;
+    }
+    base_type(&items.fns[ids[0]].ret).map(str::to_string)
+}
+
+fn fn_ret_type(items: &Items, _sf: &SourceFile, file: usize, name: &str) -> Option<String> {
+    let ids = items.by_name.get(name)?;
+    let same_file: Vec<&usize> = ids.iter().filter(|&&id| items.fns[id].file == file).collect();
+    let id = match same_file.as_slice() {
+        [one] => **one,
+        [] if ids.len() == 1 && !STD_METHODS.contains(&name) => ids[0],
+        _ => return None,
+    };
+    base_type(&items.fns[id].ret).map(str::to_string)
+}
+
+/// Resolve one call's target fn id. `recv_ty` is the resolved receiver
+/// type for method calls, `None` for bare/path calls.
+/// `x.name(…)`. A receiver type that resolved but declares no such
+/// method means a std/container method or an impl we cannot see —
+/// returning `None` there (no fallback) is what keeps `vec.len()` from
+/// ever matching some struct's `len`.
+fn resolve_method(items: &Items, name: &str, recv_ty: Option<&str>) -> Option<usize> {
+    if let Some(ty) = recv_ty {
+        let ids = items.by_type_method.get(&(ty.to_string(), name.to_string()))?;
+        return if ids.len() == 1 { Some(ids[0]) } else { None };
+    }
+    // Unresolved receiver: a workspace-unique method name that no std
+    // type shares is still safe to pin.
+    let ids = items.by_name.get(name)?;
+    if ids.len() == 1 && !STD_METHODS.contains(&name) && items.fns[ids[0]].impl_type.is_some() {
+        return Some(ids[0]);
+    }
+    None
+}
+
+/// `A::name(…)` or a bare `name(…)`.
+fn resolve_free(
+    items: &Items,
+    file: usize,
+    fn_id: usize,
+    name: &str,
+    path_owner: Option<&str>,
+) -> Option<usize> {
+    if let Some(owner) = path_owner {
+        let owner = resolve_type_name(items, file, owner, fn_id)?;
+        if let Some(ids) = items.by_type_method.get(&(owner, name.to_string())) {
+            if ids.len() == 1 {
+                return Some(ids[0]);
+            }
+        }
+    }
+    let ids = items.by_name.get(name)?;
+    let same_file: Vec<usize> =
+        ids.iter().copied().filter(|&id| items.fns[id].file == file).collect();
+    if same_file.len() == 1 {
+        return Some(same_file[0]);
+    }
+    if ids.len() == 1 && !STD_METHODS.contains(&name) {
+        return Some(ids[0]);
+    }
+    None
+}
+
+impl CallGraph {
+    pub fn build(items: &Items, files: &[SourceFile]) -> CallGraph {
+        let mut g =
+            CallGraph { by_caller: vec![Vec::new(); items.fns.len()], ..Default::default() };
+        for (fn_id, f) in items.fns.iter().enumerate() {
+            let sf = &files[f.file];
+            let env = local_types(items, sf, fn_id);
+            let callable: Vec<&str> =
+                f.params.iter().filter(|p| p.callable).map(|p| p.name.as_str()).collect();
+            let nested = items.nested_bodies(fn_id);
+            let code = &sf.code;
+            let mut i = f.body.0;
+            while i < f.body.1 {
+                if let Some(&(_, nb)) = nested.iter().find(|&&(na, _)| na == i) {
+                    i = nb; // skip nested fn bodies: they run when called
+                    continue;
+                }
+                let t = &code[i];
+                let is_call = t.kind == TokKind::Ident
+                    && code.get(i + 1).is_some_and(|n| n.is("("))
+                    && !NOT_CALLS.contains(&t.text.as_str())
+                    && !code.get(i.wrapping_sub(1)).is_some_and(|p| p.is("fn"));
+                if !is_call || t.test {
+                    i += 1;
+                    continue;
+                }
+                let name = t.text.clone();
+                let prev = i.checked_sub(1).map(|k| code[k].text.as_str());
+                let (callee, param_invoke) = if prev == Some(".") {
+                    // Method call: resolve the receiver chain type.
+                    let recv_ty = i
+                        .checked_sub(2)
+                        .and_then(|end| chain_segments(code, end))
+                        .and_then(|segs| resolve_chain(items, sf, fn_id, &env, &segs));
+                    (resolve_method(items, &name, recv_ty.as_deref()), false)
+                } else if prev == Some(":") && i >= 3 && code[i - 2].is(":") {
+                    let owner = code[i - 3].text.clone();
+                    (resolve_free(items, f.file, fn_id, &name, Some(&owner)), false)
+                } else if callable.contains(&name.as_str()) {
+                    (None, true)
+                } else {
+                    (resolve_free(items, f.file, fn_id, &name, None), false)
+                };
+                if callee.is_some() {
+                    g.resolved += 1;
+                } else if !param_invoke {
+                    g.unresolved += 1;
+                }
+                let closures = closure_spans(code, i + 1);
+                let site = CallSite {
+                    caller: fn_id,
+                    idx: i,
+                    line: t.line,
+                    callee_name: name,
+                    callee,
+                    param_invoke,
+                    closures,
+                };
+                g.by_caller[fn_id].push(g.sites.len());
+                g.sites.push(site);
+                i += 1;
+            }
+        }
+        g
+    }
+}
+
+/// Closure-literal argument spans of the call whose open paren is at
+/// `open`: token ranges of each closure *body* at argument depth 1.
+fn closure_spans(code: &[Tok], open: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < code.len() {
+        match code[i].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "|" if depth == 1 => {
+                let starts_closure =
+                    i > 0 && matches!(code[i - 1].text.as_str(), "(" | "," | "move");
+                if starts_closure {
+                    // Find the closing `|` of the parameter list.
+                    let mut j = i + 1;
+                    while j < code.len() && !code[j].is("|") {
+                        j += 1;
+                    }
+                    let body_start = j + 1;
+                    let body_end = if code.get(body_start).is_some_and(|t| t.is("{")) {
+                        // Block body.
+                        let mut d = 0i32;
+                        let mut k = body_start;
+                        while k < code.len() {
+                            if code[k].is("{") {
+                                d += 1;
+                            } else if code[k].is("}") {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            k += 1;
+                        }
+                        k + 1
+                    } else {
+                        // Expression body: until `,` or `)` at depth 1.
+                        let mut d = depth;
+                        let mut k = body_start;
+                        while k < code.len() {
+                            match code[k].text.as_str() {
+                                "(" | "[" | "{" => d += 1,
+                                ")" | "]" | "}" => {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                "," if d == 1 => break,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        k
+                    };
+                    out.push((body_start, body_end));
+                    i = body_end;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(src: &str) -> (Items, Vec<SourceFile>, CallGraph) {
+        let files = vec![SourceFile::new("crates/x/src/a.rs", src)];
+        let items = Items::build(&files);
+        let g = CallGraph::build(&items, &files);
+        (items, files, g)
+    }
+
+    #[test]
+    fn method_call_resolves_via_receiver_type() {
+        let src = "pub struct Engine { n: u32 }\n\
+                   pub struct Holder { engine: Arc<Engine> }\n\
+                   impl Engine {\n    fn tick(&self) {}\n}\n\
+                   impl Holder {\n    fn go(&self) { self.engine.tick(); }\n}\n";
+        let (items, _f, g) = setup(src);
+        let tick = items.fns.iter().position(|f| f.name == "tick").unwrap();
+        let site = g.sites.iter().find(|s| s.callee_name == "tick").unwrap();
+        assert_eq!(site.callee, Some(tick));
+    }
+
+    #[test]
+    fn std_names_do_not_resolve_by_uniqueness() {
+        let src = "pub struct T { v: Vec<u32> }\nimpl T {\n    fn len(&self) -> usize { 0 }\n    fn go(&self) -> usize { self.v.len() }\n}\n";
+        let (_i, _f, g) = setup(src);
+        // `self.v.len()` is Vec::len: the receiver type (Vec) strips to
+        // nothing resolvable and `len` is denylisted for fallback.
+        let site = g.sites.iter().find(|s| s.callee_name == "len").unwrap();
+        assert_eq!(site.callee, None);
+    }
+
+    #[test]
+    fn let_binding_types_flow_into_resolution() {
+        let src = "pub struct Engine { n: u32 }\n\
+                   pub struct Holder { engine: Box<Engine> }\n\
+                   impl Engine {\n    fn tick(&self) {}\n}\n\
+                   impl Holder {\n    fn go(&self) {\n        let e = &self.engine;\n        e.tick();\n    }\n}\n";
+        let (items, _f, g) = setup(src);
+        let tick = items.fns.iter().position(|f| f.name == "tick").unwrap();
+        let site = g.sites.iter().find(|s| s.callee_name == "tick").unwrap();
+        assert_eq!(site.callee, Some(tick));
+    }
+
+    #[test]
+    fn closure_arguments_are_spanned_and_param_invokes_marked() {
+        let src = "impl T {\n\
+                   fn with<R>(&self, f: impl FnOnce() -> R) -> R { f() }\n\
+                   fn go(&self) { self.with(|| self.step()); }\n\
+                   fn step(&self) {}\n}\n";
+        let (_i, _f, g) = setup(src);
+        let invoke = g.sites.iter().find(|s| s.param_invoke).unwrap();
+        assert_eq!(invoke.callee_name, "f");
+        let with_site = g.sites.iter().find(|s| s.callee_name == "with").unwrap();
+        assert_eq!(with_site.closures.len(), 1);
+        // The step() call site lies inside the recorded closure span.
+        let step = g.sites.iter().find(|s| s.callee_name == "step").unwrap();
+        let (a, b) = with_site.closures[0];
+        assert!(a <= step.idx && step.idx < b, "{a}..{b} vs {}", step.idx);
+    }
+
+    #[test]
+    fn unresolved_calls_are_counted_not_guessed() {
+        let (_i, _f, g) = setup("fn go(v: Vec<u32>) { v.push(1); helper(); }\n");
+        assert!(g.unresolved >= 2); // push (std) and helper (undefined)
+        assert!(g.sites.iter().all(|s| s.callee.is_none()));
+    }
+}

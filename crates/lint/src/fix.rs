@@ -1,0 +1,160 @@
+//! `--fix`: apply the mechanical repairs findings carry.
+//!
+//! Two edit shapes exist (`report::Fix`): span-exact byte replacements
+//! (`Relaxed` → `Release`/`Acquire` — same length, so every other
+//! finding's offsets and lines stay valid within the pass) and
+//! waiver-template line insertions. Within one pass, replacements are
+//! applied offset-descending and insertions line-descending, so no
+//! edit invalidates another; the file set is then re-linted and the
+//! whole thing iterated to a fixpoint (capped — a fix that spawns
+//! fixable findings forever would be a rule bug, not progress). The
+//! fixpoint is what makes `--fix` byte-stable: a second run finds no
+//! fixable finding and changes nothing.
+
+use crate::report::Fix;
+use std::collections::BTreeMap;
+
+/// Outcome of one `run_fix` call.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct FixOutcome {
+    /// Paths whose content changed, in path order.
+    pub changed: Vec<String>,
+    /// Total edits applied across all passes.
+    pub edits: usize,
+    /// Lint passes run (≥ 1; > 2 means a fix unlocked further fixes).
+    pub passes: usize,
+}
+
+/// Apply one file's fixes to its content. Replacements first
+/// (offset-descending), then insertions (line-descending), so earlier
+/// edits never invalidate later spans.
+fn apply_to(content: &str, fixes: &[&Fix]) -> String {
+    let mut out = content.to_string();
+    let mut replaces: Vec<(usize, usize, &str)> = fixes
+        .iter()
+        .filter_map(|f| match f {
+            Fix::Replace { off, len, with } => Some((*off, *len, with.as_str())),
+            _ => None,
+        })
+        .collect();
+    replaces.sort_by_key(|r| std::cmp::Reverse(r.0));
+    replaces.dedup_by_key(|r| r.0);
+    for (off, len, with) in replaces {
+        if off + len <= out.len() {
+            out.replace_range(off..off + len, with);
+        }
+    }
+    let mut inserts: Vec<(u32, &str)> = fixes
+        .iter()
+        .filter_map(|f| match f {
+            Fix::InsertAbove { line, text } => Some((*line, text.as_str())),
+            _ => None,
+        })
+        .collect();
+    inserts.sort_by_key(|i| std::cmp::Reverse(i.0));
+    inserts.dedup_by_key(|i| i.0);
+    if !inserts.is_empty() {
+        let mut lines: Vec<String> = out.split('\n').map(str::to_string).collect();
+        for (n, text) in &inserts {
+            let idx = (*n as usize).saturating_sub(1);
+            if idx < lines.len() {
+                let indent: String = lines[idx].chars().take_while(|c| c.is_whitespace()).collect();
+                lines.insert(idx, format!("{indent}{text}"));
+            }
+        }
+        out = lines.join("\n");
+    }
+    out
+}
+
+/// Iterate lint → apply-fixes over `sources` (in place) until no
+/// fixable finding remains. Returns what changed.
+pub fn run_fix(sources: &mut [(String, String)]) -> FixOutcome {
+    let mut outcome = FixOutcome::default();
+    let mut changed: BTreeMap<String, ()> = BTreeMap::new();
+    for _pass in 0..5 {
+        outcome.passes += 1;
+        let report = crate::lint_sources(sources);
+        let mut by_file: BTreeMap<&str, Vec<&Fix>> = BTreeMap::new();
+        for f in &report.findings {
+            if let Some(fix) = &f.fix {
+                by_file.entry(f.file.as_str()).or_default().push(fix);
+            }
+        }
+        if by_file.is_empty() {
+            break;
+        }
+        let edits: usize = by_file.values().map(Vec::len).sum();
+        outcome.edits += edits;
+        let fixed: Vec<(String, String)> = by_file
+            .iter()
+            .map(|(path, fixes)| {
+                let content = &sources.iter().find(|(p, _)| p == path).unwrap().1;
+                ((*path).to_string(), apply_to(content, fixes))
+            })
+            .collect();
+        for (path, new_content) in fixed {
+            if let Some(slot) = sources.iter_mut().find(|(p, _)| *p == path) {
+                if slot.1 != new_content {
+                    changed.insert(path, ());
+                    slot.1 = new_content;
+                }
+            }
+        }
+    }
+    outcome.changed = changed.into_keys().collect();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replace_edits_apply_offset_descending() {
+        let content = "aaa Relaxed bbb Relaxed ccc";
+        let f1 = Fix::Replace { off: 4, len: 7, with: "Release".into() };
+        let f2 = Fix::Replace { off: 16, len: 7, with: "Acquire".into() };
+        assert_eq!(apply_to(content, &[&f1, &f2]), "aaa Release bbb Acquire ccc");
+    }
+
+    #[test]
+    fn insert_above_copies_indentation() {
+        let content = "fn f() {\n        x.store(1, Relaxed);\n}\n";
+        let fix = Fix::InsertAbove { line: 2, text: "// waiver".into() };
+        assert_eq!(
+            apply_to(content, &[&fix]),
+            "fn f() {\n        // waiver\n        x.store(1, Relaxed);\n}\n"
+        );
+    }
+
+    #[test]
+    fn fix_run_reaches_a_clean_byte_stable_fixpoint() {
+        let src = "pub struct Flags { ready: AtomicBool }\n\
+                   impl Flags {\n    fn publish(&self) { self.ready.store(true, Ordering::Relaxed); }\n}\n";
+        let mut sources = vec![("crates/core/src/cluster.rs".to_string(), src.to_string())];
+        let outcome = run_fix(&mut sources);
+        assert_eq!(outcome.changed, vec!["crates/core/src/cluster.rs".to_string()]);
+        assert!(sources[0].1.contains("Ordering::Release"), "{}", sources[0].1);
+        // Re-linting the fixed content is clean…
+        let report = crate::lint_sources(&sources);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        // …and a second run is byte-stable.
+        let before = sources[0].1.clone();
+        let second = run_fix(&mut sources);
+        assert!(second.changed.is_empty());
+        assert_eq!(sources[0].1, before);
+    }
+
+    #[test]
+    fn rmw_sites_get_a_waiver_template_that_relints_clean() {
+        let src = "pub struct S { gate: AtomicU64 }\n\
+                   impl S {\n    fn bump(&self) -> u64 { self.gate.fetch_add(1, Ordering::Relaxed) }\n}\n";
+        let mut sources = vec![("crates/core/src/cluster.rs".to_string(), src.to_string())];
+        let outcome = run_fix(&mut sources);
+        assert_eq!(outcome.changed.len(), 1);
+        assert!(sources[0].1.contains("lint: allow(ordering-audit)"), "{}", sources[0].1);
+        let report = crate::lint_sources(&sources);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+}

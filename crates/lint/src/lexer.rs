@@ -14,10 +14,16 @@
 //! * `'a` is a lifetime, `'a'` (and `'\n'`) are char literals;
 //! * comments are kept as tokens so the waiver parser can see them.
 //!
-//! A second pass marks tokens that live under `#[cfg(test)]` or
-//! `#[test]` so rules can exclude test code. `cfg` attributes that
-//! mention `not` (e.g. `#[cfg(not(test))]`) are conservatively treated
-//! as *non*-test: that code compiles into production builds.
+//! A second pass marks tokens that live under test-only items so rules
+//! can exclude test code. Recognized gates: `#[test]`, `#[cfg(test)]`
+//! (and `any(test, …)`), `#[cfg(feature = "…")]` where the feature name
+//! names a test surface (contains `test`), and `#[cfg_attr(<pred>,
+//! test)]` / `#[cfg_attr(<pred>, cfg(test))]` where the *applied*
+//! attribute is the test gate. Anything mentioning `not` is
+//! conservatively treated as *non*-test (that code compiles into
+//! production builds), and a `cfg_attr` whose applied part is not a
+//! test gate (`#[cfg_attr(test, allow(dead_code))]`) exempts nothing —
+//! production code cannot hide behind a bogus gate.
 
 /// Token classes. Rules match mostly on `Ident` and `Punct` text;
 /// `Comment` exists for the waiver parser.
@@ -38,7 +44,11 @@ pub struct Tok {
     pub text: String,
     /// 1-based line of the token's first character.
     pub line: u32,
-    /// True when the token is inside a `#[cfg(test)]` / `#[test]` item.
+    /// Byte offset of the token's first character in the source —
+    /// `text.len()` bytes from here is the token's exact span, which is
+    /// what `--fix` edits.
+    pub off: usize,
+    /// True when the token is inside a test-gated item.
     pub test: bool,
 }
 
@@ -58,11 +68,20 @@ pub fn lex(src: &str) -> Vec<Tok> {
 fn raw_lex(src: &str) -> Vec<Tok> {
     let b: Vec<char> = src.chars().collect();
     let n = b.len();
+    // Byte offset of each char index (plus the end), so token spans can
+    // be reported in byte terms for span-exact `--fix` edits.
+    let mut byte_at = Vec::with_capacity(n + 1);
+    let mut bpos = 0usize;
+    for &c in &b {
+        byte_at.push(bpos);
+        bpos += c.len_utf8();
+    }
+    byte_at.push(bpos);
     let mut out = Vec::new();
     let mut i = 0usize;
     let mut line = 1u32;
-    let push = |out: &mut Vec<Tok>, kind: TokKind, text: String, line: u32| {
-        out.push(Tok { kind, text, line, test: false });
+    let push = |out: &mut Vec<Tok>, kind: TokKind, text: String, line: u32, off: usize| {
+        out.push(Tok { kind, text, line, off, test: false });
     };
     while i < n {
         let c = b[i];
@@ -82,7 +101,13 @@ fn raw_lex(src: &str) -> Vec<Tok> {
             while i < n && b[i] != '\n' {
                 i += 1;
             }
-            push(&mut out, TokKind::Comment, b[start..i].iter().collect(), start_line);
+            push(
+                &mut out,
+                TokKind::Comment,
+                b[start..i].iter().collect(),
+                start_line,
+                byte_at[start],
+            );
             continue;
         }
         // Block comment, possibly nested, possibly multi-line.
@@ -104,7 +129,13 @@ fn raw_lex(src: &str) -> Vec<Tok> {
                     i += 1;
                 }
             }
-            push(&mut out, TokKind::Comment, b[start..i].iter().collect(), start_line);
+            push(
+                &mut out,
+                TokKind::Comment,
+                b[start..i].iter().collect(),
+                start_line,
+                byte_at[start],
+            );
             continue;
         }
         // Ordinary (escaped) string literal.
@@ -126,7 +157,13 @@ fn raw_lex(src: &str) -> Vec<Tok> {
                     }
                 }
             }
-            push(&mut out, TokKind::Str, b[start..i.min(n)].iter().collect(), start_line);
+            push(
+                &mut out,
+                TokKind::Str,
+                b[start..i.min(n)].iter().collect(),
+                start_line,
+                byte_at[start],
+            );
             continue;
         }
         // Identifier — or a string prefix (`r`, `b`, `br`) or raw ident.
@@ -166,7 +203,13 @@ fn raw_lex(src: &str) -> Vec<Tok> {
                         }
                         i += 1;
                     }
-                    push(&mut out, TokKind::Str, b[start..i.min(n)].iter().collect(), start_line);
+                    push(
+                        &mut out,
+                        TokKind::Str,
+                        b[start..i.min(n)].iter().collect(),
+                        start_line,
+                        byte_at[start],
+                    );
                     continue;
                 }
                 if word == "r" && hashes == 1 {
@@ -175,7 +218,13 @@ fn raw_lex(src: &str) -> Vec<Tok> {
                     while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
                         i += 1;
                     }
-                    push(&mut out, TokKind::Ident, b[start..i].iter().collect(), start_line);
+                    push(
+                        &mut out,
+                        TokKind::Ident,
+                        b[start..i].iter().collect(),
+                        start_line,
+                        byte_at[start],
+                    );
                     continue;
                 }
             }
@@ -197,10 +246,16 @@ fn raw_lex(src: &str) -> Vec<Tok> {
                         }
                     }
                 }
-                push(&mut out, TokKind::Str, b[start..i.min(n)].iter().collect(), start_line);
+                push(
+                    &mut out,
+                    TokKind::Str,
+                    b[start..i.min(n)].iter().collect(),
+                    start_line,
+                    byte_at[start],
+                );
                 continue;
             }
-            push(&mut out, TokKind::Ident, word, start_line);
+            push(&mut out, TokKind::Ident, word, start_line, byte_at[start]);
             continue;
         }
         // Lifetime vs char literal.
@@ -213,7 +268,13 @@ fn raw_lex(src: &str) -> Vec<Tok> {
                 while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
                     i += 1;
                 }
-                push(&mut out, TokKind::Lifetime, b[start..i].iter().collect(), start_line);
+                push(
+                    &mut out,
+                    TokKind::Lifetime,
+                    b[start..i].iter().collect(),
+                    start_line,
+                    byte_at[start],
+                );
                 continue;
             }
             // Char literal: '<char>' or '\<escape>'.
@@ -228,7 +289,7 @@ fn raw_lex(src: &str) -> Vec<Tok> {
                 i += 1;
             }
             i = (i + 1).min(n);
-            push(&mut out, TokKind::Char, b[start..i].iter().collect(), start_line);
+            push(&mut out, TokKind::Char, b[start..i].iter().collect(), start_line, byte_at[start]);
             continue;
         }
         if c.is_ascii_digit() {
@@ -243,10 +304,16 @@ fn raw_lex(src: &str) -> Vec<Tok> {
                     i += 1;
                 }
             }
-            push(&mut out, TokKind::Number, b[start..i].iter().collect(), start_line);
+            push(
+                &mut out,
+                TokKind::Number,
+                b[start..i].iter().collect(),
+                start_line,
+                byte_at[start],
+            );
             continue;
         }
-        push(&mut out, TokKind::Punct, c.to_string(), start_line);
+        push(&mut out, TokKind::Punct, c.to_string(), start_line, byte_at[i]);
         i += 1;
     }
     out
@@ -270,18 +337,22 @@ fn mark_test_scopes(toks: &mut [Tok]) {
         let attr_start = ci;
         let mut depth = 0i32;
         let mut j = ci + 1;
-        let mut idents: Vec<String> = Vec::new();
+        let mut inner: Vec<(TokKind, String)> = Vec::new();
         while j < code.len() {
             let t = &toks[code[j]];
             if t.is("[") {
                 depth += 1;
+                if depth > 1 {
+                    inner.push((t.kind, t.text.clone()));
+                }
             } else if t.is("]") {
                 depth -= 1;
                 if depth == 0 {
                     break;
                 }
-            } else if t.kind == TokKind::Ident {
-                idents.push(t.text.clone());
+                inner.push((t.kind, t.text.clone()));
+            } else {
+                inner.push((t.kind, t.text.clone()));
             }
             j += 1;
         }
@@ -289,11 +360,7 @@ fn mark_test_scopes(toks: &mut [Tok]) {
             break;
         }
         let attr_end = j; // index of `]`
-        let is_test = match idents.first().map(String::as_str) {
-            Some("test") => idents.len() == 1,
-            Some("cfg") => idents.iter().any(|s| s == "test") && !idents.iter().any(|s| s == "not"),
-            _ => false,
-        };
+        let is_test = attr_is_test(&inner);
         if !is_test {
             ci = attr_end + 1;
             continue;
@@ -362,6 +429,61 @@ fn mark_test_scopes(toks: &mut [Tok]) {
             ci = attr_end + 1;
         }
     }
+}
+
+/// Classify one attribute's inner tokens (everything between `#[` and
+/// the matching `]`) as a test gate. See the module doc for the
+/// recognized shapes.
+fn attr_is_test(inner: &[(TokKind, String)]) -> bool {
+    let name = match inner.first() {
+        Some((TokKind::Ident, s)) => s.as_str(),
+        _ => return false,
+    };
+    match name {
+        "test" => inner.len() == 1,
+        // The whole predicate decides: `cfg(test)`, `cfg(any(test, …))`,
+        // `cfg(feature = "test-…")`.
+        "cfg" => pred_is_test(&inner[1..]),
+        // Only the *applied* attributes — after the first top-level
+        // comma — decide; the predicate is irrelevant. This keeps
+        // `#[cfg_attr(test, allow(dead_code))]` production code while
+        // `#[cfg_attr(feature = "sim", test)]` is a gated test fn.
+        "cfg_attr" => {
+            let mut depth = 0i32;
+            for (k, (_, text)) in inner.iter().enumerate().skip(1) {
+                match text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "," if depth == 1 => return pred_is_test(&inner[k + 1..]),
+                    _ => {}
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// A `cfg` predicate (or `cfg_attr` applied-attribute list) gates test
+/// code when it names `test` — as a bare ident or as a test-ish feature
+/// string — and never under a `not(…)` (that code compiles into
+/// production builds).
+fn pred_is_test(toks: &[(TokKind, String)]) -> bool {
+    if toks.iter().any(|(k, s)| *k == TokKind::Ident && s == "not") {
+        return false;
+    }
+    if toks.iter().any(|(k, s)| *k == TokKind::Ident && s == "test") {
+        return true;
+    }
+    // `feature = "…test…"`: the string literal still carries its quotes;
+    // a feature whose name does not say "test" is a production surface
+    // and exempts nothing.
+    toks.windows(3).any(|w| {
+        w[0].1 == "feature"
+            && w[1].1 == "="
+            && w[2].0 == TokKind::Str
+            && w[2].1.to_ascii_lowercase().contains("test")
+    })
 }
 
 #[cfg(test)]
@@ -449,6 +571,58 @@ mod tests {
         let toks = lex(src);
         let u = toks.iter().find(|t| t.is("unwrap")).unwrap();
         assert!(!u.test);
+    }
+
+    #[test]
+    fn feature_gated_test_module_is_marked() {
+        // A feature whose name says "test" gates a test surface…
+        let src = "#[cfg(feature = \"test-utils\")]\nmod harness { fn h() { a.unwrap(); } }\nfn prod() { b.unwrap(); }";
+        let toks = lex(src);
+        let marks: Vec<bool> = toks.iter().filter(|t| t.is("unwrap")).map(|t| t.test).collect();
+        assert_eq!(marks, vec![true, false]);
+    }
+
+    #[test]
+    fn bogus_feature_gate_stays_production() {
+        // …but production code cannot hide behind an arbitrary feature.
+        for gate in ["#[cfg(feature = \"fast-path\")]", "#[cfg(not(feature = \"test-utils\"))]"] {
+            let src = format!("{gate}\nfn prod() {{ a.unwrap(); }}");
+            let toks = lex(&src);
+            let u = toks.iter().find(|t| t.is("unwrap")).unwrap();
+            assert!(!u.test, "{gate} must not exempt");
+        }
+    }
+
+    #[test]
+    fn cfg_attr_applied_test_is_marked() {
+        let src = "#[cfg_attr(feature = \"sim\", test)]\nfn gated() { a.unwrap(); }\nfn prod() { b.unwrap(); }";
+        let toks = lex(src);
+        let marks: Vec<bool> = toks.iter().filter(|t| t.is("unwrap")).map(|t| t.test).collect();
+        assert_eq!(marks, vec![true, false]);
+        // cfg(test) as the applied attribute works too.
+        let src = "#[cfg_attr(feature = \"sim\", cfg(test))]\nmod m { fn f() { a.unwrap(); } }";
+        let u = lex(src).into_iter().find(|t| t.is("unwrap")).unwrap();
+        assert!(u.test);
+    }
+
+    #[test]
+    fn cfg_attr_with_non_test_applied_attr_stays_production() {
+        // The predicate saying `test` is irrelevant: the applied
+        // attribute is `allow(dead_code)`, so this fn is production.
+        let src = "#[cfg_attr(test, allow(dead_code))]\nfn prod() { a.unwrap(); }";
+        let toks = lex(src);
+        let u = toks.iter().find(|t| t.is("unwrap")).unwrap();
+        assert!(!u.test);
+    }
+
+    #[test]
+    fn token_offsets_are_byte_exact() {
+        let src = "let é = x.load(Ordering::Relaxed);";
+        let toks = lex(src);
+        let relaxed = toks.iter().find(|t| t.is("Relaxed")).unwrap();
+        assert_eq!(&src[relaxed.off..relaxed.off + relaxed.text.len()], "Relaxed");
+        let load = toks.iter().find(|t| t.is("load")).unwrap();
+        assert_eq!(&src[load.off..load.off + load.text.len()], "load");
     }
 
     #[test]

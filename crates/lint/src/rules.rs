@@ -1,9 +1,12 @@
-//! The rule registry. Every rule is a pure function over one file's
-//! token stream; scoping is by repo-relative path so fixture tests can
-//! exercise a rule by lexing synthetic content under the real path.
+//! The rule registry, rebuilt around the facts layer. Rules now see
+//! the whole workspace (`Facts`: items, call graph, lock sets, atomic
+//! declarations) and are invoked once per file; scoping stays by
+//! repo-relative path so fixture tests can exercise a rule by lexing
+//! synthetic content under the real path.
 
 use crate::lexer::{Tok, TokKind};
-use crate::report::Finding;
+use crate::report::{Finding, Fix};
+use crate::Facts;
 
 /// One file, pre-lexed. `code` is the token stream with comments
 /// stripped (rules match on it); `toks` keeps comments for waivers.
@@ -26,13 +29,13 @@ pub struct Rule {
     pub summary: &'static str,
     /// Which PR's bug class motivated the rule (for `--list-rules`).
     pub motivation: &'static str,
-    pub check: fn(&SourceFile, &mut Vec<Finding>),
+    pub check: fn(usize, &Facts, &mut Vec<Finding>),
 }
 
 pub const RULES: &[Rule] = &[
     Rule {
         id: "lock-order",
-        summary: "cell lock before ring locks; ring batches ascend; leaf locks stay behind the hot.rs/shard.rs seams",
+        summary: "cell lock before ring locks, anywhere in the transitive call tree; ring batches only via lock_ring; leaf locks stay behind the hot.rs/shard.rs seams",
         motivation: "PRs 2-3 sharded the engine; the module-doc lock order is the only thing between us and deadlock",
         check: rule_lock_order,
     },
@@ -56,7 +59,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "ordering-audit",
-        summary: "Ordering::Relaxed only for allowlisted counters/gauges; published flags need Acquire/Release or a waiver",
+        summary: "Ordering::Relaxed only on allowlisted atomic declarations; published flags need Acquire/Release or a waiver (--fix rewrites flagged stores/loads)",
         motivation: "PR 5/PR 6 spread atomics through the hot path; Relaxed is correct for tallies, silent corruption for flags",
         check: rule_ordering_audit,
     },
@@ -138,55 +141,45 @@ fn functions(code: &[Tok]) -> Vec<FnSpan> {
 /// The discipline (module doc of `runtime::shard`): the cell RwLock is
 /// acquired first, then shard ring mutexes in strictly ascending slot
 /// order via `lock_ring`, then per-slot leaf locks inside `hot.rs`.
-/// Token-level approximations of that:
-///   (a) in `shard.rs`, no `cell.read()`/`cell.write()` lexically after
-///       a ring acquisition in the same function;
-///   (b) in `shard.rs`, no raw `shards[…].lock()` indexing outside
+///
+/// The ordering itself is checked interprocedurally by the lock-set
+/// dataflow (`lockset.rs`): any cell acquisition while something is
+/// held, or ring acquisition while a ring is held, anywhere in the
+/// transitive call tree, is a finding anchored at the acquisition site.
+/// Two lexical checks remain:
+///   (a) in `shard.rs`, no raw `shards[…].lock()` indexing outside
 ///       `lock_ring` (ascending order is only proven there);
-///   (c) in `crates/core` outside `hot.rs`, no raw `.lock()` calls —
+///   (b) in `crates/core` outside `hot.rs`, no raw `.lock()` calls —
 ///       leaf locks belong behind the hot.rs/shard.rs seams.
-fn rule_lock_order(f: &SourceFile, out: &mut Vec<Finding>) {
+fn rule_lock_order(fi: usize, facts: &Facts, out: &mut Vec<Finding>) {
+    let f = &facts.files[fi];
+    // Interprocedural cell/ring order violations anchored in this file.
+    for v in &facts.lock_violations {
+        if v.file == fi {
+            out.push(Finding::new("lock-order", &f.path, v.line, v.message.clone()));
+        }
+    }
     let code = &f.code;
     if f.path == "crates/runtime/src/shard.rs" {
-        for fun in functions(code) {
-            let mut ring_at: Option<usize> = None;
-            for i in fun.body.0..fun.body.1 {
-                if code[i].test {
-                    continue;
-                }
-                let ring_index = code[i].is("shards") && seq(code, i + 1, &["["]);
-                if (code[i].is("lock_ring") || ring_index) && ring_at.is_none() {
-                    ring_at = Some(i);
-                }
-                if ring_index && fun.name != "lock_ring" {
+        for i in 0..code.len() {
+            if code[i].test {
+                continue;
+            }
+            if code[i].is("shards") && seq(code, i + 1, &["["]) {
+                let fn_name = facts
+                    .items
+                    .fn_of_token(fi, i)
+                    .map(|id| facts.items.fns[id].name.clone())
+                    .unwrap_or_default();
+                if fn_name != "lock_ring" {
                     out.push(Finding::new(
                         "lock-order",
                         &f.path,
                         code[i].line,
                         format!(
-                            "raw ring-lock indexing in `{}` — only `lock_ring` proves ascending acquisition order",
-                            fun.name
+                            "raw ring-lock indexing in `{fn_name}` — only `lock_ring` proves ascending acquisition order"
                         ),
                     ));
-                }
-                if code[i].is("cell")
-                    && seq(code, i + 1, &["."])
-                    && code.get(i + 2).is_some_and(|t| t.is("read") || t.is("write"))
-                    && seq(code, i + 3, &["("])
-                {
-                    if let Some(r) = ring_at {
-                        if i > r {
-                            out.push(Finding::new(
-                                "lock-order",
-                                &f.path,
-                                code[i].line,
-                                format!(
-                                    "cell lock acquired inside a ring-lock scope in `{}` (cell must come first)",
-                                    fun.name
-                                ),
-                            ));
-                        }
-                    }
                 }
             }
         }
@@ -214,7 +207,8 @@ fn rule_lock_order(f: &SourceFile, out: &mut Vec<Finding>) {
 const PANIC_SCOPES: &[&str] =
     &["crates/core/src/proto/", "crates/core/src/server.rs", "crates/nfs/src/ops_"];
 
-fn rule_no_bare_panic(f: &SourceFile, out: &mut Vec<Finding>) {
+fn rule_no_bare_panic(fi: usize, facts: &Facts, out: &mut Vec<Finding>) {
+    let f = &facts.files[fi];
     if !PANIC_SCOPES.iter().any(|p| f.path.starts_with(p)) {
         return;
     }
@@ -250,7 +244,8 @@ fn rule_no_bare_panic(f: &SourceFile, out: &mut Vec<Finding>) {
 /// body of `due_gated` — the pump's decision table. A variant that is
 /// not mentioned there was almost certainly added without deciding
 /// whether the pump may fire it early (the bug PR 4 fixed twice).
-fn rule_due_gating(f: &SourceFile, out: &mut Vec<Finding>) {
+fn rule_due_gating(fi: usize, facts: &Facts, out: &mut Vec<Finding>) {
+    let f = &facts.files[fi];
     if f.path != "crates/core/src/event.rs" {
         return;
     }
@@ -351,7 +346,8 @@ const MUTATION_RECEIVERS: &[&str] = &["replicas", "tokens", "streams", "outbound
 const MUTATION_METHODS: &[&str] =
     &["put_sync", "put_async", "delete_sync", "update_async", "crash", "clear", "remove", "insert"];
 
-fn rule_lease_discipline(f: &SourceFile, out: &mut Vec<Finding>) {
+fn rule_lease_discipline(fi: usize, facts: &Facts, out: &mut Vec<Finding>) {
+    let f = &facts.files[fi];
     let targets: Vec<&str> =
         INVALIDATORS.iter().filter(|(p, _)| *p == f.path).map(|(_, name)| *name).collect();
     if targets.is_empty() {
@@ -407,119 +403,118 @@ fn rule_lease_discipline(f: &SourceFile, out: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------------
-// Rule 5: ordering-audit.
+// Rule 5: ordering-audit (declaration-tracked).
 
-/// Files that are counter/histogram modules wholesale: every atomic in
-/// them is a monotone tally or epoch-decayed gauge read for reporting.
-const RELAXED_FILE_ALLOWLIST: &[&str] = &["obs.rs", "placement.rs", "stats.rs"];
+/// Files that are counter/histogram modules wholesale: every atomic
+/// *declared* in them is a monotone tally or epoch-decayed gauge, and
+/// every *use* in them is reporting. Both directions are exempt.
+const COUNTER_FILES: &[&str] = &["obs.rs", "placement.rs", "stats.rs"];
 
-/// Atomic fields that are tallies, gauges, or unique-id allocators:
-/// their readers tolerate staleness by design and never use the value
-/// to justify touching other shared state. Everything else that says
-/// `Ordering::Relaxed` is flagged.
-const COUNTER_RECEIVERS: &[&str] = &[
-    // protocol/server tallies
-    "ops_served",
-    "lease_validation_failures",
-    "migrations_vetoed_floor",
-    "replicas_retired",
-    // engine telemetry
-    "shared_acquisitions",
-    "exclusive_acquisitions",
-    "sharded",
-    "fallbacks",
-    "pump_to_idle",
-    "pump_to_busy",
-    // runtime tallies
-    "served",
-    "served_total",
-    "served_shared",
-    "served_sharded",
-    "dropped_while_crashed",
-    "failover_retries",
-    "failover_exhausted",
-    // container size gauges / unique-id allocators
-    "len",
-    "seq",
-    "next_client",
-    "next_segment",
-    "next_major",
-    // the advisory protocol clock: monotone via fetch_max/fetch_add
-    // RMWs; protocol ordering comes from message delivery, not reads
-    "clock",
+/// Atomic declarations outside the counter files whose Relaxed use is
+/// correct by design: tallies, size gauges, and unique-id allocators.
+/// Readers tolerate staleness and never use the value to justify
+/// touching other shared state. Keyed by declaration (`Type::field` or
+/// static name) — renaming a receiver cannot dodge this list, and
+/// moving a declaration here requires editing the linter in review.
+const DECL_ALLOWLIST: &[&str] = &[
+    // Protocol-time machinery on `Cluster`: the advisory protocol
+    // clock (monotone via `fetch_max`/`fetch_add`; protocol ordering
+    // comes from message delivery, not from reads of this value) and
+    // two ID allocators (uniqueness needs only RMW atomicity).
+    "Cluster::clock",
+    "Cluster::next_segment",
+    "Cluster::next_major",
+    // Load-accounting tally bumped on every served op.
+    "ServerState::ops_served",
+    // Deferred-work queue internals: a sequence allocator and an
+    // advisory length gauge (the authoritative queue state is behind
+    // the slot mutexes; a stale `len` costs one wasted probe).
+    "ShardedEvents::seq",
+    "ShardedEvents::len",
+    // Consistency-auditor sequence allocator.
+    "HistoryRecorder::seq",
+    // Lock-level telemetry on the sharded engine: pure counters, read
+    // only by observability snapshots that tolerate staleness.
+    "EngineObs::shared_acquisitions",
+    "EngineObs::exclusive_acquisitions",
+    "SlotCounters::sharded",
+    "SlotCounters::fallbacks",
+    // Runtime tallies and the client-ID allocator.
+    "Tally::served",
+    "Tally::dropped_while_crashed",
+    "Shared::served_total",
+    "Shared::served_shared",
+    "Shared::served_sharded",
+    "ClusterRuntime::next_client",
+    // Net bus delivery tallies and the RPC incarnation allocator.
+    "BusInner::delivered",
+    "BusInner::rejected",
+    "BusInner::dropped_stale",
+    "NEXT_INCARNATION",
 ];
 
-const ATOMIC_METHODS: &[&str] = &[
-    "load",
-    "store",
-    "swap",
-    "fetch_add",
-    "fetch_sub",
-    "fetch_max",
-    "fetch_min",
-    "fetch_and",
-    "fetch_or",
-    "fetch_xor",
-    "fetch_update",
-    "compare_exchange",
-    "compare_exchange_weak",
+const ORDERING_SCOPES: &[&str] = &[
+    "crates/core/src/",
+    "crates/runtime/src/",
+    "crates/nfs/src/",
+    "crates/net/src/",
+    "crates/isis/src/",
 ];
 
-const ORDERING_SCOPES: &[&str] = &["crates/core/src/", "crates/runtime/src/", "crates/nfs/src/"];
+const WAIVER_TEMPLATE: &str =
+    "// lint: allow(ordering-audit): TODO(--fix): justify why Relaxed is safe for this RMW, or strengthen it";
 
-fn rule_ordering_audit(f: &SourceFile, out: &mut Vec<Finding>) {
+fn rule_ordering_audit(fi: usize, facts: &Facts, out: &mut Vec<Finding>) {
+    let f = &facts.files[fi];
     if !ORDERING_SCOPES.iter().any(|p| f.path.starts_with(p)) {
         return;
     }
     let file_name = f.path.rsplit('/').next().unwrap_or(&f.path);
-    if RELAXED_FILE_ALLOWLIST.contains(&file_name) {
-        return;
+    if COUNTER_FILES.contains(&file_name) {
+        return; // reporting module: reads everything, publishes nothing
     }
-    let code = &f.code;
-    let mut flagged_lines = std::collections::BTreeSet::new();
-    for i in 0..code.len() {
-        if code[i].test || !seq(code, i, &["Ordering", ":", ":", "Relaxed"]) {
+    for site in crate::decl::relaxed_sites(&facts.items, &facts.files, &facts.decls, fi) {
+        let (allowed, what) = match site.decl {
+            Some(d) => {
+                let decl = &facts.decls.decls[d];
+                let decl_file = decl.file.rsplit('/').next().unwrap_or(&decl.file);
+                let allowed = COUNTER_FILES.contains(&decl_file)
+                    || DECL_ALLOWLIST.contains(&decl.key.as_str());
+                (allowed, format!("`{}` (declared {}:{})", decl.key, decl.file, decl.line))
+            }
+            None => (
+                false,
+                format!("`{}`, which no declaration could be resolved for", site.receiver_desc),
+            ),
+        };
+        if allowed {
             continue;
         }
-        // Walk back to the opening paren of the enclosing call to name
-        // the receiver: `recv.method(…, Ordering::Relaxed, …)`.
-        let mut depth = 0i32;
-        let mut k = i;
-        let mut receiver: Option<(String, String)> = None;
-        while k > 0 {
-            k -= 1;
-            if code[k].is(")") {
-                depth += 1;
-            } else if code[k].is("(") {
-                depth -= 1;
-                if depth < 0 {
-                    if k >= 2
-                        && code[k - 1].kind == TokKind::Ident
-                        && ATOMIC_METHODS.contains(&code[k - 1].text.as_str())
-                        && code[k - 2].is(".")
-                        && k >= 3
-                        && code[k - 3].kind == TokKind::Ident
-                    {
-                        receiver = Some((code[k - 3].text.clone(), code[k - 1].text.clone()));
-                    }
-                    break;
-                }
-            }
-        }
-        let ok = matches!(&receiver, Some((recv, _)) if COUNTER_RECEIVERS.contains(&recv.as_str()));
-        if !ok && flagged_lines.insert(code[i].line) {
-            let what = match &receiver {
-                Some((recv, method)) => format!("`{recv}.{method}`"),
-                None => "an unrecognized receiver".to_string(),
-            };
-            out.push(Finding::new(
+        let method = site.method.as_deref().unwrap_or("?");
+        let fix = match method {
+            "store" => Fix::Replace {
+                off: facts.files[fi].code[site.relaxed_idx].off,
+                len: "Relaxed".len(),
+                with: "Release".to_string(),
+            },
+            "load" => Fix::Replace {
+                off: facts.files[fi].code[site.relaxed_idx].off,
+                len: "Relaxed".len(),
+                with: "Acquire".to_string(),
+            },
+            _ => Fix::InsertAbove { line: site.line, text: WAIVER_TEMPLATE.to_string() },
+        };
+        out.push(
+            Finding::new(
                 "ordering-audit",
                 &f.path,
-                code[i].line,
+                site.line,
                 format!(
-                    "`Ordering::Relaxed` on {what} — not an allowlisted counter; use Acquire/Release for published flags or waive with the staleness argument"
+                    "`Ordering::Relaxed` on `{}.{}` of {} — not an allowlisted counter declaration; use Acquire/Release for published flags or waive with the staleness argument",
+                    site.receiver_desc, method, what
                 ),
-            ));
-        }
+            )
+            .with_fix(fix),
+        );
     }
 }

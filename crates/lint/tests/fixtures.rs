@@ -107,10 +107,62 @@ fn ordering_audit_fixture_fails_the_lint() {
     let report =
         lint_fixture("crates/core/src/cluster.rs", include_str!("../fixtures/ordering_audit.rs"));
     let hits = rule_findings(&report, "ordering-audit");
-    assert_eq!(hits.len(), 1, "findings: {:?}", report.findings);
-    assert_eq!(hits[0].line, 6);
-    assert!(hits[0].message.contains("flag.store"));
+    assert_eq!(hits.len(), 3, "findings: {:?}", report.findings);
+    // The direct store and load on the non-allowlisted flag, each
+    // carrying a span-exact strengthening fix…
+    let store = hits.iter().find(|f| f.line == 18).expect("store finding");
+    assert!(store.message.contains("ready.store"), "{}", store.message);
+    assert!(store.message.contains("Flags::ready"), "{}", store.message);
+    assert!(matches!(store.fix, Some(lint::report::Fix::Replace { .. })));
+    let load = hits.iter().find(|f| f.line == 23).expect("load finding");
+    assert!(load.message.contains("ready.load"), "{}", load.message);
+    assert!(matches!(load.fix, Some(lint::report::Fix::Replace { .. })));
+    // …and the renamed binding, which still resolves to the declaring
+    // field — a rename cannot dodge a declaration-keyed audit.
+    let renamed = hits.iter().find(|f| f.line == 28).expect("renamed finding");
+    assert!(renamed.message.contains("Flags::ready"), "{}", renamed.message);
+    // Allowlisted counter declaration and the waived flag stay silent.
     assert_eq!(report.waivers_honored, 1);
+    assert!(rule_findings(&report, "unused-waiver").is_empty());
+}
+
+#[test]
+fn ordering_audit_fix_relints_clean_and_byte_stable() {
+    let mut sources = vec![(
+        "crates/core/src/cluster.rs".to_string(),
+        include_str!("../fixtures/ordering_audit.rs").to_string(),
+    )];
+    let outcome = lint::fix::run_fix(&mut sources);
+    assert_eq!(outcome.changed.len(), 1);
+    // Stores strengthened to Release, loads to Acquire; the waived
+    // site keeps its justified Relaxed.
+    assert!(sources[0].1.contains("self.ready.store(true, Ordering::Release)"));
+    assert!(sources[0].1.contains("self.ready.load(Ordering::Acquire)"));
+    assert!(sources[0].1.contains("renamed.store(true, Ordering::Release)"));
+    assert!(sources[0].1.contains("self.done.store(false, Ordering::Relaxed)"));
+    let report = lint_sources(&sources);
+    assert!(report.findings.is_empty(), "findings after fix: {:?}", report.findings);
+    // A second run is byte-stable.
+    let before = sources[0].1.clone();
+    let second = lint::fix::run_fix(&mut sources);
+    assert!(second.changed.is_empty());
+    assert_eq!(sources[0].1, before);
+}
+
+#[test]
+fn interprocedural_lock_order_fixture_fails_with_a_witness_chain() {
+    let report = lint_fixture(
+        "crates/runtime/src/shard.rs",
+        include_str!("../fixtures/lock_order_interproc.rs"),
+    );
+    let hits = rule_findings(&report, "lock-order");
+    assert_eq!(hits.len(), 1, "findings: {:?}", report.findings);
+    // Anchored at the acquisition inside `deep`, with the call chain
+    // that carried the ring class down from `top`.
+    assert_eq!(hits[0].line, 20);
+    assert!(hits[0].message.contains("cell lock"), "{}", hits[0].message);
+    assert!(hits[0].message.contains("reached via `top`"), "{}", hits[0].message);
+    assert!(hits[0].message.contains("`middle`"), "{}", hits[0].message);
 }
 
 #[test]
@@ -123,6 +175,35 @@ fn ordering_audit_skips_counter_modules_and_tests() {
     let test_src = "#[cfg(test)]\nmod tests {\n    fn f(flag: &AtomicBool) { flag.store(true, Ordering::Relaxed); }\n}\n";
     let report = lint_fixture("crates/core/src/cluster.rs", test_src);
     assert!(rule_findings(&report, "ordering-audit").is_empty());
+}
+
+#[test]
+fn feature_and_cfg_attr_gated_test_modules_are_exempt() {
+    // A module compiled only under a test-harness feature is test
+    // scaffolding: the production rules must not fire inside it.
+    let feature_gated = "#[cfg(feature = \"sim-test\")]\nmod harness {\n    fn f(v: Option<u32>) -> u32 { v.unwrap() }\n}\n";
+    let report = lint_fixture("crates/core/src/proto/fixture.rs", feature_gated);
+    assert!(rule_findings(&report, "no-bare-panic").is_empty(), "{:?}", report.findings);
+    // Same for `cfg_attr` whose *applied* attribute is a test gate.
+    let cfg_attr_gated = "#[cfg_attr(loom, cfg(test))]\nmod harness {\n    fn f(v: Option<u32>) -> u32 { v.unwrap() }\n}\n";
+    let report = lint_fixture("crates/core/src/proto/fixture.rs", cfg_attr_gated);
+    assert!(rule_findings(&report, "no-bare-panic").is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn bogus_gates_do_not_exempt() {
+    // A non-test feature gate is production code under a flag.
+    let feature_gated = "#[cfg(feature = \"fast-path\")]\nmod m {\n    fn f(v: Option<u32>) -> u32 { v.unwrap() }\n}\n";
+    let report = lint_fixture("crates/core/src/proto/fixture.rs", feature_gated);
+    assert_eq!(rule_findings(&report, "no-bare-panic").len(), 1, "{:?}", report.findings);
+    // `not(test)` is the *opposite* of a test gate.
+    let negated = "#[cfg(not(test))]\nmod m {\n    fn f(v: Option<u32>) -> u32 { v.unwrap() }\n}\n";
+    let report = lint_fixture("crates/core/src/proto/fixture.rs", negated);
+    assert_eq!(rule_findings(&report, "no-bare-panic").len(), 1, "{:?}", report.findings);
+    // A `cfg_attr` whose applied part is not a test gate exempts nothing.
+    let cfg_attr = "#[cfg_attr(docsrs, doc(hidden))]\nmod m {\n    fn f(v: Option<u32>) -> u32 { v.unwrap() }\n}\n";
+    let report = lint_fixture("crates/core/src/proto/fixture.rs", cfg_attr);
+    assert_eq!(rule_findings(&report, "no-bare-panic").len(), 1, "{:?}", report.findings);
 }
 
 #[test]
